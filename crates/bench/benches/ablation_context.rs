@@ -1,0 +1,53 @@
+//! **Ablation A2** — context-window right-sizing (§IV: "we also tested
+//! context windows larger than 16k. While there was no significant
+//! improvement in success rate, execution time increased noticeably").
+//!
+//! Sweeps the allocated context of the *default* policy on BFCL.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench ablation_context
+//! ```
+
+use lim_bench::report::{pct, secs, watts, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{Pipeline, SearchLevels};
+use lim_llm::{ModelProfile, Quant};
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::bfcl(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+    let pipeline =
+        Pipeline::new(&workload, &levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+    let all: Vec<usize> = (0..workload.registry.len()).collect();
+
+    let mut table = Table::new(
+        &format!("A2 — context sweep, default policy, llama3.1-8b q4_K_M, BFCL ({n} queries)"),
+        &["context", "success", "avg time", "avg power", "note"],
+    );
+    for ctx in [8_192u32, 16_384, 24_576, 32_768] {
+        let mut success = 0usize;
+        let mut time = 0.0;
+        let mut joules = 0.0;
+        for q in &workload.queries {
+            let r = pipeline.run_query_offered(q, &all, ctx);
+            success += usize::from(r.success);
+            time += r.cost.seconds;
+            joules += r.cost.joules;
+        }
+        let note = match ctx {
+            16_384 => "paper's default choice",
+            8_192 => "fits 51 tools but no headroom",
+            _ => "larger: no success gain, more time",
+        };
+        table.row(&[
+            format!("{}k", ctx / 1024),
+            pct(success as f64 / n as f64),
+            secs(time / n as f64),
+            watts(joules / time),
+            note.to_owned(),
+        ]);
+    }
+    table.print();
+}

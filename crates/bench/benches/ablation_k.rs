@@ -1,0 +1,62 @@
+//! **Ablation A5** — sensitivity to the retrieval width `k` (the paper
+//! evaluates k = 3 and k = 5; this sweep adds 1, 2 and 8).
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench ablation_k
+//! ```
+
+use lim_bench::report::{pct, ratio, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, normalize_against, Pipeline, Policy, SearchLevels};
+use lim_llm::{ModelProfile, Quant};
+
+fn main() {
+    let n = query_budget();
+    let bfcl = lim_workloads::bfcl(HARNESS_SEED, n);
+    let geo = lim_workloads::geoengine(HARNESS_SEED, n);
+    let bfcl_levels = SearchLevels::build(&bfcl);
+    let geo_levels = SearchLevels::build(&geo);
+    let model = ModelProfile::by_name("hermes2-pro-8b").expect("model exists");
+
+    for (name, workload, levels) in [
+        ("BFCL", &bfcl, &bfcl_levels),
+        ("GeoEngine", &geo, &geo_levels),
+    ] {
+        let pipeline =
+            Pipeline::new(workload, levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+        let baseline = evaluate(&pipeline, Policy::Default);
+        let mut table = Table::new(
+            &format!("A5 — k sweep, {name}, hermes2-pro q4_K_M ({n} queries)"),
+            &["k", "success", "tool acc", "avg tools", "norm time", "norm power", "note"],
+        );
+        table.row(&[
+            "all (default)".to_owned(),
+            pct(baseline.success_rate),
+            pct(baseline.tool_accuracy),
+            format!("{:.1}", baseline.avg_offered_tools),
+            ratio(1.0),
+            ratio(1.0),
+            String::new(),
+        ]);
+        for k in [1usize, 2, 3, 5, 8] {
+            let m = evaluate(&pipeline, Policy::less_is_more(k));
+            let (time, power) = normalize_against(&baseline, &m);
+            let note = match k {
+                3 | 5 => "paper setting",
+                1 => "narrowest: leans fully on top-1 retrieval",
+                8 => "wider: distractors creep back in",
+                _ => "",
+            };
+            table.row(&[
+                k.to_string(),
+                pct(m.success_rate),
+                pct(m.tool_accuracy),
+                format!("{:.1}", m.avg_offered_tools),
+                ratio(time),
+                ratio(power),
+                note.to_owned(),
+            ]);
+        }
+        table.print();
+    }
+}

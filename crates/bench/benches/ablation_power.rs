@@ -1,0 +1,57 @@
+//! **Ablation A7** — power-mode extension (beyond the paper): edge boards
+//! frequently run in a capped power mode (the Orin's 30 W preset) for
+//! thermal or battery reasons. Does Less-is-More keep its advantage under
+//! the cap — and can a capped LiM deployment beat an uncapped default one?
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench ablation_power
+//! ```
+
+use lim_bench::report::{pct, secs, watts, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, Pipeline, Policy, SearchLevels};
+use lim_device::DeviceProfile;
+use lim_llm::{ModelProfile, Quant};
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::bfcl(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+
+    let mut table = Table::new(
+        &format!("A7 — power modes, llama3.1-8b q4_K_M, BFCL ({n} queries)"),
+        &["device mode", "policy", "success", "avg time", "avg power", "energy/query"],
+    );
+    let mut lim_capped_time = 0.0;
+    let mut default_maxn_time = 0.0;
+    for device in [DeviceProfile::jetson_agx_orin(), DeviceProfile::jetson_agx_orin_30w()] {
+        for policy in [Policy::Default, Policy::less_is_more(3)] {
+            let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM)
+                .with_device(device.clone())
+                .with_seed(HARNESS_SEED);
+            let m = evaluate(&pipeline, policy);
+            if device.name().ends_with("30w") && policy != Policy::Default {
+                lim_capped_time = m.avg_seconds;
+            }
+            if device.name().ends_with("64gb") && policy == Policy::Default {
+                default_maxn_time = m.avg_seconds;
+            }
+            table.row(&[
+                device.name().to_owned(),
+                policy.label(),
+                pct(m.success_rate),
+                secs(m.avg_seconds),
+                watts(m.avg_power_w),
+                format!("{:.0} J", m.avg_seconds * m.avg_power_w),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "headline: Less-is-More under the 30 W cap runs {:.1}x {} than the default\n\
+         policy at MAXN — tool reduction buys back the clock cut.",
+        (default_maxn_time / lim_capped_time).max(lim_capped_time / default_maxn_time),
+        if lim_capped_time < default_maxn_time { "faster" } else { "slower" },
+    );
+}

@@ -1,0 +1,60 @@
+//! **Ablation A1** — the recommender step's overhead (§IV claims it is
+//! negligible because no tool schemas are attached to its prompt).
+//!
+//! Prints, per model, the mean recommender seconds against the mean total
+//! Less-is-More query time and the mean default query time.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench ablation_recommender
+//! ```
+
+use lim_bench::experiments::model_set;
+use lim_bench::report::{pct, secs, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, Pipeline, Policy, SearchLevels};
+use lim_llm::Quant;
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::bfcl(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+    let models = model_set(&[
+        "hermes2-pro-8b",
+        "llama3.1-8b",
+        "mistral-8b",
+        "phi3-8b",
+        "qwen2-1.5b",
+        "qwen2-7b",
+    ]);
+
+    let mut table = Table::new(
+        &format!("A1 — recommender overhead, BFCL q4_K_M ({n} queries)"),
+        &[
+            "model",
+            "recommender",
+            "LiM total",
+            "default total",
+            "share of LiM",
+            "share of default",
+        ],
+    );
+    for model in &models {
+        let pipeline =
+            Pipeline::new(&workload, &levels, model, Quant::Q4KM).with_seed(HARNESS_SEED);
+        let lim = evaluate(&pipeline, Policy::less_is_more(3));
+        let default = evaluate(&pipeline, Policy::Default);
+        table.row(&[
+            model.name.to_owned(),
+            secs(lim.avg_recommender_seconds),
+            secs(lim.avg_seconds),
+            secs(default.avg_seconds),
+            pct(lim.avg_recommender_seconds / lim.avg_seconds),
+            pct(lim.avg_recommender_seconds / default.avg_seconds),
+        ]);
+    }
+    table.print();
+    println!(
+        "claim check: the recommender must be a small share of the *default* query cost\n\
+         it replaces — §IV calls it negligible compared to subsequent function calling."
+    );
+}

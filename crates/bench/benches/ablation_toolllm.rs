@@ -1,0 +1,80 @@
+//! **Ablation A4** — why ToolLLM's DFSDT baseline is absent from the
+//! paper's figures: "its tree-based exploration could not fit on the
+//! board" (§IV). Demonstrates both failure modes: DRAM exhaustion on a
+//! 32 GB Orin, and an order-of-magnitude cost blow-up on the 64 GB kit.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench ablation_toolllm
+//! ```
+
+use lim_bench::report::{secs, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, plan_dfsdt, DfsdtConfig, Pipeline, Policy, SearchLevels};
+use lim_device::DeviceProfile;
+use lim_llm::{ModelProfile, Quant};
+
+fn orin_32gb() -> DeviceProfile {
+    DeviceProfile::new(
+        "jetson-agx-orin-32gb",
+        32 * 1024 * 1024 * 1024,
+        133.0e9,
+        20.0e12,
+        9.0,
+        1.23e-12,
+        60.0e-12,
+        267.0e-12,
+    )
+}
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::geoengine(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+    let quant = Quant::Q4KM;
+
+    let mut table = Table::new(
+        "A4 — ToolLLM DFSDT feasibility on Jetson boards (llama3.1-8b q4_K_M, GeoEngine)",
+        &["board", "outcome", "peak memory", "time/query", "nodes"],
+    );
+    for device in [orin_32gb(), DeviceProfile::jetson_agx_orin()] {
+        match plan_dfsdt(&workload, &model, quant, &device, &DfsdtConfig::default()) {
+            Err(e) => table.row(&[
+                device.name().to_owned(),
+                format!("OOM: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+            Ok(plan) => table.row(&[
+                device.name().to_owned(),
+                "fits".to_owned(),
+                format!("{:.1} GB", plan.peak_memory_bytes as f64 / 1e9),
+                secs(plan.seconds_per_query),
+                plan.nodes_expanded.to_string(),
+            ]),
+        }
+    }
+    table.print();
+
+    // Contrast with the policies that do run.
+    let pipeline = Pipeline::new(&workload, &levels, &model, quant).with_seed(HARNESS_SEED);
+    let default = evaluate(&pipeline, Policy::Default);
+    let lim = evaluate(&pipeline, Policy::less_is_more(3));
+    let mut contrast = Table::new(
+        &format!("A4 — cost contrast on the 64 GB board ({n} queries)"),
+        &["approach", "time/query"],
+    );
+    let plan = plan_dfsdt(
+        &workload,
+        &model,
+        quant,
+        &DeviceProfile::jetson_agx_orin(),
+        &DfsdtConfig::default(),
+    )
+    .expect("fits on 64 GB");
+    contrast.row(&["toolllm-dfsdt (projected)", &secs(plan.seconds_per_query)]);
+    contrast.row(&["default", &secs(default.avg_seconds)]);
+    contrast.row(&["less-is-more k=3", &secs(lim.avg_seconds)]);
+    contrast.print();
+}

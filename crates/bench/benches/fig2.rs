@@ -1,0 +1,122 @@
+//! **Figure 2** — BFCL: Success Rate, Tool Accuracy, Normalized Execution
+//! Time and Normalized Power for six models × four quantizations under
+//! default, Gorilla, LiM k=3 and LiM k=5.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench fig2
+//! ```
+
+use lim_bench::experiments::{model_set, quant_mean, run_grid};
+use lim_bench::report::{pct, ratio, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{Policy, SearchLevels};
+use lim_llm::Quant;
+
+/// One paper endpoint row: (model, success, tool accuracy, time
+/// reduction, power reduction) under Less-is-More; `None` where the paper
+/// gives no number ("no gain" for Mistral).
+type PaperRow = (&'static str, Option<f64>, Option<f64>, f64, f64);
+
+/// Per-model endpoints quoted in §IV for the BFCL figure.
+const PAPER: &[PaperRow] = &[
+    ("hermes2-pro-8b", Some(0.71), Some(0.89), 0.80, 0.45),
+    ("llama3.1-8b", Some(0.442), Some(0.938), 0.72, 0.30),
+    ("mistral-8b", None, None, 0.77, 0.18),
+    ("phi3-8b", Some(0.55), Some(0.78), 0.55, 0.20),
+    ("qwen2-1.5b", Some(0.40), Some(0.76), 0.48, 0.20),
+    ("qwen2-7b", Some(0.68), Some(0.87), 0.70, 0.27),
+];
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::bfcl(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+    let models = model_set(&[
+        "hermes2-pro-8b",
+        "llama3.1-8b",
+        "mistral-8b",
+        "phi3-8b",
+        "qwen2-1.5b",
+        "qwen2-7b",
+    ]);
+    let policies = [
+        Policy::Default,
+        Policy::Gorilla { k: 3 },
+        Policy::less_is_more(3),
+        Policy::less_is_more(5),
+    ];
+    let cells = run_grid(
+        &workload,
+        &levels,
+        &models,
+        &Quant::OLLAMA,
+        &policies,
+        HARNESS_SEED,
+    );
+
+    // ---- Full per-variant grid.
+    let mut grid = Table::new(
+        &format!("Figure 2 — BFCL, per quant variant ({n} queries)"),
+        &[
+            "model", "quant", "policy", "success", "tool acc", "norm time", "norm power",
+            "tools", "fallback",
+        ],
+    );
+    for c in &cells {
+        grid.row(&[
+            c.model.clone(),
+            c.quant.to_string(),
+            c.policy.clone(),
+            pct(c.metrics.success_rate),
+            pct(c.metrics.tool_accuracy),
+            ratio(c.norm_time),
+            ratio(c.norm_power),
+            format!("{:.1}", c.metrics.avg_offered_tools),
+            pct(c.metrics.fallback_rate),
+        ]);
+    }
+    grid.print();
+
+    // ---- Per-model summary (mean over quant variants) vs paper.
+    let mut summary = Table::new(
+        "Figure 2 — per-model summary (mean over q4_0/q4_1/q4_K_M/q8_0)",
+        &[
+            "model",
+            "policy",
+            "success",
+            "tool acc",
+            "norm time",
+            "norm power",
+            "paper (LiM)",
+        ],
+    );
+    for (model, p_succ, p_acc, p_time, p_power) in PAPER {
+        for policy in ["default", "gorilla-k3", "lim-k3", "lim-k5"] {
+            let succ = quant_mean(&cells, model, policy, |c| c.metrics.success_rate);
+            let acc = quant_mean(&cells, model, policy, |c| c.metrics.tool_accuracy);
+            let time = quant_mean(&cells, model, policy, |c| c.norm_time);
+            let power = quant_mean(&cells, model, policy, |c| c.norm_power);
+            let reference = if policy == "lim-k3" {
+                format!(
+                    "succ {} acc {} time -{:.0}% power -{:.0}%",
+                    p_succ.map_or("flat".into(), pct),
+                    p_acc.map_or("flat".into(), pct),
+                    100.0 * p_time,
+                    100.0 * p_power
+                )
+            } else {
+                String::new()
+            };
+            summary.row(&[
+                (*model).to_owned(),
+                policy.to_owned(),
+                pct(succ),
+                pct(acc),
+                ratio(time),
+                ratio(power),
+                reference,
+            ]);
+        }
+    }
+    summary.print();
+}

@@ -1,0 +1,133 @@
+//! **Figure 3** — GeoEngine: Success Rate, Tool Accuracy, Normalized
+//! Execution Time and Normalized Power for the four models the paper
+//! keeps (Phi3 and Qwen2-1.5b are excluded because their default success
+//! collapses to ≈10%).
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench fig3
+//! ```
+
+use lim_bench::experiments::{model_set, quant_mean, run_grid};
+use lim_bench::report::{pct, ratio, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, Pipeline, Policy, SearchLevels};
+use lim_llm::Quant;
+
+/// §IV endpoints for Figure 3: (success, tool accuracy, time reduction,
+/// power reduction) under Less-is-More. Mistral's time is *negative*
+/// reduction on some variants (+10%).
+const PAPER: &[(&str, f64, f64, f64, f64)] = &[
+    ("hermes2-pro-8b", 0.63, 0.64, 0.15, 0.06),
+    ("llama3.1-8b", 0.56, 0.56, 0.40, 0.12),
+    ("mistral-8b", 0.46, 0.47, -0.10, 0.09),
+    ("qwen2-7b", 0.35, 0.35, 0.21, 0.13),
+];
+
+fn main() {
+    let n = query_budget();
+    let workload = lim_workloads::geoengine(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&workload);
+
+    // ---- The exclusion check the paper reports (§IV).
+    let mut exclusion = Table::new(
+        "Figure 3 — exclusion check: default success of the small models",
+        &["model", "default success (q4_K_M)", "paper"],
+    );
+    for name in ["phi3-8b", "qwen2-1.5b"] {
+        let model = lim_llm::ModelProfile::by_name(name).expect("model exists");
+        let pipeline =
+            Pipeline::new(&workload, &levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+        let metrics = evaluate(&pipeline, Policy::Default);
+        exclusion.row(&[
+            name.to_owned(),
+            pct(metrics.success_rate),
+            "≈10% → excluded".to_owned(),
+        ]);
+    }
+    exclusion.print();
+
+    let models = model_set(&["hermes2-pro-8b", "llama3.1-8b", "mistral-8b", "qwen2-7b"]);
+    // Gorilla is run at two retrieval widths to show that its sequential
+    // failure is structural (one-shot retrieval cannot cover a chain), not
+    // an artifact of k.
+    let policies = [
+        Policy::Default,
+        Policy::Gorilla { k: 3 },
+        Policy::Gorilla { k: 10 },
+        Policy::less_is_more(3),
+        Policy::less_is_more(5),
+    ];
+    let cells = run_grid(
+        &workload,
+        &levels,
+        &models,
+        &Quant::OLLAMA,
+        &policies,
+        HARNESS_SEED,
+    );
+
+    let mut grid = Table::new(
+        &format!("Figure 3 — GeoEngine, per quant variant ({n} queries)"),
+        &[
+            "model", "quant", "policy", "success", "tool acc", "norm time", "norm power",
+            "tools", "fallback",
+        ],
+    );
+    for c in &cells {
+        grid.row(&[
+            c.model.clone(),
+            c.quant.to_string(),
+            c.policy.clone(),
+            pct(c.metrics.success_rate),
+            pct(c.metrics.tool_accuracy),
+            ratio(c.norm_time),
+            ratio(c.norm_power),
+            format!("{:.1}", c.metrics.avg_offered_tools),
+            pct(c.metrics.fallback_rate),
+        ]);
+    }
+    grid.print();
+
+    let mut summary = Table::new(
+        "Figure 3 — per-model summary (mean over q4_0/q4_1/q4_K_M/q8_0)",
+        &[
+            "model",
+            "policy",
+            "success",
+            "tool acc",
+            "norm time",
+            "norm power",
+            "paper (LiM)",
+        ],
+    );
+    for (model, p_succ, p_acc, p_time, p_power) in PAPER {
+        for policy in ["default", "gorilla-k3", "gorilla-k10", "lim-k3", "lim-k5"] {
+            let succ = quant_mean(&cells, model, policy, |c| c.metrics.success_rate);
+            let acc = quant_mean(&cells, model, policy, |c| c.metrics.tool_accuracy);
+            let time = quant_mean(&cells, model, policy, |c| c.norm_time);
+            let power = quant_mean(&cells, model, policy, |c| c.norm_power);
+            let reference = if policy == "lim-k3" {
+                format!(
+                    "succ {} acc {} time {}{:.0}% power -{:.0}%",
+                    pct(*p_succ),
+                    pct(*p_acc),
+                    if *p_time >= 0.0 { "-" } else { "+" },
+                    100.0 * p_time.abs(),
+                    100.0 * p_power
+                )
+            } else {
+                String::new()
+            };
+            summary.row(&[
+                (*model).to_owned(),
+                policy.to_owned(),
+                pct(succ),
+                pct(acc),
+                ratio(time),
+                ratio(power),
+                reference,
+            ]);
+        }
+    }
+    summary.print();
+}

@@ -1,0 +1,62 @@
+//! **Table I** — Success rate of Llama3.1-8b variants on BFCL and
+//! GeoEngine under the default (all tools) policy.
+//!
+//! Paper row: BFCL 63.04 / 20.43 / 34.35 / 39.57 / 44.35 %, GeoEngine
+//! 63.91 / 43.04 / 59.57 / 56.96 / 53.04 % for full precision, q4_0,
+//! q4_1, q4_K_M, q8_0.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench table1
+//! ```
+
+use lim_bench::report::{pct, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{evaluate, Pipeline, Policy, SearchLevels};
+use lim_llm::{ModelProfile, Quant};
+
+fn main() {
+    let n = query_budget();
+    let bfcl = lim_workloads::bfcl(HARNESS_SEED, n);
+    let geo = lim_workloads::geoengine(HARNESS_SEED, n);
+    let bfcl_levels = SearchLevels::build(&bfcl);
+    let geo_levels = SearchLevels::build(&geo);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+
+    let paper_bfcl = [0.6304, 0.2043, 0.3435, 0.3957, 0.4435];
+    let paper_geo = [0.6391, 0.4304, 0.5957, 0.5696, 0.5304];
+
+    let mut table = Table::new(
+        &format!("Table I — success rate of llama3.1-8b variants, default policy ({n} queries)"),
+        &[
+            "benchmark",
+            "metric",
+            "full precision",
+            "q4_0",
+            "q4_1",
+            "q4_K_M",
+            "q8_0",
+        ],
+    );
+
+    for (name, workload, levels, paper) in [
+        ("BFCL", &bfcl, &bfcl_levels, paper_bfcl),
+        ("GeoEngine", &geo, &geo_levels, paper_geo),
+    ] {
+        let mut measured = vec![name.to_owned(), "measured".to_owned()];
+        for quant in Quant::ALL {
+            let pipeline =
+                Pipeline::new(workload, levels, &model, quant).with_seed(HARNESS_SEED);
+            let metrics = evaluate(&pipeline, Policy::Default);
+            measured.push(pct(metrics.success_rate));
+        }
+        table.row(&measured);
+        let mut reference = vec![name.to_owned(), "paper".to_owned()];
+        reference.extend(paper.iter().map(|p| pct(*p)));
+        table.row(&reference);
+    }
+    table.print();
+    println!(
+        "note: quant order in Quant::ALL is f16, q4_0, q4_1, q4_K_M, q8_0; \
+         measured values are seeded draws over {n} queries."
+    );
+}

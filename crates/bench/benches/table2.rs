@@ -1,0 +1,106 @@
+//! **Table II** — execution of a GeoEngine-style function-calling query
+//! with Llama3.1-8b-q4_K_M under three configurations: (16k context, 46
+//! tools), (16k, 19 tools), (8k, 19 tools).
+//!
+//! Paper rows: ✗ 30 s / 27 W, ✓ 20 s / 26 W, ✓ 17 s / 22 W — max drops
+//! −43% time, −19% power.
+//!
+//! ```sh
+//! cargo bench -p lim-bench --bench table2
+//! ```
+
+use lim_bench::report::{pct, secs, watts, Table};
+use lim_bench::{query_budget, HARNESS_SEED};
+use lim_core::{ControllerConfig, Pipeline, SearchLevels, ToolController};
+use lim_llm::{ModelProfile, Quant};
+use lim_vecstore::VectorIndex;
+
+fn main() {
+    let n = query_budget();
+    let geo = lim_workloads::geoengine(HARNESS_SEED, n);
+    let levels = SearchLevels::build(&geo);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+    let pipeline = Pipeline::new(&geo, &levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+
+    // The paper's protocol passes a manually reduced tool set. Derive the
+    // "19 tools" analogue the way an operator would: the Level-2 clusters
+    // covering the queries' gold chains (here, via the controller's
+    // cluster search seeded with each query's gold tool descriptions).
+    let controller = ToolController::new(&levels, ControllerConfig::with_k(5));
+    let full: Vec<usize> = (0..geo.registry.len()).collect();
+
+    /// Accumulator per configuration row: label, seconds, watts, successes.
+    type Row = (String, Vec<f64>, Vec<f64>, Vec<bool>);
+
+    let mut sum_tools = 0usize;
+    let mut rows: Vec<Row> = vec![
+        ("16K / 46 tools".into(), vec![], vec![], vec![]),
+        ("16K / reduced".into(), vec![], vec![], vec![]),
+        ("8K / reduced".into(), vec![], vec![], vec![]),
+    ];
+
+    for query in &geo.queries {
+        let gold_descs: Vec<String> = query
+            .steps
+            .iter()
+            .filter_map(|s| geo.registry.get_by_name(&s.tool))
+            .map(|t| format!("{} {}", t.name().replace('_', " "), t.description()))
+            .collect();
+        let selection = controller.select(&query.text, &gold_descs);
+        let reduced = if selection.tool_indices.len() < geo.registry.len() {
+            selection.tool_indices.clone()
+        } else {
+            // Confidence fallback on a degenerate query: keep gold + a few.
+            query
+                .steps
+                .iter()
+                .filter_map(|s| geo.registry.index_of(&s.tool))
+                .collect()
+        };
+        sum_tools += reduced.len();
+
+        for (row, offered, ctx) in [
+            (0usize, &full, 16_384u32),
+            (1, &reduced, 16_384),
+            (2, &reduced, 8_192),
+        ] {
+            let r = pipeline.run_query_offered(query, offered, ctx);
+            rows[row].1.push(r.cost.seconds);
+            rows[row].2.push(r.cost.avg_watts());
+            rows[row].3.push(r.success);
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let rate = |v: &[bool]| v.iter().filter(|b| **b).count() as f64 / v.len().max(1) as f64;
+
+    let mut table = Table::new(
+        &format!(
+            "Table II — llama3.1-8b-q4_K_M on GeoEngine-style queries ({n} queries, \
+             mean reduced set = {:.1} tools)",
+            sum_tools as f64 / n as f64
+        ),
+        &["context / tools", "success", "exec time", "power", "paper"],
+    );
+    let paper = ["✗, 30 s, 27 W", "✓, 20 s, 26 W", "✓, 17 s, 22 W"];
+    for (i, (label, times, powers, successes)) in rows.iter().enumerate() {
+        table.row(&[
+            label.clone(),
+            pct(rate(successes)),
+            secs(avg(times)),
+            watts(avg(powers)),
+            paper[i].to_owned(),
+        ]);
+    }
+    table.print();
+
+    let t = [avg(&rows[0].1), avg(&rows[1].1), avg(&rows[2].1)];
+    let p = [avg(&rows[0].2), avg(&rows[1].2), avg(&rows[2].2)];
+    println!(
+        "max drop: time {:.0}% (paper 43%), power {:.0}% (paper 19%)",
+        100.0 * (1.0 - t[2] / t[0]),
+        100.0 * (1.0 - p[2] / p[0]),
+    );
+    // Keep the unused-import lint honest: the controller needs the trait.
+    let _ = levels.tool_index().len();
+}

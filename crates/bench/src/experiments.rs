@@ -1,0 +1,151 @@
+//! Grid runner shared by the figure harnesses.
+
+use lim_core::{evaluate, normalize_against, BatchMetrics, Pipeline, Policy, SearchLevels};
+use lim_llm::{ModelProfile, Quant};
+use lim_workloads::Workload;
+
+/// One (model, quant, policy) cell of a figure grid.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Model name.
+    pub model: String,
+    /// Quantization variant.
+    pub quant: Quant,
+    /// Policy label (see [`Policy::label`]).
+    pub policy: String,
+    /// The four paper metrics plus diagnostics.
+    pub metrics: BatchMetrics,
+    /// Execution time normalized to the default policy of the same
+    /// (model, quant).
+    pub norm_time: f64,
+    /// Power normalized likewise.
+    pub norm_power: f64,
+}
+
+/// Sweeps `models × quants × policies` over a workload.
+///
+/// The `Policy::Default` cell of each (model, quant) is always computed
+/// (it is the normalization baseline) and included in the output whether
+/// or not it appears in `policies`.
+pub fn run_grid(
+    workload: &Workload,
+    levels: &SearchLevels,
+    models: &[ModelProfile],
+    quants: &[Quant],
+    policies: &[Policy],
+    seed: u64,
+) -> Vec<GridCell> {
+    let mut out = Vec::new();
+    for model in models {
+        for &quant in quants {
+            let pipeline = Pipeline::new(workload, levels, model, quant).with_seed(seed);
+            let baseline = evaluate(&pipeline, Policy::Default);
+            out.push(GridCell {
+                model: model.name.to_owned(),
+                quant,
+                policy: Policy::Default.label(),
+                metrics: baseline,
+                norm_time: 1.0,
+                norm_power: 1.0,
+            });
+            for &policy in policies {
+                if policy == Policy::Default {
+                    continue;
+                }
+                let metrics = evaluate(&pipeline, policy);
+                let (norm_time, norm_power) = normalize_against(&baseline, &metrics);
+                out.push(GridCell {
+                    model: model.name.to_owned(),
+                    quant,
+                    policy: policy.label(),
+                    metrics,
+                    norm_time,
+                    norm_power,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mean of a metric over the quant variants of one (model, policy) pair —
+/// the level at which §IV quotes its per-model numbers.
+pub fn quant_mean<F: Fn(&GridCell) -> f64>(
+    cells: &[GridCell],
+    model: &str,
+    policy: &str,
+    metric: F,
+) -> f64 {
+    let selected: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.model == model && c.policy == policy)
+        .map(metric)
+        .collect();
+    if selected.is_empty() {
+        0.0
+    } else {
+        selected.iter().sum::<f64>() / selected.len() as f64
+    }
+}
+
+/// Resolves model profiles by name.
+///
+/// # Panics
+///
+/// Panics if a name is unknown — harness configuration bug.
+pub fn model_set(names: &[&str]) -> Vec<ModelProfile> {
+    names
+        .iter()
+        .map(|n| ModelProfile::by_name(n).unwrap_or_else(|| panic!("unknown model {n}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_workloads::bfcl;
+
+    #[test]
+    fn grid_includes_baseline_and_normalizes_it_to_one() {
+        let w = bfcl(5, 12);
+        let levels = SearchLevels::build(&w);
+        let models = model_set(&["llama3.1-8b"]);
+        let cells = run_grid(
+            &w,
+            &levels,
+            &models,
+            &[Quant::Q4KM],
+            &[Policy::less_is_more(3)],
+            1,
+        );
+        assert_eq!(cells.len(), 2);
+        let default = cells.iter().find(|c| c.policy == "default").unwrap();
+        assert_eq!(default.norm_time, 1.0);
+        let lim = cells.iter().find(|c| c.policy == "lim-k3").unwrap();
+        assert!(lim.norm_time > 0.0 && lim.norm_time < 1.0);
+    }
+
+    #[test]
+    fn quant_mean_averages_over_variants() {
+        let w = bfcl(6, 8);
+        let levels = SearchLevels::build(&w);
+        let models = model_set(&["qwen2-1.5b"]);
+        let cells = run_grid(
+            &w,
+            &levels,
+            &models,
+            &[Quant::Q4_0, Quant::Q8_0],
+            &[],
+            1,
+        );
+        let mean = quant_mean(&cells, "qwen2-1.5b", "default", |c| c.metrics.success_rate);
+        let manual: f64 = cells.iter().map(|c| c.metrics.success_rate).sum::<f64>() / 2.0;
+        assert!((mean - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn model_set_rejects_unknown_names() {
+        let _ = model_set(&["gpt-5"]);
+    }
+}

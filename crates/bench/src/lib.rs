@@ -1,0 +1,34 @@
+//! Shared infrastructure for the benchmark harnesses.
+//!
+//! Every table and figure of the paper has a `[[bench]]` target (with
+//! `harness = false`) that prints the regenerated rows next to the paper's
+//! reported values. This crate holds the pieces those targets share: an
+//! ASCII table renderer ([`report`]) and the grid runner that sweeps
+//! (model × quant × policy) cells ([`experiments`]).
+
+pub mod experiments;
+pub mod report;
+
+/// Returns the evaluation batch size: the paper's 230, unless the
+/// `LIM_QUERIES` environment variable overrides it (used by smoke tests
+/// and CI to keep harness runtimes short).
+pub fn query_budget() -> usize {
+    std::env::var("LIM_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(230)
+}
+
+/// Master seed for all harnesses; change to re-draw every stochastic
+/// outcome in the reproduction.
+pub const HARNESS_SEED: u64 = 20_250_331;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_budget_matches_paper() {
+        if std::env::var("LIM_QUERIES").is_err() {
+            assert_eq!(super::query_budget(), 230);
+        }
+    }
+}

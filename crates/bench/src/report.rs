@@ -1,0 +1,130 @@
+//! Plain-text table rendering for harness output.
+
+/// A fixed-width ASCII table with a title and header row.
+///
+/// # Examples
+///
+/// ```
+/// use lim_bench::report::Table;
+/// let mut t = Table::new("Demo", &["model", "success"]);
+/// t.row(&["llama3.1-8b", "0.44"]);
+/// let text = t.render();
+/// assert!(text.contains("llama3.1-8b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are right-padded with empty cells.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|c| c.as_ref().to_owned()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |sep: char| -> String {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&sep.to_string().repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!(" {cell:<w$} |", w = w));
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&line('-'));
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&line('='));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&line('-'));
+        out.push('\n');
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a probability as a percentage with two decimals (`"63.04%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a normalized ratio (`"0.28×"`).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats seconds (`"17.3 s"`).
+pub fn secs(x: f64) -> String {
+    format!("{x:.1} s")
+}
+
+/// Formats watts (`"22.4 W"`).
+pub fn watts(x: f64) -> String {
+    format!("{x:.1} W")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_cells_and_alignment() {
+        let mut t = Table::new("T", &["a", "longheader"]);
+        t.row(&["x", "1"]);
+        t.row(&["longercell"]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("longheader"));
+        assert!(s.contains("longercell"));
+        // Missing cells padded.
+        assert_eq!(s.matches('|').count() % 3, 0);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.6304), "63.04%");
+        assert_eq!(ratio(0.28), "0.28x");
+        assert_eq!(secs(17.25), "17.2 s");
+        assert_eq!(watts(22.0), "22.0 W");
+    }
+}

@@ -1,0 +1,186 @@
+//! Merge history and cluster extraction.
+
+/// One merge step of the agglomeration.
+///
+/// Cluster labels follow the scipy convention: leaves are `0..n`, and the
+/// cluster created by merge step `m` is labelled `n + m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Label of the first merged cluster.
+    pub a: usize,
+    /// Label of the second merged cluster.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f32,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// Full agglomeration history over `n` leaves.
+///
+/// Supports cutting into a requested number of clusters ([`Dendrogram::cut`])
+/// or at a distance threshold ([`Dendrogram::cut_distance`]).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    pub(crate) fn new(n: usize, merges: Vec<Merge>) -> Self {
+        Self { n, merges }
+    }
+
+    /// Number of leaves (input points).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the dendrogram has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in execution order (ascending distance for
+    /// monotone linkages).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into exactly `k` clusters (clamped to `1..=n`).
+    ///
+    /// Returns a label in `0..k` per leaf. Labels are canonicalised by
+    /// first appearance so the result is deterministic.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        let k = k.clamp(1, self.n.max(1));
+        // Apply the first n-k merges; the remaining components are clusters.
+        self.labels_after(self.n.saturating_sub(k))
+    }
+
+    /// Cuts the tree at a linkage-distance threshold: merges with
+    /// `distance <= threshold` are applied.
+    pub fn cut_distance(&self, threshold: f32) -> Vec<usize> {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        self.labels_after(applied)
+    }
+
+    /// Number of clusters produced by [`Dendrogram::cut_distance`].
+    pub fn cluster_count_at(&self, threshold: f32) -> usize {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        self.n - applied
+    }
+
+    fn labels_after(&self, merge_count: usize) -> Vec<usize> {
+        // Union-find over leaves, replaying the first `merge_count` merges.
+        let total = self.n + merge_count;
+        let mut parent: Vec<usize> = (0..total).collect();
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        for (step, merge) in self.merges.iter().take(merge_count).enumerate() {
+            let new_label = self.n + step;
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = new_label;
+            parent[rb] = new_label;
+        }
+
+        // Canonicalise roots into dense labels by first appearance.
+        let mut canonical = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            let next = canonical.len();
+            let label = *canonical.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+
+    /// Groups leaf indices by cluster for a `k`-cluster cut.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lim_cluster::{agglomerative, Linkage};
+    /// let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+    /// let groups = agglomerative(&pts, Linkage::Average).groups(2);
+    /// assert_eq!(groups.len(), 2);
+    /// assert!(groups.iter().any(|g| g == &vec![0, 1]));
+    /// ```
+    pub fn groups(&self, k: usize) -> Vec<Vec<usize>> {
+        let labels = self.cut(k);
+        let cluster_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut groups = vec![Vec::new(); cluster_count];
+        for (leaf, label) in labels.iter().enumerate() {
+            groups[*label].push(leaf);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dendrogram {
+        // 4 leaves: merge (0,1) at d=1, (2,3) at d=1.5, then both at d=9.
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
+                Merge { a: 2, b: 3, distance: 1.5, size: 2 },
+                Merge { a: 4, b: 5, distance: 9.0, size: 4 },
+            ],
+        )
+    }
+
+    #[test]
+    fn cut_into_two() {
+        assert_eq!(toy().cut(2), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn cut_into_one_merges_everything() {
+        assert_eq!(toy().cut(1), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cut_into_n_keeps_singletons() {
+        assert_eq!(toy().cut(4), vec![0, 1, 2, 3]);
+        // k beyond n clamps.
+        assert_eq!(toy().cut(99), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_distance_thresholds() {
+        let d = toy();
+        assert_eq!(d.cut_distance(0.5), vec![0, 1, 2, 3]);
+        assert_eq!(d.cut_distance(1.2), vec![0, 0, 1, 2]);
+        assert_eq!(d.cut_distance(2.0), vec![0, 0, 1, 1]);
+        assert_eq!(d.cut_distance(10.0), vec![0, 0, 0, 0]);
+        assert_eq!(d.cluster_count_at(2.0), 2);
+    }
+
+    #[test]
+    fn groups_partition_all_leaves() {
+        let groups = toy().groups(2);
+        let mut all: Vec<usize> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+}

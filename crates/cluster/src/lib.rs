@@ -1,0 +1,84 @@
+//! Agglomerative clustering and ROUGE scoring — the scikit-learn substitute.
+//!
+//! Search Level 2 of the paper groups tools by *co-usage*: augmented queries
+//! are embedded and fed to "Agglomerative Clustering, i.e., a recursively
+//! clustering algorithm which starts by treating each query as its own
+//! cluster and then progressively merges the most similar clusters"
+//! (§III-A). This crate supplies:
+//!
+//! * [`agglomerative`] — the bottom-up merge loop with four linkage
+//!   criteria ([`Linkage`]), producing a [`Dendrogram`] that can be cut
+//!   into any number of clusters;
+//! * [`silhouette_score`] — cluster-quality measurement used by the level
+//!   builder to pick a cut;
+//! * [`rouge`] — ROUGE-1/2/L, the similarity score the paper uses (after
+//!   ToolQA) to vet GPT-generated augmentation queries.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_cluster::{agglomerative, Linkage};
+//!
+//! let points = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0],   // blob A
+//!     vec![5.0, 5.0], vec![5.1, 5.0],   // blob B
+//! ];
+//! let dendrogram = agglomerative(&points, Linkage::Average);
+//! let labels = dendrogram.cut(2);
+//! assert_eq!(labels[0], labels[1]);
+//! assert_eq!(labels[2], labels[3]);
+//! assert_ne!(labels[0], labels[2]);
+//! ```
+
+mod dendrogram;
+mod linkage;
+pub mod rouge;
+mod silhouette;
+
+pub use dendrogram::{Dendrogram, Merge};
+pub use linkage::Linkage;
+pub use silhouette::silhouette_score;
+
+use lim_embed::similarity::euclidean;
+
+/// Runs bottom-up agglomerative clustering over `points` with Euclidean
+/// distance.
+///
+/// Every point starts as a singleton cluster; each step merges the pair
+/// with the smallest linkage distance until one cluster remains. The full
+/// merge history is returned as a [`Dendrogram`].
+///
+/// # Panics
+///
+/// Panics if `points` is empty or rows have uneven lengths.
+pub fn agglomerative(points: &[Vec<f32>], linkage: Linkage) -> Dendrogram {
+    agglomerative_with(points, linkage, euclidean)
+}
+
+/// Like [`agglomerative`] but with a caller-supplied distance function
+/// (e.g. cosine distance for unit-norm embeddings).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or rows have uneven lengths.
+pub fn agglomerative_with<F>(points: &[Vec<f32>], linkage: Linkage, distance: F) -> Dendrogram
+where
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    assert!(!points.is_empty(), "clustering requires at least one point");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share one dimensionality"
+    );
+    linkage::run(points, linkage, distance)
+}
+
+/// Cosine *distance* (`1 - cosine similarity`) for clustering unit-norm
+/// embeddings; pass to [`agglomerative_with`].
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - lim_embed::similarity::cosine(a, b)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,177 @@
+//! Linkage criteria and the Lance–Williams merge loop.
+
+use crate::dendrogram::{Dendrogram, Merge};
+
+/// How the distance between two clusters is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Minimum pairwise distance ("friends of friends"); chains easily.
+    Single,
+    /// Maximum pairwise distance; produces compact, even clusters.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA). scikit-learn's common
+    /// default for text embeddings and the behaviour the paper relies on.
+    #[default]
+    Average,
+    /// Ward's minimum-variance criterion (on squared distances).
+    Ward,
+}
+
+impl std::fmt::Display for Linkage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+            Linkage::Ward => "ward",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Runs the merge loop. Internal; called through [`crate::agglomerative_with`].
+pub(crate) fn run<F>(points: &[Vec<f32>], linkage: Linkage, distance: F) -> Dendrogram
+where
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let n = points.len();
+
+    // Pairwise distance matrix. Ward operates on squared distances
+    // internally and reports the square root at merge time.
+    let mut dist = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance(&points[i], &points[j]);
+            let d = if linkage == Linkage::Ward { d * d } else { d };
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // active[i]: cluster currently labelled i is alive. Labels 0..n are
+    // leaves; each merge m creates label n+m.
+    let mut active: Vec<Option<usize>> = (0..n).map(Some).collect(); // maps slot -> cluster label
+    let mut sizes = vec![1usize; n];
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair of slots.
+        let mut best: Option<(usize, usize, f32)> = None;
+        for i in 0..n {
+            if active[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if active[j].is_none() {
+                    continue;
+                }
+                let d = dist[i][j];
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = best.expect("at least two active clusters remain");
+
+        let (ni, nj) = (sizes[i] as f32, sizes[j] as f32);
+        // Update distances from the merged cluster (stored in slot i) to
+        // every other active slot k via the Lance–Williams recurrence.
+        for k in 0..n {
+            if k == i || k == j || active[k].is_none() {
+                continue;
+            }
+            let (dik, djk) = (dist[i][k], dist[j][k]);
+            let updated = match linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
+                Linkage::Ward => {
+                    let nk = sizes[k] as f32;
+                    let total = ni + nj + nk;
+                    ((ni + nk) * dik + (nj + nk) * djk - nk * d) / total
+                }
+            };
+            dist[i][k] = updated;
+            dist[k][i] = updated;
+        }
+
+        let label_a = active[i].expect("slot i active");
+        let label_b = active[j].expect("slot j active");
+        let merged_size = sizes[i] + sizes[j];
+        merges.push(Merge {
+            a: label_a,
+            b: label_b,
+            distance: if linkage == Linkage::Ward { d.max(0.0).sqrt() } else { d },
+            size: merged_size,
+        });
+
+        // Slot i now holds the merged cluster with the new label.
+        active[i] = Some(n + step);
+        active[j] = None;
+        sizes[i] = merged_size;
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_embed::similarity::euclidean;
+
+    fn line() -> Vec<Vec<f32>> {
+        // Points at x = 0, 1, 10: the first merge must join 0 and 1.
+        vec![vec![0.0], vec![1.0], vec![10.0]]
+    }
+
+    #[test]
+    fn first_merge_joins_nearest_pair() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d = run(&line(), linkage, euclidean);
+            let first = &d.merges()[0];
+            let mut pair = [first.a, first.b];
+            pair.sort_unstable();
+            assert_eq!(pair, [0, 1], "linkage {linkage}");
+        }
+    }
+
+    #[test]
+    fn merge_count_is_n_minus_one() {
+        let d = run(&line(), Linkage::Average, euclidean);
+        assert_eq!(d.merges().len(), 2);
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain 0-1-2-3 spaced by 1.0, plus an outlier; single linkage
+        // chains the whole line before absorbing the outlier.
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]];
+        let single = run(&pts, Linkage::Single, euclidean);
+        // Final merge distance for single linkage is the gap to the outlier.
+        let last = single.merges().last().unwrap();
+        assert!((last.distance - 97.0).abs() < 1e-3);
+        let complete = run(&pts, Linkage::Complete, euclidean);
+        let last_c = complete.merges().last().unwrap();
+        assert!(last_c.distance >= 97.0);
+    }
+
+    #[test]
+    fn ward_distance_is_monotone_on_blobs() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![8.0, 8.0],
+            vec![8.2, 8.0],
+        ];
+        let d = run(&pts, Linkage::Ward, euclidean);
+        let dists: Vec<f32> = d.merges().iter().map(|m| m.distance).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-5));
+    }
+
+    #[test]
+    fn singleton_input_yields_empty_dendrogram() {
+        let d = run(&[vec![1.0]], Linkage::Average, euclidean);
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(1), vec![0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! ROUGE similarity scores.
+//!
+//! The paper (after ToolQA) measures the quality of GPT-generated
+//! augmentation queries "based on a similarity score (i.e., ROUGE score)"
+//! to ensure diverse tool combinations without redundancy. The augmenter in
+//! `lim-workloads` uses [`rouge_l`] as that gate: variants too close to the
+//! source (near-duplicates) or too far (off-topic) are rejected.
+
+use std::collections::HashMap;
+
+/// Precision / recall / F1 triple returned by the ROUGE variants.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RougeScore {
+    /// Fraction of candidate n-grams present in the reference.
+    pub precision: f32,
+    /// Fraction of reference n-grams present in the candidate.
+    pub recall: f32,
+    /// Harmonic mean of precision and recall.
+    pub f1: f32,
+}
+
+impl RougeScore {
+    fn from_counts(overlap: usize, candidate_total: usize, reference_total: usize) -> Self {
+        let precision = if candidate_total == 0 {
+            0.0
+        } else {
+            overlap as f32 / candidate_total as f32
+        };
+        let recall = if reference_total == 0 {
+            0.0
+        } else {
+            overlap as f32 / reference_total as f32
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// ROUGE tokenization: lowercase alphanumeric words, no stemming or
+/// stopword removal (matching the reference implementation's defaults).
+fn words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// ROUGE-N: n-gram overlap with clipped counts.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use lim_cluster::rouge::rouge_n;
+/// let s = rouge_n("the cat sat", "the cat ran", 1);
+/// assert!((s.recall - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn rouge_n(candidate: &str, reference: &str, n: usize) -> RougeScore {
+    assert!(n > 0, "n must be positive");
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.len() < n || refr.len() < n {
+        return RougeScore::default();
+    }
+    let mut ref_counts: HashMap<&[String], usize> = HashMap::new();
+    for gram in refr.windows(n) {
+        *ref_counts.entry(gram).or_insert(0) += 1;
+    }
+    let mut overlap = 0usize;
+    for gram in cand.windows(n) {
+        if let Some(c) = ref_counts.get_mut(gram) {
+            if *c > 0 {
+                *c -= 1;
+                overlap += 1;
+            }
+        }
+    }
+    RougeScore::from_counts(overlap, cand.len() - n + 1, refr.len() - n + 1)
+}
+
+/// ROUGE-L: longest-common-subsequence based score.
+///
+/// # Examples
+///
+/// ```
+/// use lim_cluster::rouge::rouge_l;
+/// let same = rouge_l("plot the captions", "plot the captions");
+/// assert!((same.f1 - 1.0).abs() < 1e-6);
+/// ```
+pub fn rouge_l(candidate: &str, reference: &str) -> RougeScore {
+    let cand = words(candidate);
+    let refr = words(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return RougeScore::default();
+    }
+    let lcs = lcs_len(&cand, &refr);
+    RougeScore::from_counts(lcs, cand.len(), refr.len())
+}
+
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        for f in [rouge_l("a b c", "a b c").f1, rouge_n("a b c", "a b c", 1).f1, rouge_n("a b c", "a b c", 2).f1] {
+            assert!((f - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        assert_eq!(rouge_l("alpha beta", "gamma delta").f1, 0.0);
+        assert_eq!(rouge_n("alpha beta", "gamma delta", 1).f1, 0.0);
+    }
+
+    #[test]
+    fn rouge1_counts_are_clipped() {
+        // "the the the" vs "the": only one overlapping unigram allowed.
+        let s = rouge_n("the the the", "the", 1);
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-6);
+        assert!((s.recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rouge2_needs_adjacent_matches() {
+        let s = rouge_n("a b c d", "a c b d", 2);
+        // Bigrams of candidate: ab, bc, cd; of reference: ac, cb, bd → 0.
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn rouge_l_respects_order() {
+        let in_order = rouge_l("plot captions on map", "plot the captions over a map");
+        let shuffled = rouge_l("map on captions plot", "plot the captions over a map");
+        assert!(in_order.f1 > shuffled.f1);
+    }
+
+    #[test]
+    fn empty_and_short_inputs_are_zero() {
+        assert_eq!(rouge_l("", "a b").f1, 0.0);
+        assert_eq!(rouge_l("a b", "").f1, 0.0);
+        assert_eq!(rouge_n("a", "a b c", 2).f1, 0.0);
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        let s = rouge_l("Plot, the Captions!", "plot the captions");
+        assert!((s.f1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn permuted_task_scores_in_middle_band() {
+        // The augmenter's acceptance band: related-but-not-identical.
+        let original = "open the translated document in a browser";
+        let variant = "print the translated document on paper";
+        let s = rouge_l(variant, original);
+        assert!(s.f1 > 0.3 && s.f1 < 0.9, "f1 = {}", s.f1);
+    }
+}

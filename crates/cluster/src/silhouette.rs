@@ -1,0 +1,112 @@
+//! Silhouette cluster-quality score.
+
+/// Mean silhouette coefficient of a labelling, in `[-1, 1]`.
+///
+/// For each point: `s = (b - a) / max(a, b)` where `a` is the mean distance
+/// to its own cluster and `b` the smallest mean distance to another
+/// cluster. Points in singleton clusters contribute 0, as in scikit-learn.
+///
+/// The Search-Level-2 builder uses this to choose how many tool clusters to
+/// cut from the dendrogram.
+///
+/// # Panics
+///
+/// Panics if `points` and `labels` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use lim_cluster::silhouette_score;
+/// use lim_embed::similarity::euclidean;
+///
+/// let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let good = silhouette_score(&pts, &[0, 0, 1, 1], euclidean);
+/// let bad = silhouette_score(&pts, &[0, 1, 0, 1], euclidean);
+/// assert!(good > 0.9);
+/// assert!(bad < 0.0);
+/// ```
+pub fn silhouette_score<F>(points: &[Vec<f32>], labels: &[usize], distance: F) -> f32
+where
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let cluster_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if cluster_count < 2 {
+        return 0.0;
+    }
+
+    let mut sizes = vec![0usize; cluster_count];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+
+    let mut total = 0.0f32;
+    for i in 0..n {
+        if sizes[labels[i]] <= 1 {
+            continue; // singleton: s = 0
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f32; cluster_count];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += distance(&points[i], &points[j]);
+        }
+        let own = labels[i];
+        let a = sums[own] / (sizes[own] - 1) as f32;
+        let b = (0..cluster_count)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_embed::similarity::euclidean;
+
+    #[test]
+    fn perfect_separation_scores_high() {
+        let pts = vec![vec![0.0, 0.0], vec![0.0, 0.1], vec![9.0, 9.0], vec![9.0, 9.1]];
+        let s = silhouette_score(&pts, &[0, 0, 1, 1], euclidean);
+        assert!(s > 0.95);
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette_score(&pts, &[0, 0], euclidean), 0.0);
+    }
+
+    #[test]
+    fn empty_input_scores_zero() {
+        assert_eq!(silhouette_score(&[], &[], euclidean), 0.0);
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let pts = vec![vec![0.0], vec![0.1], vec![50.0]];
+        let with_singleton = silhouette_score(&pts, &[0, 0, 1], euclidean);
+        // Two tight points + one singleton: still strongly positive.
+        assert!(with_singleton > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = silhouette_score(&[vec![0.0]], &[0, 1], euclidean);
+    }
+}

@@ -1,0 +1,117 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{agglomerative, agglomerative_with, cosine_distance, silhouette_score, Linkage};
+use lim_embed::similarity::euclidean;
+use proptest::prelude::*;
+
+#[test]
+fn clusters_tool_usage_embeddings_by_cosine() {
+    // Miniature of the Level-2 construction: embeddings of augmented
+    // queries mentioning tool pairs should cluster by topic under cosine
+    // distance.
+    let embedder = lim_embed::Embedder::new();
+    let queries = [
+        "translate the report and open the document viewer",
+        "translate this text then show the document",
+        "plot the satellite image and detect objects in the scene",
+        "detect objects on the satellite map and plot them",
+    ];
+    let points: Vec<Vec<f32>> = queries
+        .iter()
+        .map(|q| embedder.embed(q).as_slice().to_vec())
+        .collect();
+    let labels = agglomerative_with(&points, Linkage::Average, cosine_distance).cut(2);
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[2], labels[3]);
+    assert_ne!(labels[0], labels[2]);
+}
+
+#[test]
+fn silhouette_prefers_the_natural_cut() {
+    let pts = vec![
+        vec![0.0, 0.0],
+        vec![0.3, 0.1],
+        vec![0.1, 0.2],
+        vec![7.0, 7.0],
+        vec![7.2, 7.1],
+        vec![7.1, 6.9],
+    ];
+    let dendro = agglomerative(&pts, Linkage::Ward);
+    let s2 = silhouette_score(&pts, &dendro.cut(2), euclidean);
+    let s3 = silhouette_score(&pts, &dendro.cut(3), euclidean);
+    let s5 = silhouette_score(&pts, &dendro.cut(5), euclidean);
+    assert!(s2 > s3, "s2={s2} s3={s3}");
+    assert!(s2 > s5, "s2={s2} s5={s5}");
+}
+
+proptest! {
+    /// A k-cut always yields exactly min(k, n) clusters labelled densely.
+    #[test]
+    fn cut_produces_dense_labels(
+        pts in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 2), 1..12),
+        k in 1usize..8,
+    ) {
+        let labels = agglomerative(&pts, Linkage::Average).cut(k);
+        prop_assert_eq!(labels.len(), pts.len());
+        let expected = k.min(pts.len());
+        let max = labels.iter().copied().max().unwrap();
+        prop_assert_eq!(max + 1, expected);
+        // Dense: every label below max occurs.
+        for l in 0..=max {
+            prop_assert!(labels.contains(&l));
+        }
+    }
+
+    /// Merge distances are non-decreasing for the monotone linkages.
+    #[test]
+    fn merge_distances_monotone(
+        pts in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 2..12),
+    ) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = agglomerative(&pts, linkage);
+            let dists: Vec<f32> = d.merges().iter().map(|m| m.distance).collect();
+            prop_assert!(
+                dists.windows(2).all(|w| w[0] <= w[1] + 1e-4),
+                "non-monotone for {}: {:?}", linkage, dists
+            );
+        }
+    }
+
+    /// Cutting at threshold 0 keeps all distinct points separate; cutting at
+    /// +inf merges everything.
+    #[test]
+    fn threshold_extremes(
+        pts in prop::collection::vec(prop::collection::vec(0.0f32..10.0, 2), 2..10),
+    ) {
+        let d = agglomerative(&pts, Linkage::Complete);
+        let all = d.cut_distance(f32::INFINITY);
+        prop_assert!(all.iter().all(|l| *l == 0));
+    }
+
+    /// ROUGE-L f1 is symmetric in precision/recall exchange.
+    #[test]
+    fn rouge_l_swap_swaps_precision_recall(
+        a in "[a-z]{1,6}( [a-z]{1,6}){0,8}",
+        b in "[a-z]{1,6}( [a-z]{1,6}){0,8}",
+    ) {
+        let ab = crate::rouge::rouge_l(&a, &b);
+        let ba = crate::rouge::rouge_l(&b, &a);
+        prop_assert!((ab.precision - ba.recall).abs() < 1e-6);
+        prop_assert!((ab.recall - ba.precision).abs() < 1e-6);
+        prop_assert!((ab.f1 - ba.f1).abs() < 1e-6);
+    }
+
+    /// ROUGE scores live in [0, 1].
+    #[test]
+    fn rouge_bounded(
+        a in "[a-z ]{0,40}",
+        b in "[a-z ]{0,40}",
+        n in 1usize..4,
+    ) {
+        for s in [crate::rouge::rouge_n(&a, &b, n), crate::rouge::rouge_l(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline construction of the three Search Levels (§III-A).
+
+use lim_cluster::{agglomerative_with, cosine_distance, silhouette_score, Linkage};
+use lim_embed::{Embedder, Embedding, IdfModel};
+use lim_vecstore::{FlatIndex, Metric, VectorIndex};
+use lim_workloads::augment::{augment, AugmentConfig};
+use lim_workloads::Workload;
+
+/// One Level-2 tool cluster: a centroid in the augmented latent space `Ã`
+/// plus the indices of the tools its member queries co-use.
+#[derive(Debug, Clone)]
+pub struct ToolCluster {
+    /// Cluster id (the vector-store id of its centroid).
+    pub id: usize,
+    /// Registry indices of the cluster's tools.
+    pub tool_indices: Vec<usize>,
+    /// Centroid embedding of the member queries.
+    pub centroid: Embedding,
+}
+
+/// Tunables for the offline build.
+#[derive(Debug, Clone)]
+pub struct LevelsConfig {
+    /// Augmentation settings (GPT-4-substitute; paper samples 10 queries
+    /// per category).
+    pub augment: AugmentConfig,
+    /// Candidate cluster counts evaluated by silhouette score.
+    pub min_clusters: usize,
+    /// Upper bound of the candidate range.
+    pub max_clusters: usize,
+    /// Linkage criterion for the agglomerative pass.
+    pub linkage: Linkage,
+}
+
+impl Default for LevelsConfig {
+    fn default() -> Self {
+        Self {
+            augment: AugmentConfig::default(),
+            min_clusters: 4,
+            max_clusters: 24,
+            linkage: Linkage::Average,
+        }
+    }
+}
+
+/// The offline artifact consumed by the online controller: both latent
+/// spaces plus the embedder that built them (the same encoder must embed
+/// the recommender output at runtime — §III-B).
+#[derive(Debug, Clone)]
+pub struct SearchLevels {
+    embedder: Embedder,
+    tool_index: FlatIndex,
+    cluster_index: FlatIndex,
+    clusters: Vec<ToolCluster>,
+    tool_count: usize,
+}
+
+impl SearchLevels {
+    /// Builds all levels for a workload with default settings.
+    pub fn build(workload: &Workload) -> Self {
+        Self::build_with(workload, &LevelsConfig::default())
+    }
+
+    /// Builds all levels with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no tools (no meaningful levels exist).
+    pub fn build_with(workload: &Workload, config: &LevelsConfig) -> Self {
+        assert!(!workload.registry.is_empty(), "workload has no tools");
+
+        // One IDF model over the tool corpus; shared by both levels and by
+        // the runtime embedding of recommendations.
+        let corpus: Vec<String> = workload
+            .registry
+            .iter()
+            .map(|t| t.embedding_text())
+            .collect();
+        let embedder = Embedder::builder().idf(IdfModel::fit(corpus.iter())).build();
+
+        // ---- Level 1: individual tools.
+        let mut tool_index = FlatIndex::new(embedder.dim(), Metric::Cosine);
+        for (i, text) in corpus.iter().enumerate() {
+            let vector = embedder.embed(text);
+            tool_index
+                .add(i as u64, vector.as_slice())
+                .expect("registry indices are unique");
+        }
+
+        // ---- Level 2: tool clusters from augmented queries.
+        let augmented = augment(workload, &config.augment);
+        let (clusters, cluster_index) =
+            build_clusters(workload, &embedder, &augmented, config);
+
+        Self {
+            embedder,
+            tool_index,
+            cluster_index,
+            clusters,
+            tool_count: workload.registry.len(),
+        }
+    }
+
+    /// Reassembles levels from previously persisted parts (see
+    /// [`crate::persist`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index dimensions disagree with the embedder.
+    pub fn from_parts(
+        embedder: Embedder,
+        tool_index: FlatIndex,
+        cluster_index: FlatIndex,
+        clusters: Vec<ToolCluster>,
+        tool_count: usize,
+    ) -> Self {
+        assert_eq!(embedder.dim(), tool_index.dim(), "tool index dimension mismatch");
+        assert_eq!(embedder.dim(), cluster_index.dim(), "cluster index dimension mismatch");
+        Self {
+            embedder,
+            tool_index,
+            cluster_index,
+            clusters,
+            tool_count,
+        }
+    }
+
+    /// The shared sentence encoder.
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// Level-1 latent space `T̃` (ids = registry indices).
+    pub fn tool_index(&self) -> &FlatIndex {
+        &self.tool_index
+    }
+
+    /// Level-2 centroid index (ids = cluster ids).
+    pub fn cluster_index(&self) -> &FlatIndex {
+        &self.cluster_index
+    }
+
+    /// The Level-2 clusters.
+    pub fn clusters(&self) -> &[ToolCluster] {
+        &self.clusters
+    }
+
+    /// Number of tools in the catalog (Level 3's size).
+    pub fn tool_count(&self) -> usize {
+        self.tool_count
+    }
+
+    /// All tool indices — Search Level 3.
+    pub fn full_level(&self) -> Vec<usize> {
+        (0..self.tool_count).collect()
+    }
+
+    /// Builds the *lexical* strawman clustering the paper dismisses in
+    /// §III-A: clusters of tools grouped by the similarity of their own
+    /// descriptions, with no query augmentation.
+    ///
+    /// "A clustering algorithm based on tool (text) descriptions would
+    /// produce groups that poorly capture tool-usage patterns" — e.g. a
+    /// translate-then-display workflow needs document *and* UI tools,
+    /// which lexical clustering separates. This method exists so the
+    /// claim can be measured (see the `ablation_clustering` bench):
+    /// compare gold-chain coverage of these clusters against
+    /// [`SearchLevels::clusters`].
+    pub fn lexical_clusters(workload: &Workload, cluster_count: usize) -> Vec<ToolCluster> {
+        let corpus: Vec<String> = workload
+            .registry
+            .iter()
+            .map(|t| t.embedding_text())
+            .collect();
+        let embedder = Embedder::builder().idf(IdfModel::fit(corpus.iter())).build();
+        let points: Vec<Vec<f32>> = corpus
+            .iter()
+            .map(|t| embedder.embed(t).as_slice().to_vec())
+            .collect();
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let labels = agglomerative_with(&points, Linkage::Average, cosine_distance)
+            .cut(cluster_count.max(1));
+        let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+        (0..count)
+            .map(|id| {
+                let tool_indices: Vec<usize> = labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| **l == id)
+                    .map(|(i, _)| i)
+                    .collect();
+                let embeddings: Vec<Embedding> = tool_indices
+                    .iter()
+                    .map(|i| embedder.embed(&corpus[*i]))
+                    .collect();
+                let centroid =
+                    Embedding::mean(embeddings.iter()).expect("clusters are non-empty");
+                ToolCluster {
+                    id,
+                    tool_indices,
+                    centroid,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fraction of queries whose *entire* gold chain is contained in a single
+/// cluster — the property Level 2 needs so one cluster selection can carry
+/// a whole sequential workflow.
+pub fn chain_coverage(workload: &Workload, clusters: &[ToolCluster]) -> f64 {
+    if workload.queries.is_empty() {
+        return 0.0;
+    }
+    let covered = workload
+        .queries
+        .iter()
+        .filter(|q| {
+            let gold: Vec<usize> = q
+                .steps
+                .iter()
+                .filter_map(|s| workload.registry.index_of(&s.tool))
+                .collect();
+            clusters
+                .iter()
+                .any(|c| gold.iter().all(|g| c.tool_indices.contains(g)))
+        })
+        .count();
+    covered as f64 / workload.queries.len() as f64
+}
+
+fn build_clusters(
+    workload: &Workload,
+    embedder: &Embedder,
+    augmented: &[lim_workloads::augment::AugmentedQuery],
+    config: &LevelsConfig,
+) -> (Vec<ToolCluster>, FlatIndex) {
+    // Augmented pool = generated variants plus the training queries
+    // themselves (the paper augments the existing pool, not replaces it).
+    let mut texts: Vec<String> = Vec::new();
+    let mut tool_lists: Vec<Vec<usize>> = Vec::new();
+    for q in &workload.train_queries {
+        texts.push(q.text.clone());
+        tool_lists.push(resolve_tools(workload, q.steps.iter().map(|s| s.tool.as_str())));
+    }
+    for a in augmented {
+        texts.push(a.text.clone());
+        tool_lists.push(resolve_tools(workload, a.tools.iter().map(String::as_str)));
+    }
+
+    let mut cluster_index = FlatIndex::new(embedder.dim(), Metric::Cosine);
+    if texts.is_empty() {
+        return (Vec::new(), cluster_index);
+    }
+
+    let points: Vec<Vec<f32>> = texts
+        .iter()
+        .map(|t| embedder.embed(t).as_slice().to_vec())
+        .collect();
+    let embeddings: Vec<Embedding> = texts.iter().map(|t| embedder.embed(t)).collect();
+
+    let dendrogram = agglomerative_with(&points, config.linkage, cosine_distance);
+
+    // Silhouette-guided cut over the configured candidate range.
+    let lo = config.min_clusters.max(2).min(points.len());
+    let hi = config.max_clusters.max(lo).min(points.len());
+    let mut best = (lo, f32::NEG_INFINITY);
+    for k in lo..=hi {
+        let labels = dendrogram.cut(k);
+        let score = silhouette_score(&points, &labels, cosine_distance);
+        if score > best.1 {
+            best = (k, score);
+        }
+    }
+    let labels = dendrogram.cut(best.0);
+    let cluster_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+
+    let mut clusters = Vec::with_capacity(cluster_count);
+    for cluster_id in 0..cluster_count {
+        let members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == cluster_id)
+            .map(|(i, _)| i)
+            .collect();
+        let mut tools: Vec<usize> = members
+            .iter()
+            .flat_map(|m| tool_lists[*m].iter().copied())
+            .collect();
+        tools.sort_unstable();
+        tools.dedup();
+        let centroid = Embedding::mean(members.iter().map(|m| &embeddings[*m]))
+            .expect("clusters are non-empty");
+        cluster_index
+            .add(cluster_id as u64, centroid.as_slice())
+            .expect("cluster ids are unique");
+        clusters.push(ToolCluster {
+            id: cluster_id,
+            tool_indices: tools,
+            centroid,
+        });
+    }
+    (clusters, cluster_index)
+}
+
+fn resolve_tools<'a, I: IntoIterator<Item = &'a str>>(
+    workload: &Workload,
+    names: I,
+) -> Vec<usize> {
+    names
+        .into_iter()
+        .filter_map(|n| workload.registry.index_of(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_workloads::{bfcl, geoengine};
+
+    #[test]
+    fn level1_indexes_every_tool() {
+        let w = bfcl(1, 40);
+        let levels = SearchLevels::build(&w);
+        assert_eq!(levels.tool_index().len(), 51);
+        assert_eq!(levels.tool_count(), 51);
+        assert_eq!(levels.full_level().len(), 51);
+    }
+
+    #[test]
+    fn level2_clusters_are_nonempty_and_cover_tools() {
+        let w = geoengine(1, 40);
+        let levels = SearchLevels::build(&w);
+        assert!(!levels.clusters().is_empty());
+        for c in levels.clusters() {
+            assert!(!c.tool_indices.is_empty(), "cluster {} has no tools", c.id);
+            assert!(c.tool_indices.iter().all(|i| *i < 46));
+        }
+    }
+
+    #[test]
+    fn geo_clusters_capture_co_usage_not_lexical_similarity() {
+        // The paper's motivating example: tools co-used by a workflow
+        // (load → filter → caption → plot) must share a cluster even
+        // though their descriptions are lexically unrelated.
+        let w = geoengine(2, 60);
+        let levels = SearchLevels::build(&w);
+        let load = w.registry.index_of("load_fmow_scene").unwrap();
+        let plot = w.registry.index_of("plot_captions").unwrap();
+        let together = levels
+            .clusters()
+            .iter()
+            .any(|c| c.tool_indices.contains(&load) && c.tool_indices.contains(&plot));
+        assert!(together, "co-used tools not clustered together");
+    }
+
+    #[test]
+    fn level1_nearest_tool_matches_description_query() {
+        let w = bfcl(3, 40);
+        let levels = SearchLevels::build(&w);
+        let query = levels
+            .embedder()
+            .embed("a tool that fetches current weather conditions for a city");
+        let hits = levels.tool_index().search(query.as_slice(), 1);
+        let name = w.registry.get(hits[0].id as usize).unwrap().name();
+        assert_eq!(name, "current_weather");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let w = geoengine(4, 40);
+        let a = SearchLevels::build(&w);
+        let b = SearchLevels::build(&w);
+        assert_eq!(a.clusters().len(), b.clusters().len());
+        for (x, y) in a.clusters().iter().zip(b.clusters()) {
+            assert_eq!(x.tool_indices, y.tool_indices);
+        }
+    }
+
+    #[test]
+    fn co_usage_clusters_cover_chains_better_than_lexical() {
+        // The §III-A claim, measured: augmented-query clustering keeps
+        // whole workflows together; description clustering does not.
+        let w = geoengine(8, 60);
+        let levels = SearchLevels::build(&w);
+        let lexical = SearchLevels::lexical_clusters(&w, levels.clusters().len());
+        let co_usage = chain_coverage(&w, levels.clusters());
+        let lex = chain_coverage(&w, &lexical);
+        assert!(
+            co_usage > lex + 0.3,
+            "co-usage coverage {co_usage:.2} vs lexical {lex:.2}"
+        );
+        assert!(co_usage > 0.8, "co-usage coverage {co_usage:.2}");
+    }
+
+    #[test]
+    fn cluster_count_is_in_configured_range() {
+        let w = geoengine(5, 60);
+        let config = LevelsConfig {
+            min_clusters: 6,
+            max_clusters: 14,
+            ..LevelsConfig::default()
+        };
+        let levels = SearchLevels::build_with(&w, &config);
+        let n = levels.clusters().len();
+        assert!((6..=14).contains(&n), "cluster count {n}");
+    }
+}

@@ -1,0 +1,276 @@
+//! The paper's four evaluation metrics over query batches (§IV).
+
+use crate::controller::SearchLevel;
+use crate::pipeline::{Pipeline, Policy, QueryResult};
+
+/// Aggregated metrics for one (model, quant, policy) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMetrics {
+    /// Number of evaluated queries.
+    pub queries: usize,
+    /// Fraction of queries where every step chose the right tool *and*
+    /// used it properly (correct argument types) — the paper's
+    /// **Success Rate**.
+    pub success_rate: f64,
+    /// Fraction of queries where every step chose the right tool — the
+    /// paper's **Tool Accuracy**.
+    pub tool_accuracy: f64,
+    /// Mean wall-clock seconds per query.
+    pub avg_seconds: f64,
+    /// Time-weighted average power over the batch, watts.
+    pub avg_power_w: f64,
+    /// Mean number of tools offered to the agent.
+    pub avg_offered_tools: f64,
+    /// Fraction of queries where the runtime error fallback fired.
+    pub fallback_rate: f64,
+    /// Fraction of queries decided at Search Level 1.
+    pub level1_share: f64,
+    /// Fraction of queries decided at Search Level 2.
+    pub level2_share: f64,
+    /// Fraction of queries decided at Search Level 3 (incl. confidence
+    /// fallback; 1.0 for the default policy).
+    pub level3_share: f64,
+    /// Mean seconds spent in the recommender step.
+    pub avg_recommender_seconds: f64,
+}
+
+impl BatchMetrics {
+    /// Aggregates raw per-query results.
+    ///
+    /// Returns a zeroed record for an empty slice.
+    pub fn from_results(results: &[QueryResult]) -> Self {
+        let n = results.len();
+        if n == 0 {
+            return BatchMetrics {
+                queries: 0,
+                success_rate: 0.0,
+                tool_accuracy: 0.0,
+                avg_seconds: 0.0,
+                avg_power_w: 0.0,
+                avg_offered_tools: 0.0,
+                fallback_rate: 0.0,
+                level1_share: 0.0,
+                level2_share: 0.0,
+                level3_share: 0.0,
+                avg_recommender_seconds: 0.0,
+            };
+        }
+        let nf = n as f64;
+        let total_seconds: f64 = results.iter().map(|r| r.cost.seconds).sum();
+        let total_joules: f64 = results.iter().map(|r| r.cost.joules).sum();
+        let share = |level: SearchLevel| {
+            results.iter().filter(|r| r.level == Some(level)).count() as f64 / nf
+        };
+        BatchMetrics {
+            queries: n,
+            success_rate: results.iter().filter(|r| r.success).count() as f64 / nf,
+            tool_accuracy: results.iter().filter(|r| r.tool_correct).count() as f64 / nf,
+            avg_seconds: total_seconds / nf,
+            avg_power_w: if total_seconds > 0.0 {
+                total_joules / total_seconds
+            } else {
+                0.0
+            },
+            avg_offered_tools: results.iter().map(|r| r.offered_tools as f64).sum::<f64>() / nf,
+            fallback_rate: results.iter().filter(|r| r.fell_back).count() as f64 / nf,
+            level1_share: share(SearchLevel::Individual),
+            level2_share: share(SearchLevel::Cluster),
+            level3_share: results
+                .iter()
+                .filter(|r| r.level == Some(SearchLevel::Full) || r.level.is_none())
+                .count() as f64
+                / nf,
+            avg_recommender_seconds: results
+                .iter()
+                .map(|r| r.recommender_seconds)
+                .sum::<f64>()
+                / nf,
+        }
+    }
+}
+
+/// Runs the whole workload under `policy` and aggregates.
+pub fn evaluate(pipeline: &Pipeline<'_>, policy: Policy) -> BatchMetrics {
+    BatchMetrics::from_results(&pipeline.run_all(policy))
+}
+
+/// A mean with a 95% confidence half-width (normal approximation over
+/// per-seed repetitions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean over repetitions.
+    pub mean: f64,
+    /// 95% confidence half-width (`1.96 · σ/√n`; 0 for a single run).
+    pub half_width: f64,
+}
+
+impl MeanCi {
+    /// Computes mean and CI from samples. Empty input yields zeros.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self { mean: 0.0, half_width: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self { mean, half_width: 0.0 };
+        }
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+        Self {
+            mean,
+            half_width: 1.96 * (var / n as f64).sqrt(),
+        }
+    }
+
+    /// Whether another interval overlaps this one.
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        (self.mean - other.mean).abs() <= self.half_width + other.half_width
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.half_width)
+    }
+}
+
+/// The four paper metrics aggregated over repeated seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeatedMetrics {
+    /// Number of repetitions.
+    pub runs: usize,
+    /// Success rate across runs.
+    pub success_rate: MeanCi,
+    /// Tool accuracy across runs.
+    pub tool_accuracy: MeanCi,
+    /// Mean per-query seconds across runs.
+    pub avg_seconds: MeanCi,
+    /// Mean power across runs.
+    pub avg_power_w: MeanCi,
+}
+
+/// Evaluates `policy` once per seed and aggregates with confidence
+/// intervals — the statistically honest form of the figure numbers.
+pub fn evaluate_repeated(pipeline: &Pipeline<'_>, policy: Policy, seeds: &[u64]) -> RepeatedMetrics {
+    let batches: Vec<BatchMetrics> = seeds
+        .iter()
+        .map(|seed| evaluate(&pipeline.clone().with_seed(*seed), policy))
+        .collect();
+    let collect = |f: fn(&BatchMetrics) -> f64| {
+        MeanCi::from_samples(&batches.iter().map(f).collect::<Vec<f64>>())
+    };
+    RepeatedMetrics {
+        runs: seeds.len(),
+        success_rate: collect(|b| b.success_rate),
+        tool_accuracy: collect(|b| b.tool_accuracy),
+        avg_seconds: collect(|b| b.avg_seconds),
+        avg_power_w: collect(|b| b.avg_power_w),
+    }
+}
+
+/// Time and power of `metrics` normalized against a baseline (the paper's
+/// Normalized Execution Time and Normalized Power, baseline = default
+/// policy). Values below 1.0 mean the policy is cheaper.
+pub fn normalize_against(baseline: &BatchMetrics, metrics: &BatchMetrics) -> (f64, f64) {
+    let time = if baseline.avg_seconds > 0.0 {
+        metrics.avg_seconds / baseline.avg_seconds
+    } else {
+        0.0
+    };
+    let power = if baseline.avg_power_w > 0.0 {
+        metrics.avg_power_w / baseline.avg_power_w
+    } else {
+        0.0
+    };
+    (time, power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_device::QueryCost;
+
+    fn result(success: bool, tool: bool, seconds: f64, watts: f64) -> QueryResult {
+        QueryResult {
+            query_id: 0,
+            success,
+            tool_correct: tool,
+            cost: QueryCost {
+                seconds,
+                joules: watts * seconds,
+            },
+            recommender_seconds: 0.1,
+            level: Some(SearchLevel::Individual),
+            offered_tools: 3,
+            fell_back: false,
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_hand_computation() {
+        let rs = vec![
+            result(true, true, 2.0, 20.0),
+            result(false, true, 4.0, 30.0),
+            result(false, false, 6.0, 25.0),
+        ];
+        let m = BatchMetrics::from_results(&rs);
+        assert_eq!(m.queries, 3);
+        assert!((m.success_rate - 1.0 / 3.0).abs() < 1e-9);
+        assert!((m.tool_accuracy - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.avg_seconds - 4.0).abs() < 1e-9);
+        // (40 + 120 + 150) / 12 joules-per-second.
+        assert!((m.avg_power_w - 310.0 / 12.0).abs() < 1e-9);
+        assert!((m.level1_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_results_are_zeroed() {
+        let m = BatchMetrics::from_results(&[]);
+        assert_eq!(m.queries, 0);
+        assert_eq!(m.avg_power_w, 0.0);
+    }
+
+    #[test]
+    fn normalization_is_a_ratio() {
+        let base = BatchMetrics::from_results(&[result(true, true, 10.0, 30.0)]);
+        let fast = BatchMetrics::from_results(&[result(true, true, 3.0, 24.0)]);
+        let (t, p) = normalize_against(&base, &fast);
+        assert!((t - 0.3).abs() < 1e-9);
+        assert!((p - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ci_from_samples() {
+        let ci = MeanCi::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((ci.mean - 2.0).abs() < 1e-9);
+        // σ = 1, n = 3 → hw = 1.96/√3.
+        assert!((ci.half_width - 1.96 / 3f64.sqrt()).abs() < 1e-9);
+        assert_eq!(MeanCi::from_samples(&[]).mean, 0.0);
+        assert_eq!(MeanCi::from_samples(&[5.0]).half_width, 0.0);
+    }
+
+    #[test]
+    fn mean_ci_overlap() {
+        let a = MeanCi { mean: 1.0, half_width: 0.2 };
+        let b = MeanCi { mean: 1.3, half_width: 0.2 };
+        let c = MeanCi { mean: 2.0, half_width: 0.1 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.to_string(), "1.000 ± 0.200");
+    }
+
+    #[test]
+    fn evaluate_repeated_tightens_with_more_seeds() {
+        let w = lim_workloads::bfcl(31, 30);
+        let levels = crate::SearchLevels::build(&w);
+        let model = lim_llm::ModelProfile::by_name("qwen2-7b").expect("model exists");
+        let pipeline = Pipeline::new(&w, &levels, &model, lim_llm::Quant::Q4KM);
+        let few = evaluate_repeated(&pipeline, Policy::Default, &[1, 2]);
+        let many = evaluate_repeated(&pipeline, Policy::Default, &(1..=8).collect::<Vec<u64>>());
+        assert_eq!(few.runs, 2);
+        assert_eq!(many.runs, 8);
+        // More repetitions should not widen the interval (same generator).
+        assert!(many.success_rate.half_width <= few.success_rate.half_width + 0.05);
+        assert!(many.success_rate.mean > 0.0 && many.success_rate.mean < 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Persistence of the offline artifacts (§III-A: the search levels are
+//! built "offline and prior to any user interaction").
+//!
+//! A deployment builds [`SearchLevels`] once per tool catalog, serializes
+//! them with [`save_levels`], ships the JSON artifact to the edge device,
+//! and reloads it with [`load_levels`] at boot — no augmentation or
+//! clustering happens on-device.
+//!
+//! The format is plain JSON (via `lim-json`), versioned with a `format`
+//! tag so future layouts can evolve compatibly.
+
+use std::error::Error;
+use std::fmt;
+
+use lim_embed::{Embedder, Embedding, IdfModel};
+use lim_json::Value;
+use lim_vecstore::{FlatIndex, Metric};
+
+use crate::levels::{SearchLevels, ToolCluster};
+
+/// Format tag written into every artifact.
+pub const FORMAT: &str = "lessismore-levels/1";
+
+/// Error raised when an artifact cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadLevelsError {
+    /// What was wrong with the document.
+    pub message: String,
+}
+
+impl fmt::Display for LoadLevelsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot load search levels: {}", self.message)
+    }
+}
+
+impl Error for LoadLevelsError {}
+
+fn err(message: impl Into<String>) -> LoadLevelsError {
+    LoadLevelsError {
+        message: message.into(),
+    }
+}
+
+/// Serializes levels into a JSON document.
+pub fn save_levels(levels: &SearchLevels) -> Value {
+    let idf = levels.embedder().idf();
+    let idf_entries: Value = idf
+        .entries()
+        .map(|(term, df)| {
+            Value::array([Value::from(term), Value::from(df as i64)])
+        })
+        .collect();
+
+    Value::object([
+        ("format", Value::from(FORMAT)),
+        ("dim", Value::from(levels.embedder().dim())),
+        ("tool_count", Value::from(levels.tool_count())),
+        (
+            "idf",
+            Value::object([
+                ("doc_count", Value::from(idf.len())),
+                ("entries", idf_entries),
+            ]),
+        ),
+        ("tool_index", index_to_json(levels.tool_index())),
+        (
+            "clusters",
+            levels
+                .clusters()
+                .iter()
+                .map(|c| {
+                    Value::object([
+                        ("id", Value::from(c.id)),
+                        ("tools", c.tool_indices.iter().map(|t| Value::from(*t)).collect()),
+                        ("centroid", floats_to_json(c.centroid.as_slice())),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+/// Reconstructs levels from a document produced by [`save_levels`].
+///
+/// # Errors
+///
+/// Returns [`LoadLevelsError`] on any structural mismatch: wrong format
+/// tag, missing members, malformed vectors, or duplicate ids.
+pub fn load_levels(doc: &Value) -> Result<SearchLevels, LoadLevelsError> {
+    let format = doc
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("missing format tag"))?;
+    if format != FORMAT {
+        return Err(err(format!("unsupported format {format:?}")));
+    }
+    let dim = get_usize(doc, "dim")?;
+    let tool_count = get_usize(doc, "tool_count")?;
+
+    let idf_doc = doc.get("idf").ok_or_else(|| err("missing idf"))?;
+    let doc_count = get_usize(idf_doc, "doc_count")?;
+    let mut entries = Vec::new();
+    for e in idf_doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing idf.entries"))?
+    {
+        let term = e
+            .at(0)
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("idf entry missing term"))?;
+        let df = e
+            .at(1)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| err("idf entry missing df"))? as usize;
+        entries.push((term.to_owned(), df));
+    }
+    let embedder = Embedder::builder()
+        .dim(dim)
+        .idf(IdfModel::from_parts(doc_count, entries))
+        .build();
+
+    let tool_index = index_from_json(
+        doc.get("tool_index").ok_or_else(|| err("missing tool_index"))?,
+        dim,
+    )?;
+
+    let mut clusters = Vec::new();
+    let mut cluster_index = FlatIndex::new(dim, Metric::Cosine);
+    for c in doc
+        .get("clusters")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing clusters"))?
+    {
+        let id = get_usize(c, "id")?;
+        let tool_indices: Vec<usize> = c
+            .get("tools")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("cluster missing tools"))?
+            .iter()
+            .map(|v| v.as_i64().map(|x| x as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| err("cluster tools must be integers"))?;
+        let centroid_values = floats_from_json(
+            c.get("centroid").ok_or_else(|| err("cluster missing centroid"))?,
+        )?;
+        if centroid_values.len() != dim {
+            return Err(err("centroid dimension mismatch"));
+        }
+        let centroid = Embedding::new(centroid_values);
+        cluster_index
+            .add(id as u64, centroid.as_slice())
+            .map_err(|e| err(format!("cluster index: {e}")))?;
+        clusters.push(ToolCluster {
+            id,
+            tool_indices,
+            centroid,
+        });
+    }
+
+    Ok(SearchLevels::from_parts(
+        embedder,
+        tool_index,
+        cluster_index,
+        clusters,
+        tool_count,
+    ))
+}
+
+fn index_to_json(index: &FlatIndex) -> Value {
+    index
+        .iter()
+        .map(|(id, vector)| {
+            Value::object([
+                ("id", Value::from(id as i64)),
+                ("v", floats_to_json(vector)),
+            ])
+        })
+        .collect()
+}
+
+fn index_from_json(doc: &Value, dim: usize) -> Result<FlatIndex, LoadLevelsError> {
+    let mut index = FlatIndex::new(dim, Metric::Cosine);
+    for entry in doc.as_array().ok_or_else(|| err("index must be an array"))? {
+        let id = entry
+            .get("id")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| err("index entry missing id"))? as u64;
+        let vector = floats_from_json(entry.get("v").ok_or_else(|| err("index entry missing v"))?)?;
+        if vector.len() != dim {
+            return Err(err("index vector dimension mismatch"));
+        }
+        index
+            .add(id, &vector)
+            .map_err(|e| err(format!("index: {e}")))?;
+    }
+    Ok(index)
+}
+
+fn floats_to_json(values: &[f32]) -> Value {
+    values.iter().map(|v| Value::from(f64::from(*v))).collect()
+}
+
+fn floats_from_json(doc: &Value) -> Result<Vec<f32>, LoadLevelsError> {
+    doc.as_array()
+        .ok_or_else(|| err("vector must be an array"))?
+        .iter()
+        .map(|v| v.as_f64().map(|x| x as f32))
+        .collect::<Option<Vec<f32>>>()
+        .ok_or_else(|| err("vector components must be numbers"))
+}
+
+fn get_usize(doc: &Value, key: &str) -> Result<usize, LoadLevelsError> {
+    doc.get(key)
+        .and_then(Value::as_i64)
+        .map(|v| v as usize)
+        .ok_or_else(|| err(format!("missing integer member {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, ToolController};
+    use lim_vecstore::VectorIndex;
+    use lim_workloads::{bfcl, geoengine};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let w = geoengine(3, 40);
+        let levels = SearchLevels::build(&w);
+        let doc = save_levels(&levels);
+        let loaded = load_levels(&doc).expect("roundtrip succeeds");
+        assert_eq!(loaded.tool_count(), levels.tool_count());
+        assert_eq!(loaded.tool_index().len(), levels.tool_index().len());
+        assert_eq!(loaded.clusters().len(), levels.clusters().len());
+        for (a, b) in loaded.clusters().iter().zip(levels.clusters()) {
+            assert_eq!(a.tool_indices, b.tool_indices);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text_gives_identical_controller_decisions() {
+        let w = bfcl(4, 40);
+        let levels = SearchLevels::build(&w);
+        let text = save_levels(&levels).to_string();
+        let parsed = lim_json::parse(&text).expect("valid JSON");
+        let loaded = load_levels(&parsed).expect("roundtrip succeeds");
+
+        let recs = vec![
+            "fetches current weather conditions of a city".to_owned(),
+            "converts an amount of money between currencies".to_owned(),
+        ];
+        let original = ToolController::new(&levels, ControllerConfig::with_k(3))
+            .select("weather in Paris then convert 10 USD", &recs);
+        let restored = ToolController::new(&loaded, ControllerConfig::with_k(3))
+            .select("weather in Paris then convert 10 USD", &recs);
+        assert_eq!(original.level, restored.level);
+        assert_eq!(original.tool_indices, restored.tool_indices);
+        // f32 → f64 JSON roundtrip is exact for these magnitudes.
+        assert!((original.level1_score - restored.level1_score).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_corrupt_documents() {
+        let w = bfcl(5, 10);
+        let levels = SearchLevels::build(&w);
+        let mut doc = save_levels(&levels);
+        doc.insert("format", Value::from("other/9"));
+        assert!(load_levels(&doc).is_err());
+
+        for missing in ["dim", "idf", "tool_index", "clusters"] {
+            let mut broken = save_levels(&levels);
+            broken.insert(missing, Value::Null);
+            assert!(load_levels(&broken).is_err(), "member {missing}");
+        }
+        assert!(load_levels(&Value::object::<&str, _>([])).is_err());
+    }
+
+    #[test]
+    fn embedder_idf_survives_roundtrip() {
+        let w = bfcl(6, 10);
+        let levels = SearchLevels::build(&w);
+        let loaded = load_levels(&save_levels(&levels)).expect("roundtrip succeeds");
+        // Same IDF weights ⇒ same embeddings for any runtime text.
+        let text = "translate a document into French and display it";
+        assert_eq!(
+            levels.embedder().embed(text),
+            loaded.embedder().embed(text)
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Crate-level behaviour tests: the paper's headline claims, end to end.
+
+use crate::{evaluate, normalize_against, Pipeline, Policy, SearchLevels};
+use lim_llm::{ModelProfile, Quant};
+use lim_workloads::{bfcl, geoengine};
+
+/// Shared fixture: building levels is the expensive part, do it once.
+fn fixtures() -> (lim_workloads::Workload, SearchLevels, lim_workloads::Workload, SearchLevels) {
+    let b = bfcl(21, 60);
+    let bl = SearchLevels::build(&b);
+    let g = geoengine(21, 60);
+    let gl = SearchLevels::build(&g);
+    (b, bl, g, gl)
+}
+
+#[test]
+fn headline_lim_beats_default_on_bfcl_for_a_capable_model() {
+    let (b, bl, _, _) = fixtures();
+    let model = ModelProfile::by_name("hermes2-pro-8b").unwrap();
+    let pipeline = Pipeline::new(&b, &bl, &model, Quant::Q4KM);
+    let default = evaluate(&pipeline, Policy::Default);
+    let lim = evaluate(&pipeline, Policy::less_is_more(3));
+    assert!(
+        lim.success_rate > default.success_rate + 0.08,
+        "LiM {:.3} vs default {:.3}",
+        lim.success_rate,
+        default.success_rate
+    );
+    assert!(
+        lim.tool_accuracy > default.tool_accuracy,
+        "LiM acc {:.3} vs default acc {:.3}",
+        lim.tool_accuracy,
+        default.tool_accuracy
+    );
+    let (time, power) = normalize_against(&default, &lim);
+    assert!(time < 0.6, "normalized time {time:.3}");
+    assert!(power < 1.0, "normalized power {power:.3}");
+}
+
+#[test]
+fn bfcl_queries_prefer_level_1_geo_queries_prefer_level_2() {
+    // §IV: "in BFCL Search Level 1 yields higher tool-matching scores,
+    // whereas for GeoEngine it is Search Level 2".
+    let (b, bl, g, gl) = fixtures();
+    let model = ModelProfile::by_name("hermes2-pro-8b").unwrap();
+
+    let bfcl_metrics = evaluate(
+        &Pipeline::new(&b, &bl, &model, Quant::Q8_0),
+        Policy::less_is_more(3),
+    );
+    assert!(
+        bfcl_metrics.level1_share > bfcl_metrics.level2_share,
+        "BFCL: L1 {:.2} vs L2 {:.2}",
+        bfcl_metrics.level1_share,
+        bfcl_metrics.level2_share
+    );
+
+    let geo_metrics = evaluate(
+        &Pipeline::new(&g, &gl, &model, Quant::Q8_0),
+        Policy::less_is_more(3),
+    );
+    assert!(
+        geo_metrics.level2_share > geo_metrics.level1_share,
+        "Geo: L1 {:.2} vs L2 {:.2}",
+        geo_metrics.level1_share,
+        geo_metrics.level2_share
+    );
+}
+
+#[test]
+fn gorilla_sits_between_default_and_lim_on_bfcl() {
+    let (b, bl, _, _) = fixtures();
+    let model = ModelProfile::by_name("hermes2-pro-8b").unwrap();
+    let pipeline = Pipeline::new(&b, &bl, &model, Quant::Q4KM);
+    let default = evaluate(&pipeline, Policy::Default);
+    let gorilla = evaluate(&pipeline, Policy::Gorilla { k: 3 });
+    let lim = evaluate(&pipeline, Policy::less_is_more(3));
+    assert!(
+        gorilla.success_rate > default.success_rate,
+        "gorilla {:.3} vs default {:.3}",
+        gorilla.success_rate,
+        default.success_rate
+    );
+    assert!(
+        lim.success_rate >= gorilla.success_rate,
+        "lim {:.3} vs gorilla {:.3}",
+        lim.success_rate,
+        gorilla.success_rate
+    );
+}
+
+#[test]
+fn gorilla_fails_to_help_on_sequential_geoengine() {
+    // §IV: "Gorilla struggled to improve the success rate in most cases as
+    // it only checks tool similarity, while GeoEngine requires sequential
+    // function calls".
+    let (_, _, g, gl) = fixtures();
+    let model = ModelProfile::by_name("llama3.1-8b").unwrap();
+    let pipeline = Pipeline::new(&g, &gl, &model, Quant::Q4KM);
+    let default = evaluate(&pipeline, Policy::Default);
+    let gorilla = evaluate(&pipeline, Policy::Gorilla { k: 3 });
+    let lim = evaluate(&pipeline, Policy::less_is_more(3));
+    assert!(
+        gorilla.success_rate <= default.success_rate + 0.02,
+        "gorilla should not help on chains: {:.3} vs {:.3}",
+        gorilla.success_rate,
+        default.success_rate
+    );
+    assert!(
+        lim.success_rate > gorilla.success_rate,
+        "lim {:.3} vs gorilla {:.3}",
+        lim.success_rate,
+        gorilla.success_rate
+    );
+}
+
+#[test]
+fn mistral_gets_speed_but_not_accuracy_from_lim() {
+    // §IV (BFCL): "for Mistral-8b, even though the optimizations did not
+    // result in any gain in success rate and tool accuracy, our method
+    // resulted in a 77% reduction in execution time".
+    let (b, bl, _, _) = fixtures();
+    let model = ModelProfile::by_name("mistral-8b").unwrap();
+    let pipeline = Pipeline::new(&b, &bl, &model, Quant::Q4KM);
+    let default = evaluate(&pipeline, Policy::Default);
+    let lim = evaluate(&pipeline, Policy::less_is_more(3));
+    assert!(
+        (lim.success_rate - default.success_rate).abs() < 0.12,
+        "Mistral success should be flat: {:.3} vs {:.3}",
+        lim.success_rate,
+        default.success_rate
+    );
+    let (time, _) = normalize_against(&default, &lim);
+    assert!(time < 0.6, "Mistral normalized time {time:.3}");
+}
+
+#[test]
+fn quantized_default_underperforms_f16_default() {
+    // Table I's premise, on the full pipeline rather than the analytic
+    // model.
+    let (b, bl, _, _) = fixtures();
+    let model = ModelProfile::by_name("llama3.1-8b").unwrap();
+    let pipeline_f16 = Pipeline::new(&b, &bl, &model, Quant::F16);
+    let pipeline_q4 = Pipeline::new(&b, &bl, &model, Quant::Q4_0);
+    let f16 = evaluate(&pipeline_f16, Policy::Default);
+    let q4 = evaluate(&pipeline_q4, Policy::Default);
+    assert!(
+        f16.success_rate > q4.success_rate + 0.2,
+        "f16 {:.3} vs q4_0 {:.3}",
+        f16.success_rate,
+        q4.success_rate
+    );
+}
+
+#[test]
+fn fallback_rate_is_bounded_and_level3_reachable() {
+    // A weak model with noisy recommendations occasionally misses the
+    // gold tool in its Level-1 shortlist; some of those runs must reach
+    // the error fallback — but not a majority (which would mean the
+    // controller is useless).
+    let (b, bl, g, gl) = fixtures();
+    let model = ModelProfile::by_name("mistral-8b").unwrap();
+    let bfcl_lim = evaluate(
+        &Pipeline::new(&b, &bl, &model, Quant::Q4_0),
+        Policy::less_is_more(3),
+    );
+    let geo_lim = evaluate(
+        &Pipeline::new(&g, &gl, &model, Quant::Q4_0),
+        Policy::less_is_more(3),
+    );
+    let total_fallback = bfcl_lim.fallback_rate + geo_lim.fallback_rate;
+    assert!(total_fallback > 0.0, "no fallbacks on either benchmark");
+    assert!(bfcl_lim.fallback_rate < 0.6, "bfcl fallback {:.2}", bfcl_lim.fallback_rate);
+    assert!(geo_lim.fallback_rate < 0.6, "geo fallback {:.2}", geo_lim.fallback_rate);
+}

@@ -1,0 +1,170 @@
+//! ToolLLM-style DFSDT baseline and its on-board feasibility gate.
+//!
+//! The paper: "We also attempted to compare against ToolLLM, but its
+//! tree-based exploration could not fit on the board" (§IV). ToolLLM's
+//! DFSDT (depth-first search decision tree) keeps several live branches,
+//! each with its own context state, and re-presents the full tool list at
+//! every expansion. This module *plans* such a run — memory footprint,
+//! node count, projected latency/energy — so the benchmark harness can
+//! demonstrate both failure modes: DRAM exhaustion on smaller boards and
+//! an order-of-magnitude cost blow-up where it does fit.
+
+use lim_device::{AllocationError, DeviceProfile, EnergyMeter, MemoryLedger};
+use lim_llm::timing::{phases, resident_bytes, InferenceRequest};
+use lim_llm::{ModelProfile, Quant};
+use lim_workloads::Workload;
+
+/// DFSDT search shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsdtConfig {
+    /// Live branches kept during the search (ToolLLM defaults to a wide
+    /// frontier so it can backtrack).
+    pub beam_width: usize,
+    /// Expansion depth (tool-call decisions per query).
+    pub depth: usize,
+    /// Context window each branch must hold (full tool list + history).
+    pub context_tokens: u32,
+}
+
+impl Default for DfsdtConfig {
+    fn default() -> Self {
+        Self {
+            beam_width: 12,
+            depth: 3,
+            context_tokens: 16_384,
+        }
+    }
+}
+
+/// A feasible DFSDT plan with projected costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfsdtPlan {
+    /// LLM calls the search will issue per query.
+    pub nodes_expanded: usize,
+    /// Peak DRAM the search needs, bytes.
+    pub peak_memory_bytes: u64,
+    /// Projected seconds per query.
+    pub seconds_per_query: f64,
+    /// Projected energy per query, joules.
+    pub joules_per_query: f64,
+}
+
+/// Plans a DFSDT run of `model` over `workload` on `device`.
+///
+/// # Errors
+///
+/// Returns the [`AllocationError`] raised by the memory ledger when the
+/// frontier cannot fit — the paper's observed outcome on its board.
+pub fn plan_dfsdt(
+    workload: &Workload,
+    model: &ModelProfile,
+    quant: Quant,
+    device: &DeviceProfile,
+    config: &DfsdtConfig,
+) -> Result<DfsdtPlan, AllocationError> {
+    // ---- Memory gate: weights once, one full KV allocation per branch.
+    let mut ledger = MemoryLedger::new(device.memory_bytes());
+    // The OS and runtime own a slice of DRAM on an embedded board.
+    ledger.allocate("system-reserved", 4 * 1024 * 1024 * 1024)?;
+    let weights = model.arch.weight_bytes(quant) as u64;
+    ledger.allocate("weights", weights)?;
+    let per_branch = (model.arch.kv_bytes_per_token() * f64::from(config.context_tokens)) as u64
+        + 300_000_000; // per-branch runtime workspace
+    for branch in 0..config.beam_width {
+        ledger.allocate(format!("branch-{branch}-kv"), per_branch)?;
+    }
+
+    // ---- Cost projection: every node re-presents the full tool list.
+    let full_tools_chars = workload
+        .registry
+        .prompt_chars(&(0..workload.registry.len()).collect::<Vec<_>>());
+    let prompt_tokens = (full_tools_chars as f64 / 4.0).ceil() as u32 + 200;
+    let nodes = config.beam_width * config.depth;
+    let mut meter = EnergyMeter::new();
+    for _ in 0..nodes {
+        let request = InferenceRequest {
+            prompt_tokens,
+            decode_tokens: model.call_tokens + 40, // thought + call per node
+            context_tokens: config.context_tokens,
+        };
+        for phase in phases(model, quant, &request) {
+            meter.record(device.run_phase(&phase));
+        }
+    }
+    let total = meter.total();
+
+    // Consistency check with the simpler resident-size model.
+    debug_assert!(
+        resident_bytes(model, quant, config.context_tokens) <= ledger.capacity(),
+        "single-branch serving should be the easy case"
+    );
+
+    Ok(DfsdtPlan {
+        nodes_expanded: nodes,
+        peak_memory_bytes: ledger.used(),
+        seconds_per_query: total.seconds,
+        joules_per_query: total.joules,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_workloads::geoengine;
+
+    #[test]
+    fn dfsdt_overflows_a_32gb_board() {
+        // An AGX Orin 32 GB configuration: the frontier cannot fit.
+        let device = DeviceProfile::new(
+            "jetson-agx-orin-32gb",
+            32 * 1024 * 1024 * 1024,
+            133.0e9,
+            20.0e12,
+            9.0,
+            1.23e-12,
+            60.0e-12,
+            267.0e-12,
+        );
+        let w = geoengine(1, 10);
+        let model = ModelProfile::by_name("llama3.1-8b").unwrap();
+        let err = plan_dfsdt(&w, &model, Quant::Q4KM, &device, &DfsdtConfig::default());
+        assert!(err.is_err(), "DFSDT should not fit on 32 GB");
+    }
+
+    #[test]
+    fn dfsdt_fits_on_64gb_but_costs_an_order_of_magnitude_more() {
+        let device = DeviceProfile::jetson_agx_orin();
+        let w = geoengine(1, 10);
+        let model = ModelProfile::by_name("llama3.1-8b").unwrap();
+        let plan = plan_dfsdt(&w, &model, Quant::Q4KM, &device, &DfsdtConfig::default())
+            .expect("fits on 64 GB");
+        assert_eq!(plan.nodes_expanded, 36);
+        // A default-policy geo query is ~20-30 s; DFSDT must be far worse.
+        assert!(
+            plan.seconds_per_query > 60.0,
+            "DFSDT cost {:.1}s per query",
+            plan.seconds_per_query
+        );
+    }
+
+    #[test]
+    fn smaller_beam_reduces_memory() {
+        let device = DeviceProfile::jetson_agx_orin();
+        let w = geoengine(1, 10);
+        let model = ModelProfile::by_name("llama3.1-8b").unwrap();
+        let wide = plan_dfsdt(&w, &model, Quant::Q4KM, &device, &DfsdtConfig::default()).unwrap();
+        let narrow = plan_dfsdt(
+            &w,
+            &model,
+            Quant::Q4KM,
+            &device,
+            &DfsdtConfig {
+                beam_width: 2,
+                ..DfsdtConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(narrow.peak_memory_bytes < wide.peak_memory_bytes);
+        assert!(narrow.nodes_expanded < wide.nodes_expanded);
+    }
+}

@@ -1,0 +1,146 @@
+//! Accumulation of phase costs into per-query totals.
+
+use crate::phase::PhaseCost;
+
+/// Aggregated cost of a whole query (or batch).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryCost {
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+    /// Total energy in joules.
+    pub joules: f64,
+}
+
+impl QueryCost {
+    /// Time-averaged power in watts (0 for an empty cost).
+    pub fn avg_watts(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.joules / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::ops::Add for QueryCost {
+    type Output = QueryCost;
+
+    fn add(self, rhs: QueryCost) -> QueryCost {
+        QueryCost {
+            seconds: self.seconds + rhs.seconds,
+            joules: self.joules + rhs.joules,
+        }
+    }
+}
+
+impl std::ops::AddAssign for QueryCost {
+    fn add_assign(&mut self, rhs: QueryCost) {
+        *self = *self + rhs;
+    }
+}
+
+/// Accumulates [`PhaseCost`]s, keeping the per-phase breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use lim_device::{DeviceProfile, EnergyMeter, Phase};
+///
+/// let orin = DeviceProfile::jetson_agx_orin();
+/// let mut meter = EnergyMeter::new();
+/// meter.record(orin.run_phase(&Phase::new("prefill", 4.0e12, 1.0e9, 0.1e9)));
+/// meter.record(orin.run_phase(&Phase::new("decode", 1.0e12, 40.0e9, 4.0e9)));
+/// let total = meter.total();
+/// assert!(total.seconds > 0.0);
+/// assert!(meter.phases().len() == 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    phases: Vec<PhaseCost>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one phase cost.
+    pub fn record(&mut self, cost: PhaseCost) {
+        self.phases.push(cost);
+    }
+
+    /// The recorded phases in execution order.
+    pub fn phases(&self) -> &[PhaseCost] {
+        &self.phases
+    }
+
+    /// Sums seconds and joules across all phases.
+    pub fn total(&self) -> QueryCost {
+        QueryCost {
+            seconds: self.phases.iter().map(|p| p.seconds).sum(),
+            joules: self.phases.iter().map(|p| p.joules).sum(),
+        }
+    }
+
+    /// Total seconds attributed to phases whose label matches `label`.
+    pub fn seconds_for(&self, label: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.label == label)
+            .map(|p| p.seconds)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(label: &str, seconds: f64, watts: f64) -> PhaseCost {
+        PhaseCost {
+            label: label.into(),
+            seconds,
+            watts,
+            joules: watts * seconds,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let mut m = EnergyMeter::new();
+        m.record(cost("a", 1.0, 20.0));
+        m.record(cost("b", 3.0, 30.0));
+        let t = m.total();
+        assert!((t.seconds - 4.0).abs() < 1e-9);
+        assert!((t.joules - 110.0).abs() < 1e-9);
+        assert!((t.avg_watts() - 27.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let t = EnergyMeter::new().total();
+        assert_eq!(t.seconds, 0.0);
+        assert_eq!(t.avg_watts(), 0.0);
+    }
+
+    #[test]
+    fn seconds_for_filters_by_label() {
+        let mut m = EnergyMeter::new();
+        m.record(cost("prefill", 1.0, 30.0));
+        m.record(cost("decode", 2.0, 25.0));
+        m.record(cost("prefill", 0.5, 30.0));
+        assert!((m.seconds_for("prefill") - 1.5).abs() < 1e-9);
+        assert_eq!(m.seconds_for("missing"), 0.0);
+    }
+
+    #[test]
+    fn query_costs_add() {
+        let a = QueryCost { seconds: 1.0, joules: 10.0 };
+        let b = QueryCost { seconds: 2.0, joules: 30.0 };
+        let mut c = a + b;
+        assert!((c.seconds - 3.0).abs() < 1e-9);
+        c += a;
+        assert!((c.joules - 50.0).abs() < 1e-9);
+    }
+}

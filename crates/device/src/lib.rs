@@ -1,0 +1,45 @@
+//! Edge-device execution model — the NVIDIA Jetson AGX Orin substitute.
+//!
+//! The paper measures wall-clock time and power on a physical Orin board.
+//! Both quantities move for mechanical reasons the paper itself identifies:
+//! prompt length (tool schemas), context-window size, and model bytes. This
+//! crate models exactly those mechanisms:
+//!
+//! * [`DeviceProfile`] — bandwidth / compute / power-rail description of a
+//!   board, with [`DeviceProfile::jetson_agx_orin`] as the calibrated
+//!   default;
+//! * [`Phase`] + [`DeviceProfile::run_phase`] — a roofline estimate: each
+//!   inference phase is compute-bound or bandwidth-bound, whichever is
+//!   slower, and its power is an affine function of how hard each resource
+//!   is driven;
+//! * [`EnergyMeter`] — accumulates phases into total latency, energy and
+//!   average power per query;
+//! * [`MemoryLedger`] — allocation gate that refuses workloads exceeding
+//!   device DRAM (this is what excludes ToolLLM's tree search on-board,
+//!   §IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_device::{DeviceProfile, Phase};
+//!
+//! let orin = DeviceProfile::jetson_agx_orin();
+//! // One decode step of an 8-bit 8B model: ~8.5 GB of sequential weight
+//! // traffic plus ~1.4 GB of random KV traffic.
+//! let phase = Phase::new("decode", 16.0e9, 8.5e9, 1.4e9);
+//! let cost = orin.run_phase(&phase);
+//! assert!(cost.seconds > 0.0 && cost.watts > orin.idle_power_w());
+//! ```
+
+mod energy;
+mod memory;
+mod phase;
+mod profile;
+
+pub use energy::{EnergyMeter, QueryCost};
+pub use memory::{AllocationError, MemoryLedger};
+pub use phase::{Phase, PhaseCost};
+pub use profile::DeviceProfile;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,166 @@
+//! DRAM allocation gate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an allocation exceeds device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationError {
+    /// What was being allocated.
+    pub what: String,
+    /// Requested bytes.
+    pub requested: u64,
+    /// Bytes still available.
+    pub available: u64,
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot allocate {} bytes for {} ({} bytes free)",
+            self.requested, self.what, self.available
+        )
+    }
+}
+
+impl Error for AllocationError {}
+
+/// Tracks named allocations against a fixed DRAM budget.
+///
+/// Mirrors the reason the paper "attempted to compare against ToolLLM, but
+/// its tree-based exploration could not fit on the board" (§IV): model
+/// weights + KV cache + search frontier must all fit simultaneously.
+///
+/// # Examples
+///
+/// ```
+/// use lim_device::MemoryLedger;
+///
+/// # fn main() -> Result<(), lim_device::AllocationError> {
+/// let mut mem = MemoryLedger::new(8_000_000_000);
+/// mem.allocate("weights", 4_900_000_000)?;
+/// mem.allocate("kv-cache", 2_000_000_000)?;
+/// assert!(mem.allocate("tree-frontier", 4_000_000_000).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryLedger {
+    capacity: u64,
+    entries: Vec<(String, u64)>,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.entries.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Records an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`] (and records nothing) if `bytes` exceeds
+    /// the remaining capacity.
+    pub fn allocate(&mut self, what: impl Into<String>, bytes: u64) -> Result<(), AllocationError> {
+        let what = what.into();
+        if bytes > self.available() {
+            return Err(AllocationError {
+                what,
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.entries.push((what, bytes));
+        Ok(())
+    }
+
+    /// Releases the most recent allocation with the given name, returning
+    /// whether one was found.
+    pub fn free(&mut self, what: &str) -> bool {
+        if let Some(pos) = self.entries.iter().rposition(|(n, _)| n == what) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if a hypothetical extra allocation would fit.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Named allocations in insertion order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_roundtrip() {
+        let mut m = MemoryLedger::new(100);
+        m.allocate("a", 60).unwrap();
+        assert_eq!(m.available(), 40);
+        assert!(m.free("a"));
+        assert_eq!(m.available(), 100);
+        assert!(!m.free("a"));
+    }
+
+    #[test]
+    fn over_allocation_is_rejected_without_side_effects() {
+        let mut m = MemoryLedger::new(100);
+        m.allocate("a", 90).unwrap();
+        let err = m.allocate("b", 20).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.available, 10);
+        assert_eq!(m.used(), 90);
+    }
+
+    #[test]
+    fn would_fit_is_side_effect_free() {
+        let m = MemoryLedger::new(100);
+        assert!(m.would_fit(100));
+        assert!(!m.would_fit(101));
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut m = MemoryLedger::new(100);
+        assert!(m.allocate("all", 100).is_ok());
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    fn free_removes_most_recent_duplicate() {
+        let mut m = MemoryLedger::new(100);
+        m.allocate("kv", 10).unwrap();
+        m.allocate("kv", 20).unwrap();
+        assert!(m.free("kv"));
+        assert_eq!(m.used(), 10);
+    }
+}

@@ -1,0 +1,108 @@
+//! Execution phases and their estimated costs.
+
+/// One unit of device work: a labelled (flops, sequential bytes, random
+/// bytes) triple.
+///
+/// The LLM simulator decomposes a query into phases — recommender prefill,
+/// recommender decode, agent prefill, agent decode, retries — and the
+/// device turns each into seconds, watts and joules. Sequential bytes are
+/// prefetch-friendly weight streams; random bytes are KV-cache and
+/// attention-buffer scans, which cost several× more energy per byte (see
+/// [`crate::DeviceProfile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    label: String,
+    flops: f64,
+    seq_bytes: f64,
+    rand_bytes: f64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is negative or non-finite.
+    pub fn new(label: impl Into<String>, flops: f64, seq_bytes: f64, rand_bytes: f64) -> Self {
+        assert!(flops.is_finite() && flops >= 0.0, "flops must be finite and non-negative");
+        assert!(
+            seq_bytes.is_finite() && seq_bytes >= 0.0,
+            "seq_bytes must be finite and non-negative"
+        );
+        assert!(
+            rand_bytes.is_finite() && rand_bytes >= 0.0,
+            "rand_bytes must be finite and non-negative"
+        );
+        Self {
+            label: label.into(),
+            flops,
+            seq_bytes,
+            rand_bytes,
+        }
+    }
+
+    /// Phase label (e.g. `"prefill"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Floating-point operations the phase must execute.
+    pub fn flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Bytes of sequential DRAM traffic (weight streaming).
+    pub fn seq_bytes(&self) -> f64 {
+        self.seq_bytes
+    }
+
+    /// Bytes of random DRAM traffic (KV/attention scans).
+    pub fn rand_bytes(&self) -> f64 {
+        self.rand_bytes
+    }
+
+    /// Total DRAM traffic.
+    pub fn bytes(&self) -> f64 {
+        self.seq_bytes + self.rand_bytes
+    }
+}
+
+/// Latency/power/energy estimate for one [`Phase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Label copied from the phase.
+    pub label: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Average power over the phase, watts.
+    pub watts: f64,
+    /// Energy, joules (`watts × seconds`).
+    pub joules: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stores_inputs() {
+        let p = Phase::new("prefill", 1.0e9, 2.0e9, 0.5e9);
+        assert_eq!(p.label(), "prefill");
+        assert_eq!(p.flops(), 1.0e9);
+        assert_eq!(p.seq_bytes(), 2.0e9);
+        assert_eq!(p.rand_bytes(), 0.5e9);
+        assert_eq!(p.bytes(), 2.5e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "flops must be finite")]
+    fn negative_flops_rejected() {
+        let _ = Phase::new("bad", -1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rand_bytes must be finite")]
+    fn nan_bytes_rejected() {
+        let _ = Phase::new("bad", 0.0, 0.0, f64::NAN);
+    }
+}

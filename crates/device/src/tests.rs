@@ -1,0 +1,130 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{DeviceProfile, EnergyMeter, MemoryLedger, Phase};
+use proptest::prelude::*;
+
+#[test]
+fn fewer_prompt_bytes_means_less_time_and_energy() {
+    // The core hardware claim of the paper: shrinking the tool payload
+    // shrinks both latency and energy. Model two prefills that differ only
+    // in prompt size.
+    let orin = DeviceProfile::jetson_agx_orin();
+    let flops_per_token = 16.0e9; // 2 * 8B params
+    let big = orin.run_phase(&Phase::new("prefill", 4200.0 * flops_per_token, 5.0e9, 0.0));
+    let small = orin.run_phase(&Phase::new("prefill", 900.0 * flops_per_token, 5.0e9, 0.0));
+    assert!(small.seconds < big.seconds);
+    assert!(small.joules < big.joules);
+}
+
+#[test]
+fn quantization_speeds_up_decode() {
+    // q4 weights move ~half the bytes of q8: decode (bandwidth-bound) must
+    // speed up accordingly.
+    let orin = DeviceProfile::jetson_agx_orin();
+    let q8 = orin.run_phase(&Phase::new("decode", 16.0e9, 8.5e9, 0.5e9));
+    let q4 = orin.run_phase(&Phase::new("decode", 16.0e9, 4.8e9, 0.5e9));
+    assert!(q4.seconds < q8.seconds * 0.7);
+}
+
+#[test]
+fn an_8b_model_tree_search_overflows_nano() {
+    // ToolLLM-style DFSDT holds many branches of KV cache alive; on the
+    // 8 GB board this cannot fit next to the weights.
+    let mut mem = MemoryLedger::new(DeviceProfile::jetson_orin_nano().memory_bytes());
+    mem.allocate("weights-8b-q4", 4_900_000_000).unwrap();
+    mem.allocate("kv-16k", 2_100_000_000).unwrap();
+    // Each live DFSDT branch keeps its own 16k KV cache alive.
+    assert!(mem.allocate("dfsdt-frontier", 2 * 2_100_000_000).is_err());
+}
+
+#[test]
+fn table2_shape_time_and_power_drop_with_tools_and_context() {
+    // Miniature of Table II: a decode-heavy workload at (16k, big prompt),
+    // (16k, small prompt), (8k, small prompt). Time and power must fall
+    // monotonically across the three configurations.
+    let orin = DeviceProfile::jetson_agx_orin();
+    let weights = 4.85e9;
+    let decode_tokens = 300.0;
+    let run = |prompt_tokens: f64, kv_alloc: f64| {
+        let mut meter = EnergyMeter::new();
+        meter.record(orin.run_phase(&Phase::new(
+            "prefill",
+            2.0 * 8.0e9 * prompt_tokens,
+            weights * (prompt_tokens / 512.0).ceil(),
+            0.0,
+        )));
+        for _ in 0..decode_tokens as usize {
+            meter.record(orin.run_phase(&Phase::new(
+                "decode",
+                16.0e9,
+                weights,
+                0.33e9 + kv_alloc,
+            )));
+        }
+        meter.total()
+    };
+    let big_16k = run(4600.0, 2.1e9);
+    let small_16k = run(1900.0, 2.1e9);
+    let small_8k = run(1900.0, 1.05e9);
+    assert!(small_16k.seconds < big_16k.seconds);
+    assert!(small_8k.seconds < small_16k.seconds);
+    assert!(small_8k.avg_watts() < small_16k.avg_watts());
+    // Paper's max drops: time −43%, power −19% — ours should be the same
+    // order of magnitude in the same direction.
+    let time_drop = 1.0 - small_8k.seconds / big_16k.seconds;
+    let power_drop = 1.0 - small_8k.avg_watts() / big_16k.avg_watts();
+    assert!(time_drop > 0.10, "time drop {time_drop}");
+    assert!(power_drop > 0.03, "power drop {power_drop}");
+}
+
+proptest! {
+    /// Roofline latency is monotone in all inputs.
+    #[test]
+    fn latency_monotone(
+        flops in 1.0e6f64..1.0e13,
+        bytes in 1.0e3f64..1.0e11,
+        scale in 1.1f64..4.0,
+    ) {
+        let orin = DeviceProfile::jetson_agx_orin();
+        let base = orin.run_phase(&Phase::new("p", flops, bytes, bytes * 0.1));
+        let more_flops = orin.run_phase(&Phase::new("p", flops * scale, bytes, bytes * 0.1));
+        let more_bytes = orin.run_phase(&Phase::new("p", flops, bytes * scale, bytes * 0.1));
+        prop_assert!(more_flops.seconds >= base.seconds);
+        prop_assert!(more_bytes.seconds >= base.seconds);
+    }
+
+    /// Energy equals watts × seconds for every phase, and meter totals
+    /// equal the sum of parts; average power never drops below idle.
+    #[test]
+    fn energy_accounting_consistent(
+        phases in prop::collection::vec((1.0e6f64..1.0e12, 1.0e3f64..1.0e10), 1..8),
+    ) {
+        let orin = DeviceProfile::jetson_agx_orin();
+        let mut meter = EnergyMeter::new();
+        let mut expect_s = 0.0;
+        let mut expect_j = 0.0;
+        for (f, b) in &phases {
+            let c = orin.run_phase(&Phase::new("p", *f, *b, b * 0.2));
+            prop_assert!((c.joules - c.watts * c.seconds).abs() <= 1e-9 * c.joules.max(1.0));
+            expect_s += c.seconds;
+            expect_j += c.joules;
+            meter.record(c);
+        }
+        let total = meter.total();
+        prop_assert!((total.seconds - expect_s).abs() < 1e-9 * expect_s.max(1.0));
+        prop_assert!((total.joules - expect_j).abs() < 1e-9 * expect_j.max(1.0));
+        prop_assert!(total.avg_watts() >= orin.idle_power_w() - 1e-6);
+    }
+
+    /// The ledger never reports negative availability and used+available
+    /// equals capacity.
+    #[test]
+    fn ledger_invariant(allocs in prop::collection::vec(0u64..50_000, 0..20)) {
+        let mut m = MemoryLedger::new(100_000);
+        for (i, a) in allocs.iter().enumerate() {
+            let _ = m.allocate(format!("a{i}"), *a);
+            prop_assert_eq!(m.used() + m.available(), m.capacity());
+            prop_assert!(m.used() <= m.capacity());
+        }
+    }
+}

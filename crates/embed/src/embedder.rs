@@ -1,0 +1,252 @@
+//! The hashed random-projection sentence encoder.
+
+use crate::idf::IdfModel;
+use crate::tokenizer::tokens_with_bigrams;
+use crate::vector::Embedding;
+use crate::EMBED_DIM;
+
+/// Number of latent dimensions each hashed term contributes to.
+///
+/// Scattering every term into several signed dimensions (a "Bloom
+/// embedding") makes accidental full collisions between unrelated terms
+/// vanishingly unlikely while keeping the encoder dependency-free and
+/// deterministic.
+const SCATTER: usize = 4;
+
+/// Deterministic 768-d sentence encoder (MPNet substitute).
+///
+/// Construction is cheap; the encoder carries only the optional
+/// [`IdfModel`]. Encoding is pure and deterministic: the same text always
+/// yields the same vector, across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use lim_embed::{Embedder, IdfModel};
+///
+/// let idf = IdfModel::fit(["translate text", "plot captions on a map"]);
+/// let embedder = Embedder::builder().idf(idf).build();
+/// let v = embedder.embed("translate this document");
+/// assert_eq!(v.dim(), lim_embed::EMBED_DIM);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Embedder {
+    dim: usize,
+    idf: IdfModel,
+}
+
+/// Builder for [`Embedder`], allowing a custom dimension or IDF model.
+#[derive(Debug, Clone)]
+pub struct EmbedderBuilder {
+    dim: usize,
+    idf: IdfModel,
+}
+
+impl Default for EmbedderBuilder {
+    fn default() -> Self {
+        Self {
+            dim: EMBED_DIM,
+            idf: IdfModel::new(),
+        }
+    }
+}
+
+impl EmbedderBuilder {
+    /// Sets the latent dimension (default [`EMBED_DIM`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn dim(mut self, dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        self.dim = dim;
+        self
+    }
+
+    /// Installs an IDF model fit on the tool corpus.
+    pub fn idf(mut self, idf: IdfModel) -> Self {
+        self.idf = idf;
+        self
+    }
+
+    /// Finalises the encoder.
+    pub fn build(self) -> Embedder {
+        Embedder {
+            dim: self.dim,
+            idf: self.idf,
+        }
+    }
+}
+
+impl Embedder {
+    /// Creates an encoder with the default dimension and no IDF weighting.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Returns a [`EmbedderBuilder`] for customisation.
+    pub fn builder() -> EmbedderBuilder {
+        EmbedderBuilder::default()
+    }
+
+    /// Latent dimensionality of produced vectors.
+    pub fn dim(&self) -> usize {
+        if self.dim == 0 {
+            EMBED_DIM
+        } else {
+            self.dim
+        }
+    }
+
+    /// The IDF model in use (for persistence of offline artifacts).
+    pub fn idf(&self) -> &IdfModel {
+        &self.idf
+    }
+
+    /// Encodes `text` into a unit-norm [`Embedding`].
+    ///
+    /// Empty or all-stopword text produces the zero vector, whose cosine
+    /// with anything is 0 — callers treat that as "no signal".
+    pub fn embed(&self, text: &str) -> Embedding {
+        let dim = self.dim();
+        let mut values = vec![0.0f32; dim];
+        for term in tokens_with_bigrams(text) {
+            let weight = self.idf.weight(&term);
+            let base = fnv1a(term.as_bytes());
+            for slot in 0..SCATTER {
+                // Derive an independent hash per scatter slot.
+                let h = splitmix(base ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let index = (h % dim as u64) as usize;
+                let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+                values[index] += sign * weight;
+            }
+        }
+        Embedding::new(values)
+    }
+
+    /// Encodes a batch of texts.
+    pub fn embed_batch<I, S>(&self, texts: I) -> Vec<Embedding>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        texts.into_iter().map(|t| self.embed(t.as_ref())).collect()
+    }
+
+    /// Encodes a query together with recommended tool descriptions, the way
+    /// the paper forms the `Ẽ` latent points (§III-B): each recommendation
+    /// is embedded alongside the user task so the match sees both.
+    pub fn embed_with_context(&self, query: &str, description: &str) -> Embedding {
+        self.embed(&format!("{query} {description}"))
+    }
+}
+
+/// 64-bit FNV-1a hash — stable across runs, platforms and Rust versions
+/// (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finaliser used to decorrelate the per-slot hashes.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = Embedder::new();
+        let a = e.embed("plot vqa captions on the map");
+        let b = e.embed("plot vqa captions on the map");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embedding_has_requested_dim() {
+        let e = Embedder::builder().dim(64).build();
+        assert_eq!(e.embed("hello world").dim(), 64);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = Embedder::new();
+        assert!(e.embed("").is_zero());
+        assert!(e.embed("the of and").is_zero());
+    }
+
+    #[test]
+    fn similar_texts_closer_than_dissimilar() {
+        let e = Embedder::new();
+        let weather1 = e.embed("fetch the current weather report for a city");
+        let weather2 = e.embed("get weather conditions of the city today");
+        let math = e.embed("compute the determinant of a square matrix");
+        assert!(weather1.cosine(&weather2) > weather1.cosine(&math) + 0.1);
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let e = Embedder::new();
+        let v = e.embed("translate text to french");
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        // Corpus where "tool" is ubiquitous; two docs share only "tool",
+        // two others share the rare word "orbit".
+        let corpus = [
+            "tool alpha orbit",
+            "tool beta orbit",
+            "tool gamma street",
+            "tool delta road",
+        ];
+        let plain = Embedder::new();
+        let weighted = Embedder::builder().idf(IdfModel::fit(corpus)).build();
+        let a = "tool orbit";
+        let b = "tool street";
+        // With IDF, the match driven by rare "orbit" should strengthen
+        // relative to the boilerplate-driven one.
+        let plain_gap =
+            plain.embed(a).cosine(&plain.embed("alpha tool orbit"))
+                - plain.embed(b).cosine(&plain.embed("alpha tool orbit"));
+        let weighted_gap = weighted.embed(a).cosine(&weighted.embed("alpha tool orbit"))
+            - weighted.embed(b).cosine(&weighted.embed("alpha tool orbit"));
+        assert!(weighted_gap > plain_gap);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = Embedder::new();
+        let batch = e.embed_batch(["a b c", "d e f"]);
+        assert_eq!(batch[0], e.embed("a b c"));
+        assert_eq!(batch[1], e.embed("d e f"));
+    }
+
+    #[test]
+    fn context_embedding_mixes_query_and_description() {
+        let e = Embedder::new();
+        let with_ctx = e.embed_with_context("weather in paris", "temperature lookup");
+        let plain = e.embed("weather in paris temperature lookup");
+        assert_eq!(with_ctx, plain);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin a reference value so accidental algorithm changes are caught:
+        // the whole workspace's reproducibility hangs on this hash.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"weather"), fnv1a(b"weathe"));
+    }
+}

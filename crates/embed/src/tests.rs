@@ -1,0 +1,91 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{Embedder, Embedding, IdfModel, EMBED_DIM};
+use proptest::prelude::*;
+
+#[test]
+fn default_dim_is_768() {
+    assert_eq!(EMBED_DIM, 768);
+    assert_eq!(Embedder::new().dim(), 768);
+}
+
+#[test]
+fn tool_description_matching_scenario() {
+    // End-to-end sanity check of the scenario the controller relies on:
+    // an LLM-recommended "ideal tool" description should rank the right
+    // real tool first among a realistic catalog.
+    let catalog = [
+        ("weather_information", "Fetches current weather data and forecast for a given city"),
+        ("text_translation", "Translates text between natural languages such as French"),
+        ("currency_converter", "Converts an amount between two currencies using live rates"),
+        ("calendar_event", "Creates a calendar event with title, date and attendees"),
+        ("web_search", "Searches the web and returns the most relevant page snippets"),
+    ];
+    let idf = IdfModel::fit(catalog.iter().map(|(_, d)| *d));
+    let embedder = Embedder::builder().idf(idf).build();
+    let tool_vecs: Vec<Embedding> = catalog
+        .iter()
+        .map(|(name, desc)| embedder.embed(&format!("{name} {desc}")))
+        .collect();
+
+    let recommendation = "a tool that retrieves weather conditions and forecast for a city";
+    let rec_vec = embedder.embed(recommendation);
+    let best = tool_vecs
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            rec_vec.cosine(a).partial_cmp(&rec_vec.cosine(b)).unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap();
+    assert_eq!(catalog[best].0, "weather_information");
+}
+
+proptest! {
+    /// Every non-degenerate embedding is unit-norm.
+    #[test]
+    fn embeddings_are_unit_norm(text in "[a-z]{3,10}( [a-z]{3,10}){0,8}") {
+        let e = Embedder::new();
+        let v = e.embed(&text);
+        if !v.is_zero() {
+            let norm: f32 = v.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Cosine similarity is symmetric.
+    #[test]
+    fn cosine_symmetric(a in "[a-z]{3,8}( [a-z]{3,8}){0,5}", b in "[a-z]{3,8}( [a-z]{3,8}){0,5}") {
+        let e = Embedder::new();
+        let va = e.embed(&a);
+        let vb = e.embed(&b);
+        prop_assert!((va.cosine(&vb) - vb.cosine(&va)).abs() < 1e-6);
+    }
+
+    /// Adding shared suffix text never produces wildly different vectors for
+    /// the same base text (stability under concatenation determinism).
+    #[test]
+    fn deterministic_across_calls(text in "[a-z ]{0,64}") {
+        let e = Embedder::new();
+        prop_assert_eq!(e.embed(&text), e.embed(&text));
+    }
+
+    /// Cosine stays within [-1, 1] for arbitrary token soups.
+    #[test]
+    fn cosine_bounded(a in "[a-z0-9 _,.]{0,64}", b in "[a-z0-9 _,.]{0,64}") {
+        let e = Embedder::builder().dim(32).build();
+        let c = e.embed(&a).cosine(&e.embed(&b));
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    /// IDF fitting never makes self-similarity degenerate.
+    #[test]
+    fn idf_preserves_self_similarity(docs in prop::collection::vec("[a-z]{3,8}( [a-z]{3,8}){1,5}", 1..8)) {
+        let idf = IdfModel::fit(docs.iter().map(String::as_str));
+        let e = Embedder::builder().idf(idf).build();
+        let v = e.embed(&docs[0]);
+        if !v.is_zero() {
+            prop_assert!((v.cosine(&v) - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Lexical front-end: lowercasing, splitting, stopwords and light stemming.
+
+/// English stopwords stripped before embedding.
+///
+/// The list is intentionally small: tool descriptions are short, and removing
+/// too much hurts bigram coverage.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it",
+    "its", "of", "on", "or", "that", "the", "this", "to", "with", "will", "you", "your", "can",
+    "given", "using", "use", "any", "all",
+];
+
+/// Returns `true` if `word` is in [`STOPWORDS`].
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Applies a light suffix stemmer so morphological variants collide.
+///
+/// This is deliberately much cruder than Porter stemming — tool descriptions
+/// only need "translate"/"translates"/"translated"/"translating" and simple
+/// plurals to map together.
+///
+/// # Examples
+///
+/// ```
+/// use lim_embed::tokenizer::stem;
+/// assert_eq!(stem("translates"), "translate");
+/// assert_eq!(stem("translating"), "translat");
+/// assert_eq!(stem("translated"), "translat");
+/// assert_eq!(stem("queries"), "query");
+/// assert_eq!(stem("maps"), "map");
+/// ```
+pub fn stem(word: &str) -> String {
+    let w = word;
+    if w.len() > 4 && w.ends_with("ies") {
+        return format!("{}y", &w[..w.len() - 3]);
+    }
+    if w.len() > 5 && w.ends_with("ing") {
+        return w[..w.len() - 3].to_string();
+    }
+    if w.len() > 4 && w.ends_with("ed") {
+        return w[..w.len() - 2].to_string();
+    }
+    if w.len() > 4
+        && (w.ends_with("ches") || w.ends_with("shes") || w.ends_with("xes") || w.ends_with("zes"))
+    {
+        return w[..w.len() - 2].to_string();
+    }
+    if w.len() > 3 && w.ends_with("es") && !w.ends_with("ses") {
+        return w[..w.len() - 1].to_string();
+    }
+    if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        return w[..w.len() - 1].to_string();
+    }
+    w.to_string()
+}
+
+/// Tokenizes `text` into lowercase, stopword-free, stemmed terms.
+///
+/// Splits on any non-alphanumeric character, so snake_case tool names like
+/// `plot_vqa_captions` decompose into their content words — crucial for
+/// matching LLM-recommended descriptions against real tool names.
+///
+/// # Examples
+///
+/// ```
+/// use lim_embed::tokenizer::tokenize;
+/// let toks = tokenize("Plot the fmow VQA captions in UK from Fall 2009");
+/// assert!(toks.contains(&"plot".to_string()));
+/// assert!(toks.contains(&"caption".to_string()));
+/// assert!(!toks.contains(&"the".to_string()));
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .filter(|w| !is_stopword(w))
+        .map(|w| stem(&w))
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// Produces the token stream plus adjacent-pair bigrams (`"a b"`).
+///
+/// Bigrams let the embedder distinguish "convert currency" from
+/// "convert units" even when unigram overlap is identical.
+pub fn tokens_with_bigrams(text: &str) -> Vec<String> {
+    let tokens = tokenize(text);
+    let mut all = tokens.clone();
+    for pair in tokens.windows(2) {
+        all.push(format!("{} {}", pair[0], pair[1]));
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_punct() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn tokenize_splits_snake_case() {
+        let toks = tokenize("text_translation_tool");
+        assert_eq!(toks, vec!["text", "translation", "tool"]);
+    }
+
+    #[test]
+    fn tokenize_drops_stopwords() {
+        assert_eq!(tokenize("the cat is on a mat"), vec!["cat", "mat"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("fall 2009"), vec!["fall", "2009"]);
+    }
+
+    #[test]
+    fn stem_handles_short_words() {
+        // Words at or below the length guards are untouched.
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("gas"), "gas");
+        assert_eq!(stem("pass"), "pass");
+    }
+
+    #[test]
+    fn stem_merges_inflections() {
+        assert_eq!(stem("fetches"), stem("fetch"));
+        assert_eq!(stem("regions"), stem("region"));
+    }
+
+    #[test]
+    fn bigrams_are_appended() {
+        let all = tokens_with_bigrams("convert currency now");
+        assert!(all.contains(&"convert currency".to_string()));
+        assert!(all.contains(&"currency now".to_string()));
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokens_with_bigrams("  ,,, ").is_empty());
+    }
+}

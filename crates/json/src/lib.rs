@@ -1,0 +1,34 @@
+//! Minimal JSON implementation used across the Less-is-More workspace.
+//!
+//! Tool schemas, recommender outputs and function calls all travel through
+//! *real* JSON text so that prompt sizes measured by the simulator are
+//! honest byte-for-byte. The workspace deliberately avoids `serde_json`
+//! (see `DESIGN.md §3`), so this crate provides the three pieces it needs:
+//!
+//! * [`Value`] — an owned JSON document tree,
+//! * [`parse`] — a recursive-descent parser with precise error positions,
+//! * `Value::to_string` (via [`std::fmt::Display`]) and
+//!   [`Value::to_pretty_string`] — writers.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_json::{parse, Value};
+//!
+//! # fn main() -> Result<(), lim_json::ParseJsonError> {
+//! let doc = parse(r#"{"name": "weather_information", "args": {"city": "NYC"}}"#)?;
+//! assert_eq!(doc.get("name").and_then(Value::as_str), Some("weather_information"));
+//! assert_eq!(doc.pointer("args.city").and_then(Value::as_str), Some("NYC"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod parser;
+mod value;
+mod writer;
+
+pub use parser::{parse, ParseJsonError};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,188 @@
+use crate::{parse, Value};
+
+#[test]
+fn parses_scalars() {
+    assert_eq!(parse("null").unwrap(), Value::Null);
+    assert_eq!(parse("true").unwrap(), Value::Bool(true));
+    assert_eq!(parse("false").unwrap(), Value::Bool(false));
+    assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+    assert_eq!(parse("-3.5").unwrap(), Value::Number(-3.5));
+    assert_eq!(parse("1e3").unwrap(), Value::Number(1000.0));
+    assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
+}
+
+#[test]
+fn parses_nested_structures() {
+    let v = parse(r#"{"tools": [{"name": "a"}, {"name": "b"}], "k": 3}"#).unwrap();
+    assert_eq!(v.pointer("k").and_then(Value::as_i64), Some(3));
+    assert_eq!(
+        v.get("tools").and_then(|t| t.at(1)).and_then(|t| t.get("name")).and_then(Value::as_str),
+        Some("b")
+    );
+}
+
+#[test]
+fn parses_empty_containers() {
+    assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+    assert_eq!(parse("{}").unwrap(), Value::object::<String, _>([]));
+    assert_eq!(parse("  [ ]  ").unwrap(), Value::Array(vec![]));
+}
+
+#[test]
+fn parses_string_escapes() {
+    let v = parse(r#""a\nb\t\"c\" \\ A""#).unwrap();
+    assert_eq!(v.as_str(), Some("a\nb\t\"c\" \\ A"));
+}
+
+#[test]
+fn parses_surrogate_pairs() {
+    let v = parse(r#""😀""#).unwrap();
+    assert_eq!(v.as_str(), Some("\u{1F600}"));
+}
+
+#[test]
+fn parses_multibyte_utf8_passthrough() {
+    let v = parse("\"caf\u{e9} \u{4e2d}\u{6587}\"").unwrap();
+    assert_eq!(v.as_str(), Some("caf\u{e9} \u{4e2d}\u{6587}"));
+}
+
+#[test]
+fn rejects_malformed_documents() {
+    for bad in [
+        "", "{", "[1,", "{\"a\" 1}", "tru", "01", "1.", "1e", "\"unterminated",
+        "{\"a\": 1,}", "[1 2]", "\"bad \\q escape\"", "nullx", "[] []",
+    ] {
+        assert!(parse(bad).is_err(), "should reject {bad:?}");
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_crashed() {
+    // Within the cap: fine.
+    let ok_depth = 400;
+    let ok = format!("{}1{}", "[".repeat(ok_depth), "]".repeat(ok_depth));
+    assert!(parse(&ok).is_ok());
+    // A pathological million-bracket document returns an error instead of
+    // overflowing the parser stack.
+    let evil = "[".repeat(1_000_000);
+    let err = parse(&evil).unwrap_err();
+    assert!(err.to_string().contains("nesting"), "{err}");
+    // Mixed object/array nesting counts too.
+    let mixed = format!("{}1{}", "{\"a\":[".repeat(600), "]}".repeat(600));
+    assert!(parse(&mixed).is_err());
+}
+
+#[test]
+fn error_reports_offset() {
+    let err = parse("[1, 2, x]").unwrap_err();
+    assert_eq!(err.offset, 7);
+    assert!(err.to_string().contains("byte 7"));
+}
+
+#[test]
+fn rejects_unescaped_control_chars() {
+    assert!(parse("\"a\nb\"").is_err());
+}
+
+#[test]
+fn compact_roundtrip_preserves_value() {
+    let src = r#"{"b":[1,2.5,null,true],"a":{"nested":"x\"y"},"z":"end"}"#;
+    let v = parse(src).unwrap();
+    let reparsed = parse(&v.to_string()).unwrap();
+    assert_eq!(v, reparsed);
+}
+
+#[test]
+fn compact_output_is_sorted_and_stable() {
+    let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+    assert_eq!(v.to_string(), r#"{"a":2,"m":3,"z":1}"#);
+}
+
+#[test]
+fn pretty_output_indents() {
+    let v = Value::object([("k", Value::array([Value::from(1)]))]);
+    assert_eq!(v.to_pretty_string(), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+#[test]
+fn integers_serialize_without_decimal_point() {
+    assert_eq!(Value::from(7).to_string(), "7");
+    assert_eq!(Value::from(7.25).to_string(), "7.25");
+}
+
+#[test]
+fn non_finite_numbers_serialize_as_null() {
+    assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+    assert_eq!(Value::Number(f64::INFINITY).to_string(), "null");
+}
+
+#[test]
+fn pointer_walks_paths() {
+    let v = parse(r#"{"a":{"b":{"c":1}}}"#).unwrap();
+    assert_eq!(v.pointer("a.b.c").and_then(Value::as_i64), Some(1));
+    assert!(v.pointer("a.x").is_none());
+}
+
+#[test]
+fn node_count_counts_all_nodes() {
+    let v = parse(r#"{"a":[1,2],"b":null}"#).unwrap();
+    // object + array + 1 + 2 + null
+    assert_eq!(v.node_count(), 5);
+}
+
+#[test]
+fn from_impls_produce_expected_variants() {
+    assert_eq!(Value::from(true), Value::Bool(true));
+    assert_eq!(Value::from(3i32), Value::Number(3.0));
+    assert_eq!(Value::from(3usize), Value::Number(3.0));
+    assert_eq!(Value::from("s"), Value::String("s".into()));
+    let arr: Value = [1, 2, 3].into_iter().collect();
+    assert_eq!(arr.as_array().map(|a| a.len()), Some(3));
+}
+
+#[test]
+fn insert_updates_objects() {
+    let mut v = Value::object([("a", Value::from(1))]);
+    assert_eq!(v.insert("a", Value::from(2)), Some(Value::from(1)));
+    assert_eq!(v.get("a").and_then(Value::as_i64), Some(2));
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            (-1e9f64..1e9f64).prop_map(Value::Number),
+            "[a-zA-Z0-9 _\\\\\"\n\t]{0,24}".prop_map(Value::String),
+        ];
+        leaf.prop_recursive(4, 48, 6, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Any tree we can build serializes to text that parses back to the
+        /// same tree (modulo nothing: numbers stay finite by construction).
+        #[test]
+        fn roundtrip(v in arb_value()) {
+            let text = v.to_string();
+            let back = parse(&text).unwrap();
+            prop_assert_eq!(&back, &v);
+            // Pretty form parses to the same tree too.
+            let back_pretty = parse(&v.to_pretty_string()).unwrap();
+            prop_assert_eq!(back_pretty, v);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total(s in "\\PC{0,64}") {
+            let _ = parse(&s);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The owned JSON document tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON value.
+///
+/// Objects use a [`BTreeMap`] so that serialization order is deterministic —
+/// important because rendered tool schemas are token-counted by the
+/// simulator, and the whole workspace is reproducible from seeds.
+///
+/// # Examples
+///
+/// ```
+/// use lim_json::Value;
+///
+/// let v = Value::object([
+///     ("tool", Value::from("plot_captions")),
+///     ("k", Value::from(3)),
+/// ]);
+/// assert_eq!(v.get("k").and_then(Value::as_i64), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// The JSON `null` literal (the default, matching absent members).
+    #[default]
+    Null,
+    /// A JSON boolean.
+    Bool(bool),
+    /// A JSON number. All numbers are held as `f64`, like JavaScript.
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lim_json::Value;
+    /// let v = Value::object([("a", Value::from(1))]);
+    /// assert!(v.is_object());
+    /// ```
+    pub fn object<K, I>(pairs: I) -> Self
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from an iterator of values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lim_json::Value;
+    /// let v = Value::array([Value::from(1), Value::from(2)]);
+    /// assert_eq!(v.as_array().map(|a| a.len()), Some(2));
+    /// ```
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Returns `true` if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns `true` if the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Returns `true` if the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Borrows the value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an `i64`, if it is a number with an integral value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < i64::MAX as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the value as an object map, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    ///
+    /// Returns `None` when `self` is not an object or the key is absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Indexes into an array value.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(index))
+    }
+
+    /// Walks a dot-separated path of object keys, e.g. `"args.city"`.
+    ///
+    /// Array segments are not supported; this is a convenience for the flat
+    /// object shapes used by tool calls.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lim_json::parse;
+    /// # fn main() -> Result<(), lim_json::ParseJsonError> {
+    /// let v = parse(r#"{"a": {"b": 3}}"#)?;
+    /// assert_eq!(v.pointer("a.b").and_then(|x| x.as_i64()), Some(3));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn pointer(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Inserts `key = value` into an object value, returning the previous
+    /// entry if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object; insertion on non-objects is a
+    /// programming error in this workspace.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        match self {
+            Value::Object(map) => map.insert(key.into(), value),
+            other => panic!("insert on non-object JSON value: {other:?}"),
+        }
+    }
+
+    /// Recursively counts the nodes of the document tree.
+    ///
+    /// Used by tests and by the prompt-size heuristics in `lim-tools`.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Number(_) | Value::String(_) => 1,
+            Value::Array(items) => 1 + items.iter().map(Value::node_count).sum::<usize>(),
+            Value::Object(map) => 1 + map.values().map(Value::node_count).sum::<usize>(),
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::write_compact(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}

@@ -1,0 +1,124 @@
+//! Compact and pretty JSON writers.
+
+use crate::Value;
+
+/// Serializes `value` with no insignificant whitespace.
+///
+/// This is the representation token-counted by the LLM simulator, so it must
+/// be stable: object keys are emitted in sorted order (guaranteed by the
+/// `BTreeMap` in [`Value::Object`]).
+pub fn write_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out, None, 0);
+    out
+}
+
+/// Serializes `value` with two-space indentation, for logs and examples.
+pub fn write_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out, Some(2), 0);
+    out
+}
+
+impl Value {
+    /// Returns the pretty-printed (2-space indented) representation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lim_json::Value;
+    /// let v = Value::object([("a", Value::from(1))]);
+    /// assert_eq!(v.to_pretty_string(), "{\n  \"a\": 1\n}");
+    /// ```
+    pub fn to_pretty_string(&self) -> String {
+        write_pretty(self)
+    }
+}
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.is_nan() || n.is_infinite() {
+        // JSON has no NaN/Infinity; fall back to null like JavaScript's
+        // JSON.stringify.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,301 @@
+//! The behavioural model of one function-calling attempt.
+//!
+//! A call attempt resolves to one of four outcomes with probabilities
+//! governed by the model profile, its quantization, the task regime and —
+//! the paper's central variable — how many tools were put in front of the
+//! model. Resolution is a seeded draw: the same attempt with the same seed
+//! always resolves identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::ModelProfile;
+use crate::quant::{Quant, TaskKind};
+
+/// How one function-calling step ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentOutcome {
+    /// Correct tool, valid arguments.
+    Success,
+    /// The model committed to the wrong tool (no error signalled).
+    WrongTool,
+    /// Correct tool but arguments violate the schema.
+    BadArguments,
+    /// The model followed its instructions and returned the explicit
+    /// error object — the trigger for the paper's Level-3 fallback.
+    ErrorSignaled,
+}
+
+impl AgentOutcome {
+    /// Whether the step both chose the right tool and used it properly.
+    pub fn is_success(self) -> bool {
+        self == AgentOutcome::Success
+    }
+
+    /// Whether the right tool was selected (the paper's Tool Accuracy
+    /// numerator counts these).
+    pub fn tool_correct(self) -> bool {
+        matches!(self, AgentOutcome::Success | AgentOutcome::BadArguments)
+    }
+}
+
+/// One function-calling attempt, ready to resolve.
+#[derive(Debug, Clone, Copy)]
+pub struct CallAttempt<'a> {
+    /// Acting model.
+    pub model: &'a ModelProfile,
+    /// Its quantization.
+    pub quant: Quant,
+    /// Single-call or sequential regime.
+    pub task: TaskKind,
+    /// Number of tools offered in the prompt.
+    pub offered: usize,
+    /// Whether the tool this step actually needs is among them.
+    pub gold_offered: bool,
+    /// Deterministic seed for this attempt (derive per query/step/policy).
+    pub seed: u64,
+}
+
+impl CallAttempt<'_> {
+    /// Resolves the attempt to an outcome.
+    ///
+    /// Mechanics:
+    /// * If the needed tool is *not* offered, the model signals an error
+    ///   with probability `error_awareness` (enabling fallback), otherwise
+    ///   it confidently picks a wrong tool.
+    /// * Otherwise the tool is chosen correctly with probability
+    ///   [`ModelProfile::tool_accuracy`] (decaying with distractor count),
+    ///   and given a correct choice the arguments validate with
+    ///   probability [`ModelProfile::arg_accuracy`].
+    pub fn resolve(&self) -> AgentOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if !self.gold_offered {
+            return if rng.random::<f64>() < self.model.error_awareness {
+                AgentOutcome::ErrorSignaled
+            } else {
+                AgentOutcome::WrongTool
+            };
+        }
+        let distractors = self.offered.saturating_sub(1);
+        let p_tool = self.model.tool_accuracy(self.quant, self.task, distractors);
+        if rng.random::<f64>() >= p_tool {
+            return AgentOutcome::WrongTool;
+        }
+        let p_args = self.model.arg_accuracy(self.quant, self.task);
+        if rng.random::<f64>() >= p_args {
+            return AgentOutcome::BadArguments;
+        }
+        AgentOutcome::Success
+    }
+
+    /// Number of tokens the model decodes for this attempt's outcome.
+    ///
+    /// Clean calls are terse JSON. Confused paths ramble, and the ramble
+    /// length scales with how many tools were in front of the model —
+    /// a confused model deliberates over its options. This coupling is
+    /// the dominant source of the default policy's latency (Table II: the
+    /// failing 46-tool run takes 30 s against 20 s with 19 tools) and of
+    /// the 70%+ execution-time reductions Less-is-More reports.
+    pub fn decode_tokens(&self, outcome: AgentOutcome) -> u32 {
+        // 40 offered tools ≈ full-catalog confusion. Sequential failures
+        // ramble regardless of catalog size — the model is lost in the
+        // chain, not among the tools — which is why the paper's GeoEngine
+        // time reductions (−15…40%) are much smaller than BFCL's (−48…80%).
+        let mut confusion = (self.offered as f64 / 40.0).min(1.0);
+        if self.task == TaskKind::Sequential {
+            confusion = confusion.max(0.65);
+        }
+        match outcome {
+            AgentOutcome::Success | AgentOutcome::BadArguments => self.model.call_tokens,
+            AgentOutcome::WrongTool => {
+                self.model.call_tokens + (f64::from(self.model.ramble_tokens) * confusion) as u32
+            }
+            AgentOutcome::ErrorSignaled => {
+                // The model retried internally before giving up.
+                (f64::from(self.model.ramble_tokens) * confusion.max(0.5)) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::catalog;
+
+    fn rate(model: &ModelProfile, offered: usize, gold: bool, n: u64) -> f64 {
+        let ok = (0..n)
+            .filter(|i| {
+                CallAttempt {
+                    model,
+                    quant: Quant::Q4KM,
+                    task: TaskKind::SingleCall,
+                    offered,
+                    gold_offered: gold,
+                    seed: 0xA5A5_0000 + i,
+                }
+                .resolve()
+                .is_success()
+            })
+            .count();
+        ok as f64 / n as f64
+    }
+
+    #[test]
+    fn resolution_is_deterministic_per_seed() {
+        let models = catalog();
+        let attempt = CallAttempt {
+            model: &models[0],
+            quant: Quant::Q4_0,
+            task: TaskKind::SingleCall,
+            offered: 51,
+            gold_offered: true,
+            seed: 42,
+        };
+        assert_eq!(attempt.resolve(), attempt.resolve());
+    }
+
+    #[test]
+    fn missing_gold_tool_never_succeeds() {
+        let models = catalog();
+        for i in 0..200 {
+            let outcome = CallAttempt {
+                model: &models[1],
+                quant: Quant::Q8_0,
+                task: TaskKind::SingleCall,
+                offered: 5,
+                gold_offered: false,
+                seed: i,
+            }
+            .resolve();
+            assert!(!outcome.is_success());
+            assert!(matches!(
+                outcome,
+                AgentOutcome::ErrorSignaled | AgentOutcome::WrongTool
+            ));
+        }
+    }
+
+    #[test]
+    fn fewer_tools_raise_empirical_success() {
+        // The Less-is-More hypothesis, measured on the simulator itself.
+        let models = catalog();
+        let hermes = &models[0];
+        let few = rate(hermes, 5, true, 4000);
+        let many = rate(hermes, 51, true, 4000);
+        assert!(
+            few > many + 0.1,
+            "few-tools {few:.3} should beat many-tools {many:.3}"
+        );
+    }
+
+    #[test]
+    fn empirical_rate_matches_analytic_probability() {
+        let models = catalog();
+        let m = &models[1]; // llama
+        let expect = m.tool_accuracy(Quant::Q4KM, TaskKind::SingleCall, 50)
+            * m.arg_accuracy(Quant::Q4KM, TaskKind::SingleCall);
+        let got = rate(m, 51, true, 8000);
+        assert!(
+            (got - expect).abs() < 0.03,
+            "empirical {got:.3} vs analytic {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn error_signal_rate_tracks_awareness() {
+        let models = catalog();
+        let m = &models[0]; // hermes, awareness 0.65
+        let n = 4000u64;
+        let errs = (0..n)
+            .filter(|i| {
+                CallAttempt {
+                    model: m,
+                    quant: Quant::Q4KM,
+                    task: TaskKind::SingleCall,
+                    offered: 5,
+                    gold_offered: false,
+                    seed: 7_000_000 + i,
+                }
+                .resolve()
+                    == AgentOutcome::ErrorSignaled
+            })
+            .count();
+        let r = errs as f64 / n as f64;
+        assert!((r - m.error_awareness).abs() < 0.03, "rate {r:.3}");
+    }
+
+    #[test]
+    fn failure_paths_decode_more_tokens() {
+        let models = catalog();
+        let attempt = CallAttempt {
+            model: &models[2],
+            quant: Quant::Q4KM,
+            task: TaskKind::SingleCall,
+            offered: 10,
+            gold_offered: true,
+            seed: 1,
+        };
+        assert!(
+            attempt.decode_tokens(AgentOutcome::ErrorSignaled)
+                > attempt.decode_tokens(AgentOutcome::Success)
+        );
+        assert!(
+            attempt.decode_tokens(AgentOutcome::WrongTool)
+                > attempt.decode_tokens(AgentOutcome::Success)
+        );
+    }
+
+    #[test]
+    fn rambling_scales_with_offered_tools() {
+        let models = catalog();
+        let attempt_with = |offered| CallAttempt {
+            model: &models[1],
+            quant: Quant::Q4KM,
+            task: TaskKind::SingleCall,
+            offered,
+            gold_offered: true,
+            seed: 1,
+        };
+        let few = attempt_with(3).decode_tokens(AgentOutcome::WrongTool);
+        let many = attempt_with(51).decode_tokens(AgentOutcome::WrongTool);
+        assert!(
+            many > few * 2,
+            "full-catalog confusion should ramble much longer: {many} vs {few}"
+        );
+        // Success decodes are confusion-independent.
+        assert_eq!(
+            attempt_with(3).decode_tokens(AgentOutcome::Success),
+            attempt_with(51).decode_tokens(AgentOutcome::Success)
+        );
+    }
+
+    #[test]
+    fn sequential_rambling_has_a_floor() {
+        let models = catalog();
+        let attempt = |task| CallAttempt {
+            model: &models[1],
+            quant: Quant::Q4KM,
+            task,
+            offered: 4, // tiny offer: single-call confusion would be ~10%
+            gold_offered: true,
+            seed: 1,
+        };
+        let single = attempt(TaskKind::SingleCall).decode_tokens(AgentOutcome::WrongTool);
+        let chain = attempt(TaskKind::Sequential).decode_tokens(AgentOutcome::WrongTool);
+        assert!(
+            chain > single * 3,
+            "chain failures ramble regardless of catalog size: {chain} vs {single}"
+        );
+    }
+
+    #[test]
+    fn outcome_helpers_classify_correctly() {
+        assert!(AgentOutcome::Success.is_success());
+        assert!(AgentOutcome::Success.tool_correct());
+        assert!(AgentOutcome::BadArguments.tool_correct());
+        assert!(!AgentOutcome::BadArguments.is_success());
+        assert!(!AgentOutcome::WrongTool.tool_correct());
+        assert!(!AgentOutcome::ErrorSignaled.tool_correct());
+    }
+}

@@ -1,0 +1,41 @@
+//! Calibrated edge-LLM simulator — the Ollama-served-model substitute.
+//!
+//! The paper runs six open LLMs (Hermes2-Pro-8b, Llama3.1-8b, Mistral-8b,
+//! Phi3-8b, Qwen2-1.5b, Qwen2-7b) in four Ollama quantizations on a Jetson
+//! board. Its claims are *statistical*: success rates, tool accuracies and
+//! time/power deltas between tool-presentation policies. This crate models
+//! the causal levers those claims rest on, and nothing more:
+//!
+//! 1. **Capability** ([`agent`]) — the probability of choosing the right
+//!    tool falls with the number of distractor tools offered (the Table II
+//!    insight), falls with quantization (Table I), and compounds across
+//!    sequential call chains (the GeoEngine regime);
+//! 2. **Recommendation** ([`recommender`]) — prompted with *no* tools, the
+//!    model emits noisy "ideal tool" descriptions whose fidelity depends on
+//!    model quality, so downstream retrieval can genuinely miss;
+//! 3. **Cost** ([`timing`]) — prompt length (tool JSON), decode length and
+//!    the allocated context window map to roofline phases for
+//!    [`lim_device`].
+//!
+//! Everything is deterministic given a seed: each decision derives its own
+//! [`rand::rngs::StdRng`] stream, so full benchmark runs are reproducible
+//! bit-for-bit.
+//!
+//! Calibration constants live in [`profiles`] and are documented against
+//! the paper figure/table they were fit to; `EXPERIMENTS.md` records how
+//! close the regenerated numbers land.
+
+pub mod agent;
+pub mod profiles;
+pub mod recommender;
+pub mod timing;
+pub mod tokens;
+
+mod quant;
+
+pub use agent::{AgentOutcome, CallAttempt};
+pub use profiles::{ModelArch, ModelProfile};
+pub use quant::{Quant, TaskKind};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,144 @@
+//! Quantization variants and task-style calibration.
+
+/// Which benchmark regime a query belongs to.
+///
+/// Quantization damage differs by regime (Table I): single-call BFCL-style
+/// queries collapse hard under 4-bit quantization, while GeoEngine-style
+/// sequential queries — whose prompts carry more structural scaffolding —
+/// degrade less (and non-monotonically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Independent single function calls per query (BFCL-like).
+    SingleCall,
+    /// Sequential chains where each call consumes the previous result
+    /// (GeoEngine-like).
+    Sequential,
+}
+
+/// Ollama-style weight quantization of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quant {
+    /// Full-precision fp16 (the HuggingFace reference point in Table I).
+    F16,
+    /// 4-bit, smallest and least accurate.
+    Q4_0,
+    /// 4-bit with per-block min offset; better accuracy.
+    Q4_1,
+    /// 4-bit mixed-precision K-quant; the common default.
+    Q4KM,
+    /// 8-bit; highest fidelity of the quantized set.
+    Q8_0,
+}
+
+impl Quant {
+    /// The four Ollama variants evaluated in Figures 2–3.
+    pub const OLLAMA: [Quant; 4] = [Quant::Q4_0, Quant::Q4_1, Quant::Q4KM, Quant::Q8_0];
+
+    /// All variants including full precision (Table I's columns).
+    pub const ALL: [Quant; 5] = [
+        Quant::F16,
+        Quant::Q4_0,
+        Quant::Q4_1,
+        Quant::Q4KM,
+        Quant::Q8_0,
+    ];
+
+    /// Effective storage bits per weight (including block scales/offsets).
+    pub fn bits_per_weight(self) -> f64 {
+        match self {
+            Quant::F16 => 16.0,
+            Quant::Q4_0 => 4.5,
+            Quant::Q4_1 => 5.0,
+            Quant::Q4KM => 4.85,
+            Quant::Q8_0 => 8.5,
+        }
+    }
+
+    /// Fraction of full-precision *per-call* competence that survives this
+    /// quantization, per task style.
+    ///
+    /// Calibrated against **Table I** (Llama3.1-8b success-rate ratios to
+    /// full precision). For single-call queries the query-level ratio *is*
+    /// the per-call ratio: BFCL gives 20.43/63.04 ≈ 0.32, 34.35/63.04 ≈
+    /// 0.55, 39.57/63.04 ≈ 0.63, 44.35/63.04 ≈ 0.70. GeoEngine queries in
+    /// the reproduction workload chain ~3.42 calls on average, so the
+    /// query-level ratios (0.67, 0.93, 0.89, 0.83) are de-compounded as
+    /// `r^(1/3.42)` to get the per-call factors below. Note the paper's
+    /// non-monotone GeoEngine ordering (q4_1 > q4_K_M > q8_0) is
+    /// preserved deliberately.
+    pub fn competence_factor(self, task: TaskKind) -> f64 {
+        match (self, task) {
+            (Quant::F16, _) => 1.0,
+            (Quant::Q4_0, TaskKind::SingleCall) => 0.32,
+            (Quant::Q4_1, TaskKind::SingleCall) => 0.55,
+            (Quant::Q4KM, TaskKind::SingleCall) => 0.63,
+            (Quant::Q8_0, TaskKind::SingleCall) => 0.70,
+            (Quant::Q4_0, TaskKind::Sequential) => 0.891,
+            (Quant::Q4_1, TaskKind::Sequential) => 0.980,
+            (Quant::Q4KM, TaskKind::Sequential) => 0.967,
+            (Quant::Q8_0, TaskKind::Sequential) => 0.947,
+        }
+    }
+
+    /// Ollama-style tag, e.g. `"q4_K_M"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quant::F16 => "f16",
+            Quant::Q4_0 => "q4_0",
+            Quant::Q4_1 => "q4_1",
+            Quant::Q4KM => "q4_K_M",
+            Quant::Q8_0 => "q8_0",
+        }
+    }
+}
+
+impl std::fmt::Display for Quant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_ordering_matches_family() {
+        assert!(Quant::Q4_0.bits_per_weight() < Quant::Q4KM.bits_per_weight());
+        assert!(Quant::Q4KM.bits_per_weight() < Quant::Q8_0.bits_per_weight());
+        assert!(Quant::Q8_0.bits_per_weight() < Quant::F16.bits_per_weight());
+    }
+
+    #[test]
+    fn single_call_competence_is_monotone_in_fidelity() {
+        let t = TaskKind::SingleCall;
+        assert!(Quant::Q4_0.competence_factor(t) < Quant::Q4_1.competence_factor(t));
+        assert!(Quant::Q4_1.competence_factor(t) < Quant::Q4KM.competence_factor(t));
+        assert!(Quant::Q4KM.competence_factor(t) < Quant::Q8_0.competence_factor(t));
+        assert!(Quant::Q8_0.competence_factor(t) < Quant::F16.competence_factor(t));
+    }
+
+    #[test]
+    fn sequential_preserves_papers_non_monotone_ordering() {
+        // Table I: q4_1 beats q4_K_M beats q8_0 on GeoEngine.
+        let t = TaskKind::Sequential;
+        assert!(Quant::Q4_1.competence_factor(t) > Quant::Q4KM.competence_factor(t));
+        assert!(Quant::Q4KM.competence_factor(t) > Quant::Q8_0.competence_factor(t));
+    }
+
+    #[test]
+    fn sequential_degrades_less_than_single_call() {
+        for q in Quant::OLLAMA {
+            assert!(
+                q.competence_factor(TaskKind::Sequential)
+                    >= q.competence_factor(TaskKind::SingleCall)
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_ollama_style() {
+        assert_eq!(Quant::Q4KM.to_string(), "q4_K_M");
+        assert_eq!(Quant::Q8_0.label(), "q8_0");
+    }
+}

@@ -1,0 +1,167 @@
+//! The Tool-Recommender behavioural model (§III-B).
+//!
+//! Prompted with *no* tools attached, the LLM describes the "ideal" tools
+//! it believes the query needs. We simulate the semantic content of that
+//! output: for each tool the query actually needs, the model reproduces a
+//! *noisy paraphrase* of its functionality — words are retained with a
+//! probability driven by the model's quality and quantization, and
+//! anticipation of later steps in a chain is harder than the first step.
+//!
+//! The noise matters: downstream retrieval consumes these texts through
+//! the real embedder, so a weak model's vague description can genuinely
+//! pull the wrong tools into the prompt — the same failure mode the paper
+//! guards against with its 0.5-confidence fallback.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::ModelProfile;
+use crate::quant::{Quant, TaskKind};
+
+/// Generic filler the model mixes into its descriptions (simulating the
+/// boilerplate LLMs produce when unsure).
+const FILLER: [&str; 8] = [
+    "helper", "utility", "process", "handle", "manage", "general", "information", "request",
+];
+
+/// Minimum per-word retention even for the weakest configuration: models
+/// echo at least the gist of what they plan to do.
+const FLOOR_RETENTION: f64 = 0.35;
+
+/// Produces the recommender's "ideal tool" descriptions for a query.
+///
+/// `needed_functionality` holds one ground-truth functionality string per
+/// anticipated call step (the pipeline passes the gold tools' descriptions
+/// — the simulator's stand-in for "the model understood the query").
+/// Returns one noisy description per step, each blended with query words
+/// as the paper's `Ẽ` embedding construction prescribes.
+pub fn recommend_descriptions(
+    model: &ModelProfile,
+    quant: Quant,
+    query: &str,
+    needed_functionality: &[&str],
+    seed: u64,
+) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let quant_quality = quant
+        .competence_factor(TaskKind::SingleCall)
+        .powf(0.1);
+    needed_functionality
+        .iter()
+        .enumerate()
+        .map(|(step, functionality)| {
+            // Anticipating later chain steps is harder than the first.
+            let anticipation = 1.0 / (1.0 + 0.15 * step as f64);
+            let retention = FLOOR_RETENTION
+                + (1.0 - FLOOR_RETENTION)
+                    * model.recommender_quality
+                    * quant_quality
+                    * anticipation;
+            let mut words: Vec<String> = functionality
+                .split_whitespace()
+                .filter(|_| rng.random::<f64>() < retention)
+                .map(str::to_owned)
+                .collect();
+            if words.len() < 2 {
+                // Degenerate drop-everything case: keep the first words so
+                // the output is never empty.
+                words = functionality
+                    .split_whitespace()
+                    .take(3)
+                    .map(str::to_owned)
+                    .collect();
+            }
+            // Unsure models pad with generic filler.
+            let filler_count = ((1.0 - retention) * 3.0).round() as usize;
+            for _ in 0..filler_count {
+                let pick = FILLER[rng.random_range(0..FILLER.len())];
+                words.push(pick.to_owned());
+            }
+            format!("{} (for: {})", words.join(" "), query)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+
+    fn hermes() -> ModelProfile {
+        ModelProfile::by_name("hermes2-pro-8b").unwrap()
+    }
+
+    fn mistral() -> ModelProfile {
+        ModelProfile::by_name("mistral-8b").unwrap()
+    }
+
+    const FUNC: &str =
+        "fetches current weather conditions and forecast data for a given city and date range";
+
+    #[test]
+    fn output_count_matches_steps() {
+        let out = recommend_descriptions(&hermes(), Quant::Q4KM, "q", &[FUNC, FUNC, FUNC], 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = recommend_descriptions(&hermes(), Quant::Q4KM, "q", &[FUNC], 9);
+        let b = recommend_descriptions(&hermes(), Quant::Q4KM, "q", &[FUNC], 9);
+        assert_eq!(a, b);
+        let c = recommend_descriptions(&hermes(), Quant::Q4KM, "q", &[FUNC], 10);
+        assert_ne!(a, c, "different seeds should perturb the output");
+    }
+
+    #[test]
+    fn stronger_model_retains_more_signal_words() {
+        let signal: Vec<&str> = FUNC.split_whitespace().collect();
+        let count_kept = |model: &ModelProfile| -> usize {
+            (0..200)
+                .map(|s| {
+                    let out = recommend_descriptions(model, Quant::Q4KM, "q", &[FUNC], s);
+                    let body = out[0].split(" (for:").next().unwrap().to_owned();
+                    signal
+                        .iter()
+                        .filter(|w| body.split_whitespace().any(|x| x == **w))
+                        .count()
+                })
+                .sum()
+        };
+        let strong = count_kept(&hermes());
+        let weak = count_kept(&mistral());
+        assert!(strong > weak, "hermes {strong} vs mistral {weak}");
+    }
+
+    #[test]
+    fn query_context_is_appended() {
+        let out = recommend_descriptions(&hermes(), Quant::Q4KM, "weather in Paris", &[FUNC], 3);
+        assert!(out[0].contains("weather in Paris"));
+    }
+
+    #[test]
+    fn never_empty_even_at_worst_quality() {
+        let out = recommend_descriptions(&mistral(), Quant::Q4_0, "q", &["a b c d e"], 4);
+        assert!(!out[0].trim().is_empty());
+    }
+
+    #[test]
+    fn later_steps_are_noisier_on_average() {
+        let signal: Vec<&str> = FUNC.split_whitespace().collect();
+        let kept_at = |step: usize| -> usize {
+            (0..300)
+                .map(|s| {
+                    let needed = vec![FUNC; step + 1];
+                    let out =
+                        recommend_descriptions(&hermes(), Quant::Q4KM, "q", &needed, s);
+                    let body = out[step].split(" (for:").next().unwrap().to_owned();
+                    signal
+                        .iter()
+                        .filter(|w| body.split_whitespace().any(|x| x == **w))
+                        .count()
+                })
+                .sum()
+        };
+        assert!(kept_at(0) > kept_at(3), "step 0 {} vs step 3 {}", kept_at(0), kept_at(3));
+    }
+}

@@ -1,0 +1,135 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{
+    agent::CallAttempt,
+    profiles::{catalog, ModelProfile},
+    timing::{phases, InferenceRequest},
+    Quant, TaskKind,
+};
+use proptest::prelude::*;
+
+#[test]
+fn end_to_end_call_cost_is_realistic() {
+    // A default-policy BFCL query on Llama-q4_K_M: 51 tools (~4600-token
+    // prompt) and a terse call should take single-digit seconds; the same
+    // call with 5 tools should be several times faster.
+    let orin = lim_device::DeviceProfile::jetson_agx_orin();
+    let llama = ModelProfile::by_name("llama3.1-8b").unwrap();
+    let time = |prompt: u32, ctx: u32| {
+        phases(
+            &llama,
+            Quant::Q4KM,
+            &InferenceRequest {
+                prompt_tokens: prompt,
+                decode_tokens: 48,
+                context_tokens: ctx,
+            },
+        )
+        .iter()
+        .map(|p| orin.run_phase(p).seconds)
+        .sum::<f64>()
+    };
+    let default_policy = time(4600, 16384);
+    let lim_policy = time(700, 8192);
+    assert!(default_policy > 4.0 && default_policy < 15.0, "{default_policy}");
+    assert!(lim_policy < default_policy * 0.55);
+}
+
+#[test]
+fn recommender_overhead_is_negligible_vs_default_call() {
+    // §IV claims the recommender step introduces negligible overhead
+    // compared to full-tool function calling. Verify on the cost model.
+    let orin = lim_device::DeviceProfile::jetson_agx_orin();
+    let m = ModelProfile::by_name("hermes2-pro-8b").unwrap();
+    let run = |req: &InferenceRequest| {
+        phases(&m, Quant::Q4KM, req)
+            .iter()
+            .map(|p| orin.run_phase(p).seconds)
+            .sum::<f64>()
+    };
+    let recommender = run(&InferenceRequest {
+        prompt_tokens: 150,
+        decode_tokens: m.recommend_tokens,
+        context_tokens: 8192,
+    });
+    let default_call = run(&InferenceRequest {
+        prompt_tokens: 4600,
+        decode_tokens: 150,
+        context_tokens: 16384,
+    });
+    assert!(
+        recommender < 0.45 * default_call,
+        "recommender {recommender:.2}s vs default call {default_call:.2}s"
+    );
+}
+
+proptest! {
+    /// Attempt resolution never panics and respects the gold-offered
+    /// invariant for every model/quant/task combination.
+    #[test]
+    fn resolve_total_and_consistent(
+        model_ix in 0usize..6,
+        quant_ix in 0usize..5,
+        task_ix in 0usize..2,
+        offered in 1usize..64,
+        gold in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let models = catalog();
+        let attempt = CallAttempt {
+            model: &models[model_ix],
+            quant: Quant::ALL[quant_ix],
+            task: [TaskKind::SingleCall, TaskKind::Sequential][task_ix],
+            offered,
+            gold_offered: gold,
+            seed,
+        };
+        let outcome = attempt.resolve();
+        if !gold {
+            prop_assert!(!outcome.is_success());
+        }
+        prop_assert!(attempt.decode_tokens(outcome) > 0);
+    }
+
+    /// Phase construction is total and produces non-negative quantities
+    /// with the documented labels.
+    #[test]
+    fn phases_well_formed(
+        prompt in 0u32..20_000,
+        decode in 0u32..2_000,
+        ctx_pow in 10u32..16,
+    ) {
+        let m = &catalog()[1];
+        let req = InferenceRequest {
+            prompt_tokens: prompt,
+            decode_tokens: decode,
+            context_tokens: 1 << ctx_pow,
+        };
+        let ps = phases(m, Quant::Q4KM, &req);
+        let expected = usize::from(prompt > 0) + usize::from(decode > 0);
+        prop_assert_eq!(ps.len(), expected);
+        for p in &ps {
+            prop_assert!(p.flops() >= 0.0);
+            prop_assert!(p.bytes() >= 0.0);
+            prop_assert!(p.label() == "prefill" || p.label() == "decode");
+        }
+    }
+
+    /// Success rates are monotone: fewer distractors never hurt, in every
+    /// configuration (the paper's core monotonicity).
+    #[test]
+    fn analytic_monotonicity(
+        model_ix in 0usize..6,
+        quant_ix in 0usize..5,
+        d1 in 0usize..100,
+        d2 in 0usize..100,
+    ) {
+        let models = catalog();
+        let m = &models[model_ix];
+        let q = Quant::ALL[quant_ix];
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        for task in [TaskKind::SingleCall, TaskKind::Sequential] {
+            prop_assert!(m.tool_accuracy(q, task, lo) >= m.tool_accuracy(q, task, hi));
+        }
+    }
+}

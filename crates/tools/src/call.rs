@@ -1,0 +1,166 @@
+//! Tool calls and their validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use lim_json::Value;
+
+/// A function call emitted by an agent: tool name plus JSON arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolCall {
+    tool: String,
+    args: Value,
+}
+
+impl ToolCall {
+    /// Creates a call. `args` is typically a JSON object.
+    pub fn new(tool: impl Into<String>, args: Value) -> Self {
+        Self {
+            tool: tool.into(),
+            args,
+        }
+    }
+
+    /// Name of the tool being invoked.
+    pub fn tool(&self) -> &str {
+        &self.tool
+    }
+
+    /// The JSON arguments.
+    pub fn args(&self) -> &Value {
+        &self.args
+    }
+
+    /// Renders the wire format `{"name": ..., "arguments": ...}`.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.tool.as_str())),
+            ("arguments", self.args.clone()),
+        ])
+    }
+
+    /// Parses the wire format produced by [`ToolCall::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallValidationError::Malformed`] when the document lacks
+    /// the `name` string or `arguments` member.
+    pub fn from_json(value: &Value) -> Result<Self, CallValidationError> {
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| CallValidationError::Malformed("missing \"name\"".into()))?;
+        let args = value
+            .get("arguments")
+            .cloned()
+            .ok_or_else(|| CallValidationError::Malformed("missing \"arguments\"".into()))?;
+        Ok(Self::new(name, args))
+    }
+}
+
+impl fmt::Display for ToolCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.tool, self.args)
+    }
+}
+
+/// Result payload returned by executing a tool (simulated or real).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolOutput {
+    /// Tool that produced the output.
+    pub tool: String,
+    /// JSON payload of the result.
+    pub payload: Value,
+}
+
+impl ToolOutput {
+    /// Creates an output record.
+    pub fn new(tool: impl Into<String>, payload: Value) -> Self {
+        Self {
+            tool: tool.into(),
+            payload,
+        }
+    }
+}
+
+/// Why a [`ToolCall`] failed validation against a [`crate::ToolSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallValidationError {
+    /// The call named a different tool than the schema.
+    WrongTool {
+        /// Tool the schema describes.
+        expected: String,
+        /// Tool the call named.
+        got: String,
+    },
+    /// A required parameter was absent.
+    MissingParam(String),
+    /// A parameter not present in the schema was supplied.
+    UnknownParam(String),
+    /// A parameter value had the wrong JSON type.
+    TypeMismatch {
+        /// Offending parameter name.
+        param: String,
+        /// Expected type, as rendered by [`crate::ParamType`]'s `Display`.
+        expected: String,
+        /// The actual JSON value, serialized.
+        got: String,
+    },
+    /// The call document itself was not well-formed.
+    Malformed(String),
+}
+
+impl fmt::Display for CallValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallValidationError::WrongTool { expected, got } => {
+                write!(f, "call names tool {got:?}, schema is for {expected:?}")
+            }
+            CallValidationError::MissingParam(p) => write!(f, "missing required parameter {p:?}"),
+            CallValidationError::UnknownParam(p) => write!(f, "unknown parameter {p:?}"),
+            CallValidationError::TypeMismatch { param, expected, got } => {
+                write!(f, "parameter {param:?} expects {expected}, got {got}")
+            }
+            CallValidationError::Malformed(why) => write!(f, "malformed tool call: {why}"),
+        }
+    }
+}
+
+impl Error for CallValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_json::parse;
+
+    #[test]
+    fn wire_format_roundtrip() {
+        let call = ToolCall::new("translate", parse(r#"{"text":"hi","lang":"fr"}"#).unwrap());
+        let back = ToolCall::from_json(&call.to_json()).unwrap();
+        assert_eq!(back, call);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        assert!(ToolCall::from_json(&parse(r#"{"arguments":{}}"#).unwrap()).is_err());
+        assert!(ToolCall::from_json(&parse(r#"{"name":"x"}"#).unwrap()).is_err());
+        assert!(ToolCall::from_json(&parse(r#"{"name":3,"arguments":{}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let call = ToolCall::new("f", parse(r#"{"a":1}"#).unwrap());
+        assert_eq!(call.to_string(), r#"f({"a":1})"#);
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = CallValidationError::TypeMismatch {
+            param: "city".into(),
+            expected: "string".into(),
+            got: "42".into(),
+        };
+        assert!(e.to_string().contains("city"));
+        assert!(e.to_string().contains("string"));
+    }
+}

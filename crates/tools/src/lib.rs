@@ -1,0 +1,39 @@
+//! Tool (API function) schemas, registry and call validation.
+//!
+//! Everything the paper calls a "tool" lives here: the schema the agent is
+//! shown ([`ToolSpec`], rendered to OpenAI-style JSON), the catalog that a
+//! benchmark ships ([`ToolRegistry`]), and the call/validation machinery
+//! ([`ToolCall`], [`ToolSpec::validate_call`]) that decides whether an
+//! agent used a tool *properly* — the paper's Success-Rate metric requires
+//! "providing the correct input types according to the function's
+//! requirements" (§IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_tools::{ParamSpec, ParamType, ToolSpec};
+//!
+//! let tool = ToolSpec::builder("weather_information")
+//!     .description("Fetches current weather data for a given city")
+//!     .category("weather")
+//!     .param(ParamSpec::required("city", ParamType::String, "City name"))
+//!     .param(ParamSpec::optional("units", ParamType::Enum(vec![
+//!         "metric".into(), "imperial".into(),
+//!     ]), "Unit system"))
+//!     .build();
+//! assert_eq!(tool.name(), "weather_information");
+//! assert!(tool.schema_json().to_string().contains("\"city\""));
+//! ```
+
+mod call;
+mod param;
+mod registry;
+mod spec;
+
+pub use call::{CallValidationError, ToolCall, ToolOutput};
+pub use param::{ParamSpec, ParamType};
+pub use registry::{RegistryError, ToolRegistry};
+pub use spec::{ToolSpec, ToolSpecBuilder};
+
+#[cfg(test)]
+mod tests;

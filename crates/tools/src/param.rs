@@ -1,0 +1,186 @@
+//! Parameter schemas.
+
+use lim_json::Value;
+
+/// The JSON type a tool parameter accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamType {
+    /// Any JSON string.
+    String,
+    /// An integral JSON number.
+    Integer,
+    /// Any JSON number.
+    Number,
+    /// A JSON boolean.
+    Boolean,
+    /// A JSON array whose items all have the given type.
+    Array(Box<ParamType>),
+    /// A string restricted to a fixed set of values.
+    Enum(Vec<String>),
+}
+
+impl ParamType {
+    /// JSON-schema type name used when rendering the schema.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ParamType::String | ParamType::Enum(_) => "string",
+            ParamType::Integer => "integer",
+            ParamType::Number => "number",
+            ParamType::Boolean => "boolean",
+            ParamType::Array(_) => "array",
+        }
+    }
+
+    /// Checks whether `value` inhabits this type.
+    pub fn accepts(&self, value: &Value) -> bool {
+        match self {
+            ParamType::String => value.as_str().is_some(),
+            ParamType::Integer => value.as_i64().is_some(),
+            ParamType::Number => value.as_f64().is_some(),
+            ParamType::Boolean => value.as_bool().is_some(),
+            ParamType::Array(item) => value
+                .as_array()
+                .is_some_and(|items| items.iter().all(|v| item.accepts(v))),
+            ParamType::Enum(options) => value
+                .as_str()
+                .is_some_and(|s| options.iter().any(|o| o == s)),
+        }
+    }
+}
+
+impl std::fmt::Display for ParamType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamType::Array(item) => write!(f, "array<{item}>"),
+            ParamType::Enum(options) => write!(f, "enum({})", options.join("|")),
+            other => f.write_str(other.type_name()),
+        }
+    }
+}
+
+/// Schema of a single tool parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    name: String,
+    ty: ParamType,
+    description: String,
+    required: bool,
+}
+
+impl ParamSpec {
+    /// Creates a required parameter.
+    pub fn required(name: impl Into<String>, ty: ParamType, description: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            description: description.into(),
+            required: true,
+        }
+    }
+
+    /// Creates an optional parameter.
+    pub fn optional(name: impl Into<String>, ty: ParamType, description: impl Into<String>) -> Self {
+        Self {
+            required: false,
+            ..Self::required(name, ty, description)
+        }
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter type.
+    pub fn ty(&self) -> &ParamType {
+        &self.ty
+    }
+
+    /// Human-readable description (part of the prompt the agent sees).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Whether a call must provide this parameter.
+    pub fn is_required(&self) -> bool {
+        self.required
+    }
+
+    /// Renders this parameter's JSON-schema fragment.
+    pub fn schema_json(&self) -> Value {
+        let mut obj = Value::object([
+            ("type", Value::from(self.ty.type_name())),
+            ("description", Value::from(self.description.as_str())),
+        ]);
+        if let ParamType::Enum(options) = &self.ty {
+            obj.insert(
+                "enum",
+                options.iter().map(|o| Value::from(o.as_str())).collect(),
+            );
+        }
+        if let ParamType::Array(item) = &self.ty {
+            obj.insert("items", Value::object([("type", Value::from(item.type_name()))]));
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_json::parse;
+
+    #[test]
+    fn accepts_matching_values() {
+        assert!(ParamType::String.accepts(&Value::from("x")));
+        assert!(ParamType::Integer.accepts(&Value::from(3)));
+        assert!(!ParamType::Integer.accepts(&Value::from(3.5)));
+        assert!(ParamType::Number.accepts(&Value::from(3.5)));
+        assert!(ParamType::Boolean.accepts(&Value::from(true)));
+        assert!(!ParamType::Boolean.accepts(&Value::from("true")));
+    }
+
+    #[test]
+    fn array_type_checks_items() {
+        let ty = ParamType::Array(Box::new(ParamType::Integer));
+        assert!(ty.accepts(&parse("[1,2,3]").unwrap()));
+        assert!(!ty.accepts(&parse("[1,\"a\"]").unwrap()));
+        assert!(ty.accepts(&parse("[]").unwrap()));
+    }
+
+    #[test]
+    fn enum_type_restricts_values() {
+        let ty = ParamType::Enum(vec!["metric".into(), "imperial".into()]);
+        assert!(ty.accepts(&Value::from("metric")));
+        assert!(!ty.accepts(&Value::from("kelvin")));
+        assert!(!ty.accepts(&Value::from(1)));
+    }
+
+    #[test]
+    fn schema_includes_enum_options() {
+        let p = ParamSpec::required(
+            "units",
+            ParamType::Enum(vec!["a".into(), "b".into()]),
+            "unit system",
+        );
+        let text = p.schema_json().to_string();
+        assert!(text.contains("\"enum\""));
+        assert!(text.contains("\"a\""));
+    }
+
+    #[test]
+    fn display_formats_compound_types() {
+        let ty = ParamType::Array(Box::new(ParamType::String));
+        assert_eq!(ty.to_string(), "array<string>");
+        assert_eq!(
+            ParamType::Enum(vec!["x".into(), "y".into()]).to_string(),
+            "enum(x|y)"
+        );
+    }
+
+    #[test]
+    fn required_vs_optional() {
+        assert!(ParamSpec::required("a", ParamType::String, "").is_required());
+        assert!(!ParamSpec::optional("a", ParamType::String, "").is_required());
+    }
+}

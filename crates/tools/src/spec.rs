@@ -1,0 +1,295 @@
+//! Tool schemas.
+
+use lim_json::Value;
+
+use crate::call::{CallValidationError, ToolCall};
+use crate::param::ParamSpec;
+
+/// Schema of one callable tool (API function).
+///
+/// Rendered into the OpenAI function-calling JSON shape by
+/// [`ToolSpec::schema_json`]; that rendering is the exact text appended to
+/// the agent prompt, so its size drives the simulator's prefill cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolSpec {
+    name: String,
+    description: String,
+    category: String,
+    params: Vec<ParamSpec>,
+    returns: String,
+}
+
+impl ToolSpec {
+    /// Starts building a tool with the given name.
+    pub fn builder(name: impl Into<String>) -> ToolSpecBuilder {
+        ToolSpecBuilder {
+            spec: ToolSpec {
+                name: name.into(),
+                description: String::new(),
+                category: String::from("general"),
+                params: Vec::new(),
+                returns: String::from("result of the operation"),
+            },
+        }
+    }
+
+    /// Tool name (unique within a registry).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Natural-language description shown to the agent and embedded into
+    /// the Level-1 latent space.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Benchmark category (e.g. "math", "vqa"); used for augmentation
+    /// sampling, mirroring the paper's use of benchmark question types.
+    pub fn category(&self) -> &str {
+        &self.category
+    }
+
+    /// Parameter schemas in declaration order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Description of the return value.
+    pub fn returns(&self) -> &str {
+        &self.returns
+    }
+
+    /// Text fed to the embedder for Search Level 1: name (decomposed by the
+    /// tokenizer), description and parameter names all carry signal.
+    pub fn embedding_text(&self) -> String {
+        let params: Vec<&str> = self.params.iter().map(|p| p.name()).collect();
+        format!("{} {} {}", self.name, self.description, params.join(" "))
+    }
+
+    /// Renders the OpenAI-style function schema.
+    pub fn schema_json(&self) -> Value {
+        let properties = Value::Object(
+            self.params
+                .iter()
+                .map(|p| (p.name().to_owned(), p.schema_json()))
+                .collect(),
+        );
+        let required: Value = self
+            .params
+            .iter()
+            .filter(|p| p.is_required())
+            .map(|p| p.name())
+            .collect();
+        Value::object([
+            ("type", Value::from("function")),
+            (
+                "function",
+                Value::object([
+                    ("name", Value::from(self.name.as_str())),
+                    ("description", Value::from(self.description.as_str())),
+                    (
+                        "parameters",
+                        Value::object([
+                            ("type", Value::from("object")),
+                            ("properties", properties),
+                            ("required", required),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Validates a call against this schema.
+    ///
+    /// # Errors
+    ///
+    /// * [`CallValidationError::WrongTool`] if the call names another tool.
+    /// * [`CallValidationError::MissingParam`] for absent required params.
+    /// * [`CallValidationError::UnknownParam`] for params not in the schema.
+    /// * [`CallValidationError::TypeMismatch`] when a value has the wrong type.
+    pub fn validate_call(&self, call: &ToolCall) -> Result<(), CallValidationError> {
+        if call.tool() != self.name {
+            return Err(CallValidationError::WrongTool {
+                expected: self.name.clone(),
+                got: call.tool().to_owned(),
+            });
+        }
+        let args = call.args();
+        for p in &self.params {
+            match args.get(p.name()) {
+                None if p.is_required() => {
+                    return Err(CallValidationError::MissingParam(p.name().to_owned()));
+                }
+                None => {}
+                Some(v) if !p.ty().accepts(v) => {
+                    return Err(CallValidationError::TypeMismatch {
+                        param: p.name().to_owned(),
+                        expected: p.ty().to_string(),
+                        got: v.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(obj) = args.as_object() {
+            for key in obj.keys() {
+                if !self.params.iter().any(|p| p.name() == key) {
+                    return Err(CallValidationError::UnknownParam(key.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder returned by [`ToolSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct ToolSpecBuilder {
+    spec: ToolSpec,
+}
+
+impl ToolSpecBuilder {
+    /// Sets the natural-language description.
+    pub fn description(mut self, text: impl Into<String>) -> Self {
+        self.spec.description = text.into();
+        self
+    }
+
+    /// Sets the benchmark category.
+    pub fn category(mut self, category: impl Into<String>) -> Self {
+        self.spec.category = category.into();
+        self
+    }
+
+    /// Appends a parameter.
+    pub fn param(mut self, param: ParamSpec) -> Self {
+        self.spec.params.push(param);
+        self
+    }
+
+    /// Sets the return-value description.
+    pub fn returns(mut self, text: impl Into<String>) -> Self {
+        self.spec.returns = text.into();
+        self
+    }
+
+    /// Finalises the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tool name is empty or two parameters share a name.
+    pub fn build(self) -> ToolSpec {
+        assert!(!self.spec.name.is_empty(), "tool name must not be empty");
+        let mut names: Vec<&str> = self.spec.params.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        assert!(
+            names.windows(2).all(|w| w[0] != w[1]),
+            "duplicate parameter name in tool {}",
+            self.spec.name
+        );
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamType;
+    use lim_json::parse;
+
+    fn weather() -> ToolSpec {
+        ToolSpec::builder("weather_information")
+            .description("Fetches current weather data for a given city")
+            .category("weather")
+            .param(ParamSpec::required("city", ParamType::String, "City name"))
+            .param(ParamSpec::optional("days", ParamType::Integer, "Forecast days"))
+            .build()
+    }
+
+    #[test]
+    fn schema_json_shape() {
+        let v = weather().schema_json();
+        assert_eq!(v.pointer("function.name").and_then(Value::as_str), Some("weather_information"));
+        assert_eq!(
+            v.pointer("function.parameters.required")
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
+            Some(1)
+        );
+        assert!(v
+            .pointer("function.parameters.properties.city")
+            .is_some());
+    }
+
+    #[test]
+    fn embedding_text_contains_signal() {
+        let t = weather().embedding_text();
+        assert!(t.contains("weather_information"));
+        assert!(t.contains("city"));
+    }
+
+    #[test]
+    fn validate_accepts_good_call() {
+        let call = ToolCall::new("weather_information", parse(r#"{"city":"Paris"}"#).unwrap());
+        assert!(weather().validate_call(&call).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_optional_present() {
+        let call = ToolCall::new(
+            "weather_information",
+            parse(r#"{"city":"Paris","days":3}"#).unwrap(),
+        );
+        assert!(weather().validate_call(&call).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_required() {
+        let call = ToolCall::new("weather_information", parse(r#"{"days":3}"#).unwrap());
+        assert!(matches!(
+            weather().validate_call(&call),
+            Err(CallValidationError::MissingParam(p)) if p == "city"
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_type() {
+        let call = ToolCall::new("weather_information", parse(r#"{"city":42}"#).unwrap());
+        assert!(matches!(
+            weather().validate_call(&call),
+            Err(CallValidationError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_param() {
+        let call = ToolCall::new(
+            "weather_information",
+            parse(r#"{"city":"Paris","zip":"75001"}"#).unwrap(),
+        );
+        assert!(matches!(
+            weather().validate_call(&call),
+            Err(CallValidationError::UnknownParam(p)) if p == "zip"
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_tool() {
+        let call = ToolCall::new("other_tool", parse(r#"{"city":"Paris"}"#).unwrap());
+        assert!(matches!(
+            weather().validate_call(&call),
+            Err(CallValidationError::WrongTool { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn builder_rejects_duplicate_params() {
+        let _ = ToolSpec::builder("t")
+            .param(ParamSpec::required("x", ParamType::String, ""))
+            .param(ParamSpec::required("x", ParamType::Integer, ""))
+            .build();
+    }
+}

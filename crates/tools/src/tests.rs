@@ -1,0 +1,87 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{ParamSpec, ParamType, RegistryError, ToolCall, ToolRegistry, ToolSpec};
+use lim_json::Value;
+use proptest::prelude::*;
+
+#[test]
+fn full_catalog_rendering_is_valid_json() {
+    let reg = ToolRegistry::from_specs([
+        ToolSpec::builder("get_weather")
+            .description("Weather lookup")
+            .param(ParamSpec::required("city", ParamType::String, "City"))
+            .build(),
+        ToolSpec::builder("translate_text")
+            .description("Translation")
+            .param(ParamSpec::required("text", ParamType::String, "Input"))
+            .param(ParamSpec::required(
+                "target",
+                ParamType::Enum(vec!["fr".into(), "de".into()]),
+                "Language",
+            ))
+            .build(),
+    ])
+    .unwrap();
+    let rendered = reg.render_all().to_string();
+    let parsed = lim_json::parse(&rendered).unwrap();
+    assert_eq!(parsed.as_array().map(|a| a.len()), Some(2));
+}
+
+#[test]
+fn registry_error_is_std_error() {
+    fn assert_err<E: std::error::Error>(_: &E) {}
+    assert_err(&RegistryError::DuplicateTool("x".into()));
+}
+
+proptest! {
+    /// Registering n uniquely-named tools always succeeds and preserves
+    /// order; indices round-trip through names.
+    #[test]
+    fn registry_index_name_bijection(names in prop::collection::btree_set("[a-z]{1,10}", 1..20)) {
+        let reg = ToolRegistry::from_specs(
+            names.iter().map(|n| ToolSpec::builder(n.clone()).description("d").build()),
+        ).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(reg.index_of(name), Some(i));
+            prop_assert_eq!(reg.get(i).map(|t| t.name().to_owned()), Some(name.clone()));
+        }
+    }
+
+    /// prompt_chars is monotone in the subset: adding a tool never shrinks
+    /// the rendered payload.
+    #[test]
+    fn prompt_chars_monotone(extra in 0usize..3) {
+        let reg = ToolRegistry::from_specs((0..4).map(|i| {
+            ToolSpec::builder(format!("tool_{i}"))
+                .description("does something useful with input data")
+                .param(ParamSpec::required("input", ParamType::String, "the input"))
+                .build()
+        })).unwrap();
+        let base: Vec<usize> = vec![0];
+        let mut bigger = base.clone();
+        bigger.push(1 + extra);
+        prop_assert!(reg.prompt_chars(&bigger) > reg.prompt_chars(&base));
+    }
+
+    /// validate_call accepts exactly the calls constructed from the schema
+    /// itself (with required params filled by type-correct values).
+    #[test]
+    fn self_constructed_calls_validate(param_count in 0usize..5) {
+        let mut builder = ToolSpec::builder("t").description("test tool");
+        for i in 0..param_count {
+            builder = builder.param(ParamSpec::required(
+                format!("p{i}"),
+                ParamType::Integer,
+                "a number",
+            ));
+        }
+        let spec = builder.build();
+        let args = Value::Object(
+            (0..param_count)
+                .map(|i| (format!("p{i}"), Value::from(i as i64)))
+                .collect(),
+        );
+        let call = ToolCall::new("t", args);
+        prop_assert!(spec.validate_call(&call).is_ok());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type shared by the indexes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by index mutation and training operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A vector's dimensionality did not match the index.
+    DimMismatch {
+        /// Dimension the index was constructed with.
+        expected: usize,
+        /// Dimension of the offending vector.
+        got: usize,
+    },
+    /// An id was added twice.
+    DuplicateId(u64),
+    /// The operation requires a trained index (see [`crate::IvfIndex::train`]).
+    NotTrained,
+    /// Training was attempted with fewer vectors than clusters.
+    InsufficientTrainingData {
+        /// Number of vectors supplied.
+        supplied: usize,
+        /// Number of clusters requested.
+        clusters: usize,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DimMismatch { expected, got } => {
+                write!(f, "vector dimension {got} does not match index dimension {expected}")
+            }
+            IndexError::DuplicateId(id) => write!(f, "id {id} already present in index"),
+            IndexError::NotTrained => write!(f, "index must be trained before use"),
+            IndexError::InsufficientTrainingData { supplied, clusters } => write!(
+                f,
+                "training needs at least {clusters} vectors, only {supplied} supplied"
+            ),
+        }
+    }
+}
+
+impl Error for IndexError {}

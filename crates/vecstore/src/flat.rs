@@ -1,0 +1,204 @@
+//! Brute-force exact index.
+
+use crate::neighbor::top_k;
+use crate::{IndexError, Metric, Neighbor, VectorIndex};
+
+/// Exact k-NN index that scans every stored vector.
+///
+/// This is what FAISS's `IndexFlat` does, and at tool-catalog scale it is
+/// both the fastest and the simplest correct choice. Vectors are stored in
+/// one contiguous buffer for cache-friendly scans.
+///
+/// # Examples
+///
+/// ```
+/// use lim_vecstore::{FlatIndex, Metric, VectorIndex};
+///
+/// # fn main() -> Result<(), lim_vecstore::IndexError> {
+/// let mut index = FlatIndex::new(2, Metric::Cosine);
+/// index.add(0, &[1.0, 0.0])?;
+/// index.add(1, &[0.0, 1.0])?;
+/// assert_eq!(index.len(), 2);
+/// assert_eq!(index.search(&[1.0, 0.1], 1)[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0, "index dimension must be positive");
+        Self {
+            dim,
+            metric,
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// The metric this index scores with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Adds a vector under `id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] if `vector.len() != dim`.
+    /// * [`IndexError::DuplicateId`] if `id` was already added.
+    pub fn add(&mut self, id: u64, vector: &[f32]) -> Result<(), IndexError> {
+        if vector.len() != self.dim {
+            return Err(IndexError::DimMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        if self.ids.contains(&id) {
+            return Err(IndexError::DuplicateId(id));
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        Ok(())
+    }
+
+    /// Adds a batch of `(id, vector)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first failing insertion; earlier pairs
+    /// remain added.
+    pub fn add_batch<'a, I>(&mut self, items: I) -> Result<(), IndexError>
+    where
+        I: IntoIterator<Item = (u64, &'a [f32])>,
+    {
+        for (id, v) in items {
+            self.add(id, v)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(id, vector)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(move |(i, id)| (*id, &self.data[i * self.dim..(i + 1) * self.dim]))
+    }
+
+    /// Returns the stored vector for `id`, if present.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        let pos = self.ids.iter().position(|x| *x == id)?;
+        Some(&self.data[pos * self.dim..(pos + 1) * self.dim])
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let candidates = self
+            .iter()
+            .map(|(id, v)| Neighbor::new(id, self.metric.score(query, v)))
+            .collect();
+        top_k(candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlatIndex {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        idx.add(10, &[1.0, 0.0, 0.0]).unwrap();
+        idx.add(20, &[0.0, 1.0, 0.0]).unwrap();
+        idx.add(30, &[0.0, 0.0, 1.0]).unwrap();
+        idx
+    }
+
+    #[test]
+    fn search_returns_exact_nearest() {
+        let idx = sample();
+        let hits = idx.search(&[0.8, 0.6, 0.0], 2);
+        assert_eq!(hits[0].id, 10);
+        assert_eq!(hits[1].id, 20);
+    }
+
+    #[test]
+    fn search_caps_at_len() {
+        let idx = sample();
+        assert_eq!(idx.search(&[1.0, 0.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_index_returns_no_hits() {
+        let idx = FlatIndex::new(3, Metric::Cosine);
+        assert!(idx.search(&[1.0, 0.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        let err = idx.add(1, &[1.0]).unwrap_err();
+        assert_eq!(err, IndexError::DimMismatch { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let mut idx = sample();
+        assert_eq!(idx.add(10, &[1.0, 1.0, 1.0]).unwrap_err(), IndexError::DuplicateId(10));
+    }
+
+    #[test]
+    fn get_retrieves_stored_vector() {
+        let idx = sample();
+        assert_eq!(idx.get(20), Some(&[0.0, 1.0, 0.0][..]));
+        assert_eq!(idx.get(99), None);
+    }
+
+    #[test]
+    fn batch_add_propagates_errors() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        let a: &[f32] = &[1.0, 0.0];
+        let bad: &[f32] = &[1.0];
+        let result = idx.add_batch([(1, a), (2, bad)]);
+        assert!(result.is_err());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn euclidean_metric_ranks_by_distance() {
+        let mut idx = FlatIndex::new(2, Metric::Euclidean);
+        idx.add(1, &[0.0, 0.0]).unwrap();
+        idx.add(2, &[5.0, 5.0]).unwrap();
+        let hits = idx.search(&[1.0, 1.0], 2);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn search_panics_on_bad_query_dim() {
+        let idx = sample();
+        let _ = idx.search(&[1.0], 1);
+    }
+}

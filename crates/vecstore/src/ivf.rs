@@ -1,0 +1,267 @@
+//! Inverted-file (IVF) approximate index.
+
+use crate::kmeans::{kmeans, nearest};
+use crate::neighbor::top_k;
+use crate::{IndexError, Metric, Neighbor, VectorIndex};
+
+/// Construction parameters for [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of coarse cells (k-means clusters).
+    pub nlist: usize,
+    /// Number of cells probed per query.
+    pub nprobe: usize,
+    /// Seed for the deterministic coarse quantizer.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            nlist: 16,
+            nprobe: 4,
+            seed: 0x11F_5EED,
+        }
+    }
+}
+
+/// Approximate k-NN index that probes only the most promising cells.
+///
+/// Mirrors FAISS `IndexIVFFlat`: a k-means coarse quantizer partitions the
+/// collection; a query scores only the vectors stored in its `nprobe`
+/// nearest cells. With `nprobe == nlist` the search is exact.
+///
+/// # Examples
+///
+/// ```
+/// use lim_vecstore::{IvfIndex, IvfParams, Metric, VectorIndex};
+///
+/// # fn main() -> Result<(), lim_vecstore::IndexError> {
+/// let data: Vec<(u64, Vec<f32>)> = (0..64)
+///     .map(|i| (i, vec![(i % 8) as f32, (i / 8) as f32]))
+///     .collect();
+/// let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+/// let index = IvfIndex::train(2, Metric::Euclidean, IvfParams::default(), &refs)?;
+/// let hits = index.search(&[0.0, 0.0], 1);
+/// assert_eq!(hits[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    params: IvfParams,
+    centroids: Vec<Vec<f32>>,
+    /// Per-cell storage of (id, vector).
+    cells: Vec<Vec<(u64, Vec<f32>)>>,
+    len: usize,
+}
+
+impl IvfIndex {
+    /// Trains the coarse quantizer on `items` and adds all of them.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] if any vector disagrees with `dim`.
+    /// * [`IndexError::DuplicateId`] on repeated ids.
+    /// * [`IndexError::InsufficientTrainingData`] if `items` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `params.nlist` is zero.
+    pub fn train(
+        dim: usize,
+        metric: Metric,
+        params: IvfParams,
+        items: &[(u64, &[f32])],
+    ) -> Result<Self, IndexError> {
+        assert!(dim > 0, "index dimension must be positive");
+        assert!(params.nlist > 0, "nlist must be positive");
+        if items.is_empty() {
+            return Err(IndexError::InsufficientTrainingData {
+                supplied: 0,
+                clusters: params.nlist,
+            });
+        }
+        for (_, v) in items {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        let mut seen: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(IndexError::DuplicateId(w[0]));
+        }
+
+        let vectors: Vec<Vec<f32>> = items.iter().map(|(_, v)| v.to_vec()).collect();
+        let result = kmeans(&vectors, params.nlist, params.seed, 25);
+        let nlist = result.centroids.len();
+        let mut cells: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); nlist];
+        for ((id, v), cell) in items.iter().zip(&result.assignments) {
+            cells[*cell].push((*id, v.to_vec()));
+        }
+        Ok(Self {
+            dim,
+            metric,
+            params,
+            centroids: result.centroids,
+            cells,
+            len: items.len(),
+        })
+    }
+
+    /// Adds one more vector after training (assigned to its nearest cell).
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] on wrong dimensionality.
+    /// * [`IndexError::DuplicateId`] on a repeated id.
+    pub fn add(&mut self, id: u64, vector: &[f32]) -> Result<(), IndexError> {
+        if vector.len() != self.dim {
+            return Err(IndexError::DimMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        if self.cells.iter().flatten().any(|(existing, _)| *existing == id) {
+            return Err(IndexError::DuplicateId(id));
+        }
+        let cell = nearest(vector, &self.centroids).0;
+        self.cells[cell].push((id, vector.to_vec()));
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of coarse cells actually trained (≤ `nlist`).
+    pub fn cell_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> IvfParams {
+        self.params
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        // Rank cells by centroid distance, probe the best nprobe.
+        let mut cell_order: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, lim_embed::similarity::euclidean_sq(query, c)))
+            .collect();
+        cell_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let probes = self.params.nprobe.max(1).min(cell_order.len());
+
+        let mut candidates = Vec::new();
+        for (cell, _) in cell_order.into_iter().take(probes) {
+            for (id, v) in &self.cells[cell] {
+                candidates.push(Neighbor::new(*id, self.metric.score(query, v)));
+            }
+        }
+        top_k(candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items() -> Vec<(u64, Vec<f32>)> {
+        (0..100u64)
+            .map(|i| (i, vec![(i % 10) as f32, (i / 10) as f32]))
+            .collect()
+    }
+
+    fn build(params: IvfParams) -> IvfIndex {
+        let data = grid_items();
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        IvfIndex::train(2, Metric::Euclidean, params, &refs).unwrap()
+    }
+
+    #[test]
+    fn exact_when_probing_all_cells() {
+        let idx = build(IvfParams {
+            nlist: 8,
+            nprobe: 8,
+            seed: 3,
+        });
+        let hits = idx.search(&[3.0, 4.0], 1);
+        assert_eq!(hits[0].id, 43); // x=3, y=4 → 4*10+3
+    }
+
+    #[test]
+    fn approximate_search_finds_local_neighbors() {
+        let idx = build(IvfParams {
+            nlist: 10,
+            nprobe: 3,
+            seed: 3,
+        });
+        let hits = idx.search(&[0.0, 0.0], 4);
+        // The true nearest (id 0) must be in the probed region.
+        assert!(hits.iter().any(|h| h.id == 0));
+    }
+
+    #[test]
+    fn add_after_training_is_searchable() {
+        let mut idx = build(IvfParams::default());
+        idx.add(1000, &[50.0, 50.0]).unwrap();
+        let hits = idx.search(&[50.0, 50.0], 1);
+        assert_eq!(hits[0].id, 1000);
+        assert_eq!(idx.len(), 101);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_everywhere() {
+        let data = grid_items();
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let mut dup = refs.clone();
+        dup.push((5, dup[0].1));
+        assert!(matches!(
+            IvfIndex::train(2, Metric::Euclidean, IvfParams::default(), &dup),
+            Err(IndexError::DuplicateId(5))
+        ));
+        let mut idx = build(IvfParams::default());
+        assert!(matches!(idx.add(5, &[0.0, 0.0]), Err(IndexError::DuplicateId(5))));
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let r = IvfIndex::train(2, Metric::Cosine, IvfParams::default(), &[]);
+        assert!(matches!(r, Err(IndexError::InsufficientTrainingData { .. })));
+    }
+
+    #[test]
+    fn training_rejects_dim_mismatch() {
+        let bad: &[f32] = &[1.0];
+        let r = IvfIndex::train(2, Metric::Cosine, IvfParams::default(), &[(0, bad)]);
+        assert!(matches!(r, Err(IndexError::DimMismatch { expected: 2, got: 1 })));
+    }
+
+    #[test]
+    fn cell_count_bounded_by_nlist() {
+        let idx = build(IvfParams {
+            nlist: 7,
+            nprobe: 2,
+            seed: 1,
+        });
+        assert!(idx.cell_count() <= 7);
+        assert!(idx.cell_count() >= 1);
+    }
+}

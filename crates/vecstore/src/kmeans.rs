@@ -1,0 +1,220 @@
+//! Deterministic k-means++ used by the IVF coarse quantizer and available
+//! to other crates (e.g. as a clustering baseline).
+
+use lim_embed::similarity::euclidean_sq;
+
+/// Output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// `k` centroids, each of the input dimensionality.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment for every input vector.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f32,
+    /// Number of Lloyd iterations actually run.
+    pub iterations: usize,
+}
+
+/// Runs seeded k-means++ followed by Lloyd iterations.
+///
+/// Fully deterministic for a given `(data, k, seed)`: initial centroids are
+/// chosen by the k-means++ D² rule driven by a SplitMix64 stream.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, if `data` is empty, or if rows have uneven lengths.
+pub fn kmeans(data: &[Vec<f32>], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!data.is_empty(), "kmeans requires at least one vector");
+    let dim = data[0].len();
+    assert!(
+        data.iter().all(|v| v.len() == dim),
+        "all vectors must share one dimensionality"
+    );
+    let k = k.min(data.len());
+
+    let mut centroids = init_plus_plus(data, k, seed);
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, v) in data.iter().enumerate() {
+            let best = nearest(v, &centroids).0;
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in data.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, x) in sums[assignments[i]].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                for (cc, s) in c.iter_mut().zip(sum) {
+                    *cc = s / *count as f32;
+                }
+            }
+            // Empty clusters keep their previous centroid; with k-means++
+            // initialisation this is rare and harmless at our scales.
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| euclidean_sq(v, &centroids[assignments[i]]))
+        .sum();
+
+    KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// Returns `(index, squared distance)` of the centroid nearest to `v`.
+pub(crate) fn nearest(v: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = euclidean_sq(v, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn init_plus_plus(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SplitMix64::new(seed);
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.next_below(data.len() as u64) as usize].clone());
+    while centroids.len() < k {
+        let dists: Vec<f32> = data
+            .iter()
+            .map(|v| nearest(v, &centroids).1)
+            .collect();
+        let total: f32 = dists.iter().sum();
+        let next = if total <= f32::EPSILON {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.next_below(data.len() as u64) as usize
+        } else {
+            let mut target = rng.next_f32() * total;
+            let mut chosen = data.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                if target <= *d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+    }
+    centroids
+}
+
+/// Small deterministic PRNG (SplitMix64) so this crate needs no `rand`
+/// dependency in its public path.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            data.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+            data.push(vec![10.0 + 0.01 * i as f32, 10.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&two_blobs(), 2, 42, 50);
+        // All even indices (first blob) share a cluster, odds the other.
+        let first = r.assignments[0];
+        let second = r.assignments[1];
+        assert_ne!(first, second);
+        assert!(r.assignments.iter().step_by(2).all(|a| *a == first));
+        assert!(r.assignments.iter().skip(1).step_by(2).all(|a| *a == second));
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kmeans(&two_blobs(), 2, 7, 50);
+        let b = kmeans(&two_blobs(), 2, 7, 50);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_data_len() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&data, 10, 1, 10);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![vec![0.0, 0.0], vec![2.0, 2.0]];
+        let r = kmeans(&data, 1, 1, 10);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-6);
+        assert!((r.centroids[0][1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let data = vec![vec![3.0, 3.0]; 8];
+        let r = kmeans(&data, 3, 9, 10);
+        assert_eq!(r.assignments.len(), 8);
+        assert!(r.inertia < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = kmeans(&[vec![1.0]], 0, 1, 10);
+    }
+}

@@ -1,0 +1,69 @@
+//! In-memory vector store with exact and inverted-file k-NN — the FAISS
+//! substitute.
+//!
+//! The paper's Tool Controller "runs a k-Nearest Neighbors (k-NN) search
+//! using FAISS similarity against both Search Level 1 and Level 2". At tool
+//! catalog scale (tens to hundreds of vectors) FAISS answers exactly; this
+//! crate provides the same interface and semantics:
+//!
+//! * [`FlatIndex`] — brute-force exact top-k, the default for both levels;
+//! * [`IvfIndex`] — an inverted-file index with a deterministic k-means++
+//!   coarse quantizer, for the scalability experiments (micro benches sweep
+//!   catalog sizes up to 4096);
+//! * [`Metric`] — cosine / inner-product / Euclidean scoring with a uniform
+//!   "higher score is better" convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_vecstore::{FlatIndex, Metric, VectorIndex};
+//!
+//! # fn main() -> Result<(), lim_vecstore::IndexError> {
+//! let mut index = FlatIndex::new(4, Metric::Cosine);
+//! index.add(7, &[1.0, 0.0, 0.0, 0.0])?;
+//! index.add(9, &[0.0, 1.0, 0.0, 0.0])?;
+//! let hits = index.search(&[0.9, 0.1, 0.0, 0.0], 1);
+//! assert_eq!(hits[0].id, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod flat;
+mod ivf;
+mod kmeans;
+mod metric;
+mod neighbor;
+
+pub use error::IndexError;
+pub use flat::FlatIndex;
+pub use ivf::{IvfIndex, IvfParams};
+pub use kmeans::{kmeans, KmeansResult};
+pub use metric::Metric;
+pub use neighbor::Neighbor;
+
+/// Common behaviour of the vector indexes in this crate.
+///
+/// Object-safe so pipelines can hold `Box<dyn VectorIndex>` and switch
+/// between exact and approximate search.
+pub trait VectorIndex {
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality the index accepts.
+    fn dim(&self) -> usize;
+
+    /// Returns the `k` nearest neighbours of `query`, best first.
+    ///
+    /// Returns fewer than `k` entries when the index is smaller than `k`,
+    /// and an empty vector on an empty index.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,78 @@
+//! Scoring metrics with a uniform "higher is better" convention.
+
+use lim_embed::similarity;
+
+/// Similarity metric used to score candidates during search.
+///
+/// All metrics are exposed as *scores* where **larger means more similar**,
+/// so Euclidean distance is negated. This keeps top-k selection identical
+/// across metrics and matches how the controller consumes similarity values
+/// (mean top-k score thresholded at 0.5 — meaningful for [`Metric::Cosine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Cosine similarity in `[-1, 1]`. The paper's choice.
+    #[default]
+    Cosine,
+    /// Raw inner product (use when vectors are pre-normalised).
+    InnerProduct,
+    /// Negated Euclidean distance, in `(-inf, 0]`.
+    Euclidean,
+}
+
+impl Metric {
+    /// Scores `query` against `candidate`; higher is more similar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn score(self, query: &[f32], candidate: &[f32]) -> f32 {
+        match self {
+            Metric::Cosine => similarity::cosine(query, candidate),
+            Metric::InnerProduct => similarity::dot(query, candidate),
+            Metric::Euclidean => -similarity::euclidean(query, candidate),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Metric::Cosine => "cosine",
+            Metric::InnerProduct => "inner-product",
+            Metric::Euclidean => "euclidean",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_scores_higher_for_aligned() {
+        let q = [1.0, 0.0];
+        assert!(Metric::Cosine.score(&q, &[1.0, 0.0]) > Metric::Cosine.score(&q, &[0.0, 1.0]));
+    }
+
+    #[test]
+    fn euclidean_score_is_negated_distance() {
+        let s = Metric::Euclidean.score(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((s + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_vectors_are_best_under_all_metrics() {
+        let q = [0.6, 0.8];
+        let far = [0.0, -1.0];
+        for m in [Metric::Cosine, Metric::InnerProduct, Metric::Euclidean] {
+            assert!(m.score(&q, &q) >= m.score(&q, &far), "metric {m}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::Cosine.to_string(), "cosine");
+        assert_eq!(Metric::default(), Metric::Cosine);
+    }
+}

@@ -1,0 +1,66 @@
+//! Search results.
+
+/// One search hit: a stored id and its similarity score.
+///
+/// Scores follow the [`crate::Metric`] convention: higher is more similar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Caller-assigned identifier of the stored vector.
+    pub id: u64,
+    /// Similarity score of the hit (higher = closer).
+    pub score: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbour record.
+    pub fn new(id: u64, score: f32) -> Self {
+        Self { id, score }
+    }
+}
+
+/// Keeps the best `k` of a candidate stream, returning them best-first.
+///
+/// Ties are broken by ascending id so results are fully deterministic.
+pub(crate) fn top_k(mut candidates: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_best_first() {
+        let hits = top_k(
+            vec![
+                Neighbor::new(1, 0.2),
+                Neighbor::new(2, 0.9),
+                Neighbor::new(3, 0.5),
+            ],
+            2,
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 3);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_id() {
+        let hits = top_k(vec![Neighbor::new(9, 0.5), Neighbor::new(3, 0.5)], 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 9);
+    }
+
+    #[test]
+    fn top_k_handles_small_inputs() {
+        assert!(top_k(vec![], 5).is_empty());
+        assert_eq!(top_k(vec![Neighbor::new(1, 1.0)], 5).len(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Query augmentation — the GPT-4 Turbo substitute (§III-A).
+//!
+//! The paper follows ToolQA: sample ~10 training queries per benchmark
+//! category and ask GPT-4 to "generate queries with contextually proximate
+//! tasks and their respective solutions" — e.g. a query that *opened* a
+//! document becomes one that *prints* it. Factual correctness is
+//! explicitly unimportant; the generated queries are "noisy" material
+//! whose only job is to make co-used tools co-occur, and their quality is
+//! gated by a ROUGE similarity score.
+//!
+//! This module reproduces that pipeline with three deterministic
+//! permutation operators (paraphrase, slot mutation, tail-tool swap) and
+//! the same ROUGE-L acceptance band: too similar means redundant, too
+//! different means off-topic — both are rejected.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lim_cluster::rouge::rouge_l;
+
+use crate::query::{Query, Workload};
+
+/// One augmented ("noisy") query, carrying the tool chain of its solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentedQuery {
+    /// Generated query text (embedded into the augmented latent space Ã).
+    pub text: String,
+    /// Tools of the generated solution — the co-usage signal clustering
+    /// must recover.
+    pub tools: Vec<String>,
+    /// Id of the training query this variant was derived from.
+    pub source_id: u64,
+}
+
+/// Configuration of the augmentation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Training queries sampled per category (the paper uses 10).
+    pub per_category: usize,
+    /// Candidate variants generated per sampled query.
+    pub variants_per_query: usize,
+    /// Minimum ROUGE-L F1 versus the source (below = off-topic, rejected).
+    pub rouge_min: f64,
+    /// Maximum ROUGE-L F1 versus the source (above = redundant, rejected).
+    pub rouge_max: f64,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            per_category: 10,
+            variants_per_query: 3,
+            rouge_min: 0.2,
+            rouge_max: 0.92,
+            seed: 0xA06_5EED,
+        }
+    }
+}
+
+/// Verb/phrase paraphrase table applied word-wise (GPT's lexical drift).
+const SYNONYMS: &[(&str, &str)] = &[
+    ("plot", "draw"),
+    ("generate", "produce"),
+    ("render", "draw"),
+    ("measure", "compute"),
+    ("find", "locate"),
+    ("convert", "change"),
+    ("detect", "spot"),
+    ("map", "chart"),
+    ("email", "send"),
+    ("build", "assemble"),
+    ("report", "summary"),
+    ("show", "display"),
+    ("get", "fetch"),
+    ("list", "enumerate"),
+    ("search", "look"),
+    ("save", "store"),
+    ("tell", "inform"),
+];
+
+/// Runs the augmentation pass over the workload's training split.
+///
+/// Returns the accepted variants; rejected candidates (outside the ROUGE
+/// band) are silently dropped, mirroring the paper's quality gate.
+pub fn augment(workload: &Workload, config: &AugmentConfig) -> Vec<AugmentedQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    for category in categories(&workload.train_queries) {
+        let sampled = sample_category(&workload.train_queries, &category, config.per_category, &mut rng);
+        for query in sampled {
+            for _ in 0..config.variants_per_query {
+                let candidate = permute(query, workload, &mut rng);
+                let score = rouge_l(&candidate.text, &query.text).f1 as f64;
+                if score >= config.rouge_min && score <= config.rouge_max {
+                    out.push(candidate);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn categories(queries: &[Query]) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for q in queries {
+        if !seen.contains(&q.category) {
+            seen.push(q.category.clone());
+        }
+    }
+    seen
+}
+
+fn sample_category<'a>(
+    queries: &'a [Query],
+    category: &str,
+    limit: usize,
+    rng: &mut StdRng,
+) -> Vec<&'a Query> {
+    let mut pool: Vec<&Query> = queries.iter().filter(|q| q.category == category).collect();
+    // Fisher–Yates prefix shuffle for an unbiased sample.
+    let take = limit.min(pool.len());
+    for i in 0..take {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(take);
+    pool
+}
+
+fn permute(query: &Query, workload: &Workload, rng: &mut StdRng) -> AugmentedQuery {
+    let mut tools: Vec<String> = query.steps.iter().map(|s| s.tool.clone()).collect();
+    let mut text = paraphrase(&query.text, rng);
+
+    // Tail-tool swap: the paper's motivating permutation ("open the
+    // document" → "print it instead"). Replace the final tool with a
+    // same-category consumer and say so in the text.
+    if query.steps.len() >= 2 && rng.random::<f64>() < 0.5 {
+        if let Some(new_tool) = swap_candidate(workload, tools.last().expect("non-empty"), rng) {
+            text = format!("{text}, but {} instead", new_tool.replace('_', " "));
+            *tools.last_mut().expect("non-empty") = new_tool;
+        }
+    }
+
+    // Light word dropout: GPT permutations rarely preserve every token.
+    let kept: Vec<&str> = text
+        .split_whitespace()
+        .filter(|_| rng.random::<f64>() > 0.06)
+        .collect();
+    if !kept.is_empty() {
+        text = kept.join(" ");
+    }
+
+    AugmentedQuery {
+        text,
+        tools,
+        source_id: query.id,
+    }
+}
+
+fn paraphrase(text: &str, rng: &mut StdRng) -> String {
+    text.split_whitespace()
+        .map(|word| {
+            let trimmed = word.trim_matches(|c: char| !c.is_alphanumeric());
+            let lower = trimmed.to_lowercase();
+            for (from, to) in SYNONYMS {
+                if lower == *from && rng.random::<f64>() < 0.7 {
+                    return word.replace(trimmed, to);
+                }
+            }
+            word.to_owned()
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Picks a same-category replacement for `tool` that can consume upstream
+/// output (has a `source` parameter).
+fn swap_candidate(workload: &Workload, tool: &str, rng: &mut StdRng) -> Option<String> {
+    let spec = workload.registry.get_by_name(tool)?;
+    let category = spec.category();
+    let candidates: Vec<&str> = workload
+        .registry
+        .iter()
+        .filter(|t| {
+            t.category() == category
+                && t.name() != tool
+                && t.params().iter().any(|p| p.name() == "source")
+        })
+        .map(|t| t.name())
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.random_range(0..candidates.len())].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfcl, geoengine};
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let w = geoengine(1, 60);
+        let cfg = AugmentConfig::default();
+        assert_eq!(augment(&w, &cfg), augment(&w, &cfg));
+    }
+
+    #[test]
+    fn accepted_variants_are_inside_the_rouge_band() {
+        let w = geoengine(1, 60);
+        let cfg = AugmentConfig::default();
+        let variants = augment(&w, &cfg);
+        assert!(!variants.is_empty());
+        for v in &variants {
+            let source = w
+                .train_queries
+                .iter()
+                .find(|q| q.id == v.source_id)
+                .expect("source exists");
+            let f1 = rouge_l(&v.text, &source.text).f1 as f64;
+            assert!(f1 >= cfg.rouge_min && f1 <= cfg.rouge_max, "f1={f1} for {:?}", v.text);
+        }
+    }
+
+    #[test]
+    fn variants_preserve_or_swap_tools_within_category() {
+        let w = geoengine(2, 60);
+        let variants = augment(&w, &AugmentConfig::default());
+        for v in &variants {
+            let source = w.train_queries.iter().find(|q| q.id == v.source_id).unwrap();
+            let source_tools = source.gold_tools();
+            assert_eq!(v.tools.len(), source_tools.len());
+            // All but possibly the last tool are identical.
+            for (a, b) in v.tools.iter().zip(&source_tools).take(v.tools.len() - 1) {
+                assert_eq!(a, b);
+            }
+            // A swapped tail stays in the same category.
+            let last = v.tools.last().unwrap();
+            let src_last = source_tools.last().unwrap();
+            if last != src_last {
+                let cat_new = w.registry.get_by_name(last).unwrap().category();
+                let cat_old = w.registry.get_by_name(src_last).unwrap().category();
+                assert_eq!(cat_new, cat_old);
+            }
+        }
+    }
+
+    #[test]
+    fn tool_co_usage_survives_augmentation() {
+        // The whole point: augmented vqa-mapping queries must still carry
+        // the load→filter→caption chain so clustering can group them.
+        let w = geoengine(3, 60);
+        let variants = augment(&w, &AugmentConfig::default());
+        let vqa: Vec<&AugmentedQuery> = variants
+            .iter()
+            .filter(|v| v.tools.contains(&"caption_batch".to_owned()))
+            .collect();
+        assert!(!vqa.is_empty());
+        for v in vqa {
+            assert!(v.tools.contains(&"load_fmow_scene".to_owned()));
+        }
+    }
+
+    #[test]
+    fn bfcl_augmentation_works_on_single_call_queries() {
+        let w = bfcl(1, 100);
+        let variants = augment(&w, &AugmentConfig::default());
+        assert!(!variants.is_empty());
+        for v in &variants {
+            assert_eq!(v.tools.len(), 1);
+        }
+    }
+
+    #[test]
+    fn per_category_budget_is_respected() {
+        let w = geoengine(4, 60);
+        let cfg = AugmentConfig {
+            per_category: 2,
+            variants_per_query: 1,
+            rouge_min: 0.0,
+            rouge_max: 1.0,
+            ..AugmentConfig::default()
+        };
+        let variants = augment(&w, &cfg);
+        // At most 2 sources per category.
+        for cat in w.categories() {
+            let sources: std::collections::HashSet<u64> = variants
+                .iter()
+                .filter(|v| {
+                    w.train_queries
+                        .iter()
+                        .any(|q| q.id == v.source_id && q.category == cat)
+                })
+                .map(|v| v.source_id)
+                .collect();
+            assert!(sources.len() <= 2, "category {cat}");
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The BFCL-like single-call benchmark: 51 general-purpose functions.
+//!
+//! Category mix follows the Berkeley Function-Calling Leaderboard's spread
+//! of simple-function questions (math, finance, weather, calendar, travel,
+//! …). Every query requires exactly one call, and gold arguments are
+//! recorded so Success Rate can check "the correct input types according
+//! to the function's requirements" (§IV).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lim_json::Value;
+
+use crate::catalog::{build_registry, ParamDef, ToolDef};
+use crate::pools::Pool;
+use crate::query::{GoldStep, Query, Workload, WorkloadKind};
+
+macro_rules! p {
+    ($name:literal, $pool:ident, $req:literal, $desc:literal) => {
+        ParamDef {
+            name: $name,
+            pool: Pool::$pool,
+            required: $req,
+            desc: $desc,
+        }
+    };
+}
+
+/// The 51 BFCL-like tools.
+pub(crate) const TOOLS: &[ToolDef] = &[
+    // ------------------------------------------------------ math (6)
+    ToolDef {
+        name: "calculate_triangle_area",
+        category: "math",
+        desc: "Calculates the area of a triangle given its base and height",
+        params: &[
+            p!("base", Amount, true, "Base length of the triangle"),
+            p!("height", Amount, true, "Height of the triangle"),
+        ],
+        templates: &[
+            "Find the area of a triangle with base {base} and height {height}",
+            "What is the area of a triangle whose base is {base} and height is {height}?",
+        ],
+    },
+    ToolDef {
+        name: "solve_quadratic_equation",
+        category: "math",
+        desc: "Solves a quadratic equation ax^2 + bx + c = 0 and returns its roots",
+        params: &[
+            p!("a", Amount, true, "Quadratic coefficient"),
+            p!("b", Amount, true, "Linear coefficient"),
+            p!("c", Amount, true, "Constant term"),
+        ],
+        templates: &[
+            "Solve the quadratic equation with coefficients a={a}, b={b}, c={c}",
+            "Find the roots of {a}x^2 + {b}x + {c} = 0",
+        ],
+    },
+    ToolDef {
+        name: "matrix_determinant",
+        category: "math",
+        desc: "Computes the determinant of a square matrix of a given size filled with a value",
+        params: &[
+            p!("size", SmallInt, true, "Matrix dimension"),
+            p!("fill", Amount, true, "Value used to fill the matrix"),
+        ],
+        templates: &[
+            "Compute the determinant of a {size}x{size} matrix filled with {fill}",
+        ],
+    },
+    ToolDef {
+        name: "polynomial_integral",
+        category: "math",
+        desc: "Integrates a polynomial of a given degree over an interval",
+        params: &[
+            p!("degree", SmallInt, true, "Polynomial degree"),
+            p!("lower", Amount, true, "Lower bound of the interval"),
+            p!("upper", Amount, true, "Upper bound of the interval"),
+        ],
+        templates: &[
+            "Integrate a degree {degree} polynomial from {lower} to {upper}",
+        ],
+    },
+    ToolDef {
+        name: "prime_factorization",
+        category: "math",
+        desc: "Returns the prime factorization of a positive integer",
+        params: &[p!("number", SmallInt, true, "Integer to factorize")],
+        templates: &[
+            "What is the prime factorization of {number}?",
+            "Factor {number} into primes",
+        ],
+    },
+    ToolDef {
+        name: "greatest_common_divisor",
+        category: "math",
+        desc: "Computes the greatest common divisor of two integers",
+        params: &[
+            p!("first", SmallInt, true, "First integer"),
+            p!("second", SmallInt, true, "Second integer"),
+        ],
+        templates: &["Find the greatest common divisor of {first} and {second}"],
+    },
+    // ------------------------------------------------ statistics (4)
+    ToolDef {
+        name: "mean_calculator",
+        category: "statistics",
+        desc: "Calculates the arithmetic mean of a sequence of equally spaced numbers",
+        params: &[
+            p!("start", Amount, true, "First number of the sequence"),
+            p!("count", SmallInt, true, "How many numbers"),
+        ],
+        templates: &["Compute the mean of {count} numbers starting at {start}"],
+    },
+    ToolDef {
+        name: "standard_deviation",
+        category: "statistics",
+        desc: "Calculates the standard deviation of a uniform sample with given range",
+        params: &[
+            p!("low", Amount, true, "Sample minimum"),
+            p!("high", Amount, true, "Sample maximum"),
+        ],
+        templates: &["What is the standard deviation of a uniform sample between {low} and {high}?"],
+    },
+    ToolDef {
+        name: "linear_regression_fit",
+        category: "statistics",
+        desc: "Fits a simple linear regression over n synthetic observations and returns slope and intercept",
+        params: &[p!("observations", SmallInt, true, "Number of observations")],
+        templates: &["Fit a linear regression over {observations} observations"],
+    },
+    ToolDef {
+        name: "binomial_probability",
+        category: "statistics",
+        desc: "Computes the probability of k successes in n Bernoulli trials",
+        params: &[
+            p!("trials", SmallInt, true, "Number of trials"),
+            p!("successes", SmallInt, true, "Number of successes"),
+        ],
+        templates: &[
+            "What is the probability of {successes} successes in {trials} coin-flip trials?",
+        ],
+    },
+    // --------------------------------------------------- finance (5)
+    ToolDef {
+        name: "compound_interest",
+        category: "finance",
+        desc: "Computes compound interest on a principal over a number of years",
+        params: &[
+            p!("principal", Amount, true, "Initial amount"),
+            p!("years", SmallInt, true, "Investment horizon in years"),
+        ],
+        templates: &[
+            "How much is {principal} worth after {years} years of compound interest?",
+        ],
+    },
+    ToolDef {
+        name: "stock_price_lookup",
+        category: "finance",
+        desc: "Looks up the latest stock price for a ticker symbol",
+        params: &[p!("ticker", Ticker, true, "Stock ticker symbol")],
+        templates: &[
+            "What is the current stock price of {ticker}?",
+            "Get me the latest quote for {ticker}",
+        ],
+    },
+    ToolDef {
+        name: "currency_converter",
+        category: "finance",
+        desc: "Converts a monetary amount between two currencies using live exchange rates",
+        params: &[
+            p!("amount", Amount, true, "Amount to convert"),
+            p!("from_currency", CurrencyCode, true, "Source currency code"),
+            p!("to_currency", CurrencyCode, true, "Target currency code"),
+        ],
+        templates: &[
+            "Convert {amount} {from_currency} to {to_currency}",
+            "How much is {amount} {from_currency} in {to_currency}?",
+        ],
+    },
+    ToolDef {
+        name: "mortgage_payment",
+        category: "finance",
+        desc: "Calculates the monthly payment of a fixed-rate mortgage",
+        params: &[
+            p!("principal", Amount, true, "Loan principal"),
+            p!("years", SmallInt, true, "Loan term in years"),
+        ],
+        templates: &[
+            "What is the monthly payment on a {principal} mortgage over {years} years?",
+        ],
+    },
+    ToolDef {
+        name: "investment_return",
+        category: "finance",
+        desc: "Computes the total return of an investment given start and end values",
+        params: &[
+            p!("initial", Amount, true, "Initial investment value"),
+            p!("final_value", Amount, true, "Final investment value"),
+        ],
+        templates: &[
+            "What is the return of an investment that grew from {initial} to {final_value}?",
+        ],
+    },
+    // -------------------------------------------------- datetime (4)
+    ToolDef {
+        name: "timezone_convert",
+        category: "datetime",
+        desc: "Converts a time between the local time zones of two cities",
+        params: &[
+            p!("time_city", City, true, "City whose local time is given"),
+            p!("target_city", City, true, "City to convert the time into"),
+        ],
+        templates: &[
+            "If it is noon in {time_city}, what time is it in {target_city}?",
+        ],
+    },
+    ToolDef {
+        name: "date_difference",
+        category: "datetime",
+        desc: "Computes the number of days between two calendar dates",
+        params: &[
+            p!("start_date", Date, true, "Start date"),
+            p!("end_date", Date, true, "End date"),
+        ],
+        templates: &["How many days are there between {start_date} and {end_date}?"],
+    },
+    ToolDef {
+        name: "add_business_days",
+        category: "datetime",
+        desc: "Adds a number of business days to a date, skipping weekends",
+        params: &[
+            p!("date", Date, true, "Starting date"),
+            p!("days", SmallInt, true, "Business days to add"),
+        ],
+        templates: &["What date is {days} business days after {date}?"],
+    },
+    ToolDef {
+        name: "holiday_lookup",
+        category: "datetime",
+        desc: "Lists the public holidays of a country in a given year",
+        params: &[
+            p!("country", Country, true, "Country name"),
+            p!("year", Year, true, "Calendar year"),
+        ],
+        templates: &["List the public holidays in {country} for {year}"],
+    },
+    // --------------------------------------------------- weather (3)
+    ToolDef {
+        name: "current_weather",
+        category: "weather",
+        desc: "Fetches the current weather conditions for a city",
+        params: &[p!("city", City, true, "City name")],
+        templates: &[
+            "What's the weather like in {city} right now?",
+            "Get the current weather conditions in {city}",
+        ],
+    },
+    ToolDef {
+        name: "weather_forecast",
+        category: "weather",
+        desc: "Fetches a multi-day weather forecast for a city",
+        params: &[
+            p!("city", City, true, "City name"),
+            p!("days", SmallInt, true, "Forecast horizon in days"),
+        ],
+        templates: &["Give me the {days}-day weather forecast for {city}"],
+    },
+    ToolDef {
+        name: "air_quality_index",
+        category: "weather",
+        desc: "Reports the current air quality index of a city",
+        params: &[p!("city", City, true, "City name")],
+        templates: &["What is the air quality index in {city} today?"],
+    },
+    // ------------------------------------------------- geography (4)
+    ToolDef {
+        name: "country_capital",
+        category: "geography",
+        desc: "Returns the capital city of a country",
+        params: &[p!("country", Country, true, "Country name")],
+        templates: &["What is the capital of {country}?"],
+    },
+    ToolDef {
+        name: "distance_between_cities",
+        category: "geography",
+        desc: "Computes the great-circle distance between two cities",
+        params: &[
+            p!("from_city", City, true, "Origin city"),
+            p!("to_city", City, true, "Destination city"),
+        ],
+        templates: &["How far is {from_city} from {to_city}?"],
+    },
+    ToolDef {
+        name: "elevation_lookup",
+        category: "geography",
+        desc: "Looks up the elevation above sea level of a city",
+        params: &[p!("city", City, true, "City name")],
+        templates: &["What is the elevation of {city}?"],
+    },
+    ToolDef {
+        name: "timezone_of_location",
+        category: "geography",
+        desc: "Returns the IANA time zone of a city",
+        params: &[p!("city", City, true, "City name")],
+        templates: &["Which time zone is {city} in?"],
+    },
+    // ------------------------------------------------ conversion (4)
+    ToolDef {
+        name: "unit_convert_length",
+        category: "conversion",
+        desc: "Converts a length measurement between units",
+        params: &[
+            p!("value", Amount, true, "Length value"),
+            p!("from_unit", LengthUnit, true, "Source unit"),
+            p!("to_unit", LengthUnit, true, "Target unit"),
+        ],
+        templates: &["Convert {value} {from_unit} to {to_unit}"],
+    },
+    ToolDef {
+        name: "unit_convert_mass",
+        category: "conversion",
+        desc: "Converts a mass measurement between units",
+        params: &[
+            p!("value", Amount, true, "Mass value"),
+            p!("from_unit", MassUnit, true, "Source unit"),
+            p!("to_unit", MassUnit, true, "Target unit"),
+        ],
+        templates: &["Convert {value} {from_unit} into {to_unit}"],
+    },
+    ToolDef {
+        name: "temperature_convert",
+        category: "conversion",
+        desc: "Converts a temperature between celsius, fahrenheit and kelvin",
+        params: &[
+            p!("value", Amount, true, "Temperature value"),
+            p!("from_unit", TempUnit, true, "Source scale"),
+            p!("to_unit", TempUnit, true, "Target scale"),
+        ],
+        templates: &["Convert {value} degrees {from_unit} to {to_unit}"],
+    },
+    ToolDef {
+        name: "number_base_convert",
+        category: "conversion",
+        desc: "Converts an integer between numeral bases such as binary and hexadecimal",
+        params: &[
+            p!("number", SmallInt, true, "Integer to convert"),
+            p!("base", SmallInt, true, "Target base"),
+        ],
+        templates: &["Convert the number {number} to base {base}"],
+    },
+    // ------------------------------------------------------ text (4)
+    ToolDef {
+        name: "text_translate",
+        category: "text",
+        desc: "Translates text into a target natural language",
+        params: &[
+            p!("text", Phrase, true, "Text to translate"),
+            p!("target_language", Language, true, "Target language"),
+        ],
+        templates: &[
+            "Translate '{text}' into {target_language}",
+            "How do you say '{text}' in {target_language}?",
+        ],
+    },
+    ToolDef {
+        name: "sentiment_analysis",
+        category: "text",
+        desc: "Classifies the sentiment of a piece of text as positive, negative or neutral",
+        params: &[p!("text", Phrase, true, "Text to analyse")],
+        templates: &["What is the sentiment of '{text}'?"],
+    },
+    ToolDef {
+        name: "text_summarize",
+        category: "text",
+        desc: "Produces a short summary of a longer text passage",
+        params: &[
+            p!("text", Phrase, true, "Text to summarise"),
+            p!("sentences", SmallInt, true, "Summary length in sentences"),
+        ],
+        templates: &["Summarise '{text}' in {sentences} sentences"],
+    },
+    ToolDef {
+        name: "regex_match",
+        category: "text",
+        desc: "Tests whether a text matches a regular-expression pattern",
+        params: &[
+            p!("text", Phrase, true, "Text to test"),
+            p!("pattern", Phrase, true, "Regular expression"),
+        ],
+        templates: &["Does '{text}' match the pattern '{pattern}'?"],
+    },
+    // ------------------------------------------------------- web (4)
+    ToolDef {
+        name: "web_search",
+        category: "web",
+        desc: "Searches the web and returns the most relevant page snippets",
+        params: &[p!("query", Phrase, true, "Search query")],
+        templates: &["Search the web for '{query}'"],
+    },
+    ToolDef {
+        name: "url_shorten",
+        category: "web",
+        desc: "Shortens a long URL into a compact link",
+        params: &[p!("url", Url, true, "URL to shorten")],
+        templates: &["Shorten this link: {url}"],
+    },
+    ToolDef {
+        name: "http_get_json",
+        category: "web",
+        desc: "Fetches a URL and returns its JSON payload",
+        params: &[p!("url", Url, true, "Endpoint URL")],
+        templates: &["Fetch the JSON data from {url}"],
+    },
+    ToolDef {
+        name: "domain_whois",
+        category: "web",
+        desc: "Looks up WHOIS registration information for a domain",
+        params: &[p!("url", Url, true, "Domain or URL")],
+        templates: &["Who registered the domain {url}?"],
+    },
+    // -------------------------------------------------- calendar (4)
+    ToolDef {
+        name: "create_calendar_event",
+        category: "calendar",
+        desc: "Creates a calendar event with a title on a given date",
+        params: &[
+            p!("title", Phrase, true, "Event title"),
+            p!("date", Date, true, "Event date"),
+        ],
+        templates: &["Create a calendar event '{title}' on {date}"],
+    },
+    ToolDef {
+        name: "list_events",
+        category: "calendar",
+        desc: "Lists all calendar events on a given date",
+        params: &[p!("date", Date, true, "Date to list")],
+        templates: &["What's on my calendar for {date}?"],
+    },
+    ToolDef {
+        name: "delete_event",
+        category: "calendar",
+        desc: "Deletes a calendar event by title on a given date",
+        params: &[
+            p!("title", Phrase, true, "Event title"),
+            p!("date", Date, true, "Event date"),
+        ],
+        templates: &["Delete the event '{title}' scheduled for {date}"],
+    },
+    ToolDef {
+        name: "find_free_slot",
+        category: "calendar",
+        desc: "Finds the first free time slot of a given length on a date",
+        params: &[
+            p!("date", Date, true, "Date to search"),
+            p!("duration_minutes", SmallInt, true, "Required slot length in minutes"),
+        ],
+        templates: &["Find me a free {duration_minutes}-minute slot on {date}"],
+    },
+    // ---------------------------------------------------- sports (3)
+    ToolDef {
+        name: "game_score_lookup",
+        category: "sports",
+        desc: "Looks up the latest game score for a sports team",
+        params: &[p!("team", Team, true, "Team name")],
+        templates: &["What was the score of the last {team} game?"],
+    },
+    ToolDef {
+        name: "player_stats",
+        category: "sports",
+        desc: "Fetches season statistics for an athlete",
+        params: &[p!("player", Player, true, "Player name")],
+        templates: &["Show me the season stats for {player}"],
+    },
+    ToolDef {
+        name: "team_schedule",
+        category: "sports",
+        desc: "Returns the upcoming schedule of a sports team",
+        params: &[p!("team", Team, true, "Team name")],
+        templates: &["When do the {team} play next?"],
+    },
+    // --------------------------------------------------- science (3)
+    ToolDef {
+        name: "molecular_weight",
+        category: "science",
+        desc: "Computes the molecular weight of a chemical formula",
+        params: &[p!("formula", Molecule, true, "Chemical formula")],
+        templates: &["What is the molecular weight of {formula}?"],
+    },
+    ToolDef {
+        name: "planet_info",
+        category: "science",
+        desc: "Returns physical facts about a planet of the solar system",
+        params: &[p!("planet", Planet, true, "Planet name")],
+        templates: &["Tell me about the planet {planet}"],
+    },
+    ToolDef {
+        name: "gene_lookup",
+        category: "science",
+        desc: "Looks up summary information about a human gene symbol",
+        params: &[p!("gene", Gene, true, "Gene symbol")],
+        templates: &["What does the gene {gene} do?"],
+    },
+    // ---------------------------------------------------- travel (3)
+    ToolDef {
+        name: "flight_search",
+        category: "travel",
+        desc: "Searches for flights between two cities on a date",
+        params: &[
+            p!("from_city", City, true, "Departure city"),
+            p!("to_city", City, true, "Arrival city"),
+            p!("date", Date, true, "Travel date"),
+        ],
+        templates: &["Find flights from {from_city} to {to_city} on {date}"],
+    },
+    ToolDef {
+        name: "hotel_search",
+        category: "travel",
+        desc: "Searches for hotels in a city for a number of nights",
+        params: &[
+            p!("city", City, true, "Destination city"),
+            p!("nights", SmallInt, true, "Number of nights"),
+        ],
+        templates: &["Find a hotel in {city} for {nights} nights"],
+    },
+    ToolDef {
+        name: "car_rental_quote",
+        category: "travel",
+        desc: "Gets a rental car quote in a city for a number of days",
+        params: &[
+            p!("city", City, true, "Pick-up city"),
+            p!("days", SmallInt, true, "Rental duration in days"),
+        ],
+        templates: &["How much is a rental car in {city} for {days} days?"],
+    },
+];
+
+/// Builds the BFCL-like workload: 51 tools, `n_queries` single-call
+/// evaluation queries and a 60-query training split for the augmenter.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics only if the static catalog is internally inconsistent (covered
+/// by tests).
+pub fn bfcl(seed: u64, n_queries: usize) -> Workload {
+    let registry = build_registry(TOOLS).expect("static BFCL catalog is valid");
+    let queries = generate(seed, n_queries, 0);
+    let train_queries = generate(seed ^ 0x5EED_CAFE, 60, 1_000_000);
+    Workload {
+        name: "bfcl",
+        kind: WorkloadKind::SingleCall,
+        registry,
+        queries,
+        train_queries,
+    }
+}
+
+fn generate(seed: u64, n: usize, id_base: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Round-robin over tools to guarantee coverage, shuffled by the
+            // template/slot draws.
+            let def = &TOOLS[i % TOOLS.len()];
+            let (text, args) = instantiate(def, &mut rng);
+            Query {
+                id: id_base + i as u64,
+                text,
+                category: def.category.to_owned(),
+                steps: vec![GoldStep {
+                    tool: def.name.to_owned(),
+                    args,
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Fills one template of `def` with pool draws; returns (query text, gold
+/// args). Shared with the GeoEngine generator.
+pub(crate) fn instantiate(def: &ToolDef, rng: &mut StdRng) -> (String, Value) {
+    let template = def.templates[rng.random_range(0..def.templates.len())];
+    let mut text = template.to_owned();
+    let mut args = Value::object::<&str, _>([]);
+    for p in def.params {
+        let (display, value) = p.pool.sample(rng);
+        let placeholder = format!("{{{}}}", p.name);
+        let mentioned = text.contains(&placeholder);
+        if mentioned {
+            text = text.replace(&placeholder, &display);
+        }
+        if p.required || mentioned {
+            args.insert(p.name, value);
+        }
+    }
+    (text, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_exactly_51_tools() {
+        assert_eq!(TOOLS.len(), 51);
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<&str> = TOOLS.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn every_template_placeholder_is_a_param() {
+        for def in TOOLS {
+            for template in def.templates {
+                let mut rest = *template;
+                while let Some(start) = rest.find('{') {
+                    let end = rest[start..].find('}').expect("balanced braces") + start;
+                    let name = &rest[start + 1..end];
+                    assert!(
+                        def.params.iter().any(|p| p.name == name),
+                        "tool {} references unknown param {{{name}}}",
+                        def.name
+                    );
+                    rest = &rest[end + 1..];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tool_has_description_and_template() {
+        for def in TOOLS {
+            assert!(!def.desc.is_empty(), "{}", def.name);
+            assert!(!def.templates.is_empty(), "{}", def.name);
+        }
+    }
+
+    #[test]
+    fn generated_queries_have_valid_gold_calls() {
+        let w = bfcl(1, 230);
+        for q in &w.queries {
+            assert_eq!(q.steps.len(), 1);
+            let step = &q.steps[0];
+            let spec = w.registry.get_by_name(&step.tool).expect("gold tool exists");
+            let call = lim_tools::ToolCall::new(step.tool.clone(), step.args.clone());
+            assert!(
+                spec.validate_call(&call).is_ok(),
+                "gold args invalid for {}: {:?}",
+                step.tool,
+                step.args
+            );
+        }
+    }
+
+    #[test]
+    fn queries_cover_every_tool() {
+        let w = bfcl(2, 230);
+        for def in TOOLS {
+            assert!(
+                w.queries.iter().any(|q| q.steps[0].tool == def.name),
+                "no query exercises {}",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = bfcl(7, 50);
+        let b = bfcl(7, 50);
+        assert_eq!(a.queries, b.queries);
+        let c = bfcl(8, 50);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn query_text_mentions_sampled_values() {
+        let w = bfcl(3, 100);
+        // No unsubstituted placeholders survive.
+        for q in &w.queries {
+            assert!(!q.text.contains('{'), "{}", q.text);
+            assert!(!q.text.contains('}'), "{}", q.text);
+        }
+    }
+
+    #[test]
+    fn train_split_is_disjoint_from_eval() {
+        let w = bfcl(4, 100);
+        let eval_ids: Vec<u64> = w.queries.iter().map(|q| q.id).collect();
+        assert!(w.train_queries.iter().all(|q| !eval_ids.contains(&q.id)));
+        assert_eq!(w.train_queries.len(), 60);
+    }
+}

@@ -1,0 +1,111 @@
+//! Table-driven tool-catalog construction.
+
+use lim_tools::{ParamSpec, ParamType, RegistryError, ToolRegistry, ToolSpec};
+
+use crate::pools::Pool;
+
+/// Declarative parameter definition used by the static catalogs.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamDef {
+    /// Parameter name as it appears in the schema and gold arguments.
+    pub name: &'static str,
+    /// Which pool fills this parameter when generating queries.
+    pub pool: Pool,
+    /// Whether the schema marks it required.
+    pub required: bool,
+    /// Schema description.
+    pub desc: &'static str,
+}
+
+/// Declarative tool definition used by the static catalogs.
+#[derive(Debug, Clone, Copy)]
+pub struct ToolDef {
+    /// Unique tool name.
+    pub name: &'static str,
+    /// Benchmark category (the paper's question types).
+    pub category: &'static str,
+    /// Natural-language description (embedded for Search Level 1).
+    pub desc: &'static str,
+    /// Parameters.
+    pub params: &'static [ParamDef],
+    /// Query templates; `{param}` placeholders are replaced by pool draws.
+    pub templates: &'static [&'static str],
+}
+
+impl ToolDef {
+    /// Converts the definition into a full [`ToolSpec`].
+    pub fn to_spec(&self) -> ToolSpec {
+        let mut builder = ToolSpec::builder(self.name)
+            .description(self.desc)
+            .category(self.category);
+        for p in self.params {
+            let param_type = pool_param_type(p.pool);
+            let spec = if p.required {
+                ParamSpec::required(p.name, param_type, p.desc)
+            } else {
+                ParamSpec::optional(p.name, param_type, p.desc)
+            };
+            builder = builder.param(spec);
+        }
+        builder.build()
+    }
+}
+
+/// JSON type produced by a pool.
+fn pool_param_type(pool: Pool) -> ParamType {
+    match pool {
+        Pool::Year | Pool::SmallInt => ParamType::Integer,
+        Pool::Amount => ParamType::Number,
+        _ => ParamType::String,
+    }
+}
+
+/// Builds a [`ToolRegistry`] from a static catalog.
+///
+/// # Errors
+///
+/// Returns [`RegistryError`] if the catalog contains duplicate names
+/// (a bug in the static tables, caught by tests).
+pub fn build_registry(defs: &[ToolDef]) -> Result<ToolRegistry, RegistryError> {
+    ToolRegistry::from_specs(defs.iter().map(ToolDef::to_spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &[ToolDef] = &[ToolDef {
+        name: "demo_tool",
+        category: "demo",
+        desc: "A demonstration tool",
+        params: &[ParamDef {
+            name: "city",
+            pool: Pool::City,
+            required: true,
+            desc: "City name",
+        }],
+        templates: &["Do the demo for {city}"],
+    }];
+
+    #[test]
+    fn to_spec_maps_fields() {
+        let spec = SAMPLE[0].to_spec();
+        assert_eq!(spec.name(), "demo_tool");
+        assert_eq!(spec.category(), "demo");
+        assert_eq!(spec.params().len(), 1);
+        assert!(spec.params()[0].is_required());
+    }
+
+    #[test]
+    fn registry_builds() {
+        let reg = build_registry(SAMPLE).unwrap();
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn numeric_pools_map_to_numeric_types() {
+        assert_eq!(pool_param_type(Pool::Year), ParamType::Integer);
+        assert_eq!(pool_param_type(Pool::Amount), ParamType::Number);
+        assert_eq!(pool_param_type(Pool::City), ParamType::String);
+    }
+}

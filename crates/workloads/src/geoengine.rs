@@ -1,0 +1,691 @@
+//! The GeoEngine-like sequential benchmark: 46 geospatial tools.
+//!
+//! GeoEngine "focuses on geographic applications requiring sequential
+//! function calls, where each call depends on the previous result" (§IV).
+//! Queries here instantiate *workflow recipes* — fixed tool chains such as
+//! `load_fmow_scene → filter_by_region → caption_batch → plot_captions`
+//! (the paper's running example "Plot the fmow VQA captions in UK from
+//! Fall 2009"). Chain steps after the first consume the previous step's
+//! output through their `source` parameter, recorded in gold arguments as
+//! the sentinel `"$prev"`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lim_json::Value;
+use std::collections::HashMap;
+
+use crate::catalog::{build_registry, ParamDef, ToolDef};
+use crate::pools::Pool;
+use crate::query::{GoldStep, Query, Workload, WorkloadKind};
+
+macro_rules! p {
+    ($name:literal, $pool:ident, $req:literal, $desc:literal) => {
+        ParamDef {
+            name: $name,
+            pool: Pool::$pool,
+            required: $req,
+            desc: $desc,
+        }
+    };
+}
+
+/// `source` parameter shared by every chain-consuming tool.
+macro_rules! src {
+    () => {
+        p!("source", Phrase, true, "Handle of the upstream result this step consumes")
+    };
+}
+
+/// The 46 GeoEngine-like tools.
+pub(crate) const TOOLS: &[ToolDef] = &[
+    // --------------------------------------------------- imagery (6)
+    ToolDef {
+        name: "load_satellite_imagery",
+        category: "imagery",
+        desc: "Loads satellite imagery tiles for a geographic region and year",
+        params: &[
+            p!("region", Region, true, "Region of interest"),
+            p!("year", Year, true, "Acquisition year"),
+        ],
+        templates: &[],
+    },
+    ToolDef {
+        name: "load_aerial_photo",
+        category: "imagery",
+        desc: "Loads high-resolution aerial photography for a region",
+        params: &[p!("region", Region, true, "Region of interest")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "load_fmow_scene",
+        category: "imagery",
+        desc: "Loads a scene from a remote-sensing dataset such as fmow for a region",
+        params: &[
+            p!("dataset", Dataset, true, "Dataset name"),
+            p!("region", Region, true, "Region of interest"),
+        ],
+        templates: &[],
+    },
+    ToolDef {
+        name: "image_metadata",
+        category: "imagery",
+        desc: "Returns acquisition metadata of loaded imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "cloud_mask",
+        category: "imagery",
+        desc: "Computes a cloud mask over loaded imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "pansharpen_image",
+        category: "imagery",
+        desc: "Pansharpens multispectral imagery to higher resolution",
+        params: &[src!()],
+        templates: &[],
+    },
+    // ------------------------------------------------- filtering (5)
+    ToolDef {
+        name: "filter_by_region",
+        category: "filtering",
+        desc: "Filters loaded imagery or detections to a geographic region",
+        params: &[src!(), p!("region", Region, true, "Region to keep")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "filter_by_daterange",
+        category: "filtering",
+        desc: "Filters a collection to items acquired between two dates",
+        params: &[
+            src!(),
+            p!("start_date", Date, true, "Range start"),
+            p!("end_date", Date, true, "Range end"),
+        ],
+        templates: &[],
+    },
+    ToolDef {
+        name: "filter_by_season",
+        category: "filtering",
+        desc: "Filters a collection to items acquired in a season of a year",
+        params: &[
+            src!(),
+            p!("season", Season, true, "Season to keep"),
+            p!("year", Year, true, "Year to keep"),
+        ],
+        templates: &[],
+    },
+    ToolDef {
+        name: "filter_by_sensor",
+        category: "filtering",
+        desc: "Filters a collection to scenes captured by a given sensor",
+        params: &[src!(), p!("sensor", Sensor, true, "Sensor name")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "filter_by_cloudcover",
+        category: "filtering",
+        desc: "Filters a collection to scenes below a cloud-cover percentage",
+        params: &[src!(), p!("max_percent", SmallInt, true, "Maximum cloud cover")],
+        templates: &[],
+    },
+    // ------------------------------------------------- detection (6)
+    ToolDef {
+        name: "detect_objects",
+        category: "detection",
+        desc: "Detects objects of a given class in imagery",
+        params: &[src!(), p!("classes", ObjectClass, true, "Object class to detect")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "detect_buildings",
+        category: "detection",
+        desc: "Detects building footprints in imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "detect_ships",
+        category: "detection",
+        desc: "Detects ships and vessels in maritime imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "detect_aircraft",
+        category: "detection",
+        desc: "Detects aircraft on the ground in imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "segment_landcover",
+        category: "detection",
+        desc: "Segments imagery into land-cover classes such as forest, water and urban",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "change_detection",
+        category: "detection",
+        desc: "Detects changes between imagery epochs of the same region",
+        params: &[src!(), p!("baseline_year", Year, true, "Baseline year to compare against")],
+        templates: &[],
+    },
+    // -------------------------------------------------- analysis (5)
+    ToolDef {
+        name: "compute_ndvi",
+        category: "analysis",
+        desc: "Computes the NDVI vegetation index over imagery",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "compute_area",
+        category: "analysis",
+        desc: "Computes the total area of detections or polygons in square km",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "population_estimate",
+        category: "analysis",
+        desc: "Estimates the population living within a geocoded area",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "elevation_profile",
+        category: "analysis",
+        desc: "Computes the elevation profile along a path in a region",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "distance_measure",
+        category: "analysis",
+        desc: "Measures distances between detected features",
+        params: &[src!()],
+        templates: &[],
+    },
+    // ------------------------------------------------------- vqa (4)
+    ToolDef {
+        name: "answer_visual_question",
+        category: "vqa",
+        desc: "Answers a natural-language question about a loaded scene",
+        params: &[src!(), p!("question", VisualQuestion, true, "Question about the scene")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "generate_caption",
+        category: "vqa",
+        desc: "Generates a descriptive caption for one scene",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "caption_batch",
+        category: "vqa",
+        desc: "Generates VQA captions for every scene in a collection",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "visual_grounding",
+        category: "vqa",
+        desc: "Locates the image region referred to by a phrase",
+        params: &[src!(), p!("phrase", Phrase, true, "Referring phrase")],
+        templates: &[],
+    },
+    // --------------------------------------------------- mapping (6)
+    ToolDef {
+        name: "plot_on_map",
+        category: "mapping",
+        desc: "Plots features or results as markers on an interactive map",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "plot_captions",
+        category: "mapping",
+        desc: "Plots generated captions at their scene locations on a map",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "render_heatmap",
+        category: "mapping",
+        desc: "Renders values as a heatmap overlay on a map",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "draw_boundaries",
+        category: "mapping",
+        desc: "Draws administrative boundaries of a region on a map",
+        params: &[p!("region", Region, true, "Region whose boundaries to draw")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "export_map_image",
+        category: "mapping",
+        desc: "Exports the current map view as a PNG image",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "add_map_layer",
+        category: "mapping",
+        desc: "Adds a named layer to the current map",
+        params: &[src!(), p!("layer_name", Phrase, true, "Layer label")],
+        templates: &[],
+    },
+    // ------------------------------------------------------ data (5)
+    ToolDef {
+        name: "query_wiki_knowledge",
+        category: "data",
+        desc: "Queries encyclopedic knowledge about a place or landmark",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "lookup_landmark",
+        category: "data",
+        desc: "Identifies the best-known landmark near a location",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "fetch_weather_history",
+        category: "data",
+        desc: "Fetches historical weather records for a location and year",
+        params: &[src!(), p!("year", Year, true, "Year of interest")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "dataset_statistics",
+        category: "data",
+        desc: "Computes summary statistics over a loaded dataset",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "list_available_datasets",
+        category: "data",
+        desc: "Lists the remote-sensing datasets available on the platform",
+        params: &[],
+        templates: &[],
+    },
+    // -------------------------------------------------- document (5)
+    ToolDef {
+        name: "generate_report",
+        category: "document",
+        desc: "Generates a written analysis report from results",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "export_geojson",
+        category: "document",
+        desc: "Exports detections or polygons as a GeoJSON document",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "save_results_csv",
+        category: "document",
+        desc: "Saves tabular results as a CSV file",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "create_presentation",
+        category: "document",
+        desc: "Builds a slide presentation from analysis results",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "email_results",
+        category: "document",
+        desc: "Emails results to a recipient",
+        params: &[src!(), p!("recipient", Email, true, "Recipient address")],
+        templates: &[],
+    },
+    // ---------------------------------------------------- search (4)
+    ToolDef {
+        name: "search_location",
+        category: "search",
+        desc: "Searches for a location by free-text name",
+        params: &[p!("query", Phrase, true, "Location search text")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "geocode_address",
+        category: "search",
+        desc: "Converts a street address into geographic coordinates",
+        params: &[p!("address", Address, true, "Street address")],
+        templates: &[],
+    },
+    ToolDef {
+        name: "reverse_geocode",
+        category: "search",
+        desc: "Converts coordinates into the nearest street address",
+        params: &[src!()],
+        templates: &[],
+    },
+    ToolDef {
+        name: "find_nearby_features",
+        category: "search",
+        desc: "Finds points of interest near a geocoded location",
+        params: &[src!()],
+        templates: &[],
+    },
+];
+
+/// A workflow recipe: a query template and the tool chain that fulfils it.
+#[derive(Debug, Clone, Copy)]
+struct Recipe {
+    category: &'static str,
+    template: &'static str,
+    chain: &'static [&'static str],
+}
+
+/// The workflow recipes queries are drawn from. Their chains define which
+/// tools are *co-used* — the structure Search Level 2's clustering must
+/// recover from augmented queries.
+const RECIPES: &[Recipe] = &[
+    Recipe {
+        category: "vqa-mapping",
+        template: "Plot the {dataset} VQA captions in {region} from {season} {year}",
+        chain: &["load_fmow_scene", "filter_by_season", "caption_batch", "plot_captions"],
+    },
+    Recipe {
+        category: "detection-report",
+        template: "Generate a report of ship detections in {region} during {year}",
+        chain: &["load_satellite_imagery", "filter_by_region", "detect_ships", "generate_report"],
+    },
+    Recipe {
+        category: "vegetation",
+        template: "Render an NDVI heatmap for {region} between {start_date} and {end_date}",
+        chain: &["load_satellite_imagery", "filter_by_daterange", "compute_ndvi", "render_heatmap"],
+    },
+    Recipe {
+        category: "wiki",
+        template: "Tell me what the encyclopedia says about the landmark near {address}",
+        chain: &["geocode_address", "lookup_landmark", "query_wiki_knowledge"],
+    },
+    Recipe {
+        category: "change",
+        template: "Export a GeoJSON of the changes in {region} since {baseline_year}",
+        chain: &["load_satellite_imagery", "change_detection", "export_geojson"],
+    },
+    Recipe {
+        category: "population",
+        template: "Map the population estimate around {address}",
+        chain: &["geocode_address", "population_estimate", "plot_on_map"],
+    },
+    Recipe {
+        category: "buildings",
+        template: "Measure the building footprint area in {region} and save it as CSV",
+        chain: &["load_aerial_photo", "detect_buildings", "compute_area", "save_results_csv"],
+    },
+    Recipe {
+        category: "vqa",
+        template: "Looking at the {dataset} scene of {region}: {question}",
+        chain: &["load_fmow_scene", "answer_visual_question"],
+    },
+    Recipe {
+        category: "climate",
+        template: "Render a heatmap of historical weather around {query} in {year}",
+        chain: &["search_location", "fetch_weather_history", "render_heatmap"],
+    },
+    Recipe {
+        category: "detection-report",
+        template: "Detect aircraft in {sensor} imagery of {region} with under {max_percent}% clouds and email the results to {recipient}",
+        chain: &[
+            "load_satellite_imagery",
+            "filter_by_sensor",
+            "filter_by_cloudcover",
+            "detect_aircraft",
+            "email_results",
+        ],
+    },
+    Recipe {
+        category: "landcover",
+        template: "Build a presentation of the land cover segmentation of {region}",
+        chain: &["load_satellite_imagery", "segment_landcover", "create_presentation"],
+    },
+    Recipe {
+        category: "search",
+        template: "Plot the features near {address} on a map",
+        chain: &["geocode_address", "find_nearby_features", "plot_on_map"],
+    },
+];
+
+/// Builds the GeoEngine-like workload: 46 tools, `n_queries` sequential
+/// evaluation queries and a 60-query training split for the augmenter.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics only if the static catalog/recipes are internally inconsistent
+/// (covered by tests).
+pub fn geoengine(seed: u64, n_queries: usize) -> Workload {
+    let registry = build_registry(TOOLS).expect("static GeoEngine catalog is valid");
+    let queries = generate(seed, n_queries, 0);
+    let train_queries = generate(seed ^ 0x6E0_CAFE, 60, 1_000_000);
+    Workload {
+        name: "geoengine",
+        kind: WorkloadKind::Sequential,
+        registry,
+        queries,
+        train_queries,
+    }
+}
+
+fn generate(seed: u64, n: usize, id_base: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let recipe = &RECIPES[i % RECIPES.len()];
+            let (text, steps) = instantiate_recipe(recipe, &mut rng);
+            Query {
+                id: id_base + i as u64,
+                text,
+                category: recipe.category.to_owned(),
+                steps,
+            }
+        })
+        .collect()
+}
+
+fn tool_def(name: &str) -> &'static ToolDef {
+    TOOLS
+        .iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("recipe references unknown tool {name}"))
+}
+
+fn instantiate_recipe(recipe: &Recipe, rng: &mut StdRng) -> (String, Vec<GoldStep>) {
+    // Shared slot values: a parameter name appearing in several steps (or
+    // in the template) resolves to one consistent value per query.
+    let mut slots: HashMap<&'static str, (String, Value)> = HashMap::new();
+    let mut steps = Vec::with_capacity(recipe.chain.len());
+
+    for (index, tool_name) in recipe.chain.iter().enumerate() {
+        let def = tool_def(tool_name);
+        let mut args = Value::object::<&str, _>([]);
+        for param in def.params {
+            if param.name == "source" {
+                if index > 0 {
+                    args.insert("source", Value::from("$prev"));
+                } else {
+                    // A recipe must not start with a consuming tool.
+                    panic!("recipe {} starts with consumer {tool_name}", recipe.template);
+                }
+                continue;
+            }
+            if !param.required {
+                continue;
+            }
+            let entry = slots
+                .entry(param.name)
+                .or_insert_with(|| param.pool.sample(rng));
+            args.insert(param.name, entry.1.clone());
+        }
+        steps.push(GoldStep {
+            tool: (*tool_name).to_owned(),
+            args,
+        });
+    }
+
+    let mut text = recipe.template.to_owned();
+    for (name, (display, _)) in &slots {
+        text = text.replace(&format!("{{{name}}}"), display);
+    }
+    (text, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_exactly_46_tools() {
+        assert_eq!(TOOLS.len(), 46);
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<&str> = TOOLS.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn recipes_reference_known_tools_and_start_with_producers() {
+        for r in RECIPES {
+            assert!(r.chain.len() >= 2, "chains are sequential");
+            let first = tool_def(r.chain[0]);
+            assert!(
+                first.params.iter().all(|p| p.name != "source"),
+                "recipe {} starts with a consumer",
+                r.template
+            );
+            for t in r.chain.iter().skip(1) {
+                let def = tool_def(t);
+                assert!(
+                    def.params.iter().any(|p| p.name == "source"),
+                    "chained tool {t} cannot consume upstream output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn template_placeholders_resolve_to_chain_params() {
+        for r in RECIPES {
+            let mut rest = r.template;
+            while let Some(start) = rest.find('{') {
+                let end = rest[start..].find('}').expect("balanced braces") + start;
+                let name = &rest[start + 1..end];
+                let known = r
+                    .chain
+                    .iter()
+                    .any(|t| tool_def(t).params.iter().any(|p| p.name == name));
+                assert!(known, "template {} references unknown slot {name}", r.template);
+                rest = &rest[end + 1..];
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_have_valid_sequential_gold() {
+        let w = geoengine(1, 230);
+        for q in &w.queries {
+            assert!(q.steps.len() >= 2);
+            for (i, step) in q.steps.iter().enumerate() {
+                let spec = w.registry.get_by_name(&step.tool).expect("gold tool exists");
+                let call = lim_tools::ToolCall::new(step.tool.clone(), step.args.clone());
+                assert!(
+                    spec.validate_call(&call).is_ok(),
+                    "gold args invalid for {} in {:?}",
+                    step.tool,
+                    q.text
+                );
+                if i > 0 {
+                    if let Some(source) = step.args.get("source") {
+                        assert_eq!(source.as_str(), Some("$prev"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_lengths_match_paper_regime() {
+        let w = geoengine(2, 230);
+        let mean = w.mean_chain_len();
+        assert!(
+            (2.0..=4.0).contains(&mean),
+            "mean chain length {mean} outside the GeoEngine regime"
+        );
+        assert!(w.queries.iter().all(|q| (2..=5).contains(&q.steps.len())));
+    }
+
+    #[test]
+    fn query_text_has_no_unfilled_placeholders() {
+        let w = geoengine(3, 120);
+        for q in &w.queries {
+            assert!(!q.text.contains('{'), "{}", q.text);
+        }
+    }
+
+    #[test]
+    fn shared_slots_are_consistent_within_a_query() {
+        // filter/load steps in the same query must agree on e.g. region.
+        let w = geoengine(4, 230);
+        for q in &w.queries {
+            let mut seen: HashMap<String, Value> = HashMap::new();
+            for step in &q.steps {
+                if let Some(obj) = step.args.as_object() {
+                    for (k, v) in obj {
+                        if k == "source" {
+                            continue;
+                        }
+                        if let Some(prev) = seen.get(k) {
+                            assert_eq!(prev, v, "slot {k} inconsistent in {:?}", q.text);
+                        }
+                        seen.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(geoengine(9, 40).queries, geoengine(9, 40).queries);
+    }
+
+    #[test]
+    fn vqa_recipe_matches_paper_example_shape() {
+        // The paper's example: "Plot the fmow VQA captions in UK from Fall
+        // 2009" — a 4-step chain ending at plot_captions.
+        let w = geoengine(1, 230);
+        let vqa = w
+            .queries
+            .iter()
+            .find(|q| q.category == "vqa-mapping")
+            .expect("vqa-mapping queries exist");
+        assert_eq!(vqa.steps.last().unwrap().tool, "plot_captions");
+        assert!(vqa.text.contains("VQA captions"));
+    }
+}

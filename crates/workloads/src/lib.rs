@@ -1,0 +1,48 @@
+//! Synthetic benchmark workloads — the BFCL and GeoEngine substitutes.
+//!
+//! The paper evaluates on two benchmarks whose *shapes* differ in exactly
+//! one important way:
+//!
+//! * **BFCL** (Berkeley Function-Calling Leaderboard): 51 functions,
+//!   general-purpose categories, one independent function call per query —
+//!   "it handles each sub-question independently";
+//! * **GeoEngine**: 46 geospatial tools, *sequential* chains where "each
+//!   call depends on the previous result".
+//!
+//! This crate rebuilds both at full size: real tool schemas (rendered to
+//! JSON by `lim-tools`, so prompt bytes are honest), seeded query
+//! generators with gold labels (tool + arguments per step, enabling exact
+//! Tool-Accuracy and Success-Rate scoring), a train/eval split, and the
+//! GPT-4-substitute [`augment`] module that produces the "contextually
+//! proximate" noisy queries Search Level 2 clusters over (§III-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_workloads::{bfcl, geoengine};
+//!
+//! let b = bfcl(42, 230);
+//! assert_eq!(b.registry.len(), 51);
+//! assert_eq!(b.queries.len(), 230);
+//! assert!(b.queries.iter().all(|q| q.steps.len() == 1));
+//!
+//! let g = geoengine(42, 230);
+//! assert_eq!(g.registry.len(), 46);
+//! assert!(g.queries.iter().any(|q| q.steps.len() >= 2));
+//! ```
+
+pub mod augment;
+pub mod pools;
+
+mod bfcl;
+mod catalog;
+mod geoengine;
+mod query;
+
+pub use bfcl::bfcl;
+pub use catalog::{build_registry, ParamDef, ToolDef};
+pub use geoengine::geoengine;
+pub use query::{GoldStep, Query, Workload, WorkloadKind};
+
+#[cfg(test)]
+mod tests;

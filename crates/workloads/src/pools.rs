@@ -1,0 +1,206 @@
+//! Value pools that fill query-template slots with realistic data.
+//!
+//! Each pool draws a display string plus the JSON value a gold call should
+//! carry for that slot, keeping query text and gold arguments consistent.
+
+use lim_json::Value;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A typed source of slot values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pool {
+    /// World cities.
+    City,
+    /// Countries.
+    Country,
+    /// Geographic regions used by the GeoEngine-style tools.
+    Region,
+    /// Years 1990–2023.
+    Year,
+    /// Seasons.
+    Season,
+    /// ISO-ish dates.
+    Date,
+    /// Monetary amounts.
+    Amount,
+    /// Small positive integers (1–30).
+    SmallInt,
+    /// ISO currency codes.
+    CurrencyCode,
+    /// Natural languages.
+    Language,
+    /// Short free-text phrases (for translation/sentiment inputs).
+    Phrase,
+    /// Stock tickers.
+    Ticker,
+    /// Sports teams.
+    Team,
+    /// Athlete names.
+    Player,
+    /// Length units.
+    LengthUnit,
+    /// Mass units.
+    MassUnit,
+    /// Temperature units.
+    TempUnit,
+    /// Chemical formulas.
+    Molecule,
+    /// Planet names.
+    Planet,
+    /// Gene symbols.
+    Gene,
+    /// URLs.
+    Url,
+    /// Street addresses.
+    Address,
+    /// Satellite sensors.
+    Sensor,
+    /// Remote-sensing dataset names.
+    Dataset,
+    /// Email addresses.
+    Email,
+    /// Visual questions for VQA tools.
+    VisualQuestion,
+    /// Object classes detectable in imagery.
+    ObjectClass,
+}
+
+macro_rules! pick {
+    ($rng:expr, $options:expr) => {{
+        let opts = $options;
+        opts[$rng.random_range(0..opts.len())]
+    }};
+}
+
+impl Pool {
+    /// Draws `(display_text, json_value)` from the pool.
+    pub fn sample(self, rng: &mut StdRng) -> (String, Value) {
+        match self {
+            Pool::City => str_sample(rng, &[
+                "London", "Paris", "New York", "Tokyo", "Berlin", "Madrid", "Chicago",
+                "Toronto", "Sydney", "Mumbai", "Cairo", "Seoul",
+            ]),
+            Pool::Country => str_sample(rng, &[
+                "France", "Japan", "Brazil", "Canada", "Kenya", "Norway", "India",
+                "Mexico", "Italy", "Egypt",
+            ]),
+            Pool::Region => str_sample(rng, &[
+                "UK", "California", "Bavaria", "Normandy", "Kyushu", "Patagonia",
+                "Sahel", "Great Lakes", "Nile Delta", "Po Valley",
+            ]),
+            Pool::Year => {
+                let y = rng.random_range(1990..=2023);
+                (y.to_string(), Value::from(y as i64))
+            }
+            Pool::Season => str_sample(rng, &["Spring", "Summer", "Fall", "Winter"]),
+            Pool::Date => {
+                let y = rng.random_range(2015..=2024);
+                let m = rng.random_range(1..=12);
+                let d = rng.random_range(1..=28);
+                let s = format!("{y:04}-{m:02}-{d:02}");
+                (s.clone(), Value::from(s))
+            }
+            Pool::Amount => {
+                let a = f64::from(rng.random_range(5..=5000));
+                (format!("{a:.0}"), Value::from(a))
+            }
+            Pool::SmallInt => {
+                let n = rng.random_range(1..=30);
+                (n.to_string(), Value::from(n as i64))
+            }
+            Pool::CurrencyCode => str_sample(rng, &["USD", "EUR", "GBP", "JPY", "CHF", "INR"]),
+            Pool::Language => str_sample(rng, &[
+                "French", "German", "Spanish", "Japanese", "Arabic", "Portuguese",
+            ]),
+            Pool::Phrase => str_sample(rng, &[
+                "the shipment arrives on Tuesday",
+                "this product exceeded my expectations",
+                "the meeting was postponed again",
+                "what a wonderful performance",
+                "the service was disappointingly slow",
+            ]),
+            Pool::Ticker => str_sample(rng, &["AAPL", "MSFT", "NVDA", "TSLA", "AMZN", "GOOG"]),
+            Pool::Team => str_sample(rng, &[
+                "Lakers", "Warriors", "Yankees", "Liverpool", "Ajax", "Packers",
+            ]),
+            Pool::Player => str_sample(rng, &[
+                "Jordan Alvarez", "Mia Chen", "Luka Petrov", "Sara Haddad", "Kenji Mori",
+            ]),
+            Pool::LengthUnit => str_sample(rng, &["meters", "feet", "miles", "kilometers"]),
+            Pool::MassUnit => str_sample(rng, &["kilograms", "pounds", "ounces", "grams"]),
+            Pool::TempUnit => str_sample(rng, &["celsius", "fahrenheit", "kelvin"]),
+            Pool::Molecule => str_sample(rng, &["H2O", "C6H12O6", "NaCl", "CO2", "CH4"]),
+            Pool::Planet => str_sample(rng, &["Mars", "Venus", "Jupiter", "Saturn", "Neptune"]),
+            Pool::Gene => str_sample(rng, &["BRCA1", "TP53", "EGFR", "MYC", "KRAS"]),
+            Pool::Url => str_sample(rng, &[
+                "https://example.com/research/paper",
+                "https://data.example.org/catalog",
+                "https://news.example.net/article/42",
+            ]),
+            Pool::Address => str_sample(rng, &[
+                "221B Baker Street, London",
+                "1600 Amphitheatre Parkway, Mountain View",
+                "4 Rue de Rivoli, Paris",
+            ]),
+            Pool::Sensor => str_sample(rng, &["Sentinel-2", "Landsat-8", "MODIS", "WorldView-3"]),
+            Pool::Dataset => str_sample(rng, &["fmow", "xView", "SpaceNet", "BigEarthNet"]),
+            Pool::Email => str_sample(rng, &[
+                "analyst@example.com", "ops-team@example.org", "report@example.net",
+            ]),
+            Pool::VisualQuestion => str_sample(rng, &[
+                "how many vehicles are visible",
+                "is there a runway in the scene",
+                "what type of crops are growing",
+                "are the buildings residential or industrial",
+            ]),
+            Pool::ObjectClass => str_sample(rng, &[
+                "ships", "aircraft", "vehicles", "buildings", "storage tanks",
+            ]),
+        }
+    }
+}
+
+fn str_sample(rng: &mut StdRng, options: &[&str]) -> (String, Value) {
+    let s = pick!(rng, options);
+    (s.to_owned(), Value::from(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for pool in [Pool::City, Pool::Year, Pool::Amount, Pool::Date] {
+            assert_eq!(pool.sample(&mut a), pool.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn display_and_value_agree_for_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (display, value) = Pool::City.sample(&mut rng);
+        assert_eq!(value.as_str(), Some(display.as_str()));
+    }
+
+    #[test]
+    fn numeric_pools_produce_numbers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(Pool::Year.sample(&mut rng).1.as_i64().is_some());
+        assert!(Pool::Amount.sample(&mut rng).1.as_f64().is_some());
+        assert!(Pool::SmallInt.sample(&mut rng).1.as_i64().is_some());
+    }
+
+    #[test]
+    fn year_range_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let y = Pool::Year.sample(&mut rng).1.as_i64().unwrap();
+            assert!((1990..=2023).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Query and workload containers.
+
+use lim_json::Value;
+use lim_tools::ToolRegistry;
+
+/// Which benchmark regime a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// One independent function call per query (BFCL-like).
+    SingleCall,
+    /// Sequential chains; step *i* consumes step *i−1*'s output
+    /// (GeoEngine-like).
+    Sequential,
+}
+
+/// Ground truth for one call step of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldStep {
+    /// Name of the tool this step must call.
+    pub tool: String,
+    /// Gold arguments (JSON object) the call must carry.
+    pub args: Value,
+}
+
+/// One benchmark query with its gold call chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Stable id within the workload (also the per-query RNG stream id).
+    pub id: u64,
+    /// Natural-language user request.
+    pub text: String,
+    /// Benchmark category (the paper's "question types" used for
+    /// augmentation sampling).
+    pub category: String,
+    /// Gold steps in execution order; length 1 for single-call workloads.
+    pub steps: Vec<GoldStep>,
+}
+
+impl Query {
+    /// Names of the gold tools, in step order.
+    pub fn gold_tools(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.tool.as_str()).collect()
+    }
+}
+
+/// A complete benchmark: tool catalog plus evaluation and training queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (`"bfcl"` or `"geoengine"`).
+    pub name: &'static str,
+    /// Single-call or sequential regime.
+    pub kind: WorkloadKind,
+    /// The full tool catalog queries select from.
+    pub registry: ToolRegistry,
+    /// Evaluation queries (the paper uses mini-batches of 230).
+    pub queries: Vec<Query>,
+    /// Held-out training queries used only by the Level-2 augmenter.
+    pub train_queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Distinct categories present in the evaluation queries.
+    pub fn categories(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for q in &self.queries {
+            if !seen.contains(&q.category.as_str()) {
+                seen.push(&q.category);
+            }
+        }
+        seen
+    }
+
+    /// Mean gold-chain length over evaluation queries.
+    pub fn mean_chain_len(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.steps.len()).sum::<usize>() as f64
+            / self.queries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_tools_lists_step_order() {
+        let q = Query {
+            id: 0,
+            text: "t".into(),
+            category: "c".into(),
+            steps: vec![
+                GoldStep { tool: "a".into(), args: Value::object::<&str, _>([]) },
+                GoldStep { tool: "b".into(), args: Value::object::<&str, _>([]) },
+            ],
+        };
+        assert_eq!(q.gold_tools(), vec!["a", "b"]);
+    }
+}

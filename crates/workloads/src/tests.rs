@@ -1,0 +1,87 @@
+//! Crate-level behaviour and property tests.
+
+use crate::{bfcl, geoengine, WorkloadKind};
+use proptest::prelude::*;
+
+#[test]
+fn benchmark_sizes_match_the_paper() {
+    // §IV: "mini-batches of 230 queries from each benchmark, along with 51
+    // functions from BFCL and 46 functions from GeoEngine".
+    let b = bfcl(0, 230);
+    let g = geoengine(0, 230);
+    assert_eq!(b.registry.len(), 51);
+    assert_eq!(g.registry.len(), 46);
+    assert_eq!(b.queries.len(), 230);
+    assert_eq!(g.queries.len(), 230);
+    assert_eq!(b.kind, WorkloadKind::SingleCall);
+    assert_eq!(g.kind, WorkloadKind::Sequential);
+}
+
+#[test]
+fn rendered_catalogs_have_realistic_prompt_sizes() {
+    // The full tool payloads must be in the multi-thousand-token range
+    // that motivates the paper's context-window discussion.
+    let b = bfcl(0, 10);
+    let g = geoengine(0, 10);
+    let b_chars = b.registry.prompt_chars(&(0..51).collect::<Vec<_>>());
+    let g_chars = g.registry.prompt_chars(&(0..46).collect::<Vec<_>>());
+    assert!(b_chars > 8_000, "BFCL payload only {b_chars} chars");
+    assert!(g_chars > 8_000, "GeoEngine payload only {g_chars} chars");
+    assert!(b_chars < 80_000 && g_chars < 80_000, "payloads implausibly large");
+}
+
+#[test]
+fn categories_are_multiple_and_stable() {
+    let b = bfcl(5, 230);
+    let g = geoengine(5, 230);
+    assert!(b.categories().len() >= 10, "BFCL categories {:?}", b.categories());
+    assert!(g.categories().len() >= 8, "Geo categories {:?}", g.categories());
+}
+
+#[test]
+fn gold_tools_exist_in_registry() {
+    for w in [bfcl(6, 230), geoengine(6, 230)] {
+        for q in w.queries.iter().chain(&w.train_queries) {
+            for step in &q.steps {
+                assert!(
+                    w.registry.get_by_name(&step.tool).is_some(),
+                    "{} missing from {}",
+                    step.tool,
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Any seed and size yields structurally valid workloads.
+    #[test]
+    fn workloads_valid_for_any_seed(seed in 0u64..500, n in 1usize..60) {
+        let b = bfcl(seed, n);
+        prop_assert_eq!(b.queries.len(), n);
+        for q in &b.queries {
+            prop_assert_eq!(q.steps.len(), 1);
+            prop_assert!(!q.text.is_empty());
+        }
+        let g = geoengine(seed, n);
+        prop_assert_eq!(g.queries.len(), n);
+        for q in &g.queries {
+            prop_assert!(q.steps.len() >= 2);
+        }
+    }
+
+    /// Gold argument payloads always validate against their tool schemas.
+    #[test]
+    fn gold_args_always_validate(seed in 0u64..200) {
+        for w in [bfcl(seed, 25), geoengine(seed, 25)] {
+            for q in &w.queries {
+                for step in &q.steps {
+                    let spec = w.registry.get_by_name(&step.tool).unwrap();
+                    let call = lim_tools::ToolCall::new(step.tool.clone(), step.args.clone());
+                    prop_assert!(spec.validate_call(&call).is_ok());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Policy sweep over the BFCL-like benchmark for one model: prints the
+//! paper's four metrics for default / Gorilla / Less-is-More, per
+//! quantization variant. A miniature of the Figure 2 harness that runs in
+//! seconds.
+//!
+//! ```sh
+//! cargo run --release --example bfcl_sweep [model-name]
+//! ```
+
+use lessismore::core::{evaluate, normalize_against, Pipeline, Policy, SearchLevels};
+use lessismore::llm::{ModelProfile, Quant};
+use lessismore::workloads::bfcl;
+
+fn main() {
+    let model_name = std::env::args().nth(1).unwrap_or_else(|| "qwen2-7b".into());
+    let model = ModelProfile::by_name(&model_name).unwrap_or_else(|| {
+        eprintln!("unknown model {model_name}; available:");
+        for m in lessismore::llm::profiles::catalog() {
+            eprintln!("  {}", m.name);
+        }
+        std::process::exit(1);
+    });
+
+    let workload = bfcl(99, 120);
+    let levels = SearchLevels::build(&workload);
+    println!(
+        "{:<8} {:<12} {:>8} {:>9} {:>10} {:>11} {:>7}",
+        "quant", "policy", "success", "tool-acc", "norm-time", "norm-power", "tools"
+    );
+    for quant in Quant::OLLAMA {
+        let pipeline = Pipeline::new(&workload, &levels, &model, quant);
+        let baseline = evaluate(&pipeline, Policy::Default);
+        for policy in [
+            Policy::Default,
+            Policy::Gorilla { k: 3 },
+            Policy::less_is_more(3),
+            Policy::less_is_more(5),
+        ] {
+            let metrics = evaluate(&pipeline, policy);
+            let (time, power) = normalize_against(&baseline, &metrics);
+            println!(
+                "{:<8} {:<12} {:>7.1}% {:>8.1}% {:>9.2}x {:>10.2}x {:>7.1}",
+                quant.label(),
+                policy.label(),
+                100.0 * metrics.success_rate,
+                100.0 * metrics.tool_accuracy,
+                time,
+                power,
+                metrics.avg_offered_tools
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! A geospatial copilot session — the workload class from the paper's
+//! motivating example ("Plot the fmow VQA captions in UK from Fall 2009").
+//!
+//! Walks a sequential GeoEngine-style query through the full
+//! Less-is-More pipeline and prints a step-by-step trace: recommender
+//! output, level arbitration, the offered tool subset, per-step outcomes
+//! and the energy/latency bill, contrasted with vanilla function calling.
+//!
+//! ```sh
+//! cargo run --release --example geoengine_copilot
+//! ```
+
+use lessismore::core::{ControllerConfig, Pipeline, Policy, SearchLevels, ToolController};
+use lessismore::llm::{recommender::recommend_descriptions, ModelProfile, Quant};
+use lessismore::workloads::geoengine;
+
+fn main() {
+    let workload = geoengine(7, 60);
+    println!(
+        "GeoEngine-like workload: {} tools, {} sequential queries (mean chain {:.2})",
+        workload.registry.len(),
+        workload.queries.len(),
+        workload.mean_chain_len()
+    );
+
+    println!("\n-- offline stage ------------------------------------------------");
+    let levels = SearchLevels::build(&workload);
+    println!(
+        "built Search Levels: {} tool embeddings (Level 1), {} co-usage clusters (Level 2)",
+        levels.tool_count(),
+        levels.clusters().len()
+    );
+    for cluster in levels.clusters().iter().take(4) {
+        let names: Vec<&str> = cluster
+            .tool_indices
+            .iter()
+            .filter_map(|i| workload.registry.get(*i))
+            .map(|t| t.name())
+            .collect();
+        println!("  cluster {:>2}: {}", cluster.id, names.join(", "));
+    }
+    println!("  ...");
+
+    println!("\n-- online stage -------------------------------------------------");
+    let model = ModelProfile::by_name("hermes2-pro-8b").expect("model exists");
+    let quant = Quant::Q4KM;
+    let query = workload
+        .queries
+        .iter()
+        .find(|q| q.category == "vqa-mapping")
+        .expect("vqa-mapping recipe present");
+    println!("user: {}", query.text);
+    println!(
+        "gold chain: {}",
+        query
+            .gold_tools()
+            .join(" -> ")
+    );
+
+    let gold_descs: Vec<String> = query
+        .steps
+        .iter()
+        .filter_map(|s| workload.registry.get_by_name(&s.tool))
+        .map(|t| t.description().to_owned())
+        .collect();
+    let gold_refs: Vec<&str> = gold_descs.iter().map(String::as_str).collect();
+    let recs = recommend_descriptions(&model, quant, &query.text, &gold_refs, 11);
+    println!("\nrecommender (no tools attached) proposed {} ideal tools:", recs.len());
+    for r in &recs {
+        println!("  - {r}");
+    }
+
+    let controller = ToolController::new(&levels, ControllerConfig::with_k(3));
+    let selection = controller.select(&query.text, &recs);
+    println!(
+        "\ncontroller: {} (L1 {:.3} vs L2 {:.3}) -> {} tools offered",
+        selection.level,
+        selection.level1_score,
+        selection.level2_score,
+        selection.tool_indices.len()
+    );
+    let offered: Vec<&str> = selection
+        .tool_indices
+        .iter()
+        .filter_map(|i| workload.registry.get(*i))
+        .map(|t| t.name())
+        .collect();
+    println!("offered: {}", offered.join(", "));
+
+    println!("\n-- execution ----------------------------------------------------");
+    let pipeline = Pipeline::new(&workload, &levels, &model, quant);
+    let lim = pipeline.run_query(query, Policy::less_is_more(3));
+    let vanilla = pipeline.run_query(query, Policy::Default);
+    println!(
+        "less-is-more: success={} tool_correct={} time={:.1}s energy={:.0}J power={:.1}W",
+        lim.success,
+        lim.tool_correct,
+        lim.cost.seconds,
+        lim.cost.joules,
+        lim.cost.avg_watts()
+    );
+    println!(
+        "default     : success={} tool_correct={} time={:.1}s energy={:.0}J power={:.1}W",
+        vanilla.success,
+        vanilla.tool_correct,
+        vanilla.cost.seconds,
+        vanilla.cost.joules,
+        vanilla.cost.avg_watts()
+    );
+    println!(
+        "\nsavings: {:.0}% time, {:.0}% energy",
+        100.0 * (1.0 - lim.cost.seconds / vanilla.cost.seconds),
+        100.0 * (1.0 - lim.cost.joules / vanilla.cost.joules)
+    );
+}

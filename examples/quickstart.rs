@@ -1,0 +1,73 @@
+//! Quickstart: build the search levels for a benchmark, run one query
+//! under the default and the Less-is-More policies, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lessismore::core::{ControllerConfig, Pipeline, Policy, SearchLevels, ToolController};
+use lessismore::llm::{recommender::recommend_descriptions, ModelProfile, Quant};
+use lessismore::workloads::bfcl;
+
+fn main() {
+    // 1. A benchmark: 51 tools, single-call queries with gold labels.
+    let workload = bfcl(42, 20);
+    println!(
+        "workload: {} tools, {} queries",
+        workload.registry.len(),
+        workload.queries.len()
+    );
+
+    // 2. Offline stage: build all three search levels.
+    let levels = SearchLevels::build(&workload);
+    println!(
+        "levels: {} tools in level-1, {} clusters in level-2",
+        levels.tool_count(),
+        levels.clusters().len()
+    );
+
+    // 3. Pick an edge model and quantization.
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+    let quant = Quant::Q4KM;
+    let pipeline = Pipeline::new(&workload, &levels, &model, quant);
+
+    // 4. Peek inside the online stage for the first query.
+    let query = &workload.queries[0];
+    println!("\nquery: {}", query.text);
+    let gold_descs: Vec<String> = query
+        .steps
+        .iter()
+        .filter_map(|s| workload.registry.get_by_name(&s.tool))
+        .map(|t| t.description().to_owned())
+        .collect();
+    let gold_refs: Vec<&str> = gold_descs.iter().map(String::as_str).collect();
+    let recs = recommend_descriptions(&model, quant, &query.text, &gold_refs, 7);
+    println!("recommender suggested: {recs:?}");
+    let controller = ToolController::new(&levels, ControllerConfig::with_k(3));
+    let selection = controller.select(&query.text, &recs);
+    println!(
+        "controller: {} with {} tools (L1 score {:.3}, L2 score {:.3})",
+        selection.level,
+        selection.tool_indices.len(),
+        selection.level1_score,
+        selection.level2_score
+    );
+
+    // 5. Execute under both policies and compare cost.
+    let default = pipeline.run_query(query, Policy::Default);
+    let lim = pipeline.run_query(query, Policy::less_is_more(3));
+    println!(
+        "\ndefault     : success={} tools={} time={:.1}s power={:.1}W",
+        default.success,
+        default.offered_tools,
+        default.cost.seconds,
+        default.cost.avg_watts()
+    );
+    println!(
+        "less-is-more: success={} tools={} time={:.1}s power={:.1}W",
+        lim.success,
+        lim.offered_tools,
+        lim.cost.seconds,
+        lim.cost.avg_watts()
+    );
+}

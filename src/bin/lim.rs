@@ -1,0 +1,310 @@
+//! `lim` — command-line front end to the Less-is-More reproduction.
+//!
+//! ```text
+//! lim models                                     list model profiles
+//! lim evaluate [options]                         run a policy over a benchmark
+//! lim trace    [options] --query I               JSON execution trace of one query
+//! lim levels   [options] [--save FILE|--load F]  build / persist search levels
+//!
+//! common options:
+//!   --benchmark bfcl|geoengine   (default bfcl)
+//!   --model NAME                 (default llama3.1-8b)
+//!   --quant f16|q4_0|q4_1|q4_K_M|q8_0   (default q4_K_M)
+//!   --policy default|gorilla:K|lim:K    (default lim:3)
+//!   --queries N                  (default 230)
+//!   --seed S                     (default 20250331)
+//! ```
+
+use std::process::ExitCode;
+
+use lessismore::core::{
+    evaluate, load_levels, normalize_against, save_levels, Pipeline, Policy, SearchLevels,
+};
+use lessismore::llm::{profiles, ModelProfile, Quant};
+use lessismore::workloads::{bfcl, geoengine, Workload};
+
+struct Options {
+    benchmark: String,
+    model: String,
+    quant: Quant,
+    policy: Policy,
+    queries: usize,
+    seed: u64,
+    query_index: usize,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            benchmark: "bfcl".into(),
+            model: "llama3.1-8b".into(),
+            quant: Quant::Q4KM,
+            policy: Policy::less_is_more(3),
+            queries: 230,
+            seed: 20_250_331,
+            query_index: 0,
+            save: None,
+            load: None,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: lim <models|evaluate|trace|levels> [options] (see --help)");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse(&args[1..]) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "models" => cmd_models(),
+        "evaluate" => cmd_evaluate(&options),
+        "trace" => cmd_trace(&options),
+        "levels" => cmd_levels(&options),
+        other => {
+            eprintln!("unknown command {other:?}; try --help");
+            return ExitCode::FAILURE;
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "lim — Less-is-More tool-selection reproduction\n\n\
+         commands:\n  \
+         models     list the six calibrated model profiles\n  \
+         evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
+         trace      print the JSON execution trace of one query\n  \
+         levels     build the offline search levels; --save FILE / --load FILE\n\n\
+         options:\n  \
+         --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
+         --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
+         --query I (trace only)      --save FILE / --load FILE (levels only)"
+    );
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--benchmark" => options.benchmark = value("--benchmark")?,
+            "--model" => options.model = value("--model")?,
+            "--quant" => {
+                let v = value("--quant")?;
+                options.quant = Quant::ALL
+                    .into_iter()
+                    .find(|q| q.label() == v)
+                    .ok_or_else(|| format!("unknown quant {v:?}"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                options.policy = parse_policy(&v)?;
+            }
+            "--queries" => {
+                options.queries = value("--queries")?
+                    .parse()
+                    .map_err(|_| "--queries needs an integer".to_owned())?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_owned())?;
+            }
+            "--query" => {
+                options.query_index = value("--query")?
+                    .parse()
+                    .map_err(|_| "--query needs an index".to_owned())?;
+            }
+            "--save" => options.save = Some(value("--save")?),
+            "--load" => options.load = Some(value("--load")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_policy(text: &str) -> Result<Policy, String> {
+    if text == "default" {
+        return Ok(Policy::Default);
+    }
+    if let Some(k) = text.strip_prefix("gorilla:") {
+        let k = k.parse().map_err(|_| format!("bad k in {text:?}"))?;
+        return Ok(Policy::Gorilla { k });
+    }
+    if let Some(k) = text.strip_prefix("lim:") {
+        let k = k.parse().map_err(|_| format!("bad k in {text:?}"))?;
+        return Ok(Policy::less_is_more(k));
+    }
+    Err(format!("unknown policy {text:?}"))
+}
+
+fn build_workload(options: &Options) -> Result<Workload, String> {
+    match options.benchmark.as_str() {
+        "bfcl" => Ok(bfcl(options.seed, options.queries)),
+        "geoengine" | "geo" => Ok(geoengine(options.seed, options.queries)),
+        other => Err(format!("unknown benchmark {other:?} (bfcl|geoengine)")),
+    }
+}
+
+fn resolve_model(options: &Options) -> Result<ModelProfile, String> {
+    ModelProfile::by_name(&options.model)
+        .ok_or_else(|| format!("unknown model {:?}; run `lim models`", options.model))
+}
+
+fn cmd_models() -> ExitCode {
+    println!(
+        "{:<16} {:>7} {:>9} {:>10} {:>12}",
+        "name", "params", "tool-base", "arg-fid", "rec-quality"
+    );
+    for m in profiles::catalog() {
+        println!(
+            "{:<16} {:>6.1}B {:>9.3} {:>10.3} {:>12.2}",
+            m.name, m.arch.params_b, m.base_tool_competence, m.arg_fidelity, m.recommender_quality
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_evaluate(options: &Options) -> ExitCode {
+    let (workload, model) = match (build_workload(options), resolve_model(options)) {
+        (Ok(w), Ok(m)) => (w, m),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let levels = SearchLevels::build(&workload);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
+        .with_seed(options.seed);
+    let baseline = evaluate(&pipeline, Policy::Default);
+    let metrics = evaluate(&pipeline, options.policy);
+    let (time, power) = normalize_against(&baseline, &metrics);
+    println!(
+        "benchmark={} model={} quant={} policy={} queries={}",
+        workload.name,
+        model.name,
+        options.quant,
+        options.policy.label(),
+        metrics.queries
+    );
+    println!("success rate       {:>8.2}%", 100.0 * metrics.success_rate);
+    println!("tool accuracy      {:>8.2}%", 100.0 * metrics.tool_accuracy);
+    println!("avg exec time      {:>8.2} s (norm {:.2}x)", metrics.avg_seconds, time);
+    println!("avg power          {:>8.2} W (norm {:.2}x)", metrics.avg_power_w, power);
+    println!("avg offered tools  {:>8.1}", metrics.avg_offered_tools);
+    println!("level shares       L1 {:.0}% / L2 {:.0}% / L3 {:.0}%  fallback {:.0}%",
+        100.0 * metrics.level1_share,
+        100.0 * metrics.level2_share,
+        100.0 * metrics.level3_share,
+        100.0 * metrics.fallback_rate
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(options: &Options) -> ExitCode {
+    let (workload, model) = match (build_workload(options), resolve_model(options)) {
+        (Ok(w), Ok(m)) => (w, m),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.query_index >= workload.queries.len() {
+        eprintln!(
+            "error: --query {} out of range (0..{})",
+            options.query_index,
+            workload.queries.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let levels = SearchLevels::build(&workload);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
+        .with_seed(options.seed);
+    let query = &workload.queries[options.query_index];
+    let (result, trace) = pipeline.run_query_traced(query, options.policy);
+    let mut doc = trace.to_json();
+    doc.insert("query_text", lessismore::json::Value::from(query.text.as_str()));
+    doc.insert("success", lessismore::json::Value::from(result.success));
+    doc.insert(
+        "seconds",
+        lessismore::json::Value::from(result.cost.seconds),
+    );
+    println!("{}", doc.to_pretty_string());
+    ExitCode::SUCCESS
+}
+
+fn cmd_levels(options: &Options) -> ExitCode {
+    let workload = match build_workload(options) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &options.load {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match lessismore::json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match load_levels(&doc) {
+            Ok(levels) => {
+                println!(
+                    "loaded {}: {} tools, {} clusters",
+                    path,
+                    levels.tool_count(),
+                    levels.clusters().len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let levels = SearchLevels::build(&workload);
+        println!(
+            "built levels for {}: {} tools, {} clusters",
+            workload.name,
+            levels.tool_count(),
+            levels.clusters().len()
+        );
+        if let Some(path) = &options.save {
+            let doc = save_levels(&levels);
+            if let Err(e) = std::fs::write(path, doc.to_string()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("saved to {path}");
+        }
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,40 @@
+//! Less-is-More — facade crate.
+//!
+//! Re-exports the workspace crates under one roof so applications can
+//! depend on a single `lessismore` crate. The architecture follows the
+//! paper "Less is More: Optimizing Function Calling for LLM Execution on
+//! Edge Devices" (DATE 2025); see `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the reproduced tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use lessismore::core::{Pipeline, Policy, SearchLevels};
+//! use lessismore::llm::{ModelProfile, Quant};
+//!
+//! let workload = lessismore::workloads::bfcl(1, 5);
+//! let levels = SearchLevels::build(&workload);
+//! let model = ModelProfile::by_name("qwen2-7b").expect("model exists");
+//! let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM);
+//! let result = pipeline.run_query(&workload.queries[0], Policy::less_is_more(3));
+//! assert!(result.cost.seconds > 0.0);
+//! ```
+
+/// Agglomerative clustering and ROUGE scoring.
+pub use lim_cluster as cluster;
+/// The paper's search levels, controller, pipeline and metrics.
+pub use lim_core as core;
+/// Edge-device (Jetson AGX Orin) timing/power/memory model.
+pub use lim_device as device;
+/// Deterministic 768-d sentence embeddings.
+pub use lim_embed as embed;
+/// Minimal JSON tree, parser and writer.
+pub use lim_json as json;
+/// Calibrated edge-LLM behaviour and cost simulator.
+pub use lim_llm as llm;
+/// Tool schemas, registry and call validation.
+pub use lim_tools as tools;
+/// Flat and IVF vector indexes.
+pub use lim_vecstore as vecstore;
+/// BFCL-like and GeoEngine-like benchmark workloads.
+pub use lim_workloads as workloads;

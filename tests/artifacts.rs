@@ -1,0 +1,111 @@
+//! Integration tests for the deployment-oriented features: persisted
+//! offline artifacts, execution traces and repeated-evaluation statistics.
+
+use lessismore::core::{
+    evaluate, evaluate_repeated, load_levels, save_levels, Pipeline, Policy, SearchLevels,
+};
+use lessismore::llm::{ModelProfile, Quant};
+use lessismore::workloads::{bfcl, geoengine};
+
+#[test]
+fn persisted_levels_reproduce_pipeline_results_exactly() {
+    // Build → save → load → run: the reloaded artifact must drive the
+    // exact same evaluation as the freshly built one.
+    let workload = geoengine(42, 40);
+    let built = SearchLevels::build(&workload);
+    let doc_text = save_levels(&built).to_string();
+    let reloaded =
+        load_levels(&lessismore::json::parse(&doc_text).expect("valid JSON")).expect("loads");
+
+    let model = ModelProfile::by_name("hermes2-pro-8b").expect("model exists");
+    let from_built = evaluate(
+        &Pipeline::new(&workload, &built, &model, Quant::Q4KM).with_seed(9),
+        Policy::less_is_more(3),
+    );
+    let from_loaded = evaluate(
+        &Pipeline::new(&workload, &reloaded, &model, Quant::Q4KM).with_seed(9),
+        Policy::less_is_more(3),
+    );
+    assert_eq!(from_built, from_loaded);
+}
+
+#[test]
+fn artifact_is_a_reasonable_size_for_edge_shipping() {
+    // 51 tools + ~24 clusters of 768-d vectors as JSON: megabytes, not
+    // gigabytes — shippable next to the model weights.
+    let workload = bfcl(1, 20);
+    let levels = SearchLevels::build(&workload);
+    let bytes = save_levels(&levels).to_string().len();
+    assert!(bytes > 100_000, "suspiciously small artifact: {bytes} B");
+    assert!(bytes < 30_000_000, "artifact too large to ship: {bytes} B");
+}
+
+#[test]
+fn traces_aggregate_to_batch_metrics() {
+    // Summing per-trace outcomes must agree with the batch evaluation —
+    // the trace is a faithful record, not a parallel implementation.
+    let workload = bfcl(11, 30);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("qwen2-7b").expect("model exists");
+    let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q8_0);
+    let policy = Policy::less_is_more(3);
+
+    let batch = evaluate(&pipeline, policy);
+    let mut successes = 0usize;
+    let mut seconds = 0.0f64;
+    for query in &workload.queries {
+        let (result, trace) = pipeline.run_query_traced(query, policy);
+        successes += usize::from(result.success);
+        seconds += result.cost.seconds;
+        // The trace phases account for the full bill.
+        let trace_seconds: f64 = trace.phases.iter().map(|p| p.seconds).sum();
+        assert!((trace_seconds - result.cost.seconds).abs() < 1e-9);
+    }
+    assert!((batch.success_rate - successes as f64 / 30.0).abs() < 1e-12);
+    assert!((batch.avg_seconds - seconds / 30.0).abs() < 1e-9);
+}
+
+#[test]
+fn repeated_evaluation_brackets_the_single_run() {
+    let workload = bfcl(13, 40);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
+    let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM);
+    let seeds: Vec<u64> = (100..108).collect();
+    let repeated = evaluate_repeated(&pipeline, Policy::Default, &seeds);
+    assert_eq!(repeated.runs, 8);
+    // The analytic expectation for this cell sits near Table I's 39.57%;
+    // the CI over 8 × 40 queries must bracket a plausible neighbourhood.
+    let lo = repeated.success_rate.mean - repeated.success_rate.half_width - 0.1;
+    let hi = repeated.success_rate.mean + repeated.success_rate.half_width + 0.1;
+    assert!(lo < 0.3957 && 0.3957 < hi, "CI [{lo:.3}, {hi:.3}] vs paper 0.3957");
+    // Latency CI should be tight (latency varies less than success).
+    assert!(repeated.avg_seconds.half_width < repeated.avg_seconds.mean * 0.2);
+}
+
+#[test]
+fn trace_json_exports_all_steps_of_a_chain() {
+    let workload = geoengine(17, 20);
+    let levels = SearchLevels::build(&workload);
+    let model = ModelProfile::by_name("mistral-8b").expect("model exists");
+    let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4_1);
+    let query = workload.queries.iter().find(|q| q.steps.len() >= 3).expect("a chain");
+    let (result, trace) = pipeline.run_query_traced(query, Policy::Default);
+    // Default policy never breaks the chain early except on error signal,
+    // which cannot happen when all tools are offered.
+    assert_eq!(trace.steps.len(), query.steps.len());
+    let doc = trace.to_json();
+    let steps = doc.get("steps").and_then(lessismore::json::Value::as_array).expect("steps");
+    assert_eq!(steps.len(), query.steps.len());
+    for (step_doc, gold) in steps.iter().zip(&query.steps) {
+        assert_eq!(
+            step_doc.get("expected_tool").and_then(lessismore::json::Value::as_str),
+            Some(gold.tool.as_str())
+        );
+        assert_eq!(
+            step_doc.get("offered").and_then(lessismore::json::Value::as_i64),
+            Some(46)
+        );
+    }
+    let _ = result;
+}

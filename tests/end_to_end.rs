@@ -1,0 +1,154 @@
+//! Cross-crate integration: the full offline→online path through the
+//! `lessismore` facade, exercising every substrate together.
+
+use lessismore::core::{ControllerConfig, Pipeline, Policy, SearchLevel, SearchLevels, ToolController};
+use lessismore::embed::Embedder;
+use lessismore::llm::{recommender::recommend_descriptions, ModelProfile, Quant};
+use lessismore::vecstore::VectorIndex;
+use lessismore::workloads::{bfcl, geoengine};
+
+#[test]
+fn offline_artifacts_are_consistent_across_crates() {
+    let workload = geoengine(3, 40);
+    let levels = SearchLevels::build(&workload);
+
+    // Level 1 indexes exactly the registry.
+    assert_eq!(levels.tool_index().len(), workload.registry.len());
+
+    // Every cluster's tools exist in the registry, and together the
+    // clusters cover a decent share of the catalog.
+    let mut covered: Vec<usize> = levels
+        .clusters()
+        .iter()
+        .flat_map(|c| c.tool_indices.iter().copied())
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    assert!(covered.iter().all(|i| *i < workload.registry.len()));
+    assert!(
+        covered.len() * 2 >= workload.registry.len(),
+        "clusters cover only {}/{} tools",
+        covered.len(),
+        workload.registry.len()
+    );
+
+    // Centroids are unit-norm embeddings of the right dimensionality.
+    for c in levels.clusters() {
+        assert_eq!(c.centroid.dim(), Embedder::new().dim());
+        assert!(!c.centroid.is_zero());
+    }
+}
+
+#[test]
+fn recommender_output_flows_through_controller_to_valid_subsets() {
+    let workload = bfcl(5, 40);
+    let levels = SearchLevels::build(&workload);
+    let controller = ToolController::new(&levels, ControllerConfig::with_k(3));
+    let model = ModelProfile::by_name("qwen2-7b").expect("model exists");
+
+    for (i, query) in workload.queries.iter().take(20).enumerate() {
+        let descs: Vec<String> = query
+            .steps
+            .iter()
+            .filter_map(|s| workload.registry.get_by_name(&s.tool))
+            .map(|t| t.description().to_owned())
+            .collect();
+        let refs: Vec<&str> = descs.iter().map(String::as_str).collect();
+        let recs = recommend_descriptions(&model, Quant::Q8_0, &query.text, &refs, i as u64);
+        let selection = controller.select(&query.text, &recs);
+
+        // Tool indices are always valid and deduplicated.
+        let mut seen = selection.tool_indices.clone();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), before, "duplicate tool offered");
+        assert!(seen.iter().all(|t| *t < workload.registry.len()));
+
+        // The subset renders to valid JSON that the registry can parse back.
+        let rendered = workload.registry.render_subset(&selection.tool_indices);
+        let parsed = lessismore::json::parse(&rendered.to_string()).expect("valid JSON");
+        assert_eq!(
+            parsed.as_array().map(|a| a.len()),
+            Some(selection.tool_indices.len())
+        );
+    }
+}
+
+#[test]
+fn gold_retrieval_recall_is_high_for_capable_models() {
+    // The controller must put the gold tool in front of the agent for the
+    // vast majority of queries — otherwise Less-is-More's gains would be
+    // an artifact of the simulator rather than of retrieval quality.
+    let workload = bfcl(9, 60);
+    let levels = SearchLevels::build(&workload);
+    let controller = ToolController::new(&levels, ControllerConfig::with_k(3));
+    let model = ModelProfile::by_name("hermes2-pro-8b").expect("model exists");
+
+    let mut hits = 0;
+    for (i, query) in workload.queries.iter().enumerate() {
+        let descs: Vec<String> = query
+            .steps
+            .iter()
+            .filter_map(|s| workload.registry.get_by_name(&s.tool))
+            .map(|t| t.description().to_owned())
+            .collect();
+        let refs: Vec<&str> = descs.iter().map(String::as_str).collect();
+        let recs = recommend_descriptions(&model, Quant::Q4KM, &query.text, &refs, i as u64);
+        let selection = controller.select(&query.text, &recs);
+        let gold = workload.registry.index_of(&query.steps[0].tool).expect("gold exists");
+        if selection.tool_indices.contains(&gold) {
+            hits += 1;
+        }
+    }
+    let recall = f64::from(hits) / workload.queries.len() as f64;
+    assert!(recall > 0.9, "gold recall {recall:.2}");
+}
+
+#[test]
+fn level3_fallback_requires_no_search_artifacts() {
+    // Level 3 must always be available even for a workload with no
+    // training queries (no clusters can be built).
+    let mut workload = bfcl(2, 10);
+    workload.train_queries.clear();
+    let levels = SearchLevels::build(&workload);
+    assert_eq!(levels.clusters().len(), 0);
+    let controller = ToolController::new(&levels, ControllerConfig::default());
+    let selection = controller.select("whatever the user asks", &["gibberish".to_owned()]);
+    // With no Level-2 space the controller still produces a usable
+    // selection (Level 1 or the full set — never an empty offer).
+    assert!(!selection.tool_indices.is_empty());
+}
+
+#[test]
+fn pipeline_runs_all_models_and_quants_without_panic() {
+    let workload = bfcl(4, 6);
+    let levels = SearchLevels::build(&workload);
+    for model in lessismore::llm::profiles::catalog() {
+        for quant in Quant::ALL {
+            let pipeline = Pipeline::new(&workload, &levels, &model, quant);
+            for policy in [Policy::Default, Policy::Gorilla { k: 3 }, Policy::less_is_more(3)] {
+                let results = pipeline.run_all(policy);
+                assert_eq!(results.len(), 6);
+                for r in &results {
+                    assert!(r.cost.seconds > 0.0);
+                    assert!(r.cost.joules > 0.0);
+                    assert!(r.offered_tools > 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn confidence_fallback_reaches_level_3_on_garbage_recommendations() {
+    let workload = bfcl(6, 10);
+    let levels = SearchLevels::build(&workload);
+    let controller = ToolController::new(&levels, ControllerConfig::default());
+    let selection = controller.select(
+        "zzzz",
+        &["qqqq wwww eeee".to_owned(), "rrrr tttt yyyy".to_owned()],
+    );
+    assert_eq!(selection.level, SearchLevel::Full);
+    assert_eq!(selection.tool_indices.len(), workload.registry.len());
+}
