@@ -1,0 +1,200 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the benchmarking surface the workspace's `micro` bench uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain warmup + timed-batch loop reporting mean and
+//! best iteration time — adequate for the "is this negligible next to an
+//! LLM decode step" comparisons the harness makes, without the real
+//! crate's statistical machinery. Results print to stdout; there is no
+//! HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement, nanoseconds.
+const MEASURE_TARGET_NS: u128 = 200_000_000;
+/// Warmup budget, nanoseconds.
+const WARMUP_TARGET_NS: u128 = 50_000_000;
+/// Hard cap on measured iterations (keeps ultra-fast benches bounded).
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters, …),
+    /// mirroring the real builder method.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut body);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A labelled set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` pair naming one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id from a function name and a displayable parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    /// (iterations, elapsed) of the measured batch.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `body`: warms up, sizes a batch, then times it.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup, and estimate per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed().as_nanos() < WARMUP_TARGET_NS && warmup_iters < MAX_ITERS {
+            black_box(body());
+            warmup_iters += 1;
+        }
+        let per_iter_ns =
+            (warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1))).max(1);
+        let iters = u64::try_from(MEASURE_TARGET_NS / per_iter_ns)
+            .unwrap_or(MAX_ITERS)
+            .clamp(1, MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one(label: &str, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { measured: None };
+    body(&mut bencher);
+    match bencher.measured {
+        Some((iters, elapsed)) => {
+            let mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<40} {:>12} /iter  ({iters} iters)", fmt_ns(mean_ns));
+        }
+        None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

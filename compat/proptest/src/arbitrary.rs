@@ -1,0 +1,35 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, StandardSample};
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: StandardSample> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (uniform over the whole domain
+/// for integers and `bool`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,144 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this clean-room shim
+//! supplies the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` fns with `arg in strategy`
+//!   bindings) and the [`prop_assert!`] / [`prop_assert_eq!`] macros;
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`,
+//!   plus [`strategy::Just`], [`prop_oneof!`] unions, numeric range
+//!   strategies and regex-subset string strategies;
+//! * [`collection`] strategies (`vec`, `btree_map`, `btree_set`);
+//! * [`arbitrary::any`] for primitives.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its inputs and panics as-is) and a fixed deterministic seed per test
+//! name, so failures always reproduce. Case count defaults to 48 and can
+//! be overridden with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Mirror of the real crate's `prop` facade module (`prop::collection::…`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cases = $crate::test_runner::case_count();
+                for __pt_case in 0..__pt_cases {
+                    let mut __pt_rng =
+                        $crate::test_runner::case_rng(stringify!($name), __pt_case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                    let mut __pt_inputs = ::std::string::String::new();
+                    $(
+                        ::std::fmt::Write::write_fmt(
+                            &mut __pt_inputs,
+                            format_args!("  {} = {:?}\n", stringify!($arg), &$arg),
+                        )
+                        .expect("write to string");
+                    )+
+                    let __pt_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __pt_result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            __pt_case + 1,
+                            __pt_cases,
+                            e,
+                            __pt_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l,
+                __pt_r
+            )));
+        }
+    }};
+}
+
+/// Fails the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if *__pt_l == *__pt_r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

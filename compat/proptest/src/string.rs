@@ -1,0 +1,275 @@
+//! Regex-subset string generation.
+//!
+//! The real crate interprets `&str` strategies as full regexes. This shim
+//! implements the subset the workspace's patterns use: literal characters,
+//! character classes with ranges and escapes, groups, the `\PC`
+//! ("not a control character") class, and `{m}` / `{m,n}` / `*` / `+` /
+//! `?` repetitions. Unsupported syntax panics with a clear message so a
+//! new pattern fails loudly rather than generating the wrong language.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Repeat>),
+    /// `\PC` — any character outside the Unicode control category.
+    NotControl,
+}
+
+#[derive(Debug, Clone)]
+struct Repeat {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Characters drawn for `\PC`: printable ASCII plus a few multibyte
+/// code points so UTF-8 handling gets exercised.
+const NOT_CONTROL_EXTRA: [char; 6] = ['é', 'ß', '中', '文', '😀', '∑'];
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let nodes = parse_sequence(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    for rep in &nodes {
+        emit(rep, rng, &mut out);
+    }
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<Repeat> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unbalanced ')' in pattern {pattern:?}");
+            chars.next();
+            return nodes;
+        }
+        chars.next();
+        let node = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => Node::Group(parse_sequence(chars, pattern, true)),
+            '\\' => parse_escape(chars, pattern),
+            '|' | '*' | '+' | '?' | '{' | '}' | ']' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            lit => Node::Lit(lit),
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        nodes.push(Repeat { node, min, max });
+    }
+    assert!(!in_group, "unbalanced '(' in pattern {pattern:?}");
+    nodes
+}
+
+fn parse_escape(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    match chars.next() {
+        Some('P') => {
+            // Only the \PC (non-control) category is supported.
+            match chars.next() {
+                Some('C') => Node::NotControl,
+                other => panic!("unsupported \\P category {other:?} in {pattern:?}"),
+            }
+        }
+        Some('n') => Node::Lit('\n'),
+        Some('t') => Node::Lit('\t'),
+        Some('r') => Node::Lit('\r'),
+        Some(c @ ('\\' | '"' | '\'' | '(' | ')' | '[' | ']' | '{' | '}' | '.' | '-' | ' ')) => {
+            Node::Lit(c)
+        }
+        other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                return Node::Class(ranges);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("pending start");
+                let hi = class_char(chars, pattern);
+                assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in {pattern:?}");
+                ranges.push((lo, hi));
+            }
+            _ => {
+                if let Some(p) = pending.replace(resolve_class_char(c, chars, pattern)) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn class_char(chars: &mut Chars<'_>, pattern: &str) -> char {
+    let c = chars
+        .next()
+        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+    resolve_class_char(c, chars, pattern)
+}
+
+fn resolve_class_char(c: char, chars: &mut Chars<'_>, pattern: &str) -> char {
+    if c != '\\' {
+        return c;
+    }
+    match chars.next() {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some(e @ ('\\' | '"' | '\'' | ']' | '[' | '-' | '^')) => e,
+        other => panic!("unsupported class escape \\{other:?} in {pattern:?}"),
+    }
+}
+
+fn parse_repetition(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("repetition min"),
+                            hi.parse().expect("repetition max"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("repetition count");
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "inverted repetition in {pattern:?}");
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("unterminated repetition in {pattern:?}")
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit(rep: &Repeat, rng: &mut StdRng, out: &mut String) {
+    let count = if rep.min == rep.max {
+        rep.min
+    } else {
+        rng.random_range(rep.min..=rep.max)
+    };
+    for _ in 0..count {
+        match &rep.node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let pick = lo as u32 + rng.random_range(0..span);
+                // Class ranges in the supported patterns never straddle
+                // the surrogate gap.
+                out.push(char::from_u32(pick).expect("valid scalar in class range"));
+            }
+            Node::Group(nodes) => {
+                for inner in nodes {
+                    emit(inner, rng, out);
+                }
+            }
+            Node::NotControl => {
+                // Mostly printable ASCII, occasionally multibyte.
+                if rng.random_range(0..10) == 0 {
+                    let ix = rng.random_range(0..NOT_CONTROL_EXTRA.len());
+                    out.push(NOT_CONTROL_EXTRA[ix]);
+                } else {
+                    out.push(char::from_u32(rng.random_range(0x20u32..0x7F)).expect("ascii"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn word_lists_match_shape() {
+        let mut rng = case_rng("word_lists_match_shape", 0);
+        for _ in 0..100 {
+            let s = generate("[a-z]{3,10}( [a-z]{3,10}){0,8}", &mut rng);
+            for word in s.split(' ') {
+                assert!((3..=10).contains(&word.len()), "bad word {word:?} in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_with_escapes_and_controls() {
+        let mut rng = case_rng("classes_with_escapes", 0);
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z0-9 _\\\\\"\n\t]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || " _\\\"\n\t".contains(c),
+                    "unexpected {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_control_class_is_printable() {
+        let mut rng = case_rng("not_control", 0);
+        for _ in 0..50 {
+            let s = generate("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_repetition_is_exact() {
+        let mut rng = case_rng("fixed_rep", 0);
+        let s = generate("[a-f]{4}x", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.ends_with('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_panics() {
+        let mut rng = case_rng("unsupported", 0);
+        let _ = generate("a|b", &mut rng);
+    }
+}

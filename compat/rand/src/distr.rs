@@ -1,0 +1,185 @@
+//! Standard and uniform-range sampling for the primitive types the
+//! workspace draws.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable by [`crate::Rng::random`].
+pub trait StandardSample {
+    /// Draws one value from the type's standard distribution.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision — the same
+    /// `(u64 >> 11) · 2⁻⁵³` mapping the real crate uses.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        const SCALE: f32 = 1.0 / (1u32 << 24) as f32;
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+/// Types with uniform range sampling ([`crate::Rng::random_range`]).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased integer draw from `[0, range)` via Lemire's widening-multiply
+/// rejection method; `range == 0` means the full 2⁶⁴ span.
+fn lemire_u64<R: RngCore>(rng: &mut R, range: u64) -> u64 {
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let threshold = range.wrapping_neg() % range;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(range);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Width of the inclusive range as u64; 0 encodes "whole
+                // 64-bit span" for the widest case.
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                let range = span.wrapping_add(1);
+                let draw = lemire_u64(rng, range);
+                low.wrapping_add(draw as $ty)
+            }
+        }
+    };
+}
+
+uniform_int!(u8, u8);
+uniform_int!(u16, u16);
+uniform_int!(u32, u32);
+uniform_int!(u64, u64);
+uniform_int!(usize, usize);
+uniform_int!(i8, u8);
+uniform_int!(i16, u16);
+uniform_int!(i32, u32);
+uniform_int!(i64, u64);
+uniform_int!(isize, usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        let x: f64 = StandardSample::sample(rng);
+        low + x * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        let x: f32 = StandardSample::sample(rng);
+        low + x * (high - low)
+    }
+}
+
+/// Range forms accepted by [`crate::Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HalfOpen> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Types whose half-open upper bound has a well-defined predecessor.
+pub trait HalfOpen {
+    /// The largest value strictly below `self`.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! half_open_int {
+    ($($ty:ty),*) => {
+        $(impl HalfOpen for $ty {
+            fn predecessor(self) -> Self {
+                self - 1
+            }
+        })*
+    };
+}
+
+half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpen for f64 {
+    /// Floats keep the half-open semantics directly: the standard draw is
+    /// in `[0, 1)`, so scaling by `high − low` never reaches `high`.
+    fn predecessor(self) -> Self {
+        self
+    }
+}
+
+impl HalfOpen for f32 {
+    fn predecessor(self) -> Self {
+        self
+    }
+}

@@ -1,0 +1,34 @@
+//! Named generator types.
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator (ChaCha12 keystream).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    core: ChaCha12,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.core.next_word());
+        let hi = u64::from(self.core.next_word());
+        hi << 32 | lo
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            core: ChaCha12::new(seed),
+        }
+    }
+}

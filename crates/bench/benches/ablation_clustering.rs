@@ -18,7 +18,12 @@ fn main() {
     let n = query_budget();
     let mut table = Table::new(
         "A6 — gold-chain coverage: co-usage clustering vs lexical clustering",
-        &["benchmark", "clusters", "co-usage coverage", "lexical coverage"],
+        &[
+            "benchmark",
+            "clusters",
+            "co-usage coverage",
+            "lexical coverage",
+        ],
     );
     for (name, workload) in [
         ("BFCL", lim_workloads::bfcl(HARNESS_SEED, n)),

@@ -18,8 +18,7 @@ fn main() {
     let workload = lim_workloads::bfcl(HARNESS_SEED, n);
     let levels = SearchLevels::build(&workload);
     let model = ModelProfile::by_name("llama3.1-8b").expect("model exists");
-    let pipeline =
-        Pipeline::new(&workload, &levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+    let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
     let all: Vec<usize> = (0..workload.registry.len()).collect();
 
     let mut table = Table::new(

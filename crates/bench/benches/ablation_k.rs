@@ -22,12 +22,19 @@ fn main() {
         ("BFCL", &bfcl, &bfcl_levels),
         ("GeoEngine", &geo, &geo_levels),
     ] {
-        let pipeline =
-            Pipeline::new(workload, levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+        let pipeline = Pipeline::new(workload, levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
         let baseline = evaluate(&pipeline, Policy::Default);
         let mut table = Table::new(
             &format!("A5 — k sweep, {name}, hermes2-pro q4_K_M ({n} queries)"),
-            &["k", "success", "tool acc", "avg tools", "norm time", "norm power", "note"],
+            &[
+                "k",
+                "success",
+                "tool acc",
+                "avg tools",
+                "norm time",
+                "norm power",
+                "note",
+            ],
         );
         table.row(&[
             "all (default)".to_owned(),

@@ -22,14 +22,20 @@ fn main() {
     // ---- Level preference per benchmark.
     let mut table = Table::new(
         &format!("A3 — level selection shares, LiM k=3, hermes2-pro q4_K_M ({n} queries)"),
-        &["benchmark", "level-1", "level-2", "level-3", "error fallback", "paper"],
+        &[
+            "benchmark",
+            "level-1",
+            "level-2",
+            "level-3",
+            "error fallback",
+            "paper",
+        ],
     );
     for (name, workload, levels, note) in [
         ("BFCL", &bfcl, &bfcl_levels, "Level 1 favoured"),
         ("GeoEngine", &geo, &geo_levels, "Level 2 favoured"),
     ] {
-        let pipeline =
-            Pipeline::new(workload, levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
+        let pipeline = Pipeline::new(workload, levels, &model, Quant::Q4KM).with_seed(HARNESS_SEED);
         let m = evaluate(&pipeline, Policy::less_is_more(3));
         table.row(&[
             name.to_owned(),
@@ -47,7 +53,13 @@ fn main() {
     // retrievals are never rescued.
     let mut sweep = Table::new(
         "A3 — confidence threshold sweep, GeoEngine, LiM k=3",
-        &["threshold", "level-3 share", "success", "tool acc", "avg tools"],
+        &[
+            "threshold",
+            "level-3 share",
+            "success",
+            "tool acc",
+            "avg tools",
+        ],
     );
     for threshold in [0.10f32, 0.20, 0.30, 0.40, 0.50, 0.60] {
         let policy = Policy::LessIsMore {

@@ -21,11 +21,21 @@ fn main() {
 
     let mut table = Table::new(
         &format!("A7 — power modes, llama3.1-8b q4_K_M, BFCL ({n} queries)"),
-        &["device mode", "policy", "success", "avg time", "avg power", "energy/query"],
+        &[
+            "device mode",
+            "policy",
+            "success",
+            "avg time",
+            "avg power",
+            "energy/query",
+        ],
     );
     let mut lim_capped_time = 0.0;
     let mut default_maxn_time = 0.0;
-    for device in [DeviceProfile::jetson_agx_orin(), DeviceProfile::jetson_agx_orin_30w()] {
+    for device in [
+        DeviceProfile::jetson_agx_orin(),
+        DeviceProfile::jetson_agx_orin_30w(),
+    ] {
         for policy in [Policy::Default, Policy::less_is_more(3)] {
             let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM)
                 .with_device(device.clone())
@@ -52,6 +62,10 @@ fn main() {
         "headline: Less-is-More under the 30 W cap runs {:.1}x {} than the default\n\
          policy at MAXN — tool reduction buys back the clock cut.",
         (default_maxn_time / lim_capped_time).max(lim_capped_time / default_maxn_time),
-        if lim_capped_time < default_maxn_time { "faster" } else { "slower" },
+        if lim_capped_time < default_maxn_time {
+            "faster"
+        } else {
+            "slower"
+        },
     );
 }

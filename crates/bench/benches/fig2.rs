@@ -6,9 +6,9 @@
 //! cargo bench -p lim-bench --bench fig2
 //! ```
 
-use lim_bench::experiments::{model_set, quant_mean, run_grid};
+use lim_bench::experiments::{model_set, quant_mean, run_grid_threads};
 use lim_bench::report::{pct, ratio, Table};
-use lim_bench::{query_budget, HARNESS_SEED};
+use lim_bench::{harness_threads, query_budget, HARNESS_SEED};
 use lim_core::{Policy, SearchLevels};
 use lim_llm::Quant;
 
@@ -45,21 +45,29 @@ fn main() {
         Policy::less_is_more(3),
         Policy::less_is_more(5),
     ];
-    let cells = run_grid(
+    let cells = run_grid_threads(
         &workload,
         &levels,
         &models,
         &Quant::OLLAMA,
         &policies,
         HARNESS_SEED,
+        harness_threads(),
     );
 
     // ---- Full per-variant grid.
     let mut grid = Table::new(
         &format!("Figure 2 — BFCL, per quant variant ({n} queries)"),
         &[
-            "model", "quant", "policy", "success", "tool acc", "norm time", "norm power",
-            "tools", "fallback",
+            "model",
+            "quant",
+            "policy",
+            "success",
+            "tool acc",
+            "norm time",
+            "norm power",
+            "tools",
+            "fallback",
         ],
     );
     for c in &cells {

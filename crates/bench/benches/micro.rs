@@ -41,16 +41,16 @@ fn bench_knn(c: &mut Criterion) {
             b.iter(|| idx.search(black_box(query.as_slice()), 3))
         });
         if size >= 256 {
-            let data: Vec<(u64, Vec<f32>)> = flat
-                .iter()
-                .map(|(id, v)| (id, v.to_vec()))
-                .collect();
-            let refs: Vec<(u64, &[f32])> =
-                data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+            let data: Vec<(u64, Vec<f32>)> = flat.iter().map(|(id, v)| (id, v.to_vec())).collect();
+            let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
             let ivf = IvfIndex::train(
                 embedder.dim(),
                 Metric::Cosine,
-                IvfParams { nlist: 16, nprobe: 4, seed: 7 },
+                IvfParams {
+                    nlist: 16,
+                    nprobe: 4,
+                    seed: 7,
+                },
                 &refs,
             )
             .expect("training data is valid");

@@ -44,8 +44,7 @@ fn main() {
     ] {
         let mut measured = vec![name.to_owned(), "measured".to_owned()];
         for quant in Quant::ALL {
-            let pipeline =
-                Pipeline::new(workload, levels, &model, quant).with_seed(HARNESS_SEED);
+            let pipeline = Pipeline::new(workload, levels, &model, quant).with_seed(HARNESS_SEED);
             let metrics = evaluate(&pipeline, Policy::Default);
             measured.push(pct(metrics.success_rate));
         }

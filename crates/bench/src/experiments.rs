@@ -1,6 +1,8 @@
 //! Grid runner shared by the figure harnesses.
 
-use lim_core::{evaluate, normalize_against, BatchMetrics, Pipeline, Policy, SearchLevels};
+use lim_core::{
+    evaluate_parallel, normalize_against, BatchMetrics, Pipeline, Policy, SearchLevels,
+};
 use lim_llm::{ModelProfile, Quant};
 use lim_workloads::Workload;
 
@@ -22,7 +24,7 @@ pub struct GridCell {
     pub norm_power: f64,
 }
 
-/// Sweeps `models × quants × policies` over a workload.
+/// Sweeps `models × quants × policies` over a workload, sequentially.
 ///
 /// The `Policy::Default` cell of each (model, quant) is always computed
 /// (it is the normalization baseline) and included in the output whether
@@ -35,11 +37,29 @@ pub fn run_grid(
     policies: &[Policy],
     seed: u64,
 ) -> Vec<GridCell> {
+    run_grid_threads(workload, levels, models, quants, policies, seed, 1)
+}
+
+/// [`run_grid`] with each cell's query batch sharded across `threads`
+/// worker threads (0 = available parallelism).
+///
+/// Because [`evaluate_parallel`] is bit-identical to [`evaluate`], the
+/// returned cells match the sequential sweep exactly — harnesses can use
+/// all cores without perturbing a single table or figure number.
+pub fn run_grid_threads(
+    workload: &Workload,
+    levels: &SearchLevels,
+    models: &[ModelProfile],
+    quants: &[Quant],
+    policies: &[Policy],
+    seed: u64,
+    threads: usize,
+) -> Vec<GridCell> {
     let mut out = Vec::new();
     for model in models {
         for &quant in quants {
             let pipeline = Pipeline::new(workload, levels, model, quant).with_seed(seed);
-            let baseline = evaluate(&pipeline, Policy::Default);
+            let baseline = evaluate_parallel(&pipeline, Policy::Default, threads);
             out.push(GridCell {
                 model: model.name.to_owned(),
                 quant,
@@ -52,7 +72,7 @@ pub fn run_grid(
                 if policy == Policy::Default {
                     continue;
                 }
-                let metrics = evaluate(&pipeline, policy);
+                let metrics = evaluate_parallel(&pipeline, policy, threads);
                 let (norm_time, norm_power) = normalize_against(&baseline, &metrics);
                 out.push(GridCell {
                     model: model.name.to_owned(),
@@ -130,14 +150,7 @@ mod tests {
         let w = bfcl(6, 8);
         let levels = SearchLevels::build(&w);
         let models = model_set(&["qwen2-1.5b"]);
-        let cells = run_grid(
-            &w,
-            &levels,
-            &models,
-            &[Quant::Q4_0, Quant::Q8_0],
-            &[],
-            1,
-        );
+        let cells = run_grid(&w, &levels, &models, &[Quant::Q4_0, Quant::Q8_0], &[], 1);
         let mean = quant_mean(&cells, "qwen2-1.5b", "default", |c| c.metrics.success_rate);
         let manual: f64 = cells.iter().map(|c| c.metrics.success_rate).sum::<f64>() / 2.0;
         assert!((mean - manual).abs() < 1e-12);
@@ -147,5 +160,22 @@ mod tests {
     #[should_panic(expected = "unknown model")]
     fn model_set_rejects_unknown_names() {
         let _ = model_set(&["gpt-5"]);
+    }
+
+    #[test]
+    fn threaded_grid_matches_sequential_grid() {
+        let w = bfcl(7, 10);
+        let levels = SearchLevels::build(&w);
+        let models = model_set(&["llama3.1-8b"]);
+        let policies = [Policy::Gorilla { k: 3 }, Policy::less_is_more(3)];
+        let sequential = run_grid(&w, &levels, &models, &[Quant::Q4KM], &policies, 2);
+        let threaded = run_grid_threads(&w, &levels, &models, &[Quant::Q4KM], &policies, 2, 4);
+        assert_eq!(sequential.len(), threaded.len());
+        for (s, t) in sequential.iter().zip(&threaded) {
+            assert_eq!(s.policy, t.policy);
+            assert_eq!(s.metrics, t.metrics, "cell {}", s.policy);
+            assert_eq!(s.norm_time.to_bits(), t.norm_time.to_bits());
+            assert_eq!(s.norm_power.to_bits(), t.norm_power.to_bits());
+        }
     }
 }

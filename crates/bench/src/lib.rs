@@ -23,6 +23,16 @@ pub fn query_budget() -> usize {
 /// outcome in the reproduction.
 pub const HARNESS_SEED: u64 = 20_250_331;
 
+/// Worker-thread count for harness sweeps: the `LIM_THREADS` environment
+/// variable, or every available core. Sharded evaluation is bit-identical
+/// to sequential evaluation, so this only changes wall-clock time.
+pub fn harness_threads() -> usize {
+    std::env::var("LIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,4 +1,47 @@
-//! Plain-text table rendering for harness output.
+//! Plain-text table rendering and `BENCH_*.json` serialization for
+//! harness output.
+//!
+//! # The `BENCH_*.json` format
+//!
+//! `lim bench --out BENCH_2.json` (and [`grid_to_json`] generally) writes
+//! one JSON object per sweep:
+//!
+//! ```json
+//! {
+//!   "schema": "lim-bench/grid-v1",
+//!   "benchmark": "bfcl",
+//!   "queries": 230,
+//!   "seed": 20250331,
+//!   "threads": 8,
+//!   "cells": [
+//!     {
+//!       "model": "llama3.1-8b",
+//!       "quant": "q4_K_M",
+//!       "policy": "lim-k3",
+//!       "queries": 230,
+//!       "success_rate": 0.47,
+//!       "tool_accuracy": 0.60,
+//!       "avg_seconds": 11.2,
+//!       "avg_power_w": 21.4,
+//!       "norm_time": 0.31,
+//!       "norm_power": 0.93,
+//!       "avg_offered_tools": 5.1,
+//!       "fallback_rate": 0.03,
+//!       "level1_share": 0.74,
+//!       "level2_share": 0.17,
+//!       "level3_share": 0.09,
+//!       "avg_recommender_seconds": 0.8
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Cells appear in sweep order (model-major, then quant, then policy,
+//! with the `default` baseline first in each model × quant block), and
+//! the whole document is deterministic for a given `(benchmark, queries,
+//! seed)` triple — `threads` never changes a number, only wall-clock
+//! time. `schema` is bumped if a field is ever renamed or removed;
+//! additions are backward-compatible.
 
 /// A fixed-width ASCII table with a title and header row.
 ///
@@ -83,6 +126,54 @@ impl Table {
     }
 }
 
+/// Serializes one grid cell to the `BENCH_*.json` cell object (see the
+/// module docs for the schema).
+pub fn cell_to_json(cell: &crate::experiments::GridCell) -> lim_json::Value {
+    use lim_json::Value;
+    let m = &cell.metrics;
+    Value::object([
+        ("model", Value::from(cell.model.as_str())),
+        ("quant", Value::from(cell.quant.label())),
+        ("policy", Value::from(cell.policy.as_str())),
+        ("queries", Value::from(m.queries)),
+        ("success_rate", Value::from(m.success_rate)),
+        ("tool_accuracy", Value::from(m.tool_accuracy)),
+        ("avg_seconds", Value::from(m.avg_seconds)),
+        ("avg_power_w", Value::from(m.avg_power_w)),
+        ("norm_time", Value::from(cell.norm_time)),
+        ("norm_power", Value::from(cell.norm_power)),
+        ("avg_offered_tools", Value::from(m.avg_offered_tools)),
+        ("fallback_rate", Value::from(m.fallback_rate)),
+        ("level1_share", Value::from(m.level1_share)),
+        ("level2_share", Value::from(m.level2_share)),
+        ("level3_share", Value::from(m.level3_share)),
+        (
+            "avg_recommender_seconds",
+            Value::from(m.avg_recommender_seconds),
+        ),
+    ])
+}
+
+/// Serializes a whole sweep to the `BENCH_*.json` document (see the
+/// module docs for the schema).
+pub fn grid_to_json(
+    cells: &[crate::experiments::GridCell],
+    benchmark: &str,
+    queries: usize,
+    seed: u64,
+    threads: usize,
+) -> lim_json::Value {
+    use lim_json::Value;
+    Value::object([
+        ("schema", Value::from("lim-bench/grid-v1")),
+        ("benchmark", Value::from(benchmark)),
+        ("queries", Value::from(queries)),
+        ("seed", Value::from(seed as i64)),
+        ("threads", Value::from(threads)),
+        ("cells", cells.iter().map(cell_to_json).collect()),
+    ])
+}
+
 /// Formats a probability as a percentage with two decimals (`"63.04%"`).
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
@@ -126,5 +217,44 @@ mod tests {
         assert_eq!(ratio(0.28), "0.28x");
         assert_eq!(secs(17.25), "17.2 s");
         assert_eq!(watts(22.0), "22.0 W");
+    }
+
+    #[test]
+    fn grid_json_document_round_trips() {
+        use crate::experiments::{model_set, run_grid_threads};
+        use lim_core::{Policy, SearchLevels};
+        use lim_llm::Quant;
+
+        let w = lim_workloads::bfcl(3, 6);
+        let levels = SearchLevels::build(&w);
+        let models = model_set(&["qwen2-1.5b"]);
+        let cells = run_grid_threads(
+            &w,
+            &levels,
+            &models,
+            &[Quant::Q4KM],
+            &[Policy::less_is_more(3)],
+            1,
+            2,
+        );
+        let doc = grid_to_json(&cells, "bfcl", 6, 1, 2);
+        let parsed = lim_json::parse(&doc.to_string()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(lim_json::Value::as_str),
+            Some("lim-bench/grid-v1")
+        );
+        let rows = parsed
+            .get("cells")
+            .and_then(lim_json::Value::as_array)
+            .expect("cells");
+        assert_eq!(rows.len(), cells.len());
+        assert_eq!(
+            rows[0].get("policy").and_then(lim_json::Value::as_str),
+            Some("default")
+        );
+        assert_eq!(
+            rows[0].get("queries").and_then(lim_json::Value::as_i64),
+            Some(6)
+        );
     }
 }

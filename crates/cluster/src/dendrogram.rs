@@ -142,9 +142,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
-                Merge { a: 2, b: 3, distance: 1.5, size: 2 },
-                Merge { a: 4, b: 5, distance: 9.0, size: 4 },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    distance: 1.5,
+                    size: 2,
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    distance: 9.0,
+                    size: 4,
+                },
             ],
         )
     }

@@ -101,7 +101,11 @@ where
         merges.push(Merge {
             a: label_a,
             b: label_b,
-            distance: if linkage == Linkage::Ward { d.max(0.0).sqrt() } else { d },
+            distance: if linkage == Linkage::Ward {
+                d.max(0.0).sqrt()
+            } else {
+                d
+            },
             size: merged_size,
         });
 
@@ -126,7 +130,12 @@ mod tests {
 
     #[test]
     fn first_merge_joins_nearest_pair() {
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let d = run(&line(), linkage, euclidean);
             let first = &d.merges()[0];
             let mut pair = [first.a, first.b];

@@ -36,7 +36,11 @@ impl RougeScore {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -126,7 +130,11 @@ mod tests {
 
     #[test]
     fn identical_texts_score_one() {
-        for f in [rouge_l("a b c", "a b c").f1, rouge_n("a b c", "a b c", 1).f1, rouge_n("a b c", "a b c", 2).f1] {
+        for f in [
+            rouge_l("a b c", "a b c").f1,
+            rouge_n("a b c", "a b c", 1).f1,
+            rouge_n("a b c", "a b c", 2).f1,
+        ] {
             assert!((f - 1.0).abs() < 1e-6);
         }
     }

@@ -80,7 +80,12 @@ mod tests {
 
     #[test]
     fn perfect_separation_scores_high() {
-        let pts = vec![vec![0.0, 0.0], vec![0.0, 0.1], vec![9.0, 9.0], vec![9.0, 9.1]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.1],
+            vec![9.0, 9.0],
+            vec![9.0, 9.1],
+        ];
         let s = silhouette_score(&pts, &[0, 0, 1, 1], euclidean);
         assert!(s > 0.95);
     }

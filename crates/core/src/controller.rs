@@ -226,7 +226,13 @@ mod tests {
             "zzz qqq xxx",
             &["wqxyz plomf grunk vexqi".into(), "blorp znarf quux".into()],
         );
-        assert_eq!(s.level, SearchLevel::Full, "scores l1={} l2={}", s.level1_score, s.level2_score);
+        assert_eq!(
+            s.level,
+            SearchLevel::Full,
+            "scores l1={} l2={}",
+            s.level1_score,
+            s.level2_score
+        );
     }
 
     #[test]
@@ -277,7 +283,13 @@ mod tests {
         let gold_descs: Vec<String> = query
             .steps
             .iter()
-            .map(|s| w.registry.get_by_name(&s.tool).unwrap().description().to_owned())
+            .map(|s| {
+                w.registry
+                    .get_by_name(&s.tool)
+                    .unwrap()
+                    .description()
+                    .to_owned()
+            })
             .collect();
         let gold_refs: Vec<&str> = gold_descs.iter().map(String::as_str).collect();
 
@@ -304,11 +316,21 @@ mod tests {
                 if all_covered {
                     covered += 1;
                 }
-                assert!(s.tool_indices.len() < 35, "{} tools selected", s.tool_indices.len());
+                assert!(
+                    s.tool_indices.len() < 35,
+                    "{} tools selected",
+                    s.tool_indices.len()
+                );
             }
         }
-        assert!(cluster_wins * 2 > runs, "Level 2 won only {cluster_wins}/{runs}");
-        assert!(covered * 4 >= cluster_wins * 3, "chain covered {covered}/{cluster_wins}");
+        assert!(
+            cluster_wins * 2 > runs,
+            "Level 2 won only {cluster_wins}/{runs}"
+        );
+        assert!(
+            covered * 4 >= cluster_wins * 3,
+            "chain covered {covered}/{cluster_wins}"
+        );
     }
 
     #[test]

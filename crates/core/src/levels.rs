@@ -76,7 +76,9 @@ impl SearchLevels {
             .iter()
             .map(|t| t.embedding_text())
             .collect();
-        let embedder = Embedder::builder().idf(IdfModel::fit(corpus.iter())).build();
+        let embedder = Embedder::builder()
+            .idf(IdfModel::fit(corpus.iter()))
+            .build();
 
         // ---- Level 1: individual tools.
         let mut tool_index = FlatIndex::new(embedder.dim(), Metric::Cosine);
@@ -89,8 +91,7 @@ impl SearchLevels {
 
         // ---- Level 2: tool clusters from augmented queries.
         let augmented = augment(workload, &config.augment);
-        let (clusters, cluster_index) =
-            build_clusters(workload, &embedder, &augmented, config);
+        let (clusters, cluster_index) = build_clusters(workload, &embedder, &augmented, config);
 
         Self {
             embedder,
@@ -114,8 +115,16 @@ impl SearchLevels {
         clusters: Vec<ToolCluster>,
         tool_count: usize,
     ) -> Self {
-        assert_eq!(embedder.dim(), tool_index.dim(), "tool index dimension mismatch");
-        assert_eq!(embedder.dim(), cluster_index.dim(), "cluster index dimension mismatch");
+        assert_eq!(
+            embedder.dim(),
+            tool_index.dim(),
+            "tool index dimension mismatch"
+        );
+        assert_eq!(
+            embedder.dim(),
+            cluster_index.dim(),
+            "cluster index dimension mismatch"
+        );
         Self {
             embedder,
             tool_index,
@@ -172,7 +181,9 @@ impl SearchLevels {
             .iter()
             .map(|t| t.embedding_text())
             .collect();
-        let embedder = Embedder::builder().idf(IdfModel::fit(corpus.iter())).build();
+        let embedder = Embedder::builder()
+            .idf(IdfModel::fit(corpus.iter()))
+            .build();
         let points: Vec<Vec<f32>> = corpus
             .iter()
             .map(|t| embedder.embed(t).as_slice().to_vec())
@@ -195,8 +206,7 @@ impl SearchLevels {
                     .iter()
                     .map(|i| embedder.embed(&corpus[*i]))
                     .collect();
-                let centroid =
-                    Embedding::mean(embeddings.iter()).expect("clusters are non-empty");
+                let centroid = Embedding::mean(embeddings.iter()).expect("clusters are non-empty");
                 ToolCluster {
                     id,
                     tool_indices,
@@ -243,7 +253,10 @@ fn build_clusters(
     let mut tool_lists: Vec<Vec<usize>> = Vec::new();
     for q in &workload.train_queries {
         texts.push(q.text.clone());
-        tool_lists.push(resolve_tools(workload, q.steps.iter().map(|s| s.tool.as_str())));
+        tool_lists.push(resolve_tools(
+            workload,
+            q.steps.iter().map(|s| s.tool.as_str()),
+        ));
     }
     for a in augmented {
         texts.push(a.text.clone());
@@ -305,10 +318,7 @@ fn build_clusters(
     (clusters, cluster_index)
 }
 
-fn resolve_tools<'a, I: IntoIterator<Item = &'a str>>(
-    workload: &Workload,
-    names: I,
-) -> Vec<usize> {
+fn resolve_tools<'a, I: IntoIterator<Item = &'a str>>(workload: &Workload, names: I) -> Vec<usize> {
     names
         .into_iter()
         .filter_map(|n| workload.registry.index_of(n))

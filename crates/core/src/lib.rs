@@ -18,6 +18,9 @@
 //!   [`lim_device::DeviceProfile`].
 //! * [`evaluate`] / [`BatchMetrics`] — the paper's four metrics over query
 //!   batches, plus normalization against the default policy.
+//! * [`evaluate_parallel`] / [`Pipeline::run_all_parallel`] — the same
+//!   evaluation sharded across worker threads, bit-identical to the
+//!   sequential run (see the [`parallel`](crate::sharded_map) executor).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 mod controller;
 mod levels;
 mod metrics;
+mod parallel;
 pub mod persist;
 mod pipeline;
 mod toolllm;
@@ -45,6 +49,7 @@ pub use levels::{chain_coverage, LevelsConfig, SearchLevels, ToolCluster};
 pub use metrics::{
     evaluate, evaluate_repeated, normalize_against, BatchMetrics, MeanCi, RepeatedMetrics,
 };
+pub use parallel::{evaluate_parallel, resolve_threads, shard_bounds, sharded_map};
 pub use persist::{load_levels, save_levels, LoadLevelsError};
 pub use pipeline::{Pipeline, Policy, QueryResult, QueryTrace, StepTrace};
 pub use toolllm::{plan_dfsdt, DfsdtConfig, DfsdtPlan};

@@ -80,10 +80,7 @@ impl BatchMetrics {
                 .filter(|r| r.level == Some(SearchLevel::Full) || r.level.is_none())
                 .count() as f64
                 / nf,
-            avg_recommender_seconds: results
-                .iter()
-                .map(|r| r.recommender_seconds)
-                .sum::<f64>()
+            avg_recommender_seconds: results.iter().map(|r| r.recommender_seconds).sum::<f64>()
                 / nf,
         }
     }
@@ -109,11 +106,17 @@ impl MeanCi {
     pub fn from_samples(samples: &[f64]) -> Self {
         let n = samples.len();
         if n == 0 {
-            return Self { mean: 0.0, half_width: 0.0 };
+            return Self {
+                mean: 0.0,
+                half_width: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n == 1 {
-            return Self { mean, half_width: 0.0 };
+            return Self {
+                mean,
+                half_width: 0.0,
+            };
         }
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
         Self {
@@ -151,7 +154,11 @@ pub struct RepeatedMetrics {
 
 /// Evaluates `policy` once per seed and aggregates with confidence
 /// intervals — the statistically honest form of the figure numbers.
-pub fn evaluate_repeated(pipeline: &Pipeline<'_>, policy: Policy, seeds: &[u64]) -> RepeatedMetrics {
+pub fn evaluate_repeated(
+    pipeline: &Pipeline<'_>,
+    policy: Policy,
+    seeds: &[u64],
+) -> RepeatedMetrics {
     let batches: Vec<BatchMetrics> = seeds
         .iter()
         .map(|seed| evaluate(&pipeline.clone().with_seed(*seed), policy))
@@ -251,9 +258,18 @@ mod tests {
 
     #[test]
     fn mean_ci_overlap() {
-        let a = MeanCi { mean: 1.0, half_width: 0.2 };
-        let b = MeanCi { mean: 1.3, half_width: 0.2 };
-        let c = MeanCi { mean: 2.0, half_width: 0.1 };
+        let a = MeanCi {
+            mean: 1.0,
+            half_width: 0.2,
+        };
+        let b = MeanCi {
+            mean: 1.3,
+            half_width: 0.2,
+        };
+        let c = MeanCi {
+            mean: 2.0,
+            half_width: 0.1,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert_eq!(a.to_string(), "1.000 ± 0.200");

@@ -47,9 +47,7 @@ pub fn save_levels(levels: &SearchLevels) -> Value {
     let idf = levels.embedder().idf();
     let idf_entries: Value = idf
         .entries()
-        .map(|(term, df)| {
-            Value::array([Value::from(term), Value::from(df as i64)])
-        })
+        .map(|(term, df)| Value::array([Value::from(term), Value::from(df as i64)]))
         .collect();
 
     Value::object([
@@ -72,7 +70,10 @@ pub fn save_levels(levels: &SearchLevels) -> Value {
                 .map(|c| {
                     Value::object([
                         ("id", Value::from(c.id)),
-                        ("tools", c.tool_indices.iter().map(|t| Value::from(*t)).collect()),
+                        (
+                            "tools",
+                            c.tool_indices.iter().map(|t| Value::from(*t)).collect(),
+                        ),
                         ("centroid", floats_to_json(c.centroid.as_slice())),
                     ])
                 })
@@ -122,7 +123,8 @@ pub fn load_levels(doc: &Value) -> Result<SearchLevels, LoadLevelsError> {
         .build();
 
     let tool_index = index_from_json(
-        doc.get("tool_index").ok_or_else(|| err("missing tool_index"))?,
+        doc.get("tool_index")
+            .ok_or_else(|| err("missing tool_index"))?,
         dim,
     )?;
 
@@ -143,7 +145,8 @@ pub fn load_levels(doc: &Value) -> Result<SearchLevels, LoadLevelsError> {
             .collect::<Option<Vec<usize>>>()
             .ok_or_else(|| err("cluster tools must be integers"))?;
         let centroid_values = floats_from_json(
-            c.get("centroid").ok_or_else(|| err("cluster missing centroid"))?,
+            c.get("centroid")
+                .ok_or_else(|| err("cluster missing centroid"))?,
         )?;
         if centroid_values.len() != dim {
             return Err(err("centroid dimension mismatch"));
@@ -182,7 +185,10 @@ fn index_to_json(index: &FlatIndex) -> Value {
 
 fn index_from_json(doc: &Value, dim: usize) -> Result<FlatIndex, LoadLevelsError> {
     let mut index = FlatIndex::new(dim, Metric::Cosine);
-    for entry in doc.as_array().ok_or_else(|| err("index must be an array"))? {
+    for entry in doc
+        .as_array()
+        .ok_or_else(|| err("index must be an array"))?
+    {
         let id = entry
             .get("id")
             .and_then(Value::as_i64)
@@ -284,9 +290,6 @@ mod tests {
         let loaded = load_levels(&save_levels(&levels)).expect("roundtrip succeeds");
         // Same IDF weights ⇒ same embeddings for any runtime text.
         let text = "translate a document into French and display it";
-        assert_eq!(
-            levels.embedder().embed(text),
-            loaded.embedder().embed(text)
-        );
+        assert_eq!(levels.embedder().embed(text), loaded.embedder().embed(text));
     }
 }

@@ -142,6 +142,11 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// The workload this pipeline evaluates.
+    pub fn workload(&self) -> &'a Workload {
+        self.workload
+    }
+
     /// The task regime of the underlying workload.
     pub fn task_kind(&self) -> TaskKind {
         match self.workload.kind {
@@ -219,8 +224,7 @@ impl<'a> Pipeline<'a> {
                     .filter_map(|s| self.workload.registry.get_by_name(&s.tool))
                     .map(|t| t.description().to_owned())
                     .collect();
-                let gold_refs: Vec<&str> =
-                    gold_descriptions.iter().map(String::as_str).collect();
+                let gold_refs: Vec<&str> = gold_descriptions.iter().map(String::as_str).collect();
                 let recs = recommend_descriptions(
                     self.model,
                     self.quant,
@@ -269,8 +273,7 @@ impl<'a> Pipeline<'a> {
                 .index_of(&step.tool)
                 .expect("gold tool exists in registry");
             let history = "x".repeat(step_index * HISTORY_CHARS_PER_STEP);
-            let prompt_tokens =
-                tokens::agent_prompt_tokens(&query.text, &tools_json, &history);
+            let prompt_tokens = tokens::agent_prompt_tokens(&query.text, &tools_json, &history);
             let fits = prompt_tokens <= context;
             let gold_offered = offered.contains(&gold_index) && fits;
 
@@ -283,7 +286,12 @@ impl<'a> Pipeline<'a> {
                 seed: self.attempt_seed(query.id, step_index as u64, 0, policy.tag()),
             };
             let mut outcome = attempt.resolve();
-            self.record_call(&mut meter, prompt_tokens, attempt.decode_tokens(outcome), context);
+            self.record_call(
+                &mut meter,
+                prompt_tokens,
+                attempt.decode_tokens(outcome),
+                context,
+            );
             let mut retried = false;
 
             // Runtime error fallback (§III-C): on a signalled error,
@@ -372,10 +380,8 @@ impl<'a> Pipeline<'a> {
                 .index_of(&step.tool)
                 .expect("gold tool exists in registry");
             let history = "x".repeat(step_index * HISTORY_CHARS_PER_STEP);
-            let prompt_tokens =
-                tokens::agent_prompt_tokens(&query.text, &tools_json, &history);
-            let gold_offered =
-                offered.contains(&gold_index) && prompt_tokens <= context_tokens;
+            let prompt_tokens = tokens::agent_prompt_tokens(&query.text, &tools_json, &history);
+            let gold_offered = offered.contains(&gold_index) && prompt_tokens <= context_tokens;
             let attempt = CallAttempt {
                 model: self.model,
                 quant: self.quant,
@@ -538,7 +544,10 @@ impl QueryTrace {
                 "selection",
                 Value::object([
                     ("level", Value::from(sel.level.to_string())),
-                    ("tools", sel.tool_indices.iter().map(|t| Value::from(*t)).collect()),
+                    (
+                        "tools",
+                        sel.tool_indices.iter().map(|t| Value::from(*t)).collect(),
+                    ),
                     ("level1_score", Value::from(f64::from(sel.level1_score))),
                     ("level2_score", Value::from(f64::from(sel.level2_score))),
                 ]),
@@ -554,9 +563,7 @@ mod tests {
     use crate::levels::SearchLevels;
     use lim_workloads::{bfcl, geoengine};
 
-    fn setup(
-        geo: bool,
-    ) -> (lim_workloads::Workload, SearchLevels, ModelProfile) {
+    fn setup(geo: bool) -> (lim_workloads::Workload, SearchLevels, ModelProfile) {
         let w = if geo { geoengine(11, 40) } else { bfcl(11, 40) };
         let levels = SearchLevels::build(&w);
         let model = ModelProfile::by_name("llama3.1-8b").unwrap();
@@ -685,7 +692,10 @@ mod tests {
             Some("lim-k3")
         );
         assert!(doc.get("selection").is_some());
-        assert!(doc.get("steps").and_then(lim_json::Value::as_array).is_some());
+        assert!(doc
+            .get("steps")
+            .and_then(lim_json::Value::as_array)
+            .is_some());
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub fn plan_dfsdt(
     ledger.allocate("system-reserved", 4 * 1024 * 1024 * 1024)?;
     let weights = model.arch.weight_bytes(quant) as u64;
     ledger.allocate("weights", weights)?;
-    let per_branch = (model.arch.kv_bytes_per_token() * f64::from(config.context_tokens)) as u64
-        + 300_000_000; // per-branch runtime workspace
+    let per_branch =
+        (model.arch.kv_bytes_per_token() * f64::from(config.context_tokens)) as u64 + 300_000_000; // per-branch runtime workspace
     for branch in 0..config.beam_width {
         ledger.allocate(format!("branch-{branch}-kv"), per_branch)?;
     }

@@ -136,8 +136,14 @@ mod tests {
 
     #[test]
     fn query_costs_add() {
-        let a = QueryCost { seconds: 1.0, joules: 10.0 };
-        let b = QueryCost { seconds: 2.0, joules: 30.0 };
+        let a = QueryCost {
+            seconds: 1.0,
+            joules: 10.0,
+        };
+        let b = QueryCost {
+            seconds: 2.0,
+            joules: 30.0,
+        };
         let mut c = a + b;
         assert!((c.seconds - 3.0).abs() < 1e-9);
         c += a;

@@ -24,7 +24,10 @@ impl Phase {
     ///
     /// Panics if any input is negative or non-finite.
     pub fn new(label: impl Into<String>, flops: f64, seq_bytes: f64, rand_bytes: f64) -> Self {
-        assert!(flops.is_finite() && flops >= 0.0, "flops must be finite and non-negative");
+        assert!(
+            flops.is_finite() && flops >= 0.0,
+            "flops must be finite and non-negative"
+        );
         assert!(
             seq_bytes.is_finite() && seq_bytes >= 0.0,
             "seq_bytes must be finite and non-negative"

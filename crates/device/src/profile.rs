@@ -227,7 +227,11 @@ mod tests {
         // paper reports 22–27 W for such workloads on the Orin (Table II).
         let orin = DeviceProfile::jetson_agx_orin();
         let cost = orin.run_phase(&Phase::new("decode", 16.0e9, 4.85e9, 2.4e9));
-        assert!(cost.watts > 22.0 && cost.watts < 30.0, "watts = {}", cost.watts);
+        assert!(
+            cost.watts > 22.0 && cost.watts < 30.0,
+            "watts = {}",
+            cost.watts
+        );
     }
 
     #[test]
@@ -236,7 +240,12 @@ mod tests {
         let orin = DeviceProfile::jetson_agx_orin();
         let prefill = orin.run_phase(&Phase::new("prefill", 8.0e13, 9.7e9, 1.0e9));
         let decode = orin.run_phase(&Phase::new("decode", 16.0e9, 4.85e9, 1.4e9));
-        assert!(prefill.watts > decode.watts, "{} vs {}", prefill.watts, decode.watts);
+        assert!(
+            prefill.watts > decode.watts,
+            "{} vs {}",
+            prefill.watts,
+            decode.watts
+        );
     }
 
     #[test]

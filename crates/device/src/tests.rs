@@ -54,12 +54,7 @@ fn table2_shape_time_and_power_drop_with_tools_and_context() {
             0.0,
         )));
         for _ in 0..decode_tokens as usize {
-            meter.record(orin.run_phase(&Phase::new(
-                "decode",
-                16.0e9,
-                weights,
-                0.33e9 + kv_alloc,
-            )));
+            meter.record(orin.run_phase(&Phase::new("decode", 16.0e9, weights, 0.33e9 + kv_alloc)));
         }
         meter.total()
     };

@@ -217,11 +217,14 @@ mod tests {
         let b = "tool street";
         // With IDF, the match driven by rare "orbit" should strengthen
         // relative to the boilerplate-driven one.
-        let plain_gap =
-            plain.embed(a).cosine(&plain.embed("alpha tool orbit"))
-                - plain.embed(b).cosine(&plain.embed("alpha tool orbit"));
-        let weighted_gap = weighted.embed(a).cosine(&weighted.embed("alpha tool orbit"))
-            - weighted.embed(b).cosine(&weighted.embed("alpha tool orbit"));
+        let plain_gap = plain.embed(a).cosine(&plain.embed("alpha tool orbit"))
+            - plain.embed(b).cosine(&plain.embed("alpha tool orbit"));
+        let weighted_gap = weighted
+            .embed(a)
+            .cosine(&weighted.embed("alpha tool orbit"))
+            - weighted
+                .embed(b)
+                .cosine(&weighted.embed("alpha tool orbit"));
         assert!(weighted_gap > plain_gap);
     }
 

@@ -15,11 +15,26 @@ fn tool_description_matching_scenario() {
     // an LLM-recommended "ideal tool" description should rank the right
     // real tool first among a realistic catalog.
     let catalog = [
-        ("weather_information", "Fetches current weather data and forecast for a given city"),
-        ("text_translation", "Translates text between natural languages such as French"),
-        ("currency_converter", "Converts an amount between two currencies using live rates"),
-        ("calendar_event", "Creates a calendar event with title, date and attendees"),
-        ("web_search", "Searches the web and returns the most relevant page snippets"),
+        (
+            "weather_information",
+            "Fetches current weather data and forecast for a given city",
+        ),
+        (
+            "text_translation",
+            "Translates text between natural languages such as French",
+        ),
+        (
+            "currency_converter",
+            "Converts an amount between two currencies using live rates",
+        ),
+        (
+            "calendar_event",
+            "Creates a calendar event with title, date and attendees",
+        ),
+        (
+            "web_search",
+            "Searches the web and returns the most relevant page snippets",
+        ),
     ];
     let idf = IdfModel::fit(catalog.iter().map(|(_, d)| *d));
     let embedder = Embedder::builder().idf(idf).build();
@@ -33,9 +48,7 @@ fn tool_description_matching_scenario() {
     let best = tool_vecs
         .iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            rec_vec.cosine(a).partial_cmp(&rec_vec.cosine(b)).unwrap()
-        })
+        .max_by(|(_, a), (_, b)| rec_vec.cosine(a).partial_cmp(&rec_vec.cosine(b)).unwrap())
         .map(|(i, _)| i)
         .unwrap();
     assert_eq!(catalog[best].0, "weather_information");

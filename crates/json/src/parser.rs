@@ -220,8 +220,7 @@ impl<'a> Parser<'a> {
                         .bytes
                         .get(start..end)
                         .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
-                    let s =
-                        std::str::from_utf8(slice).map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -250,7 +249,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut value = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -299,8 +300,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| self.err("number out of range"))

@@ -16,7 +16,10 @@ fn parses_nested_structures() {
     let v = parse(r#"{"tools": [{"name": "a"}, {"name": "b"}], "k": 3}"#).unwrap();
     assert_eq!(v.pointer("k").and_then(Value::as_i64), Some(3));
     assert_eq!(
-        v.get("tools").and_then(|t| t.at(1)).and_then(|t| t.get("name")).and_then(Value::as_str),
+        v.get("tools")
+            .and_then(|t| t.at(1))
+            .and_then(|t| t.get("name"))
+            .and_then(Value::as_str),
         Some("b")
     );
 }
@@ -49,8 +52,20 @@ fn parses_multibyte_utf8_passthrough() {
 #[test]
 fn rejects_malformed_documents() {
     for bad in [
-        "", "{", "[1,", "{\"a\" 1}", "tru", "01", "1.", "1e", "\"unterminated",
-        "{\"a\": 1,}", "[1 2]", "\"bad \\q escape\"", "nullx", "[] []",
+        "",
+        "{",
+        "[1,",
+        "{\"a\" 1}",
+        "tru",
+        "01",
+        "1.",
+        "1e",
+        "\"unterminated",
+        "{\"a\": 1,}",
+        "[1 2]",
+        "\"bad \\q escape\"",
+        "nullx",
+        "[] []",
     ] {
         assert!(parse(bad).is_err(), "should reject {bad:?}");
     }

@@ -140,7 +140,12 @@ pub fn catalog() -> Vec<ModelProfile> {
     vec![
         ModelProfile {
             name: "hermes2-pro-8b",
-            arch: ModelArch { params_b: 8.0, layers: 32, kv_heads: 8, head_dim: 128 },
+            arch: ModelArch {
+                params_b: 8.0,
+                layers: 32,
+                kv_heads: 8,
+                head_dim: 128,
+            },
             base_tool_competence: 0.977,
             distractor_sensitivity: 0.011,
             chain_sensitivity: 0.004,
@@ -156,7 +161,12 @@ pub fn catalog() -> Vec<ModelProfile> {
         },
         ModelProfile {
             name: "llama3.1-8b",
-            arch: ModelArch { params_b: 8.0, layers: 32, kv_heads: 8, head_dim: 128 },
+            arch: ModelArch {
+                params_b: 8.0,
+                layers: 32,
+                kv_heads: 8,
+                head_dim: 128,
+            },
             base_tool_competence: 1.0,
             distractor_sensitivity: 0.0047,
             chain_sensitivity: 0.0012,
@@ -172,7 +182,12 @@ pub fn catalog() -> Vec<ModelProfile> {
         },
         ModelProfile {
             name: "mistral-8b",
-            arch: ModelArch { params_b: 7.2, layers: 32, kv_heads: 8, head_dim: 128 },
+            arch: ModelArch {
+                params_b: 7.2,
+                layers: 32,
+                kv_heads: 8,
+                head_dim: 128,
+            },
             base_tool_competence: 0.62,
             distractor_sensitivity: 0.0008,
             chain_sensitivity: 0.0008,
@@ -188,7 +203,12 @@ pub fn catalog() -> Vec<ModelProfile> {
         },
         ModelProfile {
             name: "phi3-8b",
-            arch: ModelArch { params_b: 7.4, layers: 32, kv_heads: 8, head_dim: 96 },
+            arch: ModelArch {
+                params_b: 7.4,
+                layers: 32,
+                kv_heads: 8,
+                head_dim: 96,
+            },
             base_tool_competence: 0.857,
             distractor_sensitivity: 0.008,
             chain_sensitivity: 0.0019,
@@ -204,7 +224,12 @@ pub fn catalog() -> Vec<ModelProfile> {
         },
         ModelProfile {
             name: "qwen2-1.5b",
-            arch: ModelArch { params_b: 1.5, layers: 28, kv_heads: 2, head_dim: 128 },
+            arch: ModelArch {
+                params_b: 1.5,
+                layers: 28,
+                kv_heads: 2,
+                head_dim: 128,
+            },
             base_tool_competence: 0.835,
             distractor_sensitivity: 0.0095,
             chain_sensitivity: 0.002,
@@ -220,7 +245,12 @@ pub fn catalog() -> Vec<ModelProfile> {
         },
         ModelProfile {
             name: "qwen2-7b",
-            arch: ModelArch { params_b: 7.6, layers: 28, kv_heads: 4, head_dim: 128 },
+            arch: ModelArch {
+                params_b: 7.6,
+                layers: 28,
+                kv_heads: 4,
+                head_dim: 128,
+            },
             base_tool_competence: 0.955,
             distractor_sensitivity: 0.009,
             chain_sensitivity: 0.003,

@@ -21,7 +21,14 @@ use crate::quant::{Quant, TaskKind};
 /// Generic filler the model mixes into its descriptions (simulating the
 /// boilerplate LLMs produce when unsure).
 const FILLER: [&str; 8] = [
-    "helper", "utility", "process", "handle", "manage", "general", "information", "request",
+    "helper",
+    "utility",
+    "process",
+    "handle",
+    "manage",
+    "general",
+    "information",
+    "request",
 ];
 
 /// Minimum per-word retention even for the weakest configuration: models
@@ -43,9 +50,7 @@ pub fn recommend_descriptions(
     seed: u64,
 ) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let quant_quality = quant
-        .competence_factor(TaskKind::SingleCall)
-        .powf(0.1);
+    let quant_quality = quant.competence_factor(TaskKind::SingleCall).powf(0.1);
     needed_functionality
         .iter()
         .enumerate()
@@ -152,8 +157,7 @@ mod tests {
             (0..300)
                 .map(|s| {
                     let needed = vec![FUNC; step + 1];
-                    let out =
-                        recommend_descriptions(&hermes(), Quant::Q4KM, "q", &needed, s);
+                    let out = recommend_descriptions(&hermes(), Quant::Q4KM, "q", &needed, s);
                     let body = out[step].split(" (for:").next().unwrap().to_owned();
                     signal
                         .iter()
@@ -162,6 +166,11 @@ mod tests {
                 })
                 .sum()
         };
-        assert!(kept_at(0) > kept_at(3), "step 0 {} vs step 3 {}", kept_at(0), kept_at(3));
+        assert!(
+            kept_at(0) > kept_at(3),
+            "step 0 {} vs step 3 {}",
+            kept_at(0),
+            kept_at(3)
+        );
     }
 }

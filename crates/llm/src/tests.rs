@@ -31,7 +31,10 @@ fn end_to_end_call_cost_is_realistic() {
     };
     let default_policy = time(4600, 16384);
     let lim_policy = time(700, 8192);
-    assert!(default_policy > 4.0 && default_policy < 15.0, "{default_policy}");
+    assert!(
+        default_policy > 4.0 && default_policy < 15.0,
+        "{default_policy}"
+    );
     assert!(lim_policy < default_policy * 0.55);
 }
 

@@ -235,9 +235,18 @@ mod tests {
         let fail_16k_46 = run_steps(4400, 16384, 150); // confused rambling
         let ok_16k_19 = run_steps(1800, 16384, 100);
         let ok_8k_19 = run_steps(1800, 8192, 100);
-        assert!((fail_16k_46 / 30.0 - 1.0).abs() < 0.25, "{fail_16k_46:.1} s vs 30 s");
-        assert!((ok_16k_19 / 20.0 - 1.0).abs() < 0.25, "{ok_16k_19:.1} s vs 20 s");
-        assert!((ok_8k_19 / 17.0 - 1.0).abs() < 0.25, "{ok_8k_19:.1} s vs 17 s");
+        assert!(
+            (fail_16k_46 / 30.0 - 1.0).abs() < 0.25,
+            "{fail_16k_46:.1} s vs 30 s"
+        );
+        assert!(
+            (ok_16k_19 / 20.0 - 1.0).abs() < 0.25,
+            "{ok_16k_19:.1} s vs 20 s"
+        );
+        assert!(
+            (ok_8k_19 / 17.0 - 1.0).abs() < 0.25,
+            "{ok_8k_19:.1} s vs 17 s"
+        );
         assert!(ok_8k_19 < ok_16k_19 && ok_16k_19 < fail_16k_46);
     }
 }

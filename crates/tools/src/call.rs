@@ -118,7 +118,11 @@ impl fmt::Display for CallValidationError {
             }
             CallValidationError::MissingParam(p) => write!(f, "missing required parameter {p:?}"),
             CallValidationError::UnknownParam(p) => write!(f, "unknown parameter {p:?}"),
-            CallValidationError::TypeMismatch { param, expected, got } => {
+            CallValidationError::TypeMismatch {
+                param,
+                expected,
+                got,
+            } => {
                 write!(f, "parameter {param:?} expects {expected}, got {got}")
             }
             CallValidationError::Malformed(why) => write!(f, "malformed tool call: {why}"),

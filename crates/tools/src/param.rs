@@ -69,7 +69,11 @@ pub struct ParamSpec {
 
 impl ParamSpec {
     /// Creates a required parameter.
-    pub fn required(name: impl Into<String>, ty: ParamType, description: impl Into<String>) -> Self {
+    pub fn required(
+        name: impl Into<String>,
+        ty: ParamType,
+        description: impl Into<String>,
+    ) -> Self {
         Self {
             name: name.into(),
             ty,
@@ -79,7 +83,11 @@ impl ParamSpec {
     }
 
     /// Creates an optional parameter.
-    pub fn optional(name: impl Into<String>, ty: ParamType, description: impl Into<String>) -> Self {
+    pub fn optional(
+        name: impl Into<String>,
+        ty: ParamType,
+        description: impl Into<String>,
+    ) -> Self {
         Self {
             required: false,
             ..Self::required(name, ty, description)
@@ -119,7 +127,10 @@ impl ParamSpec {
             );
         }
         if let ParamType::Array(item) = &self.ty {
-            obj.insert("items", Value::object([("type", Value::from(item.type_name()))]));
+            obj.insert(
+                "items",
+                Value::object([("type", Value::from(item.type_name()))]),
+            );
         }
         obj
     }

@@ -185,8 +185,14 @@ mod tests {
                 .category("math")
                 .param(ParamSpec::required("x", ParamType::Number, "operand"))
                 .build(),
-            ToolSpec::builder("beta").description("second").category("text").build(),
-            ToolSpec::builder("gamma").description("third").category("math").build(),
+            ToolSpec::builder("beta")
+                .description("second")
+                .category("text")
+                .build(),
+            ToolSpec::builder("gamma")
+                .description("third")
+                .category("math")
+                .build(),
         ])
         .unwrap()
     }

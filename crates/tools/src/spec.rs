@@ -204,23 +204,28 @@ mod tests {
             .description("Fetches current weather data for a given city")
             .category("weather")
             .param(ParamSpec::required("city", ParamType::String, "City name"))
-            .param(ParamSpec::optional("days", ParamType::Integer, "Forecast days"))
+            .param(ParamSpec::optional(
+                "days",
+                ParamType::Integer,
+                "Forecast days",
+            ))
             .build()
     }
 
     #[test]
     fn schema_json_shape() {
         let v = weather().schema_json();
-        assert_eq!(v.pointer("function.name").and_then(Value::as_str), Some("weather_information"));
+        assert_eq!(
+            v.pointer("function.name").and_then(Value::as_str),
+            Some("weather_information")
+        );
         assert_eq!(
             v.pointer("function.parameters.required")
                 .and_then(Value::as_array)
                 .map(|a| a.len()),
             Some(1)
         );
-        assert!(v
-            .pointer("function.parameters.properties.city")
-            .is_some());
+        assert!(v.pointer("function.parameters.properties.city").is_some());
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IndexError::DimMismatch { expected, got } => {
-                write!(f, "vector dimension {got} does not match index dimension {expected}")
+                write!(
+                    f,
+                    "vector dimension {got} does not match index dimension {expected}"
+                )
             }
             IndexError::DuplicateId(id) => write!(f, "id {id} already present in index"),
             IndexError::NotTrained => write!(f, "index must be trained before use"),

@@ -160,13 +160,22 @@ mod tests {
     fn dim_mismatch_is_rejected() {
         let mut idx = FlatIndex::new(3, Metric::Cosine);
         let err = idx.add(1, &[1.0]).unwrap_err();
-        assert_eq!(err, IndexError::DimMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            IndexError::DimMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn duplicate_id_is_rejected() {
         let mut idx = sample();
-        assert_eq!(idx.add(10, &[1.0, 1.0, 1.0]).unwrap_err(), IndexError::DuplicateId(10));
+        assert_eq!(
+            idx.add(10, &[1.0, 1.0, 1.0]).unwrap_err(),
+            IndexError::DuplicateId(10)
+        );
     }
 
     #[test]

@@ -128,7 +128,12 @@ impl IvfIndex {
                 got: vector.len(),
             });
         }
-        if self.cells.iter().flatten().any(|(existing, _)| *existing == id) {
+        if self
+            .cells
+            .iter()
+            .flatten()
+            .any(|(existing, _)| *existing == id)
+        {
             return Err(IndexError::DuplicateId(id));
         }
         let cell = nearest(vector, &self.centroids).0;
@@ -238,20 +243,32 @@ mod tests {
             Err(IndexError::DuplicateId(5))
         ));
         let mut idx = build(IvfParams::default());
-        assert!(matches!(idx.add(5, &[0.0, 0.0]), Err(IndexError::DuplicateId(5))));
+        assert!(matches!(
+            idx.add(5, &[0.0, 0.0]),
+            Err(IndexError::DuplicateId(5))
+        ));
     }
 
     #[test]
     fn empty_training_set_is_an_error() {
         let r = IvfIndex::train(2, Metric::Cosine, IvfParams::default(), &[]);
-        assert!(matches!(r, Err(IndexError::InsufficientTrainingData { .. })));
+        assert!(matches!(
+            r,
+            Err(IndexError::InsufficientTrainingData { .. })
+        ));
     }
 
     #[test]
     fn training_rejects_dim_mismatch() {
         let bad: &[f32] = &[1.0];
         let r = IvfIndex::train(2, Metric::Cosine, IvfParams::default(), &[(0, bad)]);
-        assert!(matches!(r, Err(IndexError::DimMismatch { expected: 2, got: 1 })));
+        assert!(matches!(
+            r,
+            Err(IndexError::DimMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
     }
 
     #[test]

@@ -103,10 +103,7 @@ fn init_plus_plus(data: &[Vec<f32>], k: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(data[rng.next_below(data.len() as u64) as usize].clone());
     while centroids.len() < k {
-        let dists: Vec<f32> = data
-            .iter()
-            .map(|v| nearest(v, &centroids).1)
-            .collect();
+        let dists: Vec<f32> = data.iter().map(|v| nearest(v, &centroids).1).collect();
         let total: f32 = dists.iter().sum();
         let next = if total <= f32::EPSILON {
             // All points coincide with chosen centroids; pick uniformly.
@@ -177,7 +174,12 @@ mod tests {
         let second = r.assignments[1];
         assert_ne!(first, second);
         assert!(r.assignments.iter().step_by(2).all(|a| *a == first));
-        assert!(r.assignments.iter().skip(1).step_by(2).all(|a| *a == second));
+        assert!(r
+            .assignments
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .all(|a| *a == second));
         assert!(r.inertia < 1.0);
     }
 

@@ -49,14 +49,21 @@ fn ivf_recall_on_clustered_data() {
         let cy = (blob / 4) as f32 * 20.0;
         for i in 0..25u64 {
             let id = blob * 25 + i;
-            data.push((id, vec![cx + (i as f32 * 0.07).sin(), cy + (i as f32 * 0.13).cos()]));
+            data.push((
+                id,
+                vec![cx + (i as f32 * 0.07).sin(), cy + (i as f32 * 0.13).cos()],
+            ));
         }
     }
     let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
     let ivf = IvfIndex::train(
         2,
         Metric::Euclidean,
-        IvfParams { nlist: 8, nprobe: 2, seed: 5 },
+        IvfParams {
+            nlist: 8,
+            nprobe: 2,
+            seed: 5,
+        },
         &refs,
     )
     .unwrap();
@@ -72,7 +79,10 @@ fn ivf_recall_on_clustered_data() {
         let approx = ivf.search(&query, 1)[0].id;
         agree += u32::from(exact == approx);
     }
-    assert!(agree as f64 / f64::from(total) > 0.9, "recall@1 = {agree}/{total}");
+    assert!(
+        agree as f64 / f64::from(total) > 0.9,
+        "recall@1 = {agree}/{total}"
+    );
 }
 
 #[test]

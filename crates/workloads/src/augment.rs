@@ -88,7 +88,12 @@ pub fn augment(workload: &Workload, config: &AugmentConfig) -> Vec<AugmentedQuer
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = Vec::new();
     for category in categories(&workload.train_queries) {
-        let sampled = sample_category(&workload.train_queries, &category, config.per_category, &mut rng);
+        let sampled = sample_category(
+            &workload.train_queries,
+            &category,
+            config.per_category,
+            &mut rng,
+        );
         for query in sampled {
             for _ in 0..config.variants_per_query {
                 let candidate = permute(query, workload, &mut rng);
@@ -221,7 +226,11 @@ mod tests {
                 .find(|q| q.id == v.source_id)
                 .expect("source exists");
             let f1 = rouge_l(&v.text, &source.text).f1 as f64;
-            assert!(f1 >= cfg.rouge_min && f1 <= cfg.rouge_max, "f1={f1} for {:?}", v.text);
+            assert!(
+                f1 >= cfg.rouge_min && f1 <= cfg.rouge_max,
+                "f1={f1} for {:?}",
+                v.text
+            );
         }
     }
 
@@ -230,7 +239,11 @@ mod tests {
         let w = geoengine(2, 60);
         let variants = augment(&w, &AugmentConfig::default());
         for v in &variants {
-            let source = w.train_queries.iter().find(|q| q.id == v.source_id).unwrap();
+            let source = w
+                .train_queries
+                .iter()
+                .find(|q| q.id == v.source_id)
+                .unwrap();
             let source_tools = source.gold_tools();
             assert_eq!(v.tools.len(), source_tools.len());
             // All but possibly the last tool are identical.

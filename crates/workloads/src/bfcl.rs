@@ -649,7 +649,10 @@ mod tests {
         for q in &w.queries {
             assert_eq!(q.steps.len(), 1);
             let step = &q.steps[0];
-            let spec = w.registry.get_by_name(&step.tool).expect("gold tool exists");
+            let spec = w
+                .registry
+                .get_by_name(&step.tool)
+                .expect("gold tool exists");
             let call = lim_tools::ToolCall::new(step.tool.clone(), step.args.clone());
             assert!(
                 spec.validate_call(&call).is_ok(),

@@ -33,7 +33,12 @@ macro_rules! p {
 /// `source` parameter shared by every chain-consuming tool.
 macro_rules! src {
     () => {
-        p!("source", Phrase, true, "Handle of the upstream result this step consumes")
+        p!(
+            "source",
+            Phrase,
+            true,
+            "Handle of the upstream result this step consumes"
+        )
     };
 }
 
@@ -129,7 +134,10 @@ pub(crate) const TOOLS: &[ToolDef] = &[
         name: "filter_by_cloudcover",
         category: "filtering",
         desc: "Filters a collection to scenes below a cloud-cover percentage",
-        params: &[src!(), p!("max_percent", SmallInt, true, "Maximum cloud cover")],
+        params: &[
+            src!(),
+            p!("max_percent", SmallInt, true, "Maximum cloud cover"),
+        ],
         templates: &[],
     },
     // ------------------------------------------------- detection (6)
@@ -137,7 +145,10 @@ pub(crate) const TOOLS: &[ToolDef] = &[
         name: "detect_objects",
         category: "detection",
         desc: "Detects objects of a given class in imagery",
-        params: &[src!(), p!("classes", ObjectClass, true, "Object class to detect")],
+        params: &[
+            src!(),
+            p!("classes", ObjectClass, true, "Object class to detect"),
+        ],
         templates: &[],
     },
     ToolDef {
@@ -172,7 +183,15 @@ pub(crate) const TOOLS: &[ToolDef] = &[
         name: "change_detection",
         category: "detection",
         desc: "Detects changes between imagery epochs of the same region",
-        params: &[src!(), p!("baseline_year", Year, true, "Baseline year to compare against")],
+        params: &[
+            src!(),
+            p!(
+                "baseline_year",
+                Year,
+                true,
+                "Baseline year to compare against"
+            ),
+        ],
         templates: &[],
     },
     // -------------------------------------------------- analysis (5)
@@ -216,7 +235,10 @@ pub(crate) const TOOLS: &[ToolDef] = &[
         name: "answer_visual_question",
         category: "vqa",
         desc: "Answers a natural-language question about a loaded scene",
-        params: &[src!(), p!("question", VisualQuestion, true, "Question about the scene")],
+        params: &[
+            src!(),
+            p!("question", VisualQuestion, true, "Question about the scene"),
+        ],
         templates: &[],
     },
     ToolDef {
@@ -266,7 +288,12 @@ pub(crate) const TOOLS: &[ToolDef] = &[
         name: "draw_boundaries",
         category: "mapping",
         desc: "Draws administrative boundaries of a region on a map",
-        params: &[p!("region", Region, true, "Region whose boundaries to draw")],
+        params: &[p!(
+            "region",
+            Region,
+            true,
+            "Region whose boundaries to draw"
+        )],
         templates: &[],
     },
     ToolDef {
@@ -526,7 +553,10 @@ fn instantiate_recipe(recipe: &Recipe, rng: &mut StdRng) -> (String, Vec<GoldSte
                     args.insert("source", Value::from("$prev"));
                 } else {
                     // A recipe must not start with a consuming tool.
-                    panic!("recipe {} starts with consumer {tool_name}", recipe.template);
+                    panic!(
+                        "recipe {} starts with consumer {tool_name}",
+                        recipe.template
+                    );
                 }
                 continue;
             }
@@ -600,7 +630,11 @@ mod tests {
                     .chain
                     .iter()
                     .any(|t| tool_def(t).params.iter().any(|p| p.name == name));
-                assert!(known, "template {} references unknown slot {name}", r.template);
+                assert!(
+                    known,
+                    "template {} references unknown slot {name}",
+                    r.template
+                );
                 rest = &rest[end + 1..];
             }
         }
@@ -612,7 +646,10 @@ mod tests {
         for q in &w.queries {
             assert!(q.steps.len() >= 2);
             for (i, step) in q.steps.iter().enumerate() {
-                let spec = w.registry.get_by_name(&step.tool).expect("gold tool exists");
+                let spec = w
+                    .registry
+                    .get_by_name(&step.tool)
+                    .expect("gold tool exists");
                 let call = lim_tools::ToolCall::new(step.tool.clone(), step.args.clone());
                 assert!(
                     spec.validate_call(&call).is_ok(),

@@ -77,18 +77,35 @@ impl Pool {
     /// Draws `(display_text, json_value)` from the pool.
     pub fn sample(self, rng: &mut StdRng) -> (String, Value) {
         match self {
-            Pool::City => str_sample(rng, &[
-                "London", "Paris", "New York", "Tokyo", "Berlin", "Madrid", "Chicago",
-                "Toronto", "Sydney", "Mumbai", "Cairo", "Seoul",
-            ]),
-            Pool::Country => str_sample(rng, &[
-                "France", "Japan", "Brazil", "Canada", "Kenya", "Norway", "India",
-                "Mexico", "Italy", "Egypt",
-            ]),
-            Pool::Region => str_sample(rng, &[
-                "UK", "California", "Bavaria", "Normandy", "Kyushu", "Patagonia",
-                "Sahel", "Great Lakes", "Nile Delta", "Po Valley",
-            ]),
+            Pool::City => str_sample(
+                rng,
+                &[
+                    "London", "Paris", "New York", "Tokyo", "Berlin", "Madrid", "Chicago",
+                    "Toronto", "Sydney", "Mumbai", "Cairo", "Seoul",
+                ],
+            ),
+            Pool::Country => str_sample(
+                rng,
+                &[
+                    "France", "Japan", "Brazil", "Canada", "Kenya", "Norway", "India", "Mexico",
+                    "Italy", "Egypt",
+                ],
+            ),
+            Pool::Region => str_sample(
+                rng,
+                &[
+                    "UK",
+                    "California",
+                    "Bavaria",
+                    "Normandy",
+                    "Kyushu",
+                    "Patagonia",
+                    "Sahel",
+                    "Great Lakes",
+                    "Nile Delta",
+                    "Po Valley",
+                ],
+            ),
             Pool::Year => {
                 let y = rng.random_range(1990..=2023);
                 (y.to_string(), Value::from(y as i64))
@@ -110,53 +127,100 @@ impl Pool {
                 (n.to_string(), Value::from(n as i64))
             }
             Pool::CurrencyCode => str_sample(rng, &["USD", "EUR", "GBP", "JPY", "CHF", "INR"]),
-            Pool::Language => str_sample(rng, &[
-                "French", "German", "Spanish", "Japanese", "Arabic", "Portuguese",
-            ]),
-            Pool::Phrase => str_sample(rng, &[
-                "the shipment arrives on Tuesday",
-                "this product exceeded my expectations",
-                "the meeting was postponed again",
-                "what a wonderful performance",
-                "the service was disappointingly slow",
-            ]),
+            Pool::Language => str_sample(
+                rng,
+                &[
+                    "French",
+                    "German",
+                    "Spanish",
+                    "Japanese",
+                    "Arabic",
+                    "Portuguese",
+                ],
+            ),
+            Pool::Phrase => str_sample(
+                rng,
+                &[
+                    "the shipment arrives on Tuesday",
+                    "this product exceeded my expectations",
+                    "the meeting was postponed again",
+                    "what a wonderful performance",
+                    "the service was disappointingly slow",
+                ],
+            ),
             Pool::Ticker => str_sample(rng, &["AAPL", "MSFT", "NVDA", "TSLA", "AMZN", "GOOG"]),
-            Pool::Team => str_sample(rng, &[
-                "Lakers", "Warriors", "Yankees", "Liverpool", "Ajax", "Packers",
-            ]),
-            Pool::Player => str_sample(rng, &[
-                "Jordan Alvarez", "Mia Chen", "Luka Petrov", "Sara Haddad", "Kenji Mori",
-            ]),
+            Pool::Team => str_sample(
+                rng,
+                &[
+                    "Lakers",
+                    "Warriors",
+                    "Yankees",
+                    "Liverpool",
+                    "Ajax",
+                    "Packers",
+                ],
+            ),
+            Pool::Player => str_sample(
+                rng,
+                &[
+                    "Jordan Alvarez",
+                    "Mia Chen",
+                    "Luka Petrov",
+                    "Sara Haddad",
+                    "Kenji Mori",
+                ],
+            ),
             Pool::LengthUnit => str_sample(rng, &["meters", "feet", "miles", "kilometers"]),
             Pool::MassUnit => str_sample(rng, &["kilograms", "pounds", "ounces", "grams"]),
             Pool::TempUnit => str_sample(rng, &["celsius", "fahrenheit", "kelvin"]),
             Pool::Molecule => str_sample(rng, &["H2O", "C6H12O6", "NaCl", "CO2", "CH4"]),
             Pool::Planet => str_sample(rng, &["Mars", "Venus", "Jupiter", "Saturn", "Neptune"]),
             Pool::Gene => str_sample(rng, &["BRCA1", "TP53", "EGFR", "MYC", "KRAS"]),
-            Pool::Url => str_sample(rng, &[
-                "https://example.com/research/paper",
-                "https://data.example.org/catalog",
-                "https://news.example.net/article/42",
-            ]),
-            Pool::Address => str_sample(rng, &[
-                "221B Baker Street, London",
-                "1600 Amphitheatre Parkway, Mountain View",
-                "4 Rue de Rivoli, Paris",
-            ]),
+            Pool::Url => str_sample(
+                rng,
+                &[
+                    "https://example.com/research/paper",
+                    "https://data.example.org/catalog",
+                    "https://news.example.net/article/42",
+                ],
+            ),
+            Pool::Address => str_sample(
+                rng,
+                &[
+                    "221B Baker Street, London",
+                    "1600 Amphitheatre Parkway, Mountain View",
+                    "4 Rue de Rivoli, Paris",
+                ],
+            ),
             Pool::Sensor => str_sample(rng, &["Sentinel-2", "Landsat-8", "MODIS", "WorldView-3"]),
             Pool::Dataset => str_sample(rng, &["fmow", "xView", "SpaceNet", "BigEarthNet"]),
-            Pool::Email => str_sample(rng, &[
-                "analyst@example.com", "ops-team@example.org", "report@example.net",
-            ]),
-            Pool::VisualQuestion => str_sample(rng, &[
-                "how many vehicles are visible",
-                "is there a runway in the scene",
-                "what type of crops are growing",
-                "are the buildings residential or industrial",
-            ]),
-            Pool::ObjectClass => str_sample(rng, &[
-                "ships", "aircraft", "vehicles", "buildings", "storage tanks",
-            ]),
+            Pool::Email => str_sample(
+                rng,
+                &[
+                    "analyst@example.com",
+                    "ops-team@example.org",
+                    "report@example.net",
+                ],
+            ),
+            Pool::VisualQuestion => str_sample(
+                rng,
+                &[
+                    "how many vehicles are visible",
+                    "is there a runway in the scene",
+                    "what type of crops are growing",
+                    "are the buildings residential or industrial",
+                ],
+            ),
+            Pool::ObjectClass => str_sample(
+                rng,
+                &[
+                    "ships",
+                    "aircraft",
+                    "vehicles",
+                    "buildings",
+                    "storage tanks",
+                ],
+            ),
         }
     }
 }

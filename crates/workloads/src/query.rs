@@ -75,8 +75,7 @@ impl Workload {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.steps.len()).sum::<usize>() as f64
-            / self.queries.len() as f64
+        self.queries.iter().map(|q| q.steps.len()).sum::<usize>() as f64 / self.queries.len() as f64
     }
 }
 
@@ -91,8 +90,14 @@ mod tests {
             text: "t".into(),
             category: "c".into(),
             steps: vec![
-                GoldStep { tool: "a".into(), args: Value::object::<&str, _>([]) },
-                GoldStep { tool: "b".into(), args: Value::object::<&str, _>([]) },
+                GoldStep {
+                    tool: "a".into(),
+                    args: Value::object::<&str, _>([]),
+                },
+                GoldStep {
+                    tool: "b".into(),
+                    args: Value::object::<&str, _>([]),
+                },
             ],
         };
         assert_eq!(q.gold_tools(), vec!["a", "b"]);

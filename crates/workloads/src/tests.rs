@@ -27,15 +27,26 @@ fn rendered_catalogs_have_realistic_prompt_sizes() {
     let g_chars = g.registry.prompt_chars(&(0..46).collect::<Vec<_>>());
     assert!(b_chars > 8_000, "BFCL payload only {b_chars} chars");
     assert!(g_chars > 8_000, "GeoEngine payload only {g_chars} chars");
-    assert!(b_chars < 80_000 && g_chars < 80_000, "payloads implausibly large");
+    assert!(
+        b_chars < 80_000 && g_chars < 80_000,
+        "payloads implausibly large"
+    );
 }
 
 #[test]
 fn categories_are_multiple_and_stable() {
     let b = bfcl(5, 230);
     let g = geoengine(5, 230);
-    assert!(b.categories().len() >= 10, "BFCL categories {:?}", b.categories());
-    assert!(g.categories().len() >= 8, "Geo categories {:?}", g.categories());
+    assert!(
+        b.categories().len() >= 10,
+        "BFCL categories {:?}",
+        b.categories()
+    );
+    assert!(
+        g.categories().len() >= 8,
+        "Geo categories {:?}",
+        g.categories()
+    );
 }
 
 #[test]

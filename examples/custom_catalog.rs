@@ -17,18 +17,73 @@ use lessismore::workloads::{GoldStep, Query, Workload, WorkloadKind};
 
 fn catalog() -> ToolRegistry {
     let specs = [
-        ("lights_on", "lighting", "Turns on the lights in a room", vec!["room"]),
-        ("lights_off", "lighting", "Turns off the lights in a room", vec!["room"]),
-        ("set_brightness", "lighting", "Sets the light brightness level of a room", vec!["room", "level"]),
-        ("set_thermostat", "climate", "Sets the target temperature of the thermostat", vec!["temperature"]),
-        ("read_thermostat", "climate", "Reads the current temperature inside the house", vec![]),
-        ("start_vacuum", "cleaning", "Starts the robot vacuum cleaning a room", vec!["room"]),
-        ("dock_vacuum", "cleaning", "Sends the robot vacuum back to its dock", vec![]),
-        ("play_music", "media", "Plays music by a given artist on the speakers", vec!["artist"]),
+        (
+            "lights_on",
+            "lighting",
+            "Turns on the lights in a room",
+            vec!["room"],
+        ),
+        (
+            "lights_off",
+            "lighting",
+            "Turns off the lights in a room",
+            vec!["room"],
+        ),
+        (
+            "set_brightness",
+            "lighting",
+            "Sets the light brightness level of a room",
+            vec!["room", "level"],
+        ),
+        (
+            "set_thermostat",
+            "climate",
+            "Sets the target temperature of the thermostat",
+            vec!["temperature"],
+        ),
+        (
+            "read_thermostat",
+            "climate",
+            "Reads the current temperature inside the house",
+            vec![],
+        ),
+        (
+            "start_vacuum",
+            "cleaning",
+            "Starts the robot vacuum cleaning a room",
+            vec!["room"],
+        ),
+        (
+            "dock_vacuum",
+            "cleaning",
+            "Sends the robot vacuum back to its dock",
+            vec![],
+        ),
+        (
+            "play_music",
+            "media",
+            "Plays music by a given artist on the speakers",
+            vec!["artist"],
+        ),
         ("stop_music", "media", "Stops the music playback", vec![]),
-        ("lock_door", "security", "Locks a door of the house", vec!["door"]),
-        ("unlock_door", "security", "Unlocks a door of the house", vec!["door"]),
-        ("camera_snapshot", "security", "Takes a snapshot from a security camera", vec!["camera"]),
+        (
+            "lock_door",
+            "security",
+            "Locks a door of the house",
+            vec!["door"],
+        ),
+        (
+            "unlock_door",
+            "security",
+            "Unlocks a door of the house",
+            vec!["door"],
+        ),
+        (
+            "camera_snapshot",
+            "security",
+            "Takes a snapshot from a security camera",
+            vec!["camera"],
+        ),
     ];
     ToolRegistry::from_specs(specs.into_iter().map(|(name, category, desc, params)| {
         let mut builder = ToolSpec::builder(name).description(desc).category(category);
@@ -44,14 +99,46 @@ fn catalog() -> ToolRegistry {
 /// Level 2 needs to learn which tools are co-used.
 fn training_queries() -> Vec<Query> {
     let sessions: [(&str, &str, Vec<&str>); 8] = [
-        ("movie night: dim the lights and play some jazz", "media", vec!["set_brightness", "play_music"]),
-        ("bedtime — lights off and lock the front door", "security", vec!["lights_off", "lock_door"]),
-        ("clean the kitchen and then dock the vacuum", "cleaning", vec!["start_vacuum", "dock_vacuum"]),
-        ("is it cold inside? set the thermostat to something cozy", "climate", vec!["read_thermostat", "set_thermostat"]),
-        ("party mode: bright lights and loud music", "media", vec!["set_brightness", "play_music"]),
-        ("leaving home: lock up and take a camera snapshot", "security", vec!["lock_door", "camera_snapshot"]),
-        ("vacuum the living room please", "cleaning", vec!["start_vacuum"]),
-        ("good night — everything off, doors locked", "security", vec!["lights_off", "stop_music", "lock_door"]),
+        (
+            "movie night: dim the lights and play some jazz",
+            "media",
+            vec!["set_brightness", "play_music"],
+        ),
+        (
+            "bedtime — lights off and lock the front door",
+            "security",
+            vec!["lights_off", "lock_door"],
+        ),
+        (
+            "clean the kitchen and then dock the vacuum",
+            "cleaning",
+            vec!["start_vacuum", "dock_vacuum"],
+        ),
+        (
+            "is it cold inside? set the thermostat to something cozy",
+            "climate",
+            vec!["read_thermostat", "set_thermostat"],
+        ),
+        (
+            "party mode: bright lights and loud music",
+            "media",
+            vec!["set_brightness", "play_music"],
+        ),
+        (
+            "leaving home: lock up and take a camera snapshot",
+            "security",
+            vec!["lock_door", "camera_snapshot"],
+        ),
+        (
+            "vacuum the living room please",
+            "cleaning",
+            vec!["start_vacuum"],
+        ),
+        (
+            "good night — everything off, doors locked",
+            "security",
+            vec!["lights_off", "stop_music", "lock_door"],
+        ),
     ];
     sessions
         .into_iter()

@@ -50,12 +50,7 @@ fn main() {
         .find(|q| q.category == "vqa-mapping")
         .expect("vqa-mapping recipe present");
     println!("user: {}", query.text);
-    println!(
-        "gold chain: {}",
-        query
-            .gold_tools()
-            .join(" -> ")
-    );
+    println!("gold chain: {}", query.gold_tools().join(" -> "));
 
     let gold_descs: Vec<String> = query
         .steps
@@ -65,7 +60,10 @@ fn main() {
         .collect();
     let gold_refs: Vec<&str> = gold_descs.iter().map(String::as_str).collect();
     let recs = recommend_descriptions(&model, quant, &query.text, &gold_refs, 11);
-    println!("\nrecommender (no tools attached) proposed {} ideal tools:", recs.len());
+    println!(
+        "\nrecommender (no tools attached) proposed {} ideal tools:",
+        recs.len()
+    );
     for r in &recs {
         println!("  - {r}");
     }

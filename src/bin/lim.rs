@@ -3,6 +3,7 @@
 //! ```text
 //! lim models                                     list model profiles
 //! lim evaluate [options]                         run a policy over a benchmark
+//! lim bench    [options] [--out FILE]            parallel policy sweep + BENCH_*.json
 //! lim trace    [options] --query I               JSON execution trace of one query
 //! lim levels   [options] [--save FILE|--load F]  build / persist search levels
 //!
@@ -13,6 +14,13 @@
 //!   --policy default|gorilla:K|lim:K    (default lim:3)
 //!   --queries N                  (default 230)
 //!   --seed S                     (default 20250331)
+//!
+//! bench options:
+//!   --threads N                  worker threads; 0 = all cores (default 0)
+//!   --models a,b,c               models to sweep (default: the --model value)
+//!   --quants q4_K_M,q8_0         quants to sweep (default: the --quant value)
+//!   --policies default,lim:3     policies to sweep (default all four paper policies)
+//!   --out FILE                   write the BENCH_*.json document
 //! ```
 
 use std::process::ExitCode;
@@ -33,6 +41,17 @@ struct Options {
     query_index: usize,
     save: Option<String>,
     load: Option<String>,
+    /// Whether `--policy` was passed explicitly (so `bench` can honour it
+    /// as a single-policy sweep).
+    policy_set: bool,
+    /// Worker threads for `bench`; 0 = available parallelism.
+    threads: usize,
+    /// Sweep dimensions for `bench`; empty = derive from the singular
+    /// `--model` / `--quant` options.
+    models: Vec<String>,
+    quants: Vec<Quant>,
+    policies: Vec<Policy>,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -47,6 +66,12 @@ impl Default for Options {
             query_index: 0,
             save: None,
             load: None,
+            policy_set: false,
+            threads: 0,
+            models: Vec::new(),
+            quants: Vec::new(),
+            policies: Vec::new(),
+            out: None,
         }
     }
 }
@@ -71,11 +96,12 @@ fn main() -> ExitCode {
     match command.as_str() {
         "models" => cmd_models(),
         "evaluate" => cmd_evaluate(&options),
+        "bench" => cmd_bench(&options),
         "trace" => cmd_trace(&options),
         "levels" => cmd_levels(&options),
         other => {
             eprintln!("unknown command {other:?}; try --help");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
 }
@@ -86,12 +112,16 @@ fn print_help() {
          commands:\n  \
          models     list the six calibrated model profiles\n  \
          evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
+         bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
          trace      print the JSON execution trace of one query\n  \
          levels     build the offline search levels; --save FILE / --load FILE\n\n\
          options:\n  \
          --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
          --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
-         --query I (trace only)      --save FILE / --load FILE (levels only)"
+         --query I (trace only)      --save FILE / --load FILE (levels only)\n\n\
+         bench options:\n  \
+         --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
+         --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json"
     );
 }
 
@@ -117,6 +147,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--policy" => {
                 let v = value("--policy")?;
                 options.policy = parse_policy(&v)?;
+                options.policy_set = true;
             }
             "--queries" => {
                 options.queries = value("--queries")?
@@ -135,6 +166,32 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--save" => options.save = Some(value("--save")?),
             "--load" => options.load = Some(value("--load")?),
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer (0 = all cores)".to_owned())?;
+            }
+            "--models" => {
+                options.models = value("--models")?.split(',').map(str::to_owned).collect();
+            }
+            "--quants" => {
+                options.quants = value("--quants")?
+                    .split(',')
+                    .map(|v| {
+                        Quant::ALL
+                            .into_iter()
+                            .find(|q| q.label() == v)
+                            .ok_or_else(|| format!("unknown quant {v:?}"))
+                    })
+                    .collect::<Result<Vec<Quant>, String>>()?;
+            }
+            "--policies" => {
+                options.policies = value("--policies")?
+                    .split(',')
+                    .map(parse_policy)
+                    .collect::<Result<Vec<Policy>, String>>()?;
+            }
+            "--out" => options.out = Some(value("--out")?),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -192,8 +249,7 @@ fn cmd_evaluate(options: &Options) -> ExitCode {
         }
     };
     let levels = SearchLevels::build(&workload);
-    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
-        .with_seed(options.seed);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
     let baseline = evaluate(&pipeline, Policy::Default);
     let metrics = evaluate(&pipeline, options.policy);
     let (time, power) = normalize_against(&baseline, &metrics);
@@ -207,15 +263,127 @@ fn cmd_evaluate(options: &Options) -> ExitCode {
     );
     println!("success rate       {:>8.2}%", 100.0 * metrics.success_rate);
     println!("tool accuracy      {:>8.2}%", 100.0 * metrics.tool_accuracy);
-    println!("avg exec time      {:>8.2} s (norm {:.2}x)", metrics.avg_seconds, time);
-    println!("avg power          {:>8.2} W (norm {:.2}x)", metrics.avg_power_w, power);
+    println!(
+        "avg exec time      {:>8.2} s (norm {:.2}x)",
+        metrics.avg_seconds, time
+    );
+    println!(
+        "avg power          {:>8.2} W (norm {:.2}x)",
+        metrics.avg_power_w, power
+    );
     println!("avg offered tools  {:>8.1}", metrics.avg_offered_tools);
-    println!("level shares       L1 {:.0}% / L2 {:.0}% / L3 {:.0}%  fallback {:.0}%",
+    println!(
+        "level shares       L1 {:.0}% / L2 {:.0}% / L3 {:.0}%  fallback {:.0}%",
         100.0 * metrics.level1_share,
         100.0 * metrics.level2_share,
         100.0 * metrics.level3_share,
         100.0 * metrics.fallback_rate
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(options: &Options) -> ExitCode {
+    use lessismore::bench::experiments::{model_set, run_grid_threads};
+    use lessismore::bench::report::{grid_to_json, pct, ratio, secs, watts, Table};
+    use lessismore::core::resolve_threads;
+
+    let workload = match build_workload(options) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model_names: Vec<&str> = if options.models.is_empty() {
+        vec![options.model.as_str()]
+    } else {
+        options.models.iter().map(String::as_str).collect()
+    };
+    for name in &model_names {
+        if ModelProfile::by_name(name).is_none() {
+            eprintln!("error: unknown model {name:?}; run `lim models`");
+            return ExitCode::FAILURE;
+        }
+    }
+    let models = model_set(&model_names);
+    let quants: Vec<Quant> = if options.quants.is_empty() {
+        vec![options.quant]
+    } else {
+        options.quants.clone()
+    };
+    // All four paper policies unless the sweep was narrowed with
+    // `--policies` or a single `--policy`.
+    let policies: Vec<Policy> = if !options.policies.is_empty() {
+        options.policies.clone()
+    } else if options.policy_set {
+        vec![options.policy]
+    } else {
+        vec![
+            Policy::Default,
+            Policy::Gorilla { k: 3 },
+            Policy::less_is_more(3),
+            Policy::less_is_more(5),
+        ]
+    };
+
+    let threads = resolve_threads(options.threads);
+    let started = std::time::Instant::now();
+    let levels = SearchLevels::build(&workload);
+    let cells = run_grid_threads(
+        &workload,
+        &levels,
+        &models,
+        &quants,
+        &policies,
+        options.seed,
+        threads,
+    );
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new(
+        &format!(
+            "lim bench — {} ({} queries, seed {}, {} threads)",
+            workload.name, options.queries, options.seed, threads
+        ),
+        &[
+            "model", "quant", "policy", "success", "tool acc", "time", "power", "norm t", "norm p",
+        ],
+    );
+    for c in &cells {
+        table.row(&[
+            c.model.clone(),
+            c.quant.to_string(),
+            c.policy.clone(),
+            pct(c.metrics.success_rate),
+            pct(c.metrics.tool_accuracy),
+            secs(c.metrics.avg_seconds),
+            watts(c.metrics.avg_power_w),
+            ratio(c.norm_time),
+            ratio(c.norm_power),
+        ]);
+    }
+    table.print();
+    println!(
+        "swept {} cells x {} queries in {:.2}s wall-clock",
+        cells.len(),
+        options.queries,
+        elapsed.as_secs_f64()
+    );
+
+    if let Some(path) = &options.out {
+        let doc = grid_to_json(
+            &cells,
+            workload.name,
+            options.queries,
+            options.seed,
+            threads,
+        );
+        if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -236,12 +404,14 @@ fn cmd_trace(options: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let levels = SearchLevels::build(&workload);
-    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
-        .with_seed(options.seed);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
     let query = &workload.queries[options.query_index];
     let (result, trace) = pipeline.run_query_traced(query, options.policy);
     let mut doc = trace.to_json();
-    doc.insert("query_text", lessismore::json::Value::from(query.text.as_str()));
+    doc.insert(
+        "query_text",
+        lessismore::json::Value::from(query.text.as_str()),
+    );
     doc.insert("success", lessismore::json::Value::from(result.success));
     doc.insert(
         "seconds",

@@ -78,7 +78,10 @@ fn repeated_evaluation_brackets_the_single_run() {
     // the CI over 8 × 40 queries must bracket a plausible neighbourhood.
     let lo = repeated.success_rate.mean - repeated.success_rate.half_width - 0.1;
     let hi = repeated.success_rate.mean + repeated.success_rate.half_width + 0.1;
-    assert!(lo < 0.3957 && 0.3957 < hi, "CI [{lo:.3}, {hi:.3}] vs paper 0.3957");
+    assert!(
+        lo < 0.3957 && 0.3957 < hi,
+        "CI [{lo:.3}, {hi:.3}] vs paper 0.3957"
+    );
     // Latency CI should be tight (latency varies less than success).
     assert!(repeated.avg_seconds.half_width < repeated.avg_seconds.mean * 0.2);
 }
@@ -89,21 +92,32 @@ fn trace_json_exports_all_steps_of_a_chain() {
     let levels = SearchLevels::build(&workload);
     let model = ModelProfile::by_name("mistral-8b").expect("model exists");
     let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4_1);
-    let query = workload.queries.iter().find(|q| q.steps.len() >= 3).expect("a chain");
+    let query = workload
+        .queries
+        .iter()
+        .find(|q| q.steps.len() >= 3)
+        .expect("a chain");
     let (result, trace) = pipeline.run_query_traced(query, Policy::Default);
     // Default policy never breaks the chain early except on error signal,
     // which cannot happen when all tools are offered.
     assert_eq!(trace.steps.len(), query.steps.len());
     let doc = trace.to_json();
-    let steps = doc.get("steps").and_then(lessismore::json::Value::as_array).expect("steps");
+    let steps = doc
+        .get("steps")
+        .and_then(lessismore::json::Value::as_array)
+        .expect("steps");
     assert_eq!(steps.len(), query.steps.len());
     for (step_doc, gold) in steps.iter().zip(&query.steps) {
         assert_eq!(
-            step_doc.get("expected_tool").and_then(lessismore::json::Value::as_str),
+            step_doc
+                .get("expected_tool")
+                .and_then(lessismore::json::Value::as_str),
             Some(gold.tool.as_str())
         );
         assert_eq!(
-            step_doc.get("offered").and_then(lessismore::json::Value::as_i64),
+            step_doc
+                .get("offered")
+                .and_then(lessismore::json::Value::as_i64),
             Some(46)
         );
     }

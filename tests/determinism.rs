@@ -35,7 +35,11 @@ fn full_evaluations_are_bit_identical() {
     let w = bfcl(13, 40);
     let levels = SearchLevels::build(&w);
     let model = ModelProfile::by_name("phi3-8b").expect("model exists");
-    for policy in [Policy::Default, Policy::Gorilla { k: 3 }, Policy::less_is_more(5)] {
+    for policy in [
+        Policy::Default,
+        Policy::Gorilla { k: 3 },
+        Policy::less_is_more(5),
+    ] {
         let p1 = Pipeline::new(&w, &levels, &model, Quant::Q4_1).with_seed(5);
         let p2 = Pipeline::new(&w, &levels, &model, Quant::Q4_1).with_seed(5);
         let m1 = evaluate(&p1, policy);

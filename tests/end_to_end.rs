@@ -1,7 +1,9 @@
 //! Cross-crate integration: the full offline→online path through the
 //! `lessismore` facade, exercising every substrate together.
 
-use lessismore::core::{ControllerConfig, Pipeline, Policy, SearchLevel, SearchLevels, ToolController};
+use lessismore::core::{
+    ControllerConfig, Pipeline, Policy, SearchLevel, SearchLevels, ToolController,
+};
 use lessismore::embed::Embedder;
 use lessismore::llm::{recommender::recommend_descriptions, ModelProfile, Quant};
 use lessismore::vecstore::VectorIndex;
@@ -96,7 +98,10 @@ fn gold_retrieval_recall_is_high_for_capable_models() {
         let refs: Vec<&str> = descs.iter().map(String::as_str).collect();
         let recs = recommend_descriptions(&model, Quant::Q4KM, &query.text, &refs, i as u64);
         let selection = controller.select(&query.text, &recs);
-        let gold = workload.registry.index_of(&query.steps[0].tool).expect("gold exists");
+        let gold = workload
+            .registry
+            .index_of(&query.steps[0].tool)
+            .expect("gold exists");
         if selection.tool_indices.contains(&gold) {
             hits += 1;
         }
@@ -127,7 +132,11 @@ fn pipeline_runs_all_models_and_quants_without_panic() {
     for model in lessismore::llm::profiles::catalog() {
         for quant in Quant::ALL {
             let pipeline = Pipeline::new(&workload, &levels, &model, quant);
-            for policy in [Policy::Default, Policy::Gorilla { k: 3 }, Policy::less_is_more(3)] {
+            for policy in [
+                Policy::Default,
+                Policy::Gorilla { k: 3 },
+                Policy::less_is_more(3),
+            ] {
                 let results = pipeline.run_all(policy);
                 assert_eq!(results.len(), 6);
                 for r in &results {

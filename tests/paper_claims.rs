@@ -2,7 +2,10 @@
 //! size. These are the same invariants the benchmark harnesses print;
 //! here they gate the test suite.
 
-use lessismore::core::{evaluate, normalize_against, plan_dfsdt, DfsdtConfig, Pipeline, Policy, SearchLevels};
+use lessismore::core::{
+    evaluate, evaluate_parallel, normalize_against, plan_dfsdt, DfsdtConfig, Pipeline, Policy,
+    SearchLevels,
+};
 use lessismore::device::DeviceProfile;
 use lessismore::llm::{ModelProfile, Quant};
 use lessismore::workloads::{bfcl, geoengine};
@@ -32,10 +35,18 @@ fn table1_quant_ordering_reproduces_on_the_full_pipeline() {
     let q4_0 = success(Quant::Q4_0);
     let q4_km = success(Quant::Q4KM);
     let q8_0 = success(Quant::Q8_0);
-    assert!(f16 > q8_0 && q8_0 > q4_0, "f16 {f16:.2} q8 {q8_0:.2} q4_0 {q4_0:.2}");
+    assert!(
+        f16 > q8_0 && q8_0 > q4_0,
+        "f16 {f16:.2} q8 {q8_0:.2} q4_0 {q4_0:.2}"
+    );
     assert!(q4_km > q4_0);
     // Within ±8 points of the paper's absolute numbers.
-    for (got, want) in [(f16, 0.6304), (q4_0, 0.2043), (q4_km, 0.3957), (q8_0, 0.4435)] {
+    for (got, want) in [
+        (f16, 0.6304),
+        (q4_0, 0.2043),
+        (q4_km, 0.3957),
+        (q8_0, 0.4435),
+    ] {
         assert!((got - want).abs() < 0.08, "got {got:.3}, paper {want:.3}");
     }
 }
@@ -60,8 +71,11 @@ fn table2_configuration_ladder_reproduces() {
             .collect::<std::collections::BTreeSet<usize>>()
             .into_iter()
             .collect();
-        for (slot, offered, ctx) in [(0, &all, 16_384u32), (1, &reduced, 16_384), (2, &reduced, 8_192)]
-        {
+        for (slot, offered, ctx) in [
+            (0, &all, 16_384u32),
+            (1, &reduced, 16_384),
+            (2, &reduced, 8_192),
+        ] {
             let r = pipeline.run_query_offered(query, offered, ctx);
             totals[slot].0 += r.cost.seconds;
             totals[slot].1 += r.cost.joules;
@@ -80,6 +94,7 @@ fn table2_configuration_ladder_reproduces() {
 }
 
 #[test]
+#[ignore = "slow full-figure sweep; CI runs it in the ignored-tests job (cargo test -- --ignored)"]
 fn figure2_shape_for_all_six_models() {
     // For every model: LiM is never slower than default, never draws more
     // power, and for every model except Mistral improves success.
@@ -87,8 +102,10 @@ fn figure2_shape_for_all_six_models() {
     let levels = SearchLevels::build(&workload);
     for model in lessismore::llm::profiles::catalog() {
         let pipeline = Pipeline::new(&workload, &levels, &model, Quant::Q4KM).with_seed(SEED);
-        let default = evaluate(&pipeline, Policy::Default);
-        let lim = evaluate(&pipeline, Policy::less_is_more(3));
+        // Sharded evaluation is bit-identical to sequential (see
+        // lim_core::evaluate_parallel), so the sweep can use all cores.
+        let default = evaluate_parallel(&pipeline, Policy::Default, 0);
+        let lim = evaluate_parallel(&pipeline, Policy::less_is_more(3), 0);
         let (time, power) = normalize_against(&default, &lim);
         assert!(time < 0.75, "{}: norm time {time:.2}", model.name);
         assert!(power < 1.0, "{}: norm power {power:.2}", model.name);
@@ -110,6 +127,7 @@ fn figure2_shape_for_all_six_models() {
 }
 
 #[test]
+#[ignore = "slow full-figure sweep; CI runs it in the ignored-tests job (cargo test -- --ignored)"]
 fn figure3_shape_for_the_four_kept_models() {
     let workload = geoengine(SEED, N);
     let levels = SearchLevels::build(&workload);
@@ -124,9 +142,9 @@ fn figure3_shape_for_the_four_kept_models() {
         let mut time_ratio = 0.0;
         for quant in Quant::OLLAMA {
             let pipeline = Pipeline::new(&workload, &levels, &model, quant).with_seed(SEED);
-            let default = evaluate(&pipeline, Policy::Default);
-            let gorilla = evaluate(&pipeline, Policy::Gorilla { k: 3 });
-            let lim = evaluate(&pipeline, Policy::less_is_more(3));
+            let default = evaluate_parallel(&pipeline, Policy::Default, 0);
+            let gorilla = evaluate_parallel(&pipeline, Policy::Gorilla { k: 3 }, 0);
+            let lim = evaluate_parallel(&pipeline, Policy::less_is_more(3), 0);
             d_succ += default.success_rate / 4.0;
             g_succ += gorilla.success_rate / 4.0;
             l_succ += lim.success_rate / 4.0;
@@ -136,7 +154,10 @@ fn figure3_shape_for_the_four_kept_models() {
             l_succ >= d_succ - 0.03,
             "{name}: LiM {l_succ:.3} vs default {d_succ:.3}"
         );
-        assert!(g_succ < l_succ, "{name}: gorilla must lose on sequential chains");
+        assert!(
+            g_succ < l_succ,
+            "{name}: gorilla must lose on sequential chains"
+        );
         // GeoEngine time cuts are present but smaller than BFCL's.
         assert!(time_ratio < 1.05, "{name}: norm time {time_ratio:.2}");
     }
@@ -171,7 +192,14 @@ fn toolllm_gate_reproduces() {
         60.0e-12,
         267.0e-12,
     );
-    assert!(plan_dfsdt(&workload, &llama(), Quant::Q4KM, &small, &DfsdtConfig::default()).is_err());
+    assert!(plan_dfsdt(
+        &workload,
+        &llama(),
+        Quant::Q4KM,
+        &small,
+        &DfsdtConfig::default()
+    )
+    .is_err());
     let plan = plan_dfsdt(
         &workload,
         &llama(),
@@ -180,7 +208,10 @@ fn toolllm_gate_reproduces() {
         &DfsdtConfig::default(),
     )
     .expect("fits on 64 GB");
-    assert!(plan.seconds_per_query > 100.0, "DFSDT must be impractically slow");
+    assert!(
+        plan.seconds_per_query > 100.0,
+        "DFSDT must be impractically slow"
+    );
 }
 
 #[test]
@@ -192,7 +223,11 @@ fn levels_preference_matches_benchmark_structure() {
         &Pipeline::new(&b, &bl, &model, Quant::Q4KM).with_seed(SEED),
         Policy::less_is_more(3),
     );
-    assert!(bfcl_lim.level1_share > 0.5, "BFCL L1 share {:.2}", bfcl_lim.level1_share);
+    assert!(
+        bfcl_lim.level1_share > 0.5,
+        "BFCL L1 share {:.2}",
+        bfcl_lim.level1_share
+    );
 
     let g = geoengine(SEED, N);
     let gl = SearchLevels::build(&g);
@@ -200,5 +235,9 @@ fn levels_preference_matches_benchmark_structure() {
         &Pipeline::new(&g, &gl, &model, Quant::Q4KM).with_seed(SEED),
         Policy::less_is_more(3),
     );
-    assert!(geo_lim.level2_share > 0.5, "Geo L2 share {:.2}", geo_lim.level2_share);
+    assert!(
+        geo_lim.level2_share > 0.5,
+        "Geo L2 share {:.2}",
+        geo_lim.level2_share
+    );
 }
