@@ -1,0 +1,291 @@
+//! Baseline comparison for CI bench-regression gating.
+//!
+//! `lim compare --baseline BENCH_baseline.json --current BENCH_pr.json`
+//! fails a PR when any *tracked* metric regresses by more than the
+//! tolerance (default 10%) against the committed baseline. Two schemas
+//! are understood:
+//!
+//! * `lim-bench/grid-v1` — cells matched by `(model, quant, policy)`;
+//!   tracked: `success_rate`↑, `tool_accuracy`↑, `avg_seconds`↓,
+//!   `avg_power_w`↓.
+//! * `lim-serve/report-v1` — one document; tracked: `success_rate`↑,
+//!   `tool_accuracy`↑, the two cache `hit_rate`s↑ and the
+//!   `latency.p50_s`/`p95_s`/`p99_s` simulated percentiles↓.
+//!
+//! Wall-clock fields (`wall_seconds`, `requests_per_second`, elapsed
+//! sweep time) are never tracked: they vary per runner. Everything
+//! tracked is deterministic for a fixed seed, so on an unchanged tree
+//! the comparison is exact and the tolerance only absorbs *intentional*
+//! model changes.
+
+use lim_json::Value;
+
+/// Whether a metric improves upward or downward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (rates, accuracies).
+    HigherIsBetter,
+    /// Smaller is better (latency, power).
+    LowerIsBetter,
+}
+
+/// One tracked metric that moved past the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which cell / report the metric belongs to.
+    pub context: String,
+    /// Dotted metric path (`"latency.p95_s"`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.4} -> {:.4}",
+            self.context, self.metric, self.baseline, self.current
+        )
+    }
+}
+
+/// Tracked metrics for the grid schema.
+const GRID_METRICS: &[(&str, Direction)] = &[
+    ("success_rate", Direction::HigherIsBetter),
+    ("tool_accuracy", Direction::HigherIsBetter),
+    ("avg_seconds", Direction::LowerIsBetter),
+    ("avg_power_w", Direction::LowerIsBetter),
+];
+
+/// Tracked metrics for the serve schema.
+const SERVE_METRICS: &[(&str, Direction)] = &[
+    ("success_rate", Direction::HigherIsBetter),
+    ("tool_accuracy", Direction::HigherIsBetter),
+    ("caches.embedding.hit_rate", Direction::HigherIsBetter),
+    ("caches.selection.hit_rate", Direction::HigherIsBetter),
+    ("latency.p50_s", Direction::LowerIsBetter),
+    ("latency.p95_s", Direction::LowerIsBetter),
+    ("latency.p99_s", Direction::LowerIsBetter),
+];
+
+/// Whether `current` is worse than `baseline` by more than `tolerance`
+/// (a relative fraction, e.g. `0.10`).
+fn regressed(direction: Direction, baseline: f64, current: f64, tolerance: f64) -> bool {
+    match direction {
+        Direction::HigherIsBetter => current < baseline * (1.0 - tolerance) - 1e-12,
+        Direction::LowerIsBetter => current > baseline * (1.0 + tolerance) + 1e-12,
+    }
+}
+
+/// Resolves a dotted path (`"latency.p95_s"`) inside a JSON object.
+fn lookup(doc: &Value, path: &str) -> Option<f64> {
+    let mut node = doc;
+    for part in path.split('.') {
+        node = node.get(part)?;
+    }
+    node.as_f64()
+}
+
+/// Compares two `BENCH_*.json` documents of the same schema.
+///
+/// Returns the tracked metrics that regressed beyond `tolerance` (empty
+/// = gate passes). Baseline cells missing from `current` are reported as
+/// regressions — a silently dropped cell must not pass CI. Cells only in
+/// `current` are ignored (adding coverage is always allowed).
+///
+/// # Errors
+///
+/// Returns a message when the schemas disagree, are unknown, or a
+/// tracked metric is missing from a matched document.
+pub fn compare_documents(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let schema = |doc: &Value, which: &str| {
+        doc.get("schema")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or(format!("{which} document has no schema field"))
+    };
+    let base_schema = schema(baseline, "baseline")?;
+    let curr_schema = schema(current, "current")?;
+    if base_schema != curr_schema {
+        return Err(format!(
+            "schema mismatch: baseline {base_schema:?} vs current {curr_schema:?}"
+        ));
+    }
+    match base_schema.as_str() {
+        "lim-bench/grid-v1" => compare_grids(baseline, current, tolerance),
+        "lim-serve/report-v1" => {
+            compare_tracked(baseline, current, SERVE_METRICS, "serve", tolerance)
+        }
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+fn cell_key(cell: &Value) -> Option<String> {
+    Some(format!(
+        "{}/{}/{}",
+        cell.get("model").and_then(Value::as_str)?,
+        cell.get("quant").and_then(Value::as_str)?,
+        cell.get("policy").and_then(Value::as_str)?,
+    ))
+}
+
+fn compare_grids(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let cells = |doc: &Value, which: &str| {
+        doc.get("cells")
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .ok_or(format!("{which} grid has no cells"))
+    };
+    let base_cells = cells(baseline, "baseline")?;
+    let curr_cells = cells(current, "current")?;
+    let mut regressions = Vec::new();
+    for base_cell in &base_cells {
+        let key = cell_key(base_cell).ok_or("baseline cell missing model/quant/policy")?;
+        let Some(curr_cell) = curr_cells
+            .iter()
+            .find(|c| cell_key(c).as_deref() == Some(key.as_str()))
+        else {
+            regressions.push(Regression {
+                context: key,
+                metric: "<cell>".into(),
+                baseline: 1.0,
+                current: 0.0,
+            });
+            continue;
+        };
+        regressions.extend(compare_tracked(
+            base_cell,
+            curr_cell,
+            GRID_METRICS,
+            &key,
+            tolerance,
+        )?);
+    }
+    Ok(regressions)
+}
+
+fn compare_tracked(
+    baseline: &Value,
+    current: &Value,
+    metrics: &[(&str, Direction)],
+    context: &str,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let mut regressions = Vec::new();
+    for (metric, direction) in metrics {
+        let base = lookup(baseline, metric)
+            .ok_or_else(|| format!("{context}: baseline missing {metric}"))?;
+        let curr = lookup(current, metric)
+            .ok_or_else(|| format!("{context}: current missing {metric}"))?;
+        if regressed(*direction, base, curr, tolerance) {
+            regressions.push(Regression {
+                context: context.to_owned(),
+                metric: (*metric).to_owned(),
+                baseline: base,
+                current: curr,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_doc(success: f64, seconds: f64) -> Value {
+        lim_json::parse(&format!(
+            r#"{{"schema":"lim-bench/grid-v1","cells":[
+                {{"model":"m","quant":"q4_K_M","policy":"lim-k3",
+                  "success_rate":{success},"tool_accuracy":0.6,
+                  "avg_seconds":{seconds},"avg_power_w":21.0}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_grids_pass() {
+        let doc = grid_doc(0.5, 10.0);
+        assert!(compare_documents(&doc, &doc, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let base = grid_doc(0.50, 10.0);
+        let curr = grid_doc(0.46, 10.8);
+        assert!(compare_documents(&base, &curr, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_regressions_fail_in_both_directions() {
+        let base = grid_doc(0.50, 10.0);
+        let slower = grid_doc(0.50, 11.5);
+        let worse = grid_doc(0.40, 10.0);
+        let r = compare_documents(&base, &slower, 0.10).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "avg_seconds");
+        let r = compare_documents(&base, &worse, 0.10).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "success_rate");
+        assert!(r[0].to_string().contains("success_rate"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = grid_doc(0.50, 10.0);
+        let better = grid_doc(0.80, 3.0);
+        assert!(compare_documents(&base, &better, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dropped_cells_are_regressions() {
+        let base = grid_doc(0.5, 10.0);
+        let empty = lim_json::parse(r#"{"schema":"lim-bench/grid-v1","cells":[]}"#).unwrap();
+        let r = compare_documents(&base, &empty, 0.10).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "<cell>");
+    }
+
+    #[test]
+    fn schema_mismatch_and_missing_metrics_error() {
+        let grid = grid_doc(0.5, 10.0);
+        let serve = lim_json::parse(r#"{"schema":"lim-serve/report-v1"}"#).unwrap();
+        assert!(compare_documents(&grid, &serve, 0.1).is_err());
+        assert!(compare_documents(&serve, &serve, 0.1).is_err()); // missing metrics
+        let unknown = lim_json::parse(r#"{"schema":"x/y"}"#).unwrap();
+        assert!(compare_documents(&unknown, &unknown, 0.1).is_err());
+    }
+
+    #[test]
+    fn serve_reports_compare_nested_paths() {
+        let mk = |hit: f64, p95: f64| {
+            lim_json::parse(&format!(
+                r#"{{"schema":"lim-serve/report-v1","success_rate":0.5,
+                    "tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":{hit}}},
+                               "selection":{{"hit_rate":0.7}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":{p95},"p99_s":30.0}}}}"#
+            ))
+            .unwrap()
+        };
+        let base = mk(0.70, 20.0);
+        assert!(compare_documents(&base, &mk(0.69, 20.0), 0.10)
+            .unwrap()
+            .is_empty());
+        let r = compare_documents(&base, &mk(0.50, 25.0), 0.10).unwrap();
+        let metrics: Vec<&str> = r.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"caches.embedding.hit_rate"));
+        assert!(metrics.contains(&"latency.p95_s"));
+    }
+}

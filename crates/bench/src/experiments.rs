@@ -43,7 +43,7 @@ pub fn run_grid(
 /// [`run_grid`] with each cell's query batch sharded across `threads`
 /// worker threads (0 = available parallelism).
 ///
-/// Because [`evaluate_parallel`] is bit-identical to [`evaluate`], the
+/// Because [`evaluate_parallel`] is bit-identical to [`lim_core::evaluate`], the
 /// returned cells match the sequential sweep exactly — harnesses can use
 /// all cores without perturbing a single table or figure number.
 pub fn run_grid_threads(

@@ -3,9 +3,11 @@
 //! Every table and figure of the paper has a `[[bench]]` target (with
 //! `harness = false`) that prints the regenerated rows next to the paper's
 //! reported values. This crate holds the pieces those targets share: an
-//! ASCII table renderer ([`report`]) and the grid runner that sweeps
-//! (model × quant × policy) cells ([`experiments`]).
+//! ASCII table renderer ([`report`]), the grid runner that sweeps
+//! (model × quant × policy) cells ([`experiments`]), and the baseline
+//! comparison behind CI's bench-regression gate ([`compare`]).
 
+pub mod compare;
 pub mod experiments;
 pub mod report;
 

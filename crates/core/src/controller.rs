@@ -100,19 +100,30 @@ impl<'a> ToolController<'a> {
     /// both means fall below the confidence threshold the controller
     /// defaults to presenting all tools (Level 3).
     pub fn select(&self, query: &str, recommendations: &[String]) -> ToolSelection {
-        if recommendations.is_empty() {
+        let embedder = self.levels.embedder();
+        let contexts: Vec<lim_embed::Embedding> = recommendations
+            .iter()
+            .map(|rec| embedder.embed_with_context(query, rec))
+            .collect();
+        self.select_embedded(&contexts)
+    }
+
+    /// [`ToolController::select`] with the `Ẽ` context embeddings already
+    /// computed — the entry point for callers that cache them (the serving
+    /// engine's query-embedding cache feeds this directly, skipping the
+    /// encoder on a hit).
+    pub fn select_embedded(&self, contexts: &[lim_embed::Embedding]) -> ToolSelection {
+        if contexts.is_empty() {
             return self.full_selection(0.0, 0.0);
         }
         let k = self.config.k.max(1);
-        let embedder = self.levels.embedder();
 
         let mut l1_best = Vec::new();
         let mut l1_tools: Vec<usize> = Vec::new();
         let mut l2_best = Vec::new();
         let mut l2_clusters: Vec<(usize, f32)> = Vec::new();
 
-        for rec in recommendations {
-            let embedding = embedder.embed_with_context(query, rec);
+        for embedding in contexts {
             let l1_hits = self.levels.tool_index().search(embedding.as_slice(), k);
             if let Some(top) = l1_hits.first() {
                 l1_best.push(top.score);
@@ -340,5 +351,21 @@ mod tests {
         let c = ToolController::new(&levels, ControllerConfig::default());
         let recs = vec!["detects ships in maritime imagery".to_string()];
         assert_eq!(c.select("find ships", &recs), c.select("find ships", &recs));
+    }
+
+    #[test]
+    fn select_embedded_matches_select() {
+        // The serving engine caches the `Ẽ` embeddings and calls
+        // `select_embedded` directly; the two entry points must agree.
+        let w = bfcl(5, 30);
+        let levels = SearchLevels::build(&w);
+        let c = ToolController::new(&levels, ControllerConfig::with_k(3));
+        let query = "What's the weather like in Paris right now?";
+        let recs = vec!["fetches the current weather conditions for a city".to_string()];
+        let contexts: Vec<lim_embed::Embedding> = recs
+            .iter()
+            .map(|r| levels.embedder().embed_with_context(query, r))
+            .collect();
+        assert_eq!(c.select(query, &recs), c.select_embedded(&contexts));
     }
 }

@@ -51,7 +51,9 @@ pub use metrics::{
 };
 pub use parallel::{evaluate_parallel, resolve_threads, shard_bounds, sharded_map};
 pub use persist::{load_levels, save_levels, LoadLevelsError};
-pub use pipeline::{Pipeline, Policy, QueryResult, QueryTrace, StepTrace};
+pub use pipeline::{
+    Pipeline, Policy, QueryResult, QueryTrace, StepTrace, DEFAULT_CONTEXT, REDUCED_CONTEXT,
+};
 pub use toolllm::{plan_dfsdt, DfsdtConfig, DfsdtPlan};
 
 #[cfg(test)]

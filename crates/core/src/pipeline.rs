@@ -208,11 +208,7 @@ impl<'a> Pipeline<'a> {
             }
             Policy::LessIsMore { config } => {
                 // Recommender inference (no tools attached — §III-B).
-                let rec_request = InferenceRequest {
-                    prompt_tokens: tokens::recommender_prompt_tokens(&query.text),
-                    decode_tokens: self.model.recommend_tokens,
-                    context_tokens: REDUCED_CONTEXT,
-                };
+                let rec_request = self.recommender_request(&query.text);
                 for phase in phases(self.model, self.quant, &rec_request) {
                     let cost = self.device.run_phase(&phase);
                     recommender_seconds += cost.seconds;
@@ -414,6 +410,28 @@ impl<'a> Pipeline<'a> {
             offered_tools: offered.len(),
             fell_back: false,
         }
+    }
+
+    /// The inference request one recommender call issues for `query_text`
+    /// (no tools attached, reduced context — §III-B).
+    fn recommender_request(&self, query_text: &str) -> InferenceRequest {
+        InferenceRequest {
+            prompt_tokens: tokens::recommender_prompt_tokens(query_text),
+            decode_tokens: self.model.recommend_tokens,
+            context_tokens: REDUCED_CONTEXT,
+        }
+    }
+
+    /// Device cost of one recommender inference for `query_text` — what a
+    /// Less-is-More selection pays *before* any agent call. Serving-layer
+    /// callers (see `lim-serve`) bill this on tool-selection cache misses.
+    pub fn recommender_cost(&self, query_text: &str) -> QueryCost {
+        let mut meter = EnergyMeter::new();
+        let request = self.recommender_request(query_text);
+        for phase in phases(self.model, self.quant, &request) {
+            meter.record(self.device.run_phase(&phase));
+        }
+        meter.total()
     }
 
     /// See [`Pipeline::run_query_traced`]; this is the helper that builds
@@ -656,6 +674,17 @@ mod tests {
             rec_avg < 0.5 * default_avg,
             "recommender {rec_avg:.2}s vs default query {default_avg:.2}s"
         );
+    }
+
+    #[test]
+    fn recommender_cost_matches_pipeline_accounting() {
+        let (w, levels, model) = setup(false);
+        let p = Pipeline::new(&w, &levels, &model, Quant::Q4KM);
+        let q = &w.queries[0];
+        let r = p.run_query(q, Policy::less_is_more(3));
+        let cost = p.recommender_cost(&q.text);
+        assert!((cost.seconds - r.recommender_seconds).abs() < 1e-12);
+        assert!(cost.joules > 0.0);
     }
 
     #[test]

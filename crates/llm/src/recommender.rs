@@ -35,6 +35,26 @@ const FILLER: [&str; 8] = [
 /// echo at least the gist of what they plan to do.
 const FLOOR_RETENTION: f64 = 0.35;
 
+/// Derives a deterministic recommender seed from the text itself (64-bit
+/// FNV-1a).
+///
+/// Batch evaluation seeds the recommender per *query id*, which is right
+/// for statistics but wrong for serving: a cache keyed by the normalized
+/// query text must see identical recommender output whenever the same
+/// text recurs under a different id or session. Seeding by the text makes
+/// [`recommend_descriptions`] a pure function of
+/// `(model, quant, text, functionality)` — exactly the property the
+/// `lim-serve` selection memo needs to stay bit-identical with and
+/// without cache hits.
+pub fn stable_text_seed(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
 /// Produces the recommender's "ideal tool" descriptions for a query.
 ///
 /// `needed_functionality` holds one ground-truth functionality string per
@@ -102,6 +122,13 @@ mod tests {
 
     const FUNC: &str =
         "fetches current weather conditions and forecast data for a given city and date range";
+
+    #[test]
+    fn stable_text_seed_is_pure_and_discriminating() {
+        assert_eq!(stable_text_seed("weather"), stable_text_seed("weather"));
+        assert_ne!(stable_text_seed("weather"), stable_text_seed("Weather"));
+        assert_ne!(stable_text_seed(""), stable_text_seed(" "));
+    }
 
     #[test]
     fn output_count_matches_steps() {

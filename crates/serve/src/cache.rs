@@ -1,0 +1,302 @@
+//! The seeded-LRU cache used for query embeddings and selection memos.
+//!
+//! Serving needs *deterministic* cache behaviour: the engine plans every
+//! request's hit/miss outcome in canonical arrival order before any
+//! parallel work starts, so the cache must be a plain sequential data
+//! structure with exact LRU eviction — no clocks, no sampling, no hash
+//! iteration order. Entries can be **reserved** (key present, value still
+//! being computed) and **filled** later, which is how the engine overlaps
+//! a sequential cache plan with parallel value computation, and **seeded**
+//! up front with warm entries (hence "seeded-LRU": the engine pre-loads
+//! the training queries' embeddings at startup so the first requests of a
+//! cold trace already find warm state).
+
+/// Monotonic counters a cache accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found the key (filled or reserved).
+    pub hits: u64,
+    /// Lookups that missed and reserved a slot.
+    pub misses: u64,
+    /// Values written (fills and seeds).
+    pub insertions: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// Outcome of [`LruCache::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup<V> {
+    /// Key present with a computed value.
+    Hit(V),
+    /// Key present but its value is still being computed (reserved earlier
+    /// in the same planning pass).
+    Reserved,
+    /// Key absent; a slot was reserved for it.
+    Miss,
+}
+
+/// Sentinel for "no slot" in the recency list.
+const NONE: usize = usize::MAX;
+
+/// One arena slot of the recency list.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: String,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A deterministic LRU cache over string keys.
+///
+/// A hash index maps keys to arena slots threaded on an intrusive
+/// doubly-linked recency list (head = most recent), so every operation is
+/// O(1) — the sequential plan stage stays linear in the number of
+/// requests regardless of capacity. Eviction order is exact LRU and never
+/// depends on hash iteration order: the victim is always the list tail.
+#[derive(Debug, Clone)]
+pub struct LruCache<V> {
+    capacity: usize,
+    index: std::collections::HashMap<String, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            index: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recent position).
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Inserts a new entry at the front, evicting the tail if full.
+    fn insert_front(&mut self, key: String, value: Option<V>) {
+        if self.index.len() == self.capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            self.index.remove(&self.slots[victim].key);
+            self.slots[victim].value = None;
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot].key.clone_from(&key);
+                self.slots[slot].value = value;
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.attach_front(slot);
+        self.index.insert(key, slot);
+    }
+
+    /// Looks `key` up, refreshing its recency. On a miss, reserves a slot
+    /// for the key (evicting the least recently used entry if full) so a
+    /// later [`LruCache::fill`] can complete it.
+    pub fn lookup(&mut self, key: &str) -> Lookup<V> {
+        if let Some(&slot) = self.index.get(key) {
+            self.detach(slot);
+            self.attach_front(slot);
+            self.stats.hits += 1;
+            return match &self.slots[slot].value {
+                Some(v) => Lookup::Hit(v.clone()),
+                None => Lookup::Reserved,
+            };
+        }
+        self.stats.misses += 1;
+        self.insert_front(key.to_owned(), None);
+        Lookup::Miss
+    }
+
+    /// Writes the computed value for a previously reserved `key`. A no-op
+    /// if the reservation was evicted in the meantime (the value is simply
+    /// recomputed on the next miss) or already filled.
+    pub fn fill(&mut self, key: &str, value: V) {
+        if let Some(&slot) = self.index.get(key) {
+            if self.slots[slot].value.is_none() {
+                self.slots[slot].value = Some(value);
+                self.stats.insertions += 1;
+            }
+        }
+    }
+
+    /// Seeds a warm entry without counting a miss (startup pre-warming).
+    /// Refreshes recency if the key already exists.
+    pub fn seed(&mut self, key: String, value: V) {
+        if let Some(&slot) = self.index.get(key.as_str()) {
+            self.detach(slot);
+            self.attach_front(slot);
+            self.slots[slot].value = Some(value);
+            return;
+        }
+        self.insert_front(key, Some(value));
+        self.stats.insertions += 1;
+    }
+
+    /// Number of resident entries (filled or reserved).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        assert_eq!(c.lookup("a"), Lookup::Miss);
+        assert_eq!(c.lookup("a"), Lookup::Reserved);
+        c.fill("a", 7);
+        assert_eq!(c.lookup("a"), Lookup::Hit(7));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_exact_lru() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.seed("a".into(), 1);
+        c.seed("b".into(), 2);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(c.lookup("a"), Lookup::Hit(1));
+        assert_eq!(c.lookup("c"), Lookup::Miss); // evicts "b"
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup("b"), Lookup::Miss); // gone → evicts "a"
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn fill_after_eviction_is_a_noop() {
+        let mut c: LruCache<u32> = LruCache::new(1);
+        assert_eq!(c.lookup("a"), Lookup::Miss);
+        assert_eq!(c.lookup("b"), Lookup::Miss); // evicts reserved "a"
+        c.fill("a", 9);
+        assert_eq!(c.lookup("a"), Lookup::Miss); // still absent (evicts "b")
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn seeding_counts_insertions_not_hits() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.seed("warm".into(), 5);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 0, 1));
+        assert_eq!(c.lookup("warm"), Lookup::Hit(5));
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.seed("a".into(), 1);
+        let before = c.stats();
+        let _ = c.lookup("a");
+        let _ = c.lookup("x");
+        let delta = c.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (1, 1));
+        assert_eq!(delta.insertions, 0);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 0,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,742 @@
+//! The long-lived serving engine.
+//!
+//! # Determinism by construction
+//!
+//! [`ServeEngine::process_trace`] must produce bit-identical accuracy and
+//! cache numbers for every worker count. Shared mutable caches under a
+//! lock would make hit/miss patterns depend on thread interleaving, so
+//! the engine splits a trace into four stages instead:
+//!
+//! 1. **Plan** (sequential, cheap): walk the requests in canonical
+//!    arrival order, resolve the per-session fast path and both caches on
+//!    normalized-text keys only, and record each request's hit class plus
+//!    a slot into a dense table of *unique* selection jobs. Cache state
+//!    evolves exactly as a sequential server would evolve it.
+//! 2. **Compute** (parallel): run the unique selection jobs — recommender
+//!    simulation, `Ẽ` embeddings, k-NN arbitration — over
+//!    [`lim_core::sharded_map`]. Every job is a pure function of the
+//!    normalized query, so shard boundaries cannot change values.
+//! 3. **Fill** (sequential): write computed values into the reserved
+//!    cache slots so the next trace (the engine is long-lived) starts
+//!    warm.
+//! 4. **Execute** (parallel): run every request's gold chain with its
+//!    resolved tool selection via [`Pipeline::run_query_offered`], again
+//!    over `sharded_map`, and bill per-request simulated latency.
+//!
+//! Stages 2 and 4 carry all the heavy work; stage 1 is string hashing and
+//! O(1) cache bookkeeping.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lim_core::{
+    resolve_threads, sharded_map, Pipeline, Policy, SearchLevel, SearchLevels, ToolController,
+    ToolSelection, DEFAULT_CONTEXT, REDUCED_CONTEXT,
+};
+use lim_embed::Embedding;
+use lim_llm::recommender::{recommend_descriptions, stable_text_seed};
+use lim_llm::{ModelProfile, Quant};
+use lim_vecstore::VectorIndex;
+use lim_workloads::trace::SessionTrace;
+use lim_workloads::{Query, Workload};
+
+use crate::cache::{CacheStats, Lookup, LruCache};
+use crate::report::{LatencyStats, ServeReport};
+
+/// Serving-engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Tool-presentation policy served to every request.
+    pub policy: Policy,
+    /// Quantization of the served model.
+    pub quant: Quant,
+    /// Base seed for the agent-call draws (the pipeline seed).
+    pub seed: u64,
+    /// Capacity of the query-embedding cache.
+    pub embed_cache_capacity: usize,
+    /// Capacity of the tool-selection memo.
+    pub memo_capacity: usize,
+    /// Simulated seconds to encode one text with the sentence embedder.
+    pub embed_seconds_per_text: f64,
+    /// Simulated seconds for one k-NN probe against one search level.
+    pub knn_seconds_per_level: f64,
+    /// Pre-warm the embedding cache with the training queries at startup.
+    pub prewarm: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            policy: Policy::less_is_more(3),
+            quant: Quant::Q4KM,
+            seed: 0x5E37_E500, // "serve"
+            embed_cache_capacity: 1024,
+            memo_capacity: 4096,
+            embed_seconds_per_text: 0.004,
+            knn_seconds_per_level: 0.0008,
+            prewarm: true,
+        }
+    }
+}
+
+/// Cached latent footprint of one normalized query: the recommender's
+/// descriptions plus their `Ẽ` context embeddings (and the plain query
+/// embedding, which the Gorilla policy retrieves with).
+#[derive(Debug, Clone)]
+pub struct QueryEmbeddings {
+    /// Embedding of the query text itself.
+    pub query: Embedding,
+    /// Recommender output (empty for non-LiM policies).
+    pub recommendations: Vec<String>,
+    /// One `Ẽ` context embedding per recommendation.
+    pub contexts: Vec<Embedding>,
+}
+
+/// Long-lived state for one serving session.
+#[derive(Debug, Clone, Default)]
+struct SessionState {
+    /// Memo key of the session's previous request.
+    last_key: Option<String>,
+    /// Resolved selection source of that request.
+    last_selection: Option<SelectionSource>,
+}
+
+/// Where a request's tool selection comes from.
+#[derive(Debug, Clone)]
+enum SelectionSource {
+    /// Policy needs no selection (vanilla full-catalog calling).
+    FullCatalog,
+    /// Value already resident in the memo.
+    Ready(Arc<ToolSelection>),
+    /// Slot in this trace's unique-job table.
+    Pending(usize),
+}
+
+/// Selection-overhead class a request is billed for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CostClass {
+    /// Session fast path or memo hit: lookup only, no simulated cost.
+    Free,
+    /// Embedding-cache hit: pay only the k-NN arbitration.
+    KnnOnly,
+    /// Cold miss: pay recommender + embeddings + k-NN.
+    Cold,
+}
+
+/// One planned request, produced by stage 1.
+#[derive(Debug, Clone)]
+struct PlannedRequest {
+    query_index: usize,
+    source: SelectionSource,
+    cost: CostClass,
+}
+
+/// One unique selection job, produced by stage 1 and run by stage 2.
+#[derive(Debug, Clone)]
+struct SelectionJob {
+    key: String,
+    /// First request that demanded the key (supplies the query text).
+    query_index: usize,
+    /// Embeddings recovered from the cache, if the embed lookup hit.
+    cached_embeddings: Option<Arc<QueryEmbeddings>>,
+    /// A refill for an evicted embedding entry whose memo entry is still
+    /// resident: the cold-path cost is never billed, so the recommender
+    /// cost simulation can be skipped.
+    embeddings_only: bool,
+}
+
+/// Output of one selection job.
+struct ComputedSelection {
+    embeddings: Arc<QueryEmbeddings>,
+    selection: Arc<ToolSelection>,
+    /// Simulated seconds for the cold path (recommender + embed + k-NN).
+    cold_seconds: f64,
+    /// Simulated seconds when only the k-NN arbitration runs.
+    knn_seconds: f64,
+    /// Joules billed on the cold path (recommender inference).
+    cold_joules: f64,
+}
+
+/// Per-request outcome used for aggregation.
+struct RequestOutcome {
+    success: bool,
+    tool_correct: bool,
+    offered_tools: usize,
+    level: Option<SearchLevel>,
+    seconds: f64,
+    joules: f64,
+}
+
+/// A long-lived serving engine: owns the catalog, the embedder and the
+/// search-level indexes (Arc-shared, read-only), and keeps caches and
+/// per-session controller state warm across traces.
+///
+/// # Examples
+///
+/// ```
+/// use lim_serve::{ServeConfig, ServeEngine};
+/// use lim_workloads::trace::{zipf_trace, TraceConfig};
+///
+/// let workload = lim_workloads::bfcl(7, 40);
+/// let trace = zipf_trace(&workload, &TraceConfig::default());
+/// let model = lim_llm::ModelProfile::by_name("llama3.1-8b").expect("model exists");
+/// let mut engine = ServeEngine::new(workload, model, ServeConfig::default());
+/// let report = engine.process_trace(&trace, 2).expect("trace matches workload");
+/// assert_eq!(report.requests, trace.requests());
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    workload: Arc<Workload>,
+    levels: Arc<SearchLevels>,
+    model: ModelProfile,
+    config: ServeConfig,
+    embed_cache: LruCache<Arc<QueryEmbeddings>>,
+    memo: LruCache<Arc<ToolSelection>>,
+    sessions: HashMap<u64, SessionState>,
+    session_fast_hits: u64,
+    requests_served: u64,
+}
+
+impl ServeEngine {
+    /// Builds the offline search levels and starts a warm engine.
+    pub fn new(workload: Workload, model: ModelProfile, config: ServeConfig) -> Self {
+        let levels = SearchLevels::build(&workload);
+        Self::with_levels(workload, levels, model, config)
+    }
+
+    /// Starts an engine over prebuilt levels (e.g. loaded from a
+    /// persisted artifact).
+    pub fn with_levels(
+        workload: Workload,
+        levels: SearchLevels,
+        model: ModelProfile,
+        config: ServeConfig,
+    ) -> Self {
+        let mut engine = Self {
+            workload: Arc::new(workload),
+            levels: Arc::new(levels),
+            model,
+            config,
+            embed_cache: LruCache::new(config.embed_cache_capacity),
+            memo: LruCache::new(config.memo_capacity),
+            sessions: HashMap::new(),
+            session_fast_hits: 0,
+            requests_served: 0,
+        };
+        // Vanilla full-catalog calling never consults the caches, so
+        // pre-warming would be pure startup waste.
+        if config.prewarm && !matches!(config.policy, Policy::Default) {
+            engine.prewarm_from_training_pool();
+        }
+        engine
+    }
+
+    /// The engine's shared, read-only search levels. Cloning the `Arc` is
+    /// how additional readers (metrics exporters, debug endpoints) attach
+    /// without copying an index.
+    pub fn levels(&self) -> Arc<SearchLevels> {
+        Arc::clone(&self.levels)
+    }
+
+    /// The workload (catalog + query pool) the engine serves.
+    pub fn workload(&self) -> Arc<Workload> {
+        Arc::clone(&self.workload)
+    }
+
+    /// Lifetime counters of the embedding cache.
+    pub fn embed_cache_stats(&self) -> CacheStats {
+        self.embed_cache.stats()
+    }
+
+    /// Lifetime counters of the selection memo.
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+
+    /// Total requests served since startup.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Seeds the embedding cache with the training pool so a cold trace
+    /// starts against warm state (the "seeded" in seeded-LRU).
+    fn prewarm_from_training_pool(&mut self) {
+        let workload = Arc::clone(&self.workload);
+        for query in &workload.train_queries {
+            let key = normalize_query(&query.text);
+            let embeddings = Arc::new(self.build_embeddings(query));
+            self.embed_cache.seed(key, embeddings);
+        }
+    }
+
+    /// The memo key: normalized query text qualified by policy and level
+    /// configuration, so a reconfigured engine never reads stale entries.
+    fn memo_key(&self, normalized: &str) -> String {
+        let levels_tag = match self.config.policy {
+            Policy::LessIsMore { config } => {
+                format!("L12-t{:08x}", config.fallback_threshold.to_bits())
+            }
+            Policy::Gorilla { .. } => "L1".to_owned(),
+            Policy::Default => "L3".to_owned(),
+        };
+        format!(
+            "{}|{}|{}",
+            self.config.policy.label(),
+            levels_tag,
+            normalized
+        )
+    }
+
+    /// Computes the latent footprint of one query (stage-2 work).
+    ///
+    /// Everything here derives from the *normalized* text — the cache
+    /// key — never the raw text: two queries differing only in case or
+    /// punctuation must alias to byte-identical embeddings, or a cache
+    /// hit could return something a miss would not have computed.
+    fn build_embeddings(&self, query: &Query) -> QueryEmbeddings {
+        let embedder = self.levels.embedder();
+        let normalized = normalize_query(&query.text);
+        let query_embedding = embedder.embed(&normalized);
+        match self.config.policy {
+            Policy::LessIsMore { .. } => {
+                let gold: Vec<String> = query
+                    .steps
+                    .iter()
+                    .filter_map(|s| self.workload.registry.get_by_name(&s.tool))
+                    .map(|t| t.description().to_owned())
+                    .collect();
+                let gold_refs: Vec<&str> = gold.iter().map(String::as_str).collect();
+                let recommendations = recommend_descriptions(
+                    &self.model,
+                    self.config.quant,
+                    &normalized,
+                    &gold_refs,
+                    stable_text_seed(&normalized),
+                );
+                let contexts = recommendations
+                    .iter()
+                    .map(|rec| embedder.embed_with_context(&normalized, rec))
+                    .collect();
+                QueryEmbeddings {
+                    query: query_embedding,
+                    recommendations,
+                    contexts,
+                }
+            }
+            _ => QueryEmbeddings {
+                query: query_embedding,
+                recommendations: Vec::new(),
+                contexts: Vec::new(),
+            },
+        }
+    }
+
+    /// Arbitrates a selection from cached or fresh embeddings.
+    fn arbitrate(&self, embeddings: &QueryEmbeddings) -> ToolSelection {
+        match self.config.policy {
+            Policy::LessIsMore { config } => {
+                let controller = ToolController::new(&self.levels, config);
+                controller.select_embedded(&embeddings.contexts)
+            }
+            Policy::Gorilla { k } => {
+                let hits = self
+                    .levels
+                    .tool_index()
+                    .search(embeddings.query.as_slice(), k);
+                ToolSelection {
+                    level: SearchLevel::Individual,
+                    tool_indices: hits.iter().map(|h| h.id as usize).collect(),
+                    level1_score: 0.0,
+                    level2_score: 0.0,
+                }
+            }
+            Policy::Default => ToolSelection {
+                level: SearchLevel::Full,
+                tool_indices: self.levels.full_level(),
+                level1_score: 0.0,
+                level2_score: 0.0,
+            },
+        }
+    }
+
+    /// Replays a session trace across `workers` worker threads
+    /// (0 = available parallelism) and reports accuracy, latency
+    /// percentiles and cache behaviour.
+    ///
+    /// Accuracy, latency and cache numbers are bit-identical for every
+    /// worker count; only wall-clock throughput varies.
+    ///
+    /// # Errors
+    ///
+    /// Rejects traces generated for a different benchmark or referencing
+    /// query indices outside the engine's pool.
+    pub fn process_trace(
+        &mut self,
+        trace: &SessionTrace,
+        workers: usize,
+    ) -> Result<ServeReport, String> {
+        if trace.benchmark != self.workload.name {
+            return Err(format!(
+                "trace was generated for {:?} but the engine serves {:?}",
+                trace.benchmark, self.workload.name
+            ));
+        }
+        let pool = self.workload.queries.len();
+        if let Some(bad) = trace
+            .sessions
+            .iter()
+            .flat_map(|s| s.query_indices.iter())
+            .find(|q| **q >= pool)
+        {
+            return Err(format!("trace query index {bad} out of range (0..{pool})"));
+        }
+
+        let workers = resolve_threads(workers);
+        let started = std::time::Instant::now();
+        let embed_before = self.embed_cache.stats();
+        let memo_before = self.memo.stats();
+        let session_fast_before = self.session_fast_hits;
+
+        // A `Pending` selection indexes the *previous* trace's job table;
+        // resuming sessions must re-resolve through the memo instead.
+        for state in self.sessions.values_mut() {
+            if matches!(state.last_selection, Some(SelectionSource::Pending(_))) {
+                state.last_key = None;
+                state.last_selection = None;
+            }
+        }
+
+        // ---- Stage 1: sequential cache plan.
+        let (planned, jobs) = self.plan(trace);
+
+        // ---- Stage 2: parallel unique-selection compute.
+        let pipeline = Pipeline::new(&self.workload, &self.levels, &self.model, self.config.quant)
+            .with_seed(self.config.seed);
+        let computed: Vec<ComputedSelection> = sharded_map(&jobs, workers, |_, job| {
+            self.run_selection_job(&pipeline, job)
+        });
+
+        // ---- Stage 3: sequential cache fill (keeps the engine warm for
+        // the next trace). Fills are unconditional: `fill` no-ops on
+        // already-filled slots, and a key whose embed entry was evicted
+        // and re-reserved mid-trace must not be left valueless.
+        for (job, result) in jobs.iter().zip(&computed) {
+            self.embed_cache
+                .fill(&job.key, Arc::clone(&result.embeddings));
+            self.memo
+                .fill(&self.memo_key(&job.key), Arc::clone(&result.selection));
+        }
+
+        // ---- Stage 4: parallel chain execution.
+        let outcomes: Vec<RequestOutcome> = sharded_map(&planned, workers, |_, request| {
+            self.execute_request(&pipeline, request, &computed)
+        });
+
+        let wall_seconds = started.elapsed().as_secs_f64();
+        self.requests_served += planned.len() as u64;
+        Ok(self.aggregate(
+            trace,
+            workers,
+            &outcomes,
+            embed_before,
+            memo_before,
+            session_fast_before,
+            wall_seconds,
+        ))
+    }
+
+    /// Stage 1: resolve session fast paths and both caches in canonical
+    /// order; emit the planned requests plus the unique job table.
+    fn plan(&mut self, trace: &SessionTrace) -> (Vec<PlannedRequest>, Vec<SelectionJob>) {
+        let mut planned = Vec::with_capacity(trace.requests());
+        let mut jobs: Vec<SelectionJob> = Vec::new();
+        let mut slot_of: HashMap<String, usize> = HashMap::new();
+
+        for session in &trace.sessions {
+            for &query_index in &session.query_indices {
+                if let Policy::Default = self.config.policy {
+                    planned.push(PlannedRequest {
+                        query_index,
+                        source: SelectionSource::FullCatalog,
+                        cost: CostClass::Free,
+                    });
+                    continue;
+                }
+                let query = &self.workload.queries[query_index];
+                let key = normalize_query(&query.text);
+                let state = self.sessions.entry(session.id).or_default();
+
+                // Per-session warm controller: a session repeating its own
+                // previous query bypasses the shared caches entirely.
+                if state.last_key.as_deref() == Some(key.as_str()) {
+                    let source = state
+                        .last_selection
+                        .clone()
+                        .expect("fast path implies a resolved previous request");
+                    self.session_fast_hits += 1;
+                    planned.push(PlannedRequest {
+                        query_index,
+                        source,
+                        cost: CostClass::Free,
+                    });
+                    continue;
+                }
+
+                // Every request conceptually embeds its query first, so
+                // the embedding cache is consulted per request — *before*
+                // the memo. A `Reserved` outcome means an earlier request
+                // in this trace already scheduled the compute: by the
+                // time anything executes (stage 4) the value exists, so
+                // it counts as a hit, exactly as a sequential server
+                // would see it.
+                let embed_lookup = self.embed_cache.lookup(&key);
+                let memo_key = self.memo_key(&key);
+                let ensure_job = |jobs: &mut Vec<SelectionJob>,
+                                  slot_of: &mut HashMap<String, usize>,
+                                  cached: Option<Arc<QueryEmbeddings>>,
+                                  embeddings_only: bool|
+                 -> usize {
+                    match slot_of.get(&key) {
+                        Some(&slot) => {
+                            // A later requester that needs full cost
+                            // accounting upgrades an embeddings-only
+                            // refill (jobs run after all planning).
+                            if !embeddings_only {
+                                jobs[slot].embeddings_only = false;
+                            }
+                            slot
+                        }
+                        None => {
+                            jobs.push(SelectionJob {
+                                key: key.clone(),
+                                query_index,
+                                cached_embeddings: cached,
+                                embeddings_only,
+                            });
+                            slot_of.insert(key.clone(), jobs.len() - 1);
+                            jobs.len() - 1
+                        }
+                    }
+                };
+                let (source, cost) = match self.memo.lookup(&memo_key) {
+                    Lookup::Hit(selection) => {
+                        if matches!(embed_lookup, Lookup::Miss) {
+                            // The embedding tier lost the entry while the
+                            // memo kept its own; schedule a refill so the
+                            // reserved slot gets a value (the request
+                            // itself is served from the memo for free).
+                            ensure_job(&mut jobs, &mut slot_of, None, true);
+                        }
+                        (SelectionSource::Ready(selection), CostClass::Free)
+                    }
+                    Lookup::Reserved => {
+                        // Reserved earlier in this trace: the slot exists.
+                        let slot = slot_of[&key];
+                        (SelectionSource::Pending(slot), CostClass::Free)
+                    }
+                    Lookup::Miss => {
+                        let (cached, cost) = match &embed_lookup {
+                            Lookup::Hit(e) => (Some(Arc::clone(e)), CostClass::KnnOnly),
+                            // Pending embeddings: the slot's job computes
+                            // them once; this request re-runs arbitration
+                            // only.
+                            Lookup::Reserved => (None, CostClass::KnnOnly),
+                            Lookup::Miss => (None, CostClass::Cold),
+                        };
+                        let slot = ensure_job(&mut jobs, &mut slot_of, cached, false);
+                        (SelectionSource::Pending(slot), cost)
+                    }
+                };
+                let state = self.sessions.entry(session.id).or_default();
+                state.last_key = Some(key);
+                state.last_selection = Some(source.clone());
+                planned.push(PlannedRequest {
+                    query_index,
+                    source,
+                    cost,
+                });
+            }
+        }
+        (planned, jobs)
+    }
+
+    /// Stage 2: one unique selection job (pure in the normalized query).
+    fn run_selection_job(&self, pipeline: &Pipeline<'_>, job: &SelectionJob) -> ComputedSelection {
+        let query = &self.workload.queries[job.query_index];
+        let embeddings = match &job.cached_embeddings {
+            Some(cached) => Arc::clone(cached),
+            None => Arc::new(self.build_embeddings(query)),
+        };
+        // Arbitration runs even for embeddings-only refills: if the memo
+        // entry is evicted later in the trace, a subsequent request
+        // resolves through this slot and needs the selection.
+        let selection = Arc::new(self.arbitrate(&embeddings));
+
+        let levels_probed = match self.config.policy {
+            Policy::LessIsMore { .. } => 2.0,
+            _ => 1.0,
+        };
+        let knn_seconds = self.config.knn_seconds_per_level * levels_probed;
+        // Embeddings-only refills are never billed cold (every request on
+        // this key is served Free from the memo or KnnOnly), so the
+        // recommender cost simulation would be dead weight.
+        let (rec_seconds, rec_joules) = match self.config.policy {
+            Policy::LessIsMore { .. } if !job.embeddings_only => {
+                // Billed on the normalized text, like everything else a
+                // selection job derives, so the cost is a pure function
+                // of the cache key.
+                let cost = pipeline.recommender_cost(&job.key);
+                (cost.seconds, cost.joules)
+            }
+            _ => (0.0, 0.0),
+        };
+        let texts_embedded = 1.0 + embeddings.contexts.len() as f64;
+        let cold_seconds =
+            rec_seconds + self.config.embed_seconds_per_text * texts_embedded + knn_seconds;
+        ComputedSelection {
+            embeddings,
+            selection,
+            cold_seconds,
+            knn_seconds,
+            cold_joules: rec_joules,
+        }
+    }
+
+    /// Stage 4: execute one request's gold chain under its selection.
+    fn execute_request(
+        &self,
+        pipeline: &Pipeline<'_>,
+        request: &PlannedRequest,
+        computed: &[ComputedSelection],
+    ) -> RequestOutcome {
+        let query = &self.workload.queries[request.query_index];
+        let full_level;
+        let (offered, level): (&[usize], Option<SearchLevel>) = match &request.source {
+            SelectionSource::FullCatalog => {
+                full_level = self.levels.full_level();
+                (&full_level, None)
+            }
+            SelectionSource::Ready(selection) => (&selection.tool_indices, Some(selection.level)),
+            SelectionSource::Pending(slot) => {
+                let selection = &computed[*slot].selection;
+                (&selection.tool_indices, Some(selection.level))
+            }
+        };
+        let context = match level {
+            None | Some(SearchLevel::Full) => DEFAULT_CONTEXT,
+            _ => REDUCED_CONTEXT,
+        };
+        let result = pipeline.run_query_offered(query, offered, context);
+        let (selection_seconds, selection_joules) = match (request.cost, &request.source) {
+            (CostClass::Cold, SelectionSource::Pending(slot)) => {
+                (computed[*slot].cold_seconds, computed[*slot].cold_joules)
+            }
+            (CostClass::KnnOnly, SelectionSource::Pending(slot)) => {
+                (computed[*slot].knn_seconds, 0.0)
+            }
+            _ => (0.0, 0.0),
+        };
+        RequestOutcome {
+            success: result.success,
+            tool_correct: result.tool_correct,
+            offered_tools: offered.len(),
+            level,
+            seconds: selection_seconds + result.cost.seconds,
+            joules: selection_joules + result.cost.joules,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate(
+        &self,
+        trace: &SessionTrace,
+        workers: usize,
+        outcomes: &[RequestOutcome],
+        embed_before: CacheStats,
+        memo_before: CacheStats,
+        session_fast_before: u64,
+        wall_seconds: f64,
+    ) -> ServeReport {
+        let n = outcomes.len().max(1) as f64;
+        let total_seconds: f64 = outcomes.iter().map(|o| o.seconds).sum();
+        let total_joules: f64 = outcomes.iter().map(|o| o.joules).sum();
+        let latencies: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+        let share = |level: SearchLevel| {
+            outcomes.iter().filter(|o| o.level == Some(level)).count() as f64 / n
+        };
+        ServeReport {
+            benchmark: self.workload.name.to_owned(),
+            model: self.model.name.to_owned(),
+            quant: self.config.quant,
+            policy: self.config.policy.label(),
+            engine_seed: self.config.seed,
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            workers,
+            sessions: trace.sessions.len(),
+            requests: outcomes.len(),
+            unique_queries: trace.unique_queries(),
+            success_rate: outcomes.iter().filter(|o| o.success).count() as f64 / n,
+            tool_accuracy: outcomes.iter().filter(|o| o.tool_correct).count() as f64 / n,
+            avg_offered_tools: outcomes.iter().map(|o| o.offered_tools as f64).sum::<f64>() / n,
+            level1_share: share(SearchLevel::Individual),
+            level2_share: share(SearchLevel::Cluster),
+            level3_share: outcomes
+                .iter()
+                .filter(|o| o.level == Some(SearchLevel::Full) || o.level.is_none())
+                .count() as f64
+                / n,
+            latency: LatencyStats::from_seconds(&latencies),
+            sim_total_seconds: total_seconds,
+            avg_power_w: if total_seconds > 0.0 {
+                total_joules / total_seconds
+            } else {
+                0.0
+            },
+            embed_cache: self.embed_cache.stats().since(&embed_before),
+            selection_memo: self.memo.stats().since(&memo_before),
+            session_fast_hits: self.session_fast_hits - session_fast_before,
+            wall_seconds,
+            requests_per_second: if wall_seconds > 0.0 {
+                outcomes.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Normalizes a query into its cache key: lowercase, alphanumeric words,
+/// single spaces. Punctuation and casing never change what a query means
+/// to the selector, so they must not fragment the cache.
+pub fn normalize_query(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.extend(c.to_lowercase());
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_case_and_punctuation() {
+        assert_eq!(
+            normalize_query("  What's the Weather, in Paris?! "),
+            "what s the weather in paris"
+        );
+        assert_eq!(normalize_query("a  b\tc"), "a b c");
+        assert_eq!(normalize_query("???"), "");
+    }
+}

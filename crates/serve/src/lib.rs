@@ -1,0 +1,52 @@
+//! `lim-serve` — a long-lived, cache-accelerated serving engine over the
+//! Less-is-More pipeline.
+//!
+//! Batch evaluation (`lim bench`) re-embeds and re-selects from scratch
+//! for every query of a cold batch. A deployed edge assistant faces the
+//! opposite regime: a persistent process serving a stream of sessions
+//! whose query popularity is heavily skewed. This crate exploits that
+//! repetition:
+//!
+//! * [`ServeEngine`] — owns the tool catalog, the embedder and the
+//!   Arc-shared read-only search-level indexes, and keeps per-session
+//!   controller state warm across chain steps and traces;
+//! * [`cache::LruCache`] — the seeded-LRU behind both the
+//!   query-embedding cache (recommender output + `Ẽ` embeddings) and the
+//!   tool-selection memo (keyed by normalized query, policy and level
+//!   configuration), with hit/miss/eviction counters;
+//! * [`ServeReport`] — accuracy, p50/p95/p99 simulated latency, cache
+//!   hit rates and wall-clock throughput, serialized as
+//!   `BENCH_serve_*.json` (`lim-serve/report-v1`).
+//!
+//! Replays are **bit-identical for every worker count**: the engine
+//! plans cache behaviour sequentially in canonical arrival order and
+//! parallelizes only pure computation over
+//! [`lim_core::sharded_map`] (see [`engine`] for the four-stage design).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_serve::{ServeConfig, ServeEngine};
+//! use lim_workloads::trace::{zipf_trace, TraceConfig};
+//!
+//! let workload = lim_workloads::bfcl(42, 60);
+//! let trace = zipf_trace(&workload, &TraceConfig { seed: 1, ..TraceConfig::default() });
+//! let model = lim_llm::ModelProfile::by_name("qwen2-7b").expect("model exists");
+//! let mut engine = ServeEngine::new(workload, model, ServeConfig::default());
+//! let a = engine.process_trace(&trace, 1).expect("valid trace");
+//! // The engine is long-lived: a second replay hits the warm caches.
+//! let b = engine.process_trace(&trace, 4).expect("valid trace");
+//! assert_eq!(a.success_rate, b.success_rate);
+//! assert!(b.embed_cache.hit_rate() > a.embed_cache.hit_rate());
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod report;
+
+pub use cache::{CacheStats, LruCache};
+pub use engine::{normalize_query, QueryEmbeddings, ServeConfig, ServeEngine};
+pub use report::{LatencyStats, ServeReport};
+
+#[cfg(test)]
+mod tests;

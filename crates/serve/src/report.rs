@@ -1,0 +1,253 @@
+//! Serving reports and the `BENCH_serve_*.json` document.
+//!
+//! # The `lim-serve/report-v1` format
+//!
+//! `lim loadgen --out BENCH_serve_1.json` (and [`ServeReport::to_json`]
+//! generally) writes one JSON object per trace replay:
+//!
+//! ```json
+//! {
+//!   "schema": "lim-serve/report-v1",
+//!   "benchmark": "bfcl",
+//!   "model": "llama3.1-8b",
+//!   "quant": "q4_K_M",
+//!   "policy": "lim-k3",
+//!   "engine_seed": 1580459264,
+//!   "trace": {"seed": 7, "zipf_s": 1.0, "sessions": 64,
+//!             "requests": 512, "unique_queries": 141},
+//!   "workers": 4,
+//!   "success_rate": 0.47,
+//!   "tool_accuracy": 0.61,
+//!   "avg_offered_tools": 5.2,
+//!   "level1_share": 0.7, "level2_share": 0.2, "level3_share": 0.1,
+//!   "latency": {"p50_s": 9.1, "p95_s": 21.0, "p99_s": 24.8,
+//!               "mean_s": 11.2, "max_s": 30.1},
+//!   "sim_total_seconds": 5700.0,
+//!   "avg_power_w": 21.7,
+//!   "caches": {
+//!     "embedding": {"hits": 371, "misses": 141, "insertions": 141,
+//!                   "evictions": 0, "hit_rate": 0.72},
+//!     "selection": {"hits": 339, "misses": 141, "insertions": 141,
+//!                   "evictions": 0, "hit_rate": 0.70},
+//!     "session_fast_hits": 32
+//!   },
+//!   "wall_seconds": 0.08,
+//!   "requests_per_second": 6400.0
+//! }
+//! ```
+//!
+//! Every field except `wall_seconds` and `requests_per_second` is
+//! deterministic for a given (engine config, trace) pair — *including*
+//! the cache counters and latency percentiles, for any worker count. The
+//! CI regression gate (`lim compare`) therefore tracks the deterministic
+//! fields and ignores the two wall-clock ones. `schema` is bumped on any
+//! rename/removal; additions are backward-compatible.
+
+use lim_json::Value;
+use lim_llm::Quant;
+
+use crate::cache::CacheStats;
+
+/// Latency distribution over per-request *simulated* seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Mean.
+    pub mean_s: f64,
+    /// Slowest request.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over `samples`. Zeroed for an empty batch.
+    pub fn from_seconds(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                mean_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            p50_s: pick(0.50),
+            p95_s: pick(0.95),
+            p99_s: pick(0.99),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything one trace replay produced (see the module docs for the
+/// serialized form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Benchmark the engine serves.
+    pub benchmark: String,
+    /// Served model profile.
+    pub model: String,
+    /// Served quantization.
+    pub quant: Quant,
+    /// Policy label (`"lim-k3"`, `"gorilla-k3"`, `"default"`).
+    pub policy: String,
+    /// Engine (pipeline) seed driving the agent draws.
+    pub engine_seed: u64,
+    /// Seed of the replayed trace.
+    pub trace_seed: u64,
+    /// Zipf exponent of the replayed trace.
+    pub zipf_s: f64,
+    /// Worker threads the replay ran on (resolved, never 0).
+    pub workers: usize,
+    /// Sessions in the trace.
+    pub sessions: usize,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Distinct queries in the trace.
+    pub unique_queries: usize,
+    /// Fraction of requests whose whole chain succeeded.
+    pub success_rate: f64,
+    /// Fraction of requests whose every step picked the right tool.
+    pub tool_accuracy: f64,
+    /// Mean tools offered to the agent.
+    pub avg_offered_tools: f64,
+    /// Fraction decided at Search Level 1.
+    pub level1_share: f64,
+    /// Fraction decided at Search Level 2.
+    pub level2_share: f64,
+    /// Fraction decided at Level 3 / full catalog.
+    pub level3_share: f64,
+    /// Per-request simulated latency distribution.
+    pub latency: LatencyStats,
+    /// Sum of simulated request seconds.
+    pub sim_total_seconds: f64,
+    /// Time-weighted simulated power.
+    pub avg_power_w: f64,
+    /// Embedding-cache counters for this replay.
+    pub embed_cache: CacheStats,
+    /// Selection-memo counters for this replay.
+    pub selection_memo: CacheStats,
+    /// Requests short-circuited by the per-session warm controller.
+    pub session_fast_hits: u64,
+    /// Real elapsed seconds (not deterministic).
+    pub wall_seconds: f64,
+    /// Requests per wall-clock second (not deterministic).
+    pub requests_per_second: f64,
+}
+
+fn cache_to_json(stats: &CacheStats) -> Value {
+    Value::object([
+        ("hits", Value::from(stats.hits as i64)),
+        ("misses", Value::from(stats.misses as i64)),
+        ("insertions", Value::from(stats.insertions as i64)),
+        ("evictions", Value::from(stats.evictions as i64)),
+        ("hit_rate", Value::from(stats.hit_rate())),
+    ])
+}
+
+impl ServeReport {
+    /// Serializes to the `lim-serve/report-v1` document.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema", Value::from("lim-serve/report-v1")),
+            ("benchmark", Value::from(self.benchmark.as_str())),
+            ("model", Value::from(self.model.as_str())),
+            ("quant", Value::from(self.quant.label())),
+            ("policy", Value::from(self.policy.as_str())),
+            ("engine_seed", Value::from(self.engine_seed as i64)),
+            (
+                "trace",
+                Value::object([
+                    ("seed", Value::from(self.trace_seed as i64)),
+                    ("zipf_s", Value::from(self.zipf_s)),
+                    ("sessions", Value::from(self.sessions)),
+                    ("requests", Value::from(self.requests)),
+                    ("unique_queries", Value::from(self.unique_queries)),
+                ]),
+            ),
+            ("workers", Value::from(self.workers)),
+            ("success_rate", Value::from(self.success_rate)),
+            ("tool_accuracy", Value::from(self.tool_accuracy)),
+            ("avg_offered_tools", Value::from(self.avg_offered_tools)),
+            ("level1_share", Value::from(self.level1_share)),
+            ("level2_share", Value::from(self.level2_share)),
+            ("level3_share", Value::from(self.level3_share)),
+            (
+                "latency",
+                Value::object([
+                    ("p50_s", Value::from(self.latency.p50_s)),
+                    ("p95_s", Value::from(self.latency.p95_s)),
+                    ("p99_s", Value::from(self.latency.p99_s)),
+                    ("mean_s", Value::from(self.latency.mean_s)),
+                    ("max_s", Value::from(self.latency.max_s)),
+                ]),
+            ),
+            ("sim_total_seconds", Value::from(self.sim_total_seconds)),
+            ("avg_power_w", Value::from(self.avg_power_w)),
+            (
+                "caches",
+                Value::object([
+                    ("embedding", cache_to_json(&self.embed_cache)),
+                    ("selection", cache_to_json(&self.selection_memo)),
+                    (
+                        "session_fast_hits",
+                        Value::from(self.session_fast_hits as i64),
+                    ),
+                ]),
+            ),
+            ("wall_seconds", Value::from(self.wall_seconds)),
+            ("requests_per_second", Value::from(self.requests_per_second)),
+        ])
+    }
+
+    /// The report with wall-clock fields zeroed — the part that must be
+    /// bit-identical across worker counts and machines.
+    pub fn deterministic_view(&self) -> ServeReport {
+        ServeReport {
+            wall_seconds: 0.0,
+            requests_per_second: 0.0,
+            workers: 0,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let l = LatencyStats::from_seconds(&samples);
+        assert_eq!(l.p50_s, 50.0);
+        assert_eq!(l.p95_s, 95.0);
+        assert_eq!(l.p99_s, 99.0);
+        assert_eq!(l.max_s, 100.0);
+        assert!((l.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_handle_tiny_batches() {
+        let l = LatencyStats::from_seconds(&[3.0]);
+        assert_eq!(l.p50_s, 3.0);
+        assert_eq!(l.p99_s, 3.0);
+        assert_eq!(LatencyStats::from_seconds(&[]).max_s, 0.0);
+        // Unsorted input is sorted internally.
+        let l = LatencyStats::from_seconds(&[5.0, 1.0, 3.0]);
+        assert_eq!(l.p50_s, 3.0);
+        assert_eq!(l.max_s, 5.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Engine-level integration and property tests.
+
+use lim_core::Policy;
+use lim_llm::{ModelProfile, Quant};
+use lim_workloads::trace::{zipf_trace, SessionTrace, TraceConfig};
+use proptest::prelude::*;
+
+use crate::{ServeConfig, ServeEngine, ServeReport};
+
+fn model() -> ModelProfile {
+    ModelProfile::by_name("llama3.1-8b").expect("model exists")
+}
+
+fn bfcl_trace(pool: usize, seed: u64, sessions: usize) -> (lim_workloads::Workload, SessionTrace) {
+    let w = lim_workloads::bfcl(seed, pool);
+    let trace = zipf_trace(
+        &w,
+        &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 8,
+            zipf_s: 1.0,
+        },
+    );
+    (w, trace)
+}
+
+fn fresh_replay(workers: usize) -> ServeReport {
+    let (w, trace) = bfcl_trace(120, 7, 48);
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    engine.process_trace(&trace, workers).expect("valid trace")
+}
+
+/// The acceptance criterion: for worker counts 1, 4 and 8, a fresh
+/// engine replaying the same Zipf(1.0) trace produces bit-identical
+/// deterministic reports — accuracy, latency percentiles *and* cache
+/// counters — and the embedding cache hits on more than half the
+/// lookups.
+#[test]
+fn replay_is_bit_identical_across_worker_counts_with_warm_caches() {
+    let baseline = fresh_replay(1);
+    for workers in [4, 8] {
+        let other = fresh_replay(workers);
+        assert_eq!(
+            baseline.deterministic_view(),
+            other.deterministic_view(),
+            "workers={workers}"
+        );
+    }
+    assert!(
+        baseline.embed_cache.hit_rate() > 0.5,
+        "embedding cache hit rate {:.3} on a Zipf(1.0) trace",
+        baseline.embed_cache.hit_rate()
+    );
+    assert!(baseline.latency.p50_s > 0.0);
+    assert!(baseline.latency.p99_s >= baseline.latency.p95_s);
+    assert!(baseline.latency.p95_s >= baseline.latency.p50_s);
+}
+
+#[test]
+fn long_lived_engine_gets_faster_on_repetition() {
+    let (w, trace) = bfcl_trace(80, 3, 24);
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    let cold = engine.process_trace(&trace, 2).expect("valid trace");
+    let warm = engine.process_trace(&trace, 2).expect("valid trace");
+    // Same accuracy — caching must never change outcomes.
+    assert_eq!(cold.success_rate, warm.success_rate);
+    assert_eq!(cold.tool_accuracy, warm.tool_accuracy);
+    assert_eq!(cold.avg_offered_tools, warm.avg_offered_tools);
+    // But the warm replay answers every selection from cache…
+    assert_eq!(warm.embed_cache.misses, 0, "warm replay should not miss");
+    assert_eq!(warm.selection_memo.misses, 0);
+    // …and its simulated latency drops accordingly.
+    assert!(
+        warm.sim_total_seconds < cold.sim_total_seconds,
+        "warm {:.1}s vs cold {:.1}s",
+        warm.sim_total_seconds,
+        cold.sim_total_seconds
+    );
+    assert_eq!(
+        engine.requests_served(),
+        (cold.requests + warm.requests) as u64
+    );
+}
+
+#[test]
+fn caching_never_changes_outcomes_vs_uncached_engine() {
+    // An engine with 1-entry caches (permanent thrash) must agree with a
+    // generously cached engine on every accuracy metric.
+    let (w, trace) = bfcl_trace(60, 9, 20);
+    let tiny = ServeConfig {
+        embed_cache_capacity: 1,
+        memo_capacity: 1,
+        prewarm: false,
+        ..ServeConfig::default()
+    };
+    let mut thrashing = ServeEngine::new(w.clone(), model(), tiny);
+    let mut cached = ServeEngine::new(w, model(), ServeConfig::default());
+    let a = thrashing.process_trace(&trace, 3).expect("valid trace");
+    let b = cached.process_trace(&trace, 3).expect("valid trace");
+    assert_eq!(a.success_rate, b.success_rate);
+    assert_eq!(a.tool_accuracy, b.tool_accuracy);
+    assert_eq!(a.avg_offered_tools, b.avg_offered_tools);
+    assert_eq!(a.level1_share, b.level1_share);
+    assert_eq!(a.level2_share, b.level2_share);
+    assert!(a.embed_cache.evictions > 0, "tiny cache must evict");
+}
+
+#[test]
+fn session_fast_path_fires_on_repeated_queries() {
+    let w = lim_workloads::bfcl(5, 30);
+    // Hand-build a trace where one session repeats the same query.
+    let trace = SessionTrace {
+        benchmark: "bfcl".into(),
+        seed: 0,
+        zipf_s: 0.0,
+        pool_size: 30,
+        sessions: vec![lim_workloads::trace::TraceSession {
+            id: 77,
+            query_indices: vec![4, 4, 4, 9, 4],
+        }],
+    };
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    let report = engine.process_trace(&trace, 1).expect("valid trace");
+    // Requests 2 and 3 repeat the session's previous key; request 5
+    // follows a different query so it goes through the memo again.
+    assert_eq!(report.session_fast_hits, 2);
+    assert_eq!(report.requests, 5);
+}
+
+#[test]
+fn gorilla_and_default_policies_are_served() {
+    let (w, trace) = bfcl_trace(40, 11, 10);
+    for policy in [Policy::Gorilla { k: 3 }, Policy::Default] {
+        let config = ServeConfig {
+            policy,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(w.clone(), model(), config);
+        let report = engine.process_trace(&trace, 2).expect("valid trace");
+        assert_eq!(report.requests, trace.requests());
+        assert_eq!(report.policy, policy.label());
+        match policy {
+            Policy::Gorilla { .. } => {
+                assert!(report.avg_offered_tools <= 3.0);
+                assert!(report.level1_share > 0.99);
+            }
+            _ => {
+                assert!(report.avg_offered_tools > 40.0);
+                assert!(report.level3_share > 0.99);
+                // Vanilla calling never touches the caches.
+                assert_eq!(report.embed_cache.hits + report.embed_cache.misses, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn mismatched_traces_are_rejected() {
+    let w = lim_workloads::bfcl(1, 20);
+    let geo = lim_workloads::geoengine(1, 20);
+    let trace = zipf_trace(&geo, &TraceConfig::default());
+    let mut engine = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+    assert!(engine.process_trace(&trace, 1).is_err());
+
+    let mut out_of_range = zipf_trace(&w, &TraceConfig::default());
+    out_of_range.benchmark = "bfcl".into();
+    out_of_range.sessions[0].query_indices.push(999);
+    assert!(engine.process_trace(&out_of_range, 1).is_err());
+}
+
+#[test]
+fn report_serializes_to_parseable_json() {
+    let report = fresh_replay(2);
+    let text = report.to_json().to_pretty_string();
+    let doc = lim_json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(lim_json::Value::as_str),
+        Some("lim-serve/report-v1")
+    );
+    let caches = doc.get("caches").expect("caches section");
+    let embed = caches.get("embedding").expect("embedding cache");
+    assert!(embed
+        .get("hit_rate")
+        .and_then(lim_json::Value::as_f64)
+        .is_some());
+    let latency = doc.get("latency").expect("latency section");
+    for field in ["p50_s", "p95_s", "p99_s"] {
+        assert!(
+            latency
+                .get(field)
+                .and_then(lim_json::Value::as_f64)
+                .is_some(),
+            "missing {field}"
+        );
+    }
+    assert_eq!(
+        doc.get("trace")
+            .and_then(|t| t.get("requests"))
+            .and_then(lim_json::Value::as_i64),
+        Some(report.requests as i64)
+    );
+}
+
+#[test]
+fn serve_matches_geoengine_chains_too() {
+    let w = lim_workloads::geoengine(13, 60);
+    let trace = zipf_trace(
+        &w,
+        &TraceConfig {
+            seed: 13,
+            sessions: 16,
+            requests_per_session: 6,
+            zipf_s: 1.0,
+        },
+    );
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    let report = engine.process_trace(&trace, 4).expect("valid trace");
+    assert_eq!(report.requests, trace.requests());
+    assert!(report.success_rate > 0.0 && report.success_rate <= 1.0);
+    // Sequential chains lean on Level 2 clusters.
+    assert!(report.level2_share > 0.0);
+}
+
+/// Shared fixture: workload construction and level building dominate the
+/// property test's runtime; only the trace and quant vary per case.
+fn fixture() -> &'static (lim_workloads::Workload, lim_core::SearchLevels) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(lim_workloads::Workload, lim_core::SearchLevels)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let w = lim_workloads::bfcl(17, 60);
+        let levels = lim_core::SearchLevels::build(&w);
+        (w, levels)
+    })
+}
+
+proptest! {
+    /// For random trace seeds, session counts and quants, worker counts
+    /// 1–8 agree bit for bit on the deterministic report.
+    #[test]
+    fn deterministic_for_any_worker_count(
+        seed in 0u64..200,
+        sessions in 4usize..24,
+        workers in 2usize..9,
+        quant_ix in 0usize..5,
+    ) {
+        let (w, levels) = fixture();
+        let trace = zipf_trace(w, &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 5,
+            zipf_s: 1.0,
+        });
+        let config = ServeConfig {
+            quant: Quant::ALL[quant_ix],
+            ..ServeConfig::default()
+        };
+        let mut sequential =
+            ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let mut parallel = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let a = sequential.process_trace(&trace, 1).expect("valid trace");
+        let b = parallel.process_trace(&trace, workers).expect("valid trace");
+        prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+}

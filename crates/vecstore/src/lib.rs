@@ -65,5 +65,37 @@ pub trait VectorIndex {
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
 }
 
+/// Shared references search like the index they point to, so a built
+/// index can be handed to generic consumers without moving it.
+impl<I: VectorIndex + ?Sized> VectorIndex for &I {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        (**self).search(query, k)
+    }
+}
+
+/// `Arc<I>` searches like `I`: a read-only index built once can be shared
+/// across serving workers without cloning its vectors (see `lim-serve`).
+impl<I: VectorIndex + ?Sized> VectorIndex for std::sync::Arc<I> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        (**self).search(query, k)
+    }
+}
+
 #[cfg(test)]
 mod tests;

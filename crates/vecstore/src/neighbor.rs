@@ -16,18 +16,28 @@ impl Neighbor {
     pub fn new(id: u64, score: f32) -> Self {
         Self { id, score }
     }
+
+    /// The canonical result ordering shared by every index in this crate:
+    /// score descending, ties broken by ascending id.
+    ///
+    /// Scores compare via [`f32::total_cmp`], so the order is total even
+    /// in the presence of NaN and never depends on insertion order
+    /// (`FlatIndex`) or cell layout (`IvfIndex`) — the same candidate set
+    /// always ranks identically regardless of which index produced it.
+    pub fn ranking_cmp(&self, other: &Neighbor) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.id.cmp(&other.id))
+    }
 }
 
 /// Keeps the best `k` of a candidate stream, returning them best-first.
 ///
-/// Ties are broken by ascending id so results are fully deterministic.
+/// Ordering is [`Neighbor::ranking_cmp`] — (score desc, id asc) — so
+/// results are fully deterministic for any candidate arrival order.
 pub(crate) fn top_k(mut candidates: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
-    });
+    candidates.sort_by(Neighbor::ranking_cmp);
     candidates.truncate(k);
     candidates
 }
@@ -62,5 +72,40 @@ mod tests {
     fn top_k_handles_small_inputs() {
         assert!(top_k(vec![], 5).is_empty());
         assert_eq!(top_k(vec![Neighbor::new(1, 1.0)], 5).len(), 1);
+    }
+
+    #[test]
+    fn ranking_is_independent_of_arrival_order() {
+        let tied = [
+            Neighbor::new(7, 0.5),
+            Neighbor::new(2, 0.5),
+            Neighbor::new(5, 0.5),
+            Neighbor::new(1, 0.9),
+        ];
+        let forward = top_k(tied.to_vec(), 4);
+        let mut reversed = tied.to_vec();
+        reversed.reverse();
+        assert_eq!(forward, top_k(reversed, 4));
+        let ids: Vec<u64> = forward.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn ranking_cmp_totally_orders_nan_scores() {
+        // total_cmp keeps the sort valid even with NaN candidates; NaN
+        // compares greater than every real score, so it ranks first but
+        // never panics or produces an inconsistent comparator.
+        let hits = top_k(
+            vec![
+                Neighbor::new(1, f32::NAN),
+                Neighbor::new(2, 1.0),
+                Neighbor::new(3, f32::NAN),
+            ],
+            3,
+        );
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 3);
+        assert_eq!(hits[2].id, 2);
     }
 }

@@ -2,6 +2,35 @@
 
 use crate::{FlatIndex, IvfIndex, IvfParams, Metric, VectorIndex};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A clustered random catalog: `n` vectors in `dim`-d space scattered
+/// around 8 well-separated centers — the regime IVF is designed for.
+fn clustered_catalog(seed: u64, n: usize, dim: usize) -> Vec<(u64, Vec<f32>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..dim).map(|_| rng.random_range(-50.0f32..50.0)).collect())
+        .collect();
+    (0..n as u64)
+        .map(|id| {
+            let c = &centers[rng.random_range(0..centers.len())];
+            let v = c
+                .iter()
+                .map(|x| x + rng.random_range(-1.5f32..1.5))
+                .collect();
+            (id, v)
+        })
+        .collect()
+}
+
+fn flat_from(dim: usize, metric: Metric, items: &[(u64, Vec<f32>)]) -> FlatIndex {
+    let mut flat = FlatIndex::new(dim, metric);
+    for (id, v) in items {
+        flat.add(*id, v).unwrap();
+    }
+    flat
+}
 
 #[test]
 fn flat_and_exhaustive_ivf_agree() {
@@ -94,6 +123,74 @@ fn trait_object_usage() {
     assert_eq!(boxed.search(&[1.0, 0.0], 1)[0].id, 1);
 }
 
+#[test]
+fn arc_shared_index_searches_across_threads() {
+    // The serving engine's pattern: one read-only index built once,
+    // Arc-shared by every worker. `Arc<FlatIndex>` is itself a
+    // `VectorIndex`, so generic consumers take it without unwrapping.
+    let data = clustered_catalog(9, 128, 4);
+    let shared = std::sync::Arc::new(flat_from(4, Metric::Cosine, &data));
+    fn top1(index: &impl VectorIndex, q: &[f32]) -> u64 {
+        index.search(q, 1)[0].id
+    }
+    let baseline: Vec<u64> = data.iter().map(|(_, v)| top1(&&*shared, v)).collect();
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let idx = std::sync::Arc::clone(&shared);
+                let data = &data;
+                scope.spawn(move || {
+                    data.iter()
+                        .map(|(_, v)| top1(&idx, v))
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    for worker in results {
+        assert_eq!(worker, baseline);
+    }
+}
+
+#[test]
+fn tie_break_is_score_desc_then_id_asc_in_both_indexes() {
+    // Eight identical vectors → every hit ties at the same score. The
+    // flat index sees them in scrambled insertion order; the IVF index
+    // scatters them across whatever cells k-means produced. Both must
+    // return ascending ids (the canonical `Neighbor::ranking_cmp` order).
+    let tied: Vec<(u64, Vec<f32>)> = [7u64, 3, 5, 0, 6, 1, 4, 2]
+        .iter()
+        .map(|id| (*id, vec![1.0f32, 1.0, 1.0]))
+        .collect();
+    // Distant decoys give the IVF quantizer distinct cells to build.
+    let mut catalog = tied.clone();
+    catalog.extend((100..116u64).map(|id| (id, vec![-40.0 + id as f32, 60.0, -25.0])));
+
+    let flat = flat_from(3, Metric::Cosine, &catalog);
+    let refs: Vec<(u64, &[f32])> = catalog.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+    let ivf = IvfIndex::train(
+        3,
+        Metric::Cosine,
+        IvfParams {
+            nlist: 6,
+            nprobe: 6,
+            seed: 42,
+        },
+        &refs,
+    )
+    .unwrap();
+
+    let query = [1.0f32, 1.0, 1.0];
+    let flat_ids: Vec<u64> = flat.search(&query, 8).iter().map(|n| n.id).collect();
+    let ivf_ids: Vec<u64> = ivf.search(&query, 8).iter().map(|n| n.id).collect();
+    assert_eq!(flat_ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(ivf_ids, flat_ids, "IVF must use the same tie-break");
+}
+
 proptest! {
     /// Flat search is exact: the top hit is always the argmax of the metric.
     #[test]
@@ -128,6 +225,65 @@ proptest! {
         let hits = idx.search(&[0.5, 0.5, 0.5], k);
         prop_assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
         prop_assert!(hits.len() <= k);
+    }
+
+    /// On clustered random catalogs up to 1024 vectors, probing half the
+    /// cells keeps recall@10 against the exact flat scan at or above 0.9.
+    #[test]
+    fn ivf_recall_at_10_is_at_least_090(seed in 0u64..500, size_ix in 0usize..4) {
+        let n = [64usize, 200, 512, 1024][size_ix];
+        let dim = 8;
+        let data = clustered_catalog(seed, n, dim);
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let flat = flat_from(dim, Metric::Euclidean, &data);
+        let ivf = IvfIndex::train(
+            dim,
+            Metric::Euclidean,
+            IvfParams { nlist: 16, nprobe: 8, seed },
+            &refs,
+        ).unwrap();
+
+        let k = 10;
+        let queries = 16;
+        let mut found = 0usize;
+        let mut wanted = 0usize;
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..queries {
+            let (_, base) = &data[probe_rng.random_range(0..data.len())];
+            let query: Vec<f32> = base
+                .iter()
+                .map(|x| x + probe_rng.random_range(-0.5f32..0.5))
+                .collect();
+            let exact: Vec<u64> = flat.search(&query, k).iter().map(|h| h.id).collect();
+            let approx: Vec<u64> = ivf.search(&query, k).iter().map(|h| h.id).collect();
+            wanted += exact.len();
+            found += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = found as f64 / wanted as f64;
+        prop_assert!(recall >= 0.9, "recall@{} = {:.3} on n={}", k, recall, n);
+    }
+
+    /// With `nprobe == nlist` every cell is scanned, so the IVF result must
+    /// agree with the flat index *exactly* — same ids, same scores, same
+    /// order — on random catalogs up to 1024 vectors.
+    #[test]
+    fn ivf_exact_agreement_when_nprobe_equals_nlist(seed in 0u64..500, size_ix in 0usize..4) {
+        let n = [64usize, 200, 512, 1024][size_ix];
+        let dim = 8;
+        let data = clustered_catalog(seed.wrapping_add(7_000), n, dim);
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let flat = flat_from(dim, Metric::Cosine, &data);
+        let ivf = IvfIndex::train(
+            dim,
+            Metric::Cosine,
+            IvfParams { nlist: 12, nprobe: 12, seed },
+            &refs,
+        ).unwrap();
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for _ in 0..8 {
+            let (_, base) = &data[probe_rng.random_range(0..data.len())];
+            prop_assert_eq!(flat.search(base, 16), ivf.search(base, 16));
+        }
     }
 
     /// IVF recall@1 with half the cells probed stays reasonable on clustered

@@ -16,6 +16,9 @@
 //! GPT-4-substitute [`augment`] module that produces the "contextually
 //! proximate" noisy queries Search Level 2 clusters over (§III-A).
 //!
+//! For serving experiments, the [`trace`] module turns a workload's query
+//! pool into Zipf-skewed session traces (see `lim-serve`).
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +36,7 @@
 
 pub mod augment;
 pub mod pools;
+pub mod trace;
 
 mod bfcl;
 mod catalog;

@@ -1,0 +1,426 @@
+//! Session traces with Zipf-distributed query popularity.
+//!
+//! A deployed edge assistant does not see a cold batch of unique queries:
+//! it serves a long-lived stream of *sessions*, and query popularity is
+//! heavily skewed — a handful of requests ("what's the weather", "convert
+//! currency") dominate the stream. This module turns a [`Workload`]'s
+//! evaluation pool into exactly that shape: a [`SessionTrace`] of
+//! sessions, each a run of requests whose query indices are drawn from a
+//! Zipf distribution over the pool.
+//!
+//! Everything is deterministic per [`TraceConfig::seed`]: the popularity
+//! ranking (a seeded permutation of the pool), the per-session lengths and
+//! the per-request draws all derive from one `StdRng` stream, so the same
+//! config always produces the same trace — on any machine, for any
+//! consumer worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_workloads::{bfcl, trace::{zipf_trace, TraceConfig}};
+//!
+//! let w = bfcl(7, 60);
+//! let trace = zipf_trace(&w, &TraceConfig { seed: 1, ..TraceConfig::default() });
+//! assert_eq!(trace.sessions.len(), 32);
+//! assert!(trace.requests() > 0);
+//! let again = zipf_trace(&w, &TraceConfig { seed: 1, ..TraceConfig::default() });
+//! assert_eq!(trace, again);
+//! ```
+
+use lim_json::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::Workload;
+
+/// Tunables for [`zipf_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Seed driving the popularity permutation and every draw.
+    pub seed: u64,
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Mean requests per session; actual lengths vary uniformly in
+    /// `[max(1, mean/2), mean + mean/2]`.
+    pub requests_per_session: usize,
+    /// Zipf skew exponent `s`: popularity of the rank-`r` query is
+    /// proportional to `1 / r^s`. `0.0` is uniform; `1.0` is the classic
+    /// heavy skew observed in production query logs.
+    pub zipf_s: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x21_1FF5,
+            sessions: 32,
+            requests_per_session: 8,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// One serving session: an ordered run of requests against the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSession {
+    /// Stable session id (also the engine's session-state key).
+    pub id: u64,
+    /// Indices into [`Workload::queries`], in arrival order.
+    pub query_indices: Vec<usize>,
+}
+
+/// A complete load trace: what `lim serve` replays and `lim loadgen`
+/// generates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTrace {
+    /// Name of the workload the indices refer to (`"bfcl"`/`"geoengine"`).
+    pub benchmark: String,
+    /// Seed the trace was generated from.
+    pub seed: u64,
+    /// Zipf exponent used for the popularity skew.
+    pub zipf_s: f64,
+    /// Number of queries in the pool the indices were drawn from.
+    pub pool_size: usize,
+    /// The sessions, in arrival order.
+    pub sessions: Vec<TraceSession>,
+}
+
+impl SessionTrace {
+    /// Total number of requests across all sessions.
+    pub fn requests(&self) -> usize {
+        self.sessions.iter().map(|s| s.query_indices.len()).sum()
+    }
+
+    /// Number of distinct queries referenced by the trace.
+    pub fn unique_queries(&self) -> usize {
+        let mut seen: Vec<usize> = self
+            .sessions
+            .iter()
+            .flat_map(|s| s.query_indices.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Serializes the trace to the `lim-workloads/trace-v1` JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema", Value::from("lim-workloads/trace-v1")),
+            ("benchmark", Value::from(self.benchmark.as_str())),
+            ("seed", Value::from(self.seed as i64)),
+            ("zipf_s", Value::from(self.zipf_s)),
+            ("pool_size", Value::from(self.pool_size)),
+            (
+                "sessions",
+                self.sessions
+                    .iter()
+                    .map(|s| {
+                        Value::object([
+                            ("id", Value::from(s.id as i64)),
+                            (
+                                "queries",
+                                s.query_indices.iter().map(|q| Value::from(*q)).collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    /// Largest query pool a trace document may declare — a sanity bound
+    /// so a corrupt `pool_size` cannot drive callers into generating a
+    /// near-unbounded workload.
+    pub const MAX_POOL_SIZE: usize = 1_000_000;
+
+    /// Parses a `lim-workloads/trace-v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field;
+    /// negative counts/ids/indices and pool sizes beyond
+    /// [`SessionTrace::MAX_POOL_SIZE`] are malformed, and every query
+    /// index must lie inside the declared pool.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema")?;
+        if schema != "lim-workloads/trace-v1" {
+            return Err(format!("unsupported trace schema {schema:?}"));
+        }
+        let non_negative = |field: &'static str, v: Option<i64>| -> Result<u64, String> {
+            match v {
+                Some(x) if x >= 0 => Ok(x as u64),
+                Some(x) => Err(format!("{field} is negative ({x})")),
+                None => Err(format!("missing {field}")),
+            }
+        };
+        let benchmark = doc
+            .get("benchmark")
+            .and_then(Value::as_str)
+            .ok_or("missing benchmark")?
+            .to_owned();
+        let seed = non_negative("seed", doc.get("seed").and_then(Value::as_i64))?;
+        let zipf_s = doc
+            .get("zipf_s")
+            .and_then(Value::as_f64)
+            .ok_or("missing zipf_s")?;
+        let pool_size =
+            non_negative("pool_size", doc.get("pool_size").and_then(Value::as_i64))? as usize;
+        if pool_size > Self::MAX_POOL_SIZE {
+            return Err(format!(
+                "pool_size {pool_size} exceeds the {} sanity bound",
+                Self::MAX_POOL_SIZE
+            ));
+        }
+        let sessions = doc
+            .get("sessions")
+            .and_then(Value::as_array)
+            .ok_or("missing sessions")?
+            .iter()
+            .map(|s| {
+                let id = non_negative("session id", s.get("id").and_then(Value::as_i64))?;
+                let query_indices = s
+                    .get("queries")
+                    .and_then(Value::as_array)
+                    .ok_or("missing session queries")?
+                    .iter()
+                    .map(|q| {
+                        let index = non_negative("query index", q.as_i64())? as usize;
+                        if index >= pool_size {
+                            return Err(format!(
+                                "query index {index} outside the {pool_size}-query pool"
+                            ));
+                        }
+                        Ok(index)
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                Ok(TraceSession { id, query_indices })
+            })
+            .collect::<Result<Vec<TraceSession>, String>>()?;
+        Ok(Self {
+            benchmark,
+            seed,
+            zipf_s,
+            pool_size,
+            sessions,
+        })
+    }
+}
+
+/// Draws ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+///
+/// The cumulative weight table is precomputed, so a draw is one uniform
+/// sample plus a binary search — O(log n) per request.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s == 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs a non-empty pool");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Samples one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty pool");
+        let x = rng.random::<f64>() * total;
+        // First rank whose cumulative weight exceeds the draw. The clamp
+        // covers the one-in-2^53 draw where `x` rounds up to exactly
+        // `total` and the partition point lands one past the last rank.
+        self.cumulative
+            .partition_point(|c| *c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Generates a Zipf-skewed session trace over `workload.queries`.
+///
+/// Popularity rank is decoupled from query id by a seeded permutation, so
+/// the "hot" queries are a stable but arbitrary subset of the pool rather
+/// than always the first few indices.
+///
+/// # Panics
+///
+/// Panics if the workload has no evaluation queries or the config asks
+/// for zero sessions.
+pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
+    let pool = workload.queries.len();
+    assert!(pool > 0, "workload has no queries to trace");
+    assert!(config.sessions > 0, "trace needs at least one session");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Seeded Fisher–Yates permutation: rank -> query index.
+    let mut rank_to_query: Vec<usize> = (0..pool).collect();
+    for i in (1..pool).rev() {
+        let j = rng.random_range(0..=i);
+        rank_to_query.swap(i, j);
+    }
+
+    let sampler = ZipfSampler::new(pool, config.zipf_s);
+    let mean = config.requests_per_session.max(1);
+    let lo = (mean / 2).max(1);
+    let hi = mean + mean / 2;
+    let sessions = (0..config.sessions as u64)
+        .map(|id| {
+            let len = rng.random_range(lo..=hi);
+            let query_indices = (0..len)
+                .map(|_| rank_to_query[sampler.sample(&mut rng)])
+                .collect();
+            TraceSession { id, query_indices }
+        })
+        .collect();
+    SessionTrace {
+        benchmark: workload.name.to_owned(),
+        seed: config.seed,
+        zipf_s: config.zipf_s,
+        pool_size: pool,
+        sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfcl;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let w = bfcl(3, 50);
+        let config = TraceConfig {
+            seed: 11,
+            ..TraceConfig::default()
+        };
+        assert_eq!(zipf_trace(&w, &config), zipf_trace(&w, &config));
+        let other = zipf_trace(&w, &TraceConfig { seed: 12, ..config });
+        assert_ne!(zipf_trace(&w, &config), other);
+    }
+
+    #[test]
+    fn session_lengths_bracket_the_mean() {
+        let w = bfcl(4, 40);
+        let config = TraceConfig {
+            seed: 5,
+            sessions: 40,
+            requests_per_session: 8,
+            zipf_s: 1.0,
+        };
+        let trace = zipf_trace(&w, &config);
+        assert_eq!(trace.sessions.len(), 40);
+        for s in &trace.sessions {
+            assert!((4..=12).contains(&s.query_indices.len()));
+        }
+        for s in &trace.sessions {
+            for q in &s.query_indices {
+                assert!(*q < w.queries.len());
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_few_queries() {
+        let w = bfcl(6, 100);
+        let skewed = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 9,
+                sessions: 64,
+                requests_per_session: 8,
+                zipf_s: 1.2,
+            },
+        );
+        let uniform = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 9,
+                sessions: 64,
+                requests_per_session: 8,
+                zipf_s: 0.0,
+            },
+        );
+        assert!(
+            skewed.unique_queries() < uniform.unique_queries(),
+            "skewed {} vs uniform {}",
+            skewed.unique_queries(),
+            uniform.unique_queries()
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_rank_zero_is_most_popular() {
+        let sampler = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..5_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must dominate: {counts:?}");
+        assert!(counts[0] > 5 * counts[40].max(1));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_trace() {
+        let w = bfcl(8, 30);
+        let trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 21,
+                sessions: 6,
+                requests_per_session: 4,
+                zipf_s: 1.0,
+            },
+        );
+        let text = trace.to_json().to_string();
+        let doc = lim_json::parse(&text).expect("valid JSON");
+        let back = SessionTrace::from_json(&doc).expect("well-formed trace");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn malformed_trace_documents_are_rejected() {
+        let doc = lim_json::parse(r#"{"schema":"lim-workloads/trace-v9"}"#).unwrap();
+        assert!(SessionTrace::from_json(&doc).is_err());
+        let doc = lim_json::parse(r#"{"schema":"lim-workloads/trace-v1"}"#).unwrap();
+        assert!(SessionTrace::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn corrupt_numeric_fields_are_rejected() {
+        let base = r#"{"schema":"lim-workloads/trace-v1","benchmark":"bfcl","seed":1,
+                       "zipf_s":1.0,"pool_size":POOL,
+                       "sessions":[{"id":ID,"queries":[Q]}]}"#;
+        let parse = |pool: &str, id: &str, q: &str| {
+            let text = base.replace("POOL", pool).replace("ID", id).replace("Q", q);
+            SessionTrace::from_json(&lim_json::parse(&text).unwrap())
+        };
+        assert!(parse("10", "0", "3").is_ok());
+        let negative_pool = parse("-1", "0", "3").unwrap_err();
+        assert!(negative_pool.contains("negative"), "{negative_pool}");
+        assert!(parse("99999999999", "0", "3")
+            .unwrap_err()
+            .contains("sanity bound"));
+        assert!(parse("10", "-4", "3").unwrap_err().contains("negative"));
+        assert!(parse("10", "0", "-2").unwrap_err().contains("negative"));
+        // Out-of-pool indices are caught at parse time, before any
+        // workload is built from the declared pool size.
+        assert!(parse("10", "0", "10").unwrap_err().contains("outside"));
+    }
+}

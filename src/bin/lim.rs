@@ -6,6 +6,9 @@
 //! lim bench    [options] [--out FILE]            parallel policy sweep + BENCH_*.json
 //! lim trace    [options] --query I               JSON execution trace of one query
 //! lim levels   [options] [--save FILE|--load F]  build / persist search levels
+//! lim loadgen  [options] [--out FILE]            Zipf trace -> serving engine replay
+//! lim serve    --trace FILE [options]            replay a saved session trace
+//! lim compare  --baseline A --current B          CI bench-regression gate
 //!
 //! common options:
 //!   --benchmark bfcl|geoengine   (default bfcl)
@@ -21,6 +24,19 @@
 //!   --quants q4_K_M,q8_0         quants to sweep (default: the --quant value)
 //!   --policies default,lim:3     policies to sweep (default all four paper policies)
 //!   --out FILE                   write the BENCH_*.json document
+//!
+//! loadgen / serve options:
+//!   --workers N                  serving workers; 0 = all cores (default 0)
+//!   --zipf S                     Zipf exponent (default 1.0; loadgen only)
+//!   --sessions N                 sessions to generate (default 64; loadgen only)
+//!   --requests N                 mean requests per session (default 8; loadgen only)
+//!   --save-trace FILE            write the generated trace JSON (loadgen only)
+//!   --trace FILE                 replay this trace JSON (serve only)
+//!   --out FILE                   write the BENCH_serve_*.json report
+//!
+//! compare options:
+//!   --baseline FILE --current FILE   documents of the same schema
+//!   --tolerance F                relative regression budget (default 0.10)
 //! ```
 
 use std::process::ExitCode;
@@ -52,6 +68,24 @@ struct Options {
     quants: Vec<Quant>,
     policies: Vec<Policy>,
     out: Option<String>,
+    /// Serving workers for `loadgen`/`serve`; 0 = available parallelism.
+    workers: usize,
+    /// Zipf exponent for `loadgen`.
+    zipf: f64,
+    /// Sessions to generate for `loadgen`.
+    sessions: usize,
+    /// Mean requests per session for `loadgen`.
+    requests: usize,
+    /// Trace JSON to replay (`serve`).
+    trace: Option<String>,
+    /// Where `loadgen` writes the generated trace JSON.
+    save_trace: Option<String>,
+    /// Baseline document for `compare`.
+    baseline: Option<String>,
+    /// Current document for `compare`.
+    current: Option<String>,
+    /// Relative regression tolerance for `compare`.
+    tolerance: f64,
 }
 
 impl Default for Options {
@@ -72,6 +106,15 @@ impl Default for Options {
             quants: Vec::new(),
             policies: Vec::new(),
             out: None,
+            workers: 0,
+            zipf: 1.0,
+            sessions: 64,
+            requests: 8,
+            trace: None,
+            save_trace: None,
+            baseline: None,
+            current: None,
+            tolerance: 0.10,
         }
     }
 }
@@ -99,6 +142,9 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&options),
         "trace" => cmd_trace(&options),
         "levels" => cmd_levels(&options),
+        "loadgen" => cmd_loadgen(&options),
+        "serve" => cmd_serve(&options),
+        "compare" => cmd_compare(&options),
         other => {
             eprintln!("unknown command {other:?}; try --help");
             ExitCode::FAILURE
@@ -114,14 +160,24 @@ fn print_help() {
          evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
          bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
          trace      print the JSON execution trace of one query\n  \
-         levels     build the offline search levels; --save FILE / --load FILE\n\n\
+         levels     build the offline search levels; --save FILE / --load FILE\n  \
+         loadgen    generate a Zipf session trace and replay it on the serving engine\n  \
+         serve      replay a saved trace JSON on the serving engine (--trace FILE)\n  \
+         compare    gate a BENCH_*.json against a committed baseline (CI)\n\n\
          options:\n  \
          --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
          --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
          --query I (trace only)      --save FILE / --load FILE (levels only)\n\n\
          bench options:\n  \
          --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
-         --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json"
+         --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n\n\
+         loadgen / serve options:\n  \
+         --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
+         --save-trace FILE (loadgen)  --trace FILE (serve)    --out BENCH_serve_1.json\n  \
+         (serve rebuilds the exact generation-time workload from the trace document\n  \
+         itself — benchmark, seed and pool size are recorded in the JSON)\n\n\
+         compare options:\n  \
+         --baseline FILE  --current FILE  --tolerance 0.10"
     );
 }
 
@@ -192,6 +248,35 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .collect::<Result<Vec<Policy>, String>>()?;
             }
             "--out" => options.out = Some(value("--out")?),
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer (0 = all cores)".to_owned())?;
+            }
+            "--zipf" => {
+                options.zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|_| "--zipf needs a number".to_owned())?;
+            }
+            "--sessions" => {
+                options.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|_| "--sessions needs an integer".to_owned())?;
+            }
+            "--requests" => {
+                options.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests needs an integer".to_owned())?;
+            }
+            "--trace" => options.trace = Some(value("--trace")?),
+            "--save-trace" => options.save_trace = Some(value("--save-trace")?),
+            "--baseline" => options.baseline = Some(value("--baseline")?),
+            "--current" => options.current = Some(value("--current")?),
+            "--tolerance" => {
+                options.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance needs a number".to_owned())?;
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -214,9 +299,13 @@ fn parse_policy(text: &str) -> Result<Policy, String> {
 }
 
 fn build_workload(options: &Options) -> Result<Workload, String> {
-    match options.benchmark.as_str() {
-        "bfcl" => Ok(bfcl(options.seed, options.queries)),
-        "geoengine" | "geo" => Ok(geoengine(options.seed, options.queries)),
+    build_workload_with(&options.benchmark, options.seed, options.queries)
+}
+
+fn build_workload_with(benchmark: &str, seed: u64, queries: usize) -> Result<Workload, String> {
+    match benchmark {
+        "bfcl" => Ok(bfcl(seed, queries)),
+        "geoengine" | "geo" => Ok(geoengine(seed, queries)),
         other => Err(format!("unknown benchmark {other:?} (bfcl|geoengine)")),
     }
 }
@@ -419,6 +508,265 @@ fn cmd_trace(options: &Options) -> ExitCode {
     );
     println!("{}", doc.to_pretty_string());
     ExitCode::SUCCESS
+}
+
+fn print_serve_report(report: &lessismore::serve::ServeReport) {
+    use lessismore::bench::report::{pct, secs, Table};
+    let mut table = Table::new(
+        &format!(
+            "lim serve — {} {} {} policy {} ({} sessions, {} requests, {} workers)",
+            report.benchmark,
+            report.model,
+            report.quant,
+            report.policy,
+            report.sessions,
+            report.requests,
+            report.workers
+        ),
+        &[
+            "success",
+            "tool acc",
+            "p50",
+            "p95",
+            "p99",
+            "embed hit",
+            "memo hit",
+            "rps",
+        ],
+    );
+    table.row(&[
+        pct(report.success_rate),
+        pct(report.tool_accuracy),
+        secs(report.latency.p50_s),
+        secs(report.latency.p95_s),
+        secs(report.latency.p99_s),
+        pct(report.embed_cache.hit_rate()),
+        pct(report.selection_memo.hit_rate()),
+        format!("{:.0}", report.requests_per_second),
+    ]);
+    table.print();
+    println!(
+        "unique queries {} | session fast hits {} | embed {}h/{}m/{}e | memo {}h/{}m/{}e | wall {:.2}s",
+        report.unique_queries,
+        report.session_fast_hits,
+        report.embed_cache.hits,
+        report.embed_cache.misses,
+        report.embed_cache.evictions,
+        report.selection_memo.hits,
+        report.selection_memo.misses,
+        report.selection_memo.evictions,
+        report.wall_seconds
+    );
+}
+
+fn run_serve_trace(
+    options: &Options,
+    workload: lessismore::workloads::Workload,
+    trace: &lessismore::workloads::trace::SessionTrace,
+    engine_seed: u64,
+) -> ExitCode {
+    use lessismore::serve::{ServeConfig, ServeEngine};
+
+    let model = match resolve_model(options) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServeConfig {
+        policy: options.policy,
+        quant: options.quant,
+        seed: engine_seed,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(workload, model, config);
+    let report = match engine.process_trace(trace, options.workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_serve_report(&report);
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, report.to_json().to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(options: &Options) -> ExitCode {
+    use lessismore::workloads::trace::{zipf_trace, TraceConfig};
+
+    let workload = match build_workload(options) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = zipf_trace(
+        &workload,
+        &TraceConfig {
+            seed: options.seed,
+            sessions: options.sessions,
+            requests_per_session: options.requests,
+            zipf_s: options.zipf,
+        },
+    );
+    println!(
+        "generated trace: {} sessions, {} requests, {} unique queries (zipf {:.2}, pool {})",
+        trace.sessions.len(),
+        trace.requests(),
+        trace.unique_queries(),
+        trace.zipf_s,
+        trace.pool_size
+    );
+    if let Some(path) = &options.save_trace {
+        let mut doc = trace.to_json();
+        // Advisory generation-time engine config: `lim serve` warns when
+        // its flags diverge, so replayed reports are never silently
+        // non-comparable with the generation run.
+        doc.insert(
+            "generator",
+            lessismore::json::Value::object([
+                (
+                    "policy",
+                    lessismore::json::Value::from(options.policy.label()),
+                ),
+                (
+                    "model",
+                    lessismore::json::Value::from(options.model.as_str()),
+                ),
+                (
+                    "quant",
+                    lessismore::json::Value::from(options.quant.label()),
+                ),
+            ]),
+        );
+        if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    run_serve_trace(options, workload, &trace, options.seed)
+}
+
+fn cmd_serve(options: &Options) -> ExitCode {
+    use lessismore::workloads::trace::SessionTrace;
+
+    let Some(path) = &options.trace else {
+        eprintln!("error: serve needs --trace FILE (generate one with lim loadgen --save-trace)");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match lessismore::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match SessionTrace::from_json(&doc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The engine config (policy/model/quant) still comes from flags; if
+    // the document carries the generation-time config, flag divergence is
+    // called out so reports are never silently non-comparable.
+    if let Some(generator) = doc.get("generator") {
+        let get = |field: &str| {
+            generator
+                .get(field)
+                .and_then(lessismore::json::Value::as_str)
+        };
+        let current = [
+            ("policy", options.policy.label()),
+            ("model", options.model.clone()),
+            ("quant", options.quant.label().to_owned()),
+        ];
+        for (field, now) in &current {
+            if let Some(generated) = get(field) {
+                if generated != now {
+                    eprintln!(
+                        "warning: trace was generated with {field} {generated} but replaying \
+                         with {now}; pass --{field} {generated} to reproduce the original run"
+                    );
+                }
+            }
+        }
+    }
+
+    // The trace document records the benchmark, seed and pool size it was
+    // generated over (loadgen uses one seed for both the workload and the
+    // draws), so the replay rebuilds exactly that workload — no way to
+    // silently pair the trace with a different query pool via flags.
+    let workload = match build_workload_with(&trace.benchmark, trace.seed, trace.pool_size) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    run_serve_trace(options, workload, &trace, trace.seed)
+}
+
+fn cmd_compare(options: &Options) -> ExitCode {
+    use lessismore::bench::compare::compare_documents;
+
+    let (Some(baseline_path), Some(current_path)) = (&options.baseline, &options.current) else {
+        eprintln!("error: compare needs --baseline FILE and --current FILE");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| -> Result<lessismore::json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        lessismore::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compare_documents(&baseline, &current, options.tolerance) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "ok: {current_path} within {:.0}% of {baseline_path}",
+                100.0 * options.tolerance
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "FAIL: {} tracked metric(s) regressed more than {:.0}%:",
+                regressions.len(),
+                100.0 * options.tolerance
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_levels(options: &Options) -> ExitCode {

@@ -34,6 +34,8 @@ pub use lim_embed as embed;
 pub use lim_json as json;
 /// Calibrated edge-LLM behaviour and cost simulator.
 pub use lim_llm as llm;
+/// Long-lived cache-accelerated serving engine with session traces.
+pub use lim_serve as serve;
 /// Tool schemas, registry and call validation.
 pub use lim_tools as tools;
 /// Flat and IVF vector indexes.
