@@ -11,6 +11,17 @@
 //! * `lim-serve/report-v1` — one document; tracked: `success_rate`↑,
 //!   `tool_accuracy`↑, the two cache `hit_rate`s↑ and the
 //!   `latency.p50_s`/`p95_s`/`p99_s` simulated percentiles↓.
+//! * `lim-serve/report-v2` — everything v1 tracks plus the admission
+//!   metrics: `admission.shed`↓, `admission.degraded`↓,
+//!   `admission.max_queue_depth`↓ and the
+//!   `admission.queue_wait.p95_s`/`p99_s` percentiles↓.
+//!
+//! Version-bump rule: a schema id changes only when a field is renamed,
+//! removed or changes meaning (additions keep the id). The two documents
+//! must carry the *same* id — `lim compare` never gates across versions,
+//! because a tracked metric's denominator may have changed meaning; a
+//! bump therefore forces the committed baseline to be regenerated
+//! deliberately. The tracked-metric set is selected by the shared id.
 //!
 //! Wall-clock fields (`wall_seconds`, `requests_per_second`, elapsed
 //! sweep time) are never tracked: they vary per runner. Everything
@@ -60,7 +71,7 @@ const GRID_METRICS: &[(&str, Direction)] = &[
     ("avg_power_w", Direction::LowerIsBetter),
 ];
 
-/// Tracked metrics for the serve schema.
+/// Tracked metrics for the serve schema (v1; v2 extends this set).
 const SERVE_METRICS: &[(&str, Direction)] = &[
     ("success_rate", Direction::HigherIsBetter),
     ("tool_accuracy", Direction::HigherIsBetter),
@@ -69,6 +80,18 @@ const SERVE_METRICS: &[(&str, Direction)] = &[
     ("latency.p50_s", Direction::LowerIsBetter),
     ("latency.p95_s", Direction::LowerIsBetter),
     ("latency.p99_s", Direction::LowerIsBetter),
+];
+
+/// Additional tracked metrics for `lim-serve/report-v2`: the admission
+/// layer's deterministic counters. With a zero baseline (a calm trace)
+/// the relative gate means "must stay zero" — a PR that starts shedding
+/// the CI trace fails.
+const SERVE_V2_METRICS: &[(&str, Direction)] = &[
+    ("admission.shed", Direction::LowerIsBetter),
+    ("admission.degraded", Direction::LowerIsBetter),
+    ("admission.max_queue_depth", Direction::LowerIsBetter),
+    ("admission.queue_wait.p95_s", Direction::LowerIsBetter),
+    ("admission.queue_wait.p99_s", Direction::LowerIsBetter),
 ];
 
 /// Whether `current` is worse than `baseline` by more than `tolerance`
@@ -122,6 +145,11 @@ pub fn compare_documents(
         "lim-bench/grid-v1" => compare_grids(baseline, current, tolerance),
         "lim-serve/report-v1" => {
             compare_tracked(baseline, current, SERVE_METRICS, "serve", tolerance)
+        }
+        "lim-serve/report-v2" => {
+            let mut metrics = SERVE_METRICS.to_vec();
+            metrics.extend_from_slice(SERVE_V2_METRICS);
+            compare_tracked(baseline, current, &metrics, "serve", tolerance)
         }
         other => Err(format!("unknown schema {other:?}")),
     }
@@ -265,6 +293,54 @@ mod tests {
         assert!(compare_documents(&serve, &serve, 0.1).is_err()); // missing metrics
         let unknown = lim_json::parse(r#"{"schema":"x/y"}"#).unwrap();
         assert!(compare_documents(&unknown, &unknown, 0.1).is_err());
+    }
+
+    #[test]
+    fn serve_v2_reports_gate_admission_metrics() {
+        let mk = |shed: i64, wait_p95: f64| {
+            lim_json::parse(&format!(
+                r#"{{"schema":"lim-serve/report-v2","success_rate":0.5,
+                    "tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":0.8}},
+                               "selection":{{"hit_rate":0.7}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}},
+                    "admission":{{"shed":{shed},"degraded":0,"max_queue_depth":4,
+                                  "queue_wait":{{"p95_s":{wait_p95},"p99_s":5.0}}}}}}"#
+            ))
+            .unwrap()
+        };
+        let base = mk(0, 1.0);
+        assert!(compare_documents(&base, &mk(0, 1.05), 0.10)
+            .unwrap()
+            .is_empty());
+        // A zero shed baseline means "must stay zero".
+        let r = compare_documents(&base, &mk(3, 1.0), 0.10).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "admission.shed");
+        // Waits regress like any LowerIsBetter metric.
+        let r = compare_documents(&base, &mk(0, 1.5), 0.10).unwrap();
+        assert_eq!(r[0].metric, "admission.queue_wait.p95_s");
+        // v1 baselines never compare against v2 documents: the id must
+        // match exactly, forcing a deliberate baseline regeneration.
+        let v1 = lim_json::parse(
+            r#"{"schema":"lim-serve/report-v1","success_rate":0.5,
+                "tool_accuracy":0.6,
+                "caches":{"embedding":{"hit_rate":0.8},
+                           "selection":{"hit_rate":0.7}},
+                "latency":{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}}"#,
+        )
+        .unwrap();
+        assert!(compare_documents(&v1, &base, 0.10)
+            .unwrap_err()
+            .contains("schema mismatch"));
+        // A v2 document missing the admission section is malformed: the
+        // tracked admission metrics must be present, never defaulted.
+        let mut v2_no_admission = v1.clone();
+        v2_no_admission.insert("schema", Value::from("lim-serve/report-v2"));
+        let err = compare_documents(&base, &v2_no_admission, 0.10).unwrap_err();
+        assert!(err.contains("missing admission.shed"), "{err}");
+        // v1 documents still gate on the v1 metric set.
+        assert!(compare_documents(&v1, &v1, 0.10).unwrap().is_empty());
     }
 
     #[test]

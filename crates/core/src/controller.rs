@@ -194,6 +194,18 @@ impl<'a> ToolController<'a> {
         }
     }
 
+    /// The Level-3 downgrade: the full catalog with zero selection work.
+    ///
+    /// This is the serving layer's shed-load degrade path (`lim-serve`
+    /// admission control): under queue pressure a request skips the
+    /// recommender, the `Ẽ` embeddings and the k-NN arbitration entirely
+    /// and is served the vanilla full-tool prompt instead — the
+    /// selection stage, which the paper identifies as the dominant
+    /// overhead, contributes nothing to a degraded request's latency.
+    pub fn downgrade_to_full(&self) -> ToolSelection {
+        self.full_selection(0.0, 0.0)
+    }
+
     fn full_selection(&self, level1_score: f32, level2_score: f32) -> ToolSelection {
         ToolSelection {
             level: SearchLevel::Full,
@@ -342,6 +354,17 @@ mod tests {
             covered * 4 >= cluster_wins * 3,
             "chain covered {covered}/{cluster_wins}"
         );
+    }
+
+    #[test]
+    fn downgrade_to_full_offers_the_whole_catalog_scoreless() {
+        let w = bfcl(1, 30);
+        let levels = SearchLevels::build(&w);
+        let c = ToolController::new(&levels, ControllerConfig::default());
+        let s = c.downgrade_to_full();
+        assert_eq!(s.level, SearchLevel::Full);
+        assert_eq!(s.tool_indices, levels.full_level());
+        assert_eq!((s.level1_score, s.level2_score), (0.0, 0.0));
     }
 
     #[test]

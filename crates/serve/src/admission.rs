@@ -1,0 +1,557 @@
+//! Bounded-queue admission control on a deterministic virtual clock.
+//!
+//! An open-loop arrival process (see `lim_workloads::trace`) can outrun
+//! the engine; this module decides what happens then. The simulator walks
+//! the requests in canonical arrival order against a small virtual
+//! system: `servers` executors, each busy for the request's *simulated*
+//! service seconds, fronted by one bounded queue of capacity
+//! `queue_depth` with **per-session round-robin fairness** — a chatty
+//! session cannot starve a quiet one, because the dispatcher rotates over
+//! the sessions that have requests waiting rather than serving the queue
+//! FIFO.
+//!
+//! When an arrival finds every executor busy and the queue full, the
+//! [`ShedPolicy`] decides its fate:
+//!
+//! * [`ShedPolicy::Reject`] — the request is shed (a typed
+//!   [`Disposition::Shed`] outcome; it never executes and counts as a
+//!   failure in the report's accuracy metrics).
+//! * [`ShedPolicy::Degrade`] — pressure is relieved *before* the hard
+//!   bound: arrivals that find the queue at or beyond half capacity are
+//!   admitted **degraded** — served the Level-3 full catalog with zero
+//!   selection work (see `ToolController::downgrade_to_full` in
+//!   `lim-core`), so the queued work per request shrinks under load.
+//!   Arrivals that find the queue completely full are still shed.
+//!
+//! Everything here is sequential and a pure function of its inputs
+//! (arrival timestamps, per-request service seconds, session ids), so
+//! queue depth, wait-time percentiles, shed and degraded counters are
+//! bit-identical for every engine worker count — exactly like the cache
+//! counters the engine already guarantees.
+
+use std::collections::{HashMap, VecDeque};
+
+/// What to do with an arrival that cannot be served or queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed over-capacity arrivals outright.
+    Reject,
+    /// Degrade arrivals to Level-3 / selection-free service once the
+    /// queue reaches half capacity; shed only when it is full.
+    Degrade,
+}
+
+impl ShedPolicy {
+    /// Canonical textual form (`"reject"` / `"degrade"`) — what the CLI
+    /// accepts and reports echo.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::Degrade => "degrade",
+        }
+    }
+
+    /// Parses the [`ShedPolicy::label`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "reject" => Ok(ShedPolicy::Reject),
+            "degrade" => Ok(ShedPolicy::Degrade),
+            other => Err(format!("unknown shed policy {other:?} (reject|degrade)")),
+        }
+    }
+}
+
+/// Admission-control tunables (all virtual-clock; real worker threads
+/// never change the numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Capacity of the bounded wait queue. `0` disables admission
+    /// control entirely: every request is served instantly, as the
+    /// original open-loop replay did.
+    pub queue_depth: usize,
+    /// Simulated executors draining the queue (an edge device typically
+    /// runs one).
+    pub servers: usize,
+    /// Policy for over-capacity arrivals.
+    pub shed_policy: ShedPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 0,
+            servers: 1,
+            shed_policy: ShedPolicy::Reject,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Whether the admission layer participates at all.
+    pub fn enabled(&self) -> bool {
+        self.queue_depth > 0
+    }
+
+    /// The executor count the simulation actually runs with: `servers`,
+    /// floored at one. Reports echo this value so the recorded config
+    /// always matches the numbers it produced.
+    pub fn effective_servers(&self) -> usize {
+        self.servers.max(1)
+    }
+
+    /// Queue depth at which [`ShedPolicy::Degrade`] starts degrading
+    /// arrivals: half the capacity, and at least one — so a depth-1
+    /// queue degrades nothing (it sheds, like `Reject`).
+    pub fn degrade_watermark(&self) -> usize {
+        (self.queue_depth / 2).max(1)
+    }
+}
+
+/// The admission layer's verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Disposition {
+    /// Served at full quality after `wait_s` virtual seconds in queue.
+    Served {
+        /// Virtual seconds spent waiting for an executor.
+        wait_s: f64,
+    },
+    /// Served degraded (Level-3 full catalog, zero selection work) after
+    /// `wait_s` virtual seconds in queue.
+    Degraded {
+        /// Virtual seconds spent waiting for an executor.
+        wait_s: f64,
+    },
+    /// Never executed: arrived to a full queue.
+    Shed,
+}
+
+impl Disposition {
+    /// Queue wait of an admitted request; `None` for shed ones.
+    pub fn wait_s(&self) -> Option<f64> {
+        match self {
+            Disposition::Served { wait_s } | Disposition::Degraded { wait_s } => Some(*wait_s),
+            Disposition::Shed => None,
+        }
+    }
+}
+
+/// Everything one simulation produced, in canonical request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// Per-request verdicts, index-aligned with the inputs.
+    pub dispositions: Vec<Disposition>,
+    /// Deepest the wait queue ever got.
+    pub max_queue_depth: usize,
+    /// Requests shed (never executed).
+    pub shed: u64,
+    /// Requests served degraded.
+    pub degraded: u64,
+}
+
+impl AdmissionOutcome {
+    /// Queue waits of all admitted requests, canonical order.
+    pub fn waits(&self) -> Vec<f64> {
+        self.dispositions
+            .iter()
+            .filter_map(Disposition::wait_s)
+            .collect()
+    }
+
+    fn all_served_instantly(n: usize) -> Self {
+        Self {
+            dispositions: vec![Disposition::Served { wait_s: 0.0 }; n],
+            max_queue_depth: 0,
+            shed: 0,
+            degraded: 0,
+        }
+    }
+}
+
+/// The bounded wait queue with per-session round-robin fairness.
+///
+/// Requests are held in per-session FIFO sub-queues; a rotation list over
+/// the sessions that currently have waiters decides dispatch order. A
+/// session joins the rotation tail when its first request queues and
+/// rotates to the tail again after each dispatch, so N waiting sessions
+/// each get every Nth executor slot regardless of how many requests any
+/// one of them has piled up.
+struct FairQueue {
+    per_session: HashMap<u64, VecDeque<usize>>,
+    rotation: VecDeque<u64>,
+    len: usize,
+}
+
+impl FairQueue {
+    fn new() -> Self {
+        Self {
+            per_session: HashMap::new(),
+            rotation: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, session: u64, request: usize) {
+        let waiters = self.per_session.entry(session).or_default();
+        if waiters.is_empty() {
+            self.rotation.push_back(session);
+        }
+        waiters.push_back(request);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<usize> {
+        let session = self.rotation.pop_front()?;
+        let waiters = self
+            .per_session
+            .get_mut(&session)
+            .expect("rotated session has a sub-queue");
+        let request = waiters.pop_front().expect("rotated session has a waiter");
+        if !waiters.is_empty() {
+            self.rotation.push_back(session);
+        }
+        self.len -= 1;
+        Some(request)
+    }
+}
+
+/// Runs the virtual-clock admission simulation.
+///
+/// * `arrivals_s` — per-request arrival timestamps in canonical order
+///   (nondecreasing), or `None` for a back-to-back (closed-loop) trace,
+///   where by construction nothing ever waits or sheds.
+/// * `sessions` — per-request session id (fairness key).
+/// * `service_s` — per-request full-quality service seconds.
+/// * `degraded_service_s` — per-request degraded service seconds; used
+///   for requests the `Degrade` policy downgrades (falls back to
+///   `service_s` when absent).
+///
+/// Returns one [`Disposition`] per request plus the aggregate counters.
+/// The walk is sequential and pure, so its output is bit-identical for
+/// any engine worker count.
+///
+/// # Panics
+///
+/// Panics if the input slices disagree on length or arrivals decrease.
+pub fn simulate(
+    arrivals_s: Option<&[f64]>,
+    sessions: &[u64],
+    service_s: &[f64],
+    degraded_service_s: Option<&[f64]>,
+    config: &AdmissionConfig,
+) -> AdmissionOutcome {
+    let n = service_s.len();
+    assert_eq!(sessions.len(), n, "one session id per request");
+    if let Some(d) = degraded_service_s {
+        assert_eq!(d.len(), n, "one degraded service time per request");
+    }
+    let Some(arrivals) = arrivals_s else {
+        // Closed loop: each request arrives exactly when the engine is
+        // ready for it. No queue ever forms.
+        return AdmissionOutcome::all_served_instantly(n);
+    };
+    assert_eq!(arrivals.len(), n, "one arrival per request");
+    if !config.enabled() {
+        return AdmissionOutcome::all_served_instantly(n);
+    }
+
+    let servers = config.effective_servers();
+    // Virtual time each executor becomes free; index is the tie-break.
+    let mut busy_until = vec![0.0f64; servers];
+    let mut queue = FairQueue::new();
+    let mut dispositions = vec![Disposition::Shed; n];
+    let mut degraded_flag = vec![false; n];
+    let mut max_queue_depth = 0usize;
+    let mut shed = 0u64;
+    let mut degraded = 0u64;
+
+    let service_of = |i: usize, is_degraded: bool| -> f64 {
+        if is_degraded {
+            degraded_service_s.map_or(service_s[i], |d| d[i])
+        } else {
+            service_s[i]
+        }
+    };
+    // The earliest-free executor; ties break on the lowest index so the
+    // walk is deterministic.
+    let earliest = |busy_until: &[f64]| -> (usize, f64) {
+        let mut best = 0usize;
+        for (i, t) in busy_until.iter().enumerate().skip(1) {
+            if *t < busy_until[best] {
+                best = i;
+            }
+        }
+        (best, busy_until[best])
+    };
+
+    let mut last_arrival = 0.0f64;
+    for i in 0..n {
+        let t = arrivals[i];
+        assert!(
+            t >= last_arrival,
+            "arrivals must be nondecreasing in canonical order"
+        );
+        last_arrival = t;
+
+        // Replay every completion up to the arrival instant, handing the
+        // freed executor to the fairness rotation each time.
+        loop {
+            if queue.len() == 0 {
+                break;
+            }
+            let (idx, free_at) = earliest(&busy_until);
+            if free_at > t {
+                break;
+            }
+            let next = queue.pop().expect("non-empty queue");
+            let wait_s = free_at - arrivals[next];
+            dispositions[next] = if degraded_flag[next] {
+                Disposition::Degraded { wait_s }
+            } else {
+                Disposition::Served { wait_s }
+            };
+            busy_until[idx] = free_at + service_of(next, degraded_flag[next]);
+        }
+
+        let (idx, free_at) = earliest(&busy_until);
+        if free_at <= t && queue.len() == 0 {
+            // An executor is idle: serve immediately.
+            dispositions[i] = Disposition::Served { wait_s: 0.0 };
+            busy_until[idx] = t + service_of(i, false);
+            continue;
+        }
+        let depth = queue.len();
+        if depth >= config.queue_depth {
+            dispositions[i] = Disposition::Shed;
+            shed += 1;
+            continue;
+        }
+        if config.shed_policy == ShedPolicy::Degrade && depth >= config.degrade_watermark() {
+            degraded_flag[i] = true;
+            degraded += 1;
+        }
+        queue.push(sessions[i], i);
+        max_queue_depth = max_queue_depth.max(queue.len());
+    }
+
+    // Drain: after the last arrival the executors work the queue dry.
+    while queue.len() > 0 {
+        let (idx, free_at) = earliest(&busy_until);
+        let next = queue.pop().expect("non-empty queue");
+        let wait_s = free_at - arrivals[next];
+        dispositions[next] = if degraded_flag[next] {
+            Disposition::Degraded { wait_s }
+        } else {
+            Disposition::Served { wait_s }
+        };
+        busy_until[idx] = free_at + service_of(next, degraded_flag[next]);
+    }
+
+    AdmissionOutcome {
+        dispositions,
+        max_queue_depth,
+        shed,
+        degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(depth: usize, policy: ShedPolicy) -> AdmissionConfig {
+        AdmissionConfig {
+            queue_depth: depth,
+            servers: 1,
+            shed_policy: policy,
+        }
+    }
+
+    #[test]
+    fn back_to_back_never_waits_or_sheds() {
+        let out = simulate(
+            None,
+            &[1, 1, 2],
+            &[5.0, 5.0, 5.0],
+            None,
+            &config(2, ShedPolicy::Reject),
+        );
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.max_queue_depth, 0);
+        assert!(out.waits().iter().all(|w| *w == 0.0));
+    }
+
+    #[test]
+    fn disabled_queue_serves_everything_instantly() {
+        let out = simulate(
+            Some(&[0.0, 0.0, 0.0]),
+            &[1, 1, 1],
+            &[9.0, 9.0, 9.0],
+            None,
+            &config(0, ShedPolicy::Reject),
+        );
+        assert_eq!(out.shed, 0);
+        assert!(out.waits().iter().all(|w| *w == 0.0));
+    }
+
+    #[test]
+    fn single_server_burst_waits_cumulatively() {
+        // Three simultaneous arrivals, 2s service, one server: waits are
+        // 0, 2 and 4 seconds.
+        let out = simulate(
+            Some(&[0.0, 0.0, 0.0]),
+            &[1, 1, 1],
+            &[2.0, 2.0, 2.0],
+            None,
+            &config(8, ShedPolicy::Reject),
+        );
+        assert_eq!(out.waits(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(out.max_queue_depth, 2);
+        assert_eq!(out.shed, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_under_reject() {
+        // One in service + queue of 1: the 3rd..5th simultaneous
+        // arrivals find the queue full.
+        let out = simulate(
+            Some(&[0.0; 5]),
+            &[1; 5],
+            &[10.0; 5],
+            None,
+            &config(1, ShedPolicy::Reject),
+        );
+        assert_eq!(out.shed, 3);
+        assert_eq!(
+            out.dispositions[2..],
+            [Disposition::Shed, Disposition::Shed, Disposition::Shed]
+        );
+        assert_eq!(out.max_queue_depth, 1);
+    }
+
+    #[test]
+    fn round_robin_interleaves_sessions() {
+        // Session 1 floods with four requests at t=0; session 2's two
+        // requests arrive right after. One server, 1s service. Without
+        // fairness session 2 would wait behind all of session 1; with
+        // round-robin its first request is dispatched second.
+        let out = simulate(
+            Some(&[0.0, 0.0, 0.0, 0.0, 0.1, 0.1]),
+            &[1, 1, 1, 1, 2, 2],
+            &[1.0; 6],
+            None,
+            &config(8, ShedPolicy::Reject),
+        );
+        let wait = |i: usize| out.dispositions[i].wait_s().unwrap();
+        // Dispatch order: 0 (immediate), then RR over {1: [1,2,3], 2: [4,5]}:
+        // 1, 4, 2, 5, 3.
+        assert_eq!(wait(0), 0.0);
+        assert_eq!(wait(1), 1.0);
+        assert!((wait(4) - 1.9).abs() < 1e-9, "session 2 dispatched second");
+        assert_eq!(wait(2), 3.0);
+        assert!((wait(5) - 3.9).abs() < 1e-9);
+        assert_eq!(wait(3), 5.0);
+    }
+
+    #[test]
+    fn degrade_kicks_in_at_the_watermark_then_sheds() {
+        // Queue depth 4 → watermark 2. Everything arrives at once with
+        // slow normal service and fast degraded service.
+        let degraded = [0.5f64; 8];
+        let out = simulate(
+            Some(&[0.0; 8]),
+            &[1; 8],
+            &[10.0; 8],
+            Some(&degraded),
+            &config(4, ShedPolicy::Degrade),
+        );
+        // 0 served immediately; 1,2 queue normally (depth 0,1 < 2);
+        // 3,4 degrade (depth 2,3); 5..8 shed (queue full).
+        assert_eq!(out.degraded, 2);
+        assert_eq!(out.shed, 3);
+        assert!(matches!(out.dispositions[3], Disposition::Degraded { .. }));
+        assert!(matches!(out.dispositions[4], Disposition::Degraded { .. }));
+    }
+
+    #[test]
+    fn degraded_service_time_drains_the_queue_faster() {
+        // Steady overload: with Degrade the cheap service time lets later
+        // arrivals find room that Reject's full-cost queue does not have.
+        let n = 40;
+        let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let sessions: Vec<u64> = (0..n as u64).collect();
+        let service = vec![4.0f64; n];
+        let degraded = vec![0.25f64; n];
+        let rejecting = simulate(
+            Some(&arrivals),
+            &sessions,
+            &service,
+            None,
+            &config(4, ShedPolicy::Reject),
+        );
+        let degrading = simulate(
+            Some(&arrivals),
+            &sessions,
+            &service,
+            Some(&degraded),
+            &config(4, ShedPolicy::Degrade),
+        );
+        assert!(rejecting.shed > 0);
+        assert!(degrading.degraded > 0);
+        assert!(
+            degrading.shed < rejecting.shed,
+            "degrade shed {} vs reject shed {}",
+            degrading.shed,
+            rejecting.shed
+        );
+    }
+
+    #[test]
+    fn multiple_servers_raise_capacity() {
+        let arrivals = [0.0, 0.0, 0.0, 0.0];
+        let one = simulate(
+            Some(&arrivals),
+            &[1; 4],
+            &[2.0; 4],
+            None,
+            &AdmissionConfig {
+                queue_depth: 8,
+                servers: 1,
+                shed_policy: ShedPolicy::Reject,
+            },
+        );
+        let two = simulate(
+            Some(&arrivals),
+            &[1; 4],
+            &[2.0; 4],
+            None,
+            &AdmissionConfig {
+                queue_depth: 8,
+                servers: 2,
+                shed_policy: ShedPolicy::Reject,
+            },
+        );
+        let total = |o: &AdmissionOutcome| o.waits().iter().sum::<f64>();
+        assert!(total(&two) < total(&one));
+        assert_eq!(two.waits(), vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_arrivals_panic() {
+        simulate(
+            Some(&[1.0, 0.5]),
+            &[1, 1],
+            &[1.0, 1.0],
+            None,
+            &config(4, ShedPolicy::Reject),
+        );
+    }
+}

@@ -25,6 +25,26 @@
 //!
 //! Stages 2 and 4 carry all the heavy work; stage 1 is string hashing and
 //! O(1) cache bookkeeping.
+//!
+//! # Admission control
+//!
+//! When the trace carries open-loop arrival timestamps and
+//! [`ServeConfig::admission`] enables a bounded queue, a fifth,
+//! sequential stage replays the [`crate::admission`] virtual-clock
+//! simulation over the per-request service times stages 2 and 4
+//! produced: requests wait in a per-session round-robin queue for one of
+//! the simulated executors, degrade to Level-3 / selection-free service
+//! under pressure (shed policy `degrade`), or are shed outright with a
+//! typed outcome once the queue is full. Because the simulation is a
+//! pure sequential function of deterministic inputs, queue depth, wait
+//! percentiles and shed/degraded counters are bit-identical for every
+//! worker count, exactly like the cache counters.
+//!
+//! Admission is simulated at the *dispatch* boundary: the cache plan
+//! (stage 1) still walks every request in canonical order, so a later
+//! shed request can have warmed a key an admitted request then hits —
+//! the same speculative warm-up a real engine performs in its cheap
+//! control plane before the expensive execute stage is gated.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,8 +60,9 @@ use lim_vecstore::VectorIndex;
 use lim_workloads::trace::SessionTrace;
 use lim_workloads::{Query, Workload};
 
+use crate::admission::{self, AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
 use crate::cache::{CacheStats, Lookup, LruCache};
-use crate::report::{LatencyStats, ServeReport};
+use crate::report::{AdmissionReport, LatencyStats, ServeReport};
 
 /// Serving-engine tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +83,9 @@ pub struct ServeConfig {
     pub knn_seconds_per_level: f64,
     /// Pre-warm the embedding cache with the training queries at startup.
     pub prewarm: bool,
+    /// Backpressure layer: bounded queue, fairness and shed policy
+    /// (disabled by default — `queue_depth: 0`).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +99,7 @@ impl Default for ServeConfig {
             embed_seconds_per_text: 0.004,
             knn_seconds_per_level: 0.0008,
             prewarm: true,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -390,6 +415,7 @@ impl ServeEngine {
         {
             return Err(format!("trace query index {bad} out of range (0..{pool})"));
         }
+        trace.validate_arrivals()?;
 
         let workers = resolve_threads(workers);
         let started = std::time::Instant::now();
@@ -432,12 +458,46 @@ impl ServeEngine {
             self.execute_request(&pipeline, request, &computed)
         });
 
+        // ---- Stage 5: sequential virtual-clock admission replay.
+        // The degrade path serves the Level-3 full catalog with zero
+        // selection work, so its alternative outcome is computed for
+        // every request up front (parallel, deterministic) and the
+        // sequential simulation just picks per request.
+        let needs_degraded = self.config.admission.enabled()
+            && self.config.admission.shed_policy == ShedPolicy::Degrade
+            && trace.arrivals != lim_workloads::trace::ArrivalProcess::BackToBack
+            && !matches!(self.config.policy, Policy::Default);
+        let degraded_outcomes: Option<Vec<RequestOutcome>> = needs_degraded.then(|| {
+            sharded_map(&planned, workers, |_, request| {
+                self.execute_degraded(&pipeline, request)
+            })
+        });
+        let arrivals = trace.arrival_seconds();
+        let session_of: Vec<u64> = trace
+            .sessions
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.id, s.query_indices.len()))
+            .collect();
+        let service: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+        let degraded_service: Option<Vec<f64>> = degraded_outcomes
+            .as_ref()
+            .map(|d| d.iter().map(|o| o.seconds).collect());
+        let admission = admission::simulate(
+            arrivals.as_deref(),
+            &session_of,
+            &service,
+            degraded_service.as_deref(),
+            &self.config.admission,
+        );
+
         let wall_seconds = started.elapsed().as_secs_f64();
         self.requests_served += planned.len() as u64;
         Ok(self.aggregate(
             trace,
             workers,
             &outcomes,
+            degraded_outcomes.as_deref(),
+            &admission,
             embed_before,
             memo_before,
             session_fast_before,
@@ -646,24 +706,68 @@ impl ServeEngine {
         }
     }
 
+    /// The admission layer's degrade path: the Level-3 full catalog with
+    /// zero selection overhead (see `ToolController::downgrade_to_full`).
+    /// A degraded request pays the vanilla full-prompt execution but
+    /// nothing for selection — the recommender, the `Ẽ` embeddings and
+    /// the k-NN arbitration are all skipped.
+    fn execute_degraded(
+        &self,
+        pipeline: &Pipeline<'_>,
+        request: &PlannedRequest,
+    ) -> RequestOutcome {
+        let query = &self.workload.queries[request.query_index];
+        let controller = ToolController::new(&self.levels, Default::default());
+        let selection = controller.downgrade_to_full();
+        let result = pipeline.run_query_offered(query, &selection.tool_indices, DEFAULT_CONTEXT);
+        RequestOutcome {
+            success: result.success,
+            tool_correct: result.tool_correct,
+            offered_tools: selection.tool_indices.len(),
+            level: None,
+            seconds: result.cost.seconds,
+            joules: result.cost.joules,
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn aggregate(
         &self,
         trace: &SessionTrace,
         workers: usize,
         outcomes: &[RequestOutcome],
+        degraded_outcomes: Option<&[RequestOutcome]>,
+        admission: &AdmissionOutcome,
         embed_before: CacheStats,
         memo_before: CacheStats,
         session_fast_before: u64,
         wall_seconds: f64,
     ) -> ServeReport {
+        // Resolve each request's *final* outcome through its admission
+        // disposition: served → the full-quality outcome, degraded → the
+        // Level-3 alternative, shed → never executed (None). Shed
+        // requests stay in every denominator: shedding buys stability by
+        // paying accuracy, and the report must show that price.
+        let resolved: Vec<Option<&RequestOutcome>> = admission
+            .dispositions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match d {
+                Disposition::Shed => None,
+                Disposition::Degraded { .. } => {
+                    Some(degraded_outcomes.map_or(&outcomes[i], |alt| &alt[i]))
+                }
+                Disposition::Served { .. } => Some(&outcomes[i]),
+            })
+            .collect();
         let n = outcomes.len().max(1) as f64;
-        let total_seconds: f64 = outcomes.iter().map(|o| o.seconds).sum();
-        let total_joules: f64 = outcomes.iter().map(|o| o.joules).sum();
-        let latencies: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
-        let share = |level: SearchLevel| {
-            outcomes.iter().filter(|o| o.level == Some(level)).count() as f64 / n
-        };
+        let executed = || resolved.iter().flatten();
+        let total_seconds: f64 = executed().map(|o| o.seconds).sum();
+        let total_joules: f64 = executed().map(|o| o.joules).sum();
+        let latencies: Vec<f64> = executed().map(|o| o.seconds).collect();
+        let executed_n = latencies.len().max(1) as f64;
+        let share =
+            |level: SearchLevel| executed().filter(|o| o.level == Some(level)).count() as f64 / n;
         ServeReport {
             benchmark: self.workload.name.to_owned(),
             model: self.model.name.to_owned(),
@@ -676,13 +780,12 @@ impl ServeEngine {
             sessions: trace.sessions.len(),
             requests: outcomes.len(),
             unique_queries: trace.unique_queries(),
-            success_rate: outcomes.iter().filter(|o| o.success).count() as f64 / n,
-            tool_accuracy: outcomes.iter().filter(|o| o.tool_correct).count() as f64 / n,
-            avg_offered_tools: outcomes.iter().map(|o| o.offered_tools as f64).sum::<f64>() / n,
+            success_rate: executed().filter(|o| o.success).count() as f64 / n,
+            tool_accuracy: executed().filter(|o| o.tool_correct).count() as f64 / n,
+            avg_offered_tools: executed().map(|o| o.offered_tools as f64).sum::<f64>() / executed_n,
             level1_share: share(SearchLevel::Individual),
             level2_share: share(SearchLevel::Cluster),
-            level3_share: outcomes
-                .iter()
+            level3_share: executed()
                 .filter(|o| o.level == Some(SearchLevel::Full) || o.level.is_none())
                 .count() as f64
                 / n,
@@ -696,6 +799,17 @@ impl ServeEngine {
             embed_cache: self.embed_cache.stats().since(&embed_before),
             selection_memo: self.memo.stats().since(&memo_before),
             session_fast_hits: self.session_fast_hits - session_fast_before,
+            admission: AdmissionReport {
+                arrivals: trace.arrivals.label(),
+                queue_depth: self.config.admission.queue_depth,
+                servers: self.config.admission.effective_servers(),
+                shed_policy: self.config.admission.shed_policy.label().to_owned(),
+                admitted: (admission.dispositions.len() as u64) - admission.shed,
+                degraded: admission.degraded,
+                shed: admission.shed,
+                max_queue_depth: admission.max_queue_depth,
+                queue_wait: LatencyStats::from_seconds(&admission.waits()),
+            },
             wall_seconds,
             requests_per_second: if wall_seconds > 0.0 {
                 outcomes.len() as f64 / wall_seconds

@@ -14,14 +14,20 @@
 //!   query-embedding cache (recommender output + `Ẽ` embeddings) and the
 //!   tool-selection memo (keyed by normalized query, policy and level
 //!   configuration), with hit/miss/eviction counters;
+//! * [`admission`] — backpressure for open-loop traces: a bounded
+//!   request queue with per-session round-robin fairness on a
+//!   deterministic virtual clock, degrading to Level-3 / selection-free
+//!   service under pressure and shedding with a typed outcome once the
+//!   queue is full;
 //! * [`ServeReport`] — accuracy, p50/p95/p99 simulated latency, cache
-//!   hit rates and wall-clock throughput, serialized as
-//!   `BENCH_serve_*.json` (`lim-serve/report-v1`).
+//!   hit rates, queue/shed/degraded counters and wall-clock throughput,
+//!   serialized as `BENCH_serve_*.json` (`lim-serve/report-v2`).
 //!
 //! Replays are **bit-identical for every worker count**: the engine
-//! plans cache behaviour sequentially in canonical arrival order and
-//! parallelizes only pure computation over
-//! [`lim_core::sharded_map`] (see [`engine`] for the four-stage design).
+//! plans cache behaviour sequentially in canonical arrival order,
+//! parallelizes only pure computation over [`lim_core::sharded_map`],
+//! and replays admission control sequentially over the deterministic
+//! per-request service times (see [`engine`] for the staged design).
 //!
 //! # Examples
 //!
@@ -39,14 +45,42 @@
 //! assert_eq!(a.success_rate, b.success_rate);
 //! assert!(b.embed_cache.hit_rate() > a.embed_cache.hit_rate());
 //! ```
+//!
+//! Overload a bounded queue with a Poisson arrival storm and watch the
+//! admission layer shed:
+//!
+//! ```
+//! use lim_serve::{AdmissionConfig, ServeConfig, ServeEngine, ShedPolicy};
+//! use lim_workloads::trace::{zipf_trace, ArrivalProcess, TraceConfig};
+//!
+//! let workload = lim_workloads::bfcl(42, 60);
+//! let trace = zipf_trace(&workload, &TraceConfig {
+//!     seed: 1,
+//!     arrivals: ArrivalProcess::Poisson { rate_rps: 50.0 }, // far past capacity
+//!     ..TraceConfig::default()
+//! });
+//! let model = lim_llm::ModelProfile::by_name("qwen2-7b").expect("model exists");
+//! let config = ServeConfig {
+//!     admission: AdmissionConfig { queue_depth: 8, servers: 1, shed_policy: ShedPolicy::Reject },
+//!     ..ServeConfig::default()
+//! };
+//! let mut engine = ServeEngine::new(workload, model, config);
+//! let report = engine.process_trace(&trace, 2).expect("valid trace");
+//! assert!(report.admission.shed > 0, "overload must shed");
+//! assert_eq!(report.admission.admitted + report.admission.shed, report.requests as u64);
+//! ```
 
+#![warn(missing_docs)]
+
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod report;
 
+pub use admission::{AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
 pub use cache::{CacheStats, LruCache};
 pub use engine::{normalize_query, QueryEmbeddings, ServeConfig, ServeEngine};
-pub use report::{LatencyStats, ServeReport};
+pub use report::{AdmissionReport, LatencyStats, ServeReport};
 
 #[cfg(test)]
 mod tests;

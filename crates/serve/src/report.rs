@@ -1,13 +1,13 @@
 //! Serving reports and the `BENCH_serve_*.json` document.
 //!
-//! # The `lim-serve/report-v1` format
+//! # The `lim-serve/report-v2` format
 //!
 //! `lim loadgen --out BENCH_serve_1.json` (and [`ServeReport::to_json`]
 //! generally) writes one JSON object per trace replay:
 //!
 //! ```json
 //! {
-//!   "schema": "lim-serve/report-v1",
+//!   "schema": "lim-serve/report-v2",
 //!   "benchmark": "bfcl",
 //!   "model": "llama3.1-8b",
 //!   "quant": "q4_K_M",
@@ -31,6 +31,14 @@
 //!                   "evictions": 0, "hit_rate": 0.70},
 //!     "session_fast_hits": 32
 //!   },
+//!   "admission": {
+//!     "arrivals": "poisson:0.2", "queue_depth": 32, "servers": 1,
+//!     "shed_policy": "degrade",
+//!     "admitted": 360, "degraded": 24, "shed": 11,
+//!     "max_queue_depth": 32,
+//!     "queue_wait": {"p50_s": 0.8, "p95_s": 14.2, "p99_s": 31.0,
+//!                    "mean_s": 3.1, "max_s": 40.2}
+//!   },
 //!   "wall_seconds": 0.08,
 //!   "requests_per_second": 6400.0
 //! }
@@ -38,10 +46,32 @@
 //!
 //! Every field except `wall_seconds` and `requests_per_second` is
 //! deterministic for a given (engine config, trace) pair — *including*
-//! the cache counters and latency percentiles, for any worker count. The
-//! CI regression gate (`lim compare`) therefore tracks the deterministic
-//! fields and ignores the two wall-clock ones. `schema` is bumped on any
-//! rename/removal; additions are backward-compatible.
+//! the cache counters, the latency percentiles **and the whole
+//! `admission` section**, for any worker count. The CI regression gate
+//! (`lim compare`) therefore tracks the deterministic fields and ignores
+//! the two wall-clock ones.
+//!
+//! ## Versioning
+//!
+//! `schema` is bumped when a field is renamed, removed or changes
+//! meaning; purely additive fields keep the id. `lim compare` refuses to
+//! compare documents with different ids and selects its tracked-metric
+//! set by id, so a bump forces the committed baseline to be regenerated
+//! deliberately rather than silently gating against stale semantics.
+//!
+//! * `lim-serve/report-v1` — the PR 3 format: no `admission` section;
+//!   accuracy denominators trivially equal the request count because
+//!   every request executed.
+//! * `lim-serve/report-v2` — adds the `admission` section. Shed requests
+//!   still count in the `success_rate` / `tool_accuracy` / level-share
+//!   denominators (a shed request is a failed request — the report must
+//!   show the accuracy price of stability), so under shedding the three
+//!   level shares sum to the admitted fraction, not 1.0.
+//!   `avg_offered_tools`, `latency` and `sim_total_seconds` cover
+//!   executed (served + degraded) requests only; degraded requests
+//!   execute the Level-3 full catalog and are counted in
+//!   `level3_share`. See `docs/SCHEMAS.md` for the field-by-field
+//!   reference.
 
 use lim_json::Value;
 use lim_llm::Quant;
@@ -89,6 +119,32 @@ impl LatencyStats {
             max_s: *sorted.last().expect("non-empty"),
         }
     }
+}
+
+/// What the admission-control layer did during one replay (all
+/// deterministic; see the [`crate::admission`] module for the queue
+/// semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Arrival-process label of the replayed trace
+    /// (`"back-to-back"`, `"poisson:2"`, `"burst:8:16"`).
+    pub arrivals: String,
+    /// Configured queue capacity (0 = admission disabled).
+    pub queue_depth: usize,
+    /// Simulated executors draining the queue.
+    pub servers: usize,
+    /// Configured shed policy label (`"reject"` / `"degrade"`).
+    pub shed_policy: String,
+    /// Requests admitted (served at full quality or degraded).
+    pub admitted: u64,
+    /// Requests served degraded (Level-3 full catalog, selection-free).
+    pub degraded: u64,
+    /// Requests shed (never executed; counted as failures).
+    pub shed: u64,
+    /// Deepest the wait queue ever got.
+    pub max_queue_depth: usize,
+    /// Queue-wait distribution over admitted requests (virtual seconds).
+    pub queue_wait: LatencyStats,
 }
 
 /// Everything one trace replay produced (see the module docs for the
@@ -141,6 +197,8 @@ pub struct ServeReport {
     pub selection_memo: CacheStats,
     /// Requests short-circuited by the per-session warm controller.
     pub session_fast_hits: u64,
+    /// Backpressure outcomes: queue waits, shed and degraded counts.
+    pub admission: AdmissionReport,
     /// Real elapsed seconds (not deterministic).
     pub wall_seconds: f64,
     /// Requests per wall-clock second (not deterministic).
@@ -157,11 +215,21 @@ fn cache_to_json(stats: &CacheStats) -> Value {
     ])
 }
 
+fn latency_to_json(l: &LatencyStats) -> Value {
+    Value::object([
+        ("p50_s", Value::from(l.p50_s)),
+        ("p95_s", Value::from(l.p95_s)),
+        ("p99_s", Value::from(l.p99_s)),
+        ("mean_s", Value::from(l.mean_s)),
+        ("max_s", Value::from(l.max_s)),
+    ])
+}
+
 impl ServeReport {
-    /// Serializes to the `lim-serve/report-v1` document.
+    /// Serializes to the `lim-serve/report-v2` document.
     pub fn to_json(&self) -> Value {
         Value::object([
-            ("schema", Value::from("lim-serve/report-v1")),
+            ("schema", Value::from("lim-serve/report-v2")),
             ("benchmark", Value::from(self.benchmark.as_str())),
             ("model", Value::from(self.model.as_str())),
             ("quant", Value::from(self.quant.label())),
@@ -184,16 +252,7 @@ impl ServeReport {
             ("level1_share", Value::from(self.level1_share)),
             ("level2_share", Value::from(self.level2_share)),
             ("level3_share", Value::from(self.level3_share)),
-            (
-                "latency",
-                Value::object([
-                    ("p50_s", Value::from(self.latency.p50_s)),
-                    ("p95_s", Value::from(self.latency.p95_s)),
-                    ("p99_s", Value::from(self.latency.p99_s)),
-                    ("mean_s", Value::from(self.latency.mean_s)),
-                    ("max_s", Value::from(self.latency.max_s)),
-                ]),
-            ),
+            ("latency", latency_to_json(&self.latency)),
             ("sim_total_seconds", Value::from(self.sim_total_seconds)),
             ("avg_power_w", Value::from(self.avg_power_w)),
             (
@@ -205,6 +264,26 @@ impl ServeReport {
                         "session_fast_hits",
                         Value::from(self.session_fast_hits as i64),
                     ),
+                ]),
+            ),
+            (
+                "admission",
+                Value::object([
+                    ("arrivals", Value::from(self.admission.arrivals.as_str())),
+                    ("queue_depth", Value::from(self.admission.queue_depth)),
+                    ("servers", Value::from(self.admission.servers)),
+                    (
+                        "shed_policy",
+                        Value::from(self.admission.shed_policy.as_str()),
+                    ),
+                    ("admitted", Value::from(self.admission.admitted as i64)),
+                    ("degraded", Value::from(self.admission.degraded as i64)),
+                    ("shed", Value::from(self.admission.shed as i64)),
+                    (
+                        "max_queue_depth",
+                        Value::from(self.admission.max_queue_depth),
+                    ),
+                    ("queue_wait", latency_to_json(&self.admission.queue_wait)),
                 ]),
             ),
             ("wall_seconds", Value::from(self.wall_seconds)),

@@ -2,9 +2,10 @@
 
 use lim_core::Policy;
 use lim_llm::{ModelProfile, Quant};
-use lim_workloads::trace::{zipf_trace, SessionTrace, TraceConfig};
+use lim_workloads::trace::{zipf_trace, ArrivalProcess, SessionTrace, TraceConfig};
 use proptest::prelude::*;
 
+use crate::admission::{AdmissionConfig, ShedPolicy};
 use crate::{ServeConfig, ServeEngine, ServeReport};
 
 fn model() -> ModelProfile {
@@ -19,7 +20,7 @@ fn bfcl_trace(pool: usize, seed: u64, sessions: usize) -> (lim_workloads::Worklo
             seed,
             sessions,
             requests_per_session: 8,
-            zipf_s: 1.0,
+            ..TraceConfig::default()
         },
     );
     (w, trace)
@@ -115,9 +116,11 @@ fn session_fast_path_fires_on_repeated_queries() {
         seed: 0,
         zipf_s: 0.0,
         pool_size: 30,
+        arrivals: ArrivalProcess::BackToBack,
         sessions: vec![lim_workloads::trace::TraceSession {
             id: 77,
             query_indices: vec![4, 4, 4, 9, 4],
+            arrival_us: Vec::new(),
         }],
     };
     let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
@@ -176,8 +179,23 @@ fn report_serializes_to_parseable_json() {
     let doc = lim_json::parse(&text).expect("valid JSON");
     assert_eq!(
         doc.get("schema").and_then(lim_json::Value::as_str),
-        Some("lim-serve/report-v1")
+        Some("lim-serve/report-v2")
     );
+    let admission = doc.get("admission").expect("admission section");
+    for field in ["admitted", "degraded", "shed", "max_queue_depth"] {
+        assert!(
+            admission
+                .get(field)
+                .and_then(lim_json::Value::as_i64)
+                .is_some(),
+            "missing admission.{field}"
+        );
+    }
+    assert!(admission
+        .get("queue_wait")
+        .and_then(|q| q.get("p95_s"))
+        .and_then(lim_json::Value::as_f64)
+        .is_some());
     let caches = doc.get("caches").expect("caches section");
     let embed = caches.get("embedding").expect("embedding cache");
     assert!(embed
@@ -211,7 +229,7 @@ fn serve_matches_geoengine_chains_too() {
             seed: 13,
             sessions: 16,
             requests_per_session: 6,
-            zipf_s: 1.0,
+            ..TraceConfig::default()
         },
     );
     let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
@@ -249,7 +267,7 @@ proptest! {
             seed,
             sessions,
             requests_per_session: 5,
-            zipf_s: 1.0,
+            ..TraceConfig::default()
         });
         let config = ServeConfig {
             quant: Quant::ALL[quant_ix],
@@ -262,4 +280,176 @@ proptest! {
         let b = parallel.process_trace(&trace, workers).expect("valid trace");
         prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
     }
+
+    /// Acceptance property: under Poisson-arrival Zipf traces with a
+    /// bounded queue, the queue/shed/degraded counters and wait-time
+    /// percentiles are bit-identical for any worker count and either
+    /// shed policy.
+    #[test]
+    fn admission_counters_deterministic_for_any_worker_count(
+        seed in 0u64..200,
+        sessions in 4usize..20,
+        workers in 2usize..9,
+        rate_centirps in 5u32..400,
+        queue_depth in 1usize..24,
+        degrade in 0usize..2,
+    ) {
+        let (w, levels) = fixture();
+        let trace = zipf_trace(w, &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 5,
+            arrivals: ArrivalProcess::Poisson { rate_rps: rate_centirps as f64 / 100.0 },
+            ..TraceConfig::default()
+        });
+        let config = ServeConfig {
+            admission: AdmissionConfig {
+                queue_depth,
+                servers: 1,
+                shed_policy: if degrade == 1 { ShedPolicy::Degrade } else { ShedPolicy::Reject },
+            },
+            ..ServeConfig::default()
+        };
+        let mut sequential =
+            ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let mut parallel = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let a = sequential.process_trace(&trace, 1).expect("valid trace");
+        let b = parallel.process_trace(&trace, workers).expect("valid trace");
+        prop_assert_eq!(a.admission.clone(), b.admission.clone());
+        prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+}
+
+/// The PR 4 acceptance test, explicit worker counts: a Poisson-overload
+/// replay is bit-identical (admission section included) for workers
+/// {1, 4, 8}, sheds under overload, and sheds nothing under the PR 3
+/// back-to-back baseline trace.
+#[test]
+fn admission_bit_identical_across_workers_and_sheds_only_under_overload() {
+    let admission = AdmissionConfig {
+        queue_depth: 8,
+        servers: 1,
+        shed_policy: ShedPolicy::Reject,
+    };
+    let overloaded = |workers: usize| -> ServeReport {
+        let (w, trace) = bfcl_trace(120, 7, 48);
+        // Mean service is a few simulated seconds; 25 rps is far past a
+        // single simulated executor's capacity.
+        let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 25.0 });
+        let config = ServeConfig {
+            admission,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(w, model(), config);
+        engine.process_trace(&trace, workers).expect("valid trace")
+    };
+    let baseline = overloaded(1);
+    for workers in [4, 8] {
+        let other = overloaded(workers);
+        assert_eq!(
+            baseline.deterministic_view(),
+            other.deterministic_view(),
+            "workers={workers}"
+        );
+        assert_eq!(baseline.admission, other.admission);
+    }
+    assert!(
+        baseline.admission.shed > 0,
+        "a 25 rps storm against one simulated executor must shed"
+    );
+    assert!(baseline.admission.max_queue_depth > 0);
+    assert!(baseline.admission.queue_wait.p95_s > 0.0);
+    assert_eq!(
+        baseline.admission.admitted + baseline.admission.shed,
+        baseline.requests as u64
+    );
+
+    // The PR 3 baseline trace is back-to-back: the same bounded queue
+    // never builds depth, waits or sheds.
+    let (w, trace) = bfcl_trace(120, 7, 48);
+    let config = ServeConfig {
+        admission,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(w, model(), config);
+    let calm = engine.process_trace(&trace, 4).expect("valid trace");
+    assert_eq!(calm.admission.shed, 0);
+    assert_eq!(calm.admission.degraded, 0);
+    assert_eq!(calm.admission.max_queue_depth, 0);
+    assert_eq!(calm.admission.queue_wait.max_s, 0.0);
+}
+
+/// Shed requests count as failures; the accuracy gap vs the unshed
+/// replay is exactly the shed share, and the latency distribution only
+/// covers executed requests.
+#[test]
+fn shedding_pays_accuracy_and_is_visible_in_the_report() {
+    let (w, trace) = bfcl_trace(80, 3, 24);
+    let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 40.0 });
+    let open_loop = ServeConfig::default(); // queue disabled
+    let bounded = ServeConfig {
+        admission: AdmissionConfig {
+            queue_depth: 4,
+            servers: 1,
+            shed_policy: ShedPolicy::Reject,
+        },
+        ..ServeConfig::default()
+    };
+    let mut a = ServeEngine::new(w.clone(), model(), open_loop);
+    let mut b = ServeEngine::new(w, model(), bounded);
+    let unshed = a.process_trace(&trace, 2).expect("valid trace");
+    let shed = b.process_trace(&trace, 2).expect("valid trace");
+    assert_eq!(unshed.admission.shed, 0, "disabled queue never sheds");
+    assert!(shed.admission.shed > 0);
+    assert!(
+        shed.success_rate < unshed.success_rate,
+        "shed requests are failed requests"
+    );
+    // Level shares cover executed requests only: they sum to the
+    // admitted fraction.
+    let n = shed.requests as f64;
+    let shares = shed.level1_share + shed.level2_share + shed.level3_share;
+    let admitted_fraction = shed.admission.admitted as f64 / n;
+    assert!(
+        (shares - admitted_fraction).abs() < 1e-9,
+        "shares {shares} vs admitted fraction {admitted_fraction}"
+    );
+}
+
+/// Under the degrade policy a storm is absorbed by Level-3 /
+/// selection-free service: degraded requests show up in the counters and
+/// in `level3_share`, and fewer requests are shed than under reject.
+#[test]
+fn degrade_policy_absorbs_pressure_before_shedding() {
+    let run = |shed_policy: ShedPolicy| -> ServeReport {
+        let (w, trace) = bfcl_trace(80, 9, 24);
+        let trace = trace.with_arrivals(ArrivalProcess::Burst {
+            rate_rps: 20.0,
+            burst: 16,
+        });
+        let config = ServeConfig {
+            admission: AdmissionConfig {
+                queue_depth: 12,
+                servers: 1,
+                shed_policy,
+            },
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(w, model(), config);
+        engine.process_trace(&trace, 2).expect("valid trace")
+    };
+    let rejecting = run(ShedPolicy::Reject);
+    let degrading = run(ShedPolicy::Degrade);
+    assert_eq!(rejecting.admission.degraded, 0);
+    assert!(degrading.admission.degraded > 0);
+    assert!(
+        degrading.admission.shed <= rejecting.admission.shed,
+        "degrade shed {} vs reject shed {}",
+        degrading.admission.shed,
+        rejecting.admission.shed
+    );
+    assert!(
+        degrading.level3_share > rejecting.level3_share,
+        "degraded requests are served at Level 3"
+    );
 }

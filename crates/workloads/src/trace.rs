@@ -1,4 +1,5 @@
-//! Session traces with Zipf-distributed query popularity.
+//! Session traces with Zipf-distributed query popularity and timed
+//! arrival processes.
 //!
 //! A deployed edge assistant does not see a cold batch of unique queries:
 //! it serves a long-lived stream of *sessions*, and query popularity is
@@ -8,16 +9,26 @@
 //! sessions, each a run of requests whose query indices are drawn from a
 //! Zipf distribution over the pool.
 //!
+//! On top of the *what* (which queries arrive), an [`ArrivalProcess`]
+//! decides the *when*: [`ArrivalProcess::BackToBack`] is the original
+//! closed-loop replay (each request arrives the moment the engine is
+//! ready for it — no queueing ever builds up), while
+//! [`ArrivalProcess::Poisson`] and [`ArrivalProcess::Burst`] stamp every
+//! request with an open-loop virtual arrival timestamp, which is what the
+//! serving engine's admission-control layer (`lim-serve`) simulates queue
+//! depth, wait time and shedding against. Timestamps are stored as
+//! integer microseconds so JSON round-trips are bit-exact.
+//!
 //! Everything is deterministic per [`TraceConfig::seed`]: the popularity
-//! ranking (a seeded permutation of the pool), the per-session lengths and
-//! the per-request draws all derive from one `StdRng` stream, so the same
-//! config always produces the same trace — on any machine, for any
-//! consumer worker count.
+//! ranking (a seeded permutation of the pool), the per-session lengths,
+//! the per-request draws and the arrival timestamps all derive from one
+//! `StdRng` stream, so the same config always produces the same trace —
+//! on any machine, for any consumer worker count.
 //!
 //! # Examples
 //!
 //! ```
-//! use lim_workloads::{bfcl, trace::{zipf_trace, TraceConfig}};
+//! use lim_workloads::{bfcl, trace::{zipf_trace, ArrivalProcess, TraceConfig}};
 //!
 //! let w = bfcl(7, 60);
 //! let trace = zipf_trace(&w, &TraceConfig { seed: 1, ..TraceConfig::default() });
@@ -25,6 +36,16 @@
 //! assert!(trace.requests() > 0);
 //! let again = zipf_trace(&w, &TraceConfig { seed: 1, ..TraceConfig::default() });
 //! assert_eq!(trace, again);
+//!
+//! // Open-loop Poisson arrivals at 2 requests/second:
+//! let timed = zipf_trace(&w, &TraceConfig {
+//!     seed: 1,
+//!     arrivals: ArrivalProcess::Poisson { rate_rps: 2.0 },
+//!     ..TraceConfig::default()
+//! });
+//! let arrivals = timed.arrival_seconds().expect("timed trace has arrivals");
+//! assert_eq!(arrivals.len(), timed.requests());
+//! assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "nondecreasing");
 //! ```
 
 use lim_json::Value;
@@ -32,6 +53,93 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::query::Workload;
+
+/// How virtual arrival timestamps are laid onto a trace's requests.
+///
+/// The process decides *when* requests reach the engine; the Zipf sampler
+/// decides *what* they ask. `BackToBack` is the original closed-loop
+/// replay semantics (and what every pre-arrival `trace-v1` document
+/// means); the other two are open-loop processes that can outrun the
+/// engine and make its admission-control layer queue, degrade or shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: each request arrives exactly when the engine finishes
+    /// the previous one. Queue depth never grows, nothing is ever shed.
+    BackToBack,
+    /// Open loop: request inter-arrival gaps are exponential with mean
+    /// `1 / rate_rps` — a memoryless stream of `rate_rps` requests per
+    /// virtual second.
+    Poisson {
+        /// Mean arrival rate in requests per virtual second.
+        rate_rps: f64,
+    },
+    /// Open loop, bursty: groups of `burst` requests arrive at the same
+    /// instant, with exponential gaps between groups sized so the
+    /// long-run rate is still `rate_rps`.
+    Burst {
+        /// Long-run mean arrival rate in requests per virtual second.
+        rate_rps: f64,
+        /// Requests per simultaneous burst (≥ 1).
+        burst: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Canonical textual form (`"back-to-back"`, `"poisson:2"`,
+    /// `"burst:8:16"`) — what the CLI accepts and reports echo.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::BackToBack => "back-to-back".to_owned(),
+            ArrivalProcess::Poisson { rate_rps } => format!("poisson:{rate_rps}"),
+            ArrivalProcess::Burst { rate_rps, burst } => format!("burst:{rate_rps}:{burst}"),
+        }
+    }
+
+    /// Parses the [`ArrivalProcess::label`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec: unknown process name,
+    /// non-positive/non-finite rate, or zero burst size.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let parse_rate = |spec: &str| -> Result<f64, String> {
+            let rate: f64 = spec
+                .parse()
+                .map_err(|_| format!("bad arrival rate {spec:?}"))?;
+            if rate > 0.0 && rate.is_finite() {
+                Ok(rate)
+            } else {
+                Err(format!("arrival rate must be positive, got {spec:?}"))
+            }
+        };
+        if text == "back-to-back" {
+            return Ok(ArrivalProcess::BackToBack);
+        }
+        if let Some(rate) = text.strip_prefix("poisson:") {
+            return Ok(ArrivalProcess::Poisson {
+                rate_rps: parse_rate(rate)?,
+            });
+        }
+        if let Some(rest) = text.strip_prefix("burst:") {
+            let (rate, burst) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("burst needs RATE:SIZE, got {text:?}"))?;
+            let burst: usize = burst
+                .parse()
+                .map_err(|_| format!("bad burst size {burst:?}"))?;
+            if burst == 0 {
+                return Err("burst size must be at least 1".to_owned());
+            }
+            return Ok(ArrivalProcess::Burst {
+                rate_rps: parse_rate(rate)?,
+                burst,
+            });
+        }
+        Err(format!(
+            "unknown arrival process {text:?} (back-to-back | poisson:RATE | burst:RATE:SIZE)"
+        ))
+    }
+}
 
 /// Tunables for [`zipf_trace`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +155,8 @@ pub struct TraceConfig {
     /// proportional to `1 / r^s`. `0.0` is uniform; `1.0` is the classic
     /// heavy skew observed in production query logs.
     pub zipf_s: f64,
+    /// Arrival process stamping virtual timestamps onto the requests.
+    pub arrivals: ArrivalProcess,
 }
 
 impl Default for TraceConfig {
@@ -56,6 +166,7 @@ impl Default for TraceConfig {
             sessions: 32,
             requests_per_session: 8,
             zipf_s: 1.0,
+            arrivals: ArrivalProcess::BackToBack,
         }
     }
 }
@@ -67,6 +178,10 @@ pub struct TraceSession {
     pub id: u64,
     /// Indices into [`Workload::queries`], in arrival order.
     pub query_indices: Vec<usize>,
+    /// Virtual arrival timestamps in integer microseconds, one per
+    /// request (empty for back-to-back traces). Integer micros — not
+    /// float seconds — so a JSON round trip is bit-exact.
+    pub arrival_us: Vec<u64>,
 }
 
 /// A complete load trace: what `lim serve` replays and `lim loadgen`
@@ -81,6 +196,8 @@ pub struct SessionTrace {
     pub zipf_s: f64,
     /// Number of queries in the pool the indices were drawn from.
     pub pool_size: usize,
+    /// Arrival process the timestamps were stamped with.
+    pub arrivals: ArrivalProcess,
     /// The sessions, in arrival order.
     pub sessions: Vec<TraceSession>,
 }
@@ -103,26 +220,134 @@ impl SessionTrace {
         seen.len()
     }
 
+    /// All arrival timestamps in canonical (session-major) request order,
+    /// converted to virtual seconds. `None` for back-to-back traces —
+    /// closed-loop replays have no meaningful clock.
+    pub fn arrival_seconds(&self) -> Option<Vec<f64>> {
+        if self.arrivals == ArrivalProcess::BackToBack {
+            return None;
+        }
+        Some(
+            self.sessions
+                .iter()
+                .flat_map(|s| s.arrival_us.iter().map(|us| *us as f64 / 1e6))
+                .collect(),
+        )
+    }
+
+    /// Checks the arrival stamps are coherent with the declared process:
+    /// back-to-back traces carry none, timed traces carry exactly one per
+    /// request and they are nondecreasing in canonical order (sessions
+    /// are listed in arrival order, so the global timeline must be too).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first incoherent session.
+    pub fn validate_arrivals(&self) -> Result<(), String> {
+        if self.arrivals == ArrivalProcess::BackToBack {
+            if let Some(s) = self.sessions.iter().find(|s| !s.arrival_us.is_empty()) {
+                return Err(format!(
+                    "session {} carries arrival timestamps but the trace declares \
+                     back-to-back arrivals",
+                    s.id
+                ));
+            }
+            return Ok(());
+        }
+        let mut last = 0u64;
+        for s in &self.sessions {
+            if s.arrival_us.len() != s.query_indices.len() {
+                return Err(format!(
+                    "session {} has {} requests but {} arrival timestamps",
+                    s.id,
+                    s.query_indices.len(),
+                    s.arrival_us.len()
+                ));
+            }
+            for &us in &s.arrival_us {
+                if us < last {
+                    return Err(format!(
+                        "session {} arrival {us}us precedes an earlier request ({last}us); \
+                         canonical order must be nondecreasing",
+                        s.id
+                    ));
+                }
+                last = us;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-stamps the trace with a different arrival process, deriving the
+    /// draws deterministically from the trace seed (so replaying a v1
+    /// trace with `lim serve --arrivals poisson:R` is reproducible).
+    /// Query content is untouched; `BackToBack` strips all timestamps.
+    ///
+    /// Requesting the process the trace already carries is a no-op that
+    /// keeps the existing timestamps: the re-stamp RNG is salted
+    /// differently from the generation stream, so re-stamping an
+    /// identical config would silently produce different timelines and
+    /// make two reports with identical `arrivals` labels
+    /// non-comparable.
+    #[must_use]
+    pub fn with_arrivals(mut self, process: ArrivalProcess) -> SessionTrace {
+        if process == self.arrivals {
+            return self;
+        }
+        // Salted so the arrival stream never aliases the generation draws.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0000_A441_7A1A_u64);
+        stamp_arrivals(&mut self.sessions, process, &mut rng);
+        self.arrivals = process;
+        self
+    }
+
     /// Serializes the trace to the `lim-workloads/trace-v1` JSON document.
+    ///
+    /// Arrival fields are *additive*: documents written before arrival
+    /// processes existed parse as back-to-back, and old readers ignore
+    /// the new fields — the schema id is unchanged.
     pub fn to_json(&self) -> Value {
+        let arrivals = match self.arrivals {
+            ArrivalProcess::BackToBack => Value::object([("process", Value::from("back-to-back"))]),
+            ArrivalProcess::Poisson { rate_rps } => Value::object([
+                ("process", Value::from("poisson")),
+                ("rate_rps", Value::from(rate_rps)),
+            ]),
+            ArrivalProcess::Burst { rate_rps, burst } => Value::object([
+                ("process", Value::from("burst")),
+                ("rate_rps", Value::from(rate_rps)),
+                ("burst", Value::from(burst)),
+            ]),
+        };
         Value::object([
             ("schema", Value::from("lim-workloads/trace-v1")),
             ("benchmark", Value::from(self.benchmark.as_str())),
             ("seed", Value::from(self.seed as i64)),
             ("zipf_s", Value::from(self.zipf_s)),
             ("pool_size", Value::from(self.pool_size)),
+            ("arrivals", arrivals),
             (
                 "sessions",
                 self.sessions
                     .iter()
                     .map(|s| {
-                        Value::object([
+                        let mut session = Value::object([
                             ("id", Value::from(s.id as i64)),
                             (
                                 "queries",
                                 s.query_indices.iter().map(|q| Value::from(*q)).collect(),
                             ),
-                        ])
+                        ]);
+                        if !s.arrival_us.is_empty() {
+                            session.insert(
+                                "arrivals_us",
+                                s.arrival_us
+                                    .iter()
+                                    .map(|us| Value::from(*us as i64))
+                                    .collect(),
+                            );
+                        }
+                        session
                     })
                     .collect(),
             ),
@@ -136,12 +361,18 @@ impl SessionTrace {
 
     /// Parses a `lim-workloads/trace-v1` document.
     ///
+    /// Documents written before arrival processes existed (no `arrivals`
+    /// object, no per-session `arrivals_us`) load as back-to-back traces
+    /// — the closed-loop semantics they were generated under.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first malformed or missing field;
     /// negative counts/ids/indices and pool sizes beyond
-    /// [`SessionTrace::MAX_POOL_SIZE`] are malformed, and every query
-    /// index must lie inside the declared pool.
+    /// [`SessionTrace::MAX_POOL_SIZE`] are malformed, every query index
+    /// must lie inside the declared pool, and arrival timestamps must be
+    /// coherent with the declared process (see
+    /// [`SessionTrace::validate_arrivals`]).
     pub fn from_json(doc: &Value) -> Result<Self, String> {
         let schema = doc
             .get("schema")
@@ -175,6 +406,44 @@ impl SessionTrace {
                 Self::MAX_POOL_SIZE
             ));
         }
+        let arrivals = match doc.get("arrivals") {
+            // Pre-arrival documents: closed-loop replay.
+            None => ArrivalProcess::BackToBack,
+            Some(spec) => {
+                let process = spec
+                    .get("process")
+                    .and_then(Value::as_str)
+                    .ok_or("arrivals object missing process")?;
+                let rate = || -> Result<f64, String> {
+                    let rate = spec
+                        .get("rate_rps")
+                        .and_then(Value::as_f64)
+                        .ok_or("arrivals missing rate_rps")?;
+                    if rate > 0.0 && rate.is_finite() {
+                        Ok(rate)
+                    } else {
+                        Err(format!("arrival rate_rps must be positive, got {rate}"))
+                    }
+                };
+                match process {
+                    "back-to-back" => ArrivalProcess::BackToBack,
+                    "poisson" => ArrivalProcess::Poisson { rate_rps: rate()? },
+                    "burst" => {
+                        let burst =
+                            non_negative("burst", spec.get("burst").and_then(Value::as_i64))?
+                                as usize;
+                        if burst == 0 {
+                            return Err("burst size must be at least 1".to_owned());
+                        }
+                        ArrivalProcess::Burst {
+                            rate_rps: rate()?,
+                            burst,
+                        }
+                    }
+                    other => return Err(format!("unknown arrival process {other:?}")),
+                }
+            }
+        };
         let sessions = doc
             .get("sessions")
             .and_then(Value::as_array)
@@ -197,16 +466,32 @@ impl SessionTrace {
                         Ok(index)
                     })
                     .collect::<Result<Vec<usize>, String>>()?;
-                Ok(TraceSession { id, query_indices })
+                let arrival_us = match s.get("arrivals_us") {
+                    None => Vec::new(),
+                    Some(list) => list
+                        .as_array()
+                        .ok_or("session arrivals_us is not an array")?
+                        .iter()
+                        .map(|us| non_negative("arrival timestamp", us.as_i64()))
+                        .collect::<Result<Vec<u64>, String>>()?,
+                };
+                Ok(TraceSession {
+                    id,
+                    query_indices,
+                    arrival_us,
+                })
             })
             .collect::<Result<Vec<TraceSession>, String>>()?;
-        Ok(Self {
+        let trace = Self {
             benchmark,
             seed,
             zipf_s,
             pool_size,
+            arrivals,
             sessions,
-        })
+        };
+        trace.validate_arrivals()?;
+        Ok(trace)
     }
 }
 
@@ -251,11 +536,64 @@ impl ZipfSampler {
     }
 }
 
+/// One exponential inter-arrival gap with mean `1 / rate` (inverse-CDF;
+/// `1 - u` lies in `(0, 1]` so the log stays finite).
+fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Stamps `process` arrival timestamps onto `sessions` in canonical
+/// (session-major) order. Timestamps are accumulated in f64 seconds and
+/// rounded to integer microseconds, so the stored sequence stays
+/// nondecreasing. `BackToBack` strips all timestamps.
+fn stamp_arrivals(sessions: &mut [TraceSession], process: ArrivalProcess, rng: &mut StdRng) {
+    let total: usize = sessions.iter().map(|s| s.query_indices.len()).sum();
+    let mut times = Vec::with_capacity(total);
+    match process {
+        ArrivalProcess::BackToBack => {
+            for s in sessions {
+                s.arrival_us.clear();
+            }
+            return;
+        }
+        ArrivalProcess::Poisson { rate_rps } => {
+            let mut t = 0.0f64;
+            for _ in 0..total {
+                t += exp_gap(rng, rate_rps);
+                times.push(t);
+            }
+        }
+        ArrivalProcess::Burst { rate_rps, burst } => {
+            let burst = burst.max(1);
+            let mut t = 0.0f64;
+            while times.len() < total {
+                // Group gaps at rate/burst keep the long-run rate.
+                t += exp_gap(rng, rate_rps / burst as f64);
+                for _ in 0..burst.min(total - times.len()) {
+                    times.push(t);
+                }
+            }
+        }
+    }
+    let mut it = times.into_iter();
+    for s in sessions {
+        s.arrival_us = s
+            .query_indices
+            .iter()
+            .map(|_| (it.next().expect("one timestamp per request") * 1e6).round() as u64)
+            .collect();
+    }
+}
+
 /// Generates a Zipf-skewed session trace over `workload.queries`.
 ///
 /// Popularity rank is decoupled from query id by a seeded permutation, so
 /// the "hot" queries are a stable but arbitrary subset of the pool rather
-/// than always the first few indices.
+/// than always the first few indices. Arrival timestamps (if the config
+/// asks for an open-loop process) are drawn *after* all content draws,
+/// so the same seed yields identical query sequences under every arrival
+/// process — timed and closed-loop replays stay comparable.
 ///
 /// # Panics
 ///
@@ -278,20 +616,26 @@ pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
     let mean = config.requests_per_session.max(1);
     let lo = (mean / 2).max(1);
     let hi = mean + mean / 2;
-    let sessions = (0..config.sessions as u64)
+    let mut sessions: Vec<TraceSession> = (0..config.sessions as u64)
         .map(|id| {
             let len = rng.random_range(lo..=hi);
             let query_indices = (0..len)
                 .map(|_| rank_to_query[sampler.sample(&mut rng)])
                 .collect();
-            TraceSession { id, query_indices }
+            TraceSession {
+                id,
+                query_indices,
+                arrival_us: Vec::new(),
+            }
         })
         .collect();
+    stamp_arrivals(&mut sessions, config.arrivals, &mut rng);
     SessionTrace {
         benchmark: workload.name.to_owned(),
         seed: config.seed,
         zipf_s: config.zipf_s,
         pool_size: pool,
+        arrivals: config.arrivals,
         sessions,
     }
 }
@@ -320,7 +664,7 @@ mod tests {
             seed: 5,
             sessions: 40,
             requests_per_session: 8,
-            zipf_s: 1.0,
+            ..TraceConfig::default()
         };
         let trace = zipf_trace(&w, &config);
         assert_eq!(trace.sessions.len(), 40);
@@ -344,6 +688,7 @@ mod tests {
                 sessions: 64,
                 requests_per_session: 8,
                 zipf_s: 1.2,
+                ..TraceConfig::default()
             },
         );
         let uniform = zipf_trace(
@@ -353,6 +698,7 @@ mod tests {
                 sessions: 64,
                 requests_per_session: 8,
                 zipf_s: 0.0,
+                ..TraceConfig::default()
             },
         );
         assert!(
@@ -385,7 +731,7 @@ mod tests {
                 seed: 21,
                 sessions: 6,
                 requests_per_session: 4,
-                zipf_s: 1.0,
+                ..TraceConfig::default()
             },
         );
         let text = trace.to_json().to_string();
@@ -400,6 +746,227 @@ mod tests {
         assert!(SessionTrace::from_json(&doc).is_err());
         let doc = lim_json::parse(r#"{"schema":"lim-workloads/trace-v1"}"#).unwrap();
         assert!(SessionTrace::from_json(&doc).is_err());
+    }
+
+    /// Satellite regression: a v1 document written before arrival
+    /// processes existed (no `arrivals` object, no `arrivals_us`) must
+    /// still load — as a back-to-back trace — and survive a round trip.
+    #[test]
+    fn pre_arrival_v1_documents_load_as_back_to_back() {
+        let text = r#"{"schema":"lim-workloads/trace-v1","benchmark":"bfcl","seed":3,
+                       "zipf_s":1.0,"pool_size":10,
+                       "sessions":[{"id":0,"queries":[1,2]},{"id":1,"queries":[3]}]}"#;
+        let trace = SessionTrace::from_json(&lim_json::parse(text).unwrap()).expect("v1 loads");
+        assert_eq!(trace.arrivals, ArrivalProcess::BackToBack);
+        assert!(trace.sessions.iter().all(|s| s.arrival_us.is_empty()));
+        assert!(trace.arrival_seconds().is_none());
+        // Round trip through the writer (which now emits the arrivals
+        // object explicitly) preserves the trace.
+        let doc = lim_json::parse(&trace.to_json().to_string()).unwrap();
+        assert_eq!(SessionTrace::from_json(&doc).unwrap(), trace);
+    }
+
+    #[test]
+    fn timed_traces_round_trip_bit_exactly() {
+        let w = bfcl(8, 30);
+        for arrivals in [
+            ArrivalProcess::Poisson { rate_rps: 2.5 },
+            ArrivalProcess::Burst {
+                rate_rps: 8.0,
+                burst: 4,
+            },
+        ] {
+            let trace = zipf_trace(
+                &w,
+                &TraceConfig {
+                    seed: 21,
+                    sessions: 6,
+                    requests_per_session: 4,
+                    zipf_s: 1.0,
+                    arrivals,
+                },
+            );
+            assert_eq!(trace.arrivals, arrivals);
+            trace
+                .validate_arrivals()
+                .expect("generator stamps coherently");
+            let doc = lim_json::parse(&trace.to_json().to_string()).expect("valid JSON");
+            assert_eq!(SessionTrace::from_json(&doc).expect("parses"), trace);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_match_the_requested_rate() {
+        let w = bfcl(2, 80);
+        let rate = 4.0;
+        let trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 5,
+                sessions: 64,
+                requests_per_session: 8,
+                zipf_s: 0.0,
+                arrivals: ArrivalProcess::Poisson { rate_rps: rate },
+            },
+        );
+        let arrivals = trace.arrival_seconds().expect("timed");
+        let n = arrivals.len();
+        let empirical = n as f64 / arrivals.last().copied().unwrap_or(1.0);
+        assert!(
+            (empirical / rate - 1.0).abs() < 0.25,
+            "empirical rate {empirical:.2} vs requested {rate}"
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn burst_arrivals_share_timestamps_within_a_group() {
+        let w = bfcl(2, 40);
+        let trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 6,
+                sessions: 16,
+                requests_per_session: 8,
+                zipf_s: 0.0,
+                arrivals: ArrivalProcess::Burst {
+                    rate_rps: 10.0,
+                    burst: 8,
+                },
+            },
+        );
+        let arrivals: Vec<u64> = trace
+            .sessions
+            .iter()
+            .flat_map(|s| s.arrival_us.iter().copied())
+            .collect();
+        // Bursts of 8 share a timestamp: distinct timestamps ≈ total / 8.
+        let mut distinct = arrivals.clone();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= arrivals.len() / 4,
+            "{} distinct timestamps over {} requests is not bursty",
+            distinct.len(),
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn with_arrivals_restamps_deterministically_and_strips() {
+        let w = bfcl(4, 30);
+        let base = zipf_trace(&w, &TraceConfig::default());
+        let timed = base
+            .clone()
+            .with_arrivals(ArrivalProcess::Poisson { rate_rps: 3.0 });
+        assert_eq!(
+            timed,
+            base.clone()
+                .with_arrivals(ArrivalProcess::Poisson { rate_rps: 3.0 })
+        );
+        // Content untouched; only timestamps differ.
+        for (a, b) in base.sessions.iter().zip(&timed.sessions) {
+            assert_eq!(a.query_indices, b.query_indices);
+        }
+        timed.validate_arrivals().expect("coherent");
+        let stripped = timed.clone().with_arrivals(ArrivalProcess::BackToBack);
+        assert_eq!(stripped, base);
+        // Requesting the process already carried keeps the existing
+        // timestamps (the re-stamp RNG differs from the generation
+        // stream, so anything else would silently change the timeline).
+        let generated = zipf_trace(
+            &w,
+            &TraceConfig {
+                arrivals: ArrivalProcess::Poisson { rate_rps: 3.0 },
+                ..TraceConfig::default()
+            },
+        );
+        assert_eq!(
+            generated
+                .clone()
+                .with_arrivals(ArrivalProcess::Poisson { rate_rps: 3.0 }),
+            generated
+        );
+    }
+
+    #[test]
+    fn incoherent_arrival_stamps_are_rejected() {
+        let w = bfcl(4, 30);
+        let timed = zipf_trace(
+            &w,
+            &TraceConfig {
+                arrivals: ArrivalProcess::Poisson { rate_rps: 2.0 },
+                ..TraceConfig::default()
+            },
+        );
+        // Count mismatch.
+        let mut short = timed.clone();
+        short.sessions[0].arrival_us.pop();
+        assert!(short.validate_arrivals().unwrap_err().contains("requests"));
+        // Non-monotone canonical order.
+        let mut unordered = timed.clone();
+        let last = unordered.sessions.len() - 1;
+        unordered.sessions[last].arrival_us[0] = 0;
+        assert!(unordered
+            .validate_arrivals()
+            .unwrap_err()
+            .contains("nondecreasing"));
+        // Timestamps on a back-to-back trace.
+        let mut phantom = zipf_trace(&w, &TraceConfig::default());
+        phantom.sessions[0].arrival_us = vec![1; phantom.sessions[0].query_indices.len()];
+        assert!(phantom
+            .validate_arrivals()
+            .unwrap_err()
+            .contains("back-to-back"));
+        // The parser applies the same validation.
+        let doc = lim_json::parse(&short.to_json().to_string()).unwrap();
+        assert!(SessionTrace::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn arrival_specs_parse_and_label_round_trip() {
+        for spec in ["back-to-back", "poisson:2.5", "burst:8:16"] {
+            let process = ArrivalProcess::parse(spec).expect("valid spec");
+            assert_eq!(process.label(), spec);
+        }
+        for bad in [
+            "poisson",
+            "poisson:0",
+            "poisson:-1",
+            "poisson:abc",
+            "burst:2",
+            "burst:2:0",
+            "burst:0:4",
+            "uniform:3",
+        ] {
+            assert!(ArrivalProcess::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn malformed_arrival_documents_are_rejected() {
+        let base = r#"{"schema":"lim-workloads/trace-v1","benchmark":"bfcl","seed":1,
+                       "zipf_s":1.0,"pool_size":10,"arrivals":ARR,
+                       "sessions":[{"id":0,"queries":[3],"arrivals_us":[5]}]}"#;
+        let parse = |arr: &str| {
+            let text = base.replace("ARR", arr);
+            SessionTrace::from_json(&lim_json::parse(&text).unwrap())
+        };
+        assert!(parse(r#"{"process":"poisson","rate_rps":2.0}"#).is_ok());
+        assert!(parse(r#"{"process":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(parse(r#"{"process":"poisson"}"#)
+            .unwrap_err()
+            .contains("rate_rps"));
+        assert!(parse(r#"{"process":"poisson","rate_rps":-2.0}"#)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(r#"{"process":"burst","rate_rps":2.0}"#)
+            .unwrap_err()
+            .contains("burst"));
+        assert!(parse(r#"{"process":"burst","rate_rps":2.0,"burst":0}"#)
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Checks that intra-repo markdown links resolve to real files. No
+# network: external (http/https/mailto) targets and GitHub-relative
+# targets (leading ../, e.g. the CI badge's ../../actions/... link) are
+# skipped. Run from the repository root; CI runs it in the docs job.
+set -euo pipefail
+
+broken=$(
+  for file in README.md ROADMAP.md PAPER.md PAPERS.md CHANGES.md docs/*.md compat/README.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Pull every ](target) out of the file, one target per line. Keying
+    # on the closing bracket (not the whole [text](target) form) also
+    # catches the outer target of badge-style nested links like
+    # [![img](badge)](target). (`|| true`: a file with no links is fine
+    # under pipefail.)
+    { grep -o ']([^)]*)' "$file" || true; } | sed 's/^](\(.*\))$/\1/' |
+      while IFS= read -r target; do
+        target=${target%%#*} # strip fragment
+        case "$target" in
+          '' | http://* | https://* | mailto:* | ../*) continue ;;
+        esac
+        if [ ! -e "$dir/$target" ]; then
+          echo "BROKEN: $file -> $target"
+        fi
+      done
+  done
+)
+
+if [ -n "$broken" ]; then
+  echo "$broken"
+  echo "markdown link check failed"
+  exit 1
+fi
+echo "markdown links ok"

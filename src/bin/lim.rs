@@ -30,6 +30,10 @@
 //!   --zipf S                     Zipf exponent (default 1.0; loadgen only)
 //!   --sessions N                 sessions to generate (default 64; loadgen only)
 //!   --requests N                 mean requests per session (default 8; loadgen only)
+//!   --arrivals SPEC              back-to-back | poisson:RATE | burst:RATE:SIZE
+//!   --queue-depth N              bounded admission queue (0 = disabled; default 0)
+//!   --shed-policy reject|degrade what to do when the queue fills (default reject)
+//!   --servers N                  simulated executors draining the queue (default 1)
 //!   --save-trace FILE            write the generated trace JSON (loadgen only)
 //!   --trace FILE                 replay this trace JSON (serve only)
 //!   --out FILE                   write the BENCH_serve_*.json report
@@ -45,6 +49,8 @@ use lessismore::core::{
     evaluate, load_levels, normalize_against, save_levels, Pipeline, Policy, SearchLevels,
 };
 use lessismore::llm::{profiles, ModelProfile, Quant};
+use lessismore::serve::{AdmissionConfig, ShedPolicy};
+use lessismore::workloads::trace::ArrivalProcess;
 use lessismore::workloads::{bfcl, geoengine, Workload};
 
 struct Options {
@@ -76,6 +82,16 @@ struct Options {
     sessions: usize,
     /// Mean requests per session for `loadgen`.
     requests: usize,
+    /// Arrival process for `loadgen` (trace generation) and `serve`
+    /// (deterministic re-stamp of the loaded trace). `None` keeps the
+    /// trace's own process (back-to-back for `loadgen`).
+    arrivals: Option<ArrivalProcess>,
+    /// Bounded admission-queue capacity (0 = admission disabled).
+    queue_depth: usize,
+    /// Shed policy once the queue fills.
+    shed_policy: ShedPolicy,
+    /// Simulated executors draining the admission queue.
+    servers: usize,
     /// Trace JSON to replay (`serve`).
     trace: Option<String>,
     /// Where `loadgen` writes the generated trace JSON.
@@ -110,6 +126,10 @@ impl Default for Options {
             zipf: 1.0,
             sessions: 64,
             requests: 8,
+            arrivals: None,
+            queue_depth: 0,
+            shed_policy: ShedPolicy::Reject,
+            servers: 1,
             trace: None,
             save_trace: None,
             baseline: None,
@@ -152,33 +172,43 @@ fn main() -> ExitCode {
     }
 }
 
+/// The `--help` text. Hand-maintained, but a unit test asserts every
+/// `--flag` the parser accepts appears here, so new options cannot land
+/// without their documentation.
+fn help_text() -> String {
+    "lim — Less-is-More tool-selection reproduction\n\n\
+     commands:\n  \
+     models     list the six calibrated model profiles\n  \
+     evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
+     bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
+     trace      print the JSON execution trace of one query\n  \
+     levels     build the offline search levels; --save FILE / --load FILE\n  \
+     loadgen    generate a Zipf session trace and replay it on the serving engine\n  \
+     serve      replay a saved trace JSON on the serving engine (--trace FILE)\n  \
+     compare    gate a BENCH_*.json against a committed baseline (CI)\n\n\
+     options:\n  \
+     --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
+     --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
+     --query I (trace only)      --save FILE / --load FILE (levels only)\n\n\
+     bench options:\n  \
+     --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
+     --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n\n\
+     loadgen / serve options:\n  \
+     --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
+     --arrivals back-to-back|poisson:RATE|burst:RATE:SIZE   (loadgen stamps the trace;\n  \
+     serve deterministically re-stamps a loaded trace)\n  \
+     --queue-depth N (0 = no admission control)  --shed-policy reject|degrade\n  \
+     --servers N (simulated executors draining the admission queue)\n  \
+     --save-trace FILE (loadgen)  --trace FILE (serve)    --out BENCH_serve_1.json\n  \
+     (serve rebuilds the exact generation-time workload from the trace document\n  \
+     itself — benchmark, seed and pool size are recorded in the JSON)\n\n\
+     compare options:\n  \
+     --baseline FILE  --current FILE  --tolerance 0.10"
+        .to_owned()
+}
+
 fn print_help() {
-    println!(
-        "lim — Less-is-More tool-selection reproduction\n\n\
-         commands:\n  \
-         models     list the six calibrated model profiles\n  \
-         evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
-         bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
-         trace      print the JSON execution trace of one query\n  \
-         levels     build the offline search levels; --save FILE / --load FILE\n  \
-         loadgen    generate a Zipf session trace and replay it on the serving engine\n  \
-         serve      replay a saved trace JSON on the serving engine (--trace FILE)\n  \
-         compare    gate a BENCH_*.json against a committed baseline (CI)\n\n\
-         options:\n  \
-         --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
-         --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
-         --query I (trace only)      --save FILE / --load FILE (levels only)\n\n\
-         bench options:\n  \
-         --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
-         --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n\n\
-         loadgen / serve options:\n  \
-         --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
-         --save-trace FILE (loadgen)  --trace FILE (serve)    --out BENCH_serve_1.json\n  \
-         (serve rebuilds the exact generation-time workload from the trace document\n  \
-         itself — benchmark, seed and pool size are recorded in the JSON)\n\n\
-         compare options:\n  \
-         --baseline FILE  --current FILE  --tolerance 0.10"
-    );
+    println!("{}", help_text());
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -267,6 +297,22 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 options.requests = value("--requests")?
                     .parse()
                     .map_err(|_| "--requests needs an integer".to_owned())?;
+            }
+            "--arrivals" => options.arrivals = Some(ArrivalProcess::parse(&value("--arrivals")?)?),
+            "--queue-depth" => {
+                options.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer (0 = disabled)".to_owned())?;
+            }
+            "--shed-policy" => {
+                options.shed_policy = ShedPolicy::parse(&value("--shed-policy")?)?;
+            }
+            "--servers" => {
+                options.servers = value("--servers")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "--servers needs a positive integer".to_owned())?;
             }
             "--trace" => options.trace = Some(value("--trace")?),
             "--save-trace" => options.save_trace = Some(value("--save-trace")?),
@@ -557,6 +603,23 @@ fn print_serve_report(report: &lessismore::serve::ServeReport) {
         report.selection_memo.evictions,
         report.wall_seconds
     );
+    let a = &report.admission;
+    if a.queue_depth > 0 {
+        println!(
+            "admission: {} | queue {} x{} srv | wait p50 {:.2}s p95 {:.2}s p99 {:.2}s | \
+             max depth {} | degraded {} | shed {} ({})",
+            a.arrivals,
+            a.queue_depth,
+            a.servers,
+            a.queue_wait.p50_s,
+            a.queue_wait.p95_s,
+            a.queue_wait.p99_s,
+            a.max_queue_depth,
+            a.degraded,
+            a.shed,
+            a.shed_policy
+        );
+    }
 }
 
 fn run_serve_trace(
@@ -578,6 +641,11 @@ fn run_serve_trace(
         policy: options.policy,
         quant: options.quant,
         seed: engine_seed,
+        admission: AdmissionConfig {
+            queue_depth: options.queue_depth,
+            servers: options.servers,
+            shed_policy: options.shed_policy,
+        },
         ..ServeConfig::default()
     };
     let mut engine = ServeEngine::new(workload, model, config);
@@ -616,15 +684,17 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
             sessions: options.sessions,
             requests_per_session: options.requests,
             zipf_s: options.zipf,
+            arrivals: options.arrivals.unwrap_or(ArrivalProcess::BackToBack),
         },
     );
     println!(
-        "generated trace: {} sessions, {} requests, {} unique queries (zipf {:.2}, pool {})",
+        "generated trace: {} sessions, {} requests, {} unique queries (zipf {:.2}, pool {}, arrivals {})",
         trace.sessions.len(),
         trace.requests(),
         trace.unique_queries(),
         trace.zipf_s,
-        trace.pool_size
+        trace.pool_size,
+        trace.arrivals.label()
     );
     if let Some(path) = &options.save_trace {
         let mut doc = trace.to_json();
@@ -684,6 +754,13 @@ fn cmd_serve(options: &Options) -> ExitCode {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    // `--arrivals` re-stamps the loaded trace deterministically (from
+    // the trace's own seed), so a v1 document without timestamps can
+    // still drive the admission layer.
+    let trace = match options.arrivals {
+        Some(process) => trace.with_arrivals(process),
+        None => trace,
     };
     // The engine config (policy/model/quant) still comes from flags; if
     // the document carries the generation-time config, flag divergence is
@@ -824,5 +901,70 @@ fn cmd_levels(options: &Options) -> ExitCode {
             println!("saved to {path}");
         }
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// The usage block is hand-maintained and has drifted before: this
+    /// scans the parser's own source for `"--flag" =>` match arms and
+    /// asserts each flag appears in the `--help` output, so a new option
+    /// cannot land undocumented.
+    #[test]
+    fn every_parsed_flag_appears_in_help() {
+        let source = include_str!("lim.rs");
+        let help = super::help_text();
+        let mut flags = Vec::new();
+        for line in source.lines() {
+            let trimmed = line.trim();
+            let Some(rest) = trimmed.strip_prefix("\"--") else {
+                continue;
+            };
+            let Some((flag, after)) = rest.split_once('"') else {
+                continue;
+            };
+            if !after.trim_start().starts_with("=>") {
+                continue;
+            }
+            flags.push(format!("--{flag}"));
+        }
+        assert!(
+            flags.len() >= 20,
+            "flag scan looks broken: only found {flags:?}"
+        );
+        for flag in &flags {
+            assert!(
+                help.contains(flag.as_str()),
+                "{flag} is parsed but missing from the --help text"
+            );
+        }
+    }
+
+    /// The admission flags parse into the options they claim to set.
+    #[test]
+    fn admission_flags_parse() {
+        let args: Vec<String> = [
+            "--arrivals",
+            "poisson:2.5",
+            "--queue-depth",
+            "16",
+            "--shed-policy",
+            "degrade",
+            "--servers",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = super::parse(&args).expect("valid flags");
+        assert_eq!(
+            options.arrivals,
+            Some(super::ArrivalProcess::Poisson { rate_rps: 2.5 })
+        );
+        assert_eq!(options.queue_depth, 16);
+        assert_eq!(options.shed_policy, super::ShedPolicy::Degrade);
+        assert_eq!(options.servers, 2);
+        assert!(super::parse(&["--arrivals".to_owned(), "warp:9".to_owned()]).is_err());
+        assert!(super::parse(&["--shed-policy".to_owned(), "panic".to_owned()]).is_err());
     }
 }
