@@ -14,7 +14,11 @@
 //! * `lim-serve/report-v2` — everything v1 tracks plus the admission
 //!   metrics: `admission.shed`↓, `admission.degraded`↓,
 //!   `admission.max_queue_depth`↓ and the
-//!   `admission.queue_wait.p95_s`/`p99_s` percentiles↓.
+//!   `admission.queue_wait.p95_s`/`p99_s` percentiles↓. When the
+//!   baseline carries the additive `boot` section, `boot.build_skipped`↑
+//!   (a boolean gated as 0/1 — a snapshot-boot baseline means "must keep
+//!   skipping the level build") and `boot.sim_boot_seconds`↓ join the
+//!   set.
 //!
 //! Version-bump rule: a schema id changes only when a field is renamed,
 //! removed or changes meaning (additions keep the id). The two documents
@@ -94,6 +98,18 @@ const SERVE_V2_METRICS: &[(&str, Direction)] = &[
     ("admission.queue_wait.p99_s", Direction::LowerIsBetter),
 ];
 
+/// Boot metrics, tracked **only when the baseline carries them** (the
+/// `boot` section joined `lim-serve/report-v2` additively, so older
+/// baselines lack it). Booleans gate as 0/1: a baseline generated from a
+/// snapshot boot has `build_skipped = 1`, and a PR that silently falls
+/// back to a cold in-process level build regresses it to 0 and fails —
+/// the cold/warm-start CI gate. A current document missing a metric the
+/// baseline tracks is still an error.
+const SERVE_BOOT_METRICS: &[(&str, Direction)] = &[
+    ("boot.build_skipped", Direction::HigherIsBetter),
+    ("boot.sim_boot_seconds", Direction::LowerIsBetter),
+];
+
 /// Whether `current` is worse than `baseline` by more than `tolerance`
 /// (a relative fraction, e.g. `0.10`).
 fn regressed(direction: Direction, baseline: f64, current: f64, tolerance: f64) -> bool {
@@ -104,12 +120,15 @@ fn regressed(direction: Direction, baseline: f64, current: f64, tolerance: f64) 
 }
 
 /// Resolves a dotted path (`"latency.p95_s"`) inside a JSON object.
+/// Booleans read as 0/1 so flags like `boot.build_skipped` can be gated
+/// directionally like any other metric.
 fn lookup(doc: &Value, path: &str) -> Option<f64> {
     let mut node = doc;
     for part in path.split('.') {
         node = node.get(part)?;
     }
     node.as_f64()
+        .or_else(|| node.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
 }
 
 /// Compares two `BENCH_*.json` documents of the same schema.
@@ -149,6 +168,13 @@ pub fn compare_documents(
         "lim-serve/report-v2" => {
             let mut metrics = SERVE_METRICS.to_vec();
             metrics.extend_from_slice(SERVE_V2_METRICS);
+            // Additive boot section: gate it only when the baseline has
+            // it, so pre-snapshot v2 baselines keep comparing.
+            metrics.extend(
+                SERVE_BOOT_METRICS
+                    .iter()
+                    .filter(|(path, _)| lookup(baseline, path).is_some()),
+            );
             compare_tracked(baseline, current, &metrics, "serve", tolerance)
         }
         other => Err(format!("unknown schema {other:?}")),
@@ -341,6 +367,43 @@ mod tests {
         assert!(err.contains("missing admission.shed"), "{err}");
         // v1 documents still gate on the v1 metric set.
         assert!(compare_documents(&v1, &v1, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn boot_metrics_gate_only_when_the_baseline_has_them() {
+        let mk = |boot: &str| {
+            lim_json::parse(&format!(
+                r#"{{"schema":"lim-serve/report-v2","success_rate":0.5,
+                    "tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":0.8}},
+                               "selection":{{"hit_rate":0.7}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}},
+                    "admission":{{"shed":0,"degraded":0,"max_queue_depth":0,
+                                  "queue_wait":{{"p95_s":0.0,"p99_s":0.0}}}}{boot}}}"#
+            ))
+            .unwrap()
+        };
+        let warm = mk(r#","boot":{"build_skipped":true,"sim_boot_seconds":0.001}"#);
+        let cold = mk(r#","boot":{"build_skipped":false,"sim_boot_seconds":0.8}"#);
+        let bootless = mk("");
+
+        // Warm baseline vs warm current: clean.
+        assert!(compare_documents(&warm, &warm, 0.10).unwrap().is_empty());
+        // Falling back to a cold in-process build regresses both gated
+        // boot metrics (the boolean gates as 1 -> 0).
+        let r = compare_documents(&warm, &cold, 0.10).unwrap();
+        let metrics: Vec<&str> = r.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"boot.build_skipped"), "{metrics:?}");
+        assert!(metrics.contains(&"boot.sim_boot_seconds"), "{metrics:?}");
+        // Pre-snapshot baselines without a boot section still compare.
+        assert!(compare_documents(&bootless, &warm, 0.10)
+            .unwrap()
+            .is_empty());
+        // But a baseline that tracks boot requires it in the current doc.
+        let err = compare_documents(&warm, &bootless, 0.10).unwrap_err();
+        assert!(err.contains("missing boot.build_skipped"), "{err}");
+        // A cold baseline never blocks warming up (improvement).
+        assert!(compare_documents(&cold, &warm, 0.10).unwrap().is_empty());
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub use metrics::{
     evaluate, evaluate_repeated, normalize_against, BatchMetrics, MeanCi, RepeatedMetrics,
 };
 pub use parallel::{evaluate_parallel, resolve_threads, shard_bounds, sharded_map};
-pub use persist::{load_levels, save_levels, LoadLevelsError};
+pub use persist::{
+    levels_from_snapshot, load_levels, save_levels, snapshot_levels, write_levels_snapshot,
+    LoadLevelsError, Snapshot, SnapshotError, SnapshotWriter, SNAPSHOT_FORMAT,
+};
 pub use pipeline::{
     Pipeline, Policy, QueryResult, QueryTrace, StepTrace, DEFAULT_CONTEXT, REDUCED_CONTEXT,
 };

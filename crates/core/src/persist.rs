@@ -1,36 +1,106 @@
 //! Persistence of the offline artifacts (§III-A: the search levels are
 //! built "offline and prior to any user interaction").
 //!
-//! A deployment builds [`SearchLevels`] once per tool catalog, serializes
-//! them with [`save_levels`], ships the JSON artifact to the edge device,
-//! and reloads it with [`load_levels`] at boot — no augmentation or
-//! clustering happens on-device.
+//! Two formats live here:
 //!
-//! The format is plain JSON (via `lim-json`), versioned with a `format`
-//! tag so future layouts can evolve compatibly.
+//! * **`lessismore-levels/1`** — the original single-document JSON levels
+//!   artifact ([`save_levels`] / [`load_levels`]), kept for
+//!   `lim levels --save/--load` compatibility.
+//! * **`lim/snapshot-v1`** — the boot snapshot: a sectioned container a
+//!   serving process can open without decoding everything. The paper's
+//!   offline/online split says the expensive preparation (clustering,
+//!   level reduction, index construction) must be amortized across
+//!   process lifetimes, not re-paid per boot; TinyAgent likewise ships a
+//!   precomputed retrieval index to the device. A snapshot therefore
+//!   carries [`SearchLevels`] plus the vector indexes as independent
+//!   sections behind a byte-offset table, mmap-style: [`Snapshot::parse`]
+//!   reads the header eagerly and decodes a section's JSON only on first
+//!   use (`lim snapshot inspect` never decodes any; a levels boot never
+//!   decodes a checkpoint's warm-cache sections).
+//!
+//! # The `lim/snapshot-v1` container
+//!
+//! ```text
+//! lim/snapshot-v1\n                      magic line
+//! {"format":"lim/snapshot-v1", ...}\n    header: kind, identity fields,
+//!                                        section table [{name,offset,len}]
+//! <section payloads, concatenated>       offsets relative to payload start
+//! ```
+//!
+//! Every section payload is one compact JSON document. Versioning rule:
+//! **unknown sections are an error** (a loader must never silently drop
+//! state another writer considered worth persisting), **unknown fields
+//! inside a section are ignored** (additive evolution keeps the format
+//! id). Writers emit sections and header fields in deterministic order,
+//! so encoding the same state twice is byte-identical.
 
+use std::cell::OnceCell;
 use std::error::Error;
 use std::fmt;
 
 use lim_embed::{Embedder, Embedding, IdfModel};
 use lim_json::Value;
-use lim_vecstore::{FlatIndex, Metric};
+use lim_vecstore::{flat_from_json, flat_to_json, FlatIndex, Metric, VectorIndex};
 
 use crate::levels::{SearchLevels, ToolCluster};
 
-/// Format tag written into every artifact.
+/// Format tag written into every levels artifact.
 pub const FORMAT: &str = "lessismore-levels/1";
+
+/// Format tag of the sectioned boot snapshot.
+pub const SNAPSHOT_FORMAT: &str = "lim/snapshot-v1";
+
+/// Snapshot section holding the embedder (IDF model) and level metadata.
+pub const SECTION_LEVELS: &str = "levels";
+/// Snapshot section holding the Level-1 tool index.
+pub const SECTION_TOOL_INDEX: &str = "tool_index";
+/// Snapshot section holding the Level-2 clusters and centroids.
+pub const SECTION_CLUSTERS: &str = "clusters";
 
 /// Error raised when an artifact cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadLevelsError {
     /// What was wrong with the document.
     pub message: String,
+    /// Breadcrumb from the document root to the offending field, e.g.
+    /// `["clusters", "[3]", "centroid"]`. Index segments are bracketed.
+    pub path: Vec<String>,
+}
+
+impl LoadLevelsError {
+    /// Renders the breadcrumb as a dotted path (`clusters[3].centroid`);
+    /// empty when the failure concerns the document as a whole.
+    pub fn path_string(&self) -> String {
+        let mut out = String::new();
+        for seg in &self.path {
+            if !out.is_empty() && !seg.starts_with('[') {
+                out.push('.');
+            }
+            out.push_str(seg);
+        }
+        out
+    }
+
+    /// Prepends `segment` to the breadcrumb (errors bubble up from the
+    /// leaf, so parents prepend their own context).
+    fn nest(mut self, segment: impl Into<String>) -> Self {
+        self.path.insert(0, segment.into());
+        self
+    }
 }
 
 impl fmt::Display for LoadLevelsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot load search levels: {}", self.message)
+        if self.path.is_empty() {
+            write!(f, "cannot load search levels: {}", self.message)
+        } else {
+            write!(
+                f,
+                "cannot load search levels at {}: {}",
+                self.path_string(),
+                self.message
+            )
+        }
     }
 }
 
@@ -39,47 +109,129 @@ impl Error for LoadLevelsError {}
 fn err(message: impl Into<String>) -> LoadLevelsError {
     LoadLevelsError {
         message: message.into(),
+        path: Vec::new(),
     }
 }
 
 /// Serializes levels into a JSON document.
+///
+/// IDF entries are sorted by term so the same levels always serialize to
+/// the same bytes (the in-memory model iterates in hash order).
 pub fn save_levels(levels: &SearchLevels) -> Value {
     let idf = levels.embedder().idf();
-    let idf_entries: Value = idf
-        .entries()
-        .map(|(term, df)| Value::array([Value::from(term), Value::from(df as i64)]))
-        .collect();
-
     Value::object([
         ("format", Value::from(FORMAT)),
         ("dim", Value::from(levels.embedder().dim())),
         ("tool_count", Value::from(levels.tool_count())),
-        (
-            "idf",
-            Value::object([
-                ("doc_count", Value::from(idf.len())),
-                ("entries", idf_entries),
-            ]),
-        ),
+        ("idf", idf_to_json(idf)),
         ("tool_index", index_to_json(levels.tool_index())),
+        ("clusters", clusters_to_json(levels.clusters())),
+    ])
+}
+
+fn idf_to_json(idf: &IdfModel) -> Value {
+    let mut entries: Vec<(String, usize)> = idf
+        .entries()
+        .map(|(term, df)| (term.to_owned(), df))
+        .collect();
+    entries.sort();
+    Value::object([
+        ("doc_count", Value::from(idf.len())),
         (
-            "clusters",
-            levels
-                .clusters()
-                .iter()
-                .map(|c| {
-                    Value::object([
-                        ("id", Value::from(c.id)),
-                        (
-                            "tools",
-                            c.tool_indices.iter().map(|t| Value::from(*t)).collect(),
-                        ),
-                        ("centroid", floats_to_json(c.centroid.as_slice())),
-                    ])
-                })
+            "entries",
+            entries
+                .into_iter()
+                .map(|(term, df)| Value::array([Value::from(term), Value::from(df as i64)]))
                 .collect(),
         ),
     ])
+}
+
+fn idf_from_json(doc: &Value) -> Result<IdfModel, LoadLevelsError> {
+    let doc_count = get_usize(doc, "doc_count")?;
+    let mut entries = Vec::new();
+    for (i, e) in doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing member").nest("entries"))?
+        .iter()
+        .enumerate()
+    {
+        let term = e.at(0).and_then(Value::as_str).ok_or_else(|| {
+            err("entry missing term")
+                .nest(format!("[{i}]"))
+                .nest("entries")
+        })?;
+        let df = e.at(1).and_then(Value::as_i64).ok_or_else(|| {
+            err("entry missing df")
+                .nest(format!("[{i}]"))
+                .nest("entries")
+        })? as usize;
+        entries.push((term.to_owned(), df));
+    }
+    Ok(IdfModel::from_parts(doc_count, entries))
+}
+
+fn clusters_to_json(clusters: &[ToolCluster]) -> Value {
+    clusters
+        .iter()
+        .map(|c| {
+            Value::object([
+                ("id", Value::from(c.id)),
+                (
+                    "tools",
+                    c.tool_indices.iter().map(|t| Value::from(*t)).collect(),
+                ),
+                ("centroid", floats_to_json(c.centroid.as_slice())),
+            ])
+        })
+        .collect()
+}
+
+fn clusters_from_json(
+    doc: &Value,
+    dim: usize,
+) -> Result<(Vec<ToolCluster>, FlatIndex), LoadLevelsError> {
+    let mut clusters = Vec::new();
+    let mut cluster_index = FlatIndex::new(dim, Metric::Cosine);
+    for (i, c) in doc
+        .as_array()
+        .ok_or_else(|| err("clusters must be an array"))?
+        .iter()
+        .enumerate()
+    {
+        let at = |e: LoadLevelsError| e.nest(format!("[{i}]"));
+        let id = get_usize(c, "id").map_err(at)?;
+        let tool_indices: Vec<usize> = c
+            .get("tools")
+            .and_then(Value::as_array)
+            .ok_or_else(|| at(err("missing member").nest("tools")))?
+            .iter()
+            .map(|v| v.as_i64().map(|x| x as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| at(err("tools must be integers").nest("tools")))?;
+        let centroid_values = c
+            .get("centroid")
+            .ok_or_else(|| at(err("missing member").nest("centroid")))
+            .and_then(|v| floats_from_json(v).map_err(|e| at(e.nest("centroid"))))?;
+        if centroid_values.len() != dim {
+            return Err(at(err(format!(
+                "centroid has {} components, expected {dim}",
+                centroid_values.len()
+            ))
+            .nest("centroid")));
+        }
+        let centroid = Embedding::new(centroid_values);
+        cluster_index
+            .add(id as u64, centroid.as_slice())
+            .map_err(|e| at(err(format!("cluster index: {e}"))))?;
+        clusters.push(ToolCluster {
+            id,
+            tool_indices,
+            centroid,
+        });
+    }
+    Ok((clusters, cluster_index))
 }
 
 /// Reconstructs levels from a document produced by [`save_levels`].
@@ -87,80 +239,40 @@ pub fn save_levels(levels: &SearchLevels) -> Value {
 /// # Errors
 ///
 /// Returns [`LoadLevelsError`] on any structural mismatch: wrong format
-/// tag, missing members, malformed vectors, or duplicate ids.
+/// tag, missing members, malformed vectors, or duplicate ids. The
+/// error's `path` breadcrumb names the offending field (e.g.
+/// `clusters[3].centroid`).
 pub fn load_levels(doc: &Value) -> Result<SearchLevels, LoadLevelsError> {
     let format = doc
         .get("format")
         .and_then(Value::as_str)
-        .ok_or_else(|| err("missing format tag"))?;
+        .ok_or_else(|| err("missing member").nest("format"))?;
     if format != FORMAT {
-        return Err(err(format!("unsupported format {format:?}")));
+        return Err(err(format!("unsupported format {format:?}")).nest("format"));
     }
     let dim = get_usize(doc, "dim")?;
     let tool_count = get_usize(doc, "tool_count")?;
 
-    let idf_doc = doc.get("idf").ok_or_else(|| err("missing idf"))?;
-    let doc_count = get_usize(idf_doc, "doc_count")?;
-    let mut entries = Vec::new();
-    for e in idf_doc
-        .get("entries")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing idf.entries"))?
-    {
-        let term = e
-            .at(0)
-            .and_then(Value::as_str)
-            .ok_or_else(|| err("idf entry missing term"))?;
-        let df = e
-            .at(1)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| err("idf entry missing df"))? as usize;
-        entries.push((term.to_owned(), df));
-    }
-    let embedder = Embedder::builder()
-        .dim(dim)
-        .idf(IdfModel::from_parts(doc_count, entries))
-        .build();
+    let idf = idf_from_json(
+        doc.get("idf")
+            .ok_or_else(|| err("missing member").nest("idf"))?,
+    )
+    .map_err(|e| e.nest("idf"))?;
+    let embedder = Embedder::builder().dim(dim).idf(idf).build();
 
     let tool_index = index_from_json(
         doc.get("tool_index")
-            .ok_or_else(|| err("missing tool_index"))?,
+            .ok_or_else(|| err("missing member").nest("tool_index"))?,
         dim,
-    )?;
+    )
+    .map_err(|e| e.nest("tool_index"))?;
 
-    let mut clusters = Vec::new();
-    let mut cluster_index = FlatIndex::new(dim, Metric::Cosine);
-    for c in doc
-        .get("clusters")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing clusters"))?
-    {
-        let id = get_usize(c, "id")?;
-        let tool_indices: Vec<usize> = c
-            .get("tools")
-            .and_then(Value::as_array)
-            .ok_or_else(|| err("cluster missing tools"))?
-            .iter()
-            .map(|v| v.as_i64().map(|x| x as usize))
-            .collect::<Option<Vec<usize>>>()
-            .ok_or_else(|| err("cluster tools must be integers"))?;
-        let centroid_values = floats_from_json(
-            c.get("centroid")
-                .ok_or_else(|| err("cluster missing centroid"))?,
-        )?;
-        if centroid_values.len() != dim {
-            return Err(err("centroid dimension mismatch"));
-        }
-        let centroid = Embedding::new(centroid_values);
-        cluster_index
-            .add(id as u64, centroid.as_slice())
-            .map_err(|e| err(format!("cluster index: {e}")))?;
-        clusters.push(ToolCluster {
-            id,
-            tool_indices,
-            centroid,
-        });
-    }
+    let (clusters, cluster_index) = clusters_from_json(
+        doc.get("clusters")
+            .ok_or_else(|| err("missing member").nest("clusters"))?,
+        dim,
+    )
+    .map_err(|e| e.nest("clusters"))?;
 
     Ok(SearchLevels::from_parts(
         embedder,
@@ -185,43 +297,453 @@ fn index_to_json(index: &FlatIndex) -> Value {
 
 fn index_from_json(doc: &Value, dim: usize) -> Result<FlatIndex, LoadLevelsError> {
     let mut index = FlatIndex::new(dim, Metric::Cosine);
-    for entry in doc
+    for (i, entry) in doc
         .as_array()
         .ok_or_else(|| err("index must be an array"))?
+        .iter()
+        .enumerate()
     {
+        let at = |e: LoadLevelsError| e.nest(format!("[{i}]"));
         let id = entry
             .get("id")
             .and_then(Value::as_i64)
-            .ok_or_else(|| err("index entry missing id"))? as u64;
-        let vector = floats_from_json(entry.get("v").ok_or_else(|| err("index entry missing v"))?)?;
+            .ok_or_else(|| at(err("missing member").nest("id")))? as u64;
+        let vector = entry
+            .get("v")
+            .ok_or_else(|| at(err("missing member").nest("v")))
+            .and_then(|v| floats_from_json(v).map_err(|e| at(e.nest("v"))))?;
         if vector.len() != dim {
-            return Err(err("index vector dimension mismatch"));
+            return Err(at(err(format!(
+                "vector has {} components, expected {dim}",
+                vector.len()
+            ))
+            .nest("v")));
         }
-        index
-            .add(id, &vector)
-            .map_err(|e| err(format!("index: {e}")))?;
+        index.add(id, &vector).map_err(|e| at(err(e.to_string())))?;
     }
     Ok(index)
 }
 
+// The f32 <-> JSON encoding rule lives in lim_vecstore::serial so every
+// snapshot section round-trips through one implementation; only the
+// error type is adapted here.
 fn floats_to_json(values: &[f32]) -> Value {
-    values.iter().map(|v| Value::from(f64::from(*v))).collect()
+    lim_vecstore::floats_to_json(values)
 }
 
 fn floats_from_json(doc: &Value) -> Result<Vec<f32>, LoadLevelsError> {
-    doc.as_array()
-        .ok_or_else(|| err("vector must be an array"))?
-        .iter()
-        .map(|v| v.as_f64().map(|x| x as f32))
-        .collect::<Option<Vec<f32>>>()
-        .ok_or_else(|| err("vector components must be numbers"))
+    lim_vecstore::floats_from_json(doc, "vector").map_err(|e| err(e.message))
 }
 
 fn get_usize(doc: &Value, key: &str) -> Result<usize, LoadLevelsError> {
     doc.get(key)
         .and_then(Value::as_i64)
         .map(|v| v as usize)
-        .ok_or_else(|| err(format!("missing integer member {key:?}")))
+        .ok_or_else(|| err("missing integer member").nest(key.to_owned()))
+}
+
+// ---------------------------------------------------------------------------
+// The lim/snapshot-v1 container.
+// ---------------------------------------------------------------------------
+
+/// Typed failure modes of snapshot parsing and loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with the `lim/snapshot-v1` magic line.
+    Magic,
+    /// The header line is missing, malformed, or lacks required members.
+    Header(String),
+    /// A section's recorded byte range exceeds the available payload.
+    Truncated {
+        /// Name of the out-of-bounds section.
+        section: String,
+        /// Bytes the header claims the section occupies.
+        expected: usize,
+        /// Payload bytes actually available at its offset.
+        available: usize,
+    },
+    /// The file carries a section this loader does not understand
+    /// (unknown sections are an error; see the module docs).
+    UnknownSection(String),
+    /// A section this loader requires is absent.
+    MissingSection(String),
+    /// A section's payload failed to parse or decode.
+    Section {
+        /// Name of the offending section.
+        section: String,
+        /// What was wrong with its payload.
+        message: String,
+    },
+    /// The snapshot's identity or configuration disagrees with the
+    /// engine it is being restored into.
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Magic => write!(f, "not a {SNAPSHOT_FORMAT} snapshot (bad magic)"),
+            SnapshotError::Header(m) => write!(f, "bad snapshot header: {m}"),
+            SnapshotError::Truncated {
+                section,
+                expected,
+                available,
+            } => write!(
+                f,
+                "snapshot is truncated: section {section:?} claims {expected} bytes \
+                 but only {available} are present"
+            ),
+            SnapshotError::UnknownSection(name) => {
+                write!(f, "snapshot carries unknown section {name:?}")
+            }
+            SnapshotError::MissingSection(name) => {
+                write!(f, "snapshot is missing required section {name:?}")
+            }
+            SnapshotError::Section { section, message } => {
+                write!(f, "snapshot section {section:?}: {message}")
+            }
+            SnapshotError::Mismatch(m) => write!(f, "snapshot does not match this engine: {m}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// Builder for a `lim/snapshot-v1` file: header fields plus named
+/// sections, encoded with a byte-offset table so readers can decode
+/// sections lazily.
+#[derive(Debug, Clone)]
+pub struct SnapshotWriter {
+    kind: String,
+    fields: Vec<(String, Value)>,
+    sections: Vec<(String, String)>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot of the given kind (`"levels"` boots indexes
+    /// only; `"checkpoint"` additionally carries warm serving state).
+    pub fn new(kind: &str) -> Self {
+        Self {
+            kind: kind.to_owned(),
+            fields: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Records an identity field in the header (benchmark, seed, …).
+    /// Header fields are always decoded; keep them small.
+    pub fn header_field(&mut self, key: &str, value: Value) {
+        self.fields.push((key.to_owned(), value));
+    }
+
+    /// Appends a section. Order is preserved into the file, so the same
+    /// state always encodes to the same bytes.
+    pub fn add_section(&mut self, name: &str, doc: &Value) {
+        self.sections.push((name.to_owned(), doc.to_string()));
+    }
+
+    /// Encodes the container (magic line, header line, payloads).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut table = Vec::new();
+        let mut offset = 0usize;
+        for (name, payload) in &self.sections {
+            table.push(Value::object([
+                ("name", Value::from(name.as_str())),
+                ("offset", Value::from(offset)),
+                ("len", Value::from(payload.len())),
+            ]));
+            offset += payload.len();
+        }
+        let mut header = Value::object([
+            ("format", Value::from(SNAPSHOT_FORMAT)),
+            ("kind", Value::from(self.kind.as_str())),
+            ("sections", table.into_iter().collect()),
+        ]);
+        for (key, value) in &self.fields {
+            header.insert(key.as_str(), value.clone());
+        }
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_FORMAT);
+        out.push('\n');
+        out.push_str(&header.to_string());
+        out.push('\n');
+        for (_, payload) in &self.sections {
+            out.push_str(payload);
+        }
+        out.into_bytes()
+    }
+}
+
+/// One entry of the section table plus its lazily decoded document.
+#[derive(Debug)]
+struct Section {
+    name: String,
+    offset: usize,
+    len: usize,
+    decoded: OnceCell<Value>,
+}
+
+/// A parsed-but-mostly-undecoded `lim/snapshot-v1` container.
+///
+/// [`Snapshot::parse`] reads the magic and header lines and validates the
+/// section table against the payload length; section payloads are JSON-
+/// decoded only on the first [`Snapshot::section`] call — a boot that
+/// never touches a section never pays for it.
+#[derive(Debug)]
+pub struct Snapshot {
+    header: Value,
+    kind: String,
+    payload: Vec<u8>,
+    sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Parses the container header; decodes no section payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Magic`] on a wrong magic line,
+    /// [`SnapshotError::Header`] on a malformed header, and
+    /// [`SnapshotError::Truncated`] when a section's byte range runs past
+    /// the end of the file.
+    pub fn parse(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let magic_len = SNAPSHOT_FORMAT.len() + 1;
+        if bytes.len() < magic_len
+            || &bytes[..magic_len - 1] != SNAPSHOT_FORMAT.as_bytes()
+            || bytes[magic_len - 1] != b'\n'
+        {
+            return Err(SnapshotError::Magic);
+        }
+        let rest = &bytes[magic_len..];
+        let header_end = rest
+            .iter()
+            .position(|b| *b == b'\n')
+            .ok_or_else(|| SnapshotError::Header("missing header line".into()))?;
+        let header_text = std::str::from_utf8(&rest[..header_end])
+            .map_err(|_| SnapshotError::Header("header is not UTF-8".into()))?;
+        let header =
+            lim_json::parse(header_text).map_err(|e| SnapshotError::Header(e.to_string()))?;
+        if header.get("format").and_then(Value::as_str) != Some(SNAPSHOT_FORMAT) {
+            return Err(SnapshotError::Header(format!(
+                "format tag is not {SNAPSHOT_FORMAT:?}"
+            )));
+        }
+        let kind = header
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SnapshotError::Header("missing kind".into()))?
+            .to_owned();
+        let payload = rest[header_end + 1..].to_vec();
+        let mut sections = Vec::new();
+        for entry in header
+            .get("sections")
+            .and_then(Value::as_array)
+            .ok_or_else(|| SnapshotError::Header("missing section table".into()))?
+        {
+            let name = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| SnapshotError::Header("section entry missing name".into()))?
+                .to_owned();
+            let get = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| SnapshotError::Header(format!("section {name:?} missing {key}")))
+            };
+            let offset = get("offset")? as usize;
+            let len = get("len")? as usize;
+            if sections.iter().any(|s: &Section| s.name == name) {
+                return Err(SnapshotError::Header(format!("duplicate section {name:?}")));
+            }
+            if offset.saturating_add(len) > payload.len() {
+                return Err(SnapshotError::Truncated {
+                    section: name,
+                    expected: len,
+                    available: payload.len().saturating_sub(offset.min(payload.len())),
+                });
+            }
+            sections.push(Section {
+                name,
+                offset,
+                len,
+                decoded: OnceCell::new(),
+            });
+        }
+        Ok(Self {
+            header,
+            kind,
+            payload,
+            sections,
+        })
+    }
+
+    /// The snapshot kind (`"levels"` / `"checkpoint"`).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The decoded header document (identity fields live here).
+    pub fn header(&self) -> &Value {
+        &self.header
+    }
+
+    /// A header field, if present.
+    pub fn header_field(&self, key: &str) -> Option<&Value> {
+        self.header.get(key)
+    }
+
+    /// Names in the section table, in file order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Whether the table carries `name`.
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|s| s.name == name)
+    }
+
+    /// Encoded byte length of a section, without decoding it.
+    pub fn section_len(&self, name: &str) -> Option<usize> {
+        self.sections.iter().find(|s| s.name == name).map(|s| s.len)
+    }
+
+    /// Total payload bytes after the header line.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Names of the sections that have actually been decoded so far —
+    /// the observable half of the lazy-loading contract.
+    pub fn decoded_sections(&self) -> Vec<&str> {
+        self.sections
+            .iter()
+            .filter(|s| s.decoded.get().is_some())
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Enforces the versioning rule: every section in the file must be
+    /// one this loader knows about.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownSection`] naming the first stranger.
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), SnapshotError> {
+        for section in &self.sections {
+            if !known.contains(&section.name.as_str()) {
+                return Err(SnapshotError::UnknownSection(section.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The decoded document of section `name`, parsing it on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] when absent from the table, or
+    /// [`SnapshotError::Section`] when the payload is not valid JSON.
+    pub fn section(&self, name: &str) -> Result<&Value, SnapshotError> {
+        let section = self
+            .sections
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| SnapshotError::MissingSection(name.to_owned()))?;
+        if let Some(doc) = section.decoded.get() {
+            return Ok(doc);
+        }
+        let bytes = &self.payload[section.offset..section.offset + section.len];
+        let text = std::str::from_utf8(bytes).map_err(|_| SnapshotError::Section {
+            section: name.to_owned(),
+            message: "payload is not UTF-8".into(),
+        })?;
+        let doc = lim_json::parse(text).map_err(|e| SnapshotError::Section {
+            section: name.to_owned(),
+            message: e.to_string(),
+        })?;
+        Ok(section.decoded.get_or_init(|| doc))
+    }
+}
+
+/// Appends the three levels sections to a snapshot under construction.
+pub fn snapshot_levels(levels: &SearchLevels, writer: &mut SnapshotWriter) {
+    writer.add_section(
+        SECTION_LEVELS,
+        &Value::object([
+            ("dim", Value::from(levels.embedder().dim())),
+            ("tool_count", Value::from(levels.tool_count())),
+            ("idf", idf_to_json(levels.embedder().idf())),
+        ]),
+    );
+    writer.add_section(SECTION_TOOL_INDEX, &flat_to_json(levels.tool_index()));
+    writer.add_section(SECTION_CLUSTERS, &clusters_to_json(levels.clusters()));
+}
+
+/// Encodes a standalone levels snapshot (`kind: "levels"`) with the
+/// workload identity fields `lim serve --snapshot` validates at boot.
+pub fn write_levels_snapshot(
+    levels: &SearchLevels,
+    benchmark: &str,
+    seed: u64,
+    pool_size: usize,
+) -> Vec<u8> {
+    let mut writer = SnapshotWriter::new("levels");
+    writer.header_field("benchmark", Value::from(benchmark));
+    writer.header_field("seed", Value::from(seed as i64));
+    writer.header_field("pool_size", Value::from(pool_size));
+    writer.header_field("tool_count", Value::from(levels.tool_count()));
+    writer.header_field("dim", Value::from(levels.embedder().dim()));
+    snapshot_levels(levels, &mut writer);
+    writer.encode()
+}
+
+/// Rebuilds [`SearchLevels`] from a snapshot's levels sections, decoding
+/// only those three — a checkpoint's warm sections stay untouched.
+///
+/// # Errors
+///
+/// [`SnapshotError::MissingSection`] / [`SnapshotError::Section`] when
+/// the levels sections are absent or undecodable.
+pub fn levels_from_snapshot(snapshot: &Snapshot) -> Result<SearchLevels, SnapshotError> {
+    fn section_err(section: &str) -> impl Fn(LoadLevelsError) -> SnapshotError + '_ {
+        move |e| SnapshotError::Section {
+            section: section.to_owned(),
+            message: e.to_string(),
+        }
+    }
+    let meta = snapshot.section(SECTION_LEVELS)?;
+    let dim = get_usize(meta, "dim").map_err(section_err(SECTION_LEVELS))?;
+    let tool_count = get_usize(meta, "tool_count").map_err(section_err(SECTION_LEVELS))?;
+    let idf = meta
+        .get("idf")
+        .ok_or_else(|| err("missing member").nest("idf"))
+        .and_then(|d| idf_from_json(d).map_err(|e| e.nest("idf")))
+        .map_err(section_err(SECTION_LEVELS))?;
+    let embedder = Embedder::builder().dim(dim).idf(idf).build();
+
+    let tool_index_doc = snapshot.section(SECTION_TOOL_INDEX)?;
+    let tool_index = flat_from_json(tool_index_doc).map_err(|e| SnapshotError::Section {
+        section: SECTION_TOOL_INDEX.to_owned(),
+        message: e.to_string(),
+    })?;
+    if tool_index.dim() != dim {
+        return Err(SnapshotError::Section {
+            section: SECTION_TOOL_INDEX.to_owned(),
+            message: format!("index dim {} but levels dim {dim}", tool_index.dim()),
+        });
+    }
+
+    let (clusters, cluster_index) = clusters_from_json(snapshot.section(SECTION_CLUSTERS)?, dim)
+        .map_err(section_err(SECTION_CLUSTERS))?;
+
+    Ok(SearchLevels::from_parts(
+        embedder,
+        tool_index,
+        cluster_index,
+        clusters,
+        tool_count,
+    ))
 }
 
 #[cfg(test)]
@@ -284,6 +806,35 @@ mod tests {
     }
 
     #[test]
+    fn decode_errors_carry_the_field_path() {
+        let w = bfcl(6, 10);
+        let levels = SearchLevels::build(&w);
+
+        // Corrupt one cluster's centroid: the breadcrumb must name the
+        // cluster index and the field.
+        let mut doc = save_levels(&levels);
+        let mut clusters = doc.get("clusters").unwrap().as_array().unwrap().to_vec();
+        let corrupt_at = clusters.len() - 1;
+        clusters[corrupt_at].insert("centroid", Value::from("not-a-vector"));
+        doc.insert("clusters", clusters.into_iter().collect::<Value>());
+        let e = load_levels(&doc).expect_err("corrupt centroid");
+        assert_eq!(e.path_string(), format!("clusters[{corrupt_at}].centroid"));
+        assert!(e.to_string().contains(&format!("clusters[{corrupt_at}]")));
+
+        // A malformed IDF entry points into idf.entries[i].
+        let mut doc = save_levels(&levels);
+        let mut idf = doc.get("idf").unwrap().clone();
+        idf.insert("entries", Value::array([Value::from(3)]));
+        doc.insert("idf", idf);
+        let e = load_levels(&doc).expect_err("corrupt idf entry");
+        assert_eq!(e.path_string(), "idf.entries[0]");
+
+        // Top-level failures keep an empty path but still render.
+        let e = load_levels(&Value::object::<&str, _>([])).expect_err("empty doc");
+        assert_eq!(e.path_string(), "format");
+    }
+
+    #[test]
     fn embedder_idf_survives_roundtrip() {
         let w = bfcl(6, 10);
         let levels = SearchLevels::build(&w);
@@ -291,5 +842,78 @@ mod tests {
         // Same IDF weights ⇒ same embeddings for any runtime text.
         let text = "translate a document into French and display it";
         assert_eq!(levels.embedder().embed(text), loaded.embedder().embed(text));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_lazy_and_exact() {
+        let w = bfcl(9, 30);
+        let levels = SearchLevels::build(&w);
+        let bytes = write_levels_snapshot(&levels, "bfcl", 9, 30);
+        // Byte-determinism: encoding the same state twice is identical.
+        assert_eq!(bytes, write_levels_snapshot(&levels, "bfcl", 9, 30));
+
+        let snapshot = Snapshot::parse(&bytes).expect("valid snapshot");
+        assert_eq!(snapshot.kind(), "levels");
+        assert_eq!(
+            snapshot.header_field("benchmark").and_then(Value::as_str),
+            Some("bfcl")
+        );
+        assert_eq!(
+            snapshot.section_names(),
+            vec![SECTION_LEVELS, SECTION_TOOL_INDEX, SECTION_CLUSTERS]
+        );
+        // Nothing decoded until asked.
+        assert!(snapshot.decoded_sections().is_empty());
+        let _ = snapshot.section(SECTION_LEVELS).expect("levels decode");
+        assert_eq!(snapshot.decoded_sections(), vec![SECTION_LEVELS]);
+
+        let loaded = levels_from_snapshot(&snapshot).expect("levels load");
+        assert_eq!(loaded.tool_count(), levels.tool_count());
+        let text = "fetch the current weather and convert currencies";
+        assert_eq!(levels.embedder().embed(text), loaded.embedder().embed(text));
+        let q = levels.embedder().embed(text);
+        assert_eq!(
+            levels.tool_index().search(q.as_slice(), 3),
+            loaded.tool_index().search(q.as_slice(), 3)
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_with_typed_errors() {
+        let w = bfcl(9, 20);
+        let levels = SearchLevels::build(&w);
+        let bytes = write_levels_snapshot(&levels, "bfcl", 9, 20);
+
+        // Wrong magic.
+        assert_eq!(
+            Snapshot::parse(b"not a snapshot").unwrap_err(),
+            SnapshotError::Magic
+        );
+        // Truncation is caught at parse time, before any decode.
+        let truncated = &bytes[..bytes.len() - 40];
+        assert!(matches!(
+            Snapshot::parse(truncated).unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+        // Corrupting a section payload fails only that section's decode.
+        let mut corrupt = bytes.clone();
+        let len = corrupt.len();
+        corrupt[len - 10] = b'!';
+        let snapshot = Snapshot::parse(&corrupt).expect("header still parses");
+        assert!(matches!(
+            levels_from_snapshot(&snapshot).unwrap_err(),
+            SnapshotError::Section { .. }
+        ));
+        // Unknown sections are an error under the versioning rule.
+        let mut writer = SnapshotWriter::new("levels");
+        snapshot_levels(&levels, &mut writer);
+        writer.add_section("from_the_future", &Value::object::<&str, _>([]));
+        let stranger = Snapshot::parse(&writer.encode()).expect("valid container");
+        assert_eq!(
+            stranger
+                .ensure_known(&[SECTION_LEVELS, SECTION_TOOL_INDEX, SECTION_CLUSTERS])
+                .unwrap_err(),
+            SnapshotError::UnknownSection("from_the_future".into())
+        );
     }
 }

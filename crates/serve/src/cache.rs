@@ -208,6 +208,51 @@ impl<V: Clone> LruCache<V> {
         self.stats.insertions += 1;
     }
 
+    /// Resident entries from **least- to most-recently used**, reserved
+    /// (still-valueless) slots as `None`. This is the checkpoint order:
+    /// replaying the pairs through [`LruCache::restore`] rebuilds an
+    /// identical recency list, so eviction behaviour after a restore is
+    /// bit-identical to the cache that was checkpointed.
+    pub fn entries_lru(&self) -> Vec<(&str, Option<&V>)> {
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut slot = self.tail;
+        while slot != NONE {
+            let s = &self.slots[slot];
+            out.push((s.key.as_str(), s.value.as_ref()));
+            slot = s.prev;
+        }
+        out
+    }
+
+    /// Rebuilds a cache from checkpointed state: `entries` in the order
+    /// produced by [`LruCache::entries_lru`] (least-recent first) plus
+    /// the lifetime counters at checkpoint time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `entries` exceeds it (a checkpoint
+    /// can only be restored into an engine configured at least as large).
+    pub fn restore(
+        capacity: usize,
+        entries: impl IntoIterator<Item = (String, Option<V>)>,
+        stats: CacheStats,
+    ) -> Self {
+        let mut cache = Self::new(capacity);
+        for (key, value) in entries {
+            assert!(
+                cache.index.len() < capacity,
+                "checkpoint holds more than {capacity} entries"
+            );
+            assert!(
+                !cache.index.contains_key(&key),
+                "checkpoint repeats key {key:?}"
+            );
+            cache.insert_front(key, value);
+        }
+        cache.stats = stats;
+        cache
+    }
+
     /// Number of resident entries (filled or reserved).
     pub fn len(&self) -> usize {
         self.index.len()
@@ -286,6 +331,44 @@ mod tests {
         let delta = c.stats().since(&before);
         assert_eq!((delta.hits, delta.misses), (1, 1));
         assert_eq!(delta.insertions, 0);
+    }
+
+    #[test]
+    fn checkpoint_entries_roundtrip_preserves_recency_and_stats() {
+        let mut c: LruCache<u32> = LruCache::new(3);
+        c.seed("a".into(), 1);
+        c.seed("b".into(), 2);
+        assert_eq!(c.lookup("a"), Lookup::Hit(1)); // "b" is now LRU
+        assert_eq!(c.lookup("r"), Lookup::Miss); // reserved, most recent
+
+        let entries: Vec<(String, Option<u32>)> = c
+            .entries_lru()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v.copied()))
+            .collect();
+        assert_eq!(
+            entries,
+            vec![
+                ("b".to_owned(), Some(2)),
+                ("a".to_owned(), Some(1)),
+                ("r".to_owned(), None),
+            ]
+        );
+        let mut restored = LruCache::restore(3, entries, c.stats());
+        assert_eq!(restored.stats(), c.stats());
+        assert_eq!(restored.len(), 3);
+        // Same victim order: the next miss evicts "b" in both.
+        assert_eq!(c.lookup("x"), Lookup::Miss);
+        assert_eq!(restored.lookup("x"), Lookup::Miss);
+        assert_eq!(c.lookup("b"), Lookup::Miss);
+        assert_eq!(restored.lookup("b"), Lookup::Miss);
+        // The reserved slot survived as reserved.
+        let mut fresh = LruCache::restore(
+            3,
+            vec![("r".to_owned(), None::<u32>)],
+            CacheStats::default(),
+        );
+        assert_eq!(fresh.lookup("r"), Lookup::Reserved);
     }
 
     #[test]

@@ -60,9 +60,17 @@ use lim_vecstore::VectorIndex;
 use lim_workloads::trace::SessionTrace;
 use lim_workloads::{Query, Workload};
 
+use lim_core::{levels_from_snapshot, Snapshot, SnapshotError};
+
 use crate::admission::{self, AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
 use crate::cache::{CacheStats, Lookup, LruCache};
-use crate::report::{AdmissionReport, LatencyStats, ServeReport};
+use crate::report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
+use crate::snapshot as snap;
+
+/// Simulated seconds to decode one snapshot payload byte at boot
+/// (≈1 GB/s sequential parse — the cost a snapshot boot pays instead of
+/// re-embedding the catalog and re-clustering).
+pub const SNAPSHOT_DECODE_SECONDS_PER_BYTE: f64 = 1e-9;
 
 /// Serving-engine tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,16 +127,16 @@ pub struct QueryEmbeddings {
 
 /// Long-lived state for one serving session.
 #[derive(Debug, Clone, Default)]
-struct SessionState {
+pub(crate) struct SessionState {
     /// Memo key of the session's previous request.
-    last_key: Option<String>,
+    pub(crate) last_key: Option<String>,
     /// Resolved selection source of that request.
-    last_selection: Option<SelectionSource>,
+    pub(crate) last_selection: Option<SelectionSource>,
 }
 
 /// Where a request's tool selection comes from.
 #[derive(Debug, Clone)]
-enum SelectionSource {
+pub(crate) enum SelectionSource {
     /// Policy needs no selection (vanilla full-catalog calling).
     FullCatalog,
     /// Value already resident in the memo.
@@ -211,33 +219,129 @@ struct RequestOutcome {
 /// ```
 #[derive(Debug)]
 pub struct ServeEngine {
-    workload: Arc<Workload>,
-    levels: Arc<SearchLevels>,
-    model: ModelProfile,
-    config: ServeConfig,
-    embed_cache: LruCache<Arc<QueryEmbeddings>>,
-    memo: LruCache<Arc<ToolSelection>>,
-    sessions: HashMap<u64, SessionState>,
-    session_fast_hits: u64,
-    requests_served: u64,
+    pub(crate) workload: Arc<Workload>,
+    pub(crate) levels: Arc<SearchLevels>,
+    pub(crate) model: ModelProfile,
+    pub(crate) config: ServeConfig,
+    pub(crate) embed_cache: LruCache<Arc<QueryEmbeddings>>,
+    pub(crate) memo: LruCache<Arc<ToolSelection>>,
+    pub(crate) sessions: HashMap<u64, SessionState>,
+    pub(crate) session_fast_hits: u64,
+    pub(crate) requests_served: u64,
+    pub(crate) boot: BootReport,
 }
 
 impl ServeEngine {
-    /// Builds the offline search levels and starts a warm engine.
+    /// Builds the offline search levels and starts a warm engine — a
+    /// **cold boot**: the full level build and (if configured) the cache
+    /// pre-warm are paid at startup. Boot from a snapshot via
+    /// [`ServeEngine::from_snapshot`] to skip the build, or from a
+    /// checkpoint via [`ServeEngine::from_checkpoint`] to also skip the
+    /// cold-cache ramp.
     pub fn new(workload: Workload, model: ModelProfile, config: ServeConfig) -> Self {
         let levels = SearchLevels::build(&workload);
         Self::with_levels(workload, levels, model, config)
     }
 
     /// Starts an engine over prebuilt levels (e.g. loaded from a
-    /// persisted artifact).
+    /// persisted artifact). Accounted as a cold boot: the engine cannot
+    /// know how the levels were obtained.
     pub fn with_levels(
         workload: Workload,
         levels: SearchLevels,
         model: ModelProfile,
         config: ServeConfig,
     ) -> Self {
-        let mut engine = Self {
+        let mut engine = Self::assemble(workload, levels, model, config);
+        // Vanilla full-catalog calling never consults the caches, so
+        // pre-warming would be pure startup waste.
+        if engine.wants_prewarm() {
+            engine.prewarm_from_training_pool();
+        }
+        engine.boot = engine.describe_boot("cold", false, false, 0);
+        engine
+    }
+
+    /// Boots an engine from a persisted snapshot, **skipping the level
+    /// build**: the embedder, tool index and clusters are decoded from
+    /// the snapshot's sections instead of being recomputed. The cache
+    /// pre-warm still runs as configured. Accepts both snapshot kinds —
+    /// on a checkpoint file the warm-state sections are left undecoded
+    /// (the lazy-loading contract; use [`ServeEngine::from_checkpoint`]
+    /// to restore them).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the container is corrupt, carries unknown
+    /// sections, or records a different workload identity.
+    pub fn from_snapshot(
+        snapshot: &Snapshot,
+        workload: Workload,
+        model: ModelProfile,
+        config: ServeConfig,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.ensure_known(snap::KNOWN_SECTIONS)?;
+        snap::validate_workload(snapshot, &workload)?;
+        let levels = levels_from_snapshot(snapshot)?;
+        let mut engine = Self::assemble(workload, levels, model, config);
+        if engine.wants_prewarm() {
+            engine.prewarm_from_training_pool();
+        }
+        // Bill only what this boot decoded: on a checkpoint file the
+        // warm sections stay untouched, so their bytes cost nothing.
+        engine.boot = engine.describe_boot("snapshot", true, false, decoded_bytes(snapshot));
+        Ok(engine)
+    }
+
+    /// Boots an engine from a checkpoint, skipping **both** the level
+    /// build and the cold-cache ramp: the seeded-LRU embedding cache,
+    /// the selection memo (entries restored in exact LRU order) and the
+    /// per-session warm-controller state resume exactly where
+    /// [`ServeEngine::checkpoint`] left them, so replaying the remainder
+    /// of a trace is bit-identical to never having restarted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the container is corrupt, is not a
+    /// checkpoint, or was written by an engine with a different
+    /// workload, model, quant, policy, seed or cache geometry.
+    pub fn from_checkpoint(
+        snapshot: &Snapshot,
+        workload: Workload,
+        model: ModelProfile,
+        config: ServeConfig,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.ensure_known(snap::KNOWN_SECTIONS)?;
+        if snapshot.kind() != "checkpoint" {
+            return Err(SnapshotError::Mismatch(format!(
+                "kind {:?} carries no warm state; boot it with from_snapshot",
+                snapshot.kind()
+            )));
+        }
+        snap::validate_workload(snapshot, &workload)?;
+        snap::validate_engine(snapshot, &model, &config)?;
+        let levels = levels_from_snapshot(snapshot)?;
+        let mut engine = Self::assemble(workload, levels, model, config);
+        snap::restore_warm_state(snapshot, &mut engine)?;
+        engine.boot = engine.describe_boot("checkpoint", true, true, decoded_bytes(snapshot));
+        Ok(engine)
+    }
+
+    /// Serializes the engine's full state — levels, indexes, both caches
+    /// in deterministic LRU order, session warm state and lifetime
+    /// counters — as a `lim/snapshot-v1` checkpoint. Encoding the same
+    /// state twice yields byte-identical output.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        snap::write_checkpoint(self)
+    }
+
+    fn assemble(
+        workload: Workload,
+        levels: SearchLevels,
+        model: ModelProfile,
+        config: ServeConfig,
+    ) -> Self {
+        Self {
             workload: Arc::new(workload),
             levels: Arc::new(levels),
             model,
@@ -247,13 +351,50 @@ impl ServeEngine {
             sessions: HashMap::new(),
             session_fast_hits: 0,
             requests_served: 0,
-        };
-        // Vanilla full-catalog calling never consults the caches, so
-        // pre-warming would be pure startup waste.
-        if config.prewarm && !matches!(config.policy, Policy::Default) {
-            engine.prewarm_from_training_pool();
+            boot: BootReport::neutral(),
         }
-        engine
+    }
+
+    fn wants_prewarm(&self) -> bool {
+        self.config.prewarm && !matches!(self.config.policy, Policy::Default)
+    }
+
+    /// Builds the boot accounting: what this startup paid (simulated),
+    /// and what it skipped. A cold boot embeds every tool description
+    /// (Level 1) and the training pool (clustering), a snapshot boot
+    /// pays only the decode; pre-warming bills its embeddings wherever
+    /// it runs.
+    fn describe_boot(
+        &self,
+        mode: &str,
+        build_skipped: bool,
+        prewarm_skipped: bool,
+        decoded_bytes: usize,
+    ) -> BootReport {
+        let embed = self.config.embed_seconds_per_text;
+        let build_seconds = if build_skipped {
+            decoded_bytes as f64 * SNAPSHOT_DECODE_SECONDS_PER_BYTE
+        } else {
+            (self.levels.tool_count() + self.workload.train_queries.len()) as f64 * embed
+        };
+        let prewarm_seconds = if prewarm_skipped || !self.wants_prewarm() {
+            0.0
+        } else {
+            self.workload.train_queries.len() as f64 * embed
+        };
+        BootReport {
+            mode: mode.to_owned(),
+            build_skipped,
+            prewarm_skipped,
+            sim_boot_seconds: build_seconds + prewarm_seconds,
+            warm_embed_entries: self.embed_cache.len(),
+            warm_memo_entries: self.memo.len(),
+        }
+    }
+
+    /// How this engine booted and what the startup cost.
+    pub fn boot(&self) -> &BootReport {
+        &self.boot
     }
 
     /// The engine's shared, read-only search levels. Cloning the `Arc` is
@@ -799,6 +940,7 @@ impl ServeEngine {
             embed_cache: self.embed_cache.stats().since(&embed_before),
             selection_memo: self.memo.stats().since(&memo_before),
             session_fast_hits: self.session_fast_hits - session_fast_before,
+            boot: self.boot.clone(),
             admission: AdmissionReport {
                 arrivals: trace.arrivals.label(),
                 queue_depth: self.config.admission.queue_depth,
@@ -818,6 +960,17 @@ impl ServeEngine {
             },
         }
     }
+}
+
+/// Bytes of the sections a boot actually decoded — the basis of the
+/// simulated decode cost. A levels boot from a checkpoint file never
+/// touches the warm sections, so it never pays for them.
+fn decoded_bytes(snapshot: &Snapshot) -> usize {
+    snapshot
+        .decoded_sections()
+        .iter()
+        .filter_map(|name| snapshot.section_len(name))
+        .sum()
 }
 
 /// Normalizes a query into its cache key: lowercase, alphanumeric words,

@@ -20,8 +20,15 @@
 //!   service under pressure and shedding with a typed outcome once the
 //!   queue is full;
 //! * [`ServeReport`] — accuracy, p50/p95/p99 simulated latency, cache
-//!   hit rates, queue/shed/degraded counters and wall-clock throughput,
-//!   serialized as `BENCH_serve_*.json` (`lim-serve/report-v2`).
+//!   hit rates, queue/shed/degraded counters, boot accounting and
+//!   wall-clock throughput, serialized as `BENCH_serve_*.json`
+//!   (`lim-serve/report-v2`);
+//! * [`snapshot`] — boot-from-disk: [`ServeEngine::from_snapshot`] skips
+//!   the offline level build by decoding a `lim/snapshot-v1` file
+//!   (sections load lazily), and [`ServeEngine::checkpoint`] /
+//!   [`ServeEngine::from_checkpoint`] round-trip the warm caches and
+//!   session state so a restarted server also skips the cold-cache ramp
+//!   — restore-then-replay is bit-identical to never restarting.
 //!
 //! Replays are **bit-identical for every worker count**: the engine
 //! plans cache behaviour sequentially in canonical arrival order,
@@ -76,11 +83,14 @@ pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod report;
+pub mod snapshot;
 
 pub use admission::{AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
 pub use cache::{CacheStats, LruCache};
-pub use engine::{normalize_query, QueryEmbeddings, ServeConfig, ServeEngine};
-pub use report::{AdmissionReport, LatencyStats, ServeReport};
+pub use engine::{
+    normalize_query, QueryEmbeddings, ServeConfig, ServeEngine, SNAPSHOT_DECODE_SECONDS_PER_BYTE,
+};
+pub use report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
 
 #[cfg(test)]
 mod tests;

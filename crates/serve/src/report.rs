@@ -31,6 +31,11 @@
 //!                   "evictions": 0, "hit_rate": 0.70},
 //!     "session_fast_hits": 32
 //!   },
+//!   "boot": {
+//!     "mode": "snapshot", "build_skipped": true, "prewarm_skipped": false,
+//!     "sim_boot_seconds": 0.32,
+//!     "warm_embed_entries": 60, "warm_memo_entries": 0
+//!   },
 //!   "admission": {
 //!     "arrivals": "poisson:0.2", "queue_depth": 32, "servers": 1,
 //!     "shed_policy": "degrade",
@@ -70,8 +75,10 @@
 //!   `avg_offered_tools`, `latency` and `sim_total_seconds` cover
 //!   executed (served + degraded) requests only; degraded requests
 //!   execute the Level-3 full catalog and are counted in
-//!   `level3_share`. See `docs/SCHEMAS.md` for the field-by-field
-//!   reference.
+//!   `level3_share`. The snapshot work later added the additive `boot`
+//!   section (`mode`: `cold|snapshot|checkpoint`, build-skipped /
+//!   prewarm-skipped flags, simulated boot cost) without bumping the
+//!   id. See `docs/SCHEMAS.md` for the field-by-field reference.
 
 use lim_json::Value;
 use lim_llm::Quant;
@@ -117,6 +124,47 @@ impl LatencyStats {
             p99_s: pick(0.99),
             mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
             max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// How the engine came up, and what the startup cost (simulated). Added
+/// to `lim-serve/report-v2` by the snapshot work — purely additive, so
+/// the schema id is unchanged; `lim compare` gates `boot.build_skipped`
+/// and `boot.sim_boot_seconds` only when the baseline carries them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootReport {
+    /// `"cold"` (levels built in-process), `"snapshot"` (levels decoded
+    /// from a `lim/snapshot-v1` file) or `"checkpoint"` (levels plus
+    /// warm caches and session state restored).
+    pub mode: String,
+    /// Whether the offline level build was skipped at boot.
+    pub build_skipped: bool,
+    /// Whether the startup cache pre-warm was skipped (checkpoint boots
+    /// restore warm caches instead of recomputing seed entries).
+    pub prewarm_skipped: bool,
+    /// Simulated seconds the boot cost: embedding work for a cold
+    /// build/pre-warm, decode time for a snapshot.
+    pub sim_boot_seconds: f64,
+    /// Embedding-cache entries resident when serving began.
+    pub warm_embed_entries: usize,
+    /// Selection-memo entries resident when serving began.
+    pub warm_memo_entries: usize,
+}
+
+impl BootReport {
+    /// The placeholder used before boot accounting runs and by
+    /// [`ServeReport::deterministic_view`]: boot describes how a
+    /// process started, not what a replay computed, so determinism
+    /// comparisons across boot modes neutralize it.
+    pub fn neutral() -> Self {
+        Self {
+            mode: "cold".to_owned(),
+            build_skipped: false,
+            prewarm_skipped: false,
+            sim_boot_seconds: 0.0,
+            warm_embed_entries: 0,
+            warm_memo_entries: 0,
         }
     }
 }
@@ -197,6 +245,8 @@ pub struct ServeReport {
     pub selection_memo: CacheStats,
     /// Requests short-circuited by the per-session warm controller.
     pub session_fast_hits: u64,
+    /// How the engine booted (cold / snapshot / checkpoint).
+    pub boot: BootReport,
     /// Backpressure outcomes: queue waits, shed and degraded counts.
     pub admission: AdmissionReport,
     /// Real elapsed seconds (not deterministic).
@@ -267,6 +317,23 @@ impl ServeReport {
                 ]),
             ),
             (
+                "boot",
+                Value::object([
+                    ("mode", Value::from(self.boot.mode.as_str())),
+                    ("build_skipped", Value::from(self.boot.build_skipped)),
+                    ("prewarm_skipped", Value::from(self.boot.prewarm_skipped)),
+                    ("sim_boot_seconds", Value::from(self.boot.sim_boot_seconds)),
+                    (
+                        "warm_embed_entries",
+                        Value::from(self.boot.warm_embed_entries),
+                    ),
+                    (
+                        "warm_memo_entries",
+                        Value::from(self.boot.warm_memo_entries),
+                    ),
+                ]),
+            ),
+            (
                 "admission",
                 Value::object([
                     ("arrivals", Value::from(self.admission.arrivals.as_str())),
@@ -291,13 +358,16 @@ impl ServeReport {
         ])
     }
 
-    /// The report with wall-clock fields zeroed — the part that must be
-    /// bit-identical across worker counts and machines.
+    /// The report with wall-clock fields zeroed and the boot section
+    /// neutralized — the part that must be bit-identical across worker
+    /// counts, machines **and boot modes** (a snapshot or checkpoint
+    /// boot must compute exactly what a cold boot computes).
     pub fn deterministic_view(&self) -> ServeReport {
         ServeReport {
             wall_seconds: 0.0,
             requests_per_second: 0.0,
             workers: 0,
+            boot: BootReport::neutral(),
             ..self.clone()
         }
     }

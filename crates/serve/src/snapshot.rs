@@ -1,0 +1,522 @@
+//! Checkpointing the engine's warm state into `lim/snapshot-v1` files.
+//!
+//! A *levels* snapshot (written by `lim snapshot build`) lets a booting
+//! engine skip the offline level build; a *checkpoint* (written by
+//! [`crate::ServeEngine::checkpoint`]) additionally carries everything
+//! the engine warmed up online:
+//!
+//! * the seeded-LRU query-embedding cache and the tool-selection memo,
+//!   with entries serialized in **exact LRU order** (least-recent first)
+//!   so the restored caches evict identically;
+//! * per-session warm-controller state (the session fast path);
+//! * lifetime counters, so cache hit rates keep accumulating across
+//!   restarts instead of resetting.
+//!
+//! Restore-then-replay is bit-identical to never restarting: for any
+//! trace split, replaying the suffix on a restored engine produces the
+//! same deterministic report as replaying it on the engine that never
+//! went down (proptest-verified in `tests`). Writers emit deterministic
+//! JSON (sessions sorted by id, caches in recency order), so the same
+//! engine state always checkpoints to the same bytes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lim_core::persist::{SECTION_CLUSTERS, SECTION_LEVELS, SECTION_TOOL_INDEX};
+use lim_core::{
+    snapshot_levels, SearchLevel, Snapshot, SnapshotError, SnapshotWriter, ToolSelection,
+};
+use lim_embed::Embedding;
+use lim_json::Value;
+use lim_llm::ModelProfile;
+use lim_vecstore::floats_to_json;
+use lim_workloads::Workload;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::engine::{QueryEmbeddings, SelectionSource, ServeConfig, ServeEngine, SessionState};
+
+/// Checkpoint section recording the engine configuration and counters.
+pub const SECTION_ENGINE: &str = "engine";
+/// Checkpoint section holding the query-embedding cache.
+pub const SECTION_EMBED_CACHE: &str = "embed_cache";
+/// Checkpoint section holding the tool-selection memo.
+pub const SECTION_MEMO: &str = "memo";
+/// Checkpoint section holding per-session warm-controller state.
+pub const SECTION_SESSIONS: &str = "sessions";
+
+/// Every section a serving boot understands. A snapshot carrying any
+/// other section is rejected (unknown sections are an error).
+pub const KNOWN_SECTIONS: &[&str] = &[
+    SECTION_LEVELS,
+    SECTION_TOOL_INDEX,
+    SECTION_CLUSTERS,
+    SECTION_ENGINE,
+    SECTION_EMBED_CACHE,
+    SECTION_MEMO,
+    SECTION_SESSIONS,
+];
+
+fn section_err(section: &str, message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Section {
+        section: section.to_owned(),
+        message: message.into(),
+    }
+}
+
+/// Rejects a snapshot whose recorded workload identity disagrees with
+/// the workload the engine is being booted over.
+pub(crate) fn validate_workload(
+    snapshot: &Snapshot,
+    workload: &Workload,
+) -> Result<(), SnapshotError> {
+    let field = |key: &str| snapshot.header_field(key);
+    if let Some(benchmark) = field("benchmark").and_then(Value::as_str) {
+        if benchmark != workload.name {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot is for benchmark {benchmark:?} but the engine serves {:?}",
+                workload.name
+            )));
+        }
+    } else {
+        return Err(SnapshotError::Header("missing benchmark".into()));
+    }
+    let checks = [
+        ("tool_count", workload.registry.len()),
+        ("pool_size", workload.queries.len()),
+        ("train_size", workload.train_queries.len()),
+    ];
+    for (key, ours) in checks {
+        if let Some(theirs) = field(key).and_then(Value::as_i64) {
+            if theirs as usize != ours {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot records {key} {theirs} but the workload has {ours}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects a checkpoint written under a different engine configuration:
+/// cached values are functions of the model, quant, policy and seed, so
+/// restoring them into a differently configured engine would serve
+/// answers that engine would never have computed.
+pub(crate) fn validate_engine(
+    snapshot: &Snapshot,
+    model: &ModelProfile,
+    config: &ServeConfig,
+) -> Result<(), SnapshotError> {
+    let doc = snapshot.section(SECTION_ENGINE)?;
+    let text = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+    };
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+    };
+    let expect = [
+        ("model", model.name.to_owned()),
+        ("quant", config.quant.label().to_owned()),
+        ("policy", config.policy.label()),
+    ];
+    for (key, ours) in expect {
+        let theirs = text(key)?;
+        if theirs != ours {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint was written with {key} {theirs:?} but the engine runs {ours:?}"
+            )));
+        }
+    }
+    let numeric = [
+        ("seed", config.seed as i64),
+        ("embed_cache_capacity", config.embed_cache_capacity as i64),
+        ("memo_capacity", config.memo_capacity as i64),
+    ];
+    for (key, ours) in numeric {
+        let theirs = int(key)?;
+        if theirs != ours {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint was written with {key} {theirs} but the engine runs {ours}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Encodes the engine's full state as a `kind: "checkpoint"` snapshot.
+pub(crate) fn write_checkpoint(engine: &ServeEngine) -> Vec<u8> {
+    let mut writer = SnapshotWriter::new("checkpoint");
+    writer.header_field("benchmark", Value::from(engine.workload.name));
+    writer.header_field("tool_count", Value::from(engine.workload.registry.len()));
+    writer.header_field("pool_size", Value::from(engine.workload.queries.len()));
+    writer.header_field(
+        "train_size",
+        Value::from(engine.workload.train_queries.len()),
+    );
+    writer.header_field("dim", Value::from(engine.levels.embedder().dim()));
+    snapshot_levels(&engine.levels, &mut writer);
+    writer.add_section(SECTION_ENGINE, &engine_to_json(engine));
+    writer.add_section(
+        SECTION_EMBED_CACHE,
+        &cache_to_json(&engine.embed_cache, embeddings_to_json),
+    );
+    writer.add_section(
+        SECTION_MEMO,
+        &cache_to_json(&engine.memo, selection_to_json),
+    );
+    writer.add_section(SECTION_SESSIONS, &sessions_to_json(&engine.sessions));
+    writer.encode()
+}
+
+/// Restores caches, sessions and counters from a checkpoint's warm
+/// sections into a freshly assembled engine.
+pub(crate) fn restore_warm_state(
+    snapshot: &Snapshot,
+    engine: &mut ServeEngine,
+) -> Result<(), SnapshotError> {
+    let doc = snapshot.section(SECTION_ENGINE)?;
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+    };
+    engine.requests_served = int("requests_served")? as u64;
+    engine.session_fast_hits = int("session_fast_hits")? as u64;
+    engine.embed_cache = cache_from_json(
+        snapshot.section(SECTION_EMBED_CACHE)?,
+        SECTION_EMBED_CACHE,
+        engine.config.embed_cache_capacity,
+        |v| embeddings_from_json(v).map(Arc::new),
+    )?;
+    engine.memo = cache_from_json(
+        snapshot.section(SECTION_MEMO)?,
+        SECTION_MEMO,
+        engine.config.memo_capacity,
+        |v| selection_from_json(v).map(Arc::new),
+    )?;
+    engine.sessions = sessions_from_json(snapshot.section(SECTION_SESSIONS)?)?;
+    Ok(())
+}
+
+fn engine_to_json(engine: &ServeEngine) -> Value {
+    Value::object([
+        ("model", Value::from(engine.model.name)),
+        ("quant", Value::from(engine.config.quant.label())),
+        ("policy", Value::from(engine.config.policy.label())),
+        ("seed", Value::from(engine.config.seed as i64)),
+        (
+            "embed_cache_capacity",
+            Value::from(engine.config.embed_cache_capacity),
+        ),
+        ("memo_capacity", Value::from(engine.config.memo_capacity)),
+        (
+            "requests_served",
+            Value::from(engine.requests_served as i64),
+        ),
+        (
+            "session_fast_hits",
+            Value::from(engine.session_fast_hits as i64),
+        ),
+    ])
+}
+
+fn stats_to_json(stats: CacheStats) -> Value {
+    Value::object([
+        ("hits", Value::from(stats.hits as i64)),
+        ("misses", Value::from(stats.misses as i64)),
+        ("insertions", Value::from(stats.insertions as i64)),
+        ("evictions", Value::from(stats.evictions as i64)),
+    ])
+}
+
+fn stats_from_json(doc: &Value, section: &str) -> Result<CacheStats, SnapshotError> {
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| section_err(section, format!("stats missing {key}")))
+    };
+    Ok(CacheStats {
+        hits: int("hits")? as u64,
+        misses: int("misses")? as u64,
+        insertions: int("insertions")? as u64,
+        evictions: int("evictions")? as u64,
+    })
+}
+
+/// Serializes a cache: lifetime counters plus entries in LRU order
+/// (least-recent first), reserved slots as `null` values.
+fn cache_to_json<V>(cache: &LruCache<Arc<V>>, value_to_json: impl Fn(&V) -> Value) -> Value {
+    Value::object([
+        ("stats", stats_to_json(cache.stats())),
+        (
+            "entries",
+            cache
+                .entries_lru()
+                .into_iter()
+                .map(|(key, value)| {
+                    Value::object([
+                        ("key", Value::from(key)),
+                        ("value", value.map_or(Value::Null, |v| value_to_json(v))),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+fn cache_from_json<V: Clone>(
+    doc: &Value,
+    section: &str,
+    capacity: usize,
+    value_from_json: impl Fn(&Value) -> Result<V, String>,
+) -> Result<LruCache<V>, SnapshotError> {
+    let stats = stats_from_json(
+        doc.get("stats")
+            .ok_or_else(|| section_err(section, "missing stats"))?,
+        section,
+    )?;
+    let entry_docs = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| section_err(section, "missing entries"))?;
+    if entry_docs.len() > capacity {
+        return Err(SnapshotError::Mismatch(format!(
+            "checkpoint section {section:?} holds {} entries but the engine caps at {capacity}",
+            entry_docs.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(entry_docs.len());
+    let mut seen = std::collections::HashSet::new();
+    for entry in entry_docs {
+        let key = entry
+            .get("key")
+            .and_then(Value::as_str)
+            .ok_or_else(|| section_err(section, "entry missing key"))?
+            .to_owned();
+        // A key appearing twice would leave the restored recency list
+        // and key index disagreeing — corrupted input must fail typed,
+        // never restore into a structurally broken cache.
+        if !seen.insert(key.clone()) {
+            return Err(section_err(section, format!("duplicate cache key {key:?}")));
+        }
+        let value = match entry.get("value") {
+            None | Some(Value::Null) => None,
+            Some(doc) => Some(value_from_json(doc).map_err(|m| section_err(section, m))?),
+        };
+        entries.push((key, value));
+    }
+    Ok(LruCache::restore(capacity, entries, stats))
+}
+
+// The f32 <-> JSON encoding rule lives in lim_vecstore::serial so the
+// bit-exactness contract has one implementation; only the error type is
+// adapted here.
+fn floats_from_json(doc: &Value, what: &str) -> Result<Vec<f32>, String> {
+    lim_vecstore::floats_from_json(doc, what).map_err(|e| e.message)
+}
+
+fn embeddings_to_json(e: &QueryEmbeddings) -> Value {
+    Value::object([
+        ("query", floats_to_json(e.query.as_slice())),
+        (
+            "recommendations",
+            e.recommendations
+                .iter()
+                .map(|r| Value::from(r.as_str()))
+                .collect(),
+        ),
+        (
+            "contexts",
+            e.contexts
+                .iter()
+                .map(|c| floats_to_json(c.as_slice()))
+                .collect(),
+        ),
+    ])
+}
+
+fn embeddings_from_json(doc: &Value) -> Result<QueryEmbeddings, String> {
+    let query = Embedding::new(floats_from_json(
+        doc.get("query").ok_or("embeddings missing query")?,
+        "query",
+    )?);
+    let recommendations = doc
+        .get("recommendations")
+        .and_then(Value::as_array)
+        .ok_or("embeddings missing recommendations")?
+        .iter()
+        .map(|r| r.as_str().map(str::to_owned))
+        .collect::<Option<Vec<String>>>()
+        .ok_or("recommendations must be strings")?;
+    let contexts = doc
+        .get("contexts")
+        .and_then(Value::as_array)
+        .ok_or("embeddings missing contexts")?
+        .iter()
+        .map(|c| floats_from_json(c, "context").map(Embedding::new))
+        .collect::<Result<Vec<Embedding>, String>>()?;
+    Ok(QueryEmbeddings {
+        query,
+        recommendations,
+        contexts,
+    })
+}
+
+fn level_label(level: SearchLevel) -> &'static str {
+    match level {
+        SearchLevel::Individual => "individual",
+        SearchLevel::Cluster => "cluster",
+        SearchLevel::Full => "full",
+    }
+}
+
+fn level_from_label(label: &str) -> Result<SearchLevel, String> {
+    match label {
+        "individual" => Ok(SearchLevel::Individual),
+        "cluster" => Ok(SearchLevel::Cluster),
+        "full" => Ok(SearchLevel::Full),
+        other => Err(format!("unknown search level {other:?}")),
+    }
+}
+
+fn selection_to_json(s: &ToolSelection) -> Value {
+    Value::object([
+        ("level", Value::from(level_label(s.level))),
+        (
+            "tools",
+            s.tool_indices.iter().map(|t| Value::from(*t)).collect(),
+        ),
+        ("level1_score", Value::from(f64::from(s.level1_score))),
+        ("level2_score", Value::from(f64::from(s.level2_score))),
+    ])
+}
+
+fn selection_from_json(doc: &Value) -> Result<ToolSelection, String> {
+    let level = level_from_label(
+        doc.get("level")
+            .and_then(Value::as_str)
+            .ok_or("selection missing level")?,
+    )?;
+    let tool_indices = doc
+        .get("tools")
+        .and_then(Value::as_array)
+        .ok_or("selection missing tools")?
+        .iter()
+        .map(|t| t.as_i64().map(|x| x as usize))
+        .collect::<Option<Vec<usize>>>()
+        .ok_or("selection tools must be integers")?;
+    let score = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .map(|x| x as f32)
+            .ok_or_else(|| format!("selection missing {key}"))
+    };
+    Ok(ToolSelection {
+        level,
+        tool_indices,
+        level1_score: score("level1_score")?,
+        level2_score: score("level2_score")?,
+    })
+}
+
+/// Serializes session warm state, sorted by session id so the same state
+/// always encodes identically. Sessions whose last selection is still
+/// `Pending` (it indexes a dead job table) are dropped — exactly what
+/// the engine itself does at the start of the next trace.
+fn sessions_to_json(sessions: &HashMap<u64, SessionState>) -> Value {
+    let mut ids: Vec<u64> = sessions.keys().copied().collect();
+    ids.sort_unstable();
+    ids.iter()
+        .filter_map(|id| {
+            let state = &sessions[id];
+            let key = state.last_key.as_deref()?;
+            let selection = match state.last_selection.as_ref()? {
+                SelectionSource::Ready(selection) => selection_to_json(selection),
+                SelectionSource::FullCatalog | SelectionSource::Pending(_) => return None,
+            };
+            Some(Value::object([
+                ("id", Value::from(*id as i64)),
+                ("key", Value::from(key)),
+                ("selection", selection),
+            ]))
+        })
+        .collect()
+}
+
+fn sessions_from_json(doc: &Value) -> Result<HashMap<u64, SessionState>, SnapshotError> {
+    let mut sessions = HashMap::new();
+    for entry in doc
+        .as_array()
+        .ok_or_else(|| section_err(SECTION_SESSIONS, "sessions must be an array"))?
+    {
+        let id = entry
+            .get("id")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing id"))?
+            as u64;
+        let key = entry
+            .get("key")
+            .and_then(Value::as_str)
+            .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing key"))?
+            .to_owned();
+        let selection = selection_from_json(
+            entry
+                .get("selection")
+                .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing selection"))?,
+        )
+        .map_err(|m| section_err(SECTION_SESSIONS, m))?;
+        let state = SessionState {
+            last_key: Some(key),
+            last_selection: Some(SelectionSource::Ready(Arc::new(selection))),
+        };
+        if sessions.insert(id, state).is_some() {
+            return Err(section_err(
+                SECTION_SESSIONS,
+                format!("duplicate session id {id}"),
+            ));
+        }
+    }
+    Ok(sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_cache_keys_and_session_ids_are_rejected() {
+        let doc = lim_json::parse(
+            r#"{"stats":{"hits":0,"misses":0,"insertions":2,"evictions":0},
+                "entries":[{"key":"a","value":{"level":"full","tools":[],
+                            "level1_score":0,"level2_score":0}},
+                           {"key":"a","value":null}]}"#,
+        )
+        .unwrap();
+        let err = cache_from_json(&doc, SECTION_MEMO, 8, |v| {
+            selection_from_json(v).map(Arc::new)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Section { section, message }
+                if section == SECTION_MEMO && message.contains("duplicate")),
+            "{err}"
+        );
+
+        let doc = lim_json::parse(
+            r#"[{"id":3,"key":"k","selection":{"level":"full","tools":[],
+                 "level1_score":0,"level2_score":0}},
+                {"id":3,"key":"k","selection":{"level":"full","tools":[],
+                 "level1_score":0,"level2_score":0}}]"#,
+        )
+        .unwrap();
+        let err = sessions_from_json(&doc).unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Section { message, .. }
+                if message.contains("duplicate session id 3")),
+            "{err}"
+        );
+    }
+}

@@ -1,8 +1,8 @@
 //! Engine-level integration and property tests.
 
-use lim_core::Policy;
+use lim_core::{Policy, Snapshot, SnapshotError};
 use lim_llm::{ModelProfile, Quant};
-use lim_workloads::trace::{zipf_trace, ArrivalProcess, SessionTrace, TraceConfig};
+use lim_workloads::trace::{zipf_trace, ArrivalProcess, SessionTrace, TraceConfig, TraceSession};
 use proptest::prelude::*;
 
 use crate::admission::{AdmissionConfig, ShedPolicy};
@@ -196,6 +196,19 @@ fn report_serializes_to_parseable_json() {
         .and_then(|q| q.get("p95_s"))
         .and_then(lim_json::Value::as_f64)
         .is_some());
+    let boot = doc.get("boot").expect("boot section");
+    assert_eq!(
+        boot.get("mode").and_then(lim_json::Value::as_str),
+        Some("cold")
+    );
+    assert_eq!(
+        boot.get("build_skipped").and_then(lim_json::Value::as_bool),
+        Some(false)
+    );
+    assert!(boot
+        .get("sim_boot_seconds")
+        .and_then(lim_json::Value::as_f64)
+        .is_some_and(|s| s > 0.0));
     let caches = doc.get("caches").expect("caches section");
     let embed = caches.get("embedding").expect("embedding cache");
     assert!(embed
@@ -240,6 +253,250 @@ fn serve_matches_geoengine_chains_too() {
     assert!(report.level2_share > 0.0);
 }
 
+/// Splits a trace's flat request stream at `index`, preserving session
+/// structure: the straddling session is cut into two [`TraceSession`]s
+/// with the **same id**, so session warm state must survive a
+/// checkpoint/restore for the suffix to replay identically.
+fn split_trace(trace: &SessionTrace, index: usize) -> (SessionTrace, SessionTrace) {
+    let mut prefix = SessionTrace {
+        sessions: Vec::new(),
+        ..trace.clone()
+    };
+    let mut suffix = prefix.clone();
+    let mut remaining = index;
+    for session in &trace.sessions {
+        let n = session.query_indices.len();
+        let take = remaining.min(n);
+        remaining -= take;
+        if take > 0 {
+            prefix.sessions.push(TraceSession {
+                id: session.id,
+                query_indices: session.query_indices[..take].to_vec(),
+                arrival_us: Vec::new(),
+            });
+        }
+        if take < n {
+            suffix.sessions.push(TraceSession {
+                id: session.id,
+                query_indices: session.query_indices[take..].to_vec(),
+                arrival_us: Vec::new(),
+            });
+        }
+    }
+    (prefix, suffix)
+}
+
+/// The tentpole acceptance property: for any trace split point and any
+/// worker count, checkpointing after the prefix and restoring into a
+/// fresh process replays the suffix bit-identically to the engine that
+/// never went down. (Boot accounting differs by construction and is
+/// neutralized by `deterministic_view`.)
+fn assert_restore_equals_continuous(
+    seed: u64,
+    sessions: usize,
+    split_index: usize,
+    workers: usize,
+) {
+    let (w, levels) = fixture();
+    let trace = zipf_trace(
+        w,
+        &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 5,
+            ..TraceConfig::default()
+        },
+    );
+    let split_index = split_index % trace.requests().max(1);
+    let (prefix, suffix) = split_trace(&trace, split_index);
+    let config = ServeConfig::default();
+
+    let mut continuous = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+    let mut interrupted = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+    if !prefix.sessions.is_empty() {
+        continuous.process_trace(&prefix, workers).expect("prefix");
+        interrupted.process_trace(&prefix, workers).expect("prefix");
+    }
+    let bytes = interrupted.checkpoint();
+    // Byte-determinism: the same state checkpoints identically.
+    assert_eq!(bytes, interrupted.checkpoint());
+    let snapshot = Snapshot::parse(&bytes).expect("valid checkpoint");
+    let mut restored = ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), config)
+        .expect("restore succeeds");
+    assert_eq!(restored.requests_served(), interrupted.requests_served());
+
+    let expected = continuous.process_trace(&suffix, workers).expect("suffix");
+    let actual = restored.process_trace(&suffix, workers).expect("suffix");
+    assert_eq!(
+        expected.deterministic_view(),
+        actual.deterministic_view(),
+        "seed={seed} sessions={sessions} split={split_index} workers={workers}"
+    );
+    assert_eq!(expected.embed_cache, actual.embed_cache);
+    assert_eq!(expected.selection_memo, actual.selection_memo);
+    assert_eq!(expected.session_fast_hits, actual.session_fast_hits);
+}
+
+/// A snapshot boot computes exactly what a cold boot computes — the CI
+/// round-trip gate, in-process, for the acceptance worker counts.
+#[test]
+fn snapshot_boot_is_bit_identical_to_cold_boot_for_workers_1_4_8() {
+    let (w, trace) = bfcl_trace(120, 7, 48);
+    let bytes = lim_core::write_levels_snapshot(
+        &lim_core::SearchLevels::build(&w),
+        "bfcl",
+        7,
+        w.queries.len(),
+    );
+    let snapshot = Snapshot::parse(&bytes).expect("valid snapshot");
+    for workers in [1, 4, 8] {
+        let mut cold = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+        let mut warm =
+            ServeEngine::from_snapshot(&snapshot, w.clone(), model(), ServeConfig::default())
+                .expect("snapshot boot");
+        assert!(warm.boot().build_skipped);
+        assert_eq!(warm.boot().mode, "snapshot");
+        assert!(!cold.boot().build_skipped);
+        assert!(
+            warm.boot().sim_boot_seconds < cold.boot().sim_boot_seconds,
+            "snapshot boot {:.4}s must undercut cold boot {:.4}s",
+            warm.boot().sim_boot_seconds,
+            cold.boot().sim_boot_seconds
+        );
+        let a = cold.process_trace(&trace, workers).expect("cold replay");
+        let b = warm.process_trace(&trace, workers).expect("warm replay");
+        assert_eq!(
+            a.deterministic_view(),
+            b.deterministic_view(),
+            "workers={workers}"
+        );
+    }
+    // A boot that never touches the warm sections leaves them undecoded:
+    // the lazy-loading contract, observed through a checkpoint file.
+    let mut engine = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+    engine.process_trace(&trace, 2).expect("warm up");
+    let checkpoint_bytes = engine.checkpoint();
+    let checkpoint = Snapshot::parse(&checkpoint_bytes).expect("valid checkpoint");
+    let from_checkpoint_file =
+        ServeEngine::from_snapshot(&checkpoint, w, model(), ServeConfig::default())
+            .expect("levels-only boot from a checkpoint file");
+    let decoded = checkpoint.decoded_sections();
+    assert!(
+        !decoded.contains(&crate::snapshot::SECTION_EMBED_CACHE)
+            && !decoded.contains(&crate::snapshot::SECTION_MEMO)
+            && !decoded.contains(&crate::snapshot::SECTION_SESSIONS),
+        "warm sections must stay undecoded on a levels boot: {decoded:?}"
+    );
+    // And undecoded bytes are never billed: the boot cost of a levels
+    // boot from the (much larger) checkpoint file stays below the cost
+    // of decoding its whole payload.
+    assert!(
+        from_checkpoint_file.boot().sim_boot_seconds
+            < checkpoint.payload_len() as f64 * crate::engine::SNAPSHOT_DECODE_SECONDS_PER_BYTE
+                + from_checkpoint_file.boot().warm_embed_entries as f64
+                    * ServeConfig::default().embed_seconds_per_text,
+        "levels boot billed for warm sections it never decoded"
+    );
+}
+
+/// Explicit acceptance splits (empty prefix, mid-session, empty suffix)
+/// at the acceptance worker counts; the proptest sweeps the space.
+#[test]
+fn checkpoint_restore_matches_continuous_engine_at_fixed_splits() {
+    for (split, workers) in [(0, 1), (7, 4), (13, 8), (usize::MAX, 2)] {
+        assert_restore_equals_continuous(21, 8, split, workers);
+    }
+}
+
+/// After two replays every session's last selection is memo-resident
+/// (`Ready`), so the checkpoint must carry real per-session warm state —
+/// and a third replay on the restored engine must still match the
+/// engine that never restarted, fast-path hits included.
+#[test]
+fn checkpoint_after_multiple_traces_preserves_ready_session_state() {
+    let (w, trace) = bfcl_trace(60, 5, 16);
+    let config = ServeConfig::default();
+    let mut continuous = ServeEngine::new(w.clone(), model(), config);
+    let mut interrupted = ServeEngine::new(w.clone(), model(), config);
+    for _ in 0..2 {
+        continuous.process_trace(&trace, 3).expect("replay");
+        interrupted.process_trace(&trace, 3).expect("replay");
+    }
+    let bytes = interrupted.checkpoint();
+    let snapshot = Snapshot::parse(&bytes).expect("valid checkpoint");
+    assert!(
+        snapshot
+            .section_len(crate::snapshot::SECTION_SESSIONS)
+            .expect("sessions section")
+            > 2,
+        "memo-resident sessions must serialize (not the empty array)"
+    );
+    let mut restored =
+        ServeEngine::from_checkpoint(&snapshot, w, model(), config).expect("restore");
+    let expected = continuous.process_trace(&trace, 3).expect("third replay");
+    let actual = restored.process_trace(&trace, 3).expect("third replay");
+    assert_eq!(expected.deterministic_view(), actual.deterministic_view());
+    assert_eq!(expected.session_fast_hits, actual.session_fast_hits);
+    assert_eq!(actual.selection_memo.misses, 0, "fully warm after restore");
+}
+
+/// Restores are refused — with typed errors — when the checkpoint comes
+/// from a different workload or engine configuration, and corrupted or
+/// truncated files never produce an engine.
+#[test]
+fn corrupted_or_mismatched_checkpoints_are_rejected() {
+    let (w, trace) = bfcl_trace(40, 11, 10);
+    let mut engine = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+    engine.process_trace(&trace, 2).expect("warm up");
+    let bytes = engine.checkpoint();
+
+    // Truncation: typed at parse time.
+    assert!(matches!(
+        Snapshot::parse(&bytes[..bytes.len() / 2]).unwrap_err(),
+        SnapshotError::Truncated { .. } | SnapshotError::Header(_)
+    ));
+    // Bit corruption inside a section payload: typed at decode time.
+    let mut corrupt = bytes.clone();
+    let len = corrupt.len();
+    corrupt[len - 1] = b'!'; // the sessions section's closing bracket
+    let snapshot = Snapshot::parse(&corrupt).expect("header intact");
+    assert!(matches!(
+        ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), ServeConfig::default())
+            .unwrap_err(),
+        SnapshotError::Section { .. }
+    ));
+
+    let snapshot = Snapshot::parse(&bytes).expect("valid checkpoint");
+    // Wrong workload.
+    let geo = lim_workloads::geoengine(11, 40);
+    assert!(matches!(
+        ServeEngine::from_checkpoint(&snapshot, geo, model(), ServeConfig::default()).unwrap_err(),
+        SnapshotError::Mismatch(_)
+    ));
+    // Wrong engine configuration: the cached values would be stale.
+    let other_quant = ServeConfig {
+        quant: Quant::Q8_0,
+        ..ServeConfig::default()
+    };
+    assert!(matches!(
+        ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), other_quant).unwrap_err(),
+        SnapshotError::Mismatch(_)
+    ));
+    // A levels-only snapshot carries no warm state to restore.
+    let levels_only = lim_core::write_levels_snapshot(
+        &lim_core::SearchLevels::build(&w),
+        "bfcl",
+        11,
+        w.queries.len(),
+    );
+    let levels_snapshot = Snapshot::parse(&levels_only).expect("valid snapshot");
+    assert!(matches!(
+        ServeEngine::from_checkpoint(&levels_snapshot, w, model(), ServeConfig::default())
+            .unwrap_err(),
+        SnapshotError::Mismatch(_)
+    ));
+}
+
 /// Shared fixture: workload construction and level building dominate the
 /// property test's runtime; only the trace and quant vary per case.
 fn fixture() -> &'static (lim_workloads::Workload, lim_core::SearchLevels) {
@@ -279,6 +536,20 @@ proptest! {
         let a = sequential.process_trace(&trace, 1).expect("valid trace");
         let b = parallel.process_trace(&trace, workers).expect("valid trace");
         prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+
+    /// Checkpoint determinism over (seed x trace length x split point x
+    /// workers 1-8): restoring a checkpoint taken after any prefix and
+    /// replaying the suffix equals replaying the full trace without the
+    /// restart.
+    #[test]
+    fn checkpoint_restore_then_suffix_replay_equals_full_replay(
+        seed in 0u64..200,
+        sessions in 2usize..12,
+        split_index in 0usize..64,
+        workers in 1usize..9,
+    ) {
+        assert_restore_equals_continuous(seed, sessions, split_index, workers);
     }
 
     /// Acceptance property: under Poisson-arrival Zipf traces with a

@@ -151,6 +151,69 @@ impl IvfIndex {
     pub fn params(&self) -> IvfParams {
         self.params
     }
+
+    /// The metric this index scores with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The trained coarse centroids, one per cell.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Per-cell `(id, vector)` postings, parallel to [`IvfIndex::centroids`].
+    pub fn cells(&self) -> &[Vec<(u64, Vec<f32>)>] {
+        &self.cells
+    }
+
+    /// Reassembles an index from previously persisted parts (see
+    /// [`crate::serial`]) without re-running k-means, so a restored index
+    /// probes exactly like the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::NotTrained`] if `centroids` is empty or the cell
+    ///   list does not pair up with the centroids.
+    /// * [`IndexError::DimMismatch`] if any centroid or stored vector
+    ///   disagrees with `dim`.
+    /// * [`IndexError::DuplicateId`] on repeated ids.
+    pub fn from_parts(
+        dim: usize,
+        metric: Metric,
+        params: IvfParams,
+        centroids: Vec<Vec<f32>>,
+        cells: Vec<Vec<(u64, Vec<f32>)>>,
+    ) -> Result<Self, IndexError> {
+        if centroids.is_empty() || centroids.len() != cells.len() {
+            return Err(IndexError::NotTrained);
+        }
+        for v in centroids
+            .iter()
+            .chain(cells.iter().flatten().map(|(_, v)| v))
+        {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        let mut seen: Vec<u64> = cells.iter().flatten().map(|(id, _)| *id).collect();
+        let len = seen.len();
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(IndexError::DuplicateId(w[0]));
+        }
+        Ok(Self {
+            dim,
+            metric,
+            params,
+            centroids,
+            cells,
+            len,
+        })
+    }
 }
 
 impl VectorIndex for IvfIndex {

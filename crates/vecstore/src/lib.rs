@@ -34,6 +34,7 @@ mod ivf;
 mod kmeans;
 mod metric;
 mod neighbor;
+pub mod serial;
 
 pub use error::IndexError;
 pub use flat::FlatIndex;
@@ -41,6 +42,10 @@ pub use ivf::{IvfIndex, IvfParams};
 pub use kmeans::{kmeans, KmeansResult};
 pub use metric::Metric;
 pub use neighbor::Neighbor;
+pub use serial::{
+    flat_from_json, flat_to_json, floats_from_json, floats_to_json, ivf_from_json, ivf_to_json,
+    DecodeIndexError,
+};
 
 /// Common behaviour of the vector indexes in this crate.
 ///

@@ -6,6 +6,8 @@
 //! lim bench    [options] [--out FILE]            parallel policy sweep + BENCH_*.json
 //! lim trace    [options] --query I               JSON execution trace of one query
 //! lim levels   [options] [--save FILE|--load F]  build / persist search levels
+//! lim snapshot build [options] --out FILE        write a lim/snapshot-v1 boot snapshot
+//! lim snapshot inspect --snapshot FILE           print header + section table (no decode)
 //! lim loadgen  [options] [--out FILE]            Zipf trace -> serving engine replay
 //! lim serve    --trace FILE [options]            replay a saved session trace
 //! lim compare  --baseline A --current B          CI bench-regression gate
@@ -96,6 +98,13 @@ struct Options {
     trace: Option<String>,
     /// Where `loadgen` writes the generated trace JSON.
     save_trace: Option<String>,
+    /// Boot snapshot: skip the level build (`serve`/`loadgen`), or the
+    /// file to inspect (`snapshot inspect`).
+    snapshot: Option<String>,
+    /// Checkpoint to restore warm caches and session state from.
+    checkpoint: Option<String>,
+    /// Where to write a checkpoint after the replay.
+    save_checkpoint: Option<String>,
     /// Baseline document for `compare`.
     baseline: Option<String>,
     /// Current document for `compare`.
@@ -132,6 +141,9 @@ impl Default for Options {
             servers: 1,
             trace: None,
             save_trace: None,
+            snapshot: None,
+            checkpoint: None,
+            save_checkpoint: None,
             baseline: None,
             current: None,
             tolerance: 0.10,
@@ -148,6 +160,11 @@ fn main() -> ExitCode {
     if command == "--help" || command == "-h" || command == "help" {
         print_help();
         return ExitCode::SUCCESS;
+    }
+    // `snapshot` takes a verb (`build`/`inspect`) before its options, so
+    // it dispatches before the flat flag parse.
+    if command == "snapshot" {
+        return cmd_snapshot(&args[1..]);
     }
     let options = match parse(&args[1..]) {
         Ok(o) => o,
@@ -183,6 +200,8 @@ fn help_text() -> String {
      bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
      trace      print the JSON execution trace of one query\n  \
      levels     build the offline search levels; --save FILE / --load FILE\n  \
+     snapshot   build: write a lim/snapshot-v1 boot snapshot (--out FILE);\n             \
+     inspect: print its header and section table without decoding sections\n  \
      loadgen    generate a Zipf session trace and replay it on the serving engine\n  \
      serve      replay a saved trace JSON on the serving engine (--trace FILE)\n  \
      compare    gate a BENCH_*.json against a committed baseline (CI)\n\n\
@@ -200,6 +219,11 @@ fn help_text() -> String {
      --queue-depth N (0 = no admission control)  --shed-policy reject|degrade\n  \
      --servers N (simulated executors draining the admission queue)\n  \
      --save-trace FILE (loadgen)  --trace FILE (serve)    --out BENCH_serve_1.json\n  \
+     --snapshot FILE (boot from a lim/snapshot-v1 snapshot: skip the level build;\n  \
+     also the file argument of `snapshot inspect`)\n  \
+     --checkpoint FILE (restore warm caches + session state from a checkpoint:\n  \
+     skip the level build AND the cold-cache ramp)\n  \
+     --save-checkpoint FILE (write the engine's warm state after the replay)\n  \
      (serve rebuilds the exact generation-time workload from the trace document\n  \
      itself — benchmark, seed and pool size are recorded in the JSON)\n\n\
      compare options:\n  \
@@ -316,6 +340,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--trace" => options.trace = Some(value("--trace")?),
             "--save-trace" => options.save_trace = Some(value("--save-trace")?),
+            "--snapshot" => options.snapshot = Some(value("--snapshot")?),
+            "--checkpoint" => options.checkpoint = Some(value("--checkpoint")?),
+            "--save-checkpoint" => options.save_checkpoint = Some(value("--save-checkpoint")?),
             "--baseline" => options.baseline = Some(value("--baseline")?),
             "--current" => options.current = Some(value("--current")?),
             "--tolerance" => {
@@ -603,6 +630,16 @@ fn print_serve_report(report: &lessismore::serve::ServeReport) {
         report.selection_memo.evictions,
         report.wall_seconds
     );
+    let b = &report.boot;
+    println!(
+        "boot: {} | level build {} | prewarm {} | sim boot {:.4}s | warm entries embed {} / memo {}",
+        b.mode,
+        if b.build_skipped { "skipped" } else { "ran" },
+        if b.prewarm_skipped { "skipped" } else { "ran" },
+        b.sim_boot_seconds,
+        b.warm_embed_entries,
+        b.warm_memo_entries
+    );
     let a = &report.admission;
     if a.queue_depth > 0 {
         println!(
@@ -620,6 +657,27 @@ fn print_serve_report(report: &lessismore::serve::ServeReport) {
             a.shed_policy
         );
     }
+}
+
+/// Reads and header-parses a `lim/snapshot-v1` file, checking the
+/// recorded workload-build seed against the one the replay uses (the
+/// engine itself validates benchmark, catalog and pool sizes — the seed
+/// is a CLI-level concern because only the CLI knows it).
+fn open_snapshot(path: &str, workload_seed: u64) -> Result<lessismore::core::Snapshot, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snapshot = lessismore::core::Snapshot::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(seed) = snapshot
+        .header_field("seed")
+        .and_then(lessismore::json::Value::as_i64)
+    {
+        if seed as u64 != workload_seed {
+            return Err(format!(
+                "{path}: snapshot was built from workload seed {seed} but this replay \
+                 uses seed {workload_seed}"
+            ));
+        }
+    }
+    Ok(snapshot)
 }
 
 fn run_serve_trace(
@@ -648,7 +706,32 @@ fn run_serve_trace(
         },
         ..ServeConfig::default()
     };
-    let mut engine = ServeEngine::new(workload, model, config);
+    // Boot order: a checkpoint is a self-contained superset of a levels
+    // snapshot (it carries the level sections plus the warm state), so
+    // it wins when both flags are passed.
+    let engine = if let Some(path) = &options.checkpoint {
+        if options.snapshot.is_some() {
+            eprintln!("note: --checkpoint is self-contained; ignoring --snapshot");
+        }
+        open_snapshot(path, engine_seed).and_then(|s| {
+            ServeEngine::from_checkpoint(&s, workload, model, config)
+                .map_err(|e| format!("{path}: {e}"))
+        })
+    } else if let Some(path) = &options.snapshot {
+        open_snapshot(path, engine_seed).and_then(|s| {
+            ServeEngine::from_snapshot(&s, workload, model, config)
+                .map_err(|e| format!("{path}: {e}"))
+        })
+    } else {
+        Ok(ServeEngine::new(workload, model, config))
+    };
+    let mut engine = match engine {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let report = match engine.process_trace(trace, options.workers) {
         Ok(r) => r,
         Err(e) => {
@@ -663,6 +746,121 @@ fn run_serve_trace(
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+    if let Some(path) = &options.save_checkpoint {
+        if let Err(e) = std::fs::write(path, engine.checkpoint()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote checkpoint {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lim snapshot build --out FILE` / `lim snapshot inspect --snapshot F`.
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first() else {
+        eprintln!("error: snapshot needs a verb: build | inspect");
+        return ExitCode::FAILURE;
+    };
+    let options = match parse(&args[1..]) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verb.as_str() {
+        "build" => cmd_snapshot_build(&options),
+        "inspect" => cmd_snapshot_inspect(&options),
+        other => {
+            eprintln!("error: unknown snapshot verb {other:?} (build | inspect)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_snapshot_build(options: &Options) -> ExitCode {
+    let Some(out) = &options.out else {
+        eprintln!("error: snapshot build needs --out FILE");
+        return ExitCode::FAILURE;
+    };
+    let workload = match build_workload(options) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let levels = SearchLevels::build(&workload);
+    let bytes = lessismore::core::write_levels_snapshot(
+        &levels,
+        workload.name,
+        options.seed,
+        workload.queries.len(),
+    );
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {} ({} tools, {} clusters, {} bytes)",
+        lessismore::core::SNAPSHOT_FORMAT,
+        levels.tool_count(),
+        levels.clusters().len(),
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Prints the header and section table without decoding a single
+/// section — the cheap half of the lazy-loading contract.
+fn cmd_snapshot_inspect(options: &Options) -> ExitCode {
+    let Some(path) = &options.snapshot else {
+        eprintln!("error: snapshot inspect needs --snapshot FILE");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match lessismore::core::Snapshot::parse(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} kind {} ({} payload bytes)",
+        lessismore::core::SNAPSHOT_FORMAT,
+        snapshot.kind(),
+        snapshot.payload_len()
+    );
+    for key in [
+        "benchmark",
+        "seed",
+        "pool_size",
+        "tool_count",
+        "train_size",
+        "dim",
+    ] {
+        if let Some(v) = snapshot.header_field(key) {
+            println!("  {key}: {v}");
+        }
+    }
+    println!(
+        "  sections ({} decoded — header only):",
+        snapshot.decoded_sections().len()
+    );
+    for name in snapshot.section_names() {
+        println!(
+            "    {name:<12} {:>9} bytes",
+            snapshot.section_len(name).unwrap_or(0)
+        );
     }
     ExitCode::SUCCESS
 }
@@ -938,6 +1136,27 @@ mod tests {
                 "{flag} is parsed but missing from the --help text"
             );
         }
+    }
+
+    /// The snapshot/checkpoint flags parse into the options they set.
+    #[test]
+    fn snapshot_flags_parse() {
+        let args: Vec<String> = [
+            "--snapshot",
+            "levels.limsnap",
+            "--checkpoint",
+            "warm.limsnap",
+            "--save-checkpoint",
+            "next.limsnap",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = super::parse(&args).expect("valid flags");
+        assert_eq!(options.snapshot.as_deref(), Some("levels.limsnap"));
+        assert_eq!(options.checkpoint.as_deref(), Some("warm.limsnap"));
+        assert_eq!(options.save_checkpoint.as_deref(), Some("next.limsnap"));
+        assert!(super::parse(&["--snapshot".to_owned()]).is_err());
     }
 
     /// The admission flags parse into the options they claim to set.
