@@ -1,0 +1,257 @@
+//! The latency-vs-catalog-size curve for the vector-index backends.
+//!
+//! Sweeps synthetic catalogs (see `lim_workloads::synthetic`) across the
+//! Flat / IVF / HNSW backends and reports, per `(backend, catalog)` cell:
+//!
+//! * `recall_at_10` — overlap with the exact Flat top-10 (tracked ↑);
+//! * `avg_dist_evals` — mean vector-distance evaluations per query, the
+//!   machine-independent latency proxy (tracked ↓);
+//! * `build_seconds` / `query_seconds_mean` — wall-clock, reported for
+//!   the curve but **never tracked** (not comparable across runners).
+//!
+//! Catalog generation, index construction and search are all seeded, so
+//! the tracked metrics are bit-reproducible and `lim compare` can gate
+//! the committed `BENCH_ann_baseline.json` exactly.
+
+use std::time::Instant;
+
+use lim_json::Value;
+use lim_vecstore::{
+    FlatIndex, HnswIndex, HnswParams, IvfIndex, IvfParams, Metric, Neighbor, VectorIndex,
+};
+use lim_workloads::synthetic::{synthetic_catalog, SyntheticCatalog};
+
+/// Schema id written into every ann-curve document.
+pub const ANN_SCHEMA: &str = "lim-bench/ann-v1";
+
+/// Vector dimensionality of the synthetic catalogs.
+pub const ANN_DIM: usize = 64;
+
+/// Queries per cell.
+pub const ANN_QUERIES: usize = 32;
+
+/// Neighbours retrieved per query (recall@10).
+pub const ANN_K: usize = 10;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct AnnConfig {
+    /// Master seed for catalog generation.
+    pub seed: u64,
+    /// Catalog sizes to sweep.
+    pub catalogs: Vec<usize>,
+    /// IVF parameters (`seed` is taken from this struct's field).
+    pub ivf: IvfParams,
+    /// HNSW parameters.
+    pub hnsw: HnswParams,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20_250_331,
+            catalogs: vec![1_000, 10_000],
+            ivf: IvfParams::default(),
+            hnsw: HnswParams::default(),
+        }
+    }
+}
+
+/// One `(backend, catalog)` measurement.
+#[derive(Debug, Clone)]
+pub struct AnnCell {
+    /// Index backend (`"flat"` / `"ivf"` / `"hnsw"`).
+    pub backend: &'static str,
+    /// Catalog size.
+    pub catalog: usize,
+    /// Wall-clock index construction time (untracked).
+    pub build_seconds: f64,
+    /// Wall-clock mean seconds per query (untracked).
+    pub query_seconds_mean: f64,
+    /// Mean vector-distance evaluations per query (tracked, ↓).
+    pub avg_dist_evals: f64,
+    /// Mean overlap with the exact top-10 (tracked, ↑).
+    pub recall_at_10: f64,
+}
+
+/// Runs the full sweep: every backend over every catalog size.
+pub fn run_ann(config: &AnnConfig) -> Vec<AnnCell> {
+    let mut cells = Vec::new();
+    for &size in &config.catalogs {
+        cells.extend(run_ann_catalog(config, size));
+    }
+    cells
+}
+
+/// Runs the three backends over one catalog size.
+pub fn run_ann_catalog(config: &AnnConfig, size: usize) -> Vec<AnnCell> {
+    let catalog = synthetic_catalog(config.seed ^ size as u64, size, ANN_DIM, ANN_QUERIES);
+    let items: Vec<(u64, &[f32])> = catalog
+        .vectors
+        .iter()
+        .map(|(id, v)| (*id, v.as_slice()))
+        .collect();
+
+    // Exact ground truth from a flat scan (measured as its own cell).
+    let build = Instant::now();
+    let mut flat = FlatIndex::new(ANN_DIM, Metric::Cosine);
+    flat.add_batch(items.iter().copied())
+        .expect("synthetic ids are unique");
+    let flat_build = build.elapsed().as_secs_f64();
+    let truth: Vec<Vec<u64>> = catalog
+        .queries
+        .iter()
+        .map(|q| flat.search(q, ANN_K).iter().map(|n| n.id).collect())
+        .collect();
+
+    let build = Instant::now();
+    let ivf = IvfIndex::train(ANN_DIM, Metric::Cosine, config.ivf, &items)
+        .expect("synthetic catalog trains");
+    let ivf_build = build.elapsed().as_secs_f64();
+
+    let build = Instant::now();
+    let hnsw = HnswIndex::train(ANN_DIM, Metric::Cosine, config.hnsw, &items)
+        .expect("synthetic catalog trains");
+    let hnsw_build = build.elapsed().as_secs_f64();
+
+    vec![
+        measure("flat", size, flat_build, &catalog, &truth, |q| {
+            flat.search_with_stats(q, ANN_K)
+        }),
+        measure("ivf", size, ivf_build, &catalog, &truth, |q| {
+            ivf.search_with_stats(q, ANN_K)
+        }),
+        measure("hnsw", size, hnsw_build, &catalog, &truth, |q| {
+            hnsw.search_with_stats(q, ANN_K)
+        }),
+    ]
+}
+
+fn measure(
+    backend: &'static str,
+    catalog_size: usize,
+    build_seconds: f64,
+    catalog: &SyntheticCatalog,
+    truth: &[Vec<u64>],
+    search: impl Fn(&[f32]) -> (Vec<Neighbor>, usize),
+) -> AnnCell {
+    let mut total_evals = 0usize;
+    let mut total_overlap = 0usize;
+    let started = Instant::now();
+    for (query, gold) in catalog.queries.iter().zip(truth) {
+        let (hits, evals) = search(query);
+        total_evals += evals;
+        total_overlap += hits.iter().filter(|h| gold.contains(&h.id)).count();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let queries = catalog.queries.len() as f64;
+    AnnCell {
+        backend,
+        catalog: catalog_size,
+        build_seconds,
+        query_seconds_mean: elapsed / queries,
+        avg_dist_evals: total_evals as f64 / queries,
+        recall_at_10: total_overlap as f64 / (queries * ANN_K as f64),
+    }
+}
+
+/// Serializes a sweep into the `lim-bench/ann-v1` document `lim compare`
+/// gates (tracked: `recall_at_10`↑, `avg_dist_evals`↓ per cell).
+pub fn ann_to_json(config: &AnnConfig, cells: &[AnnCell]) -> Value {
+    Value::object([
+        ("schema", Value::from(ANN_SCHEMA)),
+        ("seed", Value::from(config.seed as i64)),
+        ("dim", Value::from(ANN_DIM)),
+        ("queries", Value::from(ANN_QUERIES)),
+        ("k", Value::from(ANN_K)),
+        (
+            "cells",
+            cells
+                .iter()
+                .map(|c| {
+                    Value::object([
+                        ("backend", Value::from(c.backend)),
+                        ("catalog", Value::from(c.catalog)),
+                        ("build_seconds", Value::from(c.build_seconds)),
+                        ("query_seconds_mean", Value::from(c.query_seconds_mean)),
+                        ("avg_dist_evals", Value::from(c.avg_dist_evals)),
+                        ("recall_at_10", Value::from(c.recall_at_10)),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> AnnConfig {
+        AnnConfig {
+            catalogs: vec![512],
+            ..AnnConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_backend_and_tracked_metrics_are_deterministic() {
+        let config = small_config();
+        let a = run_ann(&config);
+        let b = run_ann(&config);
+        assert_eq!(a.len(), 3);
+        let backends: Vec<&str> = a.iter().map(|c| c.backend).collect();
+        assert_eq!(backends, vec!["flat", "ivf", "hnsw"]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.avg_dist_evals.to_bits(), y.avg_dist_evals.to_bits());
+            assert_eq!(x.recall_at_10.to_bits(), y.recall_at_10.to_bits());
+        }
+    }
+
+    #[test]
+    fn flat_cell_has_perfect_recall_and_full_scan_cost() {
+        let cells = run_ann(&small_config());
+        let flat = &cells[0];
+        assert_eq!(flat.recall_at_10, 1.0);
+        assert_eq!(flat.avg_dist_evals, 512.0);
+    }
+
+    #[test]
+    fn hnsw_beats_exhaustive_scan_on_dist_evals() {
+        let cells = run_ann(&small_config());
+        let flat = &cells[0];
+        let hnsw = &cells[2];
+        assert!(hnsw.avg_dist_evals < flat.avg_dist_evals);
+        assert!(hnsw.recall_at_10 >= 0.95, "recall {}", hnsw.recall_at_10);
+    }
+
+    #[test]
+    fn json_document_is_gateable() {
+        let config = small_config();
+        let cells = run_ann(&config);
+        let doc = ann_to_json(&config, &cells);
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(ANN_SCHEMA));
+        let r = crate::compare::compare_documents(&doc, &doc, 0.0).unwrap();
+        assert!(r.is_empty());
+    }
+
+    /// The 100k-tool cell — nightly only (`cargo test --release -- --ignored`).
+    #[test]
+    #[ignore = "100k catalog build is minutes of work; nightly CI runs it"]
+    fn ann_100k_hnsw_beats_ivf_by_5x() {
+        let config = AnnConfig {
+            catalogs: vec![100_000],
+            ..AnnConfig::default()
+        };
+        let cells = run_ann(&config);
+        let ivf = &cells[1];
+        let hnsw = &cells[2];
+        assert!(
+            hnsw.avg_dist_evals * 5.0 <= ivf.avg_dist_evals,
+            "hnsw {} vs ivf {}",
+            hnsw.avg_dist_evals,
+            ivf.avg_dist_evals
+        );
+        assert!(hnsw.recall_at_10 >= 0.95, "recall {}", hnsw.recall_at_10);
+    }
+}

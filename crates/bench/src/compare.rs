@@ -8,6 +8,10 @@
 //! * `lim-bench/grid-v1` — cells matched by `(model, quant, policy)`;
 //!   tracked: `success_rate`↑, `tool_accuracy`↑, `avg_seconds`↓,
 //!   `avg_power_w`↓.
+//! * `lim-bench/ann-v1` — index-scaling cells matched by
+//!   `(backend, catalog)`; tracked: `recall_at_10`↑, `avg_dist_evals`↓
+//!   (distance evaluations are the deterministic latency proxy — the
+//!   wall-clock fields in the same cells are never tracked).
 //! * `lim-serve/report-v1` — one document; tracked: `success_rate`↑,
 //!   `tool_accuracy`↑, the two cache `hit_rate`s↑ and the
 //!   `latency.p50_s`/`p95_s`/`p99_s` simulated percentiles↓.
@@ -73,6 +77,12 @@ const GRID_METRICS: &[(&str, Direction)] = &[
     ("tool_accuracy", Direction::HigherIsBetter),
     ("avg_seconds", Direction::LowerIsBetter),
     ("avg_power_w", Direction::LowerIsBetter),
+];
+
+/// Tracked metrics for the ann index-scaling schema.
+const ANN_METRICS: &[(&str, Direction)] = &[
+    ("recall_at_10", Direction::HigherIsBetter),
+    ("avg_dist_evals", Direction::LowerIsBetter),
 ];
 
 /// Tracked metrics for the serve schema (v1; v2 extends this set).
@@ -161,7 +171,22 @@ pub fn compare_documents(
         ));
     }
     match base_schema.as_str() {
-        "lim-bench/grid-v1" => compare_grids(baseline, current, tolerance),
+        "lim-bench/grid-v1" => compare_cells(
+            baseline,
+            current,
+            grid_cell_key,
+            GRID_METRICS,
+            "model/quant/policy",
+            tolerance,
+        ),
+        "lim-bench/ann-v1" => compare_cells(
+            baseline,
+            current,
+            ann_cell_key,
+            ANN_METRICS,
+            "backend/catalog",
+            tolerance,
+        ),
         "lim-serve/report-v1" => {
             compare_tracked(baseline, current, SERVE_METRICS, "serve", tolerance)
         }
@@ -181,7 +206,7 @@ pub fn compare_documents(
     }
 }
 
-fn cell_key(cell: &Value) -> Option<String> {
+fn grid_cell_key(cell: &Value) -> Option<String> {
     Some(format!(
         "{}/{}/{}",
         cell.get("model").and_then(Value::as_str)?,
@@ -190,22 +215,33 @@ fn cell_key(cell: &Value) -> Option<String> {
     ))
 }
 
-fn compare_grids(
+fn ann_cell_key(cell: &Value) -> Option<String> {
+    Some(format!(
+        "{}/{}",
+        cell.get("backend").and_then(Value::as_str)?,
+        cell.get("catalog").and_then(Value::as_i64)?,
+    ))
+}
+
+fn compare_cells(
     baseline: &Value,
     current: &Value,
+    cell_key: fn(&Value) -> Option<String>,
+    metrics: &[(&str, Direction)],
+    key_desc: &str,
     tolerance: f64,
 ) -> Result<Vec<Regression>, String> {
     let cells = |doc: &Value, which: &str| {
         doc.get("cells")
             .and_then(Value::as_array)
             .map(<[Value]>::to_vec)
-            .ok_or(format!("{which} grid has no cells"))
+            .ok_or(format!("{which} document has no cells"))
     };
     let base_cells = cells(baseline, "baseline")?;
     let curr_cells = cells(current, "current")?;
     let mut regressions = Vec::new();
     for base_cell in &base_cells {
-        let key = cell_key(base_cell).ok_or("baseline cell missing model/quant/policy")?;
+        let key = cell_key(base_cell).ok_or(format!("baseline cell missing {key_desc}"))?;
         let Some(curr_cell) = curr_cells
             .iter()
             .find(|c| cell_key(c).as_deref() == Some(key.as_str()))
@@ -219,11 +255,7 @@ fn compare_grids(
             continue;
         };
         regressions.extend(compare_tracked(
-            base_cell,
-            curr_cell,
-            GRID_METRICS,
-            &key,
-            tolerance,
+            base_cell, curr_cell, metrics, &key, tolerance,
         )?);
     }
     Ok(regressions)
@@ -309,6 +341,40 @@ mod tests {
         let r = compare_documents(&base, &empty, 0.10).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].metric, "<cell>");
+    }
+
+    fn ann_doc(recall: f64, evals: f64) -> Value {
+        lim_json::parse(&format!(
+            r#"{{"schema":"lim-bench/ann-v1","cells":[
+                {{"backend":"hnsw","catalog":10000,
+                  "build_seconds":1.0,"query_seconds_mean":0.0001,
+                  "avg_dist_evals":{evals},"recall_at_10":{recall}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn ann_documents_gate_recall_and_dist_evals_but_not_wall_clock() {
+        let base = ann_doc(0.98, 400.0);
+        assert!(compare_documents(&base, &ann_doc(0.98, 400.0), 0.10)
+            .unwrap()
+            .is_empty());
+        // Wall-clock drift alone never fails.
+        let mut slow = ann_doc(0.98, 400.0);
+        let mut cells = slow.get("cells").unwrap().as_array().unwrap().to_vec();
+        cells[0].insert("query_seconds_mean", Value::from(9.9));
+        slow.insert("cells", cells.into_iter().collect::<Value>());
+        assert!(compare_documents(&base, &slow, 0.10).unwrap().is_empty());
+        // Recall drops and eval inflation both fail.
+        let r = compare_documents(&base, &ann_doc(0.80, 400.0), 0.10).unwrap();
+        assert_eq!(r[0].metric, "recall_at_10");
+        let r = compare_documents(&base, &ann_doc(0.98, 900.0), 0.10).unwrap();
+        assert_eq!(r[0].metric, "avg_dist_evals");
+        // Dropped cells are regressions, mirroring the grid schema.
+        let empty = lim_json::parse(r#"{"schema":"lim-bench/ann-v1","cells":[]}"#).unwrap();
+        let r = compare_documents(&base, &empty, 0.10).unwrap();
+        assert_eq!(r[0].metric, "<cell>");
+        assert_eq!(r[0].context, "hnsw/10000");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (model × quant × policy) cells ([`experiments`]), and the baseline
 //! comparison behind CI's bench-regression gate ([`compare`]).
 
+pub mod ann;
 pub mod compare;
 pub mod experiments;
 pub mod report;

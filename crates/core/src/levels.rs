@@ -2,9 +2,117 @@
 
 use lim_cluster::{agglomerative_with, cosine_distance, silhouette_score, Linkage};
 use lim_embed::{Embedder, Embedding, IdfModel};
-use lim_vecstore::{FlatIndex, Metric, VectorIndex};
+use lim_vecstore::{
+    FlatIndex, HnswIndex, HnswParams, IvfIndex, IvfParams, Metric, Neighbor, VectorIndex,
+};
 use lim_workloads::augment::{augment, AugmentConfig};
 use lim_workloads::Workload;
+
+/// Which vector-index backend Level 1 is built over.
+///
+/// Flat is exact and the right default at paper scale (51 / 46 tools);
+/// IVF and HNSW trade a bounded recall loss for sub-linear scans, which
+/// is what keeps dispatch fast at 10k–100k-tool catalog scale.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IndexSpec {
+    /// Exhaustive exact scan ([`FlatIndex`]).
+    #[default]
+    Flat,
+    /// Inverted-file probed scan ([`IvfIndex`]).
+    Ivf(IvfParams),
+    /// Navigable small-world graph ([`HnswIndex`]).
+    Hnsw(HnswParams),
+}
+
+impl IndexSpec {
+    /// The serialization kind tag this spec builds (`"flat"` / `"ivf"` /
+    /// `"hnsw"`, matching `lim_vecstore::serial`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Ivf(_) => "ivf",
+            IndexSpec::Hnsw(_) => "hnsw",
+        }
+    }
+}
+
+/// The Level-1 index, whichever backend it was built with.
+///
+/// Dispatches [`VectorIndex`] statically over the three backends so the
+/// controller's hot k-NN path stays monomorphic (no `Box<dyn>` per query).
+#[derive(Debug, Clone)]
+pub enum ToolIndex {
+    /// Exhaustive exact scan.
+    Flat(FlatIndex),
+    /// Inverted-file probed scan.
+    Ivf(IvfIndex),
+    /// Navigable small-world graph.
+    Hnsw(HnswIndex),
+}
+
+impl ToolIndex {
+    /// The serialization kind tag (`"flat"` / `"ivf"` / `"hnsw"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ToolIndex::Flat(_) => "flat",
+            ToolIndex::Ivf(_) => "ivf",
+            ToolIndex::Hnsw(_) => "hnsw",
+        }
+    }
+
+    /// Iterates over stored `(id, vector)` pairs. Flat and HNSW yield
+    /// insertion order; IVF yields cell order (its on-disk order).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (u64, &[f32])> + '_> {
+        match self {
+            ToolIndex::Flat(index) => Box::new(index.iter()),
+            ToolIndex::Ivf(index) => Box::new(
+                index
+                    .cells()
+                    .iter()
+                    .flatten()
+                    .map(|(id, v)| (*id, v.as_slice())),
+            ),
+            ToolIndex::Hnsw(index) => Box::new(index.iter()),
+        }
+    }
+
+    /// Searches and also reports how many vector-distance evaluations the
+    /// query cost — the machine-independent latency proxy the ann bench
+    /// gates on.
+    pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
+        match self {
+            ToolIndex::Flat(index) => index.search_with_stats(query, k),
+            ToolIndex::Ivf(index) => index.search_with_stats(query, k),
+            ToolIndex::Hnsw(index) => index.search_with_stats(query, k),
+        }
+    }
+}
+
+impl VectorIndex for ToolIndex {
+    fn len(&self) -> usize {
+        match self {
+            ToolIndex::Flat(index) => index.len(),
+            ToolIndex::Ivf(index) => index.len(),
+            ToolIndex::Hnsw(index) => index.len(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            ToolIndex::Flat(index) => index.dim(),
+            ToolIndex::Ivf(index) => index.dim(),
+            ToolIndex::Hnsw(index) => index.dim(),
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            ToolIndex::Flat(index) => index.search(query, k),
+            ToolIndex::Ivf(index) => index.search(query, k),
+            ToolIndex::Hnsw(index) => index.search(query, k),
+        }
+    }
+}
 
 /// One Level-2 tool cluster: a centroid in the augmented latent space `Ã`
 /// plus the indices of the tools its member queries co-use.
@@ -30,6 +138,8 @@ pub struct LevelsConfig {
     pub max_clusters: usize,
     /// Linkage criterion for the agglomerative pass.
     pub linkage: Linkage,
+    /// Vector-index backend for Level 1.
+    pub index: IndexSpec,
 }
 
 impl Default for LevelsConfig {
@@ -39,6 +149,7 @@ impl Default for LevelsConfig {
             min_clusters: 4,
             max_clusters: 24,
             linkage: Linkage::Average,
+            index: IndexSpec::Flat,
         }
     }
 }
@@ -49,7 +160,7 @@ impl Default for LevelsConfig {
 #[derive(Debug, Clone)]
 pub struct SearchLevels {
     embedder: Embedder,
-    tool_index: FlatIndex,
+    tool_index: ToolIndex,
     cluster_index: FlatIndex,
     clusters: Vec<ToolCluster>,
     tool_count: usize,
@@ -80,14 +191,30 @@ impl SearchLevels {
             .idf(IdfModel::fit(corpus.iter()))
             .build();
 
-        // ---- Level 1: individual tools.
-        let mut tool_index = FlatIndex::new(embedder.dim(), Metric::Cosine);
-        for (i, text) in corpus.iter().enumerate() {
-            let vector = embedder.embed(text);
-            tool_index
-                .add(i as u64, vector.as_slice())
-                .expect("registry indices are unique");
-        }
+        // ---- Level 1: individual tools, on the configured backend.
+        let embeddings: Vec<Embedding> = corpus.iter().map(|text| embedder.embed(text)).collect();
+        let items: Vec<(u64, &[f32])> = embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i as u64, e.as_slice()))
+            .collect();
+        let tool_index = match config.index {
+            IndexSpec::Flat => {
+                let mut index = FlatIndex::new(embedder.dim(), Metric::Cosine);
+                index
+                    .add_batch(items.iter().copied())
+                    .expect("registry indices are unique");
+                ToolIndex::Flat(index)
+            }
+            IndexSpec::Ivf(params) => ToolIndex::Ivf(
+                IvfIndex::train(embedder.dim(), Metric::Cosine, params, &items)
+                    .expect("registry embeddings are valid training data"),
+            ),
+            IndexSpec::Hnsw(params) => ToolIndex::Hnsw(
+                HnswIndex::train(embedder.dim(), Metric::Cosine, params, &items)
+                    .expect("registry embeddings are valid training data"),
+            ),
+        };
 
         // ---- Level 2: tool clusters from augmented queries.
         let augmented = augment(workload, &config.augment);
@@ -110,7 +237,7 @@ impl SearchLevels {
     /// Panics if the index dimensions disagree with the embedder.
     pub fn from_parts(
         embedder: Embedder,
-        tool_index: FlatIndex,
+        tool_index: ToolIndex,
         cluster_index: FlatIndex,
         clusters: Vec<ToolCluster>,
         tool_count: usize,
@@ -140,7 +267,7 @@ impl SearchLevels {
     }
 
     /// Level-1 latent space `T̃` (ids = registry indices).
-    pub fn tool_index(&self) -> &FlatIndex {
+    pub fn tool_index(&self) -> &ToolIndex {
         &self.tool_index
     }
 
@@ -403,6 +530,52 @@ mod tests {
             "co-usage coverage {co_usage:.2} vs lexical {lex:.2}"
         );
         assert!(co_usage > 0.8, "co-usage coverage {co_usage:.2}");
+    }
+
+    #[test]
+    fn alternative_backends_index_every_tool_and_agree_on_top1() {
+        let w = bfcl(1, 40);
+        let flat = SearchLevels::build(&w);
+        let query = flat
+            .embedder()
+            .embed("a tool that fetches current weather conditions for a city");
+        let expected = flat.tool_index().search(query.as_slice(), 1)[0].id;
+        for index in [
+            IndexSpec::Ivf(lim_vecstore::IvfParams::default()),
+            IndexSpec::Hnsw(lim_vecstore::HnswParams::default()),
+        ] {
+            let config = LevelsConfig {
+                index,
+                ..LevelsConfig::default()
+            };
+            let levels = SearchLevels::build_with(&w, &config);
+            assert_eq!(levels.tool_index().kind(), index.kind());
+            assert_eq!(levels.tool_index().len(), 51);
+            // At 51 tools both approximate backends see most of the
+            // catalog per query; the top hit must match exact search.
+            if matches!(index, IndexSpec::Hnsw(_)) {
+                let hits = levels.tool_index().search(query.as_slice(), 1);
+                assert_eq!(hits[0].id, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn hnsw_backend_build_is_deterministic() {
+        let w = bfcl(6, 40);
+        let config = LevelsConfig {
+            index: IndexSpec::Hnsw(lim_vecstore::HnswParams::default()),
+            ..LevelsConfig::default()
+        };
+        let a = SearchLevels::build_with(&w, &config);
+        let b = SearchLevels::build_with(&w, &config);
+        let q = a.embedder().embed("translate a document and plot it");
+        let ha = a.tool_index().search(q.as_slice(), 5);
+        let hb = b.tool_index().search(q.as_slice(), 5);
+        for (x, y) in ha.iter().zip(&hb) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
     }
 
     #[test]

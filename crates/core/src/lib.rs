@@ -45,14 +45,14 @@ mod pipeline;
 mod toolllm;
 
 pub use controller::{ControllerConfig, SearchLevel, ToolController, ToolSelection};
-pub use levels::{chain_coverage, LevelsConfig, SearchLevels, ToolCluster};
+pub use levels::{chain_coverage, IndexSpec, LevelsConfig, SearchLevels, ToolCluster, ToolIndex};
 pub use metrics::{
     evaluate, evaluate_repeated, normalize_against, BatchMetrics, MeanCi, RepeatedMetrics,
 };
 pub use parallel::{evaluate_parallel, resolve_threads, shard_bounds, sharded_map};
 pub use persist::{
     levels_from_snapshot, load_levels, save_levels, snapshot_levels, write_levels_snapshot,
-    LoadLevelsError, Snapshot, SnapshotError, SnapshotWriter, SNAPSHOT_FORMAT,
+    LoadLevelsError, Snapshot, SnapshotError, SnapshotWriter, SECTION_TOOL_INDEX, SNAPSHOT_FORMAT,
 };
 pub use pipeline::{
     Pipeline, Policy, QueryResult, QueryTrace, StepTrace, DEFAULT_CONTEXT, REDUCED_CONTEXT,

@@ -40,9 +40,12 @@ use std::fmt;
 
 use lim_embed::{Embedder, Embedding, IdfModel};
 use lim_json::Value;
-use lim_vecstore::{flat_from_json, flat_to_json, FlatIndex, Metric, VectorIndex};
+use lim_vecstore::{
+    flat_from_json, flat_to_json, hnsw_from_json, hnsw_to_json, ivf_from_json, ivf_to_json,
+    FlatIndex, Metric, VectorIndex,
+};
 
-use crate::levels::{SearchLevels, ToolCluster};
+use crate::levels::{SearchLevels, ToolCluster, ToolIndex};
 
 /// Format tag written into every levels artifact.
 pub const FORMAT: &str = "lessismore-levels/1";
@@ -117,6 +120,12 @@ fn err(message: impl Into<String>) -> LoadLevelsError {
 ///
 /// IDF entries are sorted by term so the same levels always serialize to
 /// the same bytes (the in-memory model iterates in hash order).
+///
+/// The legacy `lessismore-levels/1` format stores the Level-1 index as a
+/// bare postings array, so [`load_levels`] always rebuilds it as a
+/// [`FlatIndex`] whatever backend built it; use a `lim/snapshot-v1`
+/// snapshot (kind-tagged `tool_index` section) to round-trip IVF or HNSW
+/// graphs exactly.
 pub fn save_levels(levels: &SearchLevels) -> Value {
     let idf = levels.embedder().idf();
     Value::object([
@@ -276,14 +285,14 @@ pub fn load_levels(doc: &Value) -> Result<SearchLevels, LoadLevelsError> {
 
     Ok(SearchLevels::from_parts(
         embedder,
-        tool_index,
+        ToolIndex::Flat(tool_index),
         cluster_index,
         clusters,
         tool_count,
     ))
 }
 
-fn index_to_json(index: &FlatIndex) -> Value {
+fn index_to_json(index: &ToolIndex) -> Value {
     index
         .iter()
         .map(|(id, vector)| {
@@ -676,7 +685,12 @@ pub fn snapshot_levels(levels: &SearchLevels, writer: &mut SnapshotWriter) {
             ("idf", idf_to_json(levels.embedder().idf())),
         ]),
     );
-    writer.add_section(SECTION_TOOL_INDEX, &flat_to_json(levels.tool_index()));
+    let tool_index_doc = match levels.tool_index() {
+        ToolIndex::Flat(index) => flat_to_json(index),
+        ToolIndex::Ivf(index) => ivf_to_json(index),
+        ToolIndex::Hnsw(index) => hnsw_to_json(index),
+    };
+    writer.add_section(SECTION_TOOL_INDEX, &tool_index_doc);
     writer.add_section(SECTION_CLUSTERS, &clusters_to_json(levels.clusters()));
 }
 
@@ -723,10 +737,27 @@ pub fn levels_from_snapshot(snapshot: &Snapshot) -> Result<SearchLevels, Snapsho
     let embedder = Embedder::builder().dim(dim).idf(idf).build();
 
     let tool_index_doc = snapshot.section(SECTION_TOOL_INDEX)?;
-    let tool_index = flat_from_json(tool_index_doc).map_err(|e| SnapshotError::Section {
+    let index_err = |e: lim_vecstore::DecodeIndexError| SnapshotError::Section {
         section: SECTION_TOOL_INDEX.to_owned(),
         message: e.to_string(),
-    })?;
+    };
+    // The section is self-describing: dispatch on its kind tag so a
+    // snapshot can carry whichever backend built the levels.
+    let kind = tool_index_doc
+        .get("kind")
+        .and_then(Value::as_str)
+        .unwrap_or("flat");
+    let tool_index = match kind {
+        "flat" => ToolIndex::Flat(flat_from_json(tool_index_doc).map_err(index_err)?),
+        "ivf" => ToolIndex::Ivf(ivf_from_json(tool_index_doc).map_err(index_err)?),
+        "hnsw" => ToolIndex::Hnsw(hnsw_from_json(tool_index_doc).map_err(index_err)?),
+        other => {
+            return Err(SnapshotError::Section {
+                section: SECTION_TOOL_INDEX.to_owned(),
+                message: format!("unknown index kind {other:?}"),
+            })
+        }
+    };
     if tool_index.dim() != dim {
         return Err(SnapshotError::Section {
             section: SECTION_TOOL_INDEX.to_owned(),
@@ -875,6 +906,64 @@ mod tests {
         assert_eq!(
             levels.tool_index().search(q.as_slice(), 3),
             loaded.tool_index().search(q.as_slice(), 3)
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_every_index_backend_exactly() {
+        let w = bfcl(9, 30);
+        for index in [
+            crate::IndexSpec::Flat,
+            crate::IndexSpec::Ivf(lim_vecstore::IvfParams::default()),
+            crate::IndexSpec::Hnsw(lim_vecstore::HnswParams::default()),
+        ] {
+            let config = crate::LevelsConfig {
+                index,
+                ..crate::LevelsConfig::default()
+            };
+            let levels = SearchLevels::build_with(&w, &config);
+            let bytes = write_levels_snapshot(&levels, "bfcl", 9, 30);
+            let snapshot = Snapshot::parse(&bytes).expect("valid snapshot");
+            let loaded = levels_from_snapshot(&snapshot).expect("levels load");
+            assert_eq!(loaded.tool_index().kind(), index.kind());
+            let q = levels
+                .embedder()
+                .embed("fetch the current weather and convert currencies");
+            let a = levels.tool_index().search(q.as_slice(), 3);
+            let b = loaded.tool_index().search(q.as_slice(), 3);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "backend {}", index.kind());
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_index_kind() {
+        let w = bfcl(9, 20);
+        let levels = SearchLevels::build(&w);
+        let mut writer = SnapshotWriter::new("levels");
+        writer.add_section(
+            SECTION_LEVELS,
+            &Value::object([
+                ("dim", Value::from(levels.embedder().dim())),
+                ("tool_count", Value::from(levels.tool_count())),
+                ("idf", idf_to_json(levels.embedder().idf())),
+            ]),
+        );
+        let mut index_doc = flat_to_json(match levels.tool_index() {
+            ToolIndex::Flat(index) => index,
+            _ => unreachable!("default build is flat"),
+        });
+        index_doc.insert("kind", Value::from("pq"));
+        writer.add_section(SECTION_TOOL_INDEX, &index_doc);
+        writer.add_section(SECTION_CLUSTERS, &clusters_to_json(levels.clusters()));
+        let snapshot = Snapshot::parse(&writer.encode()).expect("valid container");
+        let e = levels_from_snapshot(&snapshot).unwrap_err();
+        assert!(
+            matches!(&e, SnapshotError::Section { message, .. } if message.contains("pq")),
+            "{e:?}"
         );
     }
 

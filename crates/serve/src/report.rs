@@ -101,7 +101,12 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Nearest-rank percentiles over `samples`. Zeroed for an empty batch.
+    /// Linearly interpolated percentiles over `samples` (the classic
+    /// "linear" rule: quantile `q` sits at fractional index `q·(n−1)`
+    /// between the two bracketing order statistics). Nearest-rank
+    /// picking snapped small batches to whole samples — queue-wait
+    /// medians over mostly-idle replays came out exactly 0 even when
+    /// requests did wait. Zeroed for an empty batch.
     pub fn from_seconds(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self {
@@ -115,8 +120,10 @@ impl LatencyStats {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         let pick = |q: f64| {
-            let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
+            let position = q * (sorted.len() - 1) as f64;
+            let low = position.floor() as usize;
+            let high = position.ceil() as usize;
+            sorted[low] + (sorted[high] - sorted[low]) * (position - low as f64)
         };
         Self {
             p50_s: pick(0.50),
@@ -378,12 +385,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_interpolate_between_order_statistics() {
         let samples: Vec<f64> = (1..=100).map(f64::from).collect();
         let l = LatencyStats::from_seconds(&samples);
-        assert_eq!(l.p50_s, 50.0);
-        assert_eq!(l.p95_s, 95.0);
-        assert_eq!(l.p99_s, 99.0);
+        assert!((l.p50_s - 50.5).abs() < 1e-12);
+        assert!((l.p95_s - 95.05).abs() < 1e-12);
+        assert!((l.p99_s - 99.01).abs() < 1e-12);
         assert_eq!(l.max_s, 100.0);
         assert!((l.mean_s - 50.5).abs() < 1e-12);
     }
@@ -394,9 +401,21 @@ mod tests {
         assert_eq!(l.p50_s, 3.0);
         assert_eq!(l.p99_s, 3.0);
         assert_eq!(LatencyStats::from_seconds(&[]).max_s, 0.0);
-        // Unsorted input is sorted internally.
+        // Unsorted input is sorted internally; the median of three is
+        // the middle sample, and p99 interpolates toward the max.
         let l = LatencyStats::from_seconds(&[5.0, 1.0, 3.0]);
         assert_eq!(l.p50_s, 3.0);
         assert_eq!(l.max_s, 5.0);
+        assert!((l.p99_s - 4.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_nonzero_when_half_the_waits_are_zero() {
+        // The regression that motivated interpolation: a mostly-idle
+        // queue where exactly half the requests waited. Nearest-rank
+        // snapped the median to 0; interpolation reports the midpoint.
+        let samples = [0.0, 0.0, 0.0, 0.4, 0.8, 1.2];
+        let l = LatencyStats::from_seconds(&samples);
+        assert!((l.p50_s - 0.2).abs() < 1e-12);
     }
 }

@@ -102,6 +102,13 @@ impl FlatIndex {
         let pos = self.ids.iter().position(|x| *x == id)?;
         Some(&self.data[pos * self.dim..(pos + 1) * self.dim])
     }
+
+    /// Searches and also reports how many vector-distance evaluations the
+    /// query cost (always `len()` for an exhaustive scan) — the
+    /// machine-independent latency proxy the ann bench gates on.
+    pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
+        (self.search(query, k), self.len())
+    }
 }
 
 impl VectorIndex for FlatIndex {

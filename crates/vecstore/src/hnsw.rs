@@ -1,0 +1,810 @@
+//! Hierarchical Navigable Small World (HNSW) approximate index.
+//!
+//! HNSW is the sub-linear graph index behind FAISS `IndexHNSWFlat`; it is
+//! what makes nearest-neighbour tool dispatch hold up at 100k-tool
+//! marketplace scale, where [`crate::FlatIndex`]'s exhaustive scan and
+//! [`crate::IvfIndex`]'s probed scan both degenerate to linear work.
+//!
+//! This implementation is **seeded-deterministic**: node layers are drawn
+//! from a splitmix64 hash of `(seed, insertion sequence)` rather than a
+//! shared-state RNG, and every internal ordering (candidate heaps, greedy
+//! descent, link pruning) breaks score ties by ascending node index under
+//! [`f32::total_cmp`]. The same `(seed, insertion order)` therefore yields
+//! a bit-identical graph — and bit-identical search results — regardless
+//! of worker count or whether the graph was built cold or restored from a
+//! snapshot (see [`crate::serial::hnsw_to_json`]).
+//!
+//! When `ef_search >= len` the search degrades gracefully to an exact
+//! exhaustive scan, so cranking `ef_search` to the catalog size recovers
+//! [`crate::FlatIndex`] semantics exactly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::neighbor::top_k;
+use crate::{IndexError, Metric, Neighbor, VectorIndex};
+
+/// Hard cap on node layers; `ml = 1/ln(m)` makes layers above this
+/// astronomically unlikely for any practical catalog size.
+const MAX_LAYER: usize = 16;
+
+/// Construction and search parameters for [`HnswIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Maximum out-links per node on layers above 0 (layer 0 keeps `2*m`).
+    pub m: usize,
+    /// Candidate-list width while building the graph (larger = better
+    /// graph, slower build).
+    pub ef_construction: usize,
+    /// Candidate-list width while searching (larger = better recall,
+    /// slower query). Values `>= len` trigger an exact exhaustive scan.
+    pub ef_search: usize,
+    /// Seed for the deterministic layer assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 128,
+            ef_search: 64,
+            seed: 0x9E37_11F5,
+        }
+    }
+}
+
+/// A scored graph node; the ordering used by every internal heap.
+///
+/// `Ord` ranks higher scores first and breaks ties by *ascending* node
+/// index, mirroring [`Neighbor::ranking_cmp`] so internal traversal order
+/// and final result order can never disagree on ties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    score: f32,
+    node: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Epoch-stamped visited set, reused across layers (and across inserts
+/// during construction) so a visit check never costs an `O(n)` clear.
+struct Visited {
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl Visited {
+    fn new(capacity: usize) -> Self {
+        Self {
+            epoch: 0,
+            stamp: vec![0; capacity],
+        }
+    }
+
+    /// Starts a fresh visit generation over `n` nodes.
+    fn reset(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Marks `node` visited; returns `true` if it was not yet visited.
+    fn insert(&mut self, node: u32) -> bool {
+        let slot = &mut self.stamp[node as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Draws the layer for insertion `sequence` from a splitmix64 hash of the
+/// seed — a pure function of `(seed, sequence)`, so graphs rebuilt in the
+/// same insertion order are identical with no RNG state to thread through.
+fn assigned_layer(seed: u64, sequence: u64, m: usize) -> usize {
+    let mut z = seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Upper 53 bits → uniform in (0, 1), never exactly 0 or 1.
+    let unit = ((z >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 2.0);
+    let ml = 1.0 / (m.max(2) as f64).ln();
+    (((-unit.ln()) * ml).floor() as usize).min(MAX_LAYER)
+}
+
+/// Approximate k-NN index over a navigable small-world layer hierarchy.
+///
+/// Mirrors FAISS `IndexHNSWFlat`: greedy descent through sparse upper
+/// layers finds a good entry point, then a best-first beam of width
+/// `ef_search` explores layer 0. Query cost grows roughly with
+/// `ef_search * m * log(n)` rather than `n`.
+///
+/// # Examples
+///
+/// ```
+/// use lim_vecstore::{HnswIndex, HnswParams, Metric, VectorIndex};
+///
+/// # fn main() -> Result<(), lim_vecstore::IndexError> {
+/// let data: Vec<(u64, Vec<f32>)> = (0..64)
+///     .map(|i| (i, vec![(i % 8) as f32, (i / 8) as f32]))
+///     .collect();
+/// let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+/// let index = HnswIndex::train(2, Metric::Euclidean, HnswParams::default(), &refs)?;
+/// let hits = index.search(&[0.1, 0.1], 1);
+/// assert_eq!(hits[0].id, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    params: HnswParams,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    /// `links[node][layer]` → out-neighbours of `node` on `layer`; a node
+    /// occupies layers `0..links[node].len()`.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Node index of the top-layer entry point (`None` iff empty).
+    entry: Option<u32>,
+}
+
+impl HnswIndex {
+    /// Builds the graph by inserting `items` sequentially.
+    ///
+    /// Construction order is part of the index identity: the same items in
+    /// the same order under the same params always produce the same graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] if any vector disagrees with `dim`.
+    /// * [`IndexError::DuplicateId`] on repeated ids.
+    /// * [`IndexError::InsufficientTrainingData`] if `items` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `params.m < 2`.
+    pub fn train(
+        dim: usize,
+        metric: Metric,
+        params: HnswParams,
+        items: &[(u64, &[f32])],
+    ) -> Result<Self, IndexError> {
+        assert!(dim > 0, "index dimension must be positive");
+        assert!(params.m >= 2, "HNSW m must be at least 2");
+        if items.is_empty() {
+            return Err(IndexError::InsufficientTrainingData {
+                supplied: 0,
+                clusters: 1,
+            });
+        }
+        for (_, v) in items {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        let mut seen: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(IndexError::DuplicateId(w[0]));
+        }
+
+        let mut index = Self {
+            dim,
+            metric,
+            params,
+            ids: Vec::with_capacity(items.len()),
+            data: Vec::with_capacity(items.len() * dim),
+            links: Vec::with_capacity(items.len()),
+            entry: None,
+        };
+        let mut visited = Visited::new(items.len());
+        for (sequence, (id, vector)) in items.iter().enumerate() {
+            index.ids.push(*id);
+            index.data.extend_from_slice(vector);
+            let layer = assigned_layer(params.seed, sequence as u64, params.m);
+            index.links.push(vec![Vec::new(); layer + 1]);
+            index.connect(sequence as u32, layer, &mut visited);
+        }
+        Ok(index)
+    }
+
+    /// Reassembles an index from previously persisted parts (see
+    /// [`crate::serial`]) without rebuilding the graph, so a restored
+    /// index traverses exactly like the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] if any vector disagrees with `dim`.
+    /// * [`IndexError::DuplicateId`] on repeated ids.
+    /// * [`IndexError::NotTrained`] if the graph is structurally invalid:
+    ///   `links` does not pair up with the postings, a node has no layers,
+    ///   a link points out of bounds or to a node absent from that layer,
+    ///   or the entry point is missing / not on the top layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `params.m < 2`.
+    pub fn from_parts(
+        dim: usize,
+        metric: Metric,
+        params: HnswParams,
+        postings: Vec<(u64, Vec<f32>)>,
+        links: Vec<Vec<Vec<u32>>>,
+        entry: Option<u32>,
+    ) -> Result<Self, IndexError> {
+        assert!(dim > 0, "index dimension must be positive");
+        assert!(params.m >= 2, "HNSW m must be at least 2");
+        for (_, v) in &postings {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        let mut seen: Vec<u64> = postings.iter().map(|(id, _)| *id).collect();
+        seen.sort_unstable();
+        if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+            return Err(IndexError::DuplicateId(w[0]));
+        }
+        let n = postings.len();
+        if links.len() != n {
+            return Err(IndexError::NotTrained);
+        }
+        let top = links.iter().map(Vec::len).max().unwrap_or(0);
+        for layers in &links {
+            if layers.is_empty() || layers.len() > MAX_LAYER + 1 {
+                return Err(IndexError::NotTrained);
+            }
+            for (layer, neighbors) in layers.iter().enumerate() {
+                for &peer in neighbors {
+                    // A link must land on a node that occupies that layer.
+                    if links.get(peer as usize).map(Vec::len).unwrap_or(0) <= layer {
+                        return Err(IndexError::NotTrained);
+                    }
+                }
+            }
+        }
+        match entry {
+            Some(e) if links.get(e as usize).map(Vec::len) == Some(top) => {}
+            None if n == 0 => {}
+            _ => return Err(IndexError::NotTrained),
+        }
+        let mut ids = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * dim);
+        for (id, v) in postings {
+            ids.push(id);
+            data.extend_from_slice(&v);
+        }
+        Ok(Self {
+            dim,
+            metric,
+            params,
+            ids,
+            data,
+            links,
+            entry,
+        })
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// The metric this index scores with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Iterates over `(id, vector)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(move |(i, id)| (*id, &self.data[i * self.dim..(i + 1) * self.dim]))
+    }
+
+    /// The adjacency lists: `links()[node][layer]` → neighbours on `layer`.
+    pub fn links(&self) -> &[Vec<Vec<u32>>] {
+        &self.links
+    }
+
+    /// Node index of the top-layer entry point (`None` iff empty).
+    pub fn entry(&self) -> Option<u32> {
+        self.entry
+    }
+
+    /// Highest occupied layer (0 for a single-layer graph).
+    pub fn max_layer(&self) -> usize {
+        self.entry
+            .map(|e| self.links[e as usize].len() - 1)
+            .unwrap_or(0)
+    }
+
+    /// Searches and also reports how many vector-distance evaluations the
+    /// query cost — the machine-independent latency proxy the ann bench
+    /// gates on (wall-clock is not comparable across CI machines).
+    pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let n = self.ids.len();
+        if n == 0 || k == 0 {
+            return (Vec::new(), 0);
+        }
+        let ef = self.params.ef_search.max(k);
+        if ef >= n {
+            // Exact exhaustive fallback: with the beam as wide as the
+            // catalog the graph can't prune anything, so answer exactly —
+            // this is what makes max-ef_search agree with FlatIndex.
+            let candidates = self
+                .iter()
+                .map(|(id, v)| Neighbor::new(id, self.metric.score(query, v)))
+                .collect();
+            return (top_k(candidates, k), n);
+        }
+        let mut evals = 0usize;
+        let mut visited = Visited::new(n);
+        let mut ep = Scored {
+            score: self.score_node(query, self.entry.expect("non-empty"), &mut evals),
+            node: self.entry.expect("non-empty"),
+        };
+        for layer in (1..=self.max_layer()).rev() {
+            ep = self.greedy_step(query, ep, layer, &mut evals);
+        }
+        let found = self.search_layer(query, ep, ef, 0, &mut visited, &mut evals);
+        let candidates = found
+            .into_iter()
+            .map(|s| Neighbor::new(self.ids[s.node as usize], s.score))
+            .collect();
+        (top_k(candidates, k), evals)
+    }
+
+    fn vector(&self, node: u32) -> &[f32] {
+        let i = node as usize;
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn score_node(&self, query: &[f32], node: u32, evals: &mut usize) -> f32 {
+        *evals += 1;
+        self.metric.score(query, self.vector(node))
+    }
+
+    /// Greedy hill-climb on one layer: moves to the best-scoring neighbour
+    /// until no neighbour strictly improves. Ties never move (strict
+    /// improvement under `total_cmp`), so the walk is deterministic.
+    fn greedy_step(
+        &self,
+        query: &[f32],
+        mut current: Scored,
+        layer: usize,
+        evals: &mut usize,
+    ) -> Scored {
+        loop {
+            let mut best = current;
+            for &peer in &self.links[current.node as usize][layer] {
+                let cand = Scored {
+                    score: self.score_node(query, peer, evals),
+                    node: peer,
+                };
+                if cand > best {
+                    best = cand;
+                }
+            }
+            if best.node == current.node {
+                return current;
+            }
+            current = best;
+        }
+    }
+
+    /// Best-first beam search on one layer, returning up to `ef` scored
+    /// nodes (unordered; callers rank them).
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: Scored,
+        ef: usize,
+        layer: usize,
+        visited: &mut Visited,
+        evals: &mut usize,
+    ) -> Vec<Scored> {
+        visited.reset(self.ids.len());
+        visited.insert(entry.node);
+        // `frontier` pops best-first; `results` pops worst-first so the
+        // beam can evict its weakest member in O(log ef).
+        let mut frontier = BinaryHeap::from([entry]);
+        let mut results = BinaryHeap::from([std::cmp::Reverse(entry)]);
+        while let Some(candidate) = frontier.pop() {
+            let worst = results.peek().expect("beam is never empty").0;
+            if results.len() >= ef && candidate < worst {
+                break;
+            }
+            for &peer in &self.links[candidate.node as usize][layer] {
+                if !visited.insert(peer) {
+                    continue;
+                }
+                let scored = Scored {
+                    score: self.score_node(query, peer, evals),
+                    node: peer,
+                };
+                let worst = results.peek().expect("beam is never empty").0;
+                if results.len() < ef || scored > worst {
+                    frontier.push(scored);
+                    results.push(std::cmp::Reverse(scored));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results.into_iter().map(|r| r.0).collect()
+    }
+
+    /// Wires a freshly appended `node` (occupying layers `0..=layer`) into
+    /// the graph — the sequential-insertion core of HNSW construction.
+    fn connect(&mut self, node: u32, layer: usize, visited: &mut Visited) {
+        let Some(entry) = self.entry else {
+            self.entry = Some(node);
+            return;
+        };
+        let query: Vec<f32> = self.vector(node).to_vec();
+        let mut evals = 0usize;
+        let top = self.links[entry as usize].len() - 1;
+        let mut ep = Scored {
+            score: self.score_node(&query, entry, &mut evals),
+            node: entry,
+        };
+        // Descend through layers above the node's top layer greedily.
+        for l in ((layer + 1)..=top).rev() {
+            ep = self.greedy_step(&query, ep, l, &mut evals);
+        }
+        // On each shared layer, beam-search then link via the selection
+        // heuristic.
+        for l in (0..=layer.min(top)).rev() {
+            let mut found = self.search_layer(
+                &query,
+                ep,
+                self.params.ef_construction,
+                l,
+                visited,
+                &mut evals,
+            );
+            found.sort_by(|a, b| b.cmp(a));
+            ep = found[0];
+            let cap = self.layer_cap(l);
+            let chosen = self.select_heuristic(&found, self.params.m);
+            self.links[node as usize][l] = chosen.clone();
+            for peer in chosen {
+                let peers = &mut self.links[peer as usize][l];
+                peers.push(node);
+                if peers.len() > cap {
+                    self.prune(peer, l, cap);
+                }
+            }
+        }
+        if layer > top {
+            self.entry = Some(node);
+        }
+    }
+
+    /// Out-link budget for a layer (layer 0 keeps twice as many, as in
+    /// the reference algorithm).
+    fn layer_cap(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// The reference "select neighbours by heuristic": walk `candidates`
+    /// best-first and keep one only if it is closer to the anchor than to
+    /// any already-kept neighbour. Plain top-M selection points every
+    /// link into the anchor's own cluster and disconnects the graph on
+    /// clustered data; this pruning rule preserves the long-range edges
+    /// recall depends on. Fully deterministic: candidates arrive in
+    /// (score desc, node asc) order and ties reject under `total_cmp`.
+    fn select_heuristic(&self, candidates: &[Scored], cap: usize) -> Vec<u32> {
+        let mut chosen: Vec<Scored> = Vec::with_capacity(cap);
+        for &candidate in candidates {
+            if chosen.len() >= cap {
+                break;
+            }
+            let diverse = chosen.iter().all(|kept| {
+                let to_kept = self
+                    .metric
+                    .score(self.vector(candidate.node), self.vector(kept.node));
+                to_kept.total_cmp(&candidate.score).is_lt()
+            });
+            if diverse {
+                chosen.push(candidate);
+            }
+        }
+        chosen.into_iter().map(|s| s.node).collect()
+    }
+
+    /// Shrinks `node`'s layer-`layer` links back to `cap` with the same
+    /// selection heuristic, anchored at the node's own vector.
+    fn prune(&mut self, node: u32, layer: usize, cap: usize) {
+        let anchor = self.vector(node);
+        let mut scored: Vec<Scored> = self.links[node as usize][layer]
+            .iter()
+            .map(|&peer| Scored {
+                score: self.metric.score(anchor, self.vector(peer)),
+                node: peer,
+            })
+            .collect();
+        scored.sort_by(|a, b| b.cmp(a));
+        self.links[node as usize][layer] = self.select_heuristic(&scored, cap);
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with_stats(query, k).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    fn grid_items(n: u64) -> Vec<(u64, Vec<f32>)> {
+        (0..n)
+            .map(|i| (i, vec![(i % 10) as f32, (i / 10) as f32]))
+            .collect()
+    }
+
+    fn build(items: &[(u64, Vec<f32>)], params: HnswParams) -> HnswIndex {
+        let refs: Vec<(u64, &[f32])> = items.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        HnswIndex::train(2, Metric::Euclidean, params, &refs).unwrap()
+    }
+
+    #[test]
+    fn finds_exact_nearest_on_small_grid() {
+        let idx = build(&grid_items(100), HnswParams::default());
+        let hits = idx.search(&[3.0, 4.0], 1);
+        assert_eq!(hits[0].id, 43); // x=3, y=4 → 4*10+3
+    }
+
+    #[test]
+    fn construction_is_bit_deterministic() {
+        let items = grid_items(100);
+        let a = build(&items, HnswParams::default());
+        let b = build(&items, HnswParams::default());
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.entry(), b.entry());
+        let hits_a = a.search(&[4.2, 7.7], 10);
+        let hits_b = b.search(&[4.2, 7.7], 10);
+        for (x, y) in hits_a.iter().zip(&hits_b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_the_graph() {
+        let items = grid_items(100);
+        let a = build(&items, HnswParams::default());
+        let b = build(
+            &items,
+            HnswParams {
+                seed: 1234,
+                ..HnswParams::default()
+            },
+        );
+        assert_ne!(a.links(), b.links(), "seed must drive layer assignment");
+    }
+
+    #[test]
+    fn max_ef_search_agrees_with_flat_exactly() {
+        let items = grid_items(100);
+        let idx = build(
+            &items,
+            HnswParams {
+                ef_search: 100,
+                ..HnswParams::default()
+            },
+        );
+        let mut flat = FlatIndex::new(2, Metric::Euclidean);
+        for (id, v) in &items {
+            flat.add(*id, v).unwrap();
+        }
+        for q in [[0.0f32, 0.0], [3.3, 8.1], [9.0, 9.0]] {
+            let a = idx.search(&q, 10);
+            let b = flat.search(&q, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {q:?}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_search_costs_fewer_evals_than_exhaustive() {
+        let items = grid_items(100);
+        let idx = build(
+            &items,
+            HnswParams {
+                ef_search: 8,
+                ..HnswParams::default()
+            },
+        );
+        let (hits, evals) = idx.search_with_stats(&[5.0, 5.0], 3);
+        assert_eq!(hits.len(), 3);
+        assert!(evals < 100, "beam search must not scan everything");
+        assert!(evals > 0);
+    }
+
+    #[test]
+    fn from_parts_roundtrip_searches_identically() {
+        let items = grid_items(100);
+        let idx = build(&items, HnswParams::default());
+        let postings: Vec<(u64, Vec<f32>)> = idx.iter().map(|(id, v)| (id, v.to_vec())).collect();
+        let restored = HnswIndex::from_parts(
+            2,
+            Metric::Euclidean,
+            idx.params(),
+            postings,
+            idx.links().to_vec(),
+            idx.entry(),
+        )
+        .unwrap();
+        for q in [[0.0f32, 0.0], [6.5, 2.5]] {
+            let a = idx.search(&q, 5);
+            let b = restored.search(&q, 5);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_graphs() {
+        let items = grid_items(10);
+        let idx = build(&items, HnswParams::default());
+        let postings: Vec<(u64, Vec<f32>)> = idx.iter().map(|(id, v)| (id, v.to_vec())).collect();
+        // Link pointing out of bounds.
+        let mut bad = idx.links().to_vec();
+        bad[0][0].push(99);
+        assert!(matches!(
+            HnswIndex::from_parts(
+                2,
+                Metric::Euclidean,
+                idx.params(),
+                postings.clone(),
+                bad,
+                idx.entry()
+            ),
+            Err(IndexError::NotTrained)
+        ));
+        // Entry not on the top layer.
+        let not_top =
+            (0..idx.len() as u32).find(|&i| idx.links()[i as usize].len() < idx.max_layer() + 1);
+        if let Some(wrong) = not_top {
+            assert!(matches!(
+                HnswIndex::from_parts(
+                    2,
+                    Metric::Euclidean,
+                    idx.params(),
+                    postings.clone(),
+                    idx.links().to_vec(),
+                    Some(wrong)
+                ),
+                Err(IndexError::NotTrained)
+            ));
+        }
+        // Mismatched lengths.
+        assert!(matches!(
+            HnswIndex::from_parts(
+                2,
+                Metric::Euclidean,
+                idx.params(),
+                postings,
+                Vec::new(),
+                idx.entry()
+            ),
+            Err(IndexError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let r = HnswIndex::train(2, Metric::Cosine, HnswParams::default(), &[]);
+        assert!(matches!(
+            r,
+            Err(IndexError::InsufficientTrainingData { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_and_dim_mismatch_rejected() {
+        let a: &[f32] = &[1.0, 0.0];
+        let bad: &[f32] = &[1.0];
+        assert!(matches!(
+            HnswIndex::train(2, Metric::Cosine, HnswParams::default(), &[(1, a), (1, a)]),
+            Err(IndexError::DuplicateId(1))
+        ));
+        assert!(matches!(
+            HnswIndex::train(2, Metric::Cosine, HnswParams::default(), &[(1, bad)]),
+            Err(IndexError::DimMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn single_item_index_works() {
+        let v: &[f32] = &[1.0, 2.0];
+        let idx = HnswIndex::train(2, Metric::Cosine, HnswParams::default(), &[(7, v)]).unwrap();
+        let hits = idx.search(&[1.0, 2.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(
+            idx.max_layer(),
+            idx.links()[idx.entry().unwrap() as usize].len() - 1
+        );
+    }
+
+    #[test]
+    fn layer_assignment_is_geometric_and_capped() {
+        let mut top = 0;
+        for i in 0..10_000u64 {
+            let l = assigned_layer(42, i, 16);
+            assert!(l <= MAX_LAYER);
+            top = top.max(l);
+        }
+        // With m=16 and 10k draws, at least one node should leave layer 0
+        // and none should get anywhere near the cap.
+        assert!(top >= 1);
+        assert!(top < 8);
+    }
+
+    #[test]
+    fn search_with_k_zero_or_empty_query_set() {
+        let items = grid_items(10);
+        let idx = build(&items, HnswParams::default());
+        assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+    }
+}

@@ -216,16 +216,11 @@ impl IvfIndex {
     }
 }
 
-impl VectorIndex for IvfIndex {
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn dim(&self) -> usize {
-        self.dim
-    }
-
-    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+impl IvfIndex {
+    /// Searches and also reports how many vector-distance evaluations the
+    /// query cost (coarse centroid rankings plus every probed posting) —
+    /// the machine-independent latency proxy the ann bench gates on.
+    pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         // Rank cells by centroid distance, probe the best nprobe.
         let mut cell_order: Vec<(usize, f32)> = self
@@ -237,13 +232,29 @@ impl VectorIndex for IvfIndex {
         cell_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let probes = self.params.nprobe.max(1).min(cell_order.len());
 
+        let mut evals = self.centroids.len();
         let mut candidates = Vec::new();
         for (cell, _) in cell_order.into_iter().take(probes) {
             for (id, v) in &self.cells[cell] {
                 candidates.push(Neighbor::new(*id, self.metric.score(query, v)));
+                evals += 1;
             }
         }
-        top_k(candidates, k)
+        (top_k(candidates, k), evals)
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with_stats(query, k).0
     }
 }
 

@@ -10,6 +10,9 @@
 //! * [`IvfIndex`] — an inverted-file index with a deterministic k-means++
 //!   coarse quantizer, for the scalability experiments (micro benches sweep
 //!   catalog sizes up to 4096);
+//! * [`HnswIndex`] — a seeded-deterministic HNSW graph index for 100k-tool
+//!   catalog scale, where both exhaustive and probed scans degenerate to
+//!   linear work;
 //! * [`Metric`] — cosine / inner-product / Euclidean scoring with a uniform
 //!   "higher score is better" convention.
 //!
@@ -30,6 +33,7 @@
 
 mod error;
 mod flat;
+mod hnsw;
 mod ivf;
 mod kmeans;
 mod metric;
@@ -38,13 +42,14 @@ pub mod serial;
 
 pub use error::IndexError;
 pub use flat::FlatIndex;
+pub use hnsw::{HnswIndex, HnswParams};
 pub use ivf::{IvfIndex, IvfParams};
 pub use kmeans::{kmeans, KmeansResult};
 pub use metric::Metric;
 pub use neighbor::Neighbor;
 pub use serial::{
-    flat_from_json, flat_to_json, floats_from_json, floats_to_json, ivf_from_json, ivf_to_json,
-    DecodeIndexError,
+    flat_from_json, flat_to_json, floats_from_json, floats_to_json, hnsw_from_json, hnsw_to_json,
+    ivf_from_json, ivf_to_json, DecodeIndexError,
 };
 
 /// Common behaviour of the vector indexes in this crate.

@@ -7,17 +7,17 @@
 //! widening is exact, and the writer emits shortest-round-trip decimals),
 //! so a restored index returns bit-identical scores and orderings.
 //!
-//! Documents are self-describing via a `kind` tag (`"flat"` / `"ivf"`), so
-//! a snapshot section can carry either kind and the loader dispatches.
-//! Unknown *fields* are ignored (additive evolution); an unknown `kind` is
-//! an error.
+//! Documents are self-describing via a `kind` tag (`"flat"` / `"ivf"` /
+//! `"hnsw"`), so a snapshot section can carry any kind and the loader
+//! dispatches. Unknown *fields* are ignored (additive evolution); an
+//! unknown `kind` is an error.
 
 use std::error::Error;
 use std::fmt;
 
 use lim_json::Value;
 
-use crate::{FlatIndex, IvfIndex, IvfParams, Metric, VectorIndex};
+use crate::{FlatIndex, HnswIndex, HnswParams, IvfIndex, IvfParams, Metric, VectorIndex};
 
 /// Error raised when an index document cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,6 +248,127 @@ pub fn ivf_from_json(doc: &Value) -> Result<IvfIndex, DecodeIndexError> {
     IvfIndex::from_parts(dim, metric, params, centroids, cells).map_err(|e| err(e.to_string()))
 }
 
+/// Serializes an [`HnswIndex`] — postings in insertion order plus the full
+/// per-node, per-layer adjacency and the entry point — so a restored index
+/// traverses the graph bit-identically without rebuilding it.
+pub fn hnsw_to_json(index: &HnswIndex) -> Value {
+    let params = index.params();
+    let mut doc = Value::object(header("hnsw", index.dim(), index.metric()));
+    doc.insert(
+        "params",
+        Value::object([
+            ("m", Value::from(params.m)),
+            ("ef_construction", Value::from(params.ef_construction)),
+            ("ef_search", Value::from(params.ef_search)),
+            ("seed", Value::from(params.seed as i64)),
+        ]),
+    );
+    doc.insert(
+        "postings",
+        index.iter().map(|(id, v)| posting_to_json(id, v)).collect(),
+    );
+    doc.insert(
+        "links",
+        index
+            .links()
+            .iter()
+            .map(|layers| {
+                layers
+                    .iter()
+                    .map(|peers| {
+                        peers
+                            .iter()
+                            .map(|p| Value::from(*p as i64))
+                            .collect::<Value>()
+                    })
+                    .collect::<Value>()
+            })
+            .collect(),
+    );
+    doc.insert(
+        "entry",
+        match index.entry() {
+            Some(e) => Value::from(e as i64),
+            None => Value::Null,
+        },
+    );
+    doc
+}
+
+/// Reconstructs an [`HnswIndex`] from an [`hnsw_to_json`] document.
+///
+/// # Errors
+///
+/// Returns [`DecodeIndexError`] on a wrong `kind` tag, missing members,
+/// malformed vectors or adjacency lists, dimension mismatches, duplicate
+/// ids, or a structurally invalid graph (dangling links, bad entry point).
+pub fn hnsw_from_json(doc: &Value) -> Result<HnswIndex, DecodeIndexError> {
+    let (kind, dim, metric) = decode_header(doc)?;
+    if kind != "hnsw" {
+        return Err(err(format!("expected kind \"hnsw\", found {kind:?}")));
+    }
+    let params_doc = doc.get("params").ok_or_else(|| err("missing params"))?;
+    let get = |key: &str| {
+        params_doc
+            .get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| err(format!("params missing {key}")))
+    };
+    let params = HnswParams {
+        m: get("m")? as usize,
+        ef_construction: get("ef_construction")? as usize,
+        ef_search: get("ef_search")? as usize,
+        seed: get("seed")? as u64,
+    };
+    if params.m < 2 {
+        return Err(err("params m must be at least 2"));
+    }
+    let postings = doc
+        .get("postings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing postings"))?
+        .iter()
+        .map(|p| posting_from_json(p, "posting"))
+        .collect::<Result<Vec<(u64, Vec<f32>)>, _>>()?;
+    let mut links = Vec::new();
+    for layers in doc
+        .get("links")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing links"))?
+    {
+        let layers = layers
+            .as_array()
+            .ok_or_else(|| err("node links must be an array of layers"))?
+            .iter()
+            .map(|peers| {
+                peers
+                    .as_array()
+                    .ok_or_else(|| err("layer links must be an array"))?
+                    .iter()
+                    .map(|p| {
+                        p.as_i64()
+                            .filter(|v| *v >= 0 && *v <= u32::MAX as i64)
+                            .map(|v| v as u32)
+                            .ok_or_else(|| err("link targets must be node indices"))
+                    })
+                    .collect::<Result<Vec<u32>, _>>()
+            })
+            .collect::<Result<Vec<Vec<u32>>, _>>()?;
+        links.push(layers);
+    }
+    let entry = match doc.get("entry") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_i64()
+                .filter(|e| *e >= 0 && *e <= u32::MAX as i64)
+                .map(|e| e as u32)
+                .ok_or_else(|| err("entry must be a node index"))?,
+        ),
+    };
+    HnswIndex::from_parts(dim, metric, params, postings, links, entry)
+        .map_err(|e| err(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,12 +436,64 @@ mod tests {
         }
     }
 
+    fn hnsw_sample() -> HnswIndex {
+        let data: Vec<(u64, Vec<f32>)> = (0..64u64)
+            .map(|i| (i, vec![(i % 8) as f32 + 0.125, (i / 8) as f32]))
+            .collect();
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        HnswIndex::train(2, Metric::Euclidean, HnswParams::default(), &refs).unwrap()
+    }
+
+    #[test]
+    fn hnsw_roundtrip_preserves_graph_and_search() {
+        let idx = hnsw_sample();
+        let text = hnsw_to_json(&idx).to_string();
+        let restored = hnsw_from_json(&lim_json::parse(&text).unwrap()).expect("roundtrip");
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.params(), idx.params());
+        assert_eq!(restored.links(), idx.links());
+        assert_eq!(restored.entry(), idx.entry());
+        for q in [[0.0f32, 0.0], [3.2, 4.1], [7.0, 7.0]] {
+            let a = idx.search(&q, 5);
+            let b = restored.search(&q, 5);
+            assert_eq!(a.len(), b.len(), "query {q:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hnsw_encoding_is_byte_deterministic() {
+        let a = hnsw_to_json(&hnsw_sample()).to_string();
+        let b = hnsw_to_json(&hnsw_sample()).to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hnsw_decode_rejects_corrupt_documents() {
+        for field in ["params", "postings", "links", "entry"] {
+            let mut broken = hnsw_to_json(&hnsw_sample());
+            broken.insert(field, Value::Null);
+            // A nulled entry is "no entry point", which from_parts rejects
+            // for a non-empty graph; the rest fail in the decoder itself.
+            assert!(hnsw_from_json(&broken).is_err(), "nulled {field}");
+        }
+        let mut dangling = hnsw_to_json(&hnsw_sample());
+        dangling.insert("links", Value::from(5));
+        assert!(hnsw_from_json(&dangling).is_err(), "links must be an array");
+    }
+
     #[test]
     fn decode_rejects_wrong_kind_and_corrupt_documents() {
         let flat = flat_to_json(&flat_sample());
         let ivf = ivf_to_json(&ivf_sample());
+        let hnsw = hnsw_to_json(&hnsw_sample());
         assert!(flat_from_json(&ivf).is_err(), "kind mismatch");
         assert!(ivf_from_json(&flat).is_err(), "kind mismatch");
+        assert!(hnsw_from_json(&flat).is_err(), "kind mismatch");
+        assert!(flat_from_json(&hnsw).is_err(), "kind mismatch");
 
         for field in ["kind", "dim", "metric", "postings"] {
             let mut broken = flat_to_json(&flat_sample());

@@ -1,6 +1,6 @@
 //! Cross-module and property tests.
 
-use crate::{FlatIndex, IvfIndex, IvfParams, Metric, VectorIndex};
+use crate::{FlatIndex, HnswIndex, HnswParams, IvfIndex, IvfParams, Metric, VectorIndex};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -227,11 +227,11 @@ proptest! {
         prop_assert!(hits.len() <= k);
     }
 
-    /// On clustered random catalogs up to 1024 vectors, probing half the
+    /// On clustered random catalogs up to 4096 vectors, probing half the
     /// cells keeps recall@10 against the exact flat scan at or above 0.9.
     #[test]
-    fn ivf_recall_at_10_is_at_least_090(seed in 0u64..500, size_ix in 0usize..4) {
-        let n = [64usize, 200, 512, 1024][size_ix];
+    fn ivf_recall_at_10_is_at_least_090(seed in 0u64..500, size_ix in 0usize..5) {
+        let n = [64usize, 200, 512, 1024, 4096][size_ix];
         let dim = 8;
         let data = clustered_catalog(seed, n, dim);
         let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
@@ -265,10 +265,10 @@ proptest! {
 
     /// With `nprobe == nlist` every cell is scanned, so the IVF result must
     /// agree with the flat index *exactly* — same ids, same scores, same
-    /// order — on random catalogs up to 1024 vectors.
+    /// order — on random catalogs up to 4096 vectors.
     #[test]
-    fn ivf_exact_agreement_when_nprobe_equals_nlist(seed in 0u64..500, size_ix in 0usize..4) {
-        let n = [64usize, 200, 512, 1024][size_ix];
+    fn ivf_exact_agreement_when_nprobe_equals_nlist(seed in 0u64..500, size_ix in 0usize..5) {
+        let n = [64usize, 200, 512, 1024, 4096][size_ix];
         let dim = 8;
         let data = clustered_catalog(seed.wrapping_add(7_000), n, dim);
         let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
@@ -283,6 +283,66 @@ proptest! {
         for _ in 0..8 {
             let (_, base) = &data[probe_rng.random_range(0..data.len())];
             prop_assert_eq!(flat.search(base, 16), ivf.search(base, 16));
+        }
+    }
+
+    /// On the same clustered catalogs, the HNSW graph with default
+    /// construction parameters keeps recall@10 against the exact flat
+    /// scan at or above 0.95 — the bar the ann bench curve gates on.
+    #[test]
+    fn hnsw_recall_at_10_is_at_least_095(seed in 0u64..500, size_ix in 0usize..5) {
+        let n = [64usize, 200, 512, 1024, 4096][size_ix];
+        let dim = 8;
+        let data = clustered_catalog(seed.wrapping_add(13_000), n, dim);
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let flat = flat_from(dim, Metric::Euclidean, &data);
+        let hnsw = HnswIndex::train(
+            dim,
+            Metric::Euclidean,
+            HnswParams { seed, ..HnswParams::default() },
+            &refs,
+        ).unwrap();
+
+        let k = 10;
+        let queries = 16;
+        let mut found = 0usize;
+        let mut wanted = 0usize;
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        for _ in 0..queries {
+            let (_, base) = &data[probe_rng.random_range(0..data.len())];
+            let query: Vec<f32> = base
+                .iter()
+                .map(|x| x + probe_rng.random_range(-0.5f32..0.5))
+                .collect();
+            let exact: Vec<u64> = flat.search(&query, k).iter().map(|h| h.id).collect();
+            let approx: Vec<u64> = hnsw.search(&query, k).iter().map(|h| h.id).collect();
+            wanted += exact.len();
+            found += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = found as f64 / wanted as f64;
+        prop_assert!(recall >= 0.95, "recall@{} = {:.3} on n={}", k, recall, n);
+    }
+
+    /// With `ef_search >= len` the HNSW search falls back to an exact
+    /// scan, so the result must agree with the flat index *exactly* —
+    /// same ids, same scores, same order.
+    #[test]
+    fn hnsw_exact_agreement_at_max_ef_search(seed in 0u64..500, size_ix in 0usize..5) {
+        let n = [64usize, 200, 512, 1024, 4096][size_ix];
+        let dim = 8;
+        let data = clustered_catalog(seed.wrapping_add(21_000), n, dim);
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let flat = flat_from(dim, Metric::Cosine, &data);
+        let hnsw = HnswIndex::train(
+            dim,
+            Metric::Cosine,
+            HnswParams { ef_search: n, seed, ..HnswParams::default() },
+            &refs,
+        ).unwrap();
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xACE5);
+        for _ in 0..8 {
+            let (_, base) = &data[probe_rng.random_range(0..data.len())];
+            prop_assert_eq!(flat.search(base, 16), hnsw.search(base, 16));
         }
     }
 

@@ -36,6 +36,7 @@
 
 pub mod augment;
 pub mod pools;
+pub mod synthetic;
 pub mod trace;
 
 mod bfcl;

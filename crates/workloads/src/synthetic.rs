@@ -1,0 +1,133 @@
+//! Seeded synthetic tool catalogs for index-scaling experiments.
+//!
+//! The paper's benchmarks top out at 51 tools, which says nothing about
+//! how dispatch behaves at the 100k-tool marketplace scale the roadmap
+//! targets. This module fabricates catalogs of "tool embeddings" at any
+//! size — clustered the way real tool corpora are (categories of related
+//! tools), so approximate indexes face realistic structure rather than
+//! uniform noise — together with query vectors drawn near catalog
+//! members, so exact ground truth is cheap to compute with a flat scan.
+//!
+//! Everything is a pure function of the seed: the same `(seed, size,
+//! dim)` always yields byte-identical vectors, which is what lets the ann
+//! bench commit a baseline and gate regressions deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated catalog plus its query workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticCatalog {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Catalog entries: `(id, embedding)` with ids `0..size`.
+    pub vectors: Vec<(u64, Vec<f32>)>,
+    /// Query vectors, each perturbed from a random catalog member.
+    pub queries: Vec<Vec<f32>>,
+}
+
+/// Generates a clustered catalog of `size` tool embeddings and
+/// `query_count` nearby queries.
+///
+/// The catalog is drawn around `size.sqrt()`-ish cluster centres (min 8,
+/// max 256) with small jitter, mimicking how tool descriptions bunch into
+/// categories. Queries perturb uniformly chosen members, so every query
+/// has well-defined near neighbours for recall scoring.
+///
+/// # Panics
+///
+/// Panics if `size`, `dim`, or `query_count` is zero.
+pub fn synthetic_catalog(
+    seed: u64,
+    size: usize,
+    dim: usize,
+    query_count: usize,
+) -> SyntheticCatalog {
+    assert!(size > 0, "catalog size must be positive");
+    assert!(dim > 0, "dimension must be positive");
+    assert!(query_count > 0, "query count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center_count = ((size as f64).sqrt() as usize).clamp(8, 256).min(size);
+    let centers: Vec<Vec<f32>> = (0..center_count)
+        .map(|_| (0..dim).map(|_| rng.random_range(-10.0f32..10.0)).collect())
+        .collect();
+    let vectors: Vec<(u64, Vec<f32>)> = (0..size)
+        .map(|i| {
+            let center = &centers[rng.random_range(0..center_count)];
+            let v = center
+                .iter()
+                .map(|c| c + rng.random_range(-1.0f32..1.0))
+                .collect();
+            (i as u64, v)
+        })
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..query_count)
+        .map(|_| {
+            let anchor = &vectors[rng.random_range(0..size)].1;
+            anchor
+                .iter()
+                .map(|c| c + rng.random_range(-0.5f32..0.5))
+                .collect()
+        })
+        .collect();
+    SyntheticCatalog {
+        dim,
+        vectors,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_catalog(7, 500, 16, 10);
+        let b = synthetic_catalog(7, 500, 16, 10);
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_catalog(7, 100, 8, 4);
+        let b = synthetic_catalog(8, 100, 8, 4);
+        assert_ne!(a.vectors, b.vectors);
+    }
+
+    #[test]
+    fn shapes_match_the_request() {
+        let c = synthetic_catalog(1, 1000, 32, 16);
+        assert_eq!(c.vectors.len(), 1000);
+        assert_eq!(c.queries.len(), 16);
+        assert!(c.vectors.iter().all(|(_, v)| v.len() == 32));
+        assert!(c.queries.iter().all(|q| q.len() == 32));
+        // Ids are the catalog positions.
+        assert_eq!(c.vectors[999].0, 999);
+    }
+
+    #[test]
+    fn catalog_is_clustered_not_uniform() {
+        // With ~sqrt(n) centres and ±1 jitter inside a ±10 cube, member
+        // vectors hug their centres: nearest-neighbour distances must be
+        // far below what uniform sampling would give.
+        let c = synthetic_catalog(3, 400, 8, 4);
+        let d2 =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let mut near = 0;
+        for (i, (_, v)) in c.vectors.iter().enumerate().take(50) {
+            let best = c
+                .vectors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, (_, u))| d2(v, u))
+                .fold(f32::INFINITY, f32::min);
+            if best < 8.0 * 4.0 {
+                near += 1;
+            }
+        }
+        assert!(near > 40, "only {near}/50 vectors have a close neighbour");
+    }
+}

@@ -19,12 +19,16 @@
 //!   --policy default|gorilla:K|lim:K    (default lim:3)
 //!   --queries N                  (default 230)
 //!   --seed S                     (default 20250331)
+//!   --index flat|ivf|hnsw        Level-1 vector-index backend (default flat)
+//!   --hnsw-m N --ef-construction N --ef-search N    HNSW graph knobs
 //!
 //! bench options:
 //!   --threads N                  worker threads; 0 = all cores (default 0)
 //!   --models a,b,c               models to sweep (default: the --model value)
 //!   --quants q4_K_M,q8_0         quants to sweep (default: the --quant value)
 //!   --policies default,lim:3     policies to sweep (default all four paper policies)
+//!   --ann                        index-backend latency curve instead of the grid
+//!   --catalogs 1000,10000        catalog sizes for the --ann sweep
 //!   --out FILE                   write the BENCH_*.json document
 //!
 //! loadgen / serve options:
@@ -48,10 +52,12 @@
 use std::process::ExitCode;
 
 use lessismore::core::{
-    evaluate, load_levels, normalize_against, save_levels, Pipeline, Policy, SearchLevels,
+    evaluate, load_levels, normalize_against, save_levels, IndexSpec, LevelsConfig, Pipeline,
+    Policy, SearchLevels,
 };
 use lessismore::llm::{profiles, ModelProfile, Quant};
 use lessismore::serve::{AdmissionConfig, ShedPolicy};
+use lessismore::vecstore::{HnswParams, IvfParams};
 use lessismore::workloads::trace::ArrivalProcess;
 use lessismore::workloads::{bfcl, geoengine, Workload};
 
@@ -105,6 +111,19 @@ struct Options {
     checkpoint: Option<String>,
     /// Where to write a checkpoint after the replay.
     save_checkpoint: Option<String>,
+    /// Level-1 vector-index backend (`--index flat|ivf|hnsw`).
+    index: String,
+    /// HNSW query-time beam width override (`--ef-search`).
+    ef_search: Option<usize>,
+    /// HNSW construction beam width override (`--ef-construction`).
+    ef_construction: Option<usize>,
+    /// HNSW per-layer degree override (`--hnsw-m`).
+    hnsw_m: Option<usize>,
+    /// `lim bench --ann`: run the index-backend latency curve instead of
+    /// the policy grid.
+    ann: bool,
+    /// Catalog sizes for the ann curve (`--catalogs 1000,10000`).
+    catalogs: Vec<usize>,
     /// Baseline document for `compare`.
     baseline: Option<String>,
     /// Current document for `compare`.
@@ -144,6 +163,12 @@ impl Default for Options {
             snapshot: None,
             checkpoint: None,
             save_checkpoint: None,
+            index: "flat".into(),
+            ef_search: None,
+            ef_construction: None,
+            hnsw_m: None,
+            ann: false,
+            catalogs: Vec::new(),
             baseline: None,
             current: None,
             tolerance: 0.10,
@@ -208,10 +233,15 @@ fn help_text() -> String {
      options:\n  \
      --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
      --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
-     --query I (trace only)      --save FILE / --load FILE (levels only)\n\n\
+     --query I (trace only)      --save FILE / --load FILE (levels only)\n  \
+     --index flat|ivf|hnsw        Level-1 vector-index backend (default flat;\n  \
+     snapshots and checkpoints carry their own index kind and ignore the flag)\n  \
+     --hnsw-m N  --ef-construction N  --ef-search N    HNSW graph knobs\n\n\
      bench options:\n  \
      --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
-     --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n\n\
+     --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n  \
+     --ann  (index-backend latency-vs-catalog-size curve, lim-bench/ann-v1,\n  \
+     instead of the policy grid)   --catalogs 1000,10000  (sizes for --ann)\n\n\
      loadgen / serve options:\n  \
      --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
      --arrivals back-to-back|poisson:RATE|burst:RATE:SIZE   (loadgen stamps the trace;\n  \
@@ -338,6 +368,52 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .filter(|n| *n > 0)
                     .ok_or_else(|| "--servers needs a positive integer".to_owned())?;
             }
+            "--index" => {
+                let v = value("--index")?;
+                if !["flat", "ivf", "hnsw"].contains(&v.as_str()) {
+                    return Err(format!("unknown index backend {v:?} (flat|ivf|hnsw)"));
+                }
+                options.index = v;
+            }
+            "--ef-search" => {
+                options.ef_search = Some(
+                    value("--ef-search")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| "--ef-search needs a positive integer".to_owned())?,
+                );
+            }
+            "--ef-construction" => {
+                options.ef_construction = Some(
+                    value("--ef-construction")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| "--ef-construction needs a positive integer".to_owned())?,
+                );
+            }
+            "--hnsw-m" => {
+                options.hnsw_m = Some(
+                    value("--hnsw-m")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n >= 2)
+                        .ok_or_else(|| "--hnsw-m needs an integer >= 2".to_owned())?,
+                );
+            }
+            "--ann" => options.ann = true,
+            "--catalogs" => {
+                options.catalogs = value("--catalogs")?
+                    .split(',')
+                    .map(|v| {
+                        v.parse()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| format!("bad catalog size {v:?}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
             "--trace" => options.trace = Some(value("--trace")?),
             "--save-trace" => options.save_trace = Some(value("--save-trace")?),
             "--snapshot" => options.snapshot = Some(value("--snapshot")?),
@@ -369,6 +445,42 @@ fn parse_policy(text: &str) -> Result<Policy, String> {
         return Ok(Policy::less_is_more(k));
     }
     Err(format!("unknown policy {text:?}"))
+}
+
+/// Resolves `--index` plus the HNSW knobs into the backend spec the
+/// level build uses. The knobs are meaningful for `hnsw` only; on the
+/// other backends they are ignored (the ann curve applies them to its
+/// HNSW cell regardless of `--index`).
+fn index_spec(options: &Options) -> IndexSpec {
+    match options.index.as_str() {
+        "ivf" => IndexSpec::Ivf(IvfParams::default()),
+        "hnsw" => IndexSpec::Hnsw(hnsw_params(options)),
+        _ => IndexSpec::Flat,
+    }
+}
+
+/// The HNSW parameter block with any CLI overrides applied.
+fn hnsw_params(options: &Options) -> HnswParams {
+    let mut params = HnswParams::default();
+    if let Some(m) = options.hnsw_m {
+        params.m = m;
+    }
+    if let Some(ef) = options.ef_construction {
+        params.ef_construction = ef;
+    }
+    if let Some(ef) = options.ef_search {
+        params.ef_search = ef;
+    }
+    params
+}
+
+/// Builds the search levels on the backend selected by `--index`.
+fn build_levels(options: &Options, workload: &Workload) -> SearchLevels {
+    let config = LevelsConfig {
+        index: index_spec(options),
+        ..LevelsConfig::default()
+    };
+    SearchLevels::build_with(workload, &config)
 }
 
 fn build_workload(options: &Options) -> Result<Workload, String> {
@@ -410,7 +522,7 @@ fn cmd_evaluate(options: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let levels = SearchLevels::build(&workload);
+    let levels = build_levels(options, &workload);
     let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
     let baseline = evaluate(&pipeline, Policy::Default);
     let metrics = evaluate(&pipeline, options.policy);
@@ -449,6 +561,9 @@ fn cmd_bench(options: &Options) -> ExitCode {
     use lessismore::bench::report::{grid_to_json, pct, ratio, secs, watts, Table};
     use lessismore::core::resolve_threads;
 
+    if options.ann {
+        return cmd_bench_ann(options);
+    }
     let workload = match build_workload(options) {
         Ok(w) => w,
         Err(e) => {
@@ -490,7 +605,7 @@ fn cmd_bench(options: &Options) -> ExitCode {
 
     let threads = resolve_threads(options.threads);
     let started = std::time::Instant::now();
-    let levels = SearchLevels::build(&workload);
+    let levels = build_levels(options, &workload);
     let cells = run_grid_threads(
         &workload,
         &levels,
@@ -549,6 +664,68 @@ fn cmd_bench(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lim bench --ann`: the index-backend latency-vs-catalog-size curve
+/// (`lim-bench/ann-v1`) instead of the policy grid.
+fn cmd_bench_ann(options: &Options) -> ExitCode {
+    use lessismore::bench::ann::{ann_to_json, run_ann, AnnConfig, ANN_K, ANN_QUERIES};
+    use lessismore::bench::report::Table;
+
+    let mut config = AnnConfig {
+        seed: options.seed,
+        hnsw: hnsw_params(options),
+        ..AnnConfig::default()
+    };
+    if !options.catalogs.is_empty() {
+        config.catalogs = options.catalogs.clone();
+    }
+
+    let started = std::time::Instant::now();
+    let cells = run_ann(&config);
+    let elapsed = started.elapsed();
+
+    let mut table = Table::new(
+        &format!(
+            "lim bench --ann — {} queries/cell, recall@{}, seed {}",
+            ANN_QUERIES, ANN_K, config.seed
+        ),
+        &[
+            "backend",
+            "catalog",
+            "build",
+            "query",
+            "dist evals",
+            "recall@10",
+        ],
+    );
+    for c in &cells {
+        table.row(&[
+            c.backend.to_owned(),
+            c.catalog.to_string(),
+            format!("{:.3}s", c.build_seconds),
+            format!("{:.1}us", c.query_seconds_mean * 1e6),
+            format!("{:.1}", c.avg_dist_evals),
+            format!("{:.3}", c.recall_at_10),
+        ]);
+    }
+    table.print();
+    println!(
+        "swept {} cells in {:.2}s wall-clock (tracked metrics are seeded; \
+         wall-clock columns are informational)",
+        cells.len(),
+        elapsed.as_secs_f64()
+    );
+
+    if let Some(path) = &options.out {
+        let doc = ann_to_json(&config, &cells);
+        if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace(options: &Options) -> ExitCode {
     let (workload, model) = match (build_workload(options), resolve_model(options)) {
         (Ok(w), Ok(m)) => (w, m),
@@ -565,7 +742,7 @@ fn cmd_trace(options: &Options) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let levels = SearchLevels::build(&workload);
+    let levels = build_levels(options, &workload);
     let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
     let query = &workload.queries[options.query_index];
     let (result, trace) = pipeline.run_query_traced(query, options.policy);
@@ -723,7 +900,10 @@ fn run_serve_trace(
                 .map_err(|e| format!("{path}: {e}"))
         })
     } else {
-        Ok(ServeEngine::new(workload, model, config))
+        // Cold boot on the backend selected by `--index` (snapshots and
+        // checkpoints carry their own index kind and ignore the flag).
+        let levels = build_levels(options, &workload);
+        Ok(ServeEngine::with_levels(workload, levels, model, config))
     };
     let mut engine = match engine {
         Ok(e) => e,
@@ -792,7 +972,7 @@ fn cmd_snapshot_build(options: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let levels = SearchLevels::build(&workload);
+    let levels = build_levels(options, &workload);
     let bytes = lessismore::core::write_levels_snapshot(
         &levels,
         workload.name,
@@ -813,8 +993,9 @@ fn cmd_snapshot_build(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Prints the header and section table without decoding a single
-/// section — the cheap half of the lazy-loading contract.
+/// Prints the header and section table. Only the Level-1 index section
+/// is decoded (to report its backend kind and vector count); everything
+/// else stays undecoded — the cheap half of the lazy-loading contract.
 fn cmd_snapshot_inspect(options: &Options) -> ExitCode {
     let Some(path) = &options.snapshot else {
         eprintln!("error: snapshot inspect needs --snapshot FILE");
@@ -852,13 +1033,40 @@ fn cmd_snapshot_inspect(options: &Options) -> ExitCode {
             println!("  {key}: {v}");
         }
     }
+    // Decode the index section (only) so the operator can see which
+    // backend this snapshot boots and how many vectors it carries.
+    let index_note = snapshot
+        .section(lessismore::core::SECTION_TOOL_INDEX)
+        .ok()
+        .map(|doc| {
+            let kind = doc
+                .get("kind")
+                .and_then(lessismore::json::Value::as_str)
+                .unwrap_or("flat")
+                .to_owned();
+            let vectors = doc
+                .get("postings")
+                .and_then(lessismore::json::Value::as_array)
+                .map_or(0, <[lessismore::json::Value]>::len);
+            (kind, vectors)
+        });
+    if let Some((kind, vectors)) = &index_note {
+        println!("  index: {kind} ({vectors} vectors)");
+    }
     println!(
-        "  sections ({} decoded — header only):",
-        snapshot.decoded_sections().len()
+        "  sections ({} of {} decoded):",
+        snapshot.decoded_sections().len(),
+        snapshot.section_names().len()
     );
     for name in snapshot.section_names() {
+        let annotation = match &index_note {
+            Some((kind, _)) if name == lessismore::core::SECTION_TOOL_INDEX => {
+                format!("  ({kind})")
+            }
+            _ => String::new(),
+        };
         println!(
-            "    {name:<12} {:>9} bytes",
+            "    {name:<12} {:>9} bytes{annotation}",
             snapshot.section_len(name).unwrap_or(0)
         );
     }
@@ -1083,10 +1291,11 @@ fn cmd_levels(options: &Options) -> ExitCode {
             }
         }
     } else {
-        let levels = SearchLevels::build(&workload);
+        let levels = build_levels(options, &workload);
         println!(
-            "built levels for {}: {} tools, {} clusters",
+            "built levels for {} ({} index): {} tools, {} clusters",
             workload.name,
+            levels.tool_index().kind(),
             levels.tool_count(),
             levels.clusters().len()
         );
@@ -1127,9 +1336,15 @@ mod tests {
             flags.push(format!("--{flag}"));
         }
         assert!(
-            flags.len() >= 20,
+            flags.len() >= 30,
             "flag scan looks broken: only found {flags:?}"
         );
+        for required in ["--index", "--ef-search", "--ef-construction", "--hnsw-m"] {
+            assert!(
+                flags.iter().any(|f| f == required),
+                "{required} is not parsed anywhere"
+            );
+        }
         for flag in &flags {
             assert!(
                 help.contains(flag.as_str()),
@@ -1157,6 +1372,56 @@ mod tests {
         assert_eq!(options.checkpoint.as_deref(), Some("warm.limsnap"));
         assert_eq!(options.save_checkpoint.as_deref(), Some("next.limsnap"));
         assert!(super::parse(&["--snapshot".to_owned()]).is_err());
+    }
+
+    /// The index-backend flags parse into the spec the level build uses,
+    /// regardless of flag order.
+    #[test]
+    fn index_flags_parse() {
+        let args: Vec<String> = [
+            "--ef-search",
+            "96",
+            "--index",
+            "hnsw",
+            "--hnsw-m",
+            "24",
+            "--ef-construction",
+            "200",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = super::parse(&args).expect("valid flags");
+        let super::IndexSpec::Hnsw(params) = super::index_spec(&options) else {
+            panic!("--index hnsw must resolve to an HNSW spec");
+        };
+        assert_eq!(params.m, 24);
+        assert_eq!(params.ef_construction, 200);
+        assert_eq!(params.ef_search, 96);
+
+        let flat = super::parse(&[]).expect("defaults");
+        assert!(matches!(super::index_spec(&flat), super::IndexSpec::Flat));
+        let ivf = super::parse(&["--index".to_owned(), "ivf".to_owned()]).expect("ivf");
+        assert!(matches!(super::index_spec(&ivf), super::IndexSpec::Ivf(_)));
+
+        assert!(super::parse(&["--index".to_owned(), "pq".to_owned()]).is_err());
+        assert!(super::parse(&["--hnsw-m".to_owned(), "1".to_owned()]).is_err());
+        assert!(super::parse(&["--ef-search".to_owned(), "0".to_owned()]).is_err());
+    }
+
+    /// The ann-curve flags parse: `--ann` is a bare switch and
+    /// `--catalogs` is a positive-integer list.
+    #[test]
+    fn ann_flags_parse() {
+        let args: Vec<String> = ["--ann", "--catalogs", "500,2000"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = super::parse(&args).expect("valid flags");
+        assert!(options.ann);
+        assert_eq!(options.catalogs, vec![500, 2000]);
+        assert!(super::parse(&["--catalogs".to_owned(), "10,x".to_owned()]).is_err());
+        assert!(super::parse(&["--catalogs".to_owned(), "0".to_owned()]).is_err());
     }
 
     /// The admission flags parse into the options they claim to set.
