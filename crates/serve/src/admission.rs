@@ -160,15 +160,6 @@ impl AdmissionOutcome {
             .filter_map(Disposition::wait_s)
             .collect()
     }
-
-    fn all_served_instantly(n: usize) -> Self {
-        Self {
-            dispositions: vec![Disposition::Served { wait_s: 0.0 }; n],
-            max_queue_depth: 0,
-            shed: 0,
-            degraded: 0,
-        }
-    }
 }
 
 /// The bounded wait queue with per-session round-robin fairness.
@@ -179,6 +170,7 @@ impl AdmissionOutcome {
 /// rotates to the tail again after each dispatch, so N waiting sessions
 /// each get every Nth executor slot regardless of how many requests any
 /// one of them has piled up.
+#[derive(Debug, Clone)]
 struct FairQueue {
     per_session: HashMap<u64, VecDeque<usize>>,
     rotation: VecDeque<u64>,
@@ -222,7 +214,223 @@ impl FairQueue {
     }
 }
 
-/// Runs the virtual-clock admission simulation.
+/// The virtual-clock admission simulation as a **stateful, incremental**
+/// machine: requests are [`AdmissionSim::offer`]ed one at a time (in
+/// canonical arrival order), each offer resolving zero or more earlier
+/// requests whose executor slot came up before the new arrival instant.
+/// [`AdmissionSim::drain`] works the queue dry after the last arrival and
+/// [`AdmissionSim::into_outcome`] yields the same [`AdmissionOutcome`]
+/// the batch [`simulate`] walk produces — `simulate` *is* this machine
+/// driven in a loop, so the two can never disagree.
+///
+/// The incremental shape exists for the streaming front-end: a live
+/// session offers each request as it arrives and forwards the
+/// newly-resolved `(request index, Disposition)` pairs as wire frames,
+/// while the offline replay drives the identical state machine from a
+/// trace file.
+#[derive(Debug, Clone)]
+pub struct AdmissionSim {
+    config: AdmissionConfig,
+    /// Whether requests carry real arrival timestamps. A closed-loop
+    /// (back-to-back) stream never queues: each request arrives exactly
+    /// when the engine is ready for it.
+    open_loop: bool,
+    /// Virtual time each executor becomes free; index is the tie-break.
+    busy_until: Vec<f64>,
+    queue: FairQueue,
+    dispositions: Vec<Disposition>,
+    degraded_flag: Vec<bool>,
+    arrivals: Vec<f64>,
+    services: Vec<f64>,
+    degraded_services: Vec<f64>,
+    max_queue_depth: usize,
+    shed: u64,
+    degraded: u64,
+    last_arrival: f64,
+}
+
+impl AdmissionSim {
+    /// Creates an empty simulation. `open_loop` says whether offers carry
+    /// real arrival timestamps; when `false` (a back-to-back trace) or
+    /// when the queue is disabled (`queue_depth == 0`), every offer is
+    /// served instantly and no state evolves.
+    pub fn new(config: AdmissionConfig, open_loop: bool) -> Self {
+        let servers = config.effective_servers();
+        Self {
+            config,
+            open_loop,
+            busy_until: vec![0.0f64; servers],
+            queue: FairQueue::new(),
+            dispositions: Vec::new(),
+            degraded_flag: Vec::new(),
+            arrivals: Vec::new(),
+            services: Vec::new(),
+            degraded_services: Vec::new(),
+            max_queue_depth: 0,
+            shed: 0,
+            degraded: 0,
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Whether the bypass path (serve everything instantly) is active.
+    fn bypass(&self) -> bool {
+        !self.open_loop || !self.config.enabled()
+    }
+
+    /// Requests offered so far; the next offer gets this index.
+    pub fn submitted(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Full-quality or degraded service seconds for request `i`.
+    fn service_of(&self, i: usize) -> f64 {
+        if self.degraded_flag[i] {
+            self.degraded_services[i]
+        } else {
+            self.services[i]
+        }
+    }
+
+    /// The earliest-free executor; ties break on the lowest index so the
+    /// walk is deterministic.
+    fn earliest(&self) -> (usize, f64) {
+        let mut best = 0usize;
+        for (i, t) in self.busy_until.iter().enumerate().skip(1) {
+            if *t < self.busy_until[best] {
+                best = i;
+            }
+        }
+        (best, self.busy_until[best])
+    }
+
+    /// Pops the fairness rotation once, stamping the popped request's
+    /// disposition, and returns the `(index, Disposition)` pair.
+    fn dispatch_one(&mut self, idx: usize, free_at: f64) -> (usize, Disposition) {
+        let next = self.queue.pop().expect("non-empty queue");
+        let wait_s = free_at - self.arrivals[next];
+        let disposition = if self.degraded_flag[next] {
+            Disposition::Degraded { wait_s }
+        } else {
+            Disposition::Served { wait_s }
+        };
+        self.dispositions[next] = disposition;
+        self.busy_until[idx] = free_at + self.service_of(next);
+        (next, disposition)
+    }
+
+    /// Offers the next request (canonical arrival order) to the virtual
+    /// system and returns every request **newly resolved** by this offer:
+    /// earlier queued requests whose executor slot came up before
+    /// `arrival_s`, and the offered request itself when its fate is known
+    /// immediately (served idle, or shed). A request that joins the wait
+    /// queue resolves in a later offer or in [`AdmissionSim::drain`].
+    ///
+    /// `degraded_service_s` is the cheap service time used if the
+    /// `Degrade` policy downgrades this request (falls back to
+    /// `service_s` when `None`). `arrival_s` is ignored on the bypass
+    /// path (closed loop / disabled queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_s` decreases across offers on the open-loop
+    /// path.
+    pub fn offer(
+        &mut self,
+        session: u64,
+        arrival_s: f64,
+        service_s: f64,
+        degraded_service_s: Option<f64>,
+    ) -> Vec<(usize, Disposition)> {
+        let i = self.submitted();
+        self.arrivals.push(arrival_s);
+        self.services.push(service_s);
+        self.degraded_services
+            .push(degraded_service_s.unwrap_or(service_s));
+        self.degraded_flag.push(false);
+        // Placeholder until resolved — matches the batch walk's initial
+        // `vec![Shed; n]`.
+        self.dispositions.push(Disposition::Shed);
+
+        if self.bypass() {
+            let disposition = Disposition::Served { wait_s: 0.0 };
+            self.dispositions[i] = disposition;
+            return vec![(i, disposition)];
+        }
+
+        let t = arrival_s;
+        assert!(
+            t >= self.last_arrival,
+            "arrivals must be nondecreasing in canonical order"
+        );
+        self.last_arrival = t;
+
+        // Replay every completion up to the arrival instant, handing the
+        // freed executor to the fairness rotation each time.
+        let mut resolved = Vec::new();
+        while self.queue.len() > 0 {
+            let (idx, free_at) = self.earliest();
+            if free_at > t {
+                break;
+            }
+            resolved.push(self.dispatch_one(idx, free_at));
+        }
+
+        let (idx, free_at) = self.earliest();
+        if free_at <= t && self.queue.len() == 0 {
+            // An executor is idle: serve immediately.
+            let disposition = Disposition::Served { wait_s: 0.0 };
+            self.dispositions[i] = disposition;
+            self.busy_until[idx] = t + self.services[i];
+            resolved.push((i, disposition));
+            return resolved;
+        }
+        let depth = self.queue.len();
+        if depth >= self.config.queue_depth {
+            self.dispositions[i] = Disposition::Shed;
+            self.shed += 1;
+            resolved.push((i, Disposition::Shed));
+            return resolved;
+        }
+        if self.config.shed_policy == ShedPolicy::Degrade
+            && depth >= self.config.degrade_watermark()
+        {
+            self.degraded_flag[i] = true;
+            self.degraded += 1;
+        }
+        self.queue.push(session, i);
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+        resolved
+    }
+
+    /// Drains the wait queue after the last arrival: the executors work
+    /// it dry. Returns the requests resolved by the drain, in dispatch
+    /// order. Idempotent — a second call returns nothing.
+    pub fn drain(&mut self) -> Vec<(usize, Disposition)> {
+        let mut resolved = Vec::new();
+        while self.queue.len() > 0 {
+            let (idx, free_at) = self.earliest();
+            resolved.push(self.dispatch_one(idx, free_at));
+        }
+        resolved
+    }
+
+    /// Consumes the simulation into its aggregate outcome. Call
+    /// [`AdmissionSim::drain`] first — any request still queued keeps its
+    /// unresolved `Shed` placeholder otherwise.
+    pub fn into_outcome(mut self) -> AdmissionOutcome {
+        debug_assert_eq!(self.queue.len(), 0, "into_outcome called before drain");
+        self.shed += self.queue.len() as u64; // defensive: count stragglers
+        AdmissionOutcome {
+            dispositions: self.dispositions,
+            max_queue_depth: self.max_queue_depth,
+            shed: self.shed,
+            degraded: self.degraded,
+        }
+    }
+}
+
+/// Runs the virtual-clock admission simulation over a whole batch.
 ///
 /// * `arrivals_s` — per-request arrival timestamps in canonical order
 ///   (nondecreasing), or `None` for a back-to-back (closed-loop) trace,
@@ -234,8 +442,11 @@ impl FairQueue {
 ///   `service_s` when absent).
 ///
 /// Returns one [`Disposition`] per request plus the aggregate counters.
-/// The walk is sequential and pure, so its output is bit-identical for
-/// any engine worker count.
+/// This is a thin wrapper that drives the incremental [`AdmissionSim`]
+/// one offer per request — the batch and streaming paths share one code
+/// path, so their outputs are bit-identical by construction (and the
+/// walk is sequential and pure, so the output is also bit-identical for
+/// any engine worker count).
 ///
 /// # Panics
 ///
@@ -252,114 +463,20 @@ pub fn simulate(
     if let Some(d) = degraded_service_s {
         assert_eq!(d.len(), n, "one degraded service time per request");
     }
-    let Some(arrivals) = arrivals_s else {
-        // Closed loop: each request arrives exactly when the engine is
-        // ready for it. No queue ever forms.
-        return AdmissionOutcome::all_served_instantly(n);
-    };
-    assert_eq!(arrivals.len(), n, "one arrival per request");
-    if !config.enabled() {
-        return AdmissionOutcome::all_served_instantly(n);
+    if let Some(arrivals) = arrivals_s {
+        assert_eq!(arrivals.len(), n, "one arrival per request");
     }
-
-    let servers = config.effective_servers();
-    // Virtual time each executor becomes free; index is the tie-break.
-    let mut busy_until = vec![0.0f64; servers];
-    let mut queue = FairQueue::new();
-    let mut dispositions = vec![Disposition::Shed; n];
-    let mut degraded_flag = vec![false; n];
-    let mut max_queue_depth = 0usize;
-    let mut shed = 0u64;
-    let mut degraded = 0u64;
-
-    let service_of = |i: usize, is_degraded: bool| -> f64 {
-        if is_degraded {
-            degraded_service_s.map_or(service_s[i], |d| d[i])
-        } else {
-            service_s[i]
-        }
-    };
-    // The earliest-free executor; ties break on the lowest index so the
-    // walk is deterministic.
-    let earliest = |busy_until: &[f64]| -> (usize, f64) {
-        let mut best = 0usize;
-        for (i, t) in busy_until.iter().enumerate().skip(1) {
-            if *t < busy_until[best] {
-                best = i;
-            }
-        }
-        (best, busy_until[best])
-    };
-
-    let mut last_arrival = 0.0f64;
+    let mut sim = AdmissionSim::new(*config, arrivals_s.is_some());
     for i in 0..n {
-        let t = arrivals[i];
-        assert!(
-            t >= last_arrival,
-            "arrivals must be nondecreasing in canonical order"
+        sim.offer(
+            sessions[i],
+            arrivals_s.map_or(0.0, |a| a[i]),
+            service_s[i],
+            degraded_service_s.map(|d| d[i]),
         );
-        last_arrival = t;
-
-        // Replay every completion up to the arrival instant, handing the
-        // freed executor to the fairness rotation each time.
-        loop {
-            if queue.len() == 0 {
-                break;
-            }
-            let (idx, free_at) = earliest(&busy_until);
-            if free_at > t {
-                break;
-            }
-            let next = queue.pop().expect("non-empty queue");
-            let wait_s = free_at - arrivals[next];
-            dispositions[next] = if degraded_flag[next] {
-                Disposition::Degraded { wait_s }
-            } else {
-                Disposition::Served { wait_s }
-            };
-            busy_until[idx] = free_at + service_of(next, degraded_flag[next]);
-        }
-
-        let (idx, free_at) = earliest(&busy_until);
-        if free_at <= t && queue.len() == 0 {
-            // An executor is idle: serve immediately.
-            dispositions[i] = Disposition::Served { wait_s: 0.0 };
-            busy_until[idx] = t + service_of(i, false);
-            continue;
-        }
-        let depth = queue.len();
-        if depth >= config.queue_depth {
-            dispositions[i] = Disposition::Shed;
-            shed += 1;
-            continue;
-        }
-        if config.shed_policy == ShedPolicy::Degrade && depth >= config.degrade_watermark() {
-            degraded_flag[i] = true;
-            degraded += 1;
-        }
-        queue.push(sessions[i], i);
-        max_queue_depth = max_queue_depth.max(queue.len());
     }
-
-    // Drain: after the last arrival the executors work the queue dry.
-    while queue.len() > 0 {
-        let (idx, free_at) = earliest(&busy_until);
-        let next = queue.pop().expect("non-empty queue");
-        let wait_s = free_at - arrivals[next];
-        dispositions[next] = if degraded_flag[next] {
-            Disposition::Degraded { wait_s }
-        } else {
-            Disposition::Served { wait_s }
-        };
-        busy_until[idx] = free_at + service_of(next, degraded_flag[next]);
-    }
-
-    AdmissionOutcome {
-        dispositions,
-        max_queue_depth,
-        shed,
-        degraded,
-    }
+    sim.drain();
+    sim.into_outcome()
 }
 
 #[cfg(test)]
@@ -541,6 +658,47 @@ mod tests {
         let total = |o: &AdmissionOutcome| o.waits().iter().sum::<f64>();
         assert!(total(&two) < total(&one));
         assert_eq!(two.waits(), vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn incremental_offers_match_batch_simulate_and_report_resolutions() {
+        // A storm that exercises idle-serve, queueing, degrade, shed and
+        // the final drain, with two interleaved sessions.
+        let arrivals: Vec<f64> = (0..24).map(|i| i as f64 * 0.3).collect();
+        let sessions: Vec<u64> = (0..24).map(|i| i % 2).collect();
+        let service = vec![2.0f64; 24];
+        let degraded = vec![0.4f64; 24];
+        let cfg = config(4, ShedPolicy::Degrade);
+
+        let batch = simulate(Some(&arrivals), &sessions, &service, Some(&degraded), &cfg);
+
+        let mut sim = AdmissionSim::new(cfg, true);
+        let mut resolved = [false; 24];
+        for i in 0..24 {
+            for (idx, d) in sim.offer(sessions[i], arrivals[i], service[i], Some(degraded[i])) {
+                assert!(!resolved[idx], "request {idx} resolved twice");
+                resolved[idx] = true;
+                assert_eq!(d, batch.dispositions[idx]);
+            }
+        }
+        for (idx, d) in sim.drain() {
+            assert!(!resolved[idx], "request {idx} resolved twice");
+            resolved[idx] = true;
+            assert_eq!(d, batch.dispositions[idx]);
+        }
+        assert!(resolved.iter().all(|r| *r), "every request resolves");
+        assert_eq!(sim.into_outcome(), batch);
+    }
+
+    #[test]
+    fn bypass_path_resolves_each_offer_instantly() {
+        let mut sim = AdmissionSim::new(config(0, ShedPolicy::Reject), true);
+        let events = sim.offer(7, 1.0, 5.0, None);
+        assert_eq!(events, vec![(0, Disposition::Served { wait_s: 0.0 })]);
+        assert!(sim.drain().is_empty());
+        let out = sim.into_outcome();
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.max_queue_depth, 0);
     }
 
     #[test]

@@ -2,43 +2,54 @@
 //!
 //! # Determinism by construction
 //!
-//! [`ServeEngine::process_trace`] must produce bit-identical accuracy and
-//! cache numbers for every worker count. Shared mutable caches under a
-//! lock would make hit/miss patterns depend on thread interleaving, so
-//! the engine splits a trace into four stages instead:
+//! The engine must produce bit-identical accuracy and cache numbers for
+//! every worker count — and, since the API became incremental
+//! ([`ServeEngine::begin_stream`] / [`crate::ServeSession`]), for every
+//! way a request stream is chopped into batches. Shared mutable caches
+//! under a lock would make hit/miss patterns depend on thread
+//! interleaving, so each drained batch runs through four stages instead
+//! (the staging itself lives in [`crate::session`]; this module owns the
+//! per-request stage bodies and the engine state they read):
 //!
-//! 1. **Plan** (sequential, cheap): walk the requests in canonical
-//!    arrival order, resolve the per-session fast path and both caches on
-//!    normalized-text keys only, and record each request's hit class plus
-//!    a slot into a dense table of *unique* selection jobs. Cache state
-//!    evolves exactly as a sequential server would evolve it.
-//! 2. **Compute** (parallel): run the unique selection jobs — recommender
-//!    simulation, `Ẽ` embeddings, k-NN arbitration — over
+//! 1. **Plan** (sequential, cheap): walk the batch's requests in
+//!    canonical arrival order (`ServeEngine::plan_request`), resolve
+//!    the per-session fast path and both caches on normalized-text keys
+//!    only, and record each request's hit class plus a slot into a dense
+//!    table of *unique* selection jobs. Cache state evolves exactly as a
+//!    sequential server would evolve it — counters are charged at
+//!    reservation time, so *when* a fill lands can never change them.
+//! 2. **Compute** (parallel): run the unique selection jobs —
+//!    recommender simulation, `Ẽ` embeddings, k-NN arbitration — over
 //!    [`lim_core::sharded_map`]. Every job is a pure function of the
 //!    normalized query, so shard boundaries cannot change values.
 //! 3. **Fill** (sequential): write computed values into the reserved
-//!    cache slots so the next trace (the engine is long-lived) starts
+//!    cache slots so the next batch (the engine is long-lived) starts
 //!    warm.
 //! 4. **Execute** (parallel): run every request's gold chain with its
 //!    resolved tool selection via [`Pipeline::run_query_offered`], again
 //!    over `sharded_map`, and bill per-request simulated latency.
 //!
 //! Stages 2 and 4 carry all the heavy work; stage 1 is string hashing and
-//! O(1) cache bookkeeping.
+//! O(1) cache bookkeeping. [`ServeEngine::process_trace`] is a thin
+//! wrapper that opens a stream, submits the whole trace and finishes it
+//! — one code path, not two.
 //!
 //! # Admission control
 //!
-//! When the trace carries open-loop arrival timestamps and
+//! When the stream carries open-loop arrival timestamps and
 //! [`ServeConfig::admission`] enables a bounded queue, a fifth,
-//! sequential stage replays the [`crate::admission`] virtual-clock
-//! simulation over the per-request service times stages 2 and 4
-//! produced: requests wait in a per-session round-robin queue for one of
-//! the simulated executors, degrade to Level-3 / selection-free service
-//! under pressure (shed policy `degrade`), or are shed outright with a
-//! typed outcome once the queue is full. Because the simulation is a
-//! pure sequential function of deterministic inputs, queue depth, wait
-//! percentiles and shed/degraded counters are bit-identical for every
-//! worker count, exactly like the cache counters.
+//! sequential stage advances the [`crate::admission`] virtual-clock
+//! simulation ([`crate::admission::AdmissionSim`]) over the per-request
+//! service times stages 2 and 4 produced: requests wait in a
+//! per-session round-robin queue for one of the simulated executors,
+//! degrade to Level-3 / selection-free service under pressure (shed
+//! policy `degrade`), or are shed outright with a typed outcome once
+//! the queue is full. Because the simulation is a pure sequential
+//! function of deterministic inputs — and is fed incrementally, one
+//! offer per request, no matter how the batches fall — queue depth,
+//! wait percentiles and shed/degraded counters are bit-identical for
+//! every worker count and every batching, exactly like the cache
+//! counters.
 //!
 //! Admission is simulated at the *dispatch* boundary: the cache plan
 //! (stage 1) still walks every request in canonical order, so a later
@@ -50,8 +61,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lim_core::{
-    resolve_threads, sharded_map, Pipeline, Policy, SearchLevel, SearchLevels, ToolController,
-    ToolSelection, DEFAULT_CONTEXT, REDUCED_CONTEXT,
+    Pipeline, Policy, SearchLevel, SearchLevels, ToolController, ToolSelection, DEFAULT_CONTEXT,
+    REDUCED_CONTEXT,
 };
 use lim_embed::Embedding;
 use lim_llm::recommender::{recommend_descriptions, stable_text_seed};
@@ -62,7 +73,7 @@ use lim_workloads::{Query, Workload};
 
 use lim_core::{levels_from_snapshot, Snapshot, SnapshotError};
 
-use crate::admission::{self, AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
+use crate::admission::{AdmissionConfig, AdmissionOutcome, Disposition};
 use crate::cache::{CacheStats, Lookup, LruCache};
 use crate::report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
 use crate::snapshot as snap;
@@ -73,6 +84,29 @@ use crate::snapshot as snap;
 pub const SNAPSHOT_DECODE_SECONDS_PER_BYTE: f64 = 1e-9;
 
 /// Serving-engine tunables.
+///
+/// Construct via [`ServeConfig::builder`] (or start from
+/// [`ServeConfig::default`] and override fields): the struct is
+/// `#[non_exhaustive]`, so downstream struct literals do not compile —
+/// new knobs can join without breaking anyone.
+///
+/// # Examples
+///
+/// ```
+/// use lim_serve::{AdmissionConfig, ServeConfig, ShedPolicy};
+///
+/// let config = ServeConfig::builder()
+///     .caches(512, 2048)
+///     .admission(AdmissionConfig {
+///         queue_depth: 8,
+///         servers: 2,
+///         shed_policy: ShedPolicy::Degrade,
+///     })
+///     .build();
+/// assert_eq!(config.embed_cache_capacity, 512);
+/// assert_eq!(config.admission.servers, 2);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Tool-presentation policy served to every request.
@@ -112,6 +146,78 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Starts a builder seeded with [`ServeConfig::default`].
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`] — the supported way to construct one
+/// (the config struct itself is `#[non_exhaustive]`). Every setter
+/// defaults to the [`ServeConfig::default`] value when not called.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Tool-presentation policy served to every request.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Quantization of the served model.
+    pub fn quant(mut self, quant: Quant) -> Self {
+        self.config.quant = quant;
+        self
+    }
+
+    /// Base seed for the agent-call draws (the pipeline seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Capacities of the query-embedding cache and the tool-selection
+    /// memo, in entries.
+    pub fn caches(mut self, embed_cache_capacity: usize, memo_capacity: usize) -> Self {
+        self.config.embed_cache_capacity = embed_cache_capacity;
+        self.config.memo_capacity = memo_capacity;
+        self
+    }
+
+    /// Simulated cost knobs: seconds to encode one text with the
+    /// sentence embedder, and seconds for one k-NN probe against one
+    /// search level.
+    pub fn costs(mut self, embed_seconds_per_text: f64, knn_seconds_per_level: f64) -> Self {
+        self.config.embed_seconds_per_text = embed_seconds_per_text;
+        self.config.knn_seconds_per_level = knn_seconds_per_level;
+        self
+    }
+
+    /// Whether to pre-warm the embedding cache with the training queries
+    /// at startup.
+    pub fn prewarm(mut self, prewarm: bool) -> Self {
+        self.config.prewarm = prewarm;
+        self
+    }
+
+    /// Backpressure layer: bounded queue, fairness and shed policy.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
 /// Cached latent footprint of one normalized query: the recommender's
 /// descriptions plus their `Ẽ` context embeddings (and the plain query
 /// embedding, which the Gorilla policy retrieves with).
@@ -147,7 +253,7 @@ pub(crate) enum SelectionSource {
 
 /// Selection-overhead class a request is billed for.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum CostClass {
+pub(crate) enum CostClass {
     /// Session fast path or memo hit: lookup only, no simulated cost.
     Free,
     /// Embedding-cache hit: pay only the k-NN arbitration.
@@ -158,7 +264,7 @@ enum CostClass {
 
 /// One planned request, produced by stage 1.
 #[derive(Debug, Clone)]
-struct PlannedRequest {
+pub(crate) struct PlannedRequest {
     query_index: usize,
     source: SelectionSource,
     cost: CostClass,
@@ -166,8 +272,8 @@ struct PlannedRequest {
 
 /// One unique selection job, produced by stage 1 and run by stage 2.
 #[derive(Debug, Clone)]
-struct SelectionJob {
-    key: String,
+pub(crate) struct SelectionJob {
+    pub(crate) key: String,
     /// First request that demanded the key (supplies the query text).
     query_index: usize,
     /// Embeddings recovered from the cache, if the embed lookup hit.
@@ -179,9 +285,9 @@ struct SelectionJob {
 }
 
 /// Output of one selection job.
-struct ComputedSelection {
-    embeddings: Arc<QueryEmbeddings>,
-    selection: Arc<ToolSelection>,
+pub(crate) struct ComputedSelection {
+    pub(crate) embeddings: Arc<QueryEmbeddings>,
+    pub(crate) selection: Arc<ToolSelection>,
     /// Simulated seconds for the cold path (recommender + embed + k-NN).
     cold_seconds: f64,
     /// Simulated seconds when only the k-NN arbitration runs.
@@ -191,13 +297,24 @@ struct ComputedSelection {
 }
 
 /// Per-request outcome used for aggregation.
-struct RequestOutcome {
+pub(crate) struct RequestOutcome {
     success: bool,
     tool_correct: bool,
     offered_tools: usize,
     level: Option<SearchLevel>,
-    seconds: f64,
+    pub(crate) seconds: f64,
     joules: f64,
+}
+
+/// Scalar report metadata the aggregation stage needs — what a trace
+/// supplies directly and a streaming session reconstructs from its
+/// [`crate::StreamMeta`] plus the submitted requests.
+pub(crate) struct ReportScope {
+    pub(crate) trace_seed: u64,
+    pub(crate) zipf_s: f64,
+    pub(crate) sessions: usize,
+    pub(crate) unique_queries: usize,
+    pub(crate) arrivals: lim_workloads::trace::ArrivalProcess,
 }
 
 /// A long-lived serving engine: owns the catalog, the embedder and the
@@ -437,7 +554,7 @@ impl ServeEngine {
 
     /// The memo key: normalized query text qualified by policy and level
     /// configuration, so a reconfigured engine never reads stale entries.
-    fn memo_key(&self, normalized: &str) -> String {
+    pub(crate) fn memo_key(&self, normalized: &str) -> String {
         let levels_tag = match self.config.policy {
             Policy::LessIsMore { config } => {
                 format!("L12-t{:08x}", config.fallback_threshold.to_bits())
@@ -532,6 +649,11 @@ impl ServeEngine {
     /// Accuracy, latency and cache numbers are bit-identical for every
     /// worker count; only wall-clock throughput varies.
     ///
+    /// This is a thin wrapper over the incremental streaming API: it
+    /// opens a [`crate::ServeSession`], submits every request in
+    /// canonical (session-major) order and finishes — so the batch and
+    /// streamed paths share one code path and cannot diverge.
+    ///
     /// # Errors
     ///
     /// Rejects traces generated for a different benchmark or referencing
@@ -558,211 +680,147 @@ impl ServeEngine {
         }
         trace.validate_arrivals()?;
 
-        let workers = resolve_threads(workers);
-        let started = std::time::Instant::now();
-        let embed_before = self.embed_cache.stats();
-        let memo_before = self.memo.stats();
-        let session_fast_before = self.session_fast_hits;
-
-        // A `Pending` selection indexes the *previous* trace's job table;
-        // resuming sessions must re-resolve through the memo instead.
-        for state in self.sessions.values_mut() {
-            if matches!(state.last_selection, Some(SelectionSource::Pending(_))) {
-                state.last_key = None;
-                state.last_selection = None;
-            }
-        }
-
-        // ---- Stage 1: sequential cache plan.
-        let (planned, jobs) = self.plan(trace);
-
-        // ---- Stage 2: parallel unique-selection compute.
-        let pipeline = Pipeline::new(&self.workload, &self.levels, &self.model, self.config.quant)
-            .with_seed(self.config.seed);
-        let computed: Vec<ComputedSelection> = sharded_map(&jobs, workers, |_, job| {
-            self.run_selection_job(&pipeline, job)
-        });
-
-        // ---- Stage 3: sequential cache fill (keeps the engine warm for
-        // the next trace). Fills are unconditional: `fill` no-ops on
-        // already-filled slots, and a key whose embed entry was evicted
-        // and re-reserved mid-trace must not be left valueless.
-        for (job, result) in jobs.iter().zip(&computed) {
-            self.embed_cache
-                .fill(&job.key, Arc::clone(&result.embeddings));
-            self.memo
-                .fill(&self.memo_key(&job.key), Arc::clone(&result.selection));
-        }
-
-        // ---- Stage 4: parallel chain execution.
-        let outcomes: Vec<RequestOutcome> = sharded_map(&planned, workers, |_, request| {
-            self.execute_request(&pipeline, request, &computed)
-        });
-
-        // ---- Stage 5: sequential virtual-clock admission replay.
-        // The degrade path serves the Level-3 full catalog with zero
-        // selection work, so its alternative outcome is computed for
-        // every request up front (parallel, deterministic) and the
-        // sequential simulation just picks per request.
-        let needs_degraded = self.config.admission.enabled()
-            && self.config.admission.shed_policy == ShedPolicy::Degrade
-            && trace.arrivals != lim_workloads::trace::ArrivalProcess::BackToBack
-            && !matches!(self.config.policy, Policy::Default);
-        let degraded_outcomes: Option<Vec<RequestOutcome>> = needs_degraded.then(|| {
-            sharded_map(&planned, workers, |_, request| {
-                self.execute_degraded(&pipeline, request)
-            })
-        });
+        let meta = crate::StreamMeta {
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            arrivals: trace.arrivals,
+            sessions: Some(trace.sessions.len()),
+        };
+        let mut stream = self.begin_stream(meta, workers);
         let arrivals = trace.arrival_seconds();
-        let session_of: Vec<u64> = trace
-            .sessions
-            .iter()
-            .flat_map(|s| std::iter::repeat_n(s.id, s.query_indices.len()))
-            .collect();
-        let service: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
-        let degraded_service: Option<Vec<f64>> = degraded_outcomes
-            .as_ref()
-            .map(|d| d.iter().map(|o| o.seconds).collect());
-        let admission = admission::simulate(
-            arrivals.as_deref(),
-            &session_of,
-            &service,
-            degraded_service.as_deref(),
-            &self.config.admission,
-        );
-
-        let wall_seconds = started.elapsed().as_secs_f64();
-        self.requests_served += planned.len() as u64;
-        Ok(self.aggregate(
-            trace,
-            workers,
-            &outcomes,
-            degraded_outcomes.as_deref(),
-            &admission,
-            embed_before,
-            memo_before,
-            session_fast_before,
-            wall_seconds,
-        ))
-    }
-
-    /// Stage 1: resolve session fast paths and both caches in canonical
-    /// order; emit the planned requests plus the unique job table.
-    fn plan(&mut self, trace: &SessionTrace) -> (Vec<PlannedRequest>, Vec<SelectionJob>) {
-        let mut planned = Vec::with_capacity(trace.requests());
-        let mut jobs: Vec<SelectionJob> = Vec::new();
-        let mut slot_of: HashMap<String, usize> = HashMap::new();
-
+        let mut next = 0usize;
         for session in &trace.sessions {
             for &query_index in &session.query_indices {
-                if let Policy::Default = self.config.policy {
-                    planned.push(PlannedRequest {
-                        query_index,
-                        source: SelectionSource::FullCatalog,
-                        cost: CostClass::Free,
-                    });
-                    continue;
-                }
-                let query = &self.workload.queries[query_index];
-                let key = normalize_query(&query.text);
-                let state = self.sessions.entry(session.id).or_default();
-
-                // Per-session warm controller: a session repeating its own
-                // previous query bypasses the shared caches entirely.
-                if state.last_key.as_deref() == Some(key.as_str()) {
-                    let source = state
-                        .last_selection
-                        .clone()
-                        .expect("fast path implies a resolved previous request");
-                    self.session_fast_hits += 1;
-                    planned.push(PlannedRequest {
-                        query_index,
-                        source,
-                        cost: CostClass::Free,
-                    });
-                    continue;
-                }
-
-                // Every request conceptually embeds its query first, so
-                // the embedding cache is consulted per request — *before*
-                // the memo. A `Reserved` outcome means an earlier request
-                // in this trace already scheduled the compute: by the
-                // time anything executes (stage 4) the value exists, so
-                // it counts as a hit, exactly as a sequential server
-                // would see it.
-                let embed_lookup = self.embed_cache.lookup(&key);
-                let memo_key = self.memo_key(&key);
-                let ensure_job = |jobs: &mut Vec<SelectionJob>,
-                                  slot_of: &mut HashMap<String, usize>,
-                                  cached: Option<Arc<QueryEmbeddings>>,
-                                  embeddings_only: bool|
-                 -> usize {
-                    match slot_of.get(&key) {
-                        Some(&slot) => {
-                            // A later requester that needs full cost
-                            // accounting upgrades an embeddings-only
-                            // refill (jobs run after all planning).
-                            if !embeddings_only {
-                                jobs[slot].embeddings_only = false;
-                            }
-                            slot
-                        }
-                        None => {
-                            jobs.push(SelectionJob {
-                                key: key.clone(),
-                                query_index,
-                                cached_embeddings: cached,
-                                embeddings_only,
-                            });
-                            slot_of.insert(key.clone(), jobs.len() - 1);
-                            jobs.len() - 1
-                        }
-                    }
-                };
-                let (source, cost) = match self.memo.lookup(&memo_key) {
-                    Lookup::Hit(selection) => {
-                        if matches!(embed_lookup, Lookup::Miss) {
-                            // The embedding tier lost the entry while the
-                            // memo kept its own; schedule a refill so the
-                            // reserved slot gets a value (the request
-                            // itself is served from the memo for free).
-                            ensure_job(&mut jobs, &mut slot_of, None, true);
-                        }
-                        (SelectionSource::Ready(selection), CostClass::Free)
-                    }
-                    Lookup::Reserved => {
-                        // Reserved earlier in this trace: the slot exists.
-                        let slot = slot_of[&key];
-                        (SelectionSource::Pending(slot), CostClass::Free)
-                    }
-                    Lookup::Miss => {
-                        let (cached, cost) = match &embed_lookup {
-                            Lookup::Hit(e) => (Some(Arc::clone(e)), CostClass::KnnOnly),
-                            // Pending embeddings: the slot's job computes
-                            // them once; this request re-runs arbitration
-                            // only.
-                            Lookup::Reserved => (None, CostClass::KnnOnly),
-                            Lookup::Miss => (None, CostClass::Cold),
-                        };
-                        let slot = ensure_job(&mut jobs, &mut slot_of, cached, false);
-                        (SelectionSource::Pending(slot), cost)
-                    }
-                };
-                let state = self.sessions.entry(session.id).or_default();
-                state.last_key = Some(key);
-                state.last_selection = Some(source.clone());
-                planned.push(PlannedRequest {
+                stream.submit(crate::StreamRequest {
+                    session: session.id,
                     query_index,
-                    source,
-                    cost,
-                });
+                    arrival_s: arrivals.as_ref().map(|a| a[next]),
+                })?;
+                next += 1;
             }
         }
-        (planned, jobs)
+        Ok(stream.finish())
+    }
+
+    /// Stage 1, one request: resolve the session fast path and both
+    /// caches in submission order; record the request's hit class plus a
+    /// slot into the current batch's dense table of unique selection
+    /// jobs.
+    pub(crate) fn plan_request(
+        &mut self,
+        session_id: u64,
+        query_index: usize,
+        jobs: &mut Vec<SelectionJob>,
+        slot_of: &mut HashMap<String, usize>,
+    ) -> PlannedRequest {
+        if let Policy::Default = self.config.policy {
+            return PlannedRequest {
+                query_index,
+                source: SelectionSource::FullCatalog,
+                cost: CostClass::Free,
+            };
+        }
+        let query = &self.workload.queries[query_index];
+        let key = normalize_query(&query.text);
+        let state = self.sessions.entry(session_id).or_default();
+
+        // Per-session warm controller: a session repeating its own
+        // previous query bypasses the shared caches entirely.
+        if state.last_key.as_deref() == Some(key.as_str()) {
+            let source = state
+                .last_selection
+                .clone()
+                .expect("fast path implies a resolved previous request");
+            self.session_fast_hits += 1;
+            return PlannedRequest {
+                query_index,
+                source,
+                cost: CostClass::Free,
+            };
+        }
+
+        // Every request conceptually embeds its query first, so the
+        // embedding cache is consulted per request — *before* the memo.
+        // A `Reserved` outcome means an earlier request in this batch
+        // already scheduled the compute: by the time anything executes
+        // (stage 4) the value exists, so it counts as a hit, exactly as
+        // a sequential server would see it.
+        let embed_lookup = self.embed_cache.lookup(&key);
+        let memo_key = self.memo_key(&key);
+        let ensure_job = |jobs: &mut Vec<SelectionJob>,
+                          slot_of: &mut HashMap<String, usize>,
+                          cached: Option<Arc<QueryEmbeddings>>,
+                          embeddings_only: bool|
+         -> usize {
+            match slot_of.get(&key) {
+                Some(&slot) => {
+                    // A later requester that needs full cost accounting
+                    // upgrades an embeddings-only refill (jobs run after
+                    // all planning).
+                    if !embeddings_only {
+                        jobs[slot].embeddings_only = false;
+                    }
+                    slot
+                }
+                None => {
+                    jobs.push(SelectionJob {
+                        key: key.clone(),
+                        query_index,
+                        cached_embeddings: cached,
+                        embeddings_only,
+                    });
+                    slot_of.insert(key.clone(), jobs.len() - 1);
+                    jobs.len() - 1
+                }
+            }
+        };
+        let (source, cost) = match self.memo.lookup(&memo_key) {
+            Lookup::Hit(selection) => {
+                if matches!(embed_lookup, Lookup::Miss) {
+                    // The embedding tier lost the entry while the memo
+                    // kept its own; schedule a refill so the reserved
+                    // slot gets a value (the request itself is served
+                    // from the memo for free).
+                    ensure_job(jobs, slot_of, None, true);
+                }
+                (SelectionSource::Ready(selection), CostClass::Free)
+            }
+            Lookup::Reserved => {
+                // Reserved earlier in this batch: the slot exists (every
+                // reservation schedules a job, and fills land at the end
+                // of each batch, so a `Reserved` outcome can only come
+                // from the current batch).
+                let slot = slot_of[&key];
+                (SelectionSource::Pending(slot), CostClass::Free)
+            }
+            Lookup::Miss => {
+                let (cached, cost) = match &embed_lookup {
+                    Lookup::Hit(e) => (Some(Arc::clone(e)), CostClass::KnnOnly),
+                    // Pending embeddings: the slot's job computes them
+                    // once; this request re-runs arbitration only.
+                    Lookup::Reserved => (None, CostClass::KnnOnly),
+                    Lookup::Miss => (None, CostClass::Cold),
+                };
+                let slot = ensure_job(jobs, slot_of, cached, false);
+                (SelectionSource::Pending(slot), cost)
+            }
+        };
+        let state = self.sessions.entry(session_id).or_default();
+        state.last_key = Some(key);
+        state.last_selection = Some(source.clone());
+        PlannedRequest {
+            query_index,
+            source,
+            cost,
+        }
     }
 
     /// Stage 2: one unique selection job (pure in the normalized query).
-    fn run_selection_job(&self, pipeline: &Pipeline<'_>, job: &SelectionJob) -> ComputedSelection {
+    pub(crate) fn run_selection_job(
+        &self,
+        pipeline: &Pipeline<'_>,
+        job: &SelectionJob,
+    ) -> ComputedSelection {
         let query = &self.workload.queries[job.query_index];
         let embeddings = match &job.cached_embeddings {
             Some(cached) => Arc::clone(cached),
@@ -804,7 +862,7 @@ impl ServeEngine {
     }
 
     /// Stage 4: execute one request's gold chain under its selection.
-    fn execute_request(
+    pub(crate) fn execute_request(
         &self,
         pipeline: &Pipeline<'_>,
         request: &PlannedRequest,
@@ -852,7 +910,7 @@ impl ServeEngine {
     /// A degraded request pays the vanilla full-prompt execution but
     /// nothing for selection — the recommender, the `Ẽ` embeddings and
     /// the k-NN arbitration are all skipped.
-    fn execute_degraded(
+    pub(crate) fn execute_degraded(
         &self,
         pipeline: &Pipeline<'_>,
         request: &PlannedRequest,
@@ -872,9 +930,9 @@ impl ServeEngine {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn aggregate(
+    pub(crate) fn aggregate(
         &self,
-        trace: &SessionTrace,
+        scope: &ReportScope,
         workers: usize,
         outcomes: &[RequestOutcome],
         degraded_outcomes: Option<&[RequestOutcome]>,
@@ -915,12 +973,12 @@ impl ServeEngine {
             quant: self.config.quant,
             policy: self.config.policy.label(),
             engine_seed: self.config.seed,
-            trace_seed: trace.seed,
-            zipf_s: trace.zipf_s,
+            trace_seed: scope.trace_seed,
+            zipf_s: scope.zipf_s,
             workers,
-            sessions: trace.sessions.len(),
+            sessions: scope.sessions,
             requests: outcomes.len(),
-            unique_queries: trace.unique_queries(),
+            unique_queries: scope.unique_queries,
             success_rate: executed().filter(|o| o.success).count() as f64 / n,
             tool_accuracy: executed().filter(|o| o.tool_correct).count() as f64 / n,
             avg_offered_tools: executed().map(|o| o.offered_tools as f64).sum::<f64>() / executed_n,
@@ -942,7 +1000,7 @@ impl ServeEngine {
             session_fast_hits: self.session_fast_hits - session_fast_before,
             boot: self.boot.clone(),
             admission: AdmissionReport {
-                arrivals: trace.arrivals.label(),
+                arrivals: scope.arrivals.label(),
                 queue_depth: self.config.admission.queue_depth,
                 servers: self.config.admission.effective_servers(),
                 shed_policy: self.config.admission.shed_policy.label().to_owned(),

@@ -10,6 +10,13 @@
 //! * [`ServeEngine`] — owns the tool catalog, the embedder and the
 //!   Arc-shared read-only search-level indexes, and keeps per-session
 //!   controller state warm across chain steps and traces;
+//! * [`ServeSession`] — the incremental ingestion API
+//!   ([`ServeEngine::begin_stream`]): requests are submitted one at a
+//!   time or in batches as they arrive, each drain advances the
+//!   deterministic stages plus the virtual-clock admission queue, and
+//!   the finished report is bit-identical to replaying the same stream
+//!   through [`ServeEngine::process_trace`] — which is itself a thin
+//!   wrapper over a session;
 //! * [`cache::LruCache`] — the seeded-LRU behind both the
 //!   query-embedding cache (recommender output + `Ẽ` embeddings) and the
 //!   tool-selection memo (keyed by normalized query, policy and level
@@ -67,10 +74,9 @@
 //!     ..TraceConfig::default()
 //! });
 //! let model = lim_llm::ModelProfile::by_name("qwen2-7b").expect("model exists");
-//! let config = ServeConfig {
-//!     admission: AdmissionConfig { queue_depth: 8, servers: 1, shed_policy: ShedPolicy::Reject },
-//!     ..ServeConfig::default()
-//! };
+//! let config = ServeConfig::builder()
+//!     .admission(AdmissionConfig { queue_depth: 8, servers: 1, shed_policy: ShedPolicy::Reject })
+//!     .build();
 //! let mut engine = ServeEngine::new(workload, model, config);
 //! let report = engine.process_trace(&trace, 2).expect("valid trace");
 //! assert!(report.admission.shed > 0, "overload must shed");
@@ -83,14 +89,18 @@ pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod report;
+pub mod session;
 pub mod snapshot;
+pub mod wire;
 
-pub use admission::{AdmissionConfig, AdmissionOutcome, Disposition, ShedPolicy};
+pub use admission::{AdmissionConfig, AdmissionOutcome, AdmissionSim, Disposition, ShedPolicy};
 pub use cache::{CacheStats, LruCache};
 pub use engine::{
-    normalize_query, QueryEmbeddings, ServeConfig, ServeEngine, SNAPSHOT_DECODE_SECONDS_PER_BYTE,
+    normalize_query, QueryEmbeddings, ServeConfig, ServeConfigBuilder, ServeEngine,
+    SNAPSHOT_DECODE_SECONDS_PER_BYTE,
 };
 pub use report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
+pub use session::{RequestEvent, ServeSession, StreamMeta, StreamRequest, Ticket};
 
 #[cfg(test)]
 mod tests;

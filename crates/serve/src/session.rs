@@ -1,0 +1,466 @@
+//! The incremental serving session: `submit` → `drain`/`tick` → `finish`.
+//!
+//! [`ServeEngine::process_trace`] replays a whole trace at once, but a
+//! live front-end sees requests one at a time. [`ServeSession`] is the
+//! streaming shape of the same engine: requests are [`ServeSession::submit`]ted
+//! as they arrive, [`ServeSession::drain`] advances the deterministic
+//! plan/compute/fill/execute stages plus the virtual-clock admission
+//! queue over the batch accumulated so far, and [`ServeSession::finish`]
+//! produces the exact [`ServeReport`] the batch replay would have
+//! produced — `process_trace` *is* a `ServeSession` fed the whole trace
+//! and drained once, so the two paths cannot diverge (one code path, not
+//! two).
+//!
+//! # Why batching boundaries cannot change the numbers
+//!
+//! Every observable number is a pure function of the *lookup sequence*,
+//! which is the submission order regardless of how it is chopped into
+//! drains:
+//!
+//! * The caches evolve only in the sequential plan stage, in submission
+//!   order. `fill` never touches recency or counters (and insertions are
+//!   counted at reservation), so *when* fills land — per batch or at the
+//!   end of a trace — is unobservable.
+//! * A key resolved `Reserved`/`Pending` inside one big batch resolves
+//!   `Hit`/`Ready` across a drain boundary instead; both count as hits,
+//!   bill the same [cost class](crate::ServeConfig), and carry the same
+//!   selection value (selection is a pure function of the normalized
+//!   query).
+//! * Admission is driven through the incremental
+//!   [`AdmissionSim`] one offer per request in
+//!   submission order — the batch path drives the identical machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_serve::{ServeConfig, ServeEngine, StreamMeta, StreamRequest};
+//!
+//! let workload = lim_workloads::bfcl(7, 40);
+//! let model = lim_llm::ModelProfile::by_name("llama3.1-8b").expect("model exists");
+//! let mut engine = ServeEngine::new(workload, model, ServeConfig::default());
+//!
+//! let mut session = engine.begin_stream(StreamMeta::default(), 1);
+//! let ticket = session
+//!     .submit(StreamRequest { session: 0, query_index: 3, arrival_s: None })
+//!     .expect("index in pool");
+//! assert_eq!(ticket.index(), 0);
+//! let events = session.drain();
+//! assert_eq!(events.len(), 1, "closed loop resolves instantly");
+//! let report = session.finish();
+//! assert_eq!(report.requests, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lim_core::{resolve_threads, sharded_map, Pipeline, Policy};
+use lim_workloads::trace::ArrivalProcess;
+
+use crate::admission::{AdmissionSim, Disposition, ShedPolicy};
+use crate::cache::CacheStats;
+use crate::engine::{
+    ComputedSelection, ReportScope, RequestOutcome, SelectionJob, SelectionSource, ServeEngine,
+};
+use crate::report::ServeReport;
+
+/// Trace-level metadata a streaming front-end declares up front (the
+/// wire protocol's `hello` frame carries exactly these fields): the
+/// report inputs that are not derivable from the requests themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMeta {
+    /// Seed the trace (or live generator) was drawn with; echoed in the
+    /// report as `trace_seed`.
+    pub trace_seed: u64,
+    /// Zipf popularity exponent of the stream; echoed in the report.
+    pub zipf_s: f64,
+    /// Arrival process of the stream. Anything but
+    /// [`ArrivalProcess::BackToBack`] makes the stream *open-loop*:
+    /// every request must then carry an arrival timestamp, and the
+    /// admission queue participates.
+    pub arrivals: ArrivalProcess,
+    /// Session count to report, when the caller knows it (a replayed
+    /// trace does). `None` counts runs of consecutive session ids in
+    /// submission order, which equals the trace's session count for any
+    /// session-major stream.
+    pub sessions: Option<usize>,
+}
+
+impl Default for StreamMeta {
+    fn default() -> Self {
+        Self {
+            trace_seed: 0,
+            zipf_s: 0.0,
+            arrivals: ArrivalProcess::BackToBack,
+            sessions: None,
+        }
+    }
+}
+
+/// One request entering a [`ServeSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRequest {
+    /// Session (conversation) the request belongs to — the per-session
+    /// fast-path and admission-fairness key.
+    pub session: u64,
+    /// Index into the engine workload's query pool (trace-v1 semantics).
+    pub query_index: usize,
+    /// Virtual arrival instant in seconds. Required on open-loop
+    /// streams, forbidden on closed-loop ones.
+    pub arrival_s: Option<f64>,
+}
+
+/// Receipt for one submitted request: its index in global submission
+/// order. [`RequestEvent`]s and the report's per-request vectors refer
+/// back to this index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(pub(crate) usize);
+
+impl Ticket {
+    /// Zero-based position of the request in submission order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A request's fate, emitted once its admission disposition resolves —
+/// immediately for idle-served and shed requests, at a later drain for
+/// queued ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestEvent {
+    /// Which request resolved.
+    pub ticket: Ticket,
+    /// Its admission verdict (wait time included for admitted requests).
+    pub disposition: Disposition,
+    /// Simulated service seconds of the outcome actually served —
+    /// degraded requests bill the degraded (Level-3, selection-free)
+    /// path. `None` for shed requests, which never execute.
+    pub service_s: Option<f64>,
+}
+
+/// Output of one engine drain batch.
+pub(crate) struct DrainOutput {
+    outcomes: Vec<RequestOutcome>,
+    /// Degraded-path alternatives, index-aligned; empty when the
+    /// admission config can never degrade.
+    degraded: Vec<RequestOutcome>,
+}
+
+impl ServeEngine {
+    /// Opens an incremental serving session. The session borrows the
+    /// engine exclusively until [`ServeSession::finish`]; caches,
+    /// per-session fast-path state and lifetime counters keep evolving
+    /// across sessions exactly as they do across traces.
+    pub fn begin_stream(&mut self, meta: StreamMeta, workers: usize) -> ServeSession<'_> {
+        let workers = resolve_threads(workers);
+        // Defensive: a `Pending` selection source indexes a batch job
+        // table that no longer exists. `drain_batch` re-anchors every
+        // touched session to `Ready` before returning, so nothing should
+        // ever be `Pending` here — but a session must never start from a
+        // dangling slot.
+        for state in self.sessions.values_mut() {
+            if matches!(state.last_selection, Some(SelectionSource::Pending(_))) {
+                state.last_key = None;
+                state.last_selection = None;
+            }
+        }
+        let open_loop = meta.arrivals != ArrivalProcess::BackToBack;
+        // The degrade path serves the Level-3 full catalog with zero
+        // selection work; its alternative outcome is computed for every
+        // request up front (parallel, deterministic) so the sequential
+        // admission walk just picks per request.
+        let needs_degraded = self.config.admission.enabled()
+            && self.config.admission.shed_policy == ShedPolicy::Degrade
+            && open_loop
+            && !matches!(self.config.policy, Policy::Default);
+        let sim = AdmissionSim::new(self.config.admission, open_loop);
+        let embed_before = self.embed_cache.stats();
+        let memo_before = self.memo.stats();
+        let session_fast_before = self.session_fast_hits;
+        ServeSession {
+            engine: self,
+            workers,
+            meta,
+            open_loop,
+            needs_degraded,
+            started: std::time::Instant::now(),
+            embed_before,
+            memo_before,
+            session_fast_before,
+            sim,
+            pending: Vec::new(),
+            outcomes: Vec::new(),
+            degraded_outcomes: Vec::new(),
+            queries: Vec::new(),
+            session_runs: 0,
+            last_session: None,
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Runs one submitted batch through the deterministic stages:
+    /// sequential cache plan, parallel unique-selection compute,
+    /// sequential fill, parallel execute (plus the degraded alternative
+    /// when requested). Admission is *not* part of the batch — the
+    /// caller owns the incremental [`AdmissionSim`].
+    pub(crate) fn drain_batch(
+        &mut self,
+        batch: &[StreamRequest],
+        workers: usize,
+        needs_degraded: bool,
+    ) -> DrainOutput {
+        // ---- Stage 1: sequential cache plan in submission (canonical)
+        // order. Cache state evolves exactly as a sequential server
+        // would evolve it.
+        let mut jobs: Vec<SelectionJob> = Vec::new();
+        let mut slot_of: HashMap<String, usize> = HashMap::new();
+        let mut planned = Vec::with_capacity(batch.len());
+        for request in batch {
+            planned.push(self.plan_request(
+                request.session,
+                request.query_index,
+                &mut jobs,
+                &mut slot_of,
+            ));
+        }
+
+        // ---- Stage 2: parallel unique-selection compute.
+        let pipeline = Pipeline::new(&self.workload, &self.levels, &self.model, self.config.quant)
+            .with_seed(self.config.seed);
+        let computed: Vec<ComputedSelection> = sharded_map(&jobs, workers, |_, job| {
+            self.run_selection_job(&pipeline, job)
+        });
+
+        // ---- Stage 3: sequential cache fill (keeps the engine warm for
+        // the next batch). Fills are unconditional: `fill` no-ops on
+        // already-filled slots, and a key whose embed entry was evicted
+        // and re-reserved mid-batch must not be left valueless.
+        for (job, result) in jobs.iter().zip(&computed) {
+            self.embed_cache
+                .fill(&job.key, Arc::clone(&result.embeddings));
+            self.memo
+                .fill(&self.memo_key(&job.key), Arc::clone(&result.selection));
+        }
+
+        // Re-anchor the per-session fast path: a `Pending` source
+        // indexes this batch's job table, which dies now. Resolving it
+        // to the computed selection keeps the fast path armed across
+        // batch (and trace) boundaries; the selection value is identical
+        // to what the memo holds for the same key.
+        for request in batch {
+            if let Some(state) = self.sessions.get_mut(&request.session) {
+                if let Some(SelectionSource::Pending(slot)) = &state.last_selection {
+                    state.last_selection = Some(SelectionSource::Ready(Arc::clone(
+                        &computed[*slot].selection,
+                    )));
+                }
+            }
+        }
+
+        // ---- Stage 4: parallel chain execution.
+        let outcomes: Vec<RequestOutcome> = sharded_map(&planned, workers, |_, request| {
+            self.execute_request(&pipeline, request, &computed)
+        });
+        let degraded: Vec<RequestOutcome> = if needs_degraded {
+            sharded_map(&planned, workers, |_, request| {
+                self.execute_degraded(&pipeline, request)
+            })
+        } else {
+            Vec::new()
+        };
+        self.requests_served += planned.len() as u64;
+        DrainOutput { outcomes, degraded }
+    }
+}
+
+/// An in-flight incremental serving session over a mutably borrowed
+/// [`ServeEngine`]. See the [module docs](self) for the contract: any
+/// chopping of one request stream into `drain` batches — including one
+/// request at a time — produces a bit-identical report.
+pub struct ServeSession<'e> {
+    engine: &'e mut ServeEngine,
+    workers: usize,
+    meta: StreamMeta,
+    open_loop: bool,
+    needs_degraded: bool,
+    started: std::time::Instant,
+    embed_before: CacheStats,
+    memo_before: CacheStats,
+    session_fast_before: u64,
+    sim: AdmissionSim,
+    /// Submitted but not yet drained.
+    pending: Vec<StreamRequest>,
+    /// Full-quality outcome per drained request, submission order.
+    outcomes: Vec<RequestOutcome>,
+    /// Degraded-path alternatives (index-aligned) when they can be
+    /// needed.
+    degraded_outcomes: Vec<RequestOutcome>,
+    /// Every submitted query index (for the unique-query count).
+    queries: Vec<usize>,
+    /// Runs of consecutive session ids seen in submission order.
+    session_runs: usize,
+    last_session: Option<u64>,
+    last_arrival: f64,
+}
+
+impl ServeSession<'_> {
+    /// Accepts one request into the current batch. Cheap: no engine work
+    /// happens until [`ServeSession::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects query indices outside the engine's pool, a missing
+    /// arrival timestamp on an open-loop stream (or a present one on a
+    /// closed-loop stream), and arrival timestamps that decrease.
+    pub fn submit(&mut self, request: StreamRequest) -> Result<Ticket, String> {
+        let pool = self.engine.workload.queries.len();
+        if request.query_index >= pool {
+            return Err(format!(
+                "request query index {} out of range (0..{pool})",
+                request.query_index
+            ));
+        }
+        match (self.open_loop, request.arrival_s) {
+            (true, None) => {
+                return Err(format!(
+                    "open-loop stream ({}) requires an arrival timestamp per request",
+                    self.meta.arrivals.label()
+                ));
+            }
+            (false, Some(_)) => {
+                return Err(
+                    "closed-loop (back-to-back) stream carries no arrival timestamps".to_owned(),
+                );
+            }
+            (true, Some(t)) => {
+                if t < self.last_arrival {
+                    return Err(format!(
+                        "arrival {t}s decreases below {}s; arrivals must be nondecreasing",
+                        self.last_arrival
+                    ));
+                }
+                self.last_arrival = t;
+            }
+            (false, None) => {}
+        }
+        if self.last_session != Some(request.session) {
+            self.last_session = Some(request.session);
+            self.session_runs += 1;
+        }
+        self.queries.push(request.query_index);
+        self.pending.push(request);
+        Ok(Ticket(self.queries.len() - 1))
+    }
+
+    /// Requests submitted so far (drained or not).
+    pub fn submitted(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Runs the batch accumulated since the last drain through the
+    /// engine's deterministic stages and offers each request to the
+    /// virtual-clock admission queue. Returns the requests whose
+    /// disposition resolved — from this batch or earlier ones whose
+    /// executor slot came up. Queued requests resolve in a later drain
+    /// or at [`ServeSession::finish`].
+    pub fn drain(&mut self) -> Vec<RequestEvent> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let out = self
+            .engine
+            .drain_batch(&batch, self.workers, self.needs_degraded);
+        self.outcomes.extend(out.outcomes);
+        self.degraded_outcomes.extend(out.degraded);
+
+        // ---- Stage 5: sequential virtual-clock admission, one offer
+        // per request in submission order.
+        let mut events = Vec::new();
+        for request in &batch {
+            let index = self.sim.submitted();
+            let resolved = self.sim.offer(
+                request.session,
+                request.arrival_s.unwrap_or(0.0),
+                self.outcomes[index].seconds,
+                self.needs_degraded
+                    .then(|| self.degraded_outcomes[index].seconds),
+            );
+            for (idx, disposition) in resolved {
+                events.push(self.event(idx, disposition));
+            }
+        }
+        events
+    }
+
+    /// Alias for [`ServeSession::drain`], for polling-style front-ends
+    /// that advance the session on a cadence rather than per batch.
+    pub fn tick(&mut self) -> Vec<RequestEvent> {
+        self.drain()
+    }
+
+    /// Drains any pending batch, works the admission queue dry, and
+    /// aggregates the final report — exactly what
+    /// [`ServeEngine::process_trace`] returns for the same stream.
+    pub fn finish(self) -> ServeReport {
+        self.finish_with_events().0
+    }
+
+    /// [`ServeSession::finish`], also returning the tail
+    /// [`RequestEvent`]s resolved by the final queue drain (a wire
+    /// front-end still owes its client those dispositions).
+    pub fn finish_with_events(mut self) -> (ServeReport, Vec<RequestEvent>) {
+        let mut events = self.drain();
+        let tail = self.sim.drain();
+        for (idx, disposition) in tail {
+            events.push(self.event(idx, disposition));
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let mut unique = self.queries.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let scope = ReportScope {
+            trace_seed: self.meta.trace_seed,
+            zipf_s: self.meta.zipf_s,
+            sessions: self.meta.sessions.unwrap_or(self.session_runs),
+            unique_queries: unique.len(),
+            arrivals: self.meta.arrivals,
+        };
+        let admission = std::mem::replace(
+            &mut self.sim,
+            AdmissionSim::new(self.engine.config.admission, false),
+        )
+        .into_outcome();
+        let report = self.engine.aggregate(
+            &scope,
+            self.workers,
+            &self.outcomes,
+            self.needs_degraded
+                .then_some(self.degraded_outcomes.as_slice()),
+            &admission,
+            self.embed_before,
+            self.memo_before,
+            self.session_fast_before,
+            wall_seconds,
+        );
+        (report, events)
+    }
+
+    /// Builds the event for a resolved request, billing the outcome its
+    /// disposition actually serves.
+    fn event(&self, index: usize, disposition: Disposition) -> RequestEvent {
+        let service_s = match disposition {
+            Disposition::Shed => None,
+            Disposition::Degraded { .. } => Some(if self.needs_degraded {
+                self.degraded_outcomes[index].seconds
+            } else {
+                self.outcomes[index].seconds
+            }),
+            Disposition::Served { .. } => Some(self.outcomes[index].seconds),
+        };
+        RequestEvent {
+            ticket: Ticket(index),
+            disposition,
+            service_s,
+        }
+    }
+}

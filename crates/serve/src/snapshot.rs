@@ -424,8 +424,9 @@ fn selection_from_json(doc: &Value) -> Result<ToolSelection, String> {
 
 /// Serializes session warm state, sorted by session id so the same state
 /// always encodes identically. Sessions whose last selection is still
-/// `Pending` (it indexes a dead job table) are dropped — exactly what
-/// the engine itself does at the start of the next trace.
+/// `Pending` (it indexes a dead job table) are dropped — the engine
+/// re-anchors those to `Ready` at the end of every drained batch, so a
+/// `Pending` here can only mean the job table it points into is gone.
 fn sessions_to_json(sessions: &HashMap<u64, SessionState>) -> Value {
     let mut ids: Vec<u64> = sessions.keys().copied().collect();
     ids.sort_unstable();

@@ -89,12 +89,7 @@ fn caching_never_changes_outcomes_vs_uncached_engine() {
     // An engine with 1-entry caches (permanent thrash) must agree with a
     // generously cached engine on every accuracy metric.
     let (w, trace) = bfcl_trace(60, 9, 20);
-    let tiny = ServeConfig {
-        embed_cache_capacity: 1,
-        memo_capacity: 1,
-        prewarm: false,
-        ..ServeConfig::default()
-    };
+    let tiny = ServeConfig::builder().caches(1, 1).prewarm(false).build();
     let mut thrashing = ServeEngine::new(w.clone(), model(), tiny);
     let mut cached = ServeEngine::new(w, model(), ServeConfig::default());
     let a = thrashing.process_trace(&trace, 3).expect("valid trace");
@@ -135,10 +130,7 @@ fn session_fast_path_fires_on_repeated_queries() {
 fn gorilla_and_default_policies_are_served() {
     let (w, trace) = bfcl_trace(40, 11, 10);
     for policy in [Policy::Gorilla { k: 3 }, Policy::Default] {
-        let config = ServeConfig {
-            policy,
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder().policy(policy).build();
         let mut engine = ServeEngine::new(w.clone(), model(), config);
         let report = engine.process_trace(&trace, 2).expect("valid trace");
         assert_eq!(report.requests, trace.requests());
@@ -474,10 +466,7 @@ fn corrupted_or_mismatched_checkpoints_are_rejected() {
         SnapshotError::Mismatch(_)
     ));
     // Wrong engine configuration: the cached values would be stale.
-    let other_quant = ServeConfig {
-        quant: Quant::Q8_0,
-        ..ServeConfig::default()
-    };
+    let other_quant = ServeConfig::builder().quant(Quant::Q8_0).build();
     assert!(matches!(
         ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), other_quant).unwrap_err(),
         SnapshotError::Mismatch(_)
@@ -526,10 +515,7 @@ proptest! {
             requests_per_session: 5,
             ..TraceConfig::default()
         });
-        let config = ServeConfig {
-            quant: Quant::ALL[quant_ix],
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder().quant(Quant::ALL[quant_ix]).build();
         let mut sequential =
             ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
         let mut parallel = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
@@ -573,14 +559,11 @@ proptest! {
             arrivals: ArrivalProcess::Poisson { rate_rps: rate_centirps as f64 / 100.0 },
             ..TraceConfig::default()
         });
-        let config = ServeConfig {
-            admission: AdmissionConfig {
-                queue_depth,
-                servers: 1,
-                shed_policy: if degrade == 1 { ShedPolicy::Degrade } else { ShedPolicy::Reject },
-            },
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder().admission(AdmissionConfig {
+            queue_depth,
+            servers: 1,
+            shed_policy: if degrade == 1 { ShedPolicy::Degrade } else { ShedPolicy::Reject },
+        }).build();
         let mut sequential =
             ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
         let mut parallel = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
@@ -607,10 +590,7 @@ fn admission_bit_identical_across_workers_and_sheds_only_under_overload() {
         // Mean service is a few simulated seconds; 25 rps is far past a
         // single simulated executor's capacity.
         let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 25.0 });
-        let config = ServeConfig {
-            admission,
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder().admission(admission).build();
         let mut engine = ServeEngine::new(w, model(), config);
         engine.process_trace(&trace, workers).expect("valid trace")
     };
@@ -638,10 +618,7 @@ fn admission_bit_identical_across_workers_and_sheds_only_under_overload() {
     // The PR 3 baseline trace is back-to-back: the same bounded queue
     // never builds depth, waits or sheds.
     let (w, trace) = bfcl_trace(120, 7, 48);
-    let config = ServeConfig {
-        admission,
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder().admission(admission).build();
     let mut engine = ServeEngine::new(w, model(), config);
     let calm = engine.process_trace(&trace, 4).expect("valid trace");
     assert_eq!(calm.admission.shed, 0);
@@ -658,14 +635,13 @@ fn shedding_pays_accuracy_and_is_visible_in_the_report() {
     let (w, trace) = bfcl_trace(80, 3, 24);
     let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 40.0 });
     let open_loop = ServeConfig::default(); // queue disabled
-    let bounded = ServeConfig {
-        admission: AdmissionConfig {
+    let bounded = ServeConfig::builder()
+        .admission(AdmissionConfig {
             queue_depth: 4,
             servers: 1,
             shed_policy: ShedPolicy::Reject,
-        },
-        ..ServeConfig::default()
-    };
+        })
+        .build();
     let mut a = ServeEngine::new(w.clone(), model(), open_loop);
     let mut b = ServeEngine::new(w, model(), bounded);
     let unshed = a.process_trace(&trace, 2).expect("valid trace");
@@ -698,14 +674,13 @@ fn degrade_policy_absorbs_pressure_before_shedding() {
             rate_rps: 20.0,
             burst: 16,
         });
-        let config = ServeConfig {
-            admission: AdmissionConfig {
+        let config = ServeConfig::builder()
+            .admission(AdmissionConfig {
                 queue_depth: 12,
                 servers: 1,
                 shed_policy,
-            },
-            ..ServeConfig::default()
-        };
+            })
+            .build();
         let mut engine = ServeEngine::new(w, model(), config);
         engine.process_trace(&trace, 2).expect("valid trace")
     };
@@ -723,4 +698,214 @@ fn degrade_policy_absorbs_pressure_before_shedding() {
         degrading.level3_share > rejecting.level3_share,
         "degraded requests are served at Level 3"
     );
+}
+
+// ---------------------------------------------------------------------
+// Streaming ingestion (ServeSession) vs the batch replay path.
+// ---------------------------------------------------------------------
+
+/// Replays `trace` through a [`crate::ServeSession`], submitting one
+/// request at a time and draining between every two submissions — the
+/// maximally fragmented batching the incremental API allows.
+fn stream_one_at_a_time(
+    engine: &mut ServeEngine,
+    trace: &SessionTrace,
+    workers: usize,
+) -> ServeReport {
+    use crate::{StreamMeta, StreamRequest};
+    let arrivals = trace.arrival_seconds();
+    let mut stream = engine.begin_stream(
+        StreamMeta {
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            arrivals: trace.arrivals,
+            sessions: Some(trace.sessions.len()),
+        },
+        workers,
+    );
+    let mut next = 0usize;
+    for session in &trace.sessions {
+        for &query_index in &session.query_indices {
+            stream
+                .submit(StreamRequest {
+                    session: session.id,
+                    query_index,
+                    arrival_s: arrivals.as_ref().map(|a| a[next]),
+                })
+                .expect("valid request");
+            next += 1;
+            stream.drain();
+        }
+    }
+    stream.finish()
+}
+
+/// Explicit acceptance check at the CI gate's worker counts: a Poisson
+/// storm against a bounded Degrade queue, submitted one request at a
+/// time, reproduces the batch report bit for bit at workers {1, 4, 8} —
+/// and the storm actually sheds *and* degrades, so the equivalence
+/// covers the admission paths, not just the happy path. The streamed
+/// run honors the trace's recorded timestamps (no re-stamping), which
+/// is what makes the two timelines comparable at all.
+#[test]
+fn streamed_poisson_storm_matches_batch_and_exercises_shed_and_degrade() {
+    let (w, trace) = bfcl_trace(80, 3, 24);
+    let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 40.0 });
+    let config = ServeConfig::builder()
+        .admission(AdmissionConfig {
+            queue_depth: 6,
+            servers: 1,
+            shed_policy: ShedPolicy::Degrade,
+        })
+        .build();
+    let mut batch_engine = ServeEngine::new(w.clone(), model(), config);
+    let batch = batch_engine.process_trace(&trace, 4).expect("valid trace");
+    assert!(batch.admission.shed > 0, "storm must shed");
+    assert!(batch.admission.degraded > 0, "storm must degrade");
+    for workers in [1usize, 4, 8] {
+        let mut engine = ServeEngine::new(w.clone(), model(), config);
+        let streamed = stream_one_at_a_time(&mut engine, &trace, workers);
+        assert_eq!(
+            batch.deterministic_view(),
+            streamed.deterministic_view(),
+            "workers={workers}"
+        );
+        assert_eq!(batch.admission, streamed.admission, "workers={workers}");
+    }
+}
+
+/// The event stream is coherent: every submitted ticket resolves exactly
+/// once across `drain` and `finish_with_events`, shed events carry no
+/// service time and executed ones do.
+#[test]
+fn stream_events_resolve_every_ticket_exactly_once() {
+    use crate::admission::Disposition;
+    use crate::{StreamMeta, StreamRequest};
+    let (w, trace) = bfcl_trace(60, 9, 12);
+    let trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 30.0 });
+    let config = ServeConfig::builder()
+        .admission(AdmissionConfig {
+            queue_depth: 4,
+            servers: 1,
+            shed_policy: ShedPolicy::Reject,
+        })
+        .build();
+    let mut engine = ServeEngine::new(w, model(), config);
+    let arrivals = trace.arrival_seconds().expect("timed trace");
+    let mut stream = engine.begin_stream(
+        StreamMeta {
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            arrivals: trace.arrivals,
+            sessions: Some(trace.sessions.len()),
+        },
+        2,
+    );
+    let mut events = Vec::new();
+    let mut next = 0usize;
+    for s in &trace.sessions {
+        for &q in &s.query_indices {
+            stream
+                .submit(StreamRequest {
+                    session: s.id,
+                    query_index: q,
+                    arrival_s: Some(arrivals[next]),
+                })
+                .expect("valid request");
+            next += 1;
+            events.extend(stream.drain());
+        }
+    }
+    let (report, tail) = stream.finish_with_events();
+    events.extend(tail);
+    assert_eq!(events.len(), trace.requests());
+    let mut resolved = vec![0usize; trace.requests()];
+    for event in &events {
+        resolved[event.ticket.index()] += 1;
+        match event.disposition {
+            Disposition::Shed => assert!(event.service_s.is_none(), "shed never executes"),
+            _ => assert!(event.service_s.expect("admitted requests bill time") > 0.0),
+        }
+    }
+    assert!(
+        resolved.iter().all(|&n| n == 1),
+        "every ticket resolves exactly once"
+    );
+    assert_eq!(report.requests, trace.requests());
+    assert!(report.admission.shed > 0, "the storm should shed");
+}
+
+/// Streaming validation matches the batch path's: out-of-pool queries,
+/// timestamps on closed-loop streams, missing timestamps on open-loop
+/// streams and decreasing timestamps are all rejected at submit time.
+#[test]
+fn stream_submit_validates_requests() {
+    use crate::{StreamMeta, StreamRequest};
+    let w = lim_workloads::bfcl(5, 30);
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    // Closed loop: timestamps are forbidden, pool bounds enforced.
+    let mut stream = engine.begin_stream(StreamMeta::default(), 1);
+    let closed = |query_index, arrival_s| StreamRequest {
+        session: 0,
+        query_index,
+        arrival_s,
+    };
+    assert!(stream.submit(closed(999, None)).is_err());
+    assert!(stream.submit(closed(0, Some(1.0))).is_err());
+    assert!(stream.submit(closed(0, None)).is_ok());
+    let report = stream.finish();
+    assert_eq!(report.requests, 1);
+    // Open loop: timestamps required and nondecreasing.
+    let meta = StreamMeta {
+        arrivals: ArrivalProcess::Poisson { rate_rps: 1.0 },
+        ..StreamMeta::default()
+    };
+    let mut stream = engine.begin_stream(meta, 1);
+    assert!(stream.submit(closed(0, None)).is_err());
+    assert!(stream.submit(closed(0, Some(2.0))).is_ok());
+    assert!(stream.submit(closed(1, Some(1.0))).is_err());
+    let report = stream.finish();
+    assert_eq!(report.requests, 1);
+}
+
+proptest! {
+    /// The tentpole acceptance property: for random seeds and session
+    /// counts, submitting a trace one request at a time through
+    /// `ServeSession` (draining between every two submissions) produces
+    /// a report bit-identical to the batch `process_trace` path at
+    /// workers {1, 4, 8} — including shed/degrade accounting when a
+    /// Poisson storm drives a bounded Degrade queue.
+    #[test]
+    fn streamed_equals_batch_for_any_seed_sessions_and_workers(
+        seed in 0u64..200,
+        sessions in 2usize..16,
+        workers_ix in 0usize..3,
+        storm in 0usize..2,
+    ) {
+        let workers = [1usize, 4, 8][workers_ix];
+        let (w, levels) = fixture();
+        let mut trace = zipf_trace(w, &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 5,
+            ..TraceConfig::default()
+        });
+        let mut builder = ServeConfig::builder();
+        if storm == 1 {
+            trace = trace.with_arrivals(ArrivalProcess::Poisson { rate_rps: 20.0 });
+            builder = builder.admission(AdmissionConfig {
+                queue_depth: 6,
+                servers: 1,
+                shed_policy: ShedPolicy::Degrade,
+            });
+        }
+        let config = builder.build();
+        let mut batch = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let mut incremental =
+            ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let a = batch.process_trace(&trace, workers).expect("valid trace");
+        let b = stream_one_at_a_time(&mut incremental, &trace, workers);
+        prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+        prop_assert_eq!(a.admission.clone(), b.admission.clone());
+    }
 }

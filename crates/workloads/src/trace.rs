@@ -171,6 +171,17 @@ impl Default for TraceConfig {
     }
 }
 
+/// Converts an integer-microsecond arrival stamp into virtual seconds.
+///
+/// This is the *only* conversion between the wire/trace representation
+/// (bit-exact integer micros) and the float timeline the admission
+/// simulator runs on. Every consumer — batch replay, incremental
+/// decode, the wire protocol — must go through it so a streamed trace
+/// and its offline replay sit on bit-identical clocks.
+pub fn arrival_us_to_seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
 /// One serving session: an ordered run of requests against the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSession {
@@ -230,7 +241,7 @@ impl SessionTrace {
         Some(
             self.sessions
                 .iter()
-                .flat_map(|s| s.arrival_us.iter().map(|us| *us as f64 / 1e6))
+                .flat_map(|s| s.arrival_us.iter().map(|us| arrival_us_to_seconds(*us)))
                 .collect(),
         )
     }
@@ -492,6 +503,151 @@ impl SessionTrace {
         };
         trace.validate_arrivals()?;
         Ok(trace)
+    }
+}
+
+/// Incremental [`SessionTrace`] assembly: the streaming counterpart of
+/// [`SessionTrace::from_json`].
+///
+/// A batch decoder needs the whole document before it can validate
+/// anything; an ingestion front-end sees a header first and then one
+/// request at a time. `TraceBuilder` accepts exactly that shape — the
+/// header fields up front, then [`TraceBuilder::push`] per arriving
+/// request — and enforces the same invariants `from_json` does, at the
+/// moment they become checkable: pool bounds and arrival coherence per
+/// push, so a malformed stream is rejected on the offending request
+/// instead of at the end.
+///
+/// Requests for the same session id extend the current session while it
+/// is the *most recent* one; a request for any other id starts a new
+/// session. This matches canonical session-major trace order, where each
+/// session is one contiguous run.
+///
+/// # Examples
+///
+/// ```
+/// use lim_workloads::trace::{ArrivalProcess, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("bfcl", 7, 1.0, 60, ArrivalProcess::BackToBack).unwrap();
+/// b.push(0, 3, None).unwrap();
+/// b.push(0, 5, None).unwrap();
+/// b.push(1, 3, None).unwrap();
+/// let trace = b.finish();
+/// assert_eq!(trace.sessions.len(), 2);
+/// assert_eq!(trace.requests(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    trace: SessionTrace,
+    last_us: u64,
+}
+
+impl TraceBuilder {
+    /// Starts a trace from its header fields.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a `pool_size` beyond [`SessionTrace::MAX_POOL_SIZE`] —
+    /// the same sanity bound `from_json` applies.
+    pub fn new(
+        benchmark: &str,
+        seed: u64,
+        zipf_s: f64,
+        pool_size: usize,
+        arrivals: ArrivalProcess,
+    ) -> Result<Self, String> {
+        if pool_size > SessionTrace::MAX_POOL_SIZE {
+            return Err(format!(
+                "pool_size {pool_size} exceeds the {} sanity bound",
+                SessionTrace::MAX_POOL_SIZE
+            ));
+        }
+        Ok(Self {
+            trace: SessionTrace {
+                benchmark: benchmark.to_owned(),
+                seed,
+                zipf_s,
+                pool_size,
+                arrivals,
+                sessions: Vec::new(),
+            },
+            last_us: 0,
+        })
+    }
+
+    /// Appends one request to the trace under assembly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a query index outside the declared pool, an arrival
+    /// timestamp on a back-to-back trace, a missing timestamp on a timed
+    /// trace, and a timestamp that decreases below an earlier request's
+    /// — the per-request forms of the [`SessionTrace::validate_arrivals`]
+    /// invariants.
+    pub fn push(
+        &mut self,
+        session: u64,
+        query_index: usize,
+        arrival_us: Option<u64>,
+    ) -> Result<(), String> {
+        if query_index >= self.trace.pool_size {
+            return Err(format!(
+                "query index {query_index} outside the {}-query pool",
+                self.trace.pool_size
+            ));
+        }
+        let open_loop = self.trace.arrivals != ArrivalProcess::BackToBack;
+        let us = match (open_loop, arrival_us) {
+            (false, None) => None,
+            (false, Some(us)) => {
+                return Err(format!(
+                    "request carries arrival timestamp {us}us but the trace declares \
+                     back-to-back arrivals"
+                ));
+            }
+            (true, None) => {
+                return Err(format!(
+                    "trace declares {} arrivals but the request carries no timestamp",
+                    self.trace.arrivals.label()
+                ));
+            }
+            (true, Some(us)) => {
+                if us < self.last_us {
+                    return Err(format!(
+                        "arrival {us}us precedes an earlier request ({}us); \
+                         canonical order must be nondecreasing",
+                        self.last_us
+                    ));
+                }
+                self.last_us = us;
+                Some(us)
+            }
+        };
+        match self.trace.sessions.last_mut() {
+            Some(current) if current.id == session => {
+                current.query_indices.push(query_index);
+                current.arrival_us.extend(us);
+            }
+            _ => self.trace.sessions.push(TraceSession {
+                id: session,
+                query_indices: vec![query_index],
+                arrival_us: us.into_iter().collect(),
+            }),
+        }
+        Ok(())
+    }
+
+    /// Total requests pushed so far.
+    pub fn requests(&self) -> usize {
+        self.trace.requests()
+    }
+
+    /// Finishes assembly. Every invariant was enforced per push, so this
+    /// cannot fail; the result satisfies
+    /// [`SessionTrace::validate_arrivals`] by construction.
+    pub fn finish(self) -> SessionTrace {
+        debug_assert!(self.trace.validate_arrivals().is_ok());
+        self.trace
     }
 }
 

@@ -10,6 +10,8 @@
 //! lim snapshot inspect --snapshot FILE           print header + section table (no decode)
 //! lim loadgen  [options] [--out FILE]            Zipf trace -> serving engine replay
 //! lim serve    --trace FILE [options]            replay a saved session trace
+//! lim serve    --stdin | --listen SOCKET         ingest a live lim/wire-v1 stream
+//! lim wire     --trace FILE [--out FILE]         encode a trace as a wire stream
 //! lim compare  --baseline A --current B          CI bench-regression gate
 //!
 //! common options:
@@ -41,7 +43,9 @@
 //!   --shed-policy reject|degrade what to do when the queue fills (default reject)
 //!   --servers N                  simulated executors draining the queue (default 1)
 //!   --save-trace FILE            write the generated trace JSON (loadgen only)
-//!   --trace FILE                 replay this trace JSON (serve only)
+//!   --trace FILE                 replay this trace JSON (serve/wire)
+//!   --stdin                      serve: lim/wire-v1 frames on stdin/stdout
+//!   --listen SOCKET              serve: lim/wire-v1 over a unix socket
 //!   --out FILE                   write the BENCH_serve_*.json report
 //!
 //! compare options:
@@ -51,130 +55,14 @@
 
 use std::process::ExitCode;
 
+use lessismore::cli::{self, Options};
 use lessismore::core::{
-    evaluate, load_levels, normalize_against, save_levels, IndexSpec, LevelsConfig, Pipeline,
-    Policy, SearchLevels,
+    evaluate, load_levels, normalize_against, save_levels, LevelsConfig, Pipeline, Policy,
+    SearchLevels,
 };
 use lessismore::llm::{profiles, ModelProfile, Quant};
-use lessismore::serve::{AdmissionConfig, ShedPolicy};
-use lessismore::vecstore::{HnswParams, IvfParams};
 use lessismore::workloads::trace::ArrivalProcess;
 use lessismore::workloads::{bfcl, geoengine, Workload};
-
-struct Options {
-    benchmark: String,
-    model: String,
-    quant: Quant,
-    policy: Policy,
-    queries: usize,
-    seed: u64,
-    query_index: usize,
-    save: Option<String>,
-    load: Option<String>,
-    /// Whether `--policy` was passed explicitly (so `bench` can honour it
-    /// as a single-policy sweep).
-    policy_set: bool,
-    /// Worker threads for `bench`; 0 = available parallelism.
-    threads: usize,
-    /// Sweep dimensions for `bench`; empty = derive from the singular
-    /// `--model` / `--quant` options.
-    models: Vec<String>,
-    quants: Vec<Quant>,
-    policies: Vec<Policy>,
-    out: Option<String>,
-    /// Serving workers for `loadgen`/`serve`; 0 = available parallelism.
-    workers: usize,
-    /// Zipf exponent for `loadgen`.
-    zipf: f64,
-    /// Sessions to generate for `loadgen`.
-    sessions: usize,
-    /// Mean requests per session for `loadgen`.
-    requests: usize,
-    /// Arrival process for `loadgen` (trace generation) and `serve`
-    /// (deterministic re-stamp of the loaded trace). `None` keeps the
-    /// trace's own process (back-to-back for `loadgen`).
-    arrivals: Option<ArrivalProcess>,
-    /// Bounded admission-queue capacity (0 = admission disabled).
-    queue_depth: usize,
-    /// Shed policy once the queue fills.
-    shed_policy: ShedPolicy,
-    /// Simulated executors draining the admission queue.
-    servers: usize,
-    /// Trace JSON to replay (`serve`).
-    trace: Option<String>,
-    /// Where `loadgen` writes the generated trace JSON.
-    save_trace: Option<String>,
-    /// Boot snapshot: skip the level build (`serve`/`loadgen`), or the
-    /// file to inspect (`snapshot inspect`).
-    snapshot: Option<String>,
-    /// Checkpoint to restore warm caches and session state from.
-    checkpoint: Option<String>,
-    /// Where to write a checkpoint after the replay.
-    save_checkpoint: Option<String>,
-    /// Level-1 vector-index backend (`--index flat|ivf|hnsw`).
-    index: String,
-    /// HNSW query-time beam width override (`--ef-search`).
-    ef_search: Option<usize>,
-    /// HNSW construction beam width override (`--ef-construction`).
-    ef_construction: Option<usize>,
-    /// HNSW per-layer degree override (`--hnsw-m`).
-    hnsw_m: Option<usize>,
-    /// `lim bench --ann`: run the index-backend latency curve instead of
-    /// the policy grid.
-    ann: bool,
-    /// Catalog sizes for the ann curve (`--catalogs 1000,10000`).
-    catalogs: Vec<usize>,
-    /// Baseline document for `compare`.
-    baseline: Option<String>,
-    /// Current document for `compare`.
-    current: Option<String>,
-    /// Relative regression tolerance for `compare`.
-    tolerance: f64,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Self {
-            benchmark: "bfcl".into(),
-            model: "llama3.1-8b".into(),
-            quant: Quant::Q4KM,
-            policy: Policy::less_is_more(3),
-            queries: 230,
-            seed: 20_250_331,
-            query_index: 0,
-            save: None,
-            load: None,
-            policy_set: false,
-            threads: 0,
-            models: Vec::new(),
-            quants: Vec::new(),
-            policies: Vec::new(),
-            out: None,
-            workers: 0,
-            zipf: 1.0,
-            sessions: 64,
-            requests: 8,
-            arrivals: None,
-            queue_depth: 0,
-            shed_policy: ShedPolicy::Reject,
-            servers: 1,
-            trace: None,
-            save_trace: None,
-            snapshot: None,
-            checkpoint: None,
-            save_checkpoint: None,
-            index: "flat".into(),
-            ef_search: None,
-            ef_construction: None,
-            hnsw_m: None,
-            ann: false,
-            catalogs: Vec::new(),
-            baseline: None,
-            current: None,
-            tolerance: 0.10,
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -191,7 +79,7 @@ fn main() -> ExitCode {
     if command == "snapshot" {
         return cmd_snapshot(&args[1..]);
     }
-    let options = match parse(&args[1..]) {
+    let options = match cli::parse(&args[1..]) {
         Ok(o) => o,
         Err(message) => {
             eprintln!("error: {message}");
@@ -206,6 +94,7 @@ fn main() -> ExitCode {
         "levels" => cmd_levels(&options),
         "loadgen" => cmd_loadgen(&options),
         "serve" => cmd_serve(&options),
+        "wire" => cmd_wire(&options),
         "compare" => cmd_compare(&options),
         other => {
             eprintln!("unknown command {other:?}; try --help");
@@ -214,270 +103,14 @@ fn main() -> ExitCode {
     }
 }
 
-/// The `--help` text. Hand-maintained, but a unit test asserts every
-/// `--flag` the parser accepts appears here, so new options cannot land
-/// without their documentation.
-fn help_text() -> String {
-    "lim — Less-is-More tool-selection reproduction\n\n\
-     commands:\n  \
-     models     list the six calibrated model profiles\n  \
-     evaluate   run a policy over a benchmark and print the paper's four metrics\n  \
-     bench      sharded parallel policy sweep; prints the grid, optionally --out FILE\n  \
-     trace      print the JSON execution trace of one query\n  \
-     levels     build the offline search levels; --save FILE / --load FILE\n  \
-     snapshot   build: write a lim/snapshot-v1 boot snapshot (--out FILE);\n             \
-     inspect: print its header and section table without decoding sections\n  \
-     loadgen    generate a Zipf session trace and replay it on the serving engine\n  \
-     serve      replay a saved trace JSON on the serving engine (--trace FILE)\n  \
-     compare    gate a BENCH_*.json against a committed baseline (CI)\n\n\
-     options:\n  \
-     --benchmark bfcl|geoengine   --model NAME          --quant f16|q4_0|q4_1|q4_K_M|q8_0\n  \
-     --policy default|gorilla:K|lim:K                   --queries N    --seed S\n  \
-     --query I (trace only)      --save FILE / --load FILE (levels only)\n  \
-     --index flat|ivf|hnsw        Level-1 vector-index backend (default flat;\n  \
-     snapshots and checkpoints carry their own index kind and ignore the flag)\n  \
-     --hnsw-m N  --ef-construction N  --ef-search N    HNSW graph knobs\n\n\
-     bench options:\n  \
-     --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
-     --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n  \
-     --ann  (index-backend latency-vs-catalog-size curve, lim-bench/ann-v1,\n  \
-     instead of the policy grid)   --catalogs 1000,10000  (sizes for --ann)\n\n\
-     loadgen / serve options:\n  \
-     --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
-     --arrivals back-to-back|poisson:RATE|burst:RATE:SIZE   (loadgen stamps the trace;\n  \
-     serve deterministically re-stamps a loaded trace)\n  \
-     --queue-depth N (0 = no admission control)  --shed-policy reject|degrade\n  \
-     --servers N (simulated executors draining the admission queue)\n  \
-     --save-trace FILE (loadgen)  --trace FILE (serve)    --out BENCH_serve_1.json\n  \
-     --snapshot FILE (boot from a lim/snapshot-v1 snapshot: skip the level build;\n  \
-     also the file argument of `snapshot inspect`)\n  \
-     --checkpoint FILE (restore warm caches + session state from a checkpoint:\n  \
-     skip the level build AND the cold-cache ramp)\n  \
-     --save-checkpoint FILE (write the engine's warm state after the replay)\n  \
-     (serve rebuilds the exact generation-time workload from the trace document\n  \
-     itself — benchmark, seed and pool size are recorded in the JSON)\n\n\
-     compare options:\n  \
-     --baseline FILE  --current FILE  --tolerance 0.10"
-        .to_owned()
-}
-
 fn print_help() {
-    println!("{}", help_text());
-}
-
-fn parse(args: &[String]) -> Result<Options, String> {
-    let mut options = Options::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
-        match flag.as_str() {
-            "--benchmark" => options.benchmark = value("--benchmark")?,
-            "--model" => options.model = value("--model")?,
-            "--quant" => {
-                let v = value("--quant")?;
-                options.quant = Quant::ALL
-                    .into_iter()
-                    .find(|q| q.label() == v)
-                    .ok_or_else(|| format!("unknown quant {v:?}"))?;
-            }
-            "--policy" => {
-                let v = value("--policy")?;
-                options.policy = parse_policy(&v)?;
-                options.policy_set = true;
-            }
-            "--queries" => {
-                options.queries = value("--queries")?
-                    .parse()
-                    .map_err(|_| "--queries needs an integer".to_owned())?;
-            }
-            "--seed" => {
-                options.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed needs an integer".to_owned())?;
-            }
-            "--query" => {
-                options.query_index = value("--query")?
-                    .parse()
-                    .map_err(|_| "--query needs an index".to_owned())?;
-            }
-            "--save" => options.save = Some(value("--save")?),
-            "--load" => options.load = Some(value("--load")?),
-            "--threads" => {
-                options.threads = value("--threads")?
-                    .parse()
-                    .map_err(|_| "--threads needs an integer (0 = all cores)".to_owned())?;
-            }
-            "--models" => {
-                options.models = value("--models")?.split(',').map(str::to_owned).collect();
-            }
-            "--quants" => {
-                options.quants = value("--quants")?
-                    .split(',')
-                    .map(|v| {
-                        Quant::ALL
-                            .into_iter()
-                            .find(|q| q.label() == v)
-                            .ok_or_else(|| format!("unknown quant {v:?}"))
-                    })
-                    .collect::<Result<Vec<Quant>, String>>()?;
-            }
-            "--policies" => {
-                options.policies = value("--policies")?
-                    .split(',')
-                    .map(parse_policy)
-                    .collect::<Result<Vec<Policy>, String>>()?;
-            }
-            "--out" => options.out = Some(value("--out")?),
-            "--workers" => {
-                options.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers needs an integer (0 = all cores)".to_owned())?;
-            }
-            "--zipf" => {
-                options.zipf = value("--zipf")?
-                    .parse()
-                    .map_err(|_| "--zipf needs a number".to_owned())?;
-            }
-            "--sessions" => {
-                options.sessions = value("--sessions")?
-                    .parse()
-                    .map_err(|_| "--sessions needs an integer".to_owned())?;
-            }
-            "--requests" => {
-                options.requests = value("--requests")?
-                    .parse()
-                    .map_err(|_| "--requests needs an integer".to_owned())?;
-            }
-            "--arrivals" => options.arrivals = Some(ArrivalProcess::parse(&value("--arrivals")?)?),
-            "--queue-depth" => {
-                options.queue_depth = value("--queue-depth")?
-                    .parse()
-                    .map_err(|_| "--queue-depth needs an integer (0 = disabled)".to_owned())?;
-            }
-            "--shed-policy" => {
-                options.shed_policy = ShedPolicy::parse(&value("--shed-policy")?)?;
-            }
-            "--servers" => {
-                options.servers = value("--servers")?
-                    .parse()
-                    .ok()
-                    .filter(|n| *n > 0)
-                    .ok_or_else(|| "--servers needs a positive integer".to_owned())?;
-            }
-            "--index" => {
-                let v = value("--index")?;
-                if !["flat", "ivf", "hnsw"].contains(&v.as_str()) {
-                    return Err(format!("unknown index backend {v:?} (flat|ivf|hnsw)"));
-                }
-                options.index = v;
-            }
-            "--ef-search" => {
-                options.ef_search = Some(
-                    value("--ef-search")?
-                        .parse()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| "--ef-search needs a positive integer".to_owned())?,
-                );
-            }
-            "--ef-construction" => {
-                options.ef_construction = Some(
-                    value("--ef-construction")?
-                        .parse()
-                        .ok()
-                        .filter(|n| *n > 0)
-                        .ok_or_else(|| "--ef-construction needs a positive integer".to_owned())?,
-                );
-            }
-            "--hnsw-m" => {
-                options.hnsw_m = Some(
-                    value("--hnsw-m")?
-                        .parse()
-                        .ok()
-                        .filter(|n| *n >= 2)
-                        .ok_or_else(|| "--hnsw-m needs an integer >= 2".to_owned())?,
-                );
-            }
-            "--ann" => options.ann = true,
-            "--catalogs" => {
-                options.catalogs = value("--catalogs")?
-                    .split(',')
-                    .map(|v| {
-                        v.parse()
-                            .ok()
-                            .filter(|n| *n > 0)
-                            .ok_or_else(|| format!("bad catalog size {v:?}"))
-                    })
-                    .collect::<Result<Vec<usize>, String>>()?;
-            }
-            "--trace" => options.trace = Some(value("--trace")?),
-            "--save-trace" => options.save_trace = Some(value("--save-trace")?),
-            "--snapshot" => options.snapshot = Some(value("--snapshot")?),
-            "--checkpoint" => options.checkpoint = Some(value("--checkpoint")?),
-            "--save-checkpoint" => options.save_checkpoint = Some(value("--save-checkpoint")?),
-            "--baseline" => options.baseline = Some(value("--baseline")?),
-            "--current" => options.current = Some(value("--current")?),
-            "--tolerance" => {
-                options.tolerance = value("--tolerance")?
-                    .parse()
-                    .map_err(|_| "--tolerance needs a number".to_owned())?;
-            }
-            other => return Err(format!("unknown option {other:?}")),
-        }
-    }
-    Ok(options)
-}
-
-fn parse_policy(text: &str) -> Result<Policy, String> {
-    if text == "default" {
-        return Ok(Policy::Default);
-    }
-    if let Some(k) = text.strip_prefix("gorilla:") {
-        let k = k.parse().map_err(|_| format!("bad k in {text:?}"))?;
-        return Ok(Policy::Gorilla { k });
-    }
-    if let Some(k) = text.strip_prefix("lim:") {
-        let k = k.parse().map_err(|_| format!("bad k in {text:?}"))?;
-        return Ok(Policy::less_is_more(k));
-    }
-    Err(format!("unknown policy {text:?}"))
-}
-
-/// Resolves `--index` plus the HNSW knobs into the backend spec the
-/// level build uses. The knobs are meaningful for `hnsw` only; on the
-/// other backends they are ignored (the ann curve applies them to its
-/// HNSW cell regardless of `--index`).
-fn index_spec(options: &Options) -> IndexSpec {
-    match options.index.as_str() {
-        "ivf" => IndexSpec::Ivf(IvfParams::default()),
-        "hnsw" => IndexSpec::Hnsw(hnsw_params(options)),
-        _ => IndexSpec::Flat,
-    }
-}
-
-/// The HNSW parameter block with any CLI overrides applied.
-fn hnsw_params(options: &Options) -> HnswParams {
-    let mut params = HnswParams::default();
-    if let Some(m) = options.hnsw_m {
-        params.m = m;
-    }
-    if let Some(ef) = options.ef_construction {
-        params.ef_construction = ef;
-    }
-    if let Some(ef) = options.ef_search {
-        params.ef_search = ef;
-    }
-    params
+    println!("{}", cli::help_text());
 }
 
 /// Builds the search levels on the backend selected by `--index`.
 fn build_levels(options: &Options, workload: &Workload) -> SearchLevels {
     let config = LevelsConfig {
-        index: index_spec(options),
+        index: options.index.spec(),
         ..LevelsConfig::default()
     };
     SearchLevels::build_with(workload, &config)
@@ -672,7 +305,7 @@ fn cmd_bench_ann(options: &Options) -> ExitCode {
 
     let mut config = AnnConfig {
         seed: options.seed,
-        hnsw: hnsw_params(options),
+        hnsw: options.index.hnsw(),
         ..AnnConfig::default()
     };
     if !options.catalogs.is_empty() {
@@ -857,55 +490,53 @@ fn open_snapshot(path: &str, workload_seed: u64) -> Result<lessismore::core::Sna
     Ok(snapshot)
 }
 
+/// Builds the serving engine the flags describe: checkpoint boot wins
+/// over snapshot boot wins over a cold level build.
+fn build_engine(
+    options: &Options,
+    workload: lessismore::workloads::Workload,
+    engine_seed: u64,
+) -> Result<lessismore::serve::ServeEngine, String> {
+    use lessismore::serve::{ServeConfig, ServeEngine};
+
+    let model = resolve_model(options)?;
+    let config = ServeConfig::builder()
+        .policy(options.policy)
+        .quant(options.quant)
+        .seed(engine_seed)
+        .admission(options.admission.config())
+        .build();
+    // Boot order: a checkpoint is a self-contained superset of a levels
+    // snapshot (it carries the level sections plus the warm state), so
+    // it wins when both flags are passed.
+    if let Some(path) = &options.snapshots.checkpoint {
+        if options.snapshots.snapshot.is_some() {
+            eprintln!("note: --checkpoint is self-contained; ignoring --snapshot");
+        }
+        return open_snapshot(path, engine_seed).and_then(|s| {
+            ServeEngine::from_checkpoint(&s, workload, model, config)
+                .map_err(|e| format!("{path}: {e}"))
+        });
+    }
+    if let Some(path) = &options.snapshots.snapshot {
+        return open_snapshot(path, engine_seed).and_then(|s| {
+            ServeEngine::from_snapshot(&s, workload, model, config)
+                .map_err(|e| format!("{path}: {e}"))
+        });
+    }
+    // Cold boot on the backend selected by `--index` (snapshots and
+    // checkpoints carry their own index kind and ignore the flag).
+    let levels = build_levels(options, &workload);
+    Ok(ServeEngine::with_levels(workload, levels, model, config))
+}
+
 fn run_serve_trace(
     options: &Options,
     workload: lessismore::workloads::Workload,
     trace: &lessismore::workloads::trace::SessionTrace,
     engine_seed: u64,
 ) -> ExitCode {
-    use lessismore::serve::{ServeConfig, ServeEngine};
-
-    let model = match resolve_model(options) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let config = ServeConfig {
-        policy: options.policy,
-        quant: options.quant,
-        seed: engine_seed,
-        admission: AdmissionConfig {
-            queue_depth: options.queue_depth,
-            servers: options.servers,
-            shed_policy: options.shed_policy,
-        },
-        ..ServeConfig::default()
-    };
-    // Boot order: a checkpoint is a self-contained superset of a levels
-    // snapshot (it carries the level sections plus the warm state), so
-    // it wins when both flags are passed.
-    let engine = if let Some(path) = &options.checkpoint {
-        if options.snapshot.is_some() {
-            eprintln!("note: --checkpoint is self-contained; ignoring --snapshot");
-        }
-        open_snapshot(path, engine_seed).and_then(|s| {
-            ServeEngine::from_checkpoint(&s, workload, model, config)
-                .map_err(|e| format!("{path}: {e}"))
-        })
-    } else if let Some(path) = &options.snapshot {
-        open_snapshot(path, engine_seed).and_then(|s| {
-            ServeEngine::from_snapshot(&s, workload, model, config)
-                .map_err(|e| format!("{path}: {e}"))
-        })
-    } else {
-        // Cold boot on the backend selected by `--index` (snapshots and
-        // checkpoints carry their own index kind and ignore the flag).
-        let levels = build_levels(options, &workload);
-        Ok(ServeEngine::with_levels(workload, levels, model, config))
-    };
-    let mut engine = match engine {
+    let mut engine = match build_engine(options, workload, engine_seed) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("error: {e}");
@@ -927,7 +558,7 @@ fn run_serve_trace(
         }
         println!("wrote {path}");
     }
-    if let Some(path) = &options.save_checkpoint {
+    if let Some(path) = &options.snapshots.save_checkpoint {
         if let Err(e) = std::fs::write(path, engine.checkpoint()) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -943,7 +574,7 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
         eprintln!("error: snapshot needs a verb: build | inspect");
         return ExitCode::FAILURE;
     };
-    let options = match parse(&args[1..]) {
+    let options = match cli::parse(&args[1..]) {
         Ok(o) => o,
         Err(message) => {
             eprintln!("error: {message}");
@@ -997,7 +628,7 @@ fn cmd_snapshot_build(options: &Options) -> ExitCode {
 /// is decoded (to report its backend kind and vector count); everything
 /// else stays undecoded — the cheap half of the lazy-loading contract.
 fn cmd_snapshot_inspect(options: &Options) -> ExitCode {
-    let Some(path) = &options.snapshot else {
+    let Some(path) = &options.snapshots.snapshot else {
         eprintln!("error: snapshot inspect needs --snapshot FILE");
         return ExitCode::FAILURE;
     };
@@ -1090,7 +721,10 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
             sessions: options.sessions,
             requests_per_session: options.requests,
             zipf_s: options.zipf,
-            arrivals: options.arrivals.unwrap_or(ArrivalProcess::BackToBack),
+            arrivals: options
+                .admission
+                .arrivals
+                .unwrap_or(ArrivalProcess::BackToBack),
         },
     );
     println!(
@@ -1136,8 +770,14 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
 fn cmd_serve(options: &Options) -> ExitCode {
     use lessismore::workloads::trace::SessionTrace;
 
+    if options.stdin || options.listen.is_some() {
+        return cmd_serve_wire(options);
+    }
     let Some(path) = &options.trace else {
-        eprintln!("error: serve needs --trace FILE (generate one with lim loadgen --save-trace)");
+        eprintln!(
+            "error: serve needs --trace FILE (generate one with lim loadgen --save-trace) \
+             or a wire stream (--stdin | --listen SOCKET)"
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(path) {
@@ -1164,7 +804,7 @@ fn cmd_serve(options: &Options) -> ExitCode {
     // `--arrivals` re-stamps the loaded trace deterministically (from
     // the trace's own seed), so a v1 document without timestamps can
     // still drive the admission layer.
-    let trace = match options.arrivals {
+    let trace = match options.admission.arrivals {
         Some(process) => trace.with_arrivals(process),
         None => trace,
     };
@@ -1206,6 +846,397 @@ fn cmd_serve(options: &Options) -> ExitCode {
         }
     };
     run_serve_trace(options, workload, &trace, trace.seed)
+}
+
+// ---------------------------------------------------------------------
+// lim/wire-v1 ingestion front-end. The protocol codec is pure and lives
+// in `lessismore::serve::wire`; only the I/O shell — stdin/stdout, unix
+// sockets, signals, batching — is here, and batching is the one thing
+// this loop decides: by the engine's batching-invariance guarantee it
+// cannot change a single reported number.
+// ---------------------------------------------------------------------
+
+/// Set by the SIGTERM handler; the wire loops poll it and drain
+/// gracefully — finish the session, emit the final report frame, write
+/// the `--save-checkpoint` — instead of dying mid-stream.
+static TERMINATED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    TERMINATED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler. No external crates: the C `signal`
+/// entry point is declared directly.
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+fn terminated() -> bool {
+    TERMINATED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Forwards lines from `reader` into a channel on a thread, so the main
+/// loop can batch whatever has already arrived without blocking on I/O
+/// (and keeps noticing SIGTERM between polls).
+fn spawn_line_reader<R: std::io::Read + Send + 'static>(
+    reader: R,
+) -> std::sync::mpsc::Receiver<String> {
+    use std::io::BufRead;
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(reader).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Speaks one `lim/wire-v1` stream end to end: waits for the `hello`,
+/// builds the engine from its recorded workload (or checks a warm one
+/// still matches), then repeatedly submits whatever `request` frames
+/// have arrived and answers with `disposition`/`latency` frames, ending
+/// with the final `report` frame on EOF or SIGTERM.
+fn serve_wire_stream<W: std::io::Write>(
+    options: &Options,
+    lines: &std::sync::mpsc::Receiver<String>,
+    writer: &mut W,
+    engine_slot: &mut Option<(
+        lessismore::serve::wire::Hello,
+        lessismore::serve::ServeEngine,
+    )>,
+) -> Result<lessismore::serve::ServeReport, String> {
+    use lessismore::serve::wire;
+    use lessismore::serve::{StreamMeta, StreamRequest};
+    use lessismore::workloads::trace::arrival_us_to_seconds;
+    use std::sync::mpsc::RecvTimeoutError;
+
+    let poll = std::time::Duration::from_millis(25);
+    fn emit<W: std::io::Write>(
+        writer: &mut W,
+        frame: &lessismore::json::Value,
+    ) -> Result<(), String> {
+        writeln!(writer, "{frame}").map_err(|e| format!("cannot write frame: {e}"))?;
+        writer
+            .flush()
+            .map_err(|e| format!("cannot flush frame: {e}"))
+    }
+    // A protocol violation is answered with an error frame before the
+    // stream is abandoned, so the peer learns why.
+    macro_rules! bail {
+        ($msg:expr) => {{
+            let message: String = $msg;
+            let _ = emit(writer, &wire::error_frame(&message));
+            return Err(message);
+        }};
+    }
+
+    // The stream must open with a hello frame.
+    let hello = loop {
+        if terminated() {
+            return Err("terminated before the hello frame".to_owned());
+        }
+        match lines.recv_timeout(poll) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => match wire::parse_client_frame(&line) {
+                Ok(wire::ClientFrame::Hello(h)) => break h,
+                Ok(_) => bail!("first frame must be hello".to_owned()),
+                Err(e) => bail!(e),
+            },
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err("stream closed before the hello frame".to_owned());
+            }
+        }
+    };
+
+    // The hello's recorded workload drives the engine build — exactly
+    // like `lim serve --trace` rebuilds the generation-time workload
+    // from the trace document. A warm engine (socket mode serves many
+    // streams on one engine) must have been built for the same workload.
+    match engine_slot {
+        Some((first, _)) => {
+            if first.benchmark != hello.benchmark
+                || first.pool_size != hello.pool_size
+                || first.trace_seed != hello.trace_seed
+            {
+                bail!(format!(
+                    "hello declares workload {}/{} seed {} but this engine serves {}/{} seed {}",
+                    hello.benchmark,
+                    hello.pool_size,
+                    hello.trace_seed,
+                    first.benchmark,
+                    first.pool_size,
+                    first.trace_seed
+                ));
+            }
+        }
+        None => {
+            let workload =
+                match build_workload_with(&hello.benchmark, hello.trace_seed, hello.pool_size) {
+                    Ok(w) => w,
+                    Err(e) => bail!(e),
+                };
+            let engine = match build_engine(options, workload, hello.trace_seed) {
+                Ok(e) => e,
+                Err(e) => bail!(e),
+            };
+            *engine_slot = Some((hello.clone(), engine));
+        }
+    }
+    let (_, engine) = engine_slot.as_mut().expect("engine built above");
+
+    let meta = StreamMeta {
+        trace_seed: hello.trace_seed,
+        zipf_s: hello.zipf_s,
+        arrivals: hello.arrivals,
+        sessions: hello.sessions,
+    };
+    let mut session = engine.begin_stream(meta, options.workers);
+    emit(writer, &wire::ready_frame())?;
+
+    // Ingest until EOF or SIGTERM: each wake-up submits every line that
+    // has arrived, drains one batch through the deterministic stages and
+    // streams the resolved events back.
+    loop {
+        let mut batch = Vec::new();
+        match lines.recv_timeout(poll) {
+            Ok(line) => {
+                batch.push(line);
+                while let Ok(line) = lines.try_recv() {
+                    batch.push(line);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if terminated() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        for line in batch {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match wire::parse_client_frame(&line) {
+                Ok(wire::ClientFrame::Request {
+                    session: id,
+                    query,
+                    arrival_us,
+                }) => {
+                    let request = StreamRequest {
+                        session: id,
+                        query_index: query,
+                        arrival_s: arrival_us.map(arrival_us_to_seconds),
+                    };
+                    if let Err(e) = session.submit(request) {
+                        bail!(e);
+                    }
+                }
+                Ok(wire::ClientFrame::Hello(_)) => bail!("duplicate hello frame".to_owned()),
+                Err(e) => bail!(e),
+            }
+        }
+        for event in session.drain() {
+            for frame in wire::event_frames(&event) {
+                emit(writer, &frame)?;
+            }
+        }
+    }
+
+    // Graceful drain: resolve everything still queued, then report.
+    let (report, tail) = session.finish_with_events();
+    for event in tail {
+        for frame in wire::event_frames(&event) {
+            emit(writer, &frame)?;
+        }
+    }
+    emit(writer, &wire::report_frame(&report))?;
+    Ok(report)
+}
+
+/// Post-stream bookkeeping shared by the stdin and socket front-ends:
+/// a one-line summary on stderr (stdout carries protocol frames), the
+/// `--out` report document and the `--save-checkpoint` warm state.
+fn finish_wire_stream(
+    options: &Options,
+    report: &lessismore::serve::ServeReport,
+    engine: Option<&lessismore::serve::ServeEngine>,
+) -> Result<(), String> {
+    eprintln!(
+        "served {} requests ({} sessions): success {:.2}%, shed {}, degraded {}",
+        report.requests,
+        report.sessions,
+        100.0 * report.success_rate,
+        report.admission.shed,
+        report.admission.degraded
+    );
+    if let Some(path) = &options.out {
+        std::fs::write(path, report.to_json().to_pretty_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let (Some(path), Some(engine)) = (&options.snapshots.save_checkpoint, engine) {
+        std::fs::write(path, engine.checkpoint())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote checkpoint {path}");
+    }
+    Ok(())
+}
+
+/// `lim serve --stdin` / `lim serve --listen SOCKET`.
+fn cmd_serve_wire(options: &Options) -> ExitCode {
+    if options.stdin && options.listen.is_some() {
+        eprintln!("error: --stdin and --listen are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if options.trace.is_some() {
+        eprintln!("error: --trace replays offline; drop it to ingest a wire stream");
+        return ExitCode::FAILURE;
+    }
+    // Arrival re-stamping is an offline-replay affordance; a live stream's
+    // recorded timestamps are always honored.
+    if options.admission.arrivals.is_some() {
+        eprintln!(
+            "error: --arrivals re-stamps a loaded trace; a wire stream carries its own \
+             timestamps (re-stamp at encode time: lim wire --trace FILE --arrivals SPEC)"
+        );
+        return ExitCode::FAILURE;
+    }
+    install_sigterm_handler();
+    let result = match &options.listen {
+        None => {
+            let lines = spawn_line_reader(std::io::stdin());
+            let mut stdout = std::io::stdout();
+            let mut engine_slot = None;
+            serve_wire_stream(options, &lines, &mut stdout, &mut engine_slot).and_then(|report| {
+                finish_wire_stream(options, &report, engine_slot.as_ref().map(|(_, e)| e))
+            })
+        }
+        Some(path) => serve_wire_listen(options, path),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Accepts `lim/wire-v1` connections on a unix socket, one stream at a
+/// time, all on the same warm engine — successive streams see warm
+/// caches exactly like successive traces through one `ServeEngine`.
+/// SIGTERM stops accepting, removes the socket file and writes the
+/// final `--save-checkpoint`.
+fn serve_wire_listen(options: &Options, path: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("cannot bind {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll {path}: {e}"))?;
+    eprintln!(
+        "listening on {path} ({})",
+        lessismore::serve::wire::WIRE_PROTO
+    );
+    let mut engine_slot = None;
+    while !terminated() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("warning: cannot clone connection: {e}");
+                        continue;
+                    }
+                };
+                let lines = spawn_line_reader(reader);
+                let mut writer = stream;
+                match serve_wire_stream(options, &lines, &mut writer, &mut engine_slot) {
+                    // The checkpoint is written once at shutdown, not per
+                    // stream: pass no engine here.
+                    Ok(report) => {
+                        if let Err(e) = finish_wire_stream(options, &report, None) {
+                            eprintln!("warning: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("warning: stream failed: {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(format!("accept on {path}: {e}"));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    if let (Some(ck), Some((_, engine))) = (&options.snapshots.save_checkpoint, &engine_slot) {
+        std::fs::write(ck, engine.checkpoint()).map_err(|e| format!("cannot write {ck}: {e}"))?;
+        eprintln!("wrote checkpoint {ck}");
+    }
+    Ok(())
+}
+
+/// `lim wire --trace FILE [--out FILE]`: encode a `trace-v1` document as
+/// a `lim/wire-v1` client stream — the hello frame plus one request
+/// frame per request in canonical order. `--arrivals` re-stamps before
+/// encoding under the same opt-in rule as `lim serve --trace`, so
+/// `lim wire --trace F | lim serve --stdin` reproduces
+/// `lim serve --trace F` frame-for-frame.
+fn cmd_wire(options: &Options) -> ExitCode {
+    use lessismore::serve::wire::trace_to_wire;
+    use lessismore::workloads::trace::SessionTrace;
+
+    let Some(path) = &options.trace else {
+        eprintln!("error: wire needs --trace FILE (generate one with lim loadgen --save-trace)");
+        return ExitCode::FAILURE;
+    };
+    let trace = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|text| lessismore::json::parse(&text).map_err(|e| format!("{path}: {e}")))
+        .and_then(|doc| SessionTrace::from_json(&doc).map_err(|e| format!("{path}: {e}")));
+    let trace = match trace {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match options.admission.arrivals {
+        Some(process) => trace.with_arrivals(process),
+        None => trace,
+    };
+    let stream = trace_to_wire(&trace);
+    match &options.out {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &stream) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {out}: {} frames ({} requests)",
+                1 + trace.requests(),
+                trace.requests()
+            );
+        }
+        None => print!("{stream}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_compare(options: &Options) -> ExitCode {
@@ -1308,147 +1339,5 @@ fn cmd_levels(options: &Options) -> ExitCode {
             println!("saved to {path}");
         }
         ExitCode::SUCCESS
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    /// The usage block is hand-maintained and has drifted before: this
-    /// scans the parser's own source for `"--flag" =>` match arms and
-    /// asserts each flag appears in the `--help` output, so a new option
-    /// cannot land undocumented.
-    #[test]
-    fn every_parsed_flag_appears_in_help() {
-        let source = include_str!("lim.rs");
-        let help = super::help_text();
-        let mut flags = Vec::new();
-        for line in source.lines() {
-            let trimmed = line.trim();
-            let Some(rest) = trimmed.strip_prefix("\"--") else {
-                continue;
-            };
-            let Some((flag, after)) = rest.split_once('"') else {
-                continue;
-            };
-            if !after.trim_start().starts_with("=>") {
-                continue;
-            }
-            flags.push(format!("--{flag}"));
-        }
-        assert!(
-            flags.len() >= 30,
-            "flag scan looks broken: only found {flags:?}"
-        );
-        for required in ["--index", "--ef-search", "--ef-construction", "--hnsw-m"] {
-            assert!(
-                flags.iter().any(|f| f == required),
-                "{required} is not parsed anywhere"
-            );
-        }
-        for flag in &flags {
-            assert!(
-                help.contains(flag.as_str()),
-                "{flag} is parsed but missing from the --help text"
-            );
-        }
-    }
-
-    /// The snapshot/checkpoint flags parse into the options they set.
-    #[test]
-    fn snapshot_flags_parse() {
-        let args: Vec<String> = [
-            "--snapshot",
-            "levels.limsnap",
-            "--checkpoint",
-            "warm.limsnap",
-            "--save-checkpoint",
-            "next.limsnap",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
-        let options = super::parse(&args).expect("valid flags");
-        assert_eq!(options.snapshot.as_deref(), Some("levels.limsnap"));
-        assert_eq!(options.checkpoint.as_deref(), Some("warm.limsnap"));
-        assert_eq!(options.save_checkpoint.as_deref(), Some("next.limsnap"));
-        assert!(super::parse(&["--snapshot".to_owned()]).is_err());
-    }
-
-    /// The index-backend flags parse into the spec the level build uses,
-    /// regardless of flag order.
-    #[test]
-    fn index_flags_parse() {
-        let args: Vec<String> = [
-            "--ef-search",
-            "96",
-            "--index",
-            "hnsw",
-            "--hnsw-m",
-            "24",
-            "--ef-construction",
-            "200",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
-        let options = super::parse(&args).expect("valid flags");
-        let super::IndexSpec::Hnsw(params) = super::index_spec(&options) else {
-            panic!("--index hnsw must resolve to an HNSW spec");
-        };
-        assert_eq!(params.m, 24);
-        assert_eq!(params.ef_construction, 200);
-        assert_eq!(params.ef_search, 96);
-
-        let flat = super::parse(&[]).expect("defaults");
-        assert!(matches!(super::index_spec(&flat), super::IndexSpec::Flat));
-        let ivf = super::parse(&["--index".to_owned(), "ivf".to_owned()]).expect("ivf");
-        assert!(matches!(super::index_spec(&ivf), super::IndexSpec::Ivf(_)));
-
-        assert!(super::parse(&["--index".to_owned(), "pq".to_owned()]).is_err());
-        assert!(super::parse(&["--hnsw-m".to_owned(), "1".to_owned()]).is_err());
-        assert!(super::parse(&["--ef-search".to_owned(), "0".to_owned()]).is_err());
-    }
-
-    /// The ann-curve flags parse: `--ann` is a bare switch and
-    /// `--catalogs` is a positive-integer list.
-    #[test]
-    fn ann_flags_parse() {
-        let args: Vec<String> = ["--ann", "--catalogs", "500,2000"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
-        let options = super::parse(&args).expect("valid flags");
-        assert!(options.ann);
-        assert_eq!(options.catalogs, vec![500, 2000]);
-        assert!(super::parse(&["--catalogs".to_owned(), "10,x".to_owned()]).is_err());
-        assert!(super::parse(&["--catalogs".to_owned(), "0".to_owned()]).is_err());
-    }
-
-    /// The admission flags parse into the options they claim to set.
-    #[test]
-    fn admission_flags_parse() {
-        let args: Vec<String> = [
-            "--arrivals",
-            "poisson:2.5",
-            "--queue-depth",
-            "16",
-            "--shed-policy",
-            "degrade",
-            "--servers",
-            "2",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
-        let options = super::parse(&args).expect("valid flags");
-        assert_eq!(
-            options.arrivals,
-            Some(super::ArrivalProcess::Poisson { rate_rps: 2.5 })
-        );
-        assert_eq!(options.queue_depth, 16);
-        assert_eq!(options.shed_policy, super::ShedPolicy::Degrade);
-        assert_eq!(options.servers, 2);
-        assert!(super::parse(&["--arrivals".to_owned(), "warp:9".to_owned()]).is_err());
-        assert!(super::parse(&["--shed-policy".to_owned(), "panic".to_owned()]).is_err());
     }
 }

@@ -20,6 +20,8 @@
 //! assert!(result.cost.seconds > 0.0);
 //! ```
 
+pub mod cli;
+
 /// Benchmark-sweep grid runner and `BENCH_*.json` reporting.
 pub use lim_bench as bench;
 /// Agglomerative clustering and ROUGE scoring.
