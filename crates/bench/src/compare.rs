@@ -23,6 +23,12 @@
 //!   (a boolean gated as 0/1 — a snapshot-boot baseline means "must keep
 //!   skipping the level build") and `boot.sim_boot_seconds`↓ join the
 //!   set.
+//! * `lim-serve/report-v3` — everything v2 tracks plus the live-catalog
+//!   counters: `catalog.epoch`↑, `catalog.registered`↑ and
+//!   `catalog.retired`↑. On a churned CI trace these are exact seeded
+//!   counts, so the gate means "every scheduled mutation was applied" —
+//!   a PR that silently drops register/retire events fails; on a static
+//!   trace the zero baselines pass trivially.
 //!
 //! Version-bump rule: a schema id changes only when a field is renamed,
 //! removed or changes meaning (additions keep the id). The two documents
@@ -120,6 +126,18 @@ const SERVE_BOOT_METRICS: &[(&str, Direction)] = &[
     ("boot.sim_boot_seconds", Direction::LowerIsBetter),
 ];
 
+/// Additional tracked metrics for `lim-serve/report-v3`: the live-catalog
+/// counters. Deterministic for a fixed trace + churn seed, so on a
+/// churned CI trace the relative gate means "the same mutations were
+/// applied" — an engine that silently drops register/retire events
+/// regresses the counts to 0 and fails. Static traces have all-zero
+/// baselines, which pass trivially in the upward direction.
+const SERVE_V3_METRICS: &[(&str, Direction)] = &[
+    ("catalog.epoch", Direction::HigherIsBetter),
+    ("catalog.registered", Direction::HigherIsBetter),
+    ("catalog.retired", Direction::HigherIsBetter),
+];
+
 /// Whether `current` is worse than `baseline` by more than `tolerance`
 /// (a relative fraction, e.g. `0.10`).
 fn regressed(direction: Direction, baseline: f64, current: f64, tolerance: f64) -> bool {
@@ -190,7 +208,7 @@ pub fn compare_documents(
         "lim-serve/report-v1" => {
             compare_tracked(baseline, current, SERVE_METRICS, "serve", tolerance)
         }
-        "lim-serve/report-v2" => {
+        "lim-serve/report-v2" | "lim-serve/report-v3" => {
             let mut metrics = SERVE_METRICS.to_vec();
             metrics.extend_from_slice(SERVE_V2_METRICS);
             // Additive boot section: gate it only when the baseline has
@@ -200,6 +218,9 @@ pub fn compare_documents(
                     .iter()
                     .filter(|(path, _)| lookup(baseline, path).is_some()),
             );
+            if base_schema == "lim-serve/report-v3" {
+                metrics.extend_from_slice(SERVE_V3_METRICS);
+            }
             compare_tracked(baseline, current, &metrics, "serve", tolerance)
         }
         other => Err(format!("unknown schema {other:?}")),
@@ -433,6 +454,49 @@ mod tests {
         assert!(err.contains("missing admission.shed"), "{err}");
         // v1 documents still gate on the v1 metric set.
         assert!(compare_documents(&v1, &v1, 0.10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serve_v3_reports_gate_catalog_counters() {
+        let mk = |epoch: i64, registered: i64, retired: i64| {
+            lim_json::parse(&format!(
+                r#"{{"schema":"lim-serve/report-v3","success_rate":0.5,
+                    "tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":0.8}},
+                               "selection":{{"hit_rate":0.7}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}},
+                    "admission":{{"shed":0,"degraded":0,"max_queue_depth":0,
+                                  "queue_wait":{{"p95_s":0.0,"p99_s":0.0}}}},
+                    "catalog":{{"epoch":{epoch},"registered":{registered},
+                                "retired":{retired},"tombstones":0,"compactions":0,
+                                "cluster_refreshes":0,"memo_invalidations":0}}}}"#
+            ))
+            .unwrap()
+        };
+        let churned = mk(8, 4, 4);
+        assert!(compare_documents(&churned, &churned, 0.0)
+            .unwrap()
+            .is_empty());
+        // Silently dropping mutations regresses the counters to zero.
+        let r = compare_documents(&churned, &mk(0, 0, 0), 0.0).unwrap();
+        let metrics: Vec<&str> = r.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"catalog.epoch"), "{metrics:?}");
+        assert!(metrics.contains(&"catalog.registered"), "{metrics:?}");
+        assert!(metrics.contains(&"catalog.retired"), "{metrics:?}");
+        // A static (all-zero) baseline passes trivially upward.
+        assert!(compare_documents(&mk(0, 0, 0), &churned, 0.0)
+            .unwrap()
+            .is_empty());
+        // A v3 document must carry the catalog section.
+        let mut no_catalog = churned.clone();
+        no_catalog.insert("catalog", lim_json::Value::Null);
+        let err = compare_documents(&churned, &no_catalog, 0.0).unwrap_err();
+        assert!(err.contains("missing catalog.epoch"), "{err}");
+        // v2 baselines never compare against v3 documents.
+        let v2 = lim_json::parse(r#"{"schema":"lim-serve/report-v2"}"#).unwrap();
+        assert!(compare_documents(&v2, &churned, 0.10)
+            .unwrap_err()
+            .contains("schema mismatch"));
     }
 
     #[test]

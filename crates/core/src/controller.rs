@@ -179,9 +179,12 @@ impl<'a> ToolController<'a> {
                     break;
                 }
             }
+            // Stale clusters may still list tools retired since the last
+            // refresh; a retired tool is never offered.
             let mut tools: Vec<usize> = picked
                 .iter()
                 .flat_map(|c| self.levels.clusters()[*c].tool_indices.iter().copied())
+                .filter(|t| self.levels.is_live(*t))
                 .collect();
             tools.sort_unstable();
             tools.dedup();

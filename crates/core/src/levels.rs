@@ -60,8 +60,9 @@ impl ToolIndex {
         }
     }
 
-    /// Iterates over stored `(id, vector)` pairs. Flat and HNSW yield
-    /// insertion order; IVF yields cell order (its on-disk order).
+    /// Iterates over *live* `(id, vector)` pairs (tombstoned entries are
+    /// skipped). Flat and HNSW yield insertion order; IVF yields cell
+    /// order (its on-disk order).
     pub fn iter(&self) -> Box<dyn Iterator<Item = (u64, &[f32])> + '_> {
         match self {
             ToolIndex::Flat(index) => Box::new(index.iter()),
@@ -70,9 +71,40 @@ impl ToolIndex {
                     .cells()
                     .iter()
                     .flatten()
+                    .filter(|(id, _)| !index.tombstones().contains(id))
                     .map(|(id, v)| (*id, v.as_slice())),
             ),
             ToolIndex::Hnsw(index) => Box::new(index.iter()),
+        }
+    }
+
+    /// Inserts one vector, whichever backend: Flat appends, IVF assigns to
+    /// its nearest trained centroid, HNSW wires the node into the graph
+    /// exactly as a batch build would have.
+    pub fn add(&mut self, id: u64, vector: &[f32]) -> Result<(), lim_vecstore::IndexError> {
+        match self {
+            ToolIndex::Flat(index) => index.add(id, vector),
+            ToolIndex::Ivf(index) => index.add(id, vector),
+            ToolIndex::Hnsw(index) => index.add(id, vector),
+        }
+    }
+
+    /// Tombstones one live id. Returns `true` when the removal tripped the
+    /// backend's compaction threshold (see `lim_vecstore::compaction_due`).
+    pub fn remove(&mut self, id: u64) -> Result<bool, lim_vecstore::IndexError> {
+        match self {
+            ToolIndex::Flat(index) => index.remove(id),
+            ToolIndex::Ivf(index) => index.remove(id),
+            ToolIndex::Hnsw(index) => index.remove(id),
+        }
+    }
+
+    /// Currently tombstoned ids, in removal order.
+    pub fn tombstones(&self) -> &[u64] {
+        match self {
+            ToolIndex::Flat(index) => index.tombstones(),
+            ToolIndex::Ivf(index) => index.tombstones(),
+            ToolIndex::Hnsw(index) => index.tombstones(),
         }
     }
 
@@ -164,6 +196,10 @@ pub struct SearchLevels {
     cluster_index: FlatIndex,
     clusters: Vec<ToolCluster>,
     tool_count: usize,
+    /// Registry indices retired by live catalog mutation, in retirement
+    /// order. Retired indices stay allocated (the registry never reuses
+    /// them) but are excluded from every level's offer.
+    retired: Vec<usize>,
 }
 
 impl SearchLevels {
@@ -226,6 +262,7 @@ impl SearchLevels {
             cluster_index,
             clusters,
             tool_count: workload.registry.len(),
+            retired: Vec::new(),
         }
     }
 
@@ -258,6 +295,7 @@ impl SearchLevels {
             cluster_index,
             clusters,
             tool_count,
+            retired: Vec::new(),
         }
     }
 
@@ -281,14 +319,155 @@ impl SearchLevels {
         &self.clusters
     }
 
-    /// Number of tools in the catalog (Level 3's size).
+    /// Number of tool indices ever allocated (live + retired). Level 3's
+    /// size is [`SearchLevels::live_count`].
     pub fn tool_count(&self) -> usize {
         self.tool_count
     }
 
-    /// All tool indices — Search Level 3.
+    /// Number of live (non-retired) tools.
+    pub fn live_count(&self) -> usize {
+        self.tool_count - self.retired.len()
+    }
+
+    /// Registry indices retired so far, in retirement order.
+    pub fn retired(&self) -> &[usize] {
+        &self.retired
+    }
+
+    /// Whether a registry index refers to a live tool.
+    pub fn is_live(&self, tool_index: usize) -> bool {
+        tool_index < self.tool_count && !self.retired.contains(&tool_index)
+    }
+
+    /// All live tool indices — Search Level 3.
     pub fn full_level(&self) -> Vec<usize> {
-        (0..self.tool_count).collect()
+        (0..self.tool_count)
+            .filter(|i| !self.retired.contains(i))
+            .collect()
+    }
+
+    /// Inserts a newly registered tool into Level 1.
+    ///
+    /// `tool_index` must be the index the registry just allocated — the
+    /// next unallocated one — so vector-store ids keep mirroring registry
+    /// indices. The tool joins Level 2 at the next cluster refresh; until
+    /// then it is reachable via Level 1 and Level 3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`lim_vecstore::IndexError`] (dimension
+    /// mismatch, duplicate id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tool_index` is not the next unallocated index.
+    pub fn register_embedded(
+        &mut self,
+        tool_index: usize,
+        embedding: &Embedding,
+    ) -> Result<(), lim_vecstore::IndexError> {
+        assert_eq!(
+            tool_index, self.tool_count,
+            "registry indices are allocated densely and never reused"
+        );
+        self.tool_index
+            .add(tool_index as u64, embedding.as_slice())?;
+        self.tool_count += 1;
+        Ok(())
+    }
+
+    /// Retires a live tool: tombstones it in Level 1 and excludes it from
+    /// Level-2 offers and Level 3. The registry entry stays (old reports
+    /// and logs keep resolving); the index is never reused.
+    ///
+    /// Returns `true` when the tombstone tripped Level 1's compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`lim_vecstore::IndexError::UnknownId`] if the tool is
+    /// unknown or already retired.
+    pub fn retire(&mut self, tool_index: usize) -> Result<bool, lim_vecstore::IndexError> {
+        let compacted = self.tool_index.remove(tool_index as u64)?;
+        self.retired.push(tool_index);
+        Ok(compacted)
+    }
+
+    /// Restores the retired set when booting from a snapshot whose index
+    /// sections already carry the mutated vector state (the catalog log
+    /// is the source of truth for *which* indices are retired; the index
+    /// tombstones only cover retirements since the last compaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or repeated — snapshot decode
+    /// validates these before calling.
+    pub fn restore_retired(&mut self, retired: Vec<usize>) {
+        for (i, t) in retired.iter().enumerate() {
+            assert!(*t < self.tool_count, "retired index {t} out of range");
+            assert!(!retired[..i].contains(t), "retired index {t} repeated");
+        }
+        self.retired = retired;
+    }
+
+    /// Rebuilds Level 2 against the current live catalog — the
+    /// staleness-bounded refresh that runs once churn exceeds the serving
+    /// layer's configured fraction.
+    ///
+    /// Deterministic given the same mutation history: retired members are
+    /// dropped from each cluster, live tools in no cluster (i.e. tools
+    /// registered since the offline build) are adopted by the cluster
+    /// with the nearest stale centroid in ascending tool-id order, empty
+    /// clusters are dropped, and each surviving cluster's centroid is
+    /// recomputed as the mean of its members' Level-1 embeddings.
+    pub fn refresh_clusters(&mut self) {
+        let mut vectors: Vec<Option<Embedding>> = vec![None; self.tool_count];
+        for (id, v) in self.tool_index.iter() {
+            // Index vectors were normalised when embedded; wrap without
+            // re-normalising so refresh maths match the live build's.
+            vectors[id as usize] = Some(Embedding::from_normalized(v.to_vec()));
+        }
+
+        for c in &mut self.clusters {
+            c.tool_indices.retain(|t| vectors[*t].is_some());
+        }
+
+        if !self.clusters.is_empty() {
+            for (t, slot) in vectors.iter().enumerate().take(self.tool_count) {
+                let Some(embedding) = slot else {
+                    continue;
+                };
+                if self.clusters.iter().any(|c| c.tool_indices.contains(&t)) {
+                    continue;
+                }
+                let mut best = 0usize;
+                let mut best_score = f32::NEG_INFINITY;
+                for (i, c) in self.clusters.iter().enumerate() {
+                    let score = c.centroid.cosine(embedding);
+                    if score > best_score {
+                        best = i;
+                        best_score = score;
+                    }
+                }
+                self.clusters[best].tool_indices.push(t);
+            }
+        }
+
+        self.clusters.retain(|c| !c.tool_indices.is_empty());
+        let mut cluster_index = FlatIndex::new(self.embedder.dim(), Metric::Cosine);
+        for c in &mut self.clusters {
+            c.tool_indices.sort_unstable();
+            c.centroid = Embedding::mean(
+                c.tool_indices
+                    .iter()
+                    .map(|t| vectors[*t].as_ref().expect("cluster members are live")),
+            )
+            .expect("cluster is non-empty");
+            cluster_index
+                .add(c.id as u64, c.centroid.as_slice())
+                .expect("cluster ids are unique");
+        }
+        self.cluster_index = cluster_index;
     }
 
     /// Builds the *lexical* strawman clustering the paper dismisses in
@@ -575,6 +754,131 @@ mod tests {
         for (x, y) in ha.iter().zip(&hb) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn registered_tool_joins_level1_and_level3() {
+        let w = bfcl(1, 40);
+        let mut levels = SearchLevels::build(&w);
+        let embedding = levels
+            .embedder()
+            .embed("tide_forecast: Predicts tide heights for a coastal station");
+        levels.register_embedded(51, &embedding).unwrap();
+        assert_eq!(levels.tool_count(), 52);
+        assert_eq!(levels.live_count(), 52);
+        assert!(levels.full_level().contains(&51));
+        let hits = levels.tool_index().search(embedding.as_slice(), 1);
+        assert_eq!(hits[0].id, 51, "new tool must be its own nearest neighbor");
+    }
+
+    #[test]
+    fn register_out_of_order_panics() {
+        let w = bfcl(1, 40);
+        let mut levels = SearchLevels::build(&w);
+        let e = levels.embedder().embed("anything");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = levels.register_embedded(53, &e);
+        }));
+        assert!(result.is_err(), "index 53 skips 51 and 52");
+    }
+
+    #[test]
+    fn retired_tool_leaves_every_level() {
+        let w = bfcl(1, 40);
+        let mut levels = SearchLevels::build(&w);
+        let victim = w.registry.index_of("current_weather").unwrap();
+        levels.retire(victim).unwrap();
+        assert!(!levels.is_live(victim));
+        assert_eq!(levels.live_count(), 50);
+        assert!(!levels.full_level().contains(&victim));
+        let query = levels
+            .embedder()
+            .embed("a tool that fetches current weather conditions for a city");
+        let hits = levels.tool_index().search(query.as_slice(), 51);
+        assert!(hits.iter().all(|h| h.id != victim as u64));
+        // Double retirement is an error; the retired list is unchanged.
+        assert!(levels.retire(victim).is_err());
+        assert_eq!(levels.retired(), &[victim]);
+    }
+
+    #[test]
+    fn refresh_clusters_drops_retired_and_adopts_registered_tools() {
+        let w = geoengine(1, 60);
+        let mut levels = SearchLevels::build(&w);
+        let victim = levels.clusters()[0].tool_indices[0];
+        levels.retire(victim).unwrap();
+        let embedding = levels
+            .embedder()
+            .embed("cloud_mask: Masks cloudy pixels in a satellite scene");
+        levels.register_embedded(46, &embedding).unwrap();
+
+        levels.refresh_clusters();
+
+        assert!(!levels.clusters().is_empty());
+        for c in levels.clusters() {
+            assert!(!c.tool_indices.contains(&victim), "retired member kept");
+            assert!(!c.tool_indices.is_empty(), "empty cluster kept");
+        }
+        let adopted = levels
+            .clusters()
+            .iter()
+            .filter(|c| c.tool_indices.contains(&46))
+            .count();
+        assert_eq!(adopted, 1, "new tool adopted by exactly one cluster");
+        // Cluster index mirrors the surviving clusters.
+        assert_eq!(levels.cluster_index().len(), levels.clusters().len());
+    }
+
+    #[test]
+    fn refresh_is_deterministic_across_identical_histories() {
+        let w = geoengine(2, 60);
+        let run = || {
+            let mut levels = SearchLevels::build(&w);
+            levels.retire(3).unwrap();
+            levels.retire(17).unwrap();
+            let e = levels.embedder().embed("band_math: Computes band ratios");
+            levels.register_embedded(46, &e).unwrap();
+            levels.refresh_clusters();
+            levels
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.clusters().len(), b.clusters().len());
+        for (x, y) in a.clusters().iter().zip(b.clusters()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.tool_indices, y.tool_indices);
+            for (p, q) in x.centroid.as_slice().iter().zip(y.centroid.as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_works_on_every_backend() {
+        let w = bfcl(7, 40);
+        for index in [
+            IndexSpec::Flat,
+            IndexSpec::Ivf(lim_vecstore::IvfParams::default()),
+            IndexSpec::Hnsw(lim_vecstore::HnswParams::default()),
+        ] {
+            let config = LevelsConfig {
+                index,
+                ..LevelsConfig::default()
+            };
+            let mut levels = SearchLevels::build_with(&w, &config);
+            let e = levels.embedder().embed("brand new capability");
+            levels.register_embedded(51, &e).unwrap();
+            levels.retire(0).unwrap();
+            assert_eq!(levels.live_count(), 51, "{} backend", index.kind());
+            let live: Vec<u64> = levels.tool_index().iter().map(|(id, _)| id).collect();
+            assert!(live.contains(&51));
+            assert!(!live.contains(&0), "{} iter leaks tombstone", index.kind());
+            levels.refresh_clusters();
+            assert!(levels
+                .clusters()
+                .iter()
+                .all(|c| !c.tool_indices.contains(&0)));
         }
     }
 

@@ -230,7 +230,9 @@ fn clusters_from_json(
             ))
             .nest("centroid")));
         }
-        let centroid = Embedding::new(centroid_values);
+        // Persisted centroids are already unit-norm; re-normalising would
+        // perturb them by an ulp and break byte-exact restore.
+        let centroid = Embedding::from_normalized(centroid_values);
         cluster_index
             .add(id as u64, centroid.as_slice())
             .map_err(|e| at(err(format!("cluster index: {e}"))))?;

@@ -29,6 +29,18 @@ impl Embedding {
         }
     }
 
+    /// Wraps values that are already unit-norm (or intentionally zero)
+    /// without re-normalising.
+    ///
+    /// Dividing an already-normalised vector by its ≈1.0 norm perturbs
+    /// every component by an ulp, so decoding a serialised embedding
+    /// through [`Embedding::new`] would not be bit-identical to the
+    /// vector that was written. Snapshot and checkpoint loaders use this
+    /// constructor so persisted state round-trips to the exact bytes.
+    pub fn from_normalized(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
     /// Creates an all-zero embedding of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         Self {

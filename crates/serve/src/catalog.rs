@@ -1,0 +1,192 @@
+//! Live catalog mutation: the records, counters and epoch bookkeeping
+//! behind [`crate::ServeEngine::register_tool`] and
+//! [`crate::ServeEngine::retire_tool`].
+//!
+//! A running engine may grow or shrink its tool catalog without a
+//! restart. Every successful mutation appends one [`CatalogRecord`] to
+//! the engine's **catalog log** and bumps the engine's **catalog
+//! epoch** — a monotonically increasing counter threaded through the
+//! embedding-cache and selection-memo keys. Epoch-qualified keys are how
+//! stale cache entries die *without a flush*: an entry computed against
+//! an older catalog simply stops being addressable (its key names a past
+//! epoch) and ages out of the LRU under normal pressure, while the
+//! counters keep honest hit/miss accounting across the boundary.
+//!
+//! The log is also the replay artifact: a snapshot written after churn
+//! carries the log as a `catalog_log` section, and a booting engine
+//! replays it record-by-record to converge bit-identically with the
+//! mutated live engine (see [`crate::snapshot`]).
+
+use lim_json::Value;
+use lim_tools::ToolDoc;
+
+/// One catalog mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogOp {
+    /// A tool joined the catalog (allocated the next dense index).
+    Register(ToolDoc),
+    /// The tool at this index left the catalog. Its index stays
+    /// allocated forever — dense indices are never reused, so every log
+    /// replay resolves ids identically.
+    Retire(usize),
+}
+
+/// One entry of the catalog log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogRecord {
+    /// 1-based position in the log; strictly increasing.
+    pub seq: u64,
+    /// Catalog epoch after this mutation applied. Each mutation bumps
+    /// the epoch by exactly one, so `epoch_after == seq` always — the
+    /// redundancy is kept on the wire and *validated* at decode, turning
+    /// a reordered or truncated log into a typed error instead of a
+    /// silently different catalog.
+    pub epoch_after: u64,
+    /// What changed.
+    pub op: CatalogOp,
+}
+
+/// Lifetime counters of the live-catalog machinery, reported in the
+/// report-v3 `catalog` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogCounters {
+    /// Tools registered since boot (or since the replayed log's origin).
+    pub registered: u64,
+    /// Tools retired.
+    pub retired: u64,
+    /// Tombstone compactions the Level-1 index performed.
+    pub compactions: u64,
+    /// Staleness-bounded Level-2 cluster refreshes.
+    pub cluster_refreshes: u64,
+    /// Selection-memo entries stranded by epoch bumps (they age out of
+    /// the LRU; nothing is flushed).
+    pub memo_invalidations: u64,
+}
+
+impl CatalogRecord {
+    /// Serializes one log record. Deterministic: the same record always
+    /// yields byte-identical JSON.
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::object([
+            ("seq", Value::from(self.seq as i64)),
+            ("epoch_after", Value::from(self.epoch_after as i64)),
+        ]);
+        match &self.op {
+            CatalogOp::Register(tool) => {
+                doc.insert("op", Value::from("register"));
+                doc.insert("tool", tool.to_json());
+            }
+            CatalogOp::Retire(id) => {
+                doc.insert("op", Value::from("retire"));
+                doc.insert("id", Value::from(*id));
+            }
+        }
+        doc
+    }
+
+    /// Decodes one log record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field: missing or
+    /// negative `seq`/`epoch_after`, unknown `op`, or an invalid
+    /// embedded tool document.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        let non_negative = |field: &str| -> Result<u64, String> {
+            match doc.get(field).and_then(Value::as_i64) {
+                Some(x) if x >= 0 => Ok(x as u64),
+                Some(x) => Err(format!("catalog record {field} is negative ({x})")),
+                None => Err(format!("catalog record missing {field}")),
+            }
+        };
+        let seq = non_negative("seq")?;
+        let epoch_after = non_negative("epoch_after")?;
+        let op = match doc.get("op").and_then(Value::as_str) {
+            Some("register") => {
+                let tool = doc
+                    .get("tool")
+                    .ok_or("register record missing tool document")?;
+                CatalogOp::Register(ToolDoc::from_json(tool).map_err(|e| e.to_string())?)
+            }
+            Some("retire") => {
+                let id = match doc.get("id").and_then(Value::as_i64) {
+                    Some(x) if x >= 0 => x as usize,
+                    Some(x) => return Err(format!("retire record id is negative ({x})")),
+                    None => return Err("retire record missing id".to_owned()),
+                };
+                CatalogOp::Retire(id)
+            }
+            Some(other) => return Err(format!("unknown catalog op {other:?}")),
+            None => return Err("catalog record missing op".to_owned()),
+        };
+        Ok(Self {
+            seq,
+            epoch_after,
+            op,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_tools::ParamType;
+
+    fn sample_doc() -> ToolDoc {
+        ToolDoc::new("orbit_predict", "astro", "Predicts a satellite pass").with_param(
+            "norad_id",
+            ParamType::Integer,
+            true,
+            "catalog number",
+        )
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for record in [
+            CatalogRecord {
+                seq: 1,
+                epoch_after: 1,
+                op: CatalogOp::Register(sample_doc()),
+            },
+            CatalogRecord {
+                seq: 2,
+                epoch_after: 2,
+                op: CatalogOp::Retire(17),
+            },
+        ] {
+            let text = record.to_json().to_string();
+            let back = CatalogRecord::from_json(&lim_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        let ok = CatalogRecord {
+            seq: 1,
+            epoch_after: 1,
+            op: CatalogOp::Retire(3),
+        }
+        .to_json();
+        assert!(CatalogRecord::from_json(&ok).is_ok());
+        for (field, value) in [
+            ("seq", Value::from(-1)),
+            ("epoch_after", Value::Null),
+            ("op", Value::from("rename")),
+            ("id", Value::from(-2)),
+        ] {
+            let mut broken = ok.clone();
+            broken.insert(field, value);
+            assert!(CatalogRecord::from_json(&broken).is_err(), "broke {field}");
+        }
+        let register = Value::object([
+            ("seq", Value::from(1)),
+            ("epoch_after", Value::from(1)),
+            ("op", Value::from("register")),
+        ]);
+        assert!(CatalogRecord::from_json(&register)
+            .unwrap_err()
+            .contains("tool document"));
+    }
+}

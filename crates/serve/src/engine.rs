@@ -67,15 +67,17 @@ use lim_core::{
 use lim_embed::Embedding;
 use lim_llm::recommender::{recommend_descriptions, stable_text_seed};
 use lim_llm::{ModelProfile, Quant};
+use lim_tools::ToolDoc;
 use lim_vecstore::VectorIndex;
-use lim_workloads::trace::SessionTrace;
+use lim_workloads::trace::{ChurnEvent, ChurnOp, SessionTrace};
 use lim_workloads::{Query, Workload};
 
 use lim_core::{levels_from_snapshot, Snapshot, SnapshotError};
 
 use crate::admission::{AdmissionConfig, AdmissionOutcome, Disposition};
 use crate::cache::{CacheStats, Lookup, LruCache};
-use crate::report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
+use crate::catalog::{CatalogCounters, CatalogOp, CatalogRecord};
+use crate::report::{AdmissionReport, BootReport, CatalogReport, LatencyStats, ServeReport};
 use crate::snapshot as snap;
 
 /// Simulated seconds to decode one snapshot payload byte at boot
@@ -128,6 +130,12 @@ pub struct ServeConfig {
     /// Backpressure layer: bounded queue, fairness and shed policy
     /// (disabled by default — `queue_depth: 0`).
     pub admission: AdmissionConfig,
+    /// Staleness bound on the Level-2 cluster summaries: once the
+    /// mutations since the last refresh exceed this fraction of the live
+    /// catalog, the clusters are rebuilt over the live tools
+    /// (`SearchLevels::refresh_clusters`). `0.0` refreshes after every
+    /// mutation; a very large value effectively disables refreshes.
+    pub cluster_refresh_fraction: f64,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +150,7 @@ impl Default for ServeConfig {
             knn_seconds_per_level: 0.0008,
             prewarm: true,
             admission: AdmissionConfig::default(),
+            cluster_refresh_fraction: 0.25,
         }
     }
 }
@@ -209,6 +218,22 @@ impl ServeConfigBuilder {
     /// Backpressure layer: bounded queue, fairness and shed policy.
     pub fn admission(mut self, admission: AdmissionConfig) -> Self {
         self.config.admission = admission;
+        self
+    }
+
+    /// Staleness bound on the Level-2 cluster summaries, as a fraction
+    /// of the live catalog (see
+    /// [`ServeConfig::cluster_refresh_fraction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite fraction.
+    pub fn cluster_refresh_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction >= 0.0 && fraction.is_finite(),
+            "cluster refresh fraction must be finite and non-negative"
+        );
+        self.config.cluster_refresh_fraction = fraction;
         self
     }
 
@@ -346,6 +371,16 @@ pub struct ServeEngine {
     pub(crate) session_fast_hits: u64,
     pub(crate) requests_served: u64,
     pub(crate) boot: BootReport,
+    /// Catalog epoch: bumped by every register/retire; part of every
+    /// cache key, so entries computed against an older catalog stop
+    /// being addressable instead of being flushed.
+    pub(crate) epoch: u64,
+    /// Every mutation since the engine's base catalog, in order — the
+    /// `catalog_log` snapshot section a booting engine replays.
+    pub(crate) catalog_log: Vec<CatalogRecord>,
+    pub(crate) catalog: CatalogCounters,
+    /// Mutations since the last Level-2 cluster refresh.
+    pub(crate) churn_since_refresh: u64,
 }
 
 impl ServeEngine {
@@ -401,9 +436,13 @@ impl ServeEngine {
         snap::validate_workload(snapshot, &workload)?;
         let levels = levels_from_snapshot(snapshot)?;
         let mut engine = Self::assemble(workload, levels, model, config);
+        // Pre-warm *before* replaying the catalog log, mirroring live
+        // history: a mutated engine pre-warmed at epoch 0 too, so its
+        // seed entries sit on epoch-0 keys.
         if engine.wants_prewarm() {
             engine.prewarm_from_training_pool();
         }
+        snap::apply_catalog_log(snapshot, &mut engine)?;
         // Bill only what this boot decoded: on a checkpoint file the
         // warm sections stay untouched, so their bytes cost nothing.
         engine.boot = engine.describe_boot("snapshot", true, false, decoded_bytes(snapshot));
@@ -440,6 +479,7 @@ impl ServeEngine {
         let levels = levels_from_snapshot(snapshot)?;
         let mut engine = Self::assemble(workload, levels, model, config);
         snap::restore_warm_state(snapshot, &mut engine)?;
+        snap::apply_catalog_log(snapshot, &mut engine)?;
         engine.boot = engine.describe_boot("checkpoint", true, true, decoded_bytes(snapshot));
         Ok(engine)
     }
@@ -469,6 +509,10 @@ impl ServeEngine {
             session_fast_hits: 0,
             requests_served: 0,
             boot: BootReport::neutral(),
+            epoch: 0,
+            catalog_log: Vec::new(),
+            catalog: CatalogCounters::default(),
+            churn_since_refresh: 0,
         }
     }
 
@@ -541,19 +585,141 @@ impl ServeEngine {
         self.requests_served
     }
 
+    /// Current catalog epoch: 0 until the first live mutation, then
+    /// bumped by one per register/retire.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime counters of the live-catalog machinery.
+    pub fn catalog_counters(&self) -> CatalogCounters {
+        self.catalog
+    }
+
+    /// Every catalog mutation applied since the engine's base catalog,
+    /// in order — what a snapshot persists and a boot replays.
+    pub fn catalog_log(&self) -> &[CatalogRecord] {
+        &self.catalog_log
+    }
+
+    /// Registers a new tool on the running engine and returns its dense
+    /// catalog index. The tool is embedded with the engine's (frozen)
+    /// IDF model, inserted incrementally into the Level-1 index, and the
+    /// catalog epoch is bumped so every cached selection computed
+    /// against the old catalog goes stale without a flush.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid document (empty name, duplicate param names)
+    /// and a name already present in the catalog. The engine is
+    /// unchanged on error.
+    pub fn register_tool(&mut self, doc: &ToolDoc) -> Result<usize, String> {
+        doc.validate().map_err(|e| e.to_string())?;
+        let spec = doc.to_spec();
+        let embedding = self.levels.embedder().embed(&spec.embedding_text());
+        let index = Arc::make_mut(&mut self.workload)
+            .registry
+            .register(spec)
+            .map_err(|e| e.to_string())?;
+        Arc::make_mut(&mut self.levels)
+            .register_embedded(index, &embedding)
+            .expect("registry allocates dense, unused indices");
+        self.bump_epoch();
+        self.catalog.registered += 1;
+        self.catalog_log.push(CatalogRecord {
+            seq: self.epoch,
+            epoch_after: self.epoch,
+            op: CatalogOp::Register(doc.clone()),
+        });
+        self.note_churn();
+        Ok(index)
+    }
+
+    /// Retires the tool at `index` from the running engine: it is
+    /// tombstoned out of the Level-1 index (compacted once enough
+    /// tombstones pile up), dropped from Level-3, filtered from stale
+    /// Level-2 offers, and the catalog epoch is bumped. Its dense index
+    /// stays allocated forever — indices are never reused.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an index that is out of range or already retired. The
+    /// engine is unchanged on error.
+    pub fn retire_tool(&mut self, index: usize) -> Result<(), String> {
+        if index >= self.levels.tool_count() {
+            return Err(format!(
+                "tool index {index} out of range (0..{})",
+                self.levels.tool_count()
+            ));
+        }
+        let compacted = Arc::make_mut(&mut self.levels)
+            .retire(index)
+            .map_err(|e| e.to_string())?;
+        self.bump_epoch();
+        self.catalog.retired += 1;
+        if compacted {
+            self.catalog.compactions += 1;
+        }
+        self.catalog_log.push(CatalogRecord {
+            seq: self.epoch,
+            epoch_after: self.epoch,
+            op: CatalogOp::Retire(index),
+        });
+        self.note_churn();
+        Ok(())
+    }
+
+    /// Advances the epoch, counting how many memo entries the bump
+    /// strands. Stale entries are *not* evicted — they age out of the
+    /// LRU under normal pressure; the count just keeps the report
+    /// honest.
+    fn bump_epoch(&mut self) {
+        let stale_tag = format!("|e{}|", self.epoch);
+        self.catalog.memo_invalidations += self
+            .memo
+            .entries_lru()
+            .iter()
+            .filter(|(key, _)| key.contains(&stale_tag))
+            .count() as u64;
+        self.epoch += 1;
+    }
+
+    /// Applies the staleness bound: refresh the Level-2 cluster
+    /// summaries once churn exceeds the configured fraction of the live
+    /// catalog.
+    fn note_churn(&mut self) {
+        self.churn_since_refresh += 1;
+        let bound = self.config.cluster_refresh_fraction * self.levels.live_count() as f64;
+        if self.churn_since_refresh as f64 > bound {
+            Arc::make_mut(&mut self.levels).refresh_clusters();
+            self.catalog.cluster_refreshes += 1;
+            self.churn_since_refresh = 0;
+        }
+    }
+
     /// Seeds the embedding cache with the training pool so a cold trace
     /// starts against warm state (the "seeded" in seeded-LRU).
     fn prewarm_from_training_pool(&mut self) {
         let workload = Arc::clone(&self.workload);
         for query in &workload.train_queries {
-            let key = normalize_query(&query.text);
+            let key = self.embed_key(&normalize_query(&query.text));
             let embeddings = Arc::new(self.build_embeddings(query));
             self.embed_cache.seed(key, embeddings);
         }
     }
 
-    /// The memo key: normalized query text qualified by policy and level
-    /// configuration, so a reconfigured engine never reads stale entries.
+    /// The embedding-cache key: normalized query text qualified by the
+    /// catalog epoch, so a live mutation strands every cached latent
+    /// footprint computed against the old catalog without a flush.
+    /// Normalized text cannot contain `|` (see [`normalize_query`]), so
+    /// the epoch tag parses back unambiguously.
+    pub(crate) fn embed_key(&self, normalized: &str) -> String {
+        format!("e{}|{}", self.epoch, normalized)
+    }
+
+    /// The memo key: normalized query text qualified by policy, level
+    /// configuration and catalog epoch, so a reconfigured engine — or a
+    /// mutated catalog — never reads stale entries.
     pub(crate) fn memo_key(&self, normalized: &str) -> String {
         let levels_tag = match self.config.policy {
             Policy::LessIsMore { config } => {
@@ -563,9 +729,10 @@ impl ServeEngine {
             Policy::Default => "L3".to_owned(),
         };
         format!(
-            "{}|{}|{}",
+            "{}|{}|e{}|{}",
             self.config.policy.label(),
             levels_tag,
+            self.epoch,
             normalized
         )
     }
@@ -679,6 +846,7 @@ impl ServeEngine {
             return Err(format!("trace query index {bad} out of range (0..{pool})"));
         }
         trace.validate_arrivals()?;
+        trace.validate_churn()?;
 
         let meta = crate::StreamMeta {
             trace_seed: trace.seed,
@@ -688,9 +856,17 @@ impl ServeEngine {
         };
         let mut stream = self.begin_stream(meta, workers);
         let arrivals = trace.arrival_seconds();
+        // Churn events apply at their recorded global request position:
+        // the session drains in-flight work first (see
+        // `ServeSession::register_tool`), so a mutation always lands on
+        // a batch boundary — identical for every worker count.
+        let mut churn = trace.churn.iter().peekable();
         let mut next = 0usize;
         for session in &trace.sessions {
             for &query_index in &session.query_indices {
+                while let Some(event) = churn.next_if(|e| e.after_requests <= next) {
+                    apply_churn_event(&mut stream, event)?;
+                }
                 stream.submit(crate::StreamRequest {
                     session: session.id,
                     query_index,
@@ -698,6 +874,9 @@ impl ServeEngine {
                 })?;
                 next += 1;
             }
+        }
+        for event in churn {
+            apply_churn_event(&mut stream, event)?;
         }
         Ok(stream.finish())
     }
@@ -721,7 +900,12 @@ impl ServeEngine {
             };
         }
         let query = &self.workload.queries[query_index];
-        let key = normalize_query(&query.text);
+        let normalized = normalize_query(&query.text);
+        // The session fast path and the embedding cache key on the
+        // epoch-qualified form: a catalog mutation strands both, so no
+        // request is ever served a selection computed against a catalog
+        // that no longer exists.
+        let key = self.embed_key(&normalized);
         let state = self.sessions.entry(session_id).or_default();
 
         // Per-session warm controller: a session repeating its own
@@ -746,13 +930,13 @@ impl ServeEngine {
         // (stage 4) the value exists, so it counts as a hit, exactly as
         // a sequential server would see it.
         let embed_lookup = self.embed_cache.lookup(&key);
-        let memo_key = self.memo_key(&key);
+        let memo_key = self.memo_key(&normalized);
         let ensure_job = |jobs: &mut Vec<SelectionJob>,
                           slot_of: &mut HashMap<String, usize>,
                           cached: Option<Arc<QueryEmbeddings>>,
                           embeddings_only: bool|
          -> usize {
-            match slot_of.get(&key) {
+            match slot_of.get(&normalized) {
                 Some(&slot) => {
                     // A later requester that needs full cost accounting
                     // upgrades an embeddings-only refill (jobs run after
@@ -763,13 +947,16 @@ impl ServeEngine {
                     slot
                 }
                 None => {
+                    // Jobs are keyed by the *pure* normalized text: a
+                    // job is a function of the query, and its simulated
+                    // cost must not vary with the catalog epoch.
                     jobs.push(SelectionJob {
-                        key: key.clone(),
+                        key: normalized.clone(),
                         query_index,
                         cached_embeddings: cached,
                         embeddings_only,
                     });
-                    slot_of.insert(key.clone(), jobs.len() - 1);
+                    slot_of.insert(normalized.clone(), jobs.len() - 1);
                     jobs.len() - 1
                 }
             }
@@ -790,7 +977,7 @@ impl ServeEngine {
                 // reservation schedules a job, and fills land at the end
                 // of each batch, so a `Reserved` outcome can only come
                 // from the current batch).
-                let slot = slot_of[&key];
+                let slot = slot_of[&normalized];
                 (SelectionSource::Pending(slot), CostClass::Free)
             }
             Lookup::Miss => {
@@ -999,6 +1186,15 @@ impl ServeEngine {
             selection_memo: self.memo.stats().since(&memo_before),
             session_fast_hits: self.session_fast_hits - session_fast_before,
             boot: self.boot.clone(),
+            catalog: CatalogReport {
+                epoch: self.epoch,
+                registered: self.catalog.registered,
+                retired: self.catalog.retired,
+                tombstones: self.levels.tool_index().tombstones().len(),
+                compactions: self.catalog.compactions,
+                cluster_refreshes: self.catalog.cluster_refreshes,
+                memo_invalidations: self.catalog.memo_invalidations,
+            },
             admission: AdmissionReport {
                 arrivals: scope.arrivals.label(),
                 queue_depth: self.config.admission.queue_depth,
@@ -1017,6 +1213,19 @@ impl ServeEngine {
                 0.0
             },
         }
+    }
+}
+
+/// Applies one trace churn event through the session's drain-boundary
+/// mutation API, discarding the drained events (a trace replay reports
+/// them through the final [`ServeReport`], not per event).
+fn apply_churn_event(
+    stream: &mut crate::ServeSession<'_>,
+    event: &ChurnEvent,
+) -> Result<(), String> {
+    match &event.op {
+        ChurnOp::Register(doc) => stream.register_tool(doc).map(|_| ()),
+        ChurnOp::Retire(id) => stream.retire_tool(*id).map(|_| ()),
     }
 }
 

@@ -26,16 +26,27 @@
 //!   deterministic virtual clock, degrading to Level-3 / selection-free
 //!   service under pressure and shedding with a typed outcome once the
 //!   queue is full;
+//! * [`catalog`] — live-catalog mutation on a running engine:
+//!   [`ServeEngine::register_tool`] / [`ServeEngine::retire_tool`] (and
+//!   their drain-boundary [`ServeSession`] counterparts) grow and shrink
+//!   the tool catalog without a restart. Every mutation bumps a
+//!   monotonic **catalog epoch** that is threaded through the
+//!   embedding-cache and selection-memo keys, so stale entries die by
+//!   key mismatch — the caches are never flushed — and is appended to a
+//!   replayable [`CatalogRecord`] log that checkpoints carry;
 //! * [`ServeReport`] — accuracy, p50/p95/p99 simulated latency, cache
-//!   hit rates, queue/shed/degraded counters, boot accounting and
-//!   wall-clock throughput, serialized as `BENCH_serve_*.json`
-//!   (`lim-serve/report-v2`);
+//!   hit rates, queue/shed/degraded counters, boot accounting, the
+//!   [`CatalogReport`] mutation counters and wall-clock throughput,
+//!   serialized as `BENCH_serve_*.json` (`lim-serve/report-v3`);
 //! * [`snapshot`] — boot-from-disk: [`ServeEngine::from_snapshot`] skips
 //!   the offline level build by decoding a `lim/snapshot-v1` file
 //!   (sections load lazily), and [`ServeEngine::checkpoint`] /
 //!   [`ServeEngine::from_checkpoint`] round-trip the warm caches and
 //!   session state so a restarted server also skips the cold-cache ramp
-//!   — restore-then-replay is bit-identical to never restarting.
+//!   — restore-then-replay is bit-identical to never restarting. A
+//!   checkpoint of a mutated engine carries the catalog log; booting a
+//!   *base* snapshot and replaying the same mutations converges to the
+//!   same checkpoint bytes.
 //!
 //! Replays are **bit-identical for every worker count**: the engine
 //! plans cache behaviour sequentially in canonical arrival order,
@@ -87,6 +98,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod catalog;
 pub mod engine;
 pub mod report;
 pub mod session;
@@ -95,11 +107,12 @@ pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionOutcome, AdmissionSim, Disposition, ShedPolicy};
 pub use cache::{CacheStats, LruCache};
+pub use catalog::{CatalogCounters, CatalogOp, CatalogRecord};
 pub use engine::{
     normalize_query, QueryEmbeddings, ServeConfig, ServeConfigBuilder, ServeEngine,
     SNAPSHOT_DECODE_SECONDS_PER_BYTE,
 };
-pub use report::{AdmissionReport, BootReport, LatencyStats, ServeReport};
+pub use report::{AdmissionReport, BootReport, CatalogReport, LatencyStats, ServeReport};
 pub use session::{RequestEvent, ServeSession, StreamMeta, StreamRequest, Ticket};
 
 #[cfg(test)]

@@ -1,13 +1,13 @@
 //! Serving reports and the `BENCH_serve_*.json` document.
 //!
-//! # The `lim-serve/report-v2` format
+//! # The `lim-serve/report-v3` format
 //!
 //! `lim loadgen --out BENCH_serve_1.json` (and [`ServeReport::to_json`]
 //! generally) writes one JSON object per trace replay:
 //!
 //! ```json
 //! {
-//!   "schema": "lim-serve/report-v2",
+//!   "schema": "lim-serve/report-v3",
 //!   "benchmark": "bfcl",
 //!   "model": "llama3.1-8b",
 //!   "quant": "q4_K_M",
@@ -44,6 +44,11 @@
 //!     "queue_wait": {"p50_s": 0.8, "p95_s": 14.2, "p99_s": 31.0,
 //!                    "mean_s": 3.1, "max_s": 40.2}
 //!   },
+//!   "catalog": {
+//!     "epoch": 6, "registered": 4, "retired": 2,
+//!     "tombstones": 2, "compactions": 0,
+//!     "cluster_refreshes": 1, "memo_invalidations": 37
+//!   },
 //!   "wall_seconds": 0.08,
 //!   "requests_per_second": 6400.0
 //! }
@@ -78,7 +83,16 @@
 //!   `level3_share`. The snapshot work later added the additive `boot`
 //!   section (`mode`: `cold|snapshot|checkpoint`, build-skipped /
 //!   prewarm-skipped flags, simulated boot cost) without bumping the
-//!   id. See `docs/SCHEMAS.md` for the field-by-field reference.
+//!   id.
+//! * `lim-serve/report-v3` — adds the `catalog` section (live-catalog
+//!   epoch, register/retire/tombstone/compaction counters, Level-2
+//!   refreshes and memo invalidations). For an engine that never
+//!   mutates its catalog every other field is numerically unchanged
+//!   from v2, but the id is bumped anyway: the CI churn gate compares
+//!   catalog counters at tolerance 0, and `lim compare` selects its
+//!   tracked-metric set by schema id — a v2 baseline must not silently
+//!   pass a churn replay whose catalog section it cannot see. See
+//!   `docs/SCHEMAS.md` for the field-by-field reference.
 
 use lim_json::Value;
 use lim_llm::Quant;
@@ -176,6 +190,43 @@ impl BootReport {
     }
 }
 
+/// Live-catalog state and churn counters at report time (all
+/// deterministic; see [`crate::catalog`] for the mutation machinery).
+/// Counters are lifetime totals — a snapshot-booted engine replays the
+/// catalog log, so its totals line up with the live engine it mirrors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogReport {
+    /// Catalog epoch (0 = the catalog was never mutated).
+    pub epoch: u64,
+    /// Tools registered live.
+    pub registered: u64,
+    /// Tools retired live.
+    pub retired: u64,
+    /// Tombstones currently resident in the Level-1 index.
+    pub tombstones: usize,
+    /// Tombstone compactions the Level-1 index performed.
+    pub compactions: u64,
+    /// Staleness-bounded Level-2 cluster refreshes.
+    pub cluster_refreshes: u64,
+    /// Selection-memo entries stranded by epoch bumps.
+    pub memo_invalidations: u64,
+}
+
+impl CatalogReport {
+    /// The state of a never-mutated catalog — all zeros.
+    pub fn unchanged() -> Self {
+        Self {
+            epoch: 0,
+            registered: 0,
+            retired: 0,
+            tombstones: 0,
+            compactions: 0,
+            cluster_refreshes: 0,
+            memo_invalidations: 0,
+        }
+    }
+}
+
 /// What the admission-control layer did during one replay (all
 /// deterministic; see the [`crate::admission`] module for the queue
 /// semantics).
@@ -254,6 +305,8 @@ pub struct ServeReport {
     pub session_fast_hits: u64,
     /// How the engine booted (cold / snapshot / checkpoint).
     pub boot: BootReport,
+    /// Live-catalog epoch and churn counters.
+    pub catalog: CatalogReport,
     /// Backpressure outcomes: queue waits, shed and degraded counts.
     pub admission: AdmissionReport,
     /// Real elapsed seconds (not deterministic).
@@ -283,10 +336,10 @@ fn latency_to_json(l: &LatencyStats) -> Value {
 }
 
 impl ServeReport {
-    /// Serializes to the `lim-serve/report-v2` document.
+    /// Serializes to the `lim-serve/report-v3` document.
     pub fn to_json(&self) -> Value {
         Value::object([
-            ("schema", Value::from("lim-serve/report-v2")),
+            ("schema", Value::from("lim-serve/report-v3")),
             ("benchmark", Value::from(self.benchmark.as_str())),
             ("model", Value::from(self.model.as_str())),
             ("quant", Value::from(self.quant.label())),
@@ -358,6 +411,24 @@ impl ServeReport {
                         Value::from(self.admission.max_queue_depth),
                     ),
                     ("queue_wait", latency_to_json(&self.admission.queue_wait)),
+                ]),
+            ),
+            (
+                "catalog",
+                Value::object([
+                    ("epoch", Value::from(self.catalog.epoch as i64)),
+                    ("registered", Value::from(self.catalog.registered as i64)),
+                    ("retired", Value::from(self.catalog.retired as i64)),
+                    ("tombstones", Value::from(self.catalog.tombstones)),
+                    ("compactions", Value::from(self.catalog.compactions as i64)),
+                    (
+                        "cluster_refreshes",
+                        Value::from(self.catalog.cluster_refreshes as i64),
+                    ),
+                    (
+                        "memo_invalidations",
+                        Value::from(self.catalog.memo_invalidations as i64),
+                    ),
                 ]),
             ),
             ("wall_seconds", Value::from(self.wall_seconds)),

@@ -235,8 +235,11 @@ impl ServeEngine {
         // already-filled slots, and a key whose embed entry was evicted
         // and re-reserved mid-batch must not be left valueless.
         for (job, result) in jobs.iter().zip(&computed) {
+            // Fills land on the epoch the batch was planned under —
+            // mutations only apply between drains, so the epoch cannot
+            // have moved since the reservation.
             self.embed_cache
-                .fill(&job.key, Arc::clone(&result.embeddings));
+                .fill(&self.embed_key(&job.key), Arc::clone(&result.embeddings));
             self.memo
                 .fill(&self.memo_key(&job.key), Arc::clone(&result.selection));
         }
@@ -396,6 +399,47 @@ impl ServeSession<'_> {
     /// that advance the session on a cadence rather than per batch.
     pub fn tick(&mut self) -> Vec<RequestEvent> {
         self.drain()
+    }
+
+    /// Registers a tool on the live engine mid-stream. The pending batch
+    /// is drained first — a mutation applies at a drain boundary, never
+    /// inside one, so every request submitted before the call is served
+    /// against the old catalog and every request after against the new
+    /// one, for any worker count. Returns the new tool's catalog index
+    /// plus the [`RequestEvent`]s the forced drain resolved.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::register_tool`]; the stream is unaffected on
+    /// error (the forced drain still happened).
+    pub fn register_tool(
+        &mut self,
+        doc: &lim_tools::ToolDoc,
+    ) -> Result<(usize, Vec<RequestEvent>), String> {
+        let events = self.drain();
+        let index = self.engine.register_tool(doc)?;
+        Ok((index, events))
+    }
+
+    /// Retires the tool at `index` from the live engine mid-stream,
+    /// draining the pending batch first (see
+    /// [`ServeSession::register_tool`] for the boundary semantics).
+    /// Returns the [`RequestEvent`]s the forced drain resolved.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::retire_tool`]; the stream is unaffected on
+    /// error (the forced drain still happened).
+    pub fn retire_tool(&mut self, index: usize) -> Result<Vec<RequestEvent>, String> {
+        let events = self.drain();
+        self.engine.retire_tool(index)?;
+        Ok(events)
+    }
+
+    /// The engine's current catalog epoch — what a wire front-end stamps
+    /// into the `catalog` acknowledgement frame after a mutation.
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
     }
 
     /// Drains any pending batch, works the admission queue dry, and

@@ -33,6 +33,7 @@ use lim_vecstore::floats_to_json;
 use lim_workloads::Workload;
 
 use crate::cache::{CacheStats, LruCache};
+use crate::catalog::{CatalogOp, CatalogRecord};
 use crate::engine::{QueryEmbeddings, SelectionSource, ServeConfig, ServeEngine, SessionState};
 
 /// Checkpoint section recording the engine configuration and counters.
@@ -43,6 +44,12 @@ pub const SECTION_EMBED_CACHE: &str = "embed_cache";
 pub const SECTION_MEMO: &str = "memo";
 /// Checkpoint section holding per-session warm-controller state.
 pub const SECTION_SESSIONS: &str = "sessions";
+/// Checkpoint section holding the live-catalog mutation log. Written
+/// only when the catalog was actually mutated (epoch > 0), so snapshots
+/// of never-mutated engines are byte-identical to the pre-catalog
+/// format — and older readers, which treat unknown sections as errors,
+/// fail safe on churned snapshots instead of silently dropping the log.
+pub const SECTION_CATALOG: &str = "catalog_log";
 
 /// Every section a serving boot understands. A snapshot carrying any
 /// other section is rejected (unknown sections are an error).
@@ -54,6 +61,7 @@ pub const KNOWN_SECTIONS: &[&str] = &[
     SECTION_EMBED_CACHE,
     SECTION_MEMO,
     SECTION_SESSIONS,
+    SECTION_CATALOG,
 ];
 
 fn section_err(section: &str, message: impl Into<String>) -> SnapshotError {
@@ -150,7 +158,14 @@ pub(crate) fn validate_engine(
 pub(crate) fn write_checkpoint(engine: &ServeEngine) -> Vec<u8> {
     let mut writer = SnapshotWriter::new("checkpoint");
     writer.header_field("benchmark", Value::from(engine.workload.name));
-    writer.header_field("tool_count", Value::from(engine.workload.registry.len()));
+    // The header records the *base* catalog size — what the workload a
+    // booting process constructs from the benchmark generator has. Tools
+    // registered live are not in that base; the catalog_log section
+    // replays them on top at boot.
+    writer.header_field(
+        "tool_count",
+        Value::from(engine.workload.registry.len() - engine.catalog.registered as usize),
+    );
     writer.header_field("pool_size", Value::from(engine.workload.queries.len()));
     writer.header_field(
         "train_size",
@@ -168,7 +183,189 @@ pub(crate) fn write_checkpoint(engine: &ServeEngine) -> Vec<u8> {
         &cache_to_json(&engine.memo, selection_to_json),
     );
     writer.add_section(SECTION_SESSIONS, &sessions_to_json(&engine.sessions));
+    if engine.epoch > 0 {
+        writer.add_section(SECTION_CATALOG, &catalog_to_json(engine));
+    }
     writer.encode()
+}
+
+/// Serializes the live-catalog state: epoch, churn bookkeeping, lifetime
+/// counters and the full mutation log in order.
+fn catalog_to_json(engine: &ServeEngine) -> Value {
+    Value::object([
+        ("epoch", Value::from(engine.epoch as i64)),
+        (
+            "churn_since_refresh",
+            Value::from(engine.churn_since_refresh as i64),
+        ),
+        (
+            "counters",
+            Value::object([
+                ("registered", Value::from(engine.catalog.registered as i64)),
+                ("retired", Value::from(engine.catalog.retired as i64)),
+                (
+                    "compactions",
+                    Value::from(engine.catalog.compactions as i64),
+                ),
+                (
+                    "cluster_refreshes",
+                    Value::from(engine.catalog.cluster_refreshes as i64),
+                ),
+                (
+                    "memo_invalidations",
+                    Value::from(engine.catalog.memo_invalidations as i64),
+                ),
+            ]),
+        ),
+        (
+            "records",
+            engine
+                .catalog_log
+                .iter()
+                .map(CatalogRecord::to_json)
+                .collect(),
+        ),
+    ])
+}
+
+/// Replays a snapshot's `catalog_log` section into a freshly assembled
+/// engine: registers every logged tool into the workload registry (the
+/// levels sections already carry the mutated vector state, so nothing is
+/// re-embedded), restores the retired set, and adopts the epoch, churn
+/// bookkeeping and lifetime counters. A snapshot without the section is
+/// a never-mutated catalog — nothing to do.
+///
+/// Validation is strict and typed: records must be contiguous from
+/// `seq` 1 with `epoch_after == seq`, the count must equal the recorded
+/// epoch, the counters must agree with the log, registered names must be
+/// fresh, and retired ids must be in-range and unrepeated. A corrupt,
+/// reordered or truncated log is a [`SnapshotError::Section`], never a
+/// silently different catalog.
+pub(crate) fn apply_catalog_log(
+    snapshot: &Snapshot,
+    engine: &mut ServeEngine,
+) -> Result<(), SnapshotError> {
+    if snapshot.section_len(SECTION_CATALOG).is_none() {
+        return Ok(());
+    }
+    let doc = snapshot.section(SECTION_CATALOG)?;
+    let int = |doc: &Value, key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .filter(|x| *x >= 0)
+            .ok_or_else(|| section_err(SECTION_CATALOG, format!("missing or negative {key}")))
+    };
+    let epoch = int(doc, "epoch")? as u64;
+    let churn_since_refresh = int(doc, "churn_since_refresh")? as u64;
+    let counters_doc = doc
+        .get("counters")
+        .ok_or_else(|| section_err(SECTION_CATALOG, "missing counters"))?;
+    let counters = crate::catalog::CatalogCounters {
+        registered: int(counters_doc, "registered")? as u64,
+        retired: int(counters_doc, "retired")? as u64,
+        compactions: int(counters_doc, "compactions")? as u64,
+        cluster_refreshes: int(counters_doc, "cluster_refreshes")? as u64,
+        memo_invalidations: int(counters_doc, "memo_invalidations")? as u64,
+    };
+    let mut records = Vec::new();
+    for (i, entry) in doc
+        .get("records")
+        .and_then(Value::as_array)
+        .ok_or_else(|| section_err(SECTION_CATALOG, "missing records"))?
+        .iter()
+        .enumerate()
+    {
+        let record = CatalogRecord::from_json(entry)
+            .map_err(|e| section_err(SECTION_CATALOG, format!("record {i}: {e}")))?;
+        let expected = i as u64 + 1;
+        if record.seq != expected {
+            return Err(section_err(
+                SECTION_CATALOG,
+                format!(
+                    "record {i} has seq {}, expected {expected}; the log must be \
+                     contiguous and in order",
+                    record.seq
+                ),
+            ));
+        }
+        if record.epoch_after != record.seq {
+            return Err(section_err(
+                SECTION_CATALOG,
+                format!(
+                    "record {i} claims epoch {} after seq {}; every mutation bumps \
+                     the epoch by exactly one",
+                    record.epoch_after, record.seq
+                ),
+            ));
+        }
+        records.push(record);
+    }
+    if records.len() as u64 != epoch {
+        return Err(section_err(
+            SECTION_CATALOG,
+            format!(
+                "{} records disagree with recorded epoch {epoch}",
+                records.len()
+            ),
+        ));
+    }
+    let registers = records
+        .iter()
+        .filter(|r| matches!(r.op, CatalogOp::Register(_)))
+        .count() as u64;
+    if counters.registered != registers || counters.retired != epoch - registers {
+        return Err(section_err(
+            SECTION_CATALOG,
+            format!(
+                "counters record {} registrations and {} retirements but the log \
+                 holds {registers} and {}",
+                counters.registered,
+                counters.retired,
+                epoch - registers
+            ),
+        ));
+    }
+
+    // Replay. Registration order fixes each tool's dense index; the
+    // levels sections already hold the mutated vectors, so only the
+    // registry and the retired set move here.
+    let workload = Arc::make_mut(&mut engine.workload);
+    let mut retired: Vec<usize> = Vec::new();
+    for record in &records {
+        match &record.op {
+            CatalogOp::Register(tool) => {
+                workload
+                    .registry
+                    .register(tool.to_spec())
+                    .map_err(|e| section_err(SECTION_CATALOG, e.to_string()))?;
+            }
+            CatalogOp::Retire(id) => {
+                // Bounded by the catalog as it stood *at this log
+                // position* — the registry grows in replay order, so a
+                // log retiring a tool before registering it is corrupt.
+                if *id >= workload.registry.len() || retired.contains(id) {
+                    return Err(section_err(
+                        SECTION_CATALOG,
+                        format!("retire record names invalid or repeated tool {id}"),
+                    ));
+                }
+                retired.push(*id);
+            }
+        }
+    }
+    if workload.registry.len() != engine.levels.tool_count() {
+        return Err(SnapshotError::Mismatch(format!(
+            "catalog log replays to {} tools but the levels sections hold {}",
+            workload.registry.len(),
+            engine.levels.tool_count()
+        )));
+    }
+    Arc::make_mut(&mut engine.levels).restore_retired(retired);
+    engine.epoch = epoch;
+    engine.catalog = counters;
+    engine.catalog_log = records;
+    engine.churn_since_refresh = churn_since_refresh;
+    Ok(())
 }
 
 /// Restores caches, sessions and counters from a checkpoint's warm
@@ -339,7 +536,10 @@ fn embeddings_to_json(e: &QueryEmbeddings) -> Value {
 }
 
 fn embeddings_from_json(doc: &Value) -> Result<QueryEmbeddings, String> {
-    let query = Embedding::new(floats_from_json(
+    // Checkpointed embeddings are already unit-norm; `Embedding::new`
+    // would re-normalise and drift each component by an ulp, breaking
+    // the byte-exact restore contract.
+    let query = Embedding::from_normalized(floats_from_json(
         doc.get("query").ok_or("embeddings missing query")?,
         "query",
     )?);
@@ -356,7 +556,7 @@ fn embeddings_from_json(doc: &Value) -> Result<QueryEmbeddings, String> {
         .and_then(Value::as_array)
         .ok_or("embeddings missing contexts")?
         .iter()
-        .map(|c| floats_from_json(c, "context").map(Embedding::new))
+        .map(|c| floats_from_json(c, "context").map(Embedding::from_normalized))
         .collect::<Result<Vec<Embedding>, String>>()?;
     Ok(QueryEmbeddings {
         query,

@@ -117,6 +117,7 @@ fn session_fast_path_fires_on_repeated_queries() {
             query_indices: vec![4, 4, 4, 9, 4],
             arrival_us: Vec::new(),
         }],
+        churn: Vec::new(),
     };
     let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
     let report = engine.process_trace(&trace, 1).expect("valid trace");
@@ -171,8 +172,26 @@ fn report_serializes_to_parseable_json() {
     let doc = lim_json::parse(&text).expect("valid JSON");
     assert_eq!(
         doc.get("schema").and_then(lim_json::Value::as_str),
-        Some("lim-serve/report-v2")
+        Some("lim-serve/report-v3")
     );
+    let catalog = doc.get("catalog").expect("catalog section");
+    for field in [
+        "epoch",
+        "registered",
+        "retired",
+        "tombstones",
+        "compactions",
+        "cluster_refreshes",
+        "memo_invalidations",
+    ] {
+        assert!(
+            catalog
+                .get(field)
+                .and_then(lim_json::Value::as_i64)
+                .is_some(),
+            "missing catalog.{field}"
+        );
+    }
     let admission = doc.get("admission").expect("admission section");
     for field in ["admitted", "degraded", "shed", "max_queue_depth"] {
         assert!(
@@ -907,5 +926,396 @@ proptest! {
         let b = stream_one_at_a_time(&mut incremental, &trace, workers);
         prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
         prop_assert_eq!(a.admission.clone(), b.admission.clone());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live catalogs: register/retire on a running engine.
+// ---------------------------------------------------------------------
+
+use lim_workloads::churn::{synthetic_tool, with_churn, ChurnConfig};
+
+/// Unit behaviour of the mutation API: epoch bookkeeping, counter
+/// accounting, the catalog log, and typed rejection of invalid
+/// mutations — none of which may move state when refused.
+#[test]
+fn register_and_retire_mutate_the_live_engine() {
+    let (w, trace) = bfcl_trace(40, 11, 10);
+    let base_tools = w.registry.len();
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    engine.process_trace(&trace, 2).expect("warm up");
+    assert_eq!(engine.epoch(), 0);
+    assert_eq!(engine.catalog_log().len(), 0);
+
+    let doc = synthetic_tool(1, 0);
+    let index = engine.register_tool(&doc).expect("register");
+    assert_eq!(
+        index, base_tools,
+        "dense index right after the base catalog"
+    );
+    assert_eq!(engine.epoch(), 1);
+    // Duplicate names and invalid documents are refused without moving
+    // the epoch.
+    assert!(engine.register_tool(&doc).is_err());
+    assert!(engine
+        .register_tool(&lim_tools::ToolDoc::new("", "c", "d"))
+        .is_err());
+    assert_eq!(engine.epoch(), 1);
+
+    engine.retire_tool(index).expect("retire");
+    assert_eq!(engine.epoch(), 2);
+    assert!(engine.retire_tool(index).is_err(), "double retire");
+    assert!(engine.retire_tool(99_999).is_err(), "out of range");
+    assert_eq!(engine.epoch(), 2);
+
+    let counters = engine.catalog_counters();
+    assert_eq!(counters.registered, 1);
+    assert_eq!(counters.retired, 1);
+    assert_eq!(engine.catalog_log().len(), 2);
+    assert!(
+        counters.memo_invalidations > 0,
+        "a warm memo crossed two epoch bumps"
+    );
+
+    // The catalog section of the next report mirrors the live state.
+    let report = engine.process_trace(&trace, 2).expect("replay");
+    assert_eq!(report.catalog.epoch, 2);
+    assert_eq!(report.catalog.registered, 1);
+    assert_eq!(report.catalog.retired, 1);
+}
+
+/// The epoch keying contract: mutating the catalog must not poison warm
+/// answers — the engine re-misses once per epoch and then reconverges —
+/// and a mutation never changes accuracy on queries whose gold tools
+/// stay live.
+#[test]
+fn epoch_bump_invalidates_stale_cache_entries_without_a_flush() {
+    let (w, trace) = bfcl_trace(60, 5, 16);
+    let mut engine = ServeEngine::new(w, model(), ServeConfig::default());
+    let cold = engine.process_trace(&trace, 2).expect("cold");
+    let warm = engine.process_trace(&trace, 2).expect("warm");
+    assert_eq!(warm.embed_cache.misses, 0, "fully warm before the mutation");
+
+    engine
+        .register_tool(&synthetic_tool(2, 0))
+        .expect("register");
+    let churned = engine.process_trace(&trace, 2).expect("after mutation");
+    // Stale-by-key: every unique query re-misses exactly once under the
+    // new epoch (no flush, so the *old* entries are still resident until
+    // LRU pressure evicts them)…
+    assert!(churned.embed_cache.misses > 0, "epoch bump must re-miss");
+    // …and outcomes on the untouched gold catalog are unchanged.
+    assert_eq!(cold.success_rate, churned.success_rate);
+    assert_eq!(cold.tool_accuracy, churned.tool_accuracy);
+
+    let again = engine.process_trace(&trace, 2).expect("reconverged");
+    assert_eq!(
+        again.embed_cache.misses, 0,
+        "warm again under the new epoch"
+    );
+}
+
+/// Staleness-bounded Level-2 refresh: with the refresh fraction wound
+/// down, a single mutation rebuilds the clusters; with the default
+/// fraction a small mutation burst does not.
+#[test]
+fn cluster_refresh_fires_once_churn_exceeds_the_configured_fraction() {
+    let (w, trace) = bfcl_trace(40, 11, 10);
+    let eager = ServeConfig::builder()
+        .cluster_refresh_fraction(0.01)
+        .build();
+    let mut engine = ServeEngine::new(w.clone(), model(), eager);
+    engine
+        .register_tool(&synthetic_tool(3, 0))
+        .expect("register");
+    assert_eq!(engine.catalog_counters().cluster_refreshes, 1);
+    let report = engine.process_trace(&trace, 2).expect("replay");
+    assert_eq!(report.catalog.cluster_refreshes, 1);
+
+    let mut lazy = ServeEngine::new(w, model(), ServeConfig::default());
+    lazy.register_tool(&synthetic_tool(3, 0)).expect("register");
+    lazy.register_tool(&synthetic_tool(3, 1)).expect("register");
+    assert_eq!(
+        lazy.catalog_counters().cluster_refreshes,
+        0,
+        "two mutations stay under the default quarter-catalog bound"
+    );
+}
+
+/// The churn acceptance gate, in-process: a seeded churn trace replays
+/// bit-identically (catalog section included) at workers {1, 4, 8}, and
+/// accuracy on the live gold catalog never falls below the static
+/// baseline — churn only ever retires gold-safe tools.
+#[test]
+fn churned_replay_is_bit_identical_across_workers_and_keeps_accuracy() {
+    let (w, trace) = bfcl_trace(120, 7, 48);
+    let churned = with_churn(&w, trace.clone(), &ChurnConfig::default());
+    assert!(!churned.churn.is_empty());
+    let run = |workers: usize| {
+        let mut engine = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+        engine
+            .process_trace(&churned, workers)
+            .expect("churned replay")
+    };
+    let baseline = run(1);
+    for workers in [4, 8] {
+        let other = run(workers);
+        assert_eq!(
+            baseline.deterministic_view(),
+            other.deterministic_view(),
+            "workers={workers}"
+        );
+        assert_eq!(baseline.catalog, other.catalog, "workers={workers}");
+    }
+    assert!(baseline.catalog.epoch > 0);
+    assert!(baseline.catalog.registered > 0);
+    assert!(baseline.catalog.retired > 0);
+
+    let mut static_engine = ServeEngine::new(w.clone(), model(), ServeConfig::default());
+    let static_report = static_engine.process_trace(&trace, 1).expect("static");
+    assert!(
+        baseline.success_rate >= static_report.success_rate,
+        "churn {:.4} vs static {:.4}: gold-safe churn must not lose accuracy",
+        baseline.success_rate,
+        static_report.success_rate
+    );
+}
+
+/// The snapshot convergence contract: (A) a live engine that churned,
+/// (B) a checkpoint restore of it, and (C) a snapshot-booted engine that
+/// replays the same churn trace all converge — reports at tolerance 0
+/// and checkpoints to the byte.
+#[test]
+fn mutate_then_snapshot_equals_boot_then_replay_log() {
+    let (w, trace) = bfcl_trace(60, 5, 16);
+    let churned = with_churn(
+        &w,
+        trace,
+        &ChurnConfig {
+            seed: 3,
+            registers: 3,
+            retires: 3,
+        },
+    );
+    let config = ServeConfig::default();
+
+    // A: the engine that lived through the churn.
+    let mut live = ServeEngine::new(w.clone(), model(), config);
+    let report_a = live.process_trace(&churned, 4).expect("A");
+    assert!(report_a.catalog.epoch > 0);
+    let ck_a = live.checkpoint();
+    assert_eq!(ck_a, live.checkpoint(), "checkpointing is byte-stable");
+
+    // B: restore the churned checkpoint. Same epoch, same bytes back
+    // out, and the future is served identically at another worker count.
+    let snapshot = Snapshot::parse(&ck_a).expect("valid checkpoint");
+    let mut restored =
+        ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), config).expect("restore");
+    assert_eq!(restored.epoch(), live.epoch());
+    assert_eq!(restored.catalog_counters(), live.catalog_counters());
+    assert_eq!(
+        restored.checkpoint(),
+        ck_a,
+        "restore round-trips to the byte"
+    );
+    let future = zipf_trace(
+        &w,
+        &TraceConfig {
+            seed: 99,
+            sessions: 8,
+            requests_per_session: 5,
+            ..TraceConfig::default()
+        },
+    );
+    let expected = live.process_trace(&future, 1).expect("live future");
+    let actual = restored.process_trace(&future, 8).expect("restored future");
+    assert_eq!(expected.deterministic_view(), actual.deterministic_view());
+
+    // C: boot from a *base* levels snapshot (no churn recorded), replay
+    // the same churn trace, and converge with A bit-for-bit.
+    let levels_bytes = lim_core::write_levels_snapshot(
+        &lim_core::SearchLevels::build(&w),
+        "bfcl",
+        5,
+        w.queries.len(),
+    );
+    let levels_snapshot = Snapshot::parse(&levels_bytes).expect("valid snapshot");
+    let mut from_base = ServeEngine::from_snapshot(&levels_snapshot, w.clone(), model(), config)
+        .expect("snapshot boot");
+    let report_c = from_base.process_trace(&churned, 8).expect("C");
+    assert_eq!(report_a.deterministic_view(), report_c.deterministic_view());
+    assert_eq!(
+        from_base.checkpoint(),
+        ck_a,
+        "mutate-then-snapshot equals boot-then-mutate, to the byte"
+    );
+}
+
+/// Re-encodes a checkpoint with its `catalog_log` section tampered by
+/// `mutate` — the corrupt-log rejection fixtures below all go through
+/// this.
+fn tampered_catalog_checkpoint(
+    snapshot: &Snapshot,
+    mutate: impl Fn(&mut lim_json::Value),
+) -> Vec<u8> {
+    let mut writer = lim_core::SnapshotWriter::new("checkpoint");
+    for key in ["benchmark", "tool_count", "pool_size", "train_size", "dim"] {
+        writer.header_field(
+            key,
+            snapshot.header_field(key).expect("header field").clone(),
+        );
+    }
+    for name in crate::snapshot::KNOWN_SECTIONS {
+        if snapshot.section_len(name).is_some() {
+            let mut doc = snapshot.section(name).expect("section decodes").clone();
+            if *name == crate::snapshot::SECTION_CATALOG {
+                mutate(&mut doc);
+            }
+            writer.add_section(name, &doc);
+        }
+    }
+    writer.encode()
+}
+
+/// Corrupt, reordered or inconsistent catalog logs are refused with
+/// typed [`SnapshotError`]s — a damaged log must never replay into a
+/// silently different catalog.
+#[test]
+fn corrupt_or_unordered_catalog_logs_are_rejected() {
+    use lim_json::Value;
+    let (w, trace) = bfcl_trace(40, 11, 10);
+    let churned = with_churn(
+        &w,
+        trace,
+        &ChurnConfig {
+            seed: 1,
+            registers: 2,
+            retires: 2,
+        },
+    );
+    let config = ServeConfig::default();
+    let mut engine = ServeEngine::new(w.clone(), model(), config);
+    engine.process_trace(&churned, 2).expect("churned replay");
+    assert!(engine.epoch() >= 2);
+    let bytes = engine.checkpoint();
+    let snapshot = Snapshot::parse(&bytes).expect("valid checkpoint");
+
+    // The untampered re-encode restores fine (the harness itself is
+    // sound — rejections below are the tamper, not the rebuild).
+    let clean = tampered_catalog_checkpoint(&snapshot, |_| {});
+    let reparsed = Snapshot::parse(&clean).expect("clean re-encode parses");
+    ServeEngine::from_checkpoint(&reparsed, w.clone(), model(), config)
+        .expect("clean re-encode restores");
+
+    let reject = |label: &str, needle: &str, mutate: &dyn Fn(&mut Value)| {
+        let bytes = tampered_catalog_checkpoint(&snapshot, mutate);
+        let tampered = Snapshot::parse(&bytes).expect("tampered file still parses");
+        let err = ServeEngine::from_checkpoint(&tampered, w.clone(), model(), config)
+            .expect_err(&format!("{label} must be refused"));
+        match &err {
+            SnapshotError::Section { section, message } => {
+                assert_eq!(section, crate::snapshot::SECTION_CATALOG, "{label}");
+                assert!(message.contains(needle), "{label}: {message}");
+            }
+            other => panic!("{label}: expected a Section error, got {other:?}"),
+        }
+    };
+
+    let records_of = |doc: &Value| -> Vec<Value> {
+        doc.get("records")
+            .and_then(Value::as_array)
+            .expect("records")
+            .to_vec()
+    };
+    // Reordered log: swapping two records breaks seq contiguity.
+    reject("reordered log", "contiguous", &|doc| {
+        let mut records = records_of(doc);
+        records.swap(0, 1);
+        doc.insert("records", records.into_iter().collect());
+    });
+    // Truncated log: dropping the last record disagrees with the epoch.
+    reject("truncated log", "disagree", &|doc| {
+        let mut records = records_of(doc);
+        records.pop();
+        doc.insert("records", records.into_iter().collect());
+    });
+    // Epoch coherence inside one record.
+    reject("incoherent record epoch", "bumps", &|doc| {
+        let mut records = records_of(doc);
+        records[0].insert("epoch_after", Value::from(7));
+        doc.insert("records", records.into_iter().collect());
+    });
+    // Lifetime counters disagreeing with the log.
+    reject("counter mismatch", "counters", &|doc| {
+        let counters = doc.get("counters").expect("counters").clone();
+        let mut counters = counters;
+        counters.insert("registered", Value::from(99));
+        doc.insert("counters", counters);
+    });
+    // A retire aimed at a tool the log never had at that point.
+    reject(
+        "retire out of replay range",
+        "invalid or repeated",
+        &|doc| {
+            let mut records = records_of(doc);
+            for record in &mut records {
+                if record.get("op").and_then(Value::as_str) == Some("retire") {
+                    record.insert("id", Value::from(99_999));
+                    break;
+                }
+            }
+            doc.insert("records", records.into_iter().collect());
+        },
+    );
+    // Structurally missing members.
+    reject("missing records", "missing records", &|doc| {
+        doc.insert("records", Value::Null);
+    });
+    reject("negative epoch", "epoch", &|doc| {
+        doc.insert("epoch", Value::from(-1));
+    });
+}
+
+proptest! {
+    /// The churn acceptance property: for random trace seeds, churn
+    /// schedules and worker counts, a churned replay is bit-identical
+    /// to the sequential replay (catalog counters included), and the
+    /// checkpoint it leaves behind restores to byte-identical state —
+    /// live mutation equals snapshot-boot plus catalog-log replay.
+    #[test]
+    fn churned_replay_deterministic_and_checkpoint_convergent(
+        seed in 0u64..100,
+        churn_seed in 0u64..100,
+        registers in 0usize..4,
+        retires in 0usize..4,
+        workers_ix in 0usize..3,
+    ) {
+        let workers = [1usize, 4, 8][workers_ix];
+        let (w, levels) = fixture();
+        let trace = zipf_trace(w, &TraceConfig {
+            seed,
+            sessions: 6,
+            requests_per_session: 4,
+            ..TraceConfig::default()
+        });
+        let churned = with_churn(w, trace, &ChurnConfig {
+            seed: churn_seed,
+            registers,
+            retires,
+        });
+        let config = ServeConfig::default();
+        let mut sequential =
+            ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let mut parallel = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+        let a = sequential.process_trace(&churned, 1).expect("sequential");
+        let b = parallel.process_trace(&churned, workers).expect("parallel");
+        prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+        prop_assert_eq!(a.catalog.clone(), b.catalog.clone());
+
+        let ck = sequential.checkpoint();
+        let snapshot = Snapshot::parse(&ck).expect("parse checkpoint");
+        let restored = ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), config)
+            .expect("restore churned checkpoint");
+        prop_assert_eq!(restored.checkpoint(), ck);
     }
 }

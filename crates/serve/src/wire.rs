@@ -6,11 +6,15 @@
 //! client opens with a `hello` frame describing the stream (which
 //! workload the query indices refer to, the seed/skew metadata echoed
 //! into the report, and the arrival process), then sends one `request`
-//! frame per arriving request.  The server answers with `ready`, then a
-//! `disposition` frame per resolved request (plus a `latency` frame for
-//! the ones that actually executed), and — once the client half closes —
-//! one final `report` frame that is the ordinary `lim-serve/report-v2`
-//! document with an additive `"frame": "report"` tag.
+//! frame per arriving request, interleaved with optional `register` /
+//! `retire` frames that mutate the live catalog at exactly that stream
+//! position.  The server answers with `ready`, then a `disposition`
+//! frame per resolved request (plus a `latency` frame for the ones that
+//! actually executed), a `catalog` frame acknowledging each applied
+//! mutation with the epoch it advanced to, and — once the client half
+//! closes — one final `report` frame that is the ordinary
+//! `lim-serve/report-v3` document with an additive `"frame": "report"`
+//! tag.
 //!
 //! This module is the **pure codec**: parsing client frames and building
 //! server frames, with no I/O.  The read/write loop (stdin, unix
@@ -37,7 +41,8 @@
 //! ```
 
 use lim_json::Value;
-use lim_workloads::trace::{ArrivalProcess, SessionTrace, TraceBuilder};
+use lim_tools::ToolDoc;
+use lim_workloads::trace::{ArrivalProcess, ChurnOp, SessionTrace, TraceBuilder};
 
 use crate::admission::Disposition;
 use crate::report::ServeReport;
@@ -87,6 +92,15 @@ pub enum ClientFrame {
         /// open-loop streams, forbidden on back-to-back ones (the same
         /// rule `trace-v1` documents follow).
         arrival_us: Option<u64>,
+    },
+    /// Live-catalog mutation: register the tool this document describes.
+    /// Applied at the stream position the frame arrives at — after every
+    /// request already sent, before the next one.
+    Register(ToolDoc),
+    /// Live-catalog mutation: retire the tool at this registry index.
+    Retire {
+        /// Registry index of the tool to retire.
+        id: usize,
     },
 }
 
@@ -154,6 +168,15 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, String> {
                 Some(_) => Some(field_u64(&doc, "arrival_us")?),
             },
         }),
+        "register" => {
+            let tool = doc.get("tool").ok_or("register frame missing tool")?;
+            Ok(ClientFrame::Register(
+                ToolDoc::from_json(tool).map_err(|e| format!("register frame: {e}"))?,
+            ))
+        }
+        "retire" => Ok(ClientFrame::Retire {
+            id: field_u64(&doc, "id")? as usize,
+        }),
         other => Err(format!("unknown client frame {other:?}")),
     }
 }
@@ -186,6 +209,30 @@ pub fn request_frame(session: u64, query: usize, arrival_us: Option<u64>) -> Val
         doc.insert("arrival_us", Value::from(us as i64));
     }
     doc
+}
+
+/// Builds one `register` frame announcing a live tool registration.
+pub fn register_frame(doc: &ToolDoc) -> Value {
+    Value::object([("frame", Value::from("register")), ("tool", doc.to_json())])
+}
+
+/// Builds one `retire` frame announcing a live tool retirement.
+pub fn retire_frame(id: usize) -> Value {
+    Value::object([("frame", Value::from("retire")), ("id", Value::from(id))])
+}
+
+/// Builds the server's `catalog` acknowledgement of an applied mutation:
+/// the op it applied (`"register"`/`"retire"`), the registry index it
+/// affected, and the catalog epoch the engine advanced to — how a client
+/// confirms its mutation is live before relying on it.
+pub fn catalog_frame(op: &str, id: usize, epoch: u64) -> Value {
+    debug_assert!(op == "register" || op == "retire");
+    Value::object([
+        ("frame", Value::from("catalog")),
+        ("op", Value::from(op)),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch as i64)),
+    ])
 }
 
 /// Builds the server's `ready` acknowledgement of a `hello`.
@@ -256,9 +303,12 @@ pub fn report_frame(report: &ServeReport) -> Value {
 
 /// Encodes a whole trace as a `lim/wire-v1` client stream — one `hello`
 /// line, then one `request` line per request in canonical session-major
-/// order. `lim wire` uses this, and CI pipes the result into
-/// `lim serve --stdin` to assert the streamed path reproduces the
-/// offline replay bit-for-bit.
+/// order, with any churn events emitted as `register`/`retire` lines at
+/// their [`ChurnEvent::after_requests`] positions. `lim wire` uses this,
+/// and CI pipes the result into `lim serve --stdin` to assert the
+/// streamed path reproduces the offline replay bit-for-bit.
+///
+/// [`ChurnEvent::after_requests`]: lim_workloads::trace::ChurnEvent
 pub fn trace_to_wire(trace: &SessionTrace) -> String {
     let mut out = String::new();
     let hello = Hello {
@@ -271,20 +321,37 @@ pub fn trace_to_wire(trace: &SessionTrace) -> String {
     };
     out.push_str(&hello_frame(&hello).to_string());
     out.push('\n');
+    let mut churn = trace.churn.iter().peekable();
+    let mut emit_churn_at = |sent: usize, out: &mut String| {
+        while let Some(e) = churn.next_if(|e| e.after_requests <= sent) {
+            let frame = match &e.op {
+                ChurnOp::Register(doc) => register_frame(doc),
+                ChurnOp::Retire(id) => retire_frame(*id),
+            };
+            out.push_str(&frame.to_string());
+            out.push('\n');
+        }
+    };
     let timed = trace.arrivals != ArrivalProcess::BackToBack;
+    let mut sent = 0usize;
     for session in &trace.sessions {
         for (i, &query) in session.query_indices.iter().enumerate() {
+            emit_churn_at(sent, &mut out);
             let arrival_us = timed.then(|| session.arrival_us[i]);
             out.push_str(&request_frame(session.id, query, arrival_us).to_string());
             out.push('\n');
+            sent += 1;
         }
     }
+    emit_churn_at(sent, &mut out);
     out
 }
 
 /// Starts a [`TraceBuilder`] from a parsed [`Hello`] — the decode half
 /// of [`trace_to_wire`]. Feeding every subsequent `request` frame into
-/// [`TraceBuilder::push`] reassembles the original trace.
+/// [`TraceBuilder::push`] (and `register`/`retire` frames into
+/// [`TraceBuilder::push_register`]/[`TraceBuilder::push_retire`])
+/// reassembles the original trace.
 ///
 /// # Errors
 ///
@@ -368,6 +435,61 @@ mod tests {
         }
         // Bit-exact: integer micros survive the JSON round trip untouched.
         assert_eq!(builder.finish(), trace);
+    }
+
+    #[test]
+    fn wire_round_trips_churn_frames_at_their_positions() {
+        let workload = lim_workloads::bfcl(42, 60);
+        let trace = lim_workloads::churn::with_churn(
+            &workload,
+            sample_trace(ArrivalProcess::BackToBack),
+            &lim_workloads::churn::ChurnConfig::default(),
+        );
+        assert!(!trace.churn.is_empty());
+        let stream = trace_to_wire(&trace);
+        let mut lines = stream.lines();
+        let hello = match parse_client_frame(lines.next().unwrap()).unwrap() {
+            ClientFrame::Hello(h) => h,
+            other => panic!("expected hello, got {other:?}"),
+        };
+        let mut builder = builder_from_hello(&hello).unwrap();
+        for line in lines {
+            match parse_client_frame(line).unwrap() {
+                ClientFrame::Request {
+                    session,
+                    query,
+                    arrival_us,
+                } => builder.push(session, query, arrival_us).unwrap(),
+                ClientFrame::Register(doc) => builder.push_register(doc).unwrap(),
+                ClientFrame::Retire { id } => builder.push_retire(id),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // Frame position encodes after_requests exactly, so the decoded
+        // trace — churn schedule included — is the original.
+        assert_eq!(builder.finish(), trace);
+    }
+
+    #[test]
+    fn catalog_frames_parse_and_reject_garbage() {
+        match parse_client_frame(&register_frame(&ToolDoc::new("t", "c", "d")).to_string()) {
+            Ok(ClientFrame::Register(doc)) => assert_eq!(doc.name, "t"),
+            other => panic!("expected register, got {other:?}"),
+        }
+        match parse_client_frame(&retire_frame(9).to_string()) {
+            Ok(ClientFrame::Retire { id }) => assert_eq!(id, 9),
+            other => panic!("expected retire, got {other:?}"),
+        }
+        let ack = catalog_frame("register", 51, 3);
+        assert_eq!(ack.get("op").and_then(Value::as_str), Some("register"));
+        assert_eq!(ack.get("epoch").and_then(Value::as_i64), Some(3));
+        // Malformed mutations are rejected with a description.
+        let err = parse_client_frame(r#"{"frame":"register"}"#).unwrap_err();
+        assert!(err.contains("missing tool"), "{err}");
+        let err = parse_client_frame(r#"{"frame":"register","tool":{"name":""}}"#).unwrap_err();
+        assert!(err.contains("register frame"), "{err}");
+        let err = parse_client_frame(r#"{"frame":"retire","id":-2}"#).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
     }
 
     #[test]

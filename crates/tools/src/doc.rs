@@ -1,0 +1,388 @@
+//! Wire-transportable tool documents.
+//!
+//! A [`ToolDoc`] is the JSON shape a *live catalog mutation* carries: what
+//! a `register` frame on the wire protocol, a catalog-mutation log record
+//! in a snapshot, or a churn trace event all embed. It mirrors
+//! [`ToolSpec`] field-for-field but is plain data — public fields, JSON
+//! round-trip — where `ToolSpec` is a validated, built artifact. The two
+//! convert losslessly in both directions, so a registered tool renders,
+//! validates and embeds exactly like one the benchmark shipped.
+
+use std::error::Error;
+use std::fmt;
+
+use lim_json::Value;
+
+use crate::param::{ParamSpec, ParamType};
+use crate::spec::ToolSpec;
+
+/// Error raised when a tool document cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocError {
+    /// What was wrong with the document.
+    pub message: String,
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode tool doc: {}", self.message)
+    }
+}
+
+impl Error for DocError {}
+
+fn err(message: impl Into<String>) -> DocError {
+    DocError {
+        message: message.into(),
+    }
+}
+
+/// One parameter of a [`ToolDoc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDoc {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamType,
+    /// Whether a call must provide this parameter.
+    pub required: bool,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A complete tool description as plain data — the registration payload
+/// of a live catalog mutation.
+///
+/// # Examples
+///
+/// ```
+/// use lim_tools::{ParamType, ToolDoc};
+///
+/// let doc = ToolDoc::new("units_convert", "conversion", "Converts units")
+///     .with_param("value", ParamType::Number, true, "quantity to convert");
+/// let spec = doc.to_spec();
+/// assert_eq!(spec.name(), "units_convert");
+/// let back = ToolDoc::from_json(&doc.to_json()).unwrap();
+/// assert_eq!(back, doc);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolDoc {
+    /// Tool name (the registry key; must be unique in a catalog).
+    pub name: String,
+    /// Category label.
+    pub category: String,
+    /// Human-readable description (what the selector embeds).
+    pub description: String,
+    /// Parameter schemas, in declaration order.
+    pub params: Vec<ParamDoc>,
+}
+
+impl ToolDoc {
+    /// Creates a document with no parameters.
+    pub fn new(
+        name: impl Into<String>,
+        category: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            category: category.into(),
+            description: description.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends one parameter (builder-style convenience).
+    pub fn with_param(
+        mut self,
+        name: impl Into<String>,
+        ty: ParamType,
+        required: bool,
+        description: impl Into<String>,
+    ) -> Self {
+        self.params.push(ParamDoc {
+            name: name.into(),
+            ty,
+            required,
+            description: description.into(),
+        });
+        self
+    }
+
+    /// Captures an existing spec as a document (the inverse of
+    /// [`ToolDoc::to_spec`]), e.g. to re-announce a catalog tool on the
+    /// wire.
+    pub fn from_spec(spec: &ToolSpec) -> Self {
+        Self {
+            name: spec.name().to_owned(),
+            category: spec.category().to_owned(),
+            description: spec.description().to_owned(),
+            params: spec
+                .params()
+                .iter()
+                .map(|p| ParamDoc {
+                    name: p.name().to_owned(),
+                    ty: p.ty().clone(),
+                    required: p.is_required(),
+                    description: p.description().to_owned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the validated [`ToolSpec`] this document describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or two parameters share a name (the
+    /// [`ToolSpec::builder`] invariants). Decode paths should check with
+    /// [`ToolDoc::validate`] first.
+    pub fn to_spec(&self) -> ToolSpec {
+        let mut builder = ToolSpec::builder(&self.name)
+            .description(&self.description)
+            .category(&self.category);
+        for p in &self.params {
+            let spec = if p.required {
+                ParamSpec::required(&p.name, p.ty.clone(), &p.description)
+            } else {
+                ParamSpec::optional(&p.name, p.ty.clone(), &p.description)
+            };
+            builder = builder.param(spec);
+        }
+        builder.build()
+    }
+
+    /// Checks the [`ToolSpec::builder`] invariants without panicking —
+    /// what a decode path (wire frame, snapshot log) calls before
+    /// [`ToolDoc::to_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DocError`] on an empty name or duplicate param names.
+    pub fn validate(&self) -> Result<(), DocError> {
+        if self.name.is_empty() {
+            return Err(err("tool name must not be empty"));
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if p.name.is_empty() {
+                return Err(err(format!("param {i} of {:?} has no name", self.name)));
+            }
+            if self.params[..i].iter().any(|q| q.name == p.name) {
+                return Err(err(format!(
+                    "duplicate param {:?} in tool {:?}",
+                    p.name, self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the document. Encoding is deterministic: the same doc
+    /// always yields byte-identical JSON.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.name.as_str())),
+            ("category", Value::from(self.category.as_str())),
+            ("description", Value::from(self.description.as_str())),
+            (
+                "params",
+                self.params
+                    .iter()
+                    .map(|p| {
+                        Value::object([
+                            ("name", Value::from(p.name.as_str())),
+                            ("type", param_type_to_json(&p.ty)),
+                            ("required", Value::from(p.required)),
+                            ("description", Value::from(p.description.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    /// Decodes a [`ToolDoc::to_json`] document and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DocError`] on missing/mistyped members, an unknown
+    /// param-type kind, or a document violating [`ToolDoc::validate`].
+    pub fn from_json(doc: &Value) -> Result<Self, DocError> {
+        let text = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| err(format!("missing {key}")))
+        };
+        let mut params = Vec::new();
+        for (i, p) in doc
+            .get("params")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("missing params"))?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                p.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| err(format!("param {i} missing {key}")))
+            };
+            params.push(ParamDoc {
+                name: field("name")?,
+                ty: param_type_from_json(
+                    p.get("type")
+                        .ok_or_else(|| err(format!("param {i} missing type")))?,
+                )?,
+                required: p
+                    .get("required")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| err(format!("param {i} missing required")))?,
+                description: field("description")?,
+            });
+        }
+        let parsed = Self {
+            name: text("name")?,
+            category: text("category")?,
+            description: text("description")?,
+            params,
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+}
+
+/// Serializes a [`ParamType`] as a self-describing `{"kind": ...}` object
+/// (structured, not the `Display` label, so enum options containing `|`
+/// or `)` survive the round-trip).
+pub fn param_type_to_json(ty: &ParamType) -> Value {
+    match ty {
+        ParamType::String => Value::object([("kind", Value::from("string"))]),
+        ParamType::Integer => Value::object([("kind", Value::from("integer"))]),
+        ParamType::Number => Value::object([("kind", Value::from("number"))]),
+        ParamType::Boolean => Value::object([("kind", Value::from("boolean"))]),
+        ParamType::Array(item) => Value::object([
+            ("kind", Value::from("array")),
+            ("item", param_type_to_json(item)),
+        ]),
+        ParamType::Enum(options) => Value::object([
+            ("kind", Value::from("enum")),
+            (
+                "options",
+                options.iter().map(|o| Value::from(o.as_str())).collect(),
+            ),
+        ]),
+    }
+}
+
+/// Inverse of [`param_type_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`DocError`] on an unknown `kind` or malformed members.
+pub fn param_type_from_json(doc: &Value) -> Result<ParamType, DocError> {
+    let kind = doc
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("param type missing kind"))?;
+    match kind {
+        "string" => Ok(ParamType::String),
+        "integer" => Ok(ParamType::Integer),
+        "number" => Ok(ParamType::Number),
+        "boolean" => Ok(ParamType::Boolean),
+        "array" => Ok(ParamType::Array(Box::new(param_type_from_json(
+            doc.get("item")
+                .ok_or_else(|| err("array param type missing item"))?,
+        )?))),
+        "enum" => Ok(ParamType::Enum(
+            doc.get("options")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err("enum param type missing options"))?
+                .iter()
+                .map(|o| o.as_str().map(str::to_owned))
+                .collect::<Option<Vec<String>>>()
+                .ok_or_else(|| err("enum options must be strings"))?,
+        )),
+        other => Err(err(format!("unknown param type kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ToolDoc {
+        ToolDoc::new("units_convert", "conversion", "Converts quantities")
+            .with_param("value", ParamType::Number, true, "quantity")
+            .with_param(
+                "unit",
+                ParamType::Enum(vec!["si|metric".into(), "imperial)".into()]),
+                false,
+                "target unit",
+            )
+            .with_param(
+                "tags",
+                ParamType::Array(Box::new(ParamType::String)),
+                false,
+                "labels",
+            )
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_even_for_hostile_enum_options() {
+        let doc = sample();
+        let text = doc.to_json().to_string();
+        let back = ToolDoc::from_json(&lim_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn encoding_is_byte_deterministic() {
+        assert_eq!(
+            sample().to_json().to_string(),
+            sample().to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn spec_conversion_roundtrips() {
+        let doc = sample();
+        let spec = doc.to_spec();
+        assert_eq!(spec.name(), "units_convert");
+        assert_eq!(spec.params().len(), 3);
+        assert_eq!(ToolDoc::from_spec(&spec), doc);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        let doc = sample();
+        for field in ["name", "category", "description", "params"] {
+            let mut broken = doc.to_json();
+            broken.insert(field, Value::Null);
+            assert!(ToolDoc::from_json(&broken).is_err(), "nulled {field}");
+        }
+        let mut bad_kind = doc.to_json();
+        bad_kind.insert(
+            "params",
+            [Value::object([
+                ("name", Value::from("x")),
+                ("type", Value::object([("kind", Value::from("tuple"))])),
+                ("required", Value::from(true)),
+                ("description", Value::from("")),
+            ])]
+            .into_iter()
+            .collect(),
+        );
+        assert!(ToolDoc::from_json(&bad_kind).is_err(), "unknown type kind");
+    }
+
+    #[test]
+    fn validate_catches_builder_panics() {
+        assert!(ToolDoc::new("", "c", "d").validate().is_err());
+        let dup = ToolDoc::new("t", "c", "d")
+            .with_param("x", ParamType::String, true, "")
+            .with_param("x", ParamType::Number, false, "");
+        assert!(dup.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+}

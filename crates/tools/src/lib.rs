@@ -26,11 +26,13 @@
 //! ```
 
 mod call;
+mod doc;
 mod param;
 mod registry;
 mod spec;
 
 pub use call::{CallValidationError, ToolCall, ToolOutput};
+pub use doc::{param_type_from_json, param_type_to_json, DocError, ParamDoc, ToolDoc};
 pub use param::{ParamSpec, ParamType};
 pub use registry::{RegistryError, ToolRegistry};
 pub use spec::{ToolSpec, ToolSpecBuilder};

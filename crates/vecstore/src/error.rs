@@ -15,6 +15,10 @@ pub enum IndexError {
     },
     /// An id was added twice.
     DuplicateId(u64),
+    /// A removal named an id the index does not hold live. A tombstoned
+    /// id counts as absent for removal but still present for insertion
+    /// (it stays reserved until compaction drops it).
+    UnknownId(u64),
     /// The operation requires a trained index (see [`crate::IvfIndex::train`]).
     NotTrained,
     /// Training was attempted with fewer vectors than clusters.
@@ -36,6 +40,7 @@ impl fmt::Display for IndexError {
                 )
             }
             IndexError::DuplicateId(id) => write!(f, "id {id} already present in index"),
+            IndexError::UnknownId(id) => write!(f, "id {id} not live in index"),
             IndexError::NotTrained => write!(f, "index must be trained before use"),
             IndexError::InsufficientTrainingData { supplied, clusters } => write!(
                 f,

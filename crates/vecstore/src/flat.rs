@@ -29,6 +29,9 @@ pub struct FlatIndex {
     metric: Metric,
     ids: Vec<u64>,
     data: Vec<f32>,
+    /// Tombstoned ids in removal order; still present in `ids`/`data`
+    /// until compaction rewrites the buffers.
+    deleted: Vec<u64>,
 }
 
 impl FlatIndex {
@@ -44,6 +47,7 @@ impl FlatIndex {
             metric,
             ids: Vec::new(),
             data: Vec::new(),
+            deleted: Vec::new(),
         }
     }
 
@@ -57,7 +61,8 @@ impl FlatIndex {
     /// # Errors
     ///
     /// * [`IndexError::DimMismatch`] if `vector.len() != dim`.
-    /// * [`IndexError::DuplicateId`] if `id` was already added.
+    /// * [`IndexError::DuplicateId`] if `id` was already added — including
+    ///   ids that are tombstoned but not yet compacted away.
     pub fn add(&mut self, id: u64, vector: &[f32]) -> Result<(), IndexError> {
         if vector.len() != self.dim {
             return Err(IndexError::DimMismatch {
@@ -71,6 +76,50 @@ impl FlatIndex {
         self.ids.push(id);
         self.data.extend_from_slice(vector);
         Ok(())
+    }
+
+    /// Tombstones `id`: it disappears from every search, iteration, and
+    /// `get` immediately, but its slot stays reserved until compaction.
+    ///
+    /// Returns `true` when the removal tripped [`crate::compaction_due`]
+    /// and the buffers were rewritten in place (dropping every tombstone).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::UnknownId`] if `id` was never added or is already
+    /// tombstoned.
+    pub fn remove(&mut self, id: u64) -> Result<bool, IndexError> {
+        if !self.ids.contains(&id) || self.deleted.contains(&id) {
+            return Err(IndexError::UnknownId(id));
+        }
+        self.deleted.push(id);
+        if crate::compaction_due(self.deleted.len(), self.ids.len()) {
+            self.compact();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Tombstoned ids in removal order (empty right after a compaction).
+    pub fn tombstones(&self) -> &[u64] {
+        &self.deleted
+    }
+
+    /// Rewrites the buffers keeping only live vectors, in their original
+    /// insertion order, and clears the tombstone list.
+    fn compact(&mut self) {
+        let dim = self.dim;
+        let mut ids = Vec::with_capacity(self.ids.len() - self.deleted.len());
+        let mut data = Vec::with_capacity(ids.capacity() * dim);
+        for (i, id) in self.ids.iter().enumerate() {
+            if !self.deleted.contains(id) {
+                ids.push(*id);
+                data.extend_from_slice(&self.data[i * dim..(i + 1) * dim]);
+            }
+        }
+        self.ids = ids;
+        self.data = data;
+        self.deleted.clear();
     }
 
     /// Adds a batch of `(id, vector)` pairs.
@@ -89,16 +138,27 @@ impl FlatIndex {
         Ok(())
     }
 
-    /// Iterates over `(id, vector)` pairs in insertion order.
+    /// Iterates over live `(id, vector)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
+        self.iter_all()
+            .filter(move |(id, _)| !self.deleted.contains(id))
+    }
+
+    /// Iterates over every stored `(id, vector)` pair in insertion order,
+    /// including tombstoned entries — the persistence view (see
+    /// [`crate::serial`]), which must capture tombstones exactly.
+    pub fn iter_all(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
         self.ids
             .iter()
             .enumerate()
             .map(move |(i, id)| (*id, &self.data[i * self.dim..(i + 1) * self.dim]))
     }
 
-    /// Returns the stored vector for `id`, if present.
+    /// Returns the stored vector for `id`, if present and live.
     pub fn get(&self, id: u64) -> Option<&[f32]> {
+        if self.deleted.contains(&id) {
+            return None;
+        }
         let pos = self.ids.iter().position(|x| *x == id)?;
         Some(&self.data[pos * self.dim..(pos + 1) * self.dim])
     }
@@ -112,8 +172,9 @@ impl FlatIndex {
 }
 
 impl VectorIndex for FlatIndex {
+    /// Number of **live** vectors; tombstoned entries do not count.
     fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.len() - self.deleted.len()
     }
 
     fn dim(&self) -> usize {
@@ -216,5 +277,69 @@ mod tests {
     fn search_panics_on_bad_query_dim() {
         let idx = sample();
         let _ = idx.search(&[1.0], 1);
+    }
+
+    #[test]
+    fn removed_id_vanishes_from_search_len_get_iter() {
+        let mut idx = sample();
+        assert!(!idx.remove(10).unwrap());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(10), None);
+        assert!(idx.iter().all(|(id, _)| id != 10));
+        assert!(idx.search(&[1.0, 0.0, 0.0], 3).iter().all(|h| h.id != 10));
+        assert_eq!(idx.tombstones(), &[10]);
+        // The full (persistence) view still holds the tombstoned entry.
+        assert_eq!(idx.iter_all().count(), 3);
+    }
+
+    #[test]
+    fn remove_unknown_or_dead_id_is_an_error() {
+        let mut idx = sample();
+        assert_eq!(idx.remove(99).unwrap_err(), IndexError::UnknownId(99));
+        idx.remove(10).unwrap();
+        assert_eq!(idx.remove(10).unwrap_err(), IndexError::UnknownId(10));
+    }
+
+    #[test]
+    fn tombstoned_id_stays_reserved_until_compaction() {
+        let mut idx = sample();
+        idx.remove(10).unwrap();
+        assert_eq!(
+            idx.add(10, &[1.0, 1.0, 1.0]).unwrap_err(),
+            IndexError::DuplicateId(10)
+        );
+    }
+
+    #[test]
+    fn compaction_trips_at_threshold_and_frees_ids() {
+        let mut idx = FlatIndex::new(1, Metric::Euclidean);
+        for i in 0..32u64 {
+            idx.add(i, &[i as f32]).unwrap();
+        }
+        for i in 0..7u64 {
+            assert!(!idx.remove(i).unwrap(), "below threshold at {i}");
+        }
+        // 8th tombstone: 8 >= 8 and 8*4 >= 32 → compaction.
+        assert!(idx.remove(7).unwrap());
+        assert!(idx.tombstones().is_empty());
+        assert_eq!(idx.len(), 24);
+        assert_eq!(idx.iter_all().count(), 24);
+        // Compacted ids are free again.
+        idx.add(0, &[100.0]).unwrap();
+        assert_eq!(idx.get(0), Some(&[100.0][..]));
+    }
+
+    #[test]
+    fn compaction_preserves_insertion_order_of_survivors() {
+        let mut idx = FlatIndex::new(1, Metric::Euclidean);
+        for i in 0..32u64 {
+            idx.add(i, &[i as f32]).unwrap();
+        }
+        for i in (0..16u64).step_by(2) {
+            idx.remove(i).unwrap();
+        }
+        let ids: Vec<u64> = idx.iter().map(|(id, _)| id).collect();
+        let expected: Vec<u64> = (0..32u64).filter(|i| i % 2 == 1 || *i >= 16).collect();
+        assert_eq!(ids, expected);
     }
 }

@@ -172,6 +172,9 @@ pub struct HnswIndex {
     links: Vec<Vec<Vec<u32>>>,
     /// Node index of the top-layer entry point (`None` iff empty).
     entry: Option<u32>,
+    /// Tombstoned ids in removal order; their nodes stay in the graph
+    /// (and keep routing traversals) until compaction rebuilds it.
+    deleted: Vec<u64>,
 }
 
 impl HnswIndex {
@@ -225,6 +228,7 @@ impl HnswIndex {
             data: Vec::with_capacity(items.len() * dim),
             links: Vec::with_capacity(items.len()),
             entry: None,
+            deleted: Vec::new(),
         };
         let mut visited = Visited::new(items.len());
         for (sequence, (id, vector)) in items.iter().enumerate() {
@@ -313,7 +317,86 @@ impl HnswIndex {
             data,
             links,
             entry,
+            deleted: Vec::new(),
         })
+    }
+
+    /// Inserts one more vector natively into the graph, exactly as if it
+    /// had been the next item of [`HnswIndex::train`]'s sequence: its
+    /// layer is drawn from `(seed, node index)` and it is wired in with
+    /// the same beam search and selection heuristic. The same mutation
+    /// sequence therefore always yields a bit-identical graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`IndexError::DimMismatch`] on wrong dimensionality.
+    /// * [`IndexError::DuplicateId`] on a repeated id — including ids that
+    ///   are tombstoned but not yet compacted away.
+    pub fn add(&mut self, id: u64, vector: &[f32]) -> Result<(), IndexError> {
+        if vector.len() != self.dim {
+            return Err(IndexError::DimMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        if self.ids.contains(&id) {
+            return Err(IndexError::DuplicateId(id));
+        }
+        let sequence = self.ids.len() as u64;
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        let layer = assigned_layer(self.params.seed, sequence, self.params.m);
+        self.links.push(vec![Vec::new(); layer + 1]);
+        let mut visited = Visited::new(self.ids.len());
+        self.connect(sequence as u32, layer, &mut visited);
+        Ok(())
+    }
+
+    /// Tombstones `id`: it disappears from every search result, but its
+    /// node stays in the graph — still routing traversals and still
+    /// costing distance evaluations — until compaction rebuilds the graph
+    /// from the live postings (in their insertion order, same params).
+    ///
+    /// Returns `true` when the removal tripped [`crate::compaction_due`]
+    /// and the graph was rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::UnknownId`] if `id` was never added or is already
+    /// tombstoned.
+    pub fn remove(&mut self, id: u64) -> Result<bool, IndexError> {
+        if !self.ids.contains(&id) || self.deleted.contains(&id) {
+            return Err(IndexError::UnknownId(id));
+        }
+        self.deleted.push(id);
+        if crate::compaction_due(self.deleted.len(), self.ids.len()) {
+            self.compact();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Tombstoned ids in removal order (empty right after a compaction).
+    pub fn tombstones(&self) -> &[u64] {
+        &self.deleted
+    }
+
+    /// Rebuilds the graph from the live postings in insertion order under
+    /// the same params — deterministic, so engines replaying the same
+    /// mutation log compact into bit-identical graphs.
+    fn compact(&mut self) {
+        let live: Vec<(u64, Vec<f32>)> = self.iter().map(|(id, v)| (id, v.to_vec())).collect();
+        if live.is_empty() {
+            self.ids.clear();
+            self.data.clear();
+            self.links.clear();
+            self.entry = None;
+            self.deleted.clear();
+            return;
+        }
+        let refs: Vec<(u64, &[f32])> = live.iter().map(|(id, v)| (*id, v.as_slice())).collect();
+        *self = Self::train(self.dim, self.metric, self.params, &refs)
+            .expect("live postings form a valid training set");
     }
 
     /// The construction parameters.
@@ -326,8 +409,17 @@ impl HnswIndex {
         self.metric
     }
 
-    /// Iterates over `(id, vector)` pairs in insertion order.
+    /// Iterates over live `(id, vector)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
+        self.iter_all()
+            .filter(move |(id, _)| !self.deleted.contains(id))
+    }
+
+    /// Iterates over every stored `(id, vector)` pair in insertion order,
+    /// including tombstoned entries — the persistence view (see
+    /// [`crate::serial`]): node indices in [`HnswIndex::links`] refer to
+    /// this full sequence, so dead nodes must be persisted too.
+    pub fn iter_all(&self) -> impl Iterator<Item = (u64, &[f32])> + '_ {
         self.ids
             .iter()
             .enumerate()
@@ -357,19 +449,24 @@ impl HnswIndex {
     pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let n = self.ids.len();
-        if n == 0 || k == 0 {
+        if n == self.deleted.len() || k == 0 {
             return (Vec::new(), 0);
         }
-        let ef = self.params.ef_search.max(k);
+        // Widen the beam by the tombstone count so dead nodes — which
+        // still route and occupy beam slots — cannot crowd live answers
+        // out of the ef window.
+        let ef = self.params.ef_search.max(k) + self.deleted.len();
         if ef >= n {
             // Exact exhaustive fallback: with the beam as wide as the
             // catalog the graph can't prune anything, so answer exactly —
-            // this is what makes max-ef_search agree with FlatIndex.
-            let candidates = self
+            // this is what makes max-ef_search agree with FlatIndex. Only
+            // live vectors are scanned (and counted as evaluations).
+            let candidates: Vec<Neighbor> = self
                 .iter()
                 .map(|(id, v)| Neighbor::new(id, self.metric.score(query, v)))
                 .collect();
-            return (top_k(candidates, k), n);
+            let evals = candidates.len();
+            return (top_k(candidates, k), evals);
         }
         let mut evals = 0usize;
         let mut visited = Visited::new(n);
@@ -384,6 +481,7 @@ impl HnswIndex {
         let candidates = found
             .into_iter()
             .map(|s| Neighbor::new(self.ids[s.node as usize], s.score))
+            .filter(|nb| !self.deleted.contains(&nb.id))
             .collect();
         (top_k(candidates, k), evals)
     }
@@ -569,8 +667,9 @@ impl HnswIndex {
 }
 
 impl VectorIndex for HnswIndex {
+    /// Number of **live** vectors; tombstoned entries do not count.
     fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.len() - self.deleted.len()
     }
 
     fn dim(&self) -> usize {
@@ -806,5 +905,99 @@ mod tests {
         let items = grid_items(10);
         let idx = build(&items, HnswParams::default());
         assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_train_exactly() {
+        let items = grid_items(100);
+        let all_at_once = build(&items, HnswParams::default());
+        let mut grown = build(&items[..60], HnswParams::default());
+        for (id, v) in &items[60..] {
+            grown.add(*id, v).unwrap();
+        }
+        assert_eq!(grown.links(), all_at_once.links());
+        assert_eq!(grown.entry(), all_at_once.entry());
+        let a = grown.search(&[4.2, 7.7], 10);
+        let b = all_at_once.search(&[4.2, 7.7], 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn removed_id_never_surfaces_but_still_routes() {
+        let mut idx = build(
+            &grid_items(100),
+            HnswParams {
+                ef_search: 8,
+                ..HnswParams::default()
+            },
+        );
+        assert!(!idx.remove(43).unwrap());
+        assert_eq!(idx.len(), 99);
+        assert_eq!(idx.tombstones(), &[43]);
+        assert_eq!(idx.iter_all().count(), 100, "dead node stays in graph");
+        let hits = idx.search(&[3.0, 4.0], 5);
+        assert!(hits.iter().all(|h| h.id != 43));
+        assert_eq!(hits.len(), 5, "live neighbours fill the k window");
+    }
+
+    #[test]
+    fn remove_unknown_or_dead_id_is_an_error_and_id_stays_reserved() {
+        let mut idx = build(&grid_items(20), HnswParams::default());
+        assert_eq!(idx.remove(999).unwrap_err(), IndexError::UnknownId(999));
+        idx.remove(7).unwrap();
+        assert_eq!(idx.remove(7).unwrap_err(), IndexError::UnknownId(7));
+        assert_eq!(
+            idx.add(7, &[0.0, 0.0]).unwrap_err(),
+            IndexError::DuplicateId(7)
+        );
+    }
+
+    #[test]
+    fn compaction_rebuilds_and_mutation_sequences_are_deterministic() {
+        let items = grid_items(32);
+        let run = || {
+            let mut idx = build(&items, HnswParams::default());
+            let mut compacted = false;
+            for id in 0..8u64 {
+                compacted |= idx.remove(id).unwrap();
+            }
+            (idx, compacted)
+        };
+        let (a, compacted) = run();
+        let (b, _) = run();
+        assert!(compacted, "8 of 32 tombstones must trip compaction");
+        assert!(a.tombstones().is_empty());
+        assert_eq!(a.len(), 24);
+        assert_eq!(a.iter_all().count(), 24, "rebuild drops dead nodes");
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.entry(), b.entry());
+        // The compacted graph is exactly a fresh train over the survivors.
+        let survivors: Vec<(u64, Vec<f32>)> = items[8..].to_vec();
+        let fresh = build(&survivors, HnswParams::default());
+        assert_eq!(a.links(), fresh.links());
+        // Compacted ids are free again.
+        let mut a = a;
+        a.add(0, &[50.0, 50.0]).unwrap();
+        assert_eq!(a.search(&[50.0, 50.0], 1)[0].id, 0);
+    }
+
+    #[test]
+    fn exhaustive_fallback_scans_live_only() {
+        let items = grid_items(20);
+        let mut idx = build(
+            &items,
+            HnswParams {
+                ef_search: 64,
+                ..HnswParams::default()
+            },
+        );
+        idx.remove(3).unwrap();
+        let (hits, evals) = idx.search_with_stats(&[3.0, 0.0], 20);
+        assert_eq!(evals, 19, "dead vectors are not scored in the fallback");
+        assert_eq!(hits.len(), 19);
+        assert!(hits.iter().all(|h| h.id != 3));
     }
 }

@@ -55,7 +55,11 @@ pub struct IvfIndex {
     centroids: Vec<Vec<f32>>,
     /// Per-cell storage of (id, vector).
     cells: Vec<Vec<(u64, Vec<f32>)>>,
+    /// Total stored entries, live and tombstoned.
     len: usize,
+    /// Tombstoned ids in removal order; their postings stay in `cells`
+    /// until compaction rewrites them.
+    deleted: Vec<u64>,
 }
 
 impl IvfIndex {
@@ -112,6 +116,7 @@ impl IvfIndex {
             centroids: result.centroids,
             cells,
             len: items.len(),
+            deleted: Vec::new(),
         })
     }
 
@@ -142,6 +147,49 @@ impl IvfIndex {
         Ok(())
     }
 
+    /// Tombstones `id`: its posting is skipped by every probe (without
+    /// counting as a distance evaluation) until compaction drops it.
+    ///
+    /// Returns `true` when the removal tripped [`crate::compaction_due`]
+    /// and the cells were rewritten in place. Centroids are untouched, so
+    /// probing order is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::UnknownId`] if `id` was never added or is already
+    /// tombstoned.
+    pub fn remove(&mut self, id: u64) -> Result<bool, IndexError> {
+        let stored = self
+            .cells
+            .iter()
+            .flatten()
+            .any(|(existing, _)| *existing == id);
+        if !stored || self.deleted.contains(&id) {
+            return Err(IndexError::UnknownId(id));
+        }
+        self.deleted.push(id);
+        if crate::compaction_due(self.deleted.len(), self.len) {
+            self.compact();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Tombstoned ids in removal order (empty right after a compaction).
+    pub fn tombstones(&self) -> &[u64] {
+        &self.deleted
+    }
+
+    /// Drops every tombstoned posting from its cell (surviving postings
+    /// keep their within-cell order) and clears the tombstone list.
+    fn compact(&mut self) {
+        for cell in &mut self.cells {
+            cell.retain(|(id, _)| !self.deleted.contains(id));
+        }
+        self.len -= self.deleted.len();
+        self.deleted.clear();
+    }
+
     /// Number of coarse cells actually trained (≤ `nlist`).
     pub fn cell_count(&self) -> usize {
         self.centroids.len()
@@ -163,6 +211,9 @@ impl IvfIndex {
     }
 
     /// Per-cell `(id, vector)` postings, parallel to [`IvfIndex::centroids`].
+    ///
+    /// This is the persistence view: it includes tombstoned postings, which
+    /// [`crate::serial`] captures alongside the tombstone list.
     pub fn cells(&self) -> &[Vec<(u64, Vec<f32>)>] {
         &self.cells
     }
@@ -212,6 +263,7 @@ impl IvfIndex {
             centroids,
             cells,
             len,
+            deleted: Vec::new(),
         })
     }
 }
@@ -236,6 +288,9 @@ impl IvfIndex {
         let mut candidates = Vec::new();
         for (cell, _) in cell_order.into_iter().take(probes) {
             for (id, v) in &self.cells[cell] {
+                if self.deleted.contains(id) {
+                    continue; // tombstone: skipped without a distance eval
+                }
                 candidates.push(Neighbor::new(*id, self.metric.score(query, v)));
                 evals += 1;
             }
@@ -245,8 +300,9 @@ impl IvfIndex {
 }
 
 impl VectorIndex for IvfIndex {
+    /// Number of **live** vectors; tombstoned entries do not count.
     fn len(&self) -> usize {
-        self.len
+        self.len - self.deleted.len()
     }
 
     fn dim(&self) -> usize {
@@ -343,6 +399,52 @@ mod tests {
                 got: 1
             })
         ));
+    }
+
+    #[test]
+    fn removed_id_is_skipped_without_distance_evals() {
+        let mut idx = build(IvfParams {
+            nlist: 8,
+            nprobe: 8,
+            seed: 3,
+        });
+        let (_, evals_before) = idx.search_with_stats(&[3.0, 4.0], 1);
+        assert!(!idx.remove(43).unwrap());
+        let (hits, evals_after) = idx.search_with_stats(&[3.0, 4.0], 1);
+        assert_ne!(hits[0].id, 43);
+        assert_eq!(evals_after, evals_before - 1);
+        assert_eq!(idx.len(), 99);
+        assert_eq!(idx.tombstones(), &[43]);
+    }
+
+    #[test]
+    fn remove_unknown_or_dead_id_is_an_error() {
+        let mut idx = build(IvfParams::default());
+        assert_eq!(idx.remove(999).unwrap_err(), IndexError::UnknownId(999));
+        idx.remove(5).unwrap();
+        assert_eq!(idx.remove(5).unwrap_err(), IndexError::UnknownId(5));
+        assert_eq!(
+            idx.add(5, &[0.0, 0.0]).unwrap_err(),
+            IndexError::DuplicateId(5)
+        );
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_keeps_centroids() {
+        let mut idx = build(IvfParams::default());
+        let centroids_before = idx.centroids().to_vec();
+        let mut compacted = false;
+        for i in 0..25u64 {
+            compacted |= idx.remove(i).unwrap();
+        }
+        assert!(compacted);
+        assert!(idx.tombstones().is_empty());
+        assert_eq!(idx.centroids(), centroids_before.as_slice());
+        let stored: usize = idx.cells().iter().map(Vec::len).sum();
+        assert_eq!(stored, idx.len());
+        // A compacted id is free again, assigned to its nearest cell.
+        idx.add(0, &[0.0, 0.0]).unwrap();
+        assert!(idx.search(&[0.0, 0.0], 1)[0].id == 0);
     }
 
     #[test]

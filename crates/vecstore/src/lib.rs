@@ -16,6 +16,17 @@
 //! * [`Metric`] — cosine / inner-product / Euclidean scoring with a uniform
 //!   "higher score is better" convention.
 //!
+//! All three indexes support **live mutation**: incremental `add`
+//! (Flat appends, IVF assigns to the nearest coarse centroid, HNSW
+//! inserts natively into the graph) and `remove`-as-tombstone.
+//! Tombstoned entries are filtered out of every search result and
+//! compacted away once they pass the shared [`compaction_due`]
+//! threshold; until then the id stays reserved (re-adding it is a
+//! [`IndexError::DuplicateId`]). Mutation is deterministic: the same
+//! sequence of operations on the same starting index always produces
+//! bit-identical search results, which is what lets a serving engine
+//! replay a catalog mutation log and converge exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,6 +41,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 mod error;
 mod flat;
@@ -51,6 +64,18 @@ pub use serial::{
     flat_from_json, flat_to_json, floats_from_json, floats_to_json, hnsw_from_json, hnsw_to_json,
     ivf_from_json, ivf_to_json, DecodeIndexError,
 };
+
+/// Shared compaction threshold for tombstoned entries.
+///
+/// Returns `true` once an index holding `total` entries (live + dead) has
+/// accumulated enough `tombstones` to be worth rewriting: at least 8
+/// tombstones **and** at least a quarter of the stored entries dead. Every
+/// index checks this after each `remove` and compacts immediately when it
+/// trips, so a persisted index is always strictly below the threshold —
+/// which is what makes replaying a serialized removal list side-effect-free.
+pub fn compaction_due(tombstones: usize, total: usize) -> bool {
+    tombstones >= 8 && tombstones * 4 >= total
+}
 
 /// Common behaviour of the vector indexes in this crate.
 ///

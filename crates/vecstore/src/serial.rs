@@ -103,6 +103,63 @@ fn posting_from_json(doc: &Value, what: &str) -> Result<(u64, Vec<f32>), DecodeI
     Ok((id, vector))
 }
 
+/// Appends the tombstone list (removal order) when there is one. Emitted
+/// only when non-empty so documents of unmutated indexes are byte-for-byte
+/// what older writers produced (the field is additive).
+fn insert_deleted(doc: &mut Value, deleted: &[u64]) {
+    if !deleted.is_empty() {
+        doc.insert(
+            "deleted",
+            deleted.iter().map(|id| Value::from(*id as i64)).collect(),
+        );
+    }
+}
+
+/// Reads the optional tombstone list; absent means none.
+fn deleted_from_json(doc: &Value) -> Result<Vec<u64>, DecodeIndexError> {
+    match doc.get("deleted") {
+        None => Ok(Vec::new()),
+        Some(list) => list
+            .as_array()
+            .ok_or_else(|| err("deleted must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .filter(|x| *x >= 0)
+                    .map(|x| x as u64)
+                    .ok_or_else(|| err("deleted entries must be ids"))
+            })
+            .collect(),
+    }
+}
+
+/// Replays a persisted removal list against a freshly decoded index.
+///
+/// A writer compacts the moment the threshold trips, so a persisted
+/// tombstone count is always strictly below it — if a replayed removal
+/// reports a compaction the document cannot have come from a writer, and
+/// restoring it would not reproduce the saved state bit-for-bit.
+fn replay_deleted<E>(
+    deleted: &[u64],
+    mut remove: impl FnMut(u64) -> Result<bool, E>,
+) -> Result<(), DecodeIndexError>
+where
+    E: fmt::Display,
+{
+    for &id in deleted {
+        match remove(id) {
+            Ok(false) => {}
+            Ok(true) => {
+                return Err(err(
+                    "deleted list at or above the compaction threshold".to_string()
+                ))
+            }
+            Err(e) => return Err(err(format!("deleted id {id}: {e}"))),
+        }
+    }
+    Ok(())
+}
+
 fn header(kind: &str, dim: usize, metric: Metric) -> [(&'static str, Value); 3] {
     [
         ("kind", Value::from(kind.to_owned())),
@@ -131,12 +188,20 @@ fn decode_header(doc: &Value) -> Result<(String, usize, Metric), DecodeIndexErro
 }
 
 /// Serializes a [`FlatIndex`] into a self-describing JSON document.
+///
+/// Tombstoned entries are captured exactly: postings are the full stored
+/// sequence ([`FlatIndex::iter_all`]) and a `deleted` field carries the
+/// removal order, so a restored index is bit-for-bit the saved one.
 pub fn flat_to_json(index: &FlatIndex) -> Value {
     let mut doc = Value::object(header("flat", index.dim(), index.metric()));
     doc.insert(
         "postings",
-        index.iter().map(|(id, v)| posting_to_json(id, v)).collect(),
+        index
+            .iter_all()
+            .map(|(id, v)| posting_to_json(id, v))
+            .collect(),
     );
+    insert_deleted(&mut doc, index.tombstones());
     doc
 }
 
@@ -162,11 +227,14 @@ pub fn flat_from_json(doc: &Value) -> Result<FlatIndex, DecodeIndexError> {
             .add(id, &vector)
             .map_err(|e| err(format!("posting id {id}: {e}")))?;
     }
+    replay_deleted(&deleted_from_json(doc)?, |id| index.remove(id))?;
     Ok(index)
 }
 
 /// Serializes an [`IvfIndex`] — coarse centroids plus per-cell postings —
 /// so a restored index probes identically without re-running k-means.
+/// Cells include tombstoned postings; a `deleted` field carries the
+/// removal order so the restored index skips exactly the same entries.
 pub fn ivf_to_json(index: &IvfIndex) -> Value {
     let params = index.params();
     let mut doc = Value::object(header("ivf", index.dim(), index.metric()));
@@ -198,6 +266,7 @@ pub fn ivf_to_json(index: &IvfIndex) -> Value {
             })
             .collect(),
     );
+    insert_deleted(&mut doc, index.tombstones());
     doc
 }
 
@@ -245,12 +314,19 @@ pub fn ivf_from_json(doc: &Value) -> Result<IvfIndex, DecodeIndexError> {
             .collect::<Result<Vec<(u64, Vec<f32>)>, _>>()?;
         cells.push(postings);
     }
-    IvfIndex::from_parts(dim, metric, params, centroids, cells).map_err(|e| err(e.to_string()))
+    let mut index = IvfIndex::from_parts(dim, metric, params, centroids, cells)
+        .map_err(|e| err(e.to_string()))?;
+    replay_deleted(&deleted_from_json(doc)?, |id| index.remove(id))?;
+    Ok(index)
 }
 
 /// Serializes an [`HnswIndex`] — postings in insertion order plus the full
 /// per-node, per-layer adjacency and the entry point — so a restored index
 /// traverses the graph bit-identically without rebuilding it.
+///
+/// Postings are the full node sequence including tombstoned entries
+/// ([`HnswIndex::iter_all`]) — links refer to node indices, so dead nodes
+/// must keep their slots — and a `deleted` field carries the removal order.
 pub fn hnsw_to_json(index: &HnswIndex) -> Value {
     let params = index.params();
     let mut doc = Value::object(header("hnsw", index.dim(), index.metric()));
@@ -265,7 +341,10 @@ pub fn hnsw_to_json(index: &HnswIndex) -> Value {
     );
     doc.insert(
         "postings",
-        index.iter().map(|(id, v)| posting_to_json(id, v)).collect(),
+        index
+            .iter_all()
+            .map(|(id, v)| posting_to_json(id, v))
+            .collect(),
     );
     doc.insert(
         "links",
@@ -292,6 +371,7 @@ pub fn hnsw_to_json(index: &HnswIndex) -> Value {
             None => Value::Null,
         },
     );
+    insert_deleted(&mut doc, index.tombstones());
     doc
 }
 
@@ -365,8 +445,10 @@ pub fn hnsw_from_json(doc: &Value) -> Result<HnswIndex, DecodeIndexError> {
                 .ok_or_else(|| err("entry must be a node index"))?,
         ),
     };
-    HnswIndex::from_parts(dim, metric, params, postings, links, entry)
-        .map_err(|e| err(e.to_string()))
+    let mut index = HnswIndex::from_parts(dim, metric, params, postings, links, entry)
+        .map_err(|e| err(e.to_string()))?;
+    replay_deleted(&deleted_from_json(doc)?, |id| index.remove(id))?;
+    Ok(index)
 }
 
 #[cfg(test)]
@@ -529,5 +611,76 @@ mod tests {
         let mut doc = flat_to_json(&flat_sample());
         doc.insert("future_field", Value::from("ignored"));
         assert!(flat_from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn mutated_flat_roundtrip_preserves_tombstones_exactly() {
+        let mut idx = flat_sample();
+        idx.remove(20).unwrap();
+        idx.add(40, &[0.5, 0.5, 0.5]).unwrap();
+        let text = flat_to_json(&idx).to_string();
+        let restored = flat_from_json(&lim_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(restored.tombstones(), idx.tombstones());
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.iter_all().count(), idx.iter_all().count());
+        let a = idx.search(&[0.9, 0.3, 0.1], 4);
+        let b = restored.search(&[0.9, 0.3, 0.1], 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn mutated_ivf_and_hnsw_roundtrip_search_identically() {
+        let mut ivf = ivf_sample();
+        ivf.remove(5).unwrap();
+        ivf.remove(17).unwrap();
+        ivf.add(100, &[3.5, 3.5]).unwrap();
+        let restored = ivf_from_json(&lim_json::parse(&ivf_to_json(&ivf).to_string()).unwrap())
+            .expect("ivf roundtrip");
+        assert_eq!(restored.tombstones(), ivf.tombstones());
+        assert_eq!(restored.len(), ivf.len());
+
+        let mut hnsw = hnsw_sample();
+        hnsw.remove(5).unwrap();
+        hnsw.add(100, &[3.5, 3.5]).unwrap();
+        let restored_h =
+            hnsw_from_json(&lim_json::parse(&hnsw_to_json(&hnsw).to_string()).unwrap())
+                .expect("hnsw roundtrip");
+        assert_eq!(restored_h.tombstones(), hnsw.tombstones());
+        assert_eq!(restored_h.links(), hnsw.links());
+        for q in [[0.0f32, 0.0], [3.2, 4.1]] {
+            for (x, y) in ivf.search(&q, 5).iter().zip(&restored.search(&q, 5)) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+            for (x, y) in hnsw.search(&q, 5).iter().zip(&restored_h.search(&q, 5)) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_deleted_lists_are_rejected() {
+        let mut idx = flat_sample();
+        idx.remove(20).unwrap();
+        // deleted naming an id that is not stored
+        let mut doc = flat_to_json(&idx);
+        doc.insert("deleted", [Value::from(999)].into_iter().collect());
+        assert!(flat_from_json(&doc).is_err(), "unknown deleted id");
+        // deleted that is not an array
+        let mut doc = flat_to_json(&idx);
+        doc.insert("deleted", Value::from("nope"));
+        assert!(flat_from_json(&doc).is_err(), "deleted must be an array");
+        // duplicate tombstone (second removal of a dead id)
+        let mut doc = flat_to_json(&idx);
+        doc.insert(
+            "deleted",
+            [Value::from(20), Value::from(20)].into_iter().collect(),
+        );
+        assert!(flat_from_json(&doc).is_err(), "double tombstone");
     }
 }

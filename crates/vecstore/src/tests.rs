@@ -346,6 +346,97 @@ proptest! {
         }
     }
 
+    /// Live mutation keeps the recall bars: after a seeded interleaving of
+    /// removes and fresh inserts applied identically to all three kinds,
+    /// every index returns only live ids, agrees on the live count, and
+    /// IVF/HNSW recall@10 against an exact scan over the live set stays at
+    /// the static-catalog floors (0.9 / 0.95).
+    #[test]
+    fn mutated_indexes_return_only_live_ids_and_keep_recall(
+        seed in 0u64..200,
+        churn in 8usize..48,
+    ) {
+        let n = 512usize;
+        let dim = 8;
+        let data = clustered_catalog(seed.wrapping_add(33_000), n, dim);
+        let refs: Vec<(u64, &[f32])> = data.iter().map(|(i, v)| (*i, v.as_slice())).collect();
+        let mut flat = flat_from(dim, Metric::Euclidean, &data);
+        let mut ivf = IvfIndex::train(
+            dim,
+            Metric::Euclidean,
+            IvfParams { nlist: 16, nprobe: 8, seed },
+            &refs,
+        ).unwrap();
+        let mut hnsw = HnswIndex::train(
+            dim,
+            Metric::Euclidean,
+            HnswParams { seed, ..HnswParams::default() },
+            &refs,
+        ).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut live: Vec<(u64, Vec<f32>)> = data.clone();
+        let mut next_id = n as u64;
+        for _ in 0..churn {
+            if rng.random_range(0..3u32) == 0 {
+                let pos = rng.random_range(0..live.len());
+                let (id, _) = live.swap_remove(pos);
+                flat.remove(id).unwrap();
+                ivf.remove(id).unwrap();
+                hnsw.remove(id).unwrap();
+            } else {
+                // Stay in the clustered regime: new tools land near an
+                // existing one, the way real catalog revisions do.
+                let base = &data[rng.random_range(0..data.len())].1;
+                let v: Vec<f32> = base
+                    .iter()
+                    .map(|x| x + rng.random_range(-1.5f32..1.5))
+                    .collect();
+                flat.add(next_id, &v).unwrap();
+                ivf.add(next_id, &v).unwrap();
+                hnsw.add(next_id, &v).unwrap();
+                live.push((next_id, v));
+                next_id += 1;
+            }
+        }
+
+        let exact = flat_from(dim, Metric::Euclidean, &live);
+        prop_assert_eq!(flat.len(), live.len());
+        prop_assert_eq!(ivf.len(), live.len());
+        prop_assert_eq!(hnsw.len(), live.len());
+
+        let k = 10;
+        let queries = 16;
+        let mut ivf_found = 0usize;
+        let mut hnsw_found = 0usize;
+        let mut wanted = 0usize;
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+        let live_ids: Vec<u64> = live.iter().map(|(id, _)| *id).collect();
+        for _ in 0..queries {
+            let (_, base) = &live[probe_rng.random_range(0..live.len())];
+            let query: Vec<f32> = base
+                .iter()
+                .map(|x| x + probe_rng.random_range(-0.5f32..0.5))
+                .collect();
+            let exact_ids: Vec<u64> = exact.search(&query, k).iter().map(|h| h.id).collect();
+            let flat_ids: Vec<u64> = flat.search(&query, k).iter().map(|h| h.id).collect();
+            // The mutated flat index must stay exact.
+            prop_assert_eq!(&flat_ids, &exact_ids);
+            let ivf_ids: Vec<u64> = ivf.search(&query, k).iter().map(|h| h.id).collect();
+            let hnsw_ids: Vec<u64> = hnsw.search(&query, k).iter().map(|h| h.id).collect();
+            for id in ivf_ids.iter().chain(&hnsw_ids) {
+                prop_assert!(live_ids.contains(id), "tombstoned id {} surfaced", id);
+            }
+            wanted += exact_ids.len();
+            ivf_found += exact_ids.iter().filter(|id| ivf_ids.contains(id)).count();
+            hnsw_found += exact_ids.iter().filter(|id| hnsw_ids.contains(id)).count();
+        }
+        let ivf_recall = ivf_found as f64 / wanted as f64;
+        let hnsw_recall = hnsw_found as f64 / wanted as f64;
+        prop_assert!(ivf_recall >= 0.9, "ivf recall@10 = {:.3} after churn", ivf_recall);
+        prop_assert!(hnsw_recall >= 0.95, "hnsw recall@10 = {:.3} after churn", hnsw_recall);
+    }
+
     /// IVF recall@1 with half the cells probed stays reasonable on clustered
     /// data (the regime it is designed for) — and never errors or panics.
     #[test]

@@ -1,0 +1,217 @@
+//! Seeded live-catalog churn generation.
+//!
+//! A static trace exercises a frozen catalog; a deployed assistant's
+//! catalog *drifts* — plugins install, deprecated tools disappear — while
+//! the request stream keeps flowing. This module stamps a deterministic
+//! mutation schedule onto an existing [`SessionTrace`]: synthetic tool
+//! registrations drawn from a vocabulary orthogonal to the benchmark's
+//! (so a probe never hijacks a real query's retrieval), and retirements
+//! restricted to tools no evaluation query's gold chain references (plus
+//! probes registered earlier in the same schedule). Accuracy through
+//! churn is therefore comparable to the static baseline: every tool a
+//! gold chain needs stays live for the whole trace.
+//!
+//! Everything derives from [`ChurnConfig::seed`] alone, so the same
+//! config always yields the same schedule — the property the CI churn
+//! gate's bit-identity comparisons rest on.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_workloads::{bfcl, churn::{with_churn, ChurnConfig}};
+//! use lim_workloads::trace::{zipf_trace, TraceConfig};
+//!
+//! let w = bfcl(7, 60);
+//! let base = zipf_trace(&w, &TraceConfig { seed: 1, ..TraceConfig::default() });
+//! let churned = with_churn(&w, base.clone(), &ChurnConfig::default());
+//! assert_eq!(churned.sessions, base.sessions, "requests untouched");
+//! assert!(!churned.churn.is_empty());
+//! assert!(churned.validate_churn().is_ok());
+//! ```
+
+use lim_tools::{ParamType, ToolDoc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::Workload;
+use crate::trace::{ChurnEvent, ChurnOp, SessionTrace};
+
+/// How much catalog churn to stamp onto a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Seed for the mutation schedule (positions, op order, retire
+    /// targets). Independent of the trace seed so the same trace can be
+    /// replayed under many schedules.
+    pub seed: u64,
+    /// Number of synthetic tool registrations.
+    pub registers: usize,
+    /// Number of retirements. Targets are drawn from gold-safe catalog
+    /// tools and earlier-registered probes; if both pools run dry the
+    /// surplus retirements are dropped (never a gold tool).
+    pub retires: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0C4A_7106,
+            registers: 4,
+            retires: 4,
+        }
+    }
+}
+
+/// Word bank for synthetic probe descriptions — deliberately orthogonal
+/// to the bfcl/geoengine vocabularies so a probe's embedding never
+/// outranks a real tool on a real query.
+const PROBE_WORDS: [&str; 8] = [
+    "zephyr", "quasar", "obsidian", "vellum", "krypton", "solstice", "umbra", "fjord",
+];
+
+/// Builds the `n`-th synthetic probe tool for a churn schedule.
+///
+/// Names embed the seed, so probes from different schedules never
+/// collide with each other (or with benchmark tools) in one registry.
+pub fn synthetic_tool(seed: u64, n: usize) -> ToolDoc {
+    let a = PROBE_WORDS[n % PROBE_WORDS.len()];
+    let b = PROBE_WORDS[(n / PROBE_WORDS.len() + n + 1) % PROBE_WORDS.len()];
+    ToolDoc::new(
+        format!("live_probe_{seed:x}_{n}"),
+        "live-probe",
+        format!("synthetic {a} {b} probe registered mid-trace"),
+    )
+    .with_param("payload", ParamType::String, true, "opaque probe payload")
+}
+
+/// Catalog indices that no evaluation or training query's gold chain
+/// references — the only base tools a generated schedule may retire
+/// without making gold chains unservable.
+pub fn retirable_tools(workload: &Workload) -> Vec<usize> {
+    let mut gold: Vec<&str> = workload
+        .queries
+        .iter()
+        .chain(&workload.train_queries)
+        .flat_map(|q| q.steps.iter().map(|s| s.tool.as_str()))
+        .collect();
+    gold.sort_unstable();
+    gold.dedup();
+    (0..workload.registry.len())
+        .filter(|i| {
+            let name = workload.registry.get(*i).expect("dense registry").name();
+            gold.binary_search(&name).is_err()
+        })
+        .collect()
+}
+
+/// Stamps a seeded mutation schedule onto `trace` (request content and
+/// arrivals untouched; any existing churn is replaced).
+///
+/// Registers and retires alternate, spread across the whole request
+/// stream at seeded positions. Retire targets are drawn uniformly from
+/// the gold-safe pool ([`retirable_tools`]) plus probes this schedule
+/// registered earlier; registered-probe indices assume the probes land
+/// at `registry.len()`, `registry.len() + 1`, … in schedule order —
+/// which is exactly what a dense registry allocates when the engine
+/// applies the events in order.
+pub fn with_churn(workload: &Workload, trace: SessionTrace, config: &ChurnConfig) -> SessionTrace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total = trace.requests();
+    let ops = config.registers + config.retires;
+    let mut positions: Vec<usize> = (0..ops).map(|_| rng.random_range(0..=total)).collect();
+    positions.sort_unstable();
+
+    let base = workload.registry.len();
+    let mut retirable = retirable_tools(workload);
+    let mut churn = Vec::with_capacity(ops);
+    let mut registered = 0usize;
+    let mut retired = 0usize;
+    for position in positions {
+        // Alternate ops while both kinds remain; a retire with no safe
+        // target left is dropped rather than aimed at a gold tool.
+        let want_register = registered < config.registers
+            && (retired >= config.retires || registered <= retired || retirable.is_empty());
+        if want_register {
+            churn.push(ChurnEvent {
+                after_requests: position,
+                op: ChurnOp::Register(synthetic_tool(config.seed, registered)),
+            });
+            // Earlier probes become retire candidates at their dense,
+            // replay-order index.
+            retirable.push(base + registered);
+            registered += 1;
+        } else if !retirable.is_empty() {
+            let target = retirable.swap_remove(rng.random_range(0..retirable.len()));
+            churn.push(ChurnEvent {
+                after_requests: position,
+                op: ChurnOp::Retire(target),
+            });
+            retired += 1;
+        }
+    }
+    let mut trace = trace;
+    trace.churn = churn;
+    debug_assert!(trace.validate_churn().is_ok());
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfcl;
+    use crate::trace::{zipf_trace, TraceConfig};
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let w = bfcl(3, 50);
+        let base = zipf_trace(&w, &TraceConfig::default());
+        let config = ChurnConfig::default();
+        let a = with_churn(&w, base.clone(), &config);
+        let b = with_churn(&w, base.clone(), &config);
+        assert_eq!(a, b);
+        let other = with_churn(&w, base, &ChurnConfig { seed: 99, ..config });
+        assert_ne!(a.churn, other.churn);
+    }
+
+    #[test]
+    fn retires_never_target_gold_tools() {
+        let w = bfcl(3, 50);
+        let safe = retirable_tools(&w);
+        let base = zipf_trace(&w, &TraceConfig::default());
+        let churned = with_churn(
+            &w,
+            base,
+            &ChurnConfig {
+                seed: 5,
+                registers: 3,
+                retires: 6,
+            },
+        );
+        let registers = churned
+            .churn
+            .iter()
+            .filter(|e| matches!(e.op, ChurnOp::Register(_)))
+            .count();
+        assert_eq!(registers, 3);
+        for event in &churned.churn {
+            if let ChurnOp::Retire(id) = event.op {
+                assert!(
+                    safe.contains(&id) || (w.registry.len()..w.registry.len() + 3).contains(&id),
+                    "retire {id} targets a gold tool"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_names_are_unique_and_orthogonal() {
+        let w = bfcl(3, 50);
+        let names: Vec<String> = (0..16).map(|n| synthetic_tool(7, n).name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+        for name in &names {
+            assert!(w.registry.get_by_name(name).is_none());
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //! proximate" noisy queries Search Level 2 clusters over (§III-A).
 //!
 //! For serving experiments, the [`trace`] module turns a workload's query
-//! pool into Zipf-skewed session traces (see `lim-serve`).
+//! pool into Zipf-skewed session traces (see `lim-serve`), and the
+//! [`churn`] module stamps seeded live-catalog mutation schedules
+//! (register/retire events) onto those traces.
 //!
 //! # Examples
 //!
@@ -34,7 +36,10 @@
 //! assert!(g.queries.iter().any(|q| q.steps.len() >= 2));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod augment;
+pub mod churn;
 pub mod pools;
 pub mod synthetic;
 pub mod trace;

@@ -49,6 +49,7 @@
 //! ```
 
 use lim_json::Value;
+use lim_tools::ToolDoc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -195,6 +196,80 @@ pub struct TraceSession {
     pub arrival_us: Vec<u64>,
 }
 
+/// One live-catalog mutation carried by a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnOp {
+    /// Register the tool this portable document describes.
+    Register(ToolDoc),
+    /// Retire the tool at this registry index.
+    Retire(usize),
+}
+
+/// A catalog mutation pinned to a position in the canonical
+/// (session-major) request order: the engine applies the op after
+/// `after_requests` requests have been submitted and before the next
+/// one. Pinning to the *global* request count — not a per-session offset
+/// or a timestamp — is what keeps churn replays bit-identical across
+/// worker counts: the boundary is a property of the deterministic
+/// submission order, never of scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// How many requests (canonical order) precede this mutation.
+    pub after_requests: usize,
+    /// The mutation itself.
+    pub op: ChurnOp,
+}
+
+impl ChurnEvent {
+    /// Serializes the event for a trace document's `churn` array.
+    pub fn to_json(&self) -> Value {
+        match &self.op {
+            ChurnOp::Register(doc) => Value::object([
+                ("after_requests", Value::from(self.after_requests)),
+                ("op", Value::from("register")),
+                ("tool", doc.to_json()),
+            ]),
+            ChurnOp::Retire(id) => Value::object([
+                ("after_requests", Value::from(self.after_requests)),
+                ("op", Value::from("retire")),
+                ("id", Value::from(*id)),
+            ]),
+        }
+    }
+
+    /// Decodes one `churn` array entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field: a negative
+    /// position, an op other than `register`/`retire`, a register entry
+    /// without a valid tool document or a retire entry without an id.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        let after_requests = match doc.get("after_requests").and_then(Value::as_i64) {
+            Some(x) if x >= 0 => x as usize,
+            Some(x) => return Err(format!("churn after_requests is negative ({x})")),
+            None => return Err("churn event missing after_requests".to_owned()),
+        };
+        let op = doc
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("churn event missing op")?;
+        let op = match op {
+            "register" => {
+                let tool = doc.get("tool").ok_or("register event missing tool")?;
+                ChurnOp::Register(ToolDoc::from_json(tool).map_err(|e| e.to_string())?)
+            }
+            "retire" => match doc.get("id").and_then(Value::as_i64) {
+                Some(id) if id >= 0 => ChurnOp::Retire(id as usize),
+                Some(id) => return Err(format!("retire id is negative ({id})")),
+                None => return Err("retire event missing id".to_owned()),
+            },
+            other => return Err(format!("unknown churn op {other:?}")),
+        };
+        Ok(Self { after_requests, op })
+    }
+}
+
 /// A complete load trace: what `lim serve` replays and `lim loadgen`
 /// generates.
 #[derive(Debug, Clone, PartialEq)]
@@ -211,6 +286,11 @@ pub struct SessionTrace {
     pub arrivals: ArrivalProcess,
     /// The sessions, in arrival order.
     pub sessions: Vec<TraceSession>,
+    /// Live-catalog mutations interleaved with the request stream, in
+    /// nondecreasing [`ChurnEvent::after_requests`] order. Empty for
+    /// static-catalog traces; the JSON field is additive, so documents
+    /// without it load with no churn and old readers ignore it.
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl SessionTrace {
@@ -289,6 +369,45 @@ impl SessionTrace {
         Ok(())
     }
 
+    /// Checks the churn events are coherent with the request stream:
+    /// positions are nondecreasing (the engine applies them in listed
+    /// order while walking the canonical request sequence) and never
+    /// point past the end of the trace, and every register document
+    /// satisfies the [`ToolDoc::validate`] invariants. Retire indices
+    /// are *not* bounds-checked here — the trace does not know the
+    /// catalog size; the engine rejects an out-of-range retire when the
+    /// event is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first incoherent event.
+    pub fn validate_churn(&self) -> Result<(), String> {
+        let total = self.requests();
+        let mut last = 0usize;
+        for (i, event) in self.churn.iter().enumerate() {
+            if event.after_requests < last {
+                return Err(format!(
+                    "churn event {i} at position {} precedes event {} at {last}; \
+                     events must be listed in nondecreasing request order",
+                    event.after_requests,
+                    i - 1
+                ));
+            }
+            if event.after_requests > total {
+                return Err(format!(
+                    "churn event {i} at position {} lies past the {total}-request trace",
+                    event.after_requests
+                ));
+            }
+            last = event.after_requests;
+            if let ChurnOp::Register(doc) = &event.op {
+                doc.validate()
+                    .map_err(|e| format!("churn event {i}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Re-stamps the trace with a different arrival process, deriving the
     /// draws deterministically from the trace seed (so replaying a v1
     /// trace with `lim serve --arrivals poisson:R` is reproducible).
@@ -330,7 +449,7 @@ impl SessionTrace {
                 ("burst", Value::from(burst)),
             ]),
         };
-        Value::object([
+        let mut doc = Value::object([
             ("schema", Value::from("lim-workloads/trace-v1")),
             ("benchmark", Value::from(self.benchmark.as_str())),
             ("seed", Value::from(self.seed as i64)),
@@ -362,7 +481,16 @@ impl SessionTrace {
                     })
                     .collect(),
             ),
-        ])
+        ]);
+        // Additive, like the arrival fields: static-catalog documents
+        // stay byte-identical to what pre-churn writers produced.
+        if !self.churn.is_empty() {
+            doc.insert(
+                "churn",
+                self.churn.iter().map(ChurnEvent::to_json).collect(),
+            );
+        }
+        doc
     }
 
     /// Largest query pool a trace document may declare — a sanity bound
@@ -493,6 +621,16 @@ impl SessionTrace {
                 })
             })
             .collect::<Result<Vec<TraceSession>, String>>()?;
+        let churn = match doc.get("churn") {
+            // Pre-churn documents: static catalog.
+            None => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or("churn is not an array")?
+                .iter()
+                .map(ChurnEvent::from_json)
+                .collect::<Result<Vec<ChurnEvent>, String>>()?,
+        };
         let trace = Self {
             benchmark,
             seed,
@@ -500,8 +638,10 @@ impl SessionTrace {
             pool_size,
             arrivals,
             sessions,
+            churn,
         };
         trace.validate_arrivals()?;
+        trace.validate_churn()?;
         Ok(trace)
     }
 }
@@ -570,6 +710,7 @@ impl TraceBuilder {
                 pool_size,
                 arrivals,
                 sessions: Vec::new(),
+                churn: Vec::new(),
             },
             last_us: 0,
         })
@@ -637,6 +778,35 @@ impl TraceBuilder {
         Ok(())
     }
 
+    /// Records a live tool registration at the current stream position:
+    /// the engine will apply it after every request pushed so far and
+    /// before the next one. Positions are nondecreasing by construction,
+    /// so the result always satisfies [`SessionTrace::validate_churn`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a document violating [`ToolDoc::validate`] — the same
+    /// check the batch decoder applies per `churn` entry.
+    pub fn push_register(&mut self, doc: ToolDoc) -> Result<(), String> {
+        doc.validate().map_err(|e| e.to_string())?;
+        self.trace.churn.push(ChurnEvent {
+            after_requests: self.trace.requests(),
+            op: ChurnOp::Register(doc),
+        });
+        Ok(())
+    }
+
+    /// Records a live tool retirement at the current stream position.
+    /// The index is not bounds-checked here — the builder does not know
+    /// the catalog size (see [`SessionTrace::validate_churn`]); the
+    /// engine rejects an out-of-range retire when the event is applied.
+    pub fn push_retire(&mut self, index: usize) {
+        self.trace.churn.push(ChurnEvent {
+            after_requests: self.trace.requests(),
+            op: ChurnOp::Retire(index),
+        });
+    }
+
     /// Total requests pushed so far.
     pub fn requests(&self) -> usize {
         self.trace.requests()
@@ -647,6 +817,7 @@ impl TraceBuilder {
     /// [`SessionTrace::validate_arrivals`] by construction.
     pub fn finish(self) -> SessionTrace {
         debug_assert!(self.trace.validate_arrivals().is_ok());
+        debug_assert!(self.trace.validate_churn().is_ok());
         self.trace
     }
 }
@@ -793,6 +964,7 @@ pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
         pool_size: pool,
         arrivals: config.arrivals,
         sessions,
+        churn: Vec::new(),
     }
 }
 
@@ -1145,5 +1317,117 @@ mod tests {
         // Out-of-pool indices are caught at parse time, before any
         // workload is built from the declared pool size.
         assert!(parse("10", "0", "10").unwrap_err().contains("outside"));
+    }
+
+    fn live_doc(n: usize) -> ToolDoc {
+        ToolDoc::new(
+            format!("live_probe_{n}"),
+            "live",
+            format!("synthetic live-catalog probe number {n}"),
+        )
+    }
+
+    #[test]
+    fn churn_round_trips_through_json() {
+        let w = bfcl(3, 40);
+        let mut trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 9,
+                ..TraceConfig::default()
+            },
+        );
+        trace.churn = vec![
+            ChurnEvent {
+                after_requests: 0,
+                op: ChurnOp::Register(live_doc(0)),
+            },
+            ChurnEvent {
+                after_requests: 3,
+                op: ChurnOp::Retire(7),
+            },
+            ChurnEvent {
+                after_requests: 3,
+                op: ChurnOp::Register(live_doc(1)),
+            },
+        ];
+        let text = trace.to_json().to_string();
+        let back = SessionTrace::from_json(&lim_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, trace);
+        // Static-catalog traces carry no churn member at all.
+        trace.churn.clear();
+        assert!(trace.to_json().get("churn").is_none());
+    }
+
+    #[test]
+    fn malformed_churn_is_rejected() {
+        let w = bfcl(3, 40);
+        let base = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 9,
+                ..TraceConfig::default()
+            },
+        );
+        let reject = |churn: Vec<ChurnEvent>, needle: &str| {
+            let mut t = base.clone();
+            t.churn = churn;
+            let doc = t.to_json();
+            let err = SessionTrace::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        };
+        // Events listed out of canonical order.
+        reject(
+            vec![
+                ChurnEvent {
+                    after_requests: 5,
+                    op: ChurnOp::Retire(0),
+                },
+                ChurnEvent {
+                    after_requests: 2,
+                    op: ChurnOp::Retire(1),
+                },
+            ],
+            "nondecreasing",
+        );
+        // An event past the end of the request stream.
+        reject(
+            vec![ChurnEvent {
+                after_requests: base.requests() + 1,
+                op: ChurnOp::Retire(0),
+            }],
+            "past",
+        );
+        // Structurally corrupt event documents.
+        let corrupt = [
+            r#"{"op":"register","tool":{"name":"x","category":"c","description":"d","params":[]}}"#,
+            r#"{"after_requests":1,"op":"rename","id":3}"#,
+            r#"{"after_requests":1,"op":"retire","id":-3}"#,
+            r#"{"after_requests":1,"op":"retire"}"#,
+            r#"{"after_requests":1,"op":"register"}"#,
+            r#"{"after_requests":1,"op":"register","tool":{"name":""}}"#,
+        ];
+        for text in corrupt {
+            let doc = lim_json::parse(text).unwrap();
+            assert!(ChurnEvent::from_json(&doc).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn builder_records_churn_at_the_current_position() {
+        let mut b = TraceBuilder::new("bfcl", 7, 1.0, 60, ArrivalProcess::BackToBack).unwrap();
+        b.push_register(live_doc(0)).unwrap();
+        b.push(0, 3, None).unwrap();
+        b.push(0, 5, None).unwrap();
+        b.push_retire(4);
+        b.push(1, 3, None).unwrap();
+        let trace = b.finish();
+        assert_eq!(trace.churn.len(), 2);
+        assert_eq!(trace.churn[0].after_requests, 0);
+        assert_eq!(trace.churn[1].after_requests, 2);
+        assert!(trace.validate_churn().is_ok());
+        // An invalid document is rejected at push time.
+        let mut b = TraceBuilder::new("bfcl", 7, 1.0, 60, ArrivalProcess::BackToBack).unwrap();
+        assert!(b.push_register(ToolDoc::new("", "c", "d")).is_err());
     }
 }

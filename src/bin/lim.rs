@@ -450,6 +450,20 @@ fn print_serve_report(report: &lessismore::serve::ServeReport) {
         b.warm_embed_entries,
         b.warm_memo_entries
     );
+    let c = &report.catalog;
+    if c.epoch > 0 {
+        println!(
+            "catalog: epoch {} | +{} tools / -{} tools | tombstones {} | compactions {} | \
+             cluster refreshes {} | memo strandings {}",
+            c.epoch,
+            c.registered,
+            c.retired,
+            c.tombstones,
+            c.compactions,
+            c.cluster_refreshes,
+            c.memo_invalidations
+        );
+    }
     let a = &report.admission;
     if a.queue_depth > 0 {
         println!(
@@ -727,6 +741,19 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
                 .unwrap_or(ArrivalProcess::BackToBack),
         },
     );
+    let trace = if options.churn > 0 {
+        lessismore::workloads::churn::with_churn(
+            &workload,
+            trace,
+            &lessismore::workloads::churn::ChurnConfig {
+                seed: options.churn_seed,
+                registers: options.churn,
+                retires: options.churn,
+            },
+        )
+    } else {
+        trace
+    };
     println!(
         "generated trace: {} sessions, {} requests, {} unique queries (zipf {:.2}, pool {}, arrivals {})",
         trace.sessions.len(),
@@ -736,6 +763,13 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
         trace.pool_size,
         trace.arrivals.label()
     );
+    if !trace.churn.is_empty() {
+        println!(
+            "stamped {} catalog mutations (churn seed {})",
+            trace.churn.len(),
+            options.churn_seed
+        );
+    }
     if let Some(path) = &options.save_trace {
         let mut doc = trace.to_json();
         // Advisory generation-time engine config: `lim serve` warns when
@@ -1042,6 +1076,34 @@ fn serve_wire_stream<W: std::io::Write>(
                         bail!(e);
                     }
                 }
+                // Catalog mutations drain the pending batch first (the
+                // engine's drain-boundary rule), so the events they force
+                // out are owed to the client before the acknowledgement.
+                Ok(wire::ClientFrame::Register(doc)) => match session.register_tool(&doc) {
+                    Ok((index, events)) => {
+                        for event in events {
+                            for frame in wire::event_frames(&event) {
+                                emit(writer, &frame)?;
+                            }
+                        }
+                        emit(
+                            writer,
+                            &wire::catalog_frame("register", index, session.epoch()),
+                        )?;
+                    }
+                    Err(e) => bail!(e),
+                },
+                Ok(wire::ClientFrame::Retire { id }) => match session.retire_tool(id) {
+                    Ok(events) => {
+                        for event in events {
+                            for frame in wire::event_frames(&event) {
+                                emit(writer, &frame)?;
+                            }
+                        }
+                        emit(writer, &wire::catalog_frame("retire", id, session.epoch()))?;
+                    }
+                    Err(e) => bail!(e),
+                },
                 Ok(wire::ClientFrame::Hello(_)) => bail!("duplicate hello frame".to_owned()),
                 Err(e) => bail!(e),
             }
@@ -1229,9 +1291,10 @@ fn cmd_wire(options: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!(
-                "wrote {out}: {} frames ({} requests)",
-                1 + trace.requests(),
-                trace.requests()
+                "wrote {out}: {} frames ({} requests, {} catalog mutations)",
+                1 + trace.requests() + trace.churn.len(),
+                trace.requests(),
+                trace.churn.len()
             );
         }
         None => print!("{stream}"),

@@ -175,6 +175,12 @@ pub struct Options {
     pub trace: Option<String>,
     /// Where `loadgen` writes the generated trace JSON.
     pub save_trace: Option<String>,
+    /// `loadgen --churn N`: stamp N live registrations and N retirements
+    /// onto the generated trace (0 = static catalog).
+    pub churn: usize,
+    /// Seed for the churn schedule (positions, synthetic tools, retire
+    /// picks); independent of the trace seed.
+    pub churn_seed: u64,
     /// Snapshot / checkpoint boot flags.
     pub snapshots: SnapshotFlags,
     /// Level-1 vector-index flags.
@@ -222,6 +228,8 @@ impl Default for Options {
             admission: AdmissionFlags::default(),
             trace: None,
             save_trace: None,
+            churn: 0,
+            churn_seed: crate::workloads::churn::ChurnConfig::default().seed,
             snapshots: SnapshotFlags::default(),
             index: IndexFlags::default(),
             ann: false,
@@ -414,6 +422,16 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--trace" => options.trace = Some(value("--trace")?),
             "--save-trace" => options.save_trace = Some(value("--save-trace")?),
+            "--churn" => {
+                options.churn = value("--churn")?
+                    .parse()
+                    .map_err(|_| "--churn needs an integer (0 = static catalog)".to_owned())?;
+            }
+            "--churn-seed" => {
+                options.churn_seed = value("--churn-seed")?
+                    .parse()
+                    .map_err(|_| "--churn-seed needs an integer".to_owned())?;
+            }
             "--snapshot" => options.snapshots.snapshot = Some(value("--snapshot")?),
             "--checkpoint" => options.snapshots.checkpoint = Some(value("--checkpoint")?),
             "--save-checkpoint" => {
@@ -472,6 +490,9 @@ pub fn help_text() -> String {
      --queue-depth N (0 = no admission control)  --shed-policy reject|degrade\n  \
      --servers N (simulated executors draining the admission queue)\n  \
      --save-trace FILE (loadgen)  --trace FILE (serve/wire)  --out BENCH_serve_1.json\n  \
+     --churn N (loadgen: stamp N live tool registrations + N retirements onto the\n  \
+     trace at seeded positions; retires never touch tools the gold labels need)\n  \
+     --churn-seed S (seed for the churn schedule, independent of --seed)\n  \
      --stdin (serve: read lim/wire-v1 frames from stdin, answer on stdout;\n  \
      EOF or SIGTERM drains gracefully and emits the final report frame)\n  \
      --listen SOCKET (serve: accept lim/wire-v1 connections on a unix socket,\n  \
