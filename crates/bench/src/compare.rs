@@ -29,6 +29,15 @@
 //!   counts, so the gate means "every scheduled mutation was applied" —
 //!   a PR that silently drops register/retire events fails; on a static
 //!   trace the zero baselines pass trivially.
+//! * `lim-serve/report-v4` — the fleet document: everything v3 tracks on
+//!   the fleet-wide aggregate, plus per-tenant cells from the `tenants`
+//!   array matched by tenant id — tracked per tenant: `success_rate`↑,
+//!   `tool_accuracy`↑, the embedding `hit_rate`↑, the latency
+//!   percentiles↓ and `admission.shed`/`degraded`↓. A baseline tenant
+//!   missing from the current document is a regression (a silently
+//!   dropped tenant must not pass CI), and with a calm per-tenant
+//!   baseline the shed gate doubles as the isolation gate: a PR that
+//!   makes a hot neighbor push a cold tenant into shedding fails.
 //!
 //! Version-bump rule: a schema id changes only when a field is renamed,
 //! removed or changes meaning (additions keep the id). The two documents
@@ -138,6 +147,23 @@ const SERVE_V3_METRICS: &[(&str, Direction)] = &[
     ("catalog.retired", Direction::HigherIsBetter),
 ];
 
+/// Per-tenant tracked metrics for the `lim-serve/report-v4` `tenants`
+/// cells. All deterministic for a fixed trace; the shed/degraded gates
+/// on a calm baseline mean "this tenant must stay unaffected by its
+/// neighbors' load" — the comparable half of the QoS isolation
+/// guarantee (the structural half, capacity ≥ floor, is asserted by the
+/// engine's own tests).
+const SERVE_TENANT_METRICS: &[(&str, Direction)] = &[
+    ("success_rate", Direction::HigherIsBetter),
+    ("tool_accuracy", Direction::HigherIsBetter),
+    ("caches.embedding.hit_rate", Direction::HigherIsBetter),
+    ("latency.p50_s", Direction::LowerIsBetter),
+    ("latency.p95_s", Direction::LowerIsBetter),
+    ("latency.p99_s", Direction::LowerIsBetter),
+    ("admission.shed", Direction::LowerIsBetter),
+    ("admission.degraded", Direction::LowerIsBetter),
+];
+
 /// Whether `current` is worse than `baseline` by more than `tolerance`
 /// (a relative fraction, e.g. `0.10`).
 fn regressed(direction: Direction, baseline: f64, current: f64, tolerance: f64) -> bool {
@@ -192,6 +218,7 @@ pub fn compare_documents(
         "lim-bench/grid-v1" => compare_cells(
             baseline,
             current,
+            "cells",
             grid_cell_key,
             GRID_METRICS,
             "model/quant/policy",
@@ -200,6 +227,7 @@ pub fn compare_documents(
         "lim-bench/ann-v1" => compare_cells(
             baseline,
             current,
+            "cells",
             ann_cell_key,
             ANN_METRICS,
             "backend/catalog",
@@ -223,6 +251,28 @@ pub fn compare_documents(
             }
             compare_tracked(baseline, current, &metrics, "serve", tolerance)
         }
+        "lim-serve/report-v4" => {
+            // The fleet-wide aggregate carries the full v3 field set.
+            let mut metrics = SERVE_METRICS.to_vec();
+            metrics.extend_from_slice(SERVE_V2_METRICS);
+            metrics.extend(
+                SERVE_BOOT_METRICS
+                    .iter()
+                    .filter(|(path, _)| lookup(baseline, path).is_some()),
+            );
+            metrics.extend_from_slice(SERVE_V3_METRICS);
+            let mut regressions = compare_tracked(baseline, current, &metrics, "serve", tolerance)?;
+            regressions.extend(compare_cells(
+                baseline,
+                current,
+                "tenants",
+                tenant_cell_key,
+                SERVE_TENANT_METRICS,
+                "tenant id",
+                tolerance,
+            )?);
+            Ok(regressions)
+        }
         other => Err(format!("unknown schema {other:?}")),
     }
 }
@@ -244,19 +294,27 @@ fn ann_cell_key(cell: &Value) -> Option<String> {
     ))
 }
 
+fn tenant_cell_key(cell: &Value) -> Option<String> {
+    Some(format!(
+        "tenant {}",
+        cell.get("tenant").and_then(Value::as_i64)?
+    ))
+}
+
 fn compare_cells(
     baseline: &Value,
     current: &Value,
+    array_field: &str,
     cell_key: fn(&Value) -> Option<String>,
     metrics: &[(&str, Direction)],
     key_desc: &str,
     tolerance: f64,
 ) -> Result<Vec<Regression>, String> {
     let cells = |doc: &Value, which: &str| {
-        doc.get("cells")
+        doc.get(array_field)
             .and_then(Value::as_array)
             .map(<[Value]>::to_vec)
-            .ok_or(format!("{which} document has no cells"))
+            .ok_or(format!("{which} document has no {array_field}"))
     };
     let base_cells = cells(baseline, "baseline")?;
     let curr_cells = cells(current, "current")?;
@@ -495,6 +553,61 @@ mod tests {
         // v2 baselines never compare against v3 documents.
         let v2 = lim_json::parse(r#"{"schema":"lim-serve/report-v2"}"#).unwrap();
         assert!(compare_documents(&v2, &churned, 0.10)
+            .unwrap_err()
+            .contains("schema mismatch"));
+    }
+
+    #[test]
+    fn serve_v4_reports_gate_per_tenant_cells() {
+        let tenant = |id: i64, success: f64, shed: i64| {
+            format!(
+                r#"{{"tenant":{id},"success_rate":{success},"tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":0.8,"capacity":64,"floor":16}},
+                               "selection":{{"hit_rate":0.7,"capacity":64,"floor":16}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}},
+                    "admission":{{"shed":{shed},"degraded":0,"max_queue_depth":0,
+                                  "queue_wait":{{"p95_s":0.0,"p99_s":0.0}}}}}}"#
+            )
+        };
+        let mk = |tenants: &[String]| {
+            lim_json::parse(&format!(
+                r#"{{"schema":"lim-serve/report-v4","success_rate":0.5,
+                    "tool_accuracy":0.6,
+                    "caches":{{"embedding":{{"hit_rate":0.8}},
+                               "selection":{{"hit_rate":0.7}}}},
+                    "latency":{{"p50_s":8.0,"p95_s":20.0,"p99_s":30.0}},
+                    "admission":{{"shed":0,"degraded":0,"max_queue_depth":0,
+                                  "queue_wait":{{"p95_s":0.0,"p99_s":0.0}}}},
+                    "catalog":{{"epoch":0,"registered":0,"retired":0,"tombstones":0,
+                                "compactions":0,"cluster_refreshes":0,
+                                "memo_invalidations":0}},
+                    "tenants":[{}]}}"#,
+                tenants.join(",")
+            ))
+            .unwrap()
+        };
+        let base = mk(&[tenant(0, 0.5, 0), tenant(1, 0.5, 0)]);
+        assert!(compare_documents(&base, &base, 0.0).unwrap().is_empty());
+        // A cold tenant starting to shed fails even at tolerance 0 on a
+        // calm baseline — the comparable isolation gate.
+        let hot_neighbor = mk(&[tenant(0, 0.5, 0), tenant(1, 0.5, 7)]);
+        let r = compare_documents(&base, &hot_neighbor, 0.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].metric, "admission.shed");
+        assert_eq!(r[0].context, "tenant 1");
+        // A silently dropped tenant is a regression, like a dropped cell.
+        let dropped = mk(&[tenant(0, 0.5, 0)]);
+        let r = compare_documents(&base, &dropped, 0.0).unwrap();
+        assert_eq!(r[0].metric, "<cell>");
+        assert_eq!(r[0].context, "tenant 1");
+        // Per-tenant success regressions name the tenant they hit.
+        let worse = mk(&[tenant(0, 0.2, 0), tenant(1, 0.5, 0)]);
+        let r = compare_documents(&base, &worse, 0.10).unwrap();
+        assert_eq!(r[0].metric, "success_rate");
+        assert_eq!(r[0].context, "tenant 0");
+        // v3 baselines never compare against v4 documents.
+        let v3 = lim_json::parse(r#"{"schema":"lim-serve/report-v3"}"#).unwrap();
+        assert!(compare_documents(&v3, &base, 0.10)
             .unwrap_err()
             .contains("schema mismatch"));
     }

@@ -51,8 +51,9 @@ pub use metrics::{
 };
 pub use parallel::{evaluate_parallel, resolve_threads, shard_bounds, sharded_map};
 pub use persist::{
-    levels_from_snapshot, load_levels, save_levels, snapshot_levels, write_levels_snapshot,
-    LoadLevelsError, Snapshot, SnapshotError, SnapshotWriter, SECTION_TOOL_INDEX, SNAPSHOT_FORMAT,
+    levels_from_snapshot, levels_from_snapshot_prefixed, load_levels, save_levels, snapshot_levels,
+    snapshot_levels_prefixed, write_levels_snapshot, LoadLevelsError, Snapshot, SnapshotError,
+    SnapshotWriter, SECTION_TOOL_INDEX, SNAPSHOT_FORMAT,
 };
 pub use pipeline::{
     Pipeline, Policy, QueryResult, QueryTrace, StepTrace, DEFAULT_CONTEXT, REDUCED_CONTEXT,

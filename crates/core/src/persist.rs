@@ -679,8 +679,15 @@ impl Snapshot {
 
 /// Appends the three levels sections to a snapshot under construction.
 pub fn snapshot_levels(levels: &SearchLevels, writer: &mut SnapshotWriter) {
+    snapshot_levels_prefixed(levels, writer, "");
+}
+
+/// [`snapshot_levels`] with every section name prefixed (e.g. `"t3."`)
+/// — how a multi-tenant checkpoint stores each tenant's possibly-forked
+/// levels side by side in one container.
+pub fn snapshot_levels_prefixed(levels: &SearchLevels, writer: &mut SnapshotWriter, prefix: &str) {
     writer.add_section(
-        SECTION_LEVELS,
+        &format!("{prefix}{SECTION_LEVELS}"),
         &Value::object([
             ("dim", Value::from(levels.embedder().dim())),
             ("tool_count", Value::from(levels.tool_count())),
@@ -692,8 +699,11 @@ pub fn snapshot_levels(levels: &SearchLevels, writer: &mut SnapshotWriter) {
         ToolIndex::Ivf(index) => ivf_to_json(index),
         ToolIndex::Hnsw(index) => hnsw_to_json(index),
     };
-    writer.add_section(SECTION_TOOL_INDEX, &tool_index_doc);
-    writer.add_section(SECTION_CLUSTERS, &clusters_to_json(levels.clusters()));
+    writer.add_section(&format!("{prefix}{SECTION_TOOL_INDEX}"), &tool_index_doc);
+    writer.add_section(
+        &format!("{prefix}{SECTION_CLUSTERS}"),
+        &clusters_to_json(levels.clusters()),
+    );
 }
 
 /// Encodes a standalone levels snapshot (`kind: "levels"`) with the
@@ -722,25 +732,43 @@ pub fn write_levels_snapshot(
 /// [`SnapshotError::MissingSection`] / [`SnapshotError::Section`] when
 /// the levels sections are absent or undecodable.
 pub fn levels_from_snapshot(snapshot: &Snapshot) -> Result<SearchLevels, SnapshotError> {
+    levels_from_snapshot_prefixed(snapshot, "")
+}
+
+/// [`levels_from_snapshot`] over prefixed section names (e.g. `"t3."`)
+/// — the read side of [`snapshot_levels_prefixed`]. Errors carry the
+/// prefixed section name, so a corrupt tenant section names itself.
+///
+/// # Errors
+///
+/// [`SnapshotError::MissingSection`] / [`SnapshotError::Section`] when
+/// the prefixed levels sections are absent or undecodable.
+pub fn levels_from_snapshot_prefixed(
+    snapshot: &Snapshot,
+    prefix: &str,
+) -> Result<SearchLevels, SnapshotError> {
     fn section_err(section: &str) -> impl Fn(LoadLevelsError) -> SnapshotError + '_ {
         move |e| SnapshotError::Section {
             section: section.to_owned(),
             message: e.to_string(),
         }
     }
-    let meta = snapshot.section(SECTION_LEVELS)?;
-    let dim = get_usize(meta, "dim").map_err(section_err(SECTION_LEVELS))?;
-    let tool_count = get_usize(meta, "tool_count").map_err(section_err(SECTION_LEVELS))?;
+    let levels_name = format!("{prefix}{SECTION_LEVELS}");
+    let tool_index_name = format!("{prefix}{SECTION_TOOL_INDEX}");
+    let clusters_name = format!("{prefix}{SECTION_CLUSTERS}");
+    let meta = snapshot.section(&levels_name)?;
+    let dim = get_usize(meta, "dim").map_err(section_err(&levels_name))?;
+    let tool_count = get_usize(meta, "tool_count").map_err(section_err(&levels_name))?;
     let idf = meta
         .get("idf")
         .ok_or_else(|| err("missing member").nest("idf"))
         .and_then(|d| idf_from_json(d).map_err(|e| e.nest("idf")))
-        .map_err(section_err(SECTION_LEVELS))?;
+        .map_err(section_err(&levels_name))?;
     let embedder = Embedder::builder().dim(dim).idf(idf).build();
 
-    let tool_index_doc = snapshot.section(SECTION_TOOL_INDEX)?;
+    let tool_index_doc = snapshot.section(&tool_index_name)?;
     let index_err = |e: lim_vecstore::DecodeIndexError| SnapshotError::Section {
-        section: SECTION_TOOL_INDEX.to_owned(),
+        section: tool_index_name.clone(),
         message: e.to_string(),
     };
     // The section is self-describing: dispatch on its kind tag so a
@@ -755,20 +783,20 @@ pub fn levels_from_snapshot(snapshot: &Snapshot) -> Result<SearchLevels, Snapsho
         "hnsw" => ToolIndex::Hnsw(hnsw_from_json(tool_index_doc).map_err(index_err)?),
         other => {
             return Err(SnapshotError::Section {
-                section: SECTION_TOOL_INDEX.to_owned(),
+                section: tool_index_name.clone(),
                 message: format!("unknown index kind {other:?}"),
             })
         }
     };
     if tool_index.dim() != dim {
         return Err(SnapshotError::Section {
-            section: SECTION_TOOL_INDEX.to_owned(),
+            section: tool_index_name.clone(),
             message: format!("index dim {} but levels dim {dim}", tool_index.dim()),
         });
     }
 
-    let (clusters, cluster_index) = clusters_from_json(snapshot.section(SECTION_CLUSTERS)?, dim)
-        .map_err(section_err(SECTION_CLUSTERS))?;
+    let (clusters, cluster_index) = clusters_from_json(snapshot.section(&clusters_name)?, dim)
+        .map_err(section_err(&clusters_name))?;
 
     Ok(SearchLevels::from_parts(
         embedder,

@@ -430,6 +430,303 @@ impl AdmissionSim {
     }
 }
 
+/// One tenant's aggregate admission counters inside a fleet simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantAdmission {
+    /// Requests of this tenant shed (never executed).
+    pub shed: u64,
+    /// Requests of this tenant served degraded.
+    pub degraded: u64,
+    /// Deepest this tenant's own wait queue ever got.
+    pub max_queue_depth: usize,
+}
+
+/// Everything one fleet simulation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAdmissionOutcome {
+    /// The fleet-wide outcome: per-request verdicts in global canonical
+    /// order, plus counters summed across tenants
+    /// (`max_queue_depth` is the deepest the *combined* backlog got).
+    pub overall: AdmissionOutcome,
+    /// Which tenant each request belongs to, index-aligned with
+    /// `overall.dispositions`.
+    pub tenant_of: Vec<usize>,
+    /// Per-tenant counters, indexed by tenant id.
+    pub tenants: Vec<TenantAdmission>,
+}
+
+impl FleetAdmissionOutcome {
+    /// Projects one tenant's view: its requests' dispositions in global
+    /// canonical order (which is also the tenant's own canonical order —
+    /// a subsequence preserves order) plus its private counters. This is
+    /// what per-tenant report sections aggregate from.
+    pub fn tenant_outcome(&self, tenant: usize) -> AdmissionOutcome {
+        let counters = self.tenants.get(tenant).copied().unwrap_or_default();
+        AdmissionOutcome {
+            dispositions: self
+                .overall
+                .dispositions
+                .iter()
+                .zip(&self.tenant_of)
+                .filter(|(_, t)| **t == tenant)
+                .map(|(d, _)| *d)
+                .collect(),
+            max_queue_depth: counters.max_queue_depth,
+            shed: counters.shed,
+            degraded: counters.degraded,
+        }
+    }
+}
+
+/// The fleet-tenancy admission machine: [`AdmissionSim`] lifted from one
+/// bounded queue to **two-level round-robin** — a rotation over tenants
+/// that have waiters, then each tenant's own per-session `FairQueue` —
+/// over one shared executor pool. A tenant joins the rotation tail when
+/// its first request queues and rotates back after each dispatch, so N
+/// backlogged tenants each get every Nth executor slot no matter how
+/// much traffic any one of them floods in; *within* its slot a tenant's
+/// sessions get the same guarantee against each other.
+///
+/// Each tenant keeps its own `queue_depth`, `shed_policy` and degrade
+/// watermark (checked against the tenant's own backlog, so a hot
+/// tenant's pile-up can never push a cold tenant over *its* shed bound),
+/// while the virtual executors and the clock are fleet-shared. The walk
+/// is the same sequential pure function of the global canonical arrival
+/// order that [`AdmissionSim`] computes; with a single tenant the two
+/// machines are state-for-state identical, which the N=1 equivalence
+/// tests pin down.
+///
+/// The fleet-level admission layer is enabled only when *every* tenant
+/// config is enabled; one disabled tenant (queue depth 0) bypasses the
+/// whole fleet, exactly as a disabled config bypasses [`AdmissionSim`].
+#[derive(Debug, Clone)]
+pub struct FleetAdmissionSim {
+    configs: Vec<AdmissionConfig>,
+    open_loop: bool,
+    enabled: bool,
+    /// Virtual time each shared executor becomes free; index tie-breaks.
+    busy_until: Vec<f64>,
+    queues: Vec<FairQueue>,
+    tenant_rotation: VecDeque<usize>,
+    /// Total requests currently waiting across all tenant queues.
+    queued: usize,
+    tenant_of: Vec<usize>,
+    dispositions: Vec<Disposition>,
+    degraded_flag: Vec<bool>,
+    arrivals: Vec<f64>,
+    services: Vec<f64>,
+    degraded_services: Vec<f64>,
+    max_queue_depth: usize,
+    shed: u64,
+    degraded: u64,
+    tenants: Vec<TenantAdmission>,
+    last_arrival: f64,
+}
+
+impl FleetAdmissionSim {
+    /// Creates an empty fleet simulation: one admission config per
+    /// tenant, `servers` shared executors, and the same `open_loop`
+    /// contract as [`AdmissionSim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<AdmissionConfig>, servers: usize, open_loop: bool) -> Self {
+        assert!(!configs.is_empty(), "fleet needs at least one tenant");
+        let enabled = configs.iter().all(AdmissionConfig::enabled);
+        let n = configs.len();
+        Self {
+            configs,
+            open_loop,
+            enabled,
+            busy_until: vec![0.0f64; servers.max(1)],
+            queues: (0..n).map(|_| FairQueue::new()).collect(),
+            tenant_rotation: VecDeque::new(),
+            queued: 0,
+            tenant_of: Vec::new(),
+            dispositions: Vec::new(),
+            degraded_flag: Vec::new(),
+            arrivals: Vec::new(),
+            services: Vec::new(),
+            degraded_services: Vec::new(),
+            max_queue_depth: 0,
+            shed: 0,
+            degraded: 0,
+            tenants: vec![TenantAdmission::default(); n],
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Whether the bypass path (serve everything instantly) is active.
+    fn bypass(&self) -> bool {
+        !self.open_loop || !self.enabled
+    }
+
+    /// Requests offered so far; the next offer gets this global index.
+    pub fn submitted(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Full-quality or degraded service seconds for request `i`.
+    fn service_of(&self, i: usize) -> f64 {
+        if self.degraded_flag[i] {
+            self.degraded_services[i]
+        } else {
+            self.services[i]
+        }
+    }
+
+    /// The earliest-free executor; ties break on the lowest index.
+    fn earliest(&self) -> (usize, f64) {
+        let mut best = 0usize;
+        for (i, t) in self.busy_until.iter().enumerate().skip(1) {
+            if *t < self.busy_until[best] {
+                best = i;
+            }
+        }
+        (best, self.busy_until[best])
+    }
+
+    /// Pops the two-level rotation once (next tenant, then that tenant's
+    /// session rotation), stamping the popped request's disposition.
+    fn dispatch_one(&mut self, idx: usize, free_at: f64) -> (usize, Disposition) {
+        let tenant = self
+            .tenant_rotation
+            .pop_front()
+            .expect("non-empty fleet backlog");
+        let next = self.queues[tenant].pop().expect("rotated tenant waits");
+        if self.queues[tenant].len() > 0 {
+            self.tenant_rotation.push_back(tenant);
+        }
+        self.queued -= 1;
+        let wait_s = free_at - self.arrivals[next];
+        let disposition = if self.degraded_flag[next] {
+            Disposition::Degraded { wait_s }
+        } else {
+            Disposition::Served { wait_s }
+        };
+        self.dispositions[next] = disposition;
+        self.busy_until[idx] = free_at + self.service_of(next);
+        (next, disposition)
+    }
+
+    /// Offers the next request (global canonical arrival order) for
+    /// `tenant` and returns every request newly resolved by this offer —
+    /// the fleet form of [`AdmissionSim::offer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range or `arrival_s` decreases
+    /// across offers on the open-loop path.
+    pub fn offer(
+        &mut self,
+        tenant: usize,
+        session: u64,
+        arrival_s: f64,
+        service_s: f64,
+        degraded_service_s: Option<f64>,
+    ) -> Vec<(usize, Disposition)> {
+        assert!(tenant < self.configs.len(), "tenant {tenant} out of range");
+        let i = self.submitted();
+        self.tenant_of.push(tenant);
+        self.arrivals.push(arrival_s);
+        self.services.push(service_s);
+        self.degraded_services
+            .push(degraded_service_s.unwrap_or(service_s));
+        self.degraded_flag.push(false);
+        self.dispositions.push(Disposition::Shed);
+
+        if self.bypass() {
+            let disposition = Disposition::Served { wait_s: 0.0 };
+            self.dispositions[i] = disposition;
+            return vec![(i, disposition)];
+        }
+
+        let t = arrival_s;
+        assert!(
+            t >= self.last_arrival,
+            "arrivals must be nondecreasing in canonical order"
+        );
+        self.last_arrival = t;
+
+        // Replay every completion up to the arrival instant, handing
+        // each freed executor to the two-level rotation.
+        let mut resolved = Vec::new();
+        while self.queued > 0 {
+            let (idx, free_at) = self.earliest();
+            if free_at > t {
+                break;
+            }
+            resolved.push(self.dispatch_one(idx, free_at));
+        }
+
+        let (idx, free_at) = self.earliest();
+        if free_at <= t && self.queued == 0 {
+            // An executor is idle and no tenant has a backlog: serve
+            // immediately.
+            let disposition = Disposition::Served { wait_s: 0.0 };
+            self.dispositions[i] = disposition;
+            self.busy_until[idx] = t + self.services[i];
+            resolved.push((i, disposition));
+            return resolved;
+        }
+        // Bounds and policy are the *tenant's own*: its backlog, its
+        // depth, its watermark. Another tenant's flood never shows up in
+        // these numbers.
+        let config = self.configs[tenant];
+        let depth = self.queues[tenant].len();
+        if depth >= config.queue_depth {
+            self.dispositions[i] = Disposition::Shed;
+            self.shed += 1;
+            self.tenants[tenant].shed += 1;
+            resolved.push((i, Disposition::Shed));
+            return resolved;
+        }
+        if config.shed_policy == ShedPolicy::Degrade && depth >= config.degrade_watermark() {
+            self.degraded_flag[i] = true;
+            self.degraded += 1;
+            self.tenants[tenant].degraded += 1;
+        }
+        if self.queues[tenant].len() == 0 {
+            self.tenant_rotation.push_back(tenant);
+        }
+        self.queues[tenant].push(session, i);
+        self.queued += 1;
+        self.max_queue_depth = self.max_queue_depth.max(self.queued);
+        self.tenants[tenant].max_queue_depth = self.tenants[tenant]
+            .max_queue_depth
+            .max(self.queues[tenant].len());
+        resolved
+    }
+
+    /// Drains every tenant's backlog after the last arrival — the fleet
+    /// form of [`AdmissionSim::drain`]. Idempotent.
+    pub fn drain(&mut self) -> Vec<(usize, Disposition)> {
+        let mut resolved = Vec::new();
+        while self.queued > 0 {
+            let (idx, free_at) = self.earliest();
+            resolved.push(self.dispatch_one(idx, free_at));
+        }
+        resolved
+    }
+
+    /// Consumes the simulation into its aggregate outcome. Call
+    /// [`FleetAdmissionSim::drain`] first.
+    pub fn into_outcome(self) -> FleetAdmissionOutcome {
+        debug_assert_eq!(self.queued, 0, "into_outcome called before drain");
+        FleetAdmissionOutcome {
+            overall: AdmissionOutcome {
+                dispositions: self.dispositions,
+                max_queue_depth: self.max_queue_depth,
+                shed: self.shed,
+                degraded: self.degraded,
+            },
+            tenant_of: self.tenant_of,
+            tenants: self.tenants,
+        }
+    }
+}
+
 /// Runs the virtual-clock admission simulation over a whole batch.
 ///
 /// * `arrivals_s` — per-request arrival timestamps in canonical order
@@ -699,6 +996,102 @@ mod tests {
         let out = sim.into_outcome();
         assert_eq!(out.shed, 0);
         assert_eq!(out.max_queue_depth, 0);
+    }
+
+    #[test]
+    fn fleet_with_one_tenant_matches_the_single_machine() {
+        let arrivals: Vec<f64> = (0..32).map(|i| i as f64 * 0.3).collect();
+        let sessions: Vec<u64> = (0..32).map(|i| i % 3).collect();
+        let cfg = config(4, ShedPolicy::Degrade);
+        let mut single = AdmissionSim::new(cfg, true);
+        let mut fleet = FleetAdmissionSim::new(vec![cfg], cfg.effective_servers(), true);
+        for i in 0..32 {
+            let a = single.offer(sessions[i], arrivals[i], 2.0, Some(0.4));
+            let b = fleet.offer(0, sessions[i], arrivals[i], 2.0, Some(0.4));
+            assert_eq!(a, b, "offer {i} diverged");
+        }
+        assert_eq!(single.drain(), fleet.drain());
+        let single = single.into_outcome();
+        let fleet = fleet.into_outcome();
+        assert_eq!(fleet.overall, single);
+        assert_eq!(fleet.tenant_outcome(0), single);
+    }
+
+    #[test]
+    fn two_level_round_robin_rotates_tenants_strictly_under_saturation() {
+        // Three tenants flood simultaneously: tenant 0 with 6 requests,
+        // tenants 1 and 2 with 2 each. One server, 1s service. Request 0
+        // (tenant 0) is served idle; everything else queues. Strict
+        // rotation then serves tenants 0,1,2,0,1,2,... — tenant 0's
+        // backlog never lets it take two consecutive slots while another
+        // tenant waits.
+        let cfg = config(8, ShedPolicy::Reject);
+        let mut fleet = FleetAdmissionSim::new(vec![cfg; 3], 1, true);
+        let offered: Vec<usize> = vec![0, 0, 0, 0, 0, 0, 1, 2, 1, 2];
+        let mut order: Vec<usize> = Vec::new(); // tenant per dispatch
+        for &tenant in &offered {
+            for (idx, d) in fleet.offer(tenant, 1, 0.0, 1.0, None) {
+                assert_ne!(d, Disposition::Shed);
+                order.push(offered[idx]);
+            }
+        }
+        for (idx, _) in fleet.drain() {
+            order.push(offered[idx]);
+        }
+        let outcome = fleet.into_outcome();
+        let dispatch_tenants = order;
+        // Idle-served request 0 (tenant 0), then strict rotation over
+        // the tenants with waiters until the short tenants run dry.
+        assert_eq!(dispatch_tenants[..8], [0, 0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(outcome.overall.shed, 0);
+        // Tenant 1's first queued request was dispatched ahead of
+        // tenant 0's deep backlog even though it arrived later.
+        let waits_of = |t: usize| outcome.tenant_outcome(t).waits();
+        assert!(waits_of(1)[0] < waits_of(0)[2]);
+    }
+
+    #[test]
+    fn per_tenant_bounds_isolate_a_flooding_tenant() {
+        // Tenant 0 floods 10 simultaneous requests into a depth-2 queue;
+        // tenant 1 offers 2. Tenant 0 sheds against its own bound only —
+        // tenant 1 sheds nothing and its counters stay clean.
+        let cfg = config(2, ShedPolicy::Reject);
+        let mut fleet = FleetAdmissionSim::new(vec![cfg; 2], 1, true);
+        for _ in 0..10 {
+            fleet.offer(0, 1, 0.0, 5.0, None);
+        }
+        for _ in 0..2 {
+            fleet.offer(1, 9, 0.0, 5.0, None);
+        }
+        fleet.drain();
+        let out = fleet.into_outcome();
+        assert!(out.tenants[0].shed > 0, "flooding tenant sheds");
+        assert_eq!(out.tenants[1].shed, 0, "quiet tenant never sheds");
+        assert_eq!(out.tenants[1].max_queue_depth, 2);
+        assert_eq!(
+            out.overall.shed,
+            out.tenants[0].shed + out.tenants[1].shed,
+            "global counters are the tenant sums"
+        );
+        // Mixed per-tenant policies: tenant 1 degrades under its own
+        // watermark while tenant 0 keeps rejecting.
+        let mut mixed = FleetAdmissionSim::new(
+            vec![
+                config(2, ShedPolicy::Reject),
+                config(4, ShedPolicy::Degrade),
+            ],
+            1,
+            true,
+        );
+        for _ in 0..6 {
+            mixed.offer(0, 1, 0.0, 5.0, None);
+            mixed.offer(1, 9, 0.0, 5.0, Some(0.5));
+        }
+        mixed.drain();
+        let out = mixed.into_outcome();
+        assert!(out.tenants[0].shed > 0);
+        assert_eq!(out.tenants[0].degraded, 0);
+        assert!(out.tenants[1].degraded > 0);
     }
 
     #[test]

@@ -48,6 +48,17 @@ impl CacheStats {
             evictions: self.evictions - earlier.evictions,
         }
     }
+
+    /// Field-by-field sum — how a fleet report aggregates per-tenant
+    /// cache deltas into its fleet-wide `caches` section.
+    pub fn plus(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 /// Outcome of [`LruCache::lookup`].
@@ -259,6 +270,29 @@ impl<V: Clone> LruCache<V> {
         cache
     }
 
+    /// Changes the capacity in place, evicting from the LRU tail until
+    /// the resident set fits. Growing never evicts; shrinking evicts
+    /// exactly `len - new_capacity` entries (counted in
+    /// [`CacheStats::evictions`]) in exact LRU order — this is how the
+    /// fleet's shared-budget partitioner reclaims space from one tenant
+    /// to grant it to another without ever touching recency order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is zero.
+    pub fn resize(&mut self, new_capacity: usize) {
+        assert!(new_capacity > 0, "cache capacity must be positive");
+        while self.index.len() > new_capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            self.index.remove(&self.slots[victim].key);
+            self.slots[victim].value = None;
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        self.capacity = new_capacity;
+    }
+
     /// Number of resident entries (filled or reserved).
     pub fn len(&self) -> usize {
         self.index.len()
@@ -378,6 +412,27 @@ mod tests {
             CacheStats::default(),
         );
         assert_eq!(fresh.lookup("r"), Lookup::Reserved);
+    }
+
+    #[test]
+    fn resize_evicts_exact_lru_tail_and_never_more() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.seed("a".into(), 1);
+        c.seed("b".into(), 2);
+        c.seed("c".into(), 3);
+        assert_eq!(c.lookup("a"), Lookup::Hit(1)); // "b" is now LRU
+        c.resize(2); // evicts "b"
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup("b"), Lookup::Miss); // gone → evicts "c"
+        c.resize(8); // growing evicts nothing
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.len(), 2);
+        // And the grown cache accepts new entries without eviction.
+        assert_eq!(c.lookup("d"), Lookup::Miss);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]

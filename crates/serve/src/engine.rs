@@ -322,6 +322,7 @@ pub(crate) struct ComputedSelection {
 }
 
 /// Per-request outcome used for aggregation.
+#[derive(Debug, Clone)]
 pub(crate) struct RequestOutcome {
     success: bool,
     tool_correct: bool,
@@ -329,6 +330,22 @@ pub(crate) struct RequestOutcome {
     level: Option<SearchLevel>,
     pub(crate) seconds: f64,
     joules: f64,
+}
+
+impl RequestOutcome {
+    /// Scatter-buffer placeholder used while a fleet drain routes a
+    /// batch through per-tenant engines; every slot is overwritten
+    /// before any read.
+    pub(crate) fn placeholder() -> Self {
+        Self {
+            success: false,
+            tool_correct: false,
+            offered_tools: 0,
+            level: None,
+            seconds: 0.0,
+            joules: 0.0,
+        }
+    }
 }
 
 /// Scalar report metadata the aggregation stage needs — what a trace
@@ -381,6 +398,12 @@ pub struct ServeEngine {
     pub(crate) catalog: CatalogCounters,
     /// Mutations since the last Level-2 cluster refresh.
     pub(crate) churn_since_refresh: u64,
+    /// Fleet tenant id: 0 for a standalone engine (and for a fleet's
+    /// tenant 0, whose cache keys are byte-identical to the standalone
+    /// form — the N=1 equivalence the tenancy tests pin down). Non-zero
+    /// ids prefix every cache key with `t{id}|`, so entries can never
+    /// alias across tenants even if caches are ever pooled.
+    pub(crate) tenant: u64,
 }
 
 impl ServeEngine {
@@ -442,7 +465,7 @@ impl ServeEngine {
         if engine.wants_prewarm() {
             engine.prewarm_from_training_pool();
         }
-        snap::apply_catalog_log(snapshot, &mut engine)?;
+        snap::apply_catalog_log(snapshot, &mut engine, "")?;
         // Bill only what this boot decoded: on a checkpoint file the
         // warm sections stay untouched, so their bytes cost nothing.
         engine.boot = engine.describe_boot("snapshot", true, false, decoded_bytes(snapshot));
@@ -475,11 +498,11 @@ impl ServeEngine {
             )));
         }
         snap::validate_workload(snapshot, &workload)?;
-        snap::validate_engine(snapshot, &model, &config)?;
+        snap::validate_engine(snapshot, &model, &config, "")?;
         let levels = levels_from_snapshot(snapshot)?;
         let mut engine = Self::assemble(workload, levels, model, config);
-        snap::restore_warm_state(snapshot, &mut engine)?;
-        snap::apply_catalog_log(snapshot, &mut engine)?;
+        snap::restore_warm_state(snapshot, &mut engine, "")?;
+        snap::apply_catalog_log(snapshot, &mut engine, "")?;
         engine.boot = engine.describe_boot("checkpoint", true, true, decoded_bytes(snapshot));
         Ok(engine)
     }
@@ -498,9 +521,23 @@ impl ServeEngine {
         model: ModelProfile,
         config: ServeConfig,
     ) -> Self {
+        Self::assemble_shared(Arc::new(workload), Arc::new(levels), model, config, 0)
+    }
+
+    /// Bare constructor over already-shared workload and levels: what a
+    /// fleet uses so N tenants reference one index build (copy-on-write
+    /// — a tenant's first catalog mutation forks its own copy via
+    /// `Arc::make_mut`). No prewarm, neutral boot.
+    pub(crate) fn assemble_shared(
+        workload: Arc<Workload>,
+        levels: Arc<SearchLevels>,
+        model: ModelProfile,
+        config: ServeConfig,
+        tenant: u64,
+    ) -> Self {
         Self {
-            workload: Arc::new(workload),
-            levels: Arc::new(levels),
+            workload,
+            levels,
             model,
             config,
             embed_cache: LruCache::new(config.embed_cache_capacity),
@@ -513,7 +550,32 @@ impl ServeEngine {
             catalog_log: Vec::new(),
             catalog: CatalogCounters::default(),
             churn_since_refresh: 0,
+            tenant,
         }
+    }
+
+    /// Starts one fleet tenant's engine over shared workload/levels Arcs,
+    /// running the configured prewarm against the tenant's own caches.
+    /// Tenant 0 is accounted as the cold boot that paid the level build;
+    /// every other tenant shares that build (`"shared"` mode, build
+    /// skipped) and pays only its own prewarm.
+    pub(crate) fn for_tenant(
+        workload: Arc<Workload>,
+        levels: Arc<SearchLevels>,
+        model: ModelProfile,
+        config: ServeConfig,
+        tenant: u64,
+    ) -> Self {
+        let mut engine = Self::assemble_shared(workload, levels, model, config, tenant);
+        if engine.wants_prewarm() {
+            engine.prewarm_from_training_pool();
+        }
+        engine.boot = if tenant == 0 {
+            engine.describe_boot("cold", false, false, 0)
+        } else {
+            engine.describe_boot("shared", true, false, 0)
+        };
+        engine
     }
 
     fn wants_prewarm(&self) -> bool {
@@ -525,7 +587,7 @@ impl ServeEngine {
     /// (Level 1) and the training pool (clustering), a snapshot boot
     /// pays only the decode; pre-warming bills its embeddings wherever
     /// it runs.
-    fn describe_boot(
+    pub(crate) fn describe_boot(
         &self,
         mode: &str,
         build_skipped: bool,
@@ -578,6 +640,18 @@ impl ServeEngine {
     /// Lifetime counters of the selection memo.
     pub fn memo_stats(&self) -> CacheStats {
         self.memo.stats()
+    }
+
+    /// Applies a fleet budget-partition decision: shrinks or grows both
+    /// caches (shrinking evicts from the LRU tail, counted as ordinary
+    /// evictions) and keeps the recorded config capacities in step so a
+    /// checkpoint written afterwards validates against what is actually
+    /// allocated.
+    pub(crate) fn resize_caches(&mut self, embed_capacity: usize, memo_capacity: usize) {
+        self.embed_cache.resize(embed_capacity);
+        self.memo.resize(memo_capacity);
+        self.config.embed_cache_capacity = embed_capacity;
+        self.config.memo_capacity = memo_capacity;
     }
 
     /// Total requests served since startup.
@@ -712,14 +786,22 @@ impl ServeEngine {
     /// catalog epoch, so a live mutation strands every cached latent
     /// footprint computed against the old catalog without a flush.
     /// Normalized text cannot contain `|` (see [`normalize_query`]), so
-    /// the epoch tag parses back unambiguously.
+    /// the epoch tag parses back unambiguously. A non-zero fleet tenant
+    /// additionally prefixes `t{id}|`; tenant 0 keys stay byte-identical
+    /// to the standalone engine's.
     pub(crate) fn embed_key(&self, normalized: &str) -> String {
-        format!("e{}|{}", self.epoch, normalized)
+        if self.tenant == 0 {
+            format!("e{}|{}", self.epoch, normalized)
+        } else {
+            format!("t{}|e{}|{}", self.tenant, self.epoch, normalized)
+        }
     }
 
     /// The memo key: normalized query text qualified by policy, level
     /// configuration and catalog epoch, so a reconfigured engine — or a
-    /// mutated catalog — never reads stale entries.
+    /// mutated catalog — never reads stale entries. Like
+    /// [`ServeEngine::embed_key`], a non-zero fleet tenant prefixes
+    /// `t{id}|`.
     pub(crate) fn memo_key(&self, normalized: &str) -> String {
         let levels_tag = match self.config.policy {
             Policy::LessIsMore { config } => {
@@ -728,13 +810,18 @@ impl ServeEngine {
             Policy::Gorilla { .. } => "L1".to_owned(),
             Policy::Default => "L3".to_owned(),
         };
-        format!(
+        let base = format!(
             "{}|{}|e{}|{}",
             self.config.policy.label(),
             levels_tag,
             self.epoch,
             normalized
-        )
+        );
+        if self.tenant == 0 {
+            base
+        } else {
+            format!("t{}|{}", self.tenant, base)
+        }
     }
 
     /// Computes the latent footprint of one query (stage-2 work).
@@ -1129,6 +1216,56 @@ impl ServeEngine {
         session_fast_before: u64,
         wall_seconds: f64,
     ) -> ServeReport {
+        self.compose_report(
+            scope,
+            workers,
+            outcomes,
+            degraded_outcomes,
+            admission,
+            self.embed_cache.stats().since(&embed_before),
+            self.memo.stats().since(&memo_before),
+            self.session_fast_hits - session_fast_before,
+            self.boot.clone(),
+            self.catalog_report(),
+            wall_seconds,
+        )
+    }
+
+    /// The live-catalog section of a report, read off this engine's
+    /// counters.
+    pub(crate) fn catalog_report(&self) -> CatalogReport {
+        CatalogReport {
+            epoch: self.epoch,
+            registered: self.catalog.registered,
+            retired: self.catalog.retired,
+            tombstones: self.levels.tool_index().tombstones().len(),
+            compactions: self.catalog.compactions,
+            cluster_refreshes: self.catalog.cluster_refreshes,
+            memo_invalidations: self.catalog.memo_invalidations,
+        }
+    }
+
+    /// Builds a [`ServeReport`] from already-resolved cache/session
+    /// deltas and boot/catalog sections. `aggregate` is a thin wrapper
+    /// that reads those off this engine; a fleet calls this directly so
+    /// the overall report can carry *summed* per-tenant deltas while the
+    /// identity fields (benchmark, model, policy, seed, admission
+    /// config) still come from a real engine through one code path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compose_report(
+        &self,
+        scope: &ReportScope,
+        workers: usize,
+        outcomes: &[RequestOutcome],
+        degraded_outcomes: Option<&[RequestOutcome]>,
+        admission: &AdmissionOutcome,
+        embed_cache: CacheStats,
+        selection_memo: CacheStats,
+        session_fast_hits: u64,
+        boot: BootReport,
+        catalog: CatalogReport,
+        wall_seconds: f64,
+    ) -> ServeReport {
         // Resolve each request's *final* outcome through its admission
         // disposition: served → the full-quality outcome, degraded → the
         // Level-3 alternative, shed → never executed (None). Shed
@@ -1182,19 +1319,11 @@ impl ServeEngine {
             } else {
                 0.0
             },
-            embed_cache: self.embed_cache.stats().since(&embed_before),
-            selection_memo: self.memo.stats().since(&memo_before),
-            session_fast_hits: self.session_fast_hits - session_fast_before,
-            boot: self.boot.clone(),
-            catalog: CatalogReport {
-                epoch: self.epoch,
-                registered: self.catalog.registered,
-                retired: self.catalog.retired,
-                tombstones: self.levels.tool_index().tombstones().len(),
-                compactions: self.catalog.compactions,
-                cluster_refreshes: self.catalog.cluster_refreshes,
-                memo_invalidations: self.catalog.memo_invalidations,
-            },
+            embed_cache,
+            selection_memo,
+            session_fast_hits,
+            boot,
+            catalog,
             admission: AdmissionReport {
                 arrivals: scope.arrivals.label(),
                 queue_depth: self.config.admission.queue_depth,

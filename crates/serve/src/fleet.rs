@@ -1,0 +1,1008 @@
+//! Fleet tenancy: N QoS-fair catalogs served by one engine process.
+//!
+//! A [`FleetEngine`] holds one [`ServeEngine`] per tenant, all sharing
+//! one offline index build through copy-on-write `Arc`s (a tenant's
+//! first live catalog mutation forks its own levels via
+//! `Arc::make_mut`; cold tenants keep referencing the shared build
+//! forever). Three fleet-wide mechanisms sit on top:
+//!
+//! * **Budget partition.** One shared embedding-cache budget and one
+//!   memo budget are split across tenants by a deterministic
+//!   weighted-by-traffic policy with a per-tenant floor
+//!   ([`partition`]): every tenant is granted its floor first, and the
+//!   spare is divided by cumulative submitted-request counts using
+//!   largest-remainder rounding (ties to the lower tenant id). A hot
+//!   tenant can grow its slice only from the spare — it can never push
+//!   a cold tenant below the floor. Partitions are recomputed at fixed
+//!   global submission counts ([`FleetConfig::rebalance_every`]), so
+//!   the capacity history is a pure function of the submission order
+//!   and the numbers stay bit-identical for every worker count and
+//!   every drain chopping.
+//! * **Two-level admission fairness.** All tenants feed one simulated
+//!   executor pool through
+//!   [`crate::admission::FleetAdmissionSim`]:
+//!   round-robin across tenants with waiting work, then round-robin
+//!   across sessions within the tenant. Queue depths and shed policies
+//!   are enforced against each tenant's *own* backlog, so a flooding
+//!   tenant sheds its own traffic instead of starving the others.
+//! * **One aggregation path.** Per-tenant reports and the fleet-wide
+//!   aggregate are both produced by
+//!   `ServeEngine::compose_report` — the same code a standalone engine
+//!   runs — so a one-tenant fleet is bit-identical to no fleet at all
+//!   (the N=1 equivalence the tenancy tests pin down).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_serve::{FleetConfig, FleetEngine, ServeConfig};
+//! use lim_workloads::trace::{zipf_trace, TraceConfig};
+//!
+//! let workload = lim_workloads::bfcl(7, 40);
+//! let trace = zipf_trace(
+//!     &workload,
+//!     &TraceConfig { tenants: 3, ..TraceConfig::default() },
+//! );
+//! let model = lim_llm::ModelProfile::by_name("llama3.1-8b").expect("model exists");
+//! let config = FleetConfig::new(3, ServeConfig::default());
+//! let mut fleet = FleetEngine::new(workload, model, config).expect("valid config");
+//! let report = fleet.process_trace(&trace, 2).expect("trace matches workload");
+//! assert_eq!(report.tenants.len(), 3);
+//! assert_eq!(report.overall.requests, trace.requests());
+//! ```
+
+use std::sync::Arc;
+
+use lim_core::{resolve_threads, Policy, SearchLevels, Snapshot, SnapshotError};
+use lim_llm::ModelProfile;
+use lim_tools::ToolDoc;
+use lim_workloads::trace::{ArrivalProcess, ChurnOp, SessionTrace};
+use lim_workloads::Workload;
+
+use crate::admission::{FleetAdmissionSim, ShedPolicy};
+use crate::cache::CacheStats;
+use crate::engine::{ReportScope, RequestOutcome, ServeConfig, ServeEngine};
+use crate::report::{CatalogReport, FleetReport, TenantReport};
+use crate::session::{RequestEvent, StreamMeta, StreamRequest, Ticket};
+
+/// Fleet-wide tunables: the shared per-tenant base [`ServeConfig`] plus
+/// the cache budgets the partition policy divides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of tenants (dense ids `0..tenants`).
+    pub tenants: usize,
+    /// Per-tenant engine configuration. Cache capacities in here are
+    /// reinterpreted as the *fleet-wide budgets* by [`FleetConfig::new`];
+    /// each tenant's actual capacity is its partition slice.
+    pub base: ServeConfig,
+    /// Total embedding-cache entries shared by all tenants.
+    pub embed_budget: usize,
+    /// Total selection-memo entries shared by all tenants.
+    pub memo_budget: usize,
+    /// Guaranteed minimum embedding-cache entries per tenant. Clamped
+    /// into `1..=embed_budget / tenants` at partition time.
+    pub embed_floor: usize,
+    /// Guaranteed minimum selection-memo entries per tenant.
+    pub memo_floor: usize,
+    /// Recompute the budget partition every this many globally submitted
+    /// requests (0 disables rebalancing; the boot-time equal split then
+    /// holds forever).
+    pub rebalance_every: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `tenants` engines over `base`: the base cache
+    /// capacities become the fleet-wide budgets, floors default to a
+    /// quarter of an equal share, and the partition is recomputed every
+    /// 64 requests.
+    pub fn new(tenants: usize, base: ServeConfig) -> Self {
+        Self {
+            tenants,
+            base,
+            embed_budget: base.embed_cache_capacity,
+            memo_budget: base.memo_capacity,
+            embed_floor: (base.embed_cache_capacity / (4 * tenants.max(1))).max(1),
+            memo_floor: (base.memo_capacity / (4 * tenants.max(1))).max(1),
+            rebalance_every: 64,
+        }
+    }
+
+    /// Checks the budgets can cover every tenant's minimum slice.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `tenants` is zero or a budget
+    /// cannot grant every tenant at least one entry.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("fleet needs at least one tenant".to_owned());
+        }
+        if self.embed_budget < self.tenants {
+            return Err(format!(
+                "embed budget {} cannot grant {} tenants one entry each",
+                self.embed_budget, self.tenants
+            ));
+        }
+        if self.memo_budget < self.tenants {
+            return Err(format!(
+                "memo budget {} cannot grant {} tenants one entry each",
+                self.memo_budget, self.tenants
+            ));
+        }
+        Ok(())
+    }
+
+    /// The effective embedding-cache floor after clamping: at least one
+    /// entry, at most an equal share of the budget.
+    pub fn effective_embed_floor(&self) -> usize {
+        effective_floor(self.embed_budget, self.embed_floor, self.tenants)
+    }
+
+    /// The effective selection-memo floor after clamping.
+    pub fn effective_memo_floor(&self) -> usize {
+        effective_floor(self.memo_budget, self.memo_floor, self.tenants)
+    }
+}
+
+fn effective_floor(budget: usize, floor: usize, tenants: usize) -> usize {
+    floor.clamp(1, (budget / tenants.max(1)).max(1))
+}
+
+/// Splits `budget` cache entries across tenants: every tenant gets the
+/// (clamped) floor, and the spare is divided proportionally to
+/// `weights` by largest-remainder rounding, ties broken toward the
+/// lower tenant id. All-zero weights (a fleet that has served nothing)
+/// split the spare equally. The result always sums to exactly `budget`
+/// and every slice is at least the effective floor — the invariant the
+/// hot/cold isolation test leans on.
+pub fn partition(budget: usize, floor: usize, weights: &[u64]) -> Vec<usize> {
+    let n = weights.len();
+    assert!(n > 0, "partition over zero tenants");
+    assert!(budget >= n, "budget {budget} below one entry per tenant");
+    let floor = effective_floor(budget, floor, n);
+    let spare = budget - n * floor;
+    let uniform = vec![1u64; n];
+    let weights = if weights.iter().all(|w| *w == 0) {
+        &uniform
+    } else {
+        weights
+    };
+    let total: u128 = weights.iter().map(|w| u128::from(*w)).sum();
+    let mut slices: Vec<usize> = Vec::with_capacity(n);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(n);
+    let mut granted = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = u128::from(*w) * spare as u128;
+        let share = (exact / total) as usize;
+        granted += share;
+        slices.push(floor + share);
+        remainders.push((exact % total, i));
+    }
+    // Leftover units go to the largest fractional remainders; the tie
+    // break (lower tenant id first) keeps the split fully deterministic.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, i) in remainders.iter().take(spare - granted) {
+        slices[*i] += 1;
+    }
+    debug_assert_eq!(slices.iter().sum::<usize>(), budget);
+    slices
+}
+
+/// Why a [`FleetSession::submit`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetSubmitError {
+    /// The request named a tenant the fleet does not serve. The stream
+    /// survives: wire front-ends answer this with a typed `error` frame
+    /// and keep reading.
+    UnknownTenant {
+        /// The tenant id the request carried.
+        tenant: u64,
+        /// How many tenants the fleet serves (`0..tenants` are valid).
+        tenants: usize,
+    },
+    /// Any other rejection (bad query index, arrival-timestamp
+    /// violations …), forwarded from the per-tenant validation.
+    Other(String),
+}
+
+impl std::fmt::Display for FleetSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownTenant { tenant, tenants } => {
+                write!(f, "unknown tenant {tenant} (fleet serves 0..{tenants})")
+            }
+            Self::Other(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for FleetSubmitError {}
+
+/// A multi-tenant serving engine: one [`ServeEngine`] per tenant over a
+/// shared index build, a shared cache budget, and two-level admission
+/// fairness. See the [module docs](self) for the mechanism summary.
+#[derive(Debug)]
+pub struct FleetEngine {
+    pub(crate) engines: Vec<ServeEngine>,
+    pub(crate) config: FleetConfig,
+    /// Lifetime submitted-request count per tenant — the partition
+    /// weights.
+    pub(crate) traffic: Vec<u64>,
+    /// Lifetime globally submitted requests (drives the rebalance
+    /// cadence).
+    pub(crate) total_submitted: u64,
+}
+
+impl FleetEngine {
+    /// Builds the offline search levels **once** and starts one engine
+    /// per tenant over the shared build, each with its equal-split
+    /// partition slice of the cache budgets.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the config fails
+    /// [`FleetConfig::validate`].
+    pub fn new(
+        workload: Workload,
+        model: ModelProfile,
+        config: FleetConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let levels = Arc::new(SearchLevels::build(&workload));
+        let workload = Arc::new(workload);
+        Self::with_shared(workload, levels, model, config)
+    }
+
+    /// Starts a fleet over already-shared workload/levels Arcs (what the
+    /// checkpoint restore path and [`FleetEngine::new`] both go
+    /// through). Public so front-ends that already hold built levels —
+    /// a snapshot boot, a custom index backend — can share one
+    /// copy-on-write `SearchLevels` across every tenant instead of
+    /// rebuilding it `tenants` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of an invalid [`FleetConfig`].
+    pub fn with_shared(
+        workload: Arc<Workload>,
+        levels: Arc<SearchLevels>,
+        model: ModelProfile,
+        config: FleetConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let traffic = vec![0u64; config.tenants];
+        let embed = partition(config.embed_budget, config.embed_floor, &traffic);
+        let memo = partition(config.memo_budget, config.memo_floor, &traffic);
+        let engines = (0..config.tenants)
+            .map(|tenant| {
+                let mut tenant_config = config.base;
+                tenant_config.embed_cache_capacity = embed[tenant];
+                tenant_config.memo_capacity = memo[tenant];
+                ServeEngine::for_tenant(
+                    Arc::clone(&workload),
+                    Arc::clone(&levels),
+                    model.clone(),
+                    tenant_config,
+                    tenant as u64,
+                )
+            })
+            .collect();
+        Ok(Self {
+            engines,
+            config,
+            traffic,
+            total_submitted: 0,
+        })
+    }
+
+    /// Number of tenants this fleet serves.
+    pub fn tenants(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// One tenant's engine, read-only — how tests and metrics exporters
+    /// inspect per-tenant cache state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is out of range.
+    pub fn tenant_engine(&self, tenant: usize) -> &ServeEngine {
+        &self.engines[tenant]
+    }
+
+    /// Current embedding-cache capacities per tenant (the latest
+    /// partition decision).
+    pub fn embed_capacities(&self) -> Vec<usize> {
+        self.engines
+            .iter()
+            .map(|e| e.config.embed_cache_capacity)
+            .collect()
+    }
+
+    /// Current selection-memo capacities per tenant.
+    pub fn memo_capacities(&self) -> Vec<usize> {
+        self.engines
+            .iter()
+            .map(|e| e.config.memo_capacity)
+            .collect()
+    }
+
+    /// Recomputes the budget partition from the cumulative traffic
+    /// weights and resizes every tenant's caches to its new slice.
+    /// Called at fixed global submission counts, never mid-batch.
+    pub(crate) fn rebalance(&mut self) {
+        let embed = partition(
+            self.config.embed_budget,
+            self.config.embed_floor,
+            &self.traffic,
+        );
+        let memo = partition(
+            self.config.memo_budget,
+            self.config.memo_floor,
+            &self.traffic,
+        );
+        for (tenant, engine) in self.engines.iter_mut().enumerate() {
+            engine.resize_caches(embed[tenant], memo[tenant]);
+        }
+    }
+
+    /// Registers a tool on one tenant's live catalog (the tenant's
+    /// levels fork from the shared build on first mutation). Prefer
+    /// [`FleetSession::register_tool`] mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenant, or the per-engine rejection (invalid document,
+    /// duplicate name).
+    pub fn register_tool(&mut self, tenant: u64, doc: &ToolDoc) -> Result<usize, String> {
+        let engine = self.engine_mut(tenant)?;
+        engine.register_tool(doc)
+    }
+
+    /// Retires a tool from one tenant's live catalog.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenant, or the per-engine rejection (index out of range
+    /// or already retired).
+    pub fn retire_tool(&mut self, tenant: u64, index: usize) -> Result<(), String> {
+        let engine = self.engine_mut(tenant)?;
+        engine.retire_tool(index)
+    }
+
+    fn engine_mut(&mut self, tenant: u64) -> Result<&mut ServeEngine, String> {
+        let tenants = self.engines.len();
+        usize::try_from(tenant)
+            .ok()
+            .and_then(|t| self.engines.get_mut(t))
+            .ok_or_else(|| format!("unknown tenant {tenant} (fleet serves 0..{tenants})"))
+    }
+
+    /// Serializes the whole fleet — tenancy state, every tenant's
+    /// levels, warm caches in deterministic LRU order, sessions and
+    /// catalog log — as one `lim/snapshot-v1` checkpoint. Encoding the
+    /// same fleet twice yields byte-identical output. A single-engine
+    /// boot handed a fleet file fails safe (its `fleet` and `t{i}.*`
+    /// sections are unknown to [`ServeEngine::from_checkpoint`]).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        crate::snapshot::write_fleet_checkpoint(self)
+    }
+
+    /// Boots a whole fleet from a checkpoint written by
+    /// [`FleetEngine::checkpoint`], skipping the level build and the
+    /// cold-cache ramp for every tenant: replaying the remainder of a
+    /// trace on the restored fleet is bit-identical to never having
+    /// restarted, and the first replayed requests hit the warm caches
+    /// with zero misses.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SnapshotError`]s: a missing or malformed `tenants`
+    /// header is [`SnapshotError::Header`]; sections for tenants the
+    /// header does not declare (`t9.engine` in a 3-tenant file) are
+    /// [`SnapshotError::UnknownSection`]; duplicate sections are
+    /// rejected by the container parser; configuration disagreements
+    /// (tenant count, budgets, floors, cadence, model, quant, policy,
+    /// seed) are [`SnapshotError::Mismatch`].
+    pub fn from_checkpoint(
+        snapshot: &Snapshot,
+        workload: Workload,
+        model: ModelProfile,
+        config: FleetConfig,
+    ) -> Result<Self, SnapshotError> {
+        crate::snapshot::restore_fleet(snapshot, workload, model, config)
+    }
+
+    /// Opens an incremental multi-tenant serving session (the fleet
+    /// shape of [`ServeEngine::begin_stream`]).
+    pub fn begin_stream(&mut self, meta: StreamMeta, workers: usize) -> FleetSession<'_> {
+        let workers = resolve_threads(workers);
+        let open_loop = meta.arrivals != ArrivalProcess::BackToBack;
+        let base = self.config.base;
+        let needs_degraded = base.admission.enabled()
+            && base.admission.shed_policy == ShedPolicy::Degrade
+            && open_loop
+            && !matches!(base.policy, Policy::Default);
+        let sim = FleetAdmissionSim::new(
+            vec![base.admission; self.engines.len()],
+            base.admission.effective_servers(),
+            open_loop,
+        );
+        let tenants = self.engines.len();
+        let embed_before = self.engines.iter().map(|e| e.embed_cache.stats()).collect();
+        let memo_before = self.engines.iter().map(|e| e.memo.stats()).collect();
+        let session_fast_before = self.engines.iter().map(|e| e.session_fast_hits).collect();
+        FleetSession {
+            fleet: self,
+            workers,
+            meta,
+            open_loop,
+            needs_degraded,
+            started: std::time::Instant::now(),
+            embed_before,
+            memo_before,
+            session_fast_before,
+            sim,
+            pending: Vec::new(),
+            stashed_events: Vec::new(),
+            tenant_of: Vec::new(),
+            outcomes: Vec::new(),
+            degraded_outcomes: Vec::new(),
+            queries: vec![Vec::new(); tenants],
+            all_queries: Vec::new(),
+            session_runs: vec![0; tenants],
+            last_session: vec![None; tenants],
+            global_session_runs: 0,
+            global_last_session: None,
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Replays a multi-tenant session trace and reports the fleet-wide
+    /// aggregate plus per-tenant breakdowns. Thin wrapper over the
+    /// incremental [`FleetSession`] — one code path, exactly like
+    /// [`ServeEngine::process_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects traces for a different benchmark, out-of-pool query
+    /// indices, incoherent arrival/churn/tenant metadata, and traces
+    /// naming more tenants than the fleet serves.
+    pub fn process_trace(
+        &mut self,
+        trace: &SessionTrace,
+        workers: usize,
+    ) -> Result<FleetReport, String> {
+        let workload = self.engines[0].workload.clone();
+        if trace.benchmark != workload.name {
+            return Err(format!(
+                "trace was generated for {:?} but the fleet serves {:?}",
+                trace.benchmark, workload.name
+            ));
+        }
+        let pool = workload.queries.len();
+        if let Some(bad) = trace
+            .sessions
+            .iter()
+            .flat_map(|s| s.query_indices.iter())
+            .find(|q| **q >= pool)
+        {
+            return Err(format!("trace query index {bad} out of range (0..{pool})"));
+        }
+        trace.validate_arrivals()?;
+        trace.validate_churn()?;
+        trace.validate_tenants()?;
+        if trace.tenants > self.engines.len() {
+            return Err(format!(
+                "trace names {} tenants but the fleet serves {}",
+                trace.tenants,
+                self.engines.len()
+            ));
+        }
+
+        let meta = StreamMeta {
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            arrivals: trace.arrivals,
+            sessions: Some(trace.sessions.len()),
+        };
+        let mut stream = self.begin_stream(meta, workers);
+        let arrivals = trace.arrival_seconds();
+        let mut churn = trace.churn.iter().peekable();
+        let mut next = 0usize;
+        for session in &trace.sessions {
+            for &query_index in &session.query_indices {
+                while let Some(event) = churn.next_if(|e| e.after_requests <= next) {
+                    apply_fleet_churn_event(&mut stream, event.tenant, &event.op)?;
+                }
+                stream
+                    .submit(
+                        session.tenant,
+                        StreamRequest {
+                            session: session.id,
+                            query_index,
+                            arrival_s: arrivals.as_ref().map(|a| a[next]),
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                next += 1;
+            }
+        }
+        for event in churn {
+            apply_fleet_churn_event(&mut stream, event.tenant, &event.op)?;
+        }
+        Ok(stream.finish())
+    }
+}
+
+fn apply_fleet_churn_event(
+    stream: &mut FleetSession<'_>,
+    tenant: u64,
+    op: &ChurnOp,
+) -> Result<(), String> {
+    match op {
+        ChurnOp::Register(doc) => stream.register_tool(tenant, doc).map(|_| ()),
+        ChurnOp::Retire(id) => stream.retire_tool(tenant, *id).map(|_| ()),
+    }
+}
+
+/// An in-flight incremental fleet session: the multi-tenant shape of
+/// [`crate::ServeSession`]. Requests carry a tenant id; drains route
+/// each tenant's slice of the batch through that tenant's engine
+/// (preserving global submission order within the tenant) and feed the
+/// two-level admission simulation one offer per request in global
+/// submission order — so every number is a pure function of the
+/// submission sequence, chopped however the front-end likes.
+pub struct FleetSession<'e> {
+    fleet: &'e mut FleetEngine,
+    workers: usize,
+    meta: StreamMeta,
+    open_loop: bool,
+    needs_degraded: bool,
+    started: std::time::Instant,
+    embed_before: Vec<CacheStats>,
+    memo_before: Vec<CacheStats>,
+    session_fast_before: Vec<u64>,
+    sim: FleetAdmissionSim,
+    /// Submitted but not yet drained, global submission order.
+    pending: Vec<(usize, StreamRequest)>,
+    /// Events resolved by a forced rebalance drain, owed to the next
+    /// explicit [`FleetSession::drain`] call.
+    stashed_events: Vec<RequestEvent>,
+    /// Tenant of every submitted request, global submission order.
+    tenant_of: Vec<usize>,
+    /// Full-quality outcome per drained request, global submission
+    /// order.
+    outcomes: Vec<RequestOutcome>,
+    degraded_outcomes: Vec<RequestOutcome>,
+    /// Query indices per tenant (for per-tenant unique counts).
+    queries: Vec<Vec<usize>>,
+    /// Query indices globally (for the overall unique count).
+    all_queries: Vec<usize>,
+    /// Runs of consecutive session ids per tenant.
+    session_runs: Vec<usize>,
+    last_session: Vec<Option<u64>>,
+    global_session_runs: usize,
+    global_last_session: Option<u64>,
+    last_arrival: f64,
+}
+
+impl FleetSession<'_> {
+    /// Accepts one request for `tenant` into the current batch. Cheap —
+    /// no engine work happens until [`FleetSession::drain`] — except at
+    /// a rebalance boundary, where the pending batch is drained first so
+    /// the capacity change lands between requests, never inside a plan.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetSubmitError::UnknownTenant`] for a tenant id outside
+    /// `0..tenants` (the session survives and keeps accepting), or
+    /// [`FleetSubmitError::Other`] for the single-engine validation
+    /// failures (bad query index, arrival-timestamp violations).
+    pub fn submit(
+        &mut self,
+        tenant: u64,
+        request: StreamRequest,
+    ) -> Result<Ticket, FleetSubmitError> {
+        let tenants = self.fleet.engines.len();
+        let Some(tenant) = usize::try_from(tenant).ok().filter(|t| *t < tenants) else {
+            return Err(FleetSubmitError::UnknownTenant { tenant, tenants });
+        };
+        let pool = self.fleet.engines[tenant].workload.queries.len();
+        if request.query_index >= pool {
+            return Err(FleetSubmitError::Other(format!(
+                "request query index {} out of range (0..{pool})",
+                request.query_index
+            )));
+        }
+        match (self.open_loop, request.arrival_s) {
+            (true, None) => {
+                return Err(FleetSubmitError::Other(format!(
+                    "open-loop stream ({}) requires an arrival timestamp per request",
+                    self.meta.arrivals.label()
+                )));
+            }
+            (false, Some(_)) => {
+                return Err(FleetSubmitError::Other(
+                    "closed-loop (back-to-back) stream carries no arrival timestamps".to_owned(),
+                ));
+            }
+            (true, Some(t)) => {
+                if t < self.last_arrival {
+                    return Err(FleetSubmitError::Other(format!(
+                        "arrival {t}s decreases below {}s; arrivals must be nondecreasing",
+                        self.last_arrival
+                    )));
+                }
+                self.last_arrival = t;
+            }
+            (false, None) => {}
+        }
+
+        // Rebalance boundary: drain whatever is pending under the old
+        // capacities, then recompute the partition. The boundary is a
+        // fixed global submission count, so the capacity history cannot
+        // depend on how the front-end chopped its drains.
+        let every = self.fleet.config.rebalance_every;
+        if every > 0 && self.fleet.total_submitted > 0 && self.fleet.total_submitted % every == 0 {
+            let events = self.drain_pending();
+            self.stashed_events.extend(events);
+            self.fleet.rebalance();
+        }
+
+        if self.last_session[tenant] != Some(request.session) {
+            self.last_session[tenant] = Some(request.session);
+            self.session_runs[tenant] += 1;
+        }
+        if self.global_last_session != Some(request.session) {
+            self.global_last_session = Some(request.session);
+            self.global_session_runs += 1;
+        }
+        self.queries[tenant].push(request.query_index);
+        self.all_queries.push(request.query_index);
+        self.tenant_of.push(tenant);
+        self.pending.push((tenant, request));
+        self.fleet.traffic[tenant] += 1;
+        self.fleet.total_submitted += 1;
+        Ok(Ticket(self.all_queries.len() - 1))
+    }
+
+    /// Requests submitted so far (drained or not).
+    pub fn submitted(&self) -> usize {
+        self.all_queries.len()
+    }
+
+    /// Runs the pending batch through each tenant's engine and the
+    /// two-level admission queue; returns the requests whose disposition
+    /// resolved (including any owed by a forced rebalance drain).
+    pub fn drain(&mut self) -> Vec<RequestEvent> {
+        let mut events = std::mem::take(&mut self.stashed_events);
+        events.extend(self.drain_pending());
+        events
+    }
+
+    fn drain_pending(&mut self) -> Vec<RequestEvent> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let base = self.outcomes.len();
+
+        // Route each tenant's slice of the batch through its engine, in
+        // global submission order within the tenant, then scatter the
+        // outcomes back to global positions.
+        self.outcomes
+            .extend((0..batch.len()).map(|_| RequestOutcome::placeholder()));
+        if self.needs_degraded {
+            self.degraded_outcomes
+                .extend((0..batch.len()).map(|_| RequestOutcome::placeholder()));
+        }
+        for tenant in 0..self.fleet.engines.len() {
+            let positions: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, _))| *t == tenant)
+                .map(|(i, _)| i)
+                .collect();
+            if positions.is_empty() {
+                continue;
+            }
+            let slice: Vec<StreamRequest> = positions.iter().map(|i| batch[*i].1).collect();
+            let out =
+                self.fleet.engines[tenant].drain_batch(&slice, self.workers, self.needs_degraded);
+            for (k, &i) in positions.iter().enumerate() {
+                self.outcomes[base + i] = out.outcomes[k].clone();
+                if self.needs_degraded {
+                    self.degraded_outcomes[base + i] = out.degraded[k].clone();
+                }
+            }
+        }
+
+        // Stage 5: one admission offer per request in global submission
+        // order, exactly like the single-engine session.
+        let mut events = Vec::new();
+        for (i, (tenant, request)) in batch.iter().enumerate() {
+            let index = base + i;
+            let resolved = self.sim.offer(
+                *tenant,
+                request.session,
+                request.arrival_s.unwrap_or(0.0),
+                self.outcomes[index].seconds,
+                self.needs_degraded
+                    .then(|| self.degraded_outcomes[index].seconds),
+            );
+            for (idx, disposition) in resolved {
+                events.push(self.event(idx, disposition));
+            }
+        }
+        events
+    }
+
+    /// Registers a tool on `tenant`'s live catalog mid-stream, draining
+    /// the pending batch first so the mutation lands on a batch boundary
+    /// (see [`crate::ServeSession::register_tool`] for the semantics).
+    /// Returns the new tool's catalog index plus the resolved events.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenant or the per-engine rejection; the stream is
+    /// unaffected on error (the forced drain still happened).
+    pub fn register_tool(
+        &mut self,
+        tenant: u64,
+        doc: &ToolDoc,
+    ) -> Result<(usize, Vec<RequestEvent>), String> {
+        let events = self.drain();
+        let index = self.fleet.register_tool(tenant, doc)?;
+        Ok((index, events))
+    }
+
+    /// Retires a tool from `tenant`'s live catalog mid-stream, draining
+    /// the pending batch first. Returns the resolved events.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenant or the per-engine rejection; the stream is
+    /// unaffected on error (the forced drain still happened).
+    pub fn retire_tool(&mut self, tenant: u64, index: usize) -> Result<Vec<RequestEvent>, String> {
+        let events = self.drain();
+        self.fleet.retire_tool(tenant, index)?;
+        Ok(events)
+    }
+
+    /// One tenant's current catalog epoch.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenant.
+    pub fn epoch(&self, tenant: u64) -> Result<u64, String> {
+        let tenants = self.fleet.engines.len();
+        usize::try_from(tenant)
+            .ok()
+            .and_then(|t| self.fleet.engines.get(t))
+            .map(ServeEngine::epoch)
+            .ok_or_else(|| format!("unknown tenant {tenant} (fleet serves 0..{tenants})"))
+    }
+
+    /// Drains the pending batch, works the admission queue dry and
+    /// aggregates the fleet report — exactly what
+    /// [`FleetEngine::process_trace`] returns for the same stream.
+    pub fn finish(self) -> FleetReport {
+        self.finish_with_events().0
+    }
+
+    /// [`FleetSession::finish`], also returning the tail events resolved
+    /// by the final queue drain.
+    pub fn finish_with_events(mut self) -> (FleetReport, Vec<RequestEvent>) {
+        let mut events = self.drain();
+        let tail = self.sim.drain();
+        for (idx, disposition) in tail {
+            events.push(self.event(idx, disposition));
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let outcome = std::mem::replace(
+            &mut self.sim,
+            FleetAdmissionSim::new(
+                vec![self.fleet.config.base.admission; self.fleet.engines.len()],
+                self.fleet.config.base.admission.effective_servers(),
+                false,
+            ),
+        )
+        .into_outcome();
+
+        let unique = |queries: &[usize]| {
+            let mut q = queries.to_vec();
+            q.sort_unstable();
+            q.dedup();
+            q.len()
+        };
+        let degraded = self.needs_degraded;
+
+        // Fleet-wide aggregate: identity fields from tenant 0's engine
+        // (all tenants share the base config), cache/session deltas and
+        // catalog counters summed across tenants.
+        let overall_scope = ReportScope {
+            trace_seed: self.meta.trace_seed,
+            zipf_s: self.meta.zipf_s,
+            sessions: self.meta.sessions.unwrap_or(self.global_session_runs),
+            unique_queries: unique(&self.all_queries),
+            arrivals: self.meta.arrivals,
+        };
+        let embed_delta = |t: usize| {
+            self.fleet.engines[t]
+                .embed_cache
+                .stats()
+                .since(&self.embed_before[t])
+        };
+        let memo_delta = |t: usize| {
+            self.fleet.engines[t]
+                .memo
+                .stats()
+                .since(&self.memo_before[t])
+        };
+        let fast_delta =
+            |t: usize| self.fleet.engines[t].session_fast_hits - self.session_fast_before[t];
+        let tenants = self.fleet.engines.len();
+        let overall = self.fleet.engines[0].compose_report(
+            &overall_scope,
+            self.workers,
+            &self.outcomes,
+            degraded.then_some(self.degraded_outcomes.as_slice()),
+            &outcome.overall,
+            (0..tenants).fold(CacheStats::default(), |acc, t| acc.plus(&embed_delta(t))),
+            (0..tenants).fold(CacheStats::default(), |acc, t| acc.plus(&memo_delta(t))),
+            (0..tenants).map(fast_delta).sum(),
+            self.fleet.engines[0].boot.clone(),
+            (0..tenants).fold(CatalogReport::unchanged(), |acc, t| {
+                sum_catalog(&acc, &self.fleet.engines[t].catalog_report())
+            }),
+            wall_seconds,
+        );
+
+        // Per-tenant breakdowns through the identical aggregation path:
+        // each tenant's outcomes in global submission order, its own
+        // admission projection, its own cache deltas.
+        let embed_floor = self.fleet.config.effective_embed_floor();
+        let memo_floor = self.fleet.config.effective_memo_floor();
+        let tenant_reports: Vec<TenantReport> = (0..tenants)
+            .map(|t| {
+                let picked: Vec<usize> = self
+                    .tenant_of
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, owner)| **owner == t)
+                    .map(|(i, _)| i)
+                    .collect();
+                let outcomes: Vec<RequestOutcome> =
+                    picked.iter().map(|i| self.outcomes[*i].clone()).collect();
+                let degraded_outcomes: Vec<RequestOutcome> = if degraded {
+                    picked
+                        .iter()
+                        .map(|i| self.degraded_outcomes[*i].clone())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let scope = ReportScope {
+                    trace_seed: self.meta.trace_seed,
+                    zipf_s: self.meta.zipf_s,
+                    sessions: self.session_runs[t],
+                    unique_queries: unique(&self.queries[t]),
+                    arrivals: self.meta.arrivals,
+                };
+                let report = self.fleet.engines[t].compose_report(
+                    &scope,
+                    self.workers,
+                    &outcomes,
+                    degraded.then_some(degraded_outcomes.as_slice()),
+                    &outcome.tenant_outcome(t),
+                    embed_delta(t),
+                    memo_delta(t),
+                    fast_delta(t),
+                    self.fleet.engines[t].boot.clone(),
+                    self.fleet.engines[t].catalog_report(),
+                    wall_seconds,
+                );
+                TenantReport {
+                    tenant: t as u64,
+                    report,
+                    embed_capacity: self.fleet.engines[t].config.embed_cache_capacity,
+                    embed_floor,
+                    memo_capacity: self.fleet.engines[t].config.memo_capacity,
+                    memo_floor,
+                }
+            })
+            .collect();
+
+        (
+            FleetReport {
+                overall,
+                tenants: tenant_reports,
+            },
+            events,
+        )
+    }
+
+    fn event(&self, index: usize, disposition: crate::admission::Disposition) -> RequestEvent {
+        use crate::admission::Disposition;
+        let service_s = match disposition {
+            Disposition::Shed => None,
+            Disposition::Degraded { .. } => Some(if self.needs_degraded {
+                self.degraded_outcomes[index].seconds
+            } else {
+                self.outcomes[index].seconds
+            }),
+            Disposition::Served { .. } => Some(self.outcomes[index].seconds),
+        };
+        RequestEvent {
+            ticket: Ticket(index),
+            disposition,
+            service_s,
+        }
+    }
+}
+
+/// Adds two catalog reports field-by-field — the fleet-wide `catalog`
+/// section is the sum over tenants (epoch included: the fleet total is
+/// total mutations applied anywhere, since each engine's epoch counts
+/// its own mutations).
+fn sum_catalog(a: &CatalogReport, b: &CatalogReport) -> CatalogReport {
+    CatalogReport {
+        epoch: a.epoch + b.epoch,
+        registered: a.registered + b.registered,
+        retired: a.retired + b.retired,
+        tombstones: a.tombstones + b.tombstones,
+        compactions: a.compactions + b.compactions,
+        cluster_refreshes: a.cluster_refreshes + b.cluster_refreshes,
+        memo_invalidations: a.memo_invalidations + b.memo_invalidations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_grants_floors_and_splits_spare_by_weight() {
+        // 100 entries, floor 10, weights 3:1 → floors 10+10, spare 80
+        // splits 60:20.
+        assert_eq!(partition(100, 10, &[300, 100]), vec![70, 30]);
+        // All-zero weights split equally.
+        assert_eq!(partition(100, 10, &[0, 0]), vec![50, 50]);
+        // Largest-remainder: spare 7 over equal weights → extra entry to
+        // the lower ids first.
+        assert_eq!(partition(10, 1, &[0, 0, 0]), vec![4, 3, 3]);
+        // A dominant tenant can never push another below the floor.
+        let slices = partition(64, 8, &[1_000_000, 1]);
+        assert_eq!(slices.iter().sum::<usize>(), 64);
+        assert!(slices[1] >= 8, "cold tenant pushed below floor: {slices:?}");
+        // Floor too large for the budget is clamped to an equal share.
+        assert_eq!(partition(6, 100, &[0, 0, 0]), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn partition_is_exact_and_deterministic_under_extreme_weights() {
+        let weights = [u64::MAX, u64::MAX - 1, 1, 0];
+        let slices = partition(1000, 5, &weights);
+        assert_eq!(slices.iter().sum::<usize>(), 1000);
+        assert!(slices.iter().all(|s| *s >= 5));
+        assert_eq!(slices, partition(1000, 5, &weights));
+        assert!(slices[0] >= slices[1] && slices[1] > slices[2]);
+    }
+
+    #[test]
+    fn fleet_config_validates_budgets() {
+        let base = ServeConfig::default();
+        assert!(FleetConfig::new(4, base).validate().is_ok());
+        let mut starved = FleetConfig::new(4, base);
+        starved.embed_budget = 3;
+        assert!(starved.validate().unwrap_err().contains("embed budget"));
+        let mut empty = FleetConfig::new(0, base);
+        empty.tenants = 0;
+        assert!(empty.validate().is_err());
+    }
+}

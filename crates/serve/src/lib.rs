@@ -100,19 +100,27 @@ pub mod admission;
 pub mod cache;
 pub mod catalog;
 pub mod engine;
+pub mod fleet;
 pub mod report;
 pub mod session;
 pub mod snapshot;
 pub mod wire;
 
-pub use admission::{AdmissionConfig, AdmissionOutcome, AdmissionSim, Disposition, ShedPolicy};
+pub use admission::{
+    AdmissionConfig, AdmissionOutcome, AdmissionSim, Disposition, FleetAdmissionOutcome,
+    FleetAdmissionSim, ShedPolicy, TenantAdmission,
+};
 pub use cache::{CacheStats, LruCache};
 pub use catalog::{CatalogCounters, CatalogOp, CatalogRecord};
 pub use engine::{
     normalize_query, QueryEmbeddings, ServeConfig, ServeConfigBuilder, ServeEngine,
     SNAPSHOT_DECODE_SECONDS_PER_BYTE,
 };
-pub use report::{AdmissionReport, BootReport, CatalogReport, LatencyStats, ServeReport};
+pub use fleet::{partition, FleetConfig, FleetEngine, FleetSession, FleetSubmitError};
+pub use report::{
+    AdmissionReport, BootReport, CatalogReport, FleetReport, LatencyStats, ServeReport,
+    TenantReport,
+};
 pub use session::{RequestEvent, ServeSession, StreamMeta, StreamRequest, Ticket};
 
 #[cfg(test)]

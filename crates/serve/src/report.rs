@@ -451,6 +451,145 @@ impl ServeReport {
     }
 }
 
+/// One tenant's slice of a fleet replay: a full [`ServeReport`] computed
+/// over just that tenant's requests (through the same aggregation code
+/// path as a standalone engine), plus the cache capacities the fleet's
+/// budget partition last granted it and the floors it can never be
+/// evicted below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Fleet tenant id (dense, 0-based).
+    pub tenant: u64,
+    /// The tenant's own replay report.
+    pub report: ServeReport,
+    /// Embedding-cache entries currently granted to this tenant.
+    pub embed_capacity: usize,
+    /// Guaranteed minimum embedding-cache entries (the QoS floor).
+    pub embed_floor: usize,
+    /// Selection-memo entries currently granted to this tenant.
+    pub memo_capacity: usize,
+    /// Guaranteed minimum selection-memo entries.
+    pub memo_floor: usize,
+}
+
+fn tenant_cache_to_json(stats: &CacheStats, capacity: usize, floor: usize) -> Value {
+    let mut value = cache_to_json(stats);
+    value.insert("capacity", Value::from(capacity));
+    value.insert("floor", Value::from(floor));
+    value
+}
+
+impl TenantReport {
+    /// The compact per-tenant object embedded in a report-v4 `tenants`
+    /// array: the tenant's deterministic accuracy/latency/cache/admission
+    /// numbers, without repeating the fleet-wide identity fields.
+    pub fn to_json(&self) -> Value {
+        let r = &self.report;
+        Value::object([
+            ("tenant", Value::from(self.tenant as i64)),
+            ("requests", Value::from(r.requests)),
+            ("sessions", Value::from(r.sessions)),
+            ("unique_queries", Value::from(r.unique_queries)),
+            ("success_rate", Value::from(r.success_rate)),
+            ("tool_accuracy", Value::from(r.tool_accuracy)),
+            ("avg_offered_tools", Value::from(r.avg_offered_tools)),
+            ("latency", latency_to_json(&r.latency)),
+            ("sim_total_seconds", Value::from(r.sim_total_seconds)),
+            (
+                "caches",
+                Value::object([
+                    (
+                        "embedding",
+                        tenant_cache_to_json(&r.embed_cache, self.embed_capacity, self.embed_floor),
+                    ),
+                    (
+                        "selection",
+                        tenant_cache_to_json(
+                            &r.selection_memo,
+                            self.memo_capacity,
+                            self.memo_floor,
+                        ),
+                    ),
+                    ("session_fast_hits", Value::from(r.session_fast_hits as i64)),
+                ]),
+            ),
+            (
+                "admission",
+                Value::object([
+                    ("admitted", Value::from(r.admission.admitted as i64)),
+                    ("degraded", Value::from(r.admission.degraded as i64)),
+                    ("shed", Value::from(r.admission.shed as i64)),
+                    ("max_queue_depth", Value::from(r.admission.max_queue_depth)),
+                    ("queue_wait", latency_to_json(&r.admission.queue_wait)),
+                ]),
+            ),
+            (
+                "catalog",
+                Value::object([
+                    ("epoch", Value::from(r.catalog.epoch as i64)),
+                    ("registered", Value::from(r.catalog.registered as i64)),
+                    ("retired", Value::from(r.catalog.retired as i64)),
+                    ("tombstones", Value::from(r.catalog.tombstones)),
+                    ("compactions", Value::from(r.catalog.compactions as i64)),
+                    (
+                        "cluster_refreshes",
+                        Value::from(r.catalog.cluster_refreshes as i64),
+                    ),
+                    (
+                        "memo_invalidations",
+                        Value::from(r.catalog.memo_invalidations as i64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Everything one fleet replay produced: the fleet-wide aggregate (same
+/// field set as a standalone [`ServeReport`], caches and catalog summed
+/// across tenants) plus one [`TenantReport`] per tenant.
+///
+/// Serialized as `lim-serve/report-v4`: the v3 document with the schema
+/// id bumped and an additive `tenants` array. Every per-tenant field is
+/// deterministic for any worker count, like the fleet-wide ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet-wide aggregate over all tenants' requests.
+    pub overall: ServeReport,
+    /// Per-tenant breakdowns, dense by tenant id.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl FleetReport {
+    /// Serializes to the `lim-serve/report-v4` document.
+    pub fn to_json(&self) -> Value {
+        let mut doc = self.overall.to_json();
+        doc.insert("schema", Value::from("lim-serve/report-v4"));
+        doc.insert(
+            "tenants",
+            Value::Array(self.tenants.iter().map(TenantReport::to_json).collect()),
+        );
+        doc
+    }
+
+    /// The fleet report with every wall-clock field zeroed and every
+    /// boot section neutralized — fleet-wide and per-tenant — mirroring
+    /// [`ServeReport::deterministic_view`].
+    pub fn deterministic_view(&self) -> FleetReport {
+        FleetReport {
+            overall: self.overall.deterministic_view(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantReport {
+                    report: t.report.deterministic_view(),
+                    ..t.clone()
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

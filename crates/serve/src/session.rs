@@ -139,10 +139,10 @@ pub struct RequestEvent {
 
 /// Output of one engine drain batch.
 pub(crate) struct DrainOutput {
-    outcomes: Vec<RequestOutcome>,
+    pub(crate) outcomes: Vec<RequestOutcome>,
     /// Degraded-path alternatives, index-aligned; empty when the
     /// admission config can never degrade.
-    degraded: Vec<RequestOutcome>,
+    pub(crate) degraded: Vec<RequestOutcome>,
 }
 
 impl ServeEngine {

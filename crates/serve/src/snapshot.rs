@@ -24,7 +24,8 @@ use std::sync::Arc;
 
 use lim_core::persist::{SECTION_CLUSTERS, SECTION_LEVELS, SECTION_TOOL_INDEX};
 use lim_core::{
-    snapshot_levels, SearchLevel, Snapshot, SnapshotError, SnapshotWriter, ToolSelection,
+    levels_from_snapshot_prefixed, snapshot_levels_prefixed, SearchLevel, Snapshot, SnapshotError,
+    SnapshotWriter, ToolSelection,
 };
 use lim_embed::Embedding;
 use lim_json::Value;
@@ -35,6 +36,7 @@ use lim_workloads::Workload;
 use crate::cache::{CacheStats, LruCache};
 use crate::catalog::{CatalogOp, CatalogRecord};
 use crate::engine::{QueryEmbeddings, SelectionSource, ServeConfig, ServeEngine, SessionState};
+use crate::fleet::{FleetConfig, FleetEngine};
 
 /// Checkpoint section recording the engine configuration and counters.
 pub const SECTION_ENGINE: &str = "engine";
@@ -50,6 +52,13 @@ pub const SECTION_SESSIONS: &str = "sessions";
 /// format — and older readers, which treat unknown sections as errors,
 /// fail safe on churned snapshots instead of silently dropping the log.
 pub const SECTION_CATALOG: &str = "catalog_log";
+/// Fleet-checkpoint section recording the tenancy state: tenant count,
+/// cache budgets and floors, the rebalance cadence, and the cumulative
+/// per-tenant traffic weights the partition policy derives capacities
+/// from. Present only in fleet checkpoints, so a single-engine boot
+/// handed a fleet file fails safe with an unknown-section error instead
+/// of silently restoring one tenant.
+pub const SECTION_FLEET: &str = "fleet";
 
 /// Every section a serving boot understands. A snapshot carrying any
 /// other section is rejected (unknown sections are an error).
@@ -113,17 +122,19 @@ pub(crate) fn validate_engine(
     snapshot: &Snapshot,
     model: &ModelProfile,
     config: &ServeConfig,
+    prefix: &str,
 ) -> Result<(), SnapshotError> {
-    let doc = snapshot.section(SECTION_ENGINE)?;
+    let section = format!("{prefix}{SECTION_ENGINE}");
+    let doc = snapshot.section(&section)?;
     let text = |key: &str| {
         doc.get(key)
             .and_then(Value::as_str)
-            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+            .ok_or_else(|| section_err(&section, format!("missing {key}")))
     };
     let int = |key: &str| {
         doc.get(key)
             .and_then(Value::as_i64)
-            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+            .ok_or_else(|| section_err(&section, format!("missing {key}")))
     };
     let expect = [
         ("model", model.name.to_owned()),
@@ -157,6 +168,13 @@ pub(crate) fn validate_engine(
 /// Encodes the engine's full state as a `kind: "checkpoint"` snapshot.
 pub(crate) fn write_checkpoint(engine: &ServeEngine) -> Vec<u8> {
     let mut writer = SnapshotWriter::new("checkpoint");
+    checkpoint_header(&mut writer, engine);
+    engine_sections(engine, &mut writer, "");
+    writer.encode()
+}
+
+/// Writes the workload-identity header fields a boot validates against.
+fn checkpoint_header(writer: &mut SnapshotWriter, engine: &ServeEngine) {
     writer.header_field("benchmark", Value::from(engine.workload.name));
     // The header records the *base* catalog size — what the workload a
     // booting process constructs from the benchmark generator has. Tools
@@ -172,21 +190,34 @@ pub(crate) fn write_checkpoint(engine: &ServeEngine) -> Vec<u8> {
         Value::from(engine.workload.train_queries.len()),
     );
     writer.header_field("dim", Value::from(engine.levels.embedder().dim()));
-    snapshot_levels(&engine.levels, &mut writer);
-    writer.add_section(SECTION_ENGINE, &engine_to_json(engine));
+}
+
+/// Writes one engine's full section set under `prefix` — `""` for a
+/// standalone checkpoint, `"t{i}."` for tenant `i` of a fleet.
+fn engine_sections(engine: &ServeEngine, writer: &mut SnapshotWriter, prefix: &str) {
+    snapshot_levels_prefixed(&engine.levels, writer, prefix);
     writer.add_section(
-        SECTION_EMBED_CACHE,
+        &format!("{prefix}{SECTION_ENGINE}"),
+        &engine_to_json(engine),
+    );
+    writer.add_section(
+        &format!("{prefix}{SECTION_EMBED_CACHE}"),
         &cache_to_json(&engine.embed_cache, embeddings_to_json),
     );
     writer.add_section(
-        SECTION_MEMO,
+        &format!("{prefix}{SECTION_MEMO}"),
         &cache_to_json(&engine.memo, selection_to_json),
     );
-    writer.add_section(SECTION_SESSIONS, &sessions_to_json(&engine.sessions));
+    writer.add_section(
+        &format!("{prefix}{SECTION_SESSIONS}"),
+        &sessions_to_json(&engine.sessions),
+    );
     if engine.epoch > 0 {
-        writer.add_section(SECTION_CATALOG, &catalog_to_json(engine));
+        writer.add_section(
+            &format!("{prefix}{SECTION_CATALOG}"),
+            &catalog_to_json(engine),
+        );
     }
-    writer.encode()
 }
 
 /// Serializes the live-catalog state: epoch, churn bookkeeping, lifetime
@@ -244,22 +275,24 @@ fn catalog_to_json(engine: &ServeEngine) -> Value {
 pub(crate) fn apply_catalog_log(
     snapshot: &Snapshot,
     engine: &mut ServeEngine,
+    prefix: &str,
 ) -> Result<(), SnapshotError> {
-    if snapshot.section_len(SECTION_CATALOG).is_none() {
+    let section = format!("{prefix}{SECTION_CATALOG}");
+    if snapshot.section_len(&section).is_none() {
         return Ok(());
     }
-    let doc = snapshot.section(SECTION_CATALOG)?;
+    let doc = snapshot.section(&section)?;
     let int = |doc: &Value, key: &str| {
         doc.get(key)
             .and_then(Value::as_i64)
             .filter(|x| *x >= 0)
-            .ok_or_else(|| section_err(SECTION_CATALOG, format!("missing or negative {key}")))
+            .ok_or_else(|| section_err(&section, format!("missing or negative {key}")))
     };
     let epoch = int(doc, "epoch")? as u64;
     let churn_since_refresh = int(doc, "churn_since_refresh")? as u64;
     let counters_doc = doc
         .get("counters")
-        .ok_or_else(|| section_err(SECTION_CATALOG, "missing counters"))?;
+        .ok_or_else(|| section_err(&section, "missing counters"))?;
     let counters = crate::catalog::CatalogCounters {
         registered: int(counters_doc, "registered")? as u64,
         retired: int(counters_doc, "retired")? as u64,
@@ -271,12 +304,12 @@ pub(crate) fn apply_catalog_log(
     for (i, entry) in doc
         .get("records")
         .and_then(Value::as_array)
-        .ok_or_else(|| section_err(SECTION_CATALOG, "missing records"))?
+        .ok_or_else(|| section_err(&section, "missing records"))?
         .iter()
         .enumerate()
     {
         let record = CatalogRecord::from_json(entry)
-            .map_err(|e| section_err(SECTION_CATALOG, format!("record {i}: {e}")))?;
+            .map_err(|e| section_err(&section, format!("record {i}: {e}")))?;
         let expected = i as u64 + 1;
         if record.seq != expected {
             return Err(section_err(
@@ -337,7 +370,7 @@ pub(crate) fn apply_catalog_log(
                 workload
                     .registry
                     .register(tool.to_spec())
-                    .map_err(|e| section_err(SECTION_CATALOG, e.to_string()))?;
+                    .map_err(|e| section_err(&section, e.to_string()))?;
             }
             CatalogOp::Retire(id) => {
                 // Bounded by the catalog as it stood *at this log
@@ -373,29 +406,262 @@ pub(crate) fn apply_catalog_log(
 pub(crate) fn restore_warm_state(
     snapshot: &Snapshot,
     engine: &mut ServeEngine,
+    prefix: &str,
 ) -> Result<(), SnapshotError> {
-    let doc = snapshot.section(SECTION_ENGINE)?;
+    let engine_section = format!("{prefix}{SECTION_ENGINE}");
+    let doc = snapshot.section(&engine_section)?;
     let int = |key: &str| {
         doc.get(key)
             .and_then(Value::as_i64)
-            .ok_or_else(|| section_err(SECTION_ENGINE, format!("missing {key}")))
+            .ok_or_else(|| section_err(&engine_section, format!("missing {key}")))
     };
     engine.requests_served = int("requests_served")? as u64;
     engine.session_fast_hits = int("session_fast_hits")? as u64;
+    let embed_section = format!("{prefix}{SECTION_EMBED_CACHE}");
     engine.embed_cache = cache_from_json(
-        snapshot.section(SECTION_EMBED_CACHE)?,
-        SECTION_EMBED_CACHE,
+        snapshot.section(&embed_section)?,
+        &embed_section,
         engine.config.embed_cache_capacity,
         |v| embeddings_from_json(v).map(Arc::new),
     )?;
+    let memo_section = format!("{prefix}{SECTION_MEMO}");
     engine.memo = cache_from_json(
-        snapshot.section(SECTION_MEMO)?,
-        SECTION_MEMO,
+        snapshot.section(&memo_section)?,
+        &memo_section,
         engine.config.memo_capacity,
         |v| selection_from_json(v).map(Arc::new),
     )?;
-    engine.sessions = sessions_from_json(snapshot.section(SECTION_SESSIONS)?)?;
+    let sessions_section = format!("{prefix}{SECTION_SESSIONS}");
+    engine.sessions = sessions_from_json(snapshot.section(&sessions_section)?, &sessions_section)?;
     Ok(())
+}
+
+/// Encodes a whole fleet — the tenancy state plus every tenant's full
+/// section set under a `t{i}.` prefix — as one `kind: "checkpoint"`
+/// snapshot. The header carries the *base* workload identity (shared by
+/// all tenants) plus a `tenants` count that restore uses to build the
+/// set of section names it accepts. Encoding the same fleet twice
+/// yields byte-identical output.
+pub(crate) fn write_fleet_checkpoint(fleet: &FleetEngine) -> Vec<u8> {
+    let mut writer = SnapshotWriter::new("checkpoint");
+    checkpoint_header(&mut writer, &fleet.engines[0]);
+    writer.header_field("tenants", Value::from(fleet.engines.len()));
+    writer.add_section(SECTION_FLEET, &fleet_to_json(fleet));
+    for (tenant, engine) in fleet.engines.iter().enumerate() {
+        engine_sections(engine, &mut writer, &format!("t{tenant}."));
+    }
+    writer.encode()
+}
+
+/// Serializes the fleet-wide tenancy state: the budget/floor/cadence
+/// configuration and the cumulative traffic weights the next rebalance
+/// will partition by.
+fn fleet_to_json(fleet: &FleetEngine) -> Value {
+    let config = fleet.config();
+    Value::object([
+        ("tenants", Value::from(fleet.engines.len())),
+        ("embed_budget", Value::from(config.embed_budget)),
+        ("memo_budget", Value::from(config.memo_budget)),
+        ("embed_floor", Value::from(config.embed_floor)),
+        ("memo_floor", Value::from(config.memo_floor)),
+        (
+            "rebalance_every",
+            Value::from(config.rebalance_every as i64),
+        ),
+        (
+            "traffic",
+            fleet
+                .traffic
+                .iter()
+                .map(|t| Value::from(*t as i64))
+                .collect(),
+        ),
+        ("total_submitted", Value::from(fleet.total_submitted as i64)),
+    ])
+}
+
+/// The per-tenant cache capacities a fleet checkpoint recorded — the
+/// partition decision in force when it was written. Restore must adopt
+/// these rather than recompute the partition: capacities change only at
+/// rebalance boundaries, so the current traffic counts generally
+/// post-date the last decision.
+fn recorded_capacities(
+    snapshot: &Snapshot,
+    section: &str,
+) -> Result<(usize, usize), SnapshotError> {
+    let doc = snapshot.section(section)?;
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .filter(|x| *x > 0)
+            .ok_or_else(|| section_err(section, format!("missing or non-positive {key}")))
+    };
+    Ok((
+        int("embed_cache_capacity")? as usize,
+        int("memo_capacity")? as usize,
+    ))
+}
+
+/// Restores a whole fleet from a checkpoint written by
+/// [`write_fleet_checkpoint`]: validates the tenancy configuration
+/// against `config`, then rebuilds every tenant's engine from its
+/// `t{i}.`-prefixed sections — levels, warm caches at their recorded
+/// partition capacities, sessions and catalog log — so a restarted
+/// fleet boots with zero cold-cache misses.
+///
+/// Every rejection is a typed [`SnapshotError`] naming the offending
+/// section: a missing or non-integer `tenants` header is
+/// [`SnapshotError::Header`]; a section for a tenant outside
+/// `0..tenants` (e.g. `t9.engine` in a 3-tenant file) is
+/// [`SnapshotError::UnknownSection`]; duplicated sections are rejected
+/// by the container parser before this function runs; capacities that
+/// do not sum to the configured budgets are
+/// [`SnapshotError::Mismatch`].
+pub(crate) fn restore_fleet(
+    snapshot: &Snapshot,
+    workload: Workload,
+    model: ModelProfile,
+    config: FleetConfig,
+) -> Result<FleetEngine, SnapshotError> {
+    if snapshot.kind() != "checkpoint" {
+        return Err(SnapshotError::Mismatch(format!(
+            "kind {:?} carries no warm state; a fleet boots only from checkpoints",
+            snapshot.kind()
+        )));
+    }
+    config.validate().map_err(SnapshotError::Mismatch)?;
+    let tenants = snapshot
+        .header_field("tenants")
+        .ok_or_else(|| SnapshotError::Header("missing tenants (not a fleet checkpoint)".into()))?
+        .as_i64()
+        .filter(|t| *t >= 1)
+        .ok_or_else(|| SnapshotError::Header("tenants must be a positive integer".into()))?
+        as usize;
+    if tenants != config.tenants {
+        return Err(SnapshotError::Mismatch(format!(
+            "checkpoint holds {tenants} tenants but the fleet is configured for {}",
+            config.tenants
+        )));
+    }
+
+    // The accepted section set is a function of the tenant count: every
+    // per-engine section name under each `t{i}.` prefix, plus the fleet
+    // section itself. A section for a tenant the header does not declare
+    // is a stranger — out-of-range tenant data must never restore.
+    let mut known: Vec<String> = vec![SECTION_FLEET.to_owned()];
+    for tenant in 0..tenants {
+        for name in KNOWN_SECTIONS {
+            known.push(format!("t{tenant}.{name}"));
+        }
+    }
+    let known_refs: Vec<&str> = known.iter().map(String::as_str).collect();
+    snapshot.ensure_known(&known_refs)?;
+    validate_workload(snapshot, &workload)?;
+
+    let doc = snapshot.section(SECTION_FLEET)?;
+    let int = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_i64)
+            .filter(|x| *x >= 0)
+            .ok_or_else(|| section_err(SECTION_FLEET, format!("missing or negative {key}")))
+    };
+    if int("tenants")? as usize != tenants {
+        return Err(section_err(
+            SECTION_FLEET,
+            "tenant count disagrees with the header",
+        ));
+    }
+    let recorded = [
+        ("embed_budget", config.embed_budget as i64),
+        ("memo_budget", config.memo_budget as i64),
+        ("embed_floor", config.embed_floor as i64),
+        ("memo_floor", config.memo_floor as i64),
+        ("rebalance_every", config.rebalance_every as i64),
+    ];
+    for (key, ours) in recorded {
+        let theirs = int(key)?;
+        if theirs != ours {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint was written with {key} {theirs} but the fleet runs {ours}"
+            )));
+        }
+    }
+    let traffic: Vec<u64> = doc
+        .get("traffic")
+        .and_then(Value::as_array)
+        .ok_or_else(|| section_err(SECTION_FLEET, "missing traffic"))?
+        .iter()
+        .map(|t| t.as_i64().filter(|x| *x >= 0).map(|x| x as u64))
+        .collect::<Option<Vec<u64>>>()
+        .ok_or_else(|| section_err(SECTION_FLEET, "traffic must be nonnegative integers"))?;
+    if traffic.len() != tenants {
+        return Err(section_err(
+            SECTION_FLEET,
+            format!(
+                "traffic records {} tenants, expected {tenants}",
+                traffic.len()
+            ),
+        ));
+    }
+    let total_submitted = int("total_submitted")? as u64;
+    if traffic.iter().sum::<u64>() != total_submitted {
+        return Err(section_err(
+            SECTION_FLEET,
+            format!(
+                "per-tenant traffic sums to {} but total_submitted records {total_submitted}",
+                traffic.iter().sum::<u64>()
+            ),
+        ));
+    }
+
+    let workload = Arc::new(workload);
+    let mut engines = Vec::with_capacity(tenants);
+    for tenant in 0..tenants {
+        let prefix = format!("t{tenant}.");
+        let (embed_capacity, memo_capacity) =
+            recorded_capacities(snapshot, &format!("{prefix}{SECTION_ENGINE}"))?;
+        let mut tenant_config = config.base;
+        tenant_config.embed_cache_capacity = embed_capacity;
+        tenant_config.memo_capacity = memo_capacity;
+        validate_engine(snapshot, &model, &tenant_config, &prefix)?;
+        let levels = levels_from_snapshot_prefixed(snapshot, &prefix)?;
+        let mut engine = ServeEngine::assemble_shared(
+            Arc::clone(&workload),
+            Arc::new(levels),
+            model.clone(),
+            tenant_config,
+            tenant as u64,
+        );
+        restore_warm_state(snapshot, &mut engine, &prefix)?;
+        apply_catalog_log(snapshot, &mut engine, &prefix)?;
+        // Bill each tenant the decode of its own sections only.
+        let tenant_bytes: usize = KNOWN_SECTIONS
+            .iter()
+            .filter_map(|name| snapshot.section_len(&format!("{prefix}{name}")))
+            .sum();
+        engine.boot = engine.describe_boot("checkpoint", true, true, tenant_bytes);
+        engines.push(engine);
+    }
+    let embed_granted: usize = engines.iter().map(|e| e.config.embed_cache_capacity).sum();
+    let memo_granted: usize = engines.iter().map(|e| e.config.memo_capacity).sum();
+    let check = [
+        ("embed", config.embed_budget, embed_granted),
+        ("memo", config.memo_budget, memo_granted),
+    ];
+    for (label, budget, granted) in check {
+        if granted != budget {
+            return Err(SnapshotError::Mismatch(format!(
+                "per-tenant {label} capacities sum to {granted}, not the configured budget \
+                 {budget}"
+            )));
+        }
+    }
+    Ok(FleetEngine {
+        engines,
+        config,
+        traffic,
+        total_submitted,
+    })
 }
 
 fn engine_to_json(engine: &ServeEngine) -> Value {
@@ -647,37 +913,36 @@ fn sessions_to_json(sessions: &HashMap<u64, SessionState>) -> Value {
         .collect()
 }
 
-fn sessions_from_json(doc: &Value) -> Result<HashMap<u64, SessionState>, SnapshotError> {
+fn sessions_from_json(
+    doc: &Value,
+    section: &str,
+) -> Result<HashMap<u64, SessionState>, SnapshotError> {
     let mut sessions = HashMap::new();
     for entry in doc
         .as_array()
-        .ok_or_else(|| section_err(SECTION_SESSIONS, "sessions must be an array"))?
+        .ok_or_else(|| section_err(section, "sessions must be an array"))?
     {
         let id = entry
             .get("id")
             .and_then(Value::as_i64)
-            .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing id"))?
-            as u64;
+            .ok_or_else(|| section_err(section, "session missing id"))? as u64;
         let key = entry
             .get("key")
             .and_then(Value::as_str)
-            .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing key"))?
+            .ok_or_else(|| section_err(section, "session missing key"))?
             .to_owned();
         let selection = selection_from_json(
             entry
                 .get("selection")
-                .ok_or_else(|| section_err(SECTION_SESSIONS, "session missing selection"))?,
+                .ok_or_else(|| section_err(section, "session missing selection"))?,
         )
-        .map_err(|m| section_err(SECTION_SESSIONS, m))?;
+        .map_err(|m| section_err(section, m))?;
         let state = SessionState {
             last_key: Some(key),
             last_selection: Some(SelectionSource::Ready(Arc::new(selection))),
         };
         if sessions.insert(id, state).is_some() {
-            return Err(section_err(
-                SECTION_SESSIONS,
-                format!("duplicate session id {id}"),
-            ));
+            return Err(section_err(section, format!("duplicate session id {id}")));
         }
     }
     Ok(sessions)
@@ -713,7 +978,7 @@ mod tests {
                  "level1_score":0,"level2_score":0}}]"#,
         )
         .unwrap();
-        let err = sessions_from_json(&doc).unwrap_err();
+        let err = sessions_from_json(&doc, SECTION_SESSIONS).unwrap_err();
         assert!(
             matches!(&err, SnapshotError::Section { message, .. }
                 if message.contains("duplicate session id 3")),

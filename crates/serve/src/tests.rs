@@ -112,8 +112,10 @@ fn session_fast_path_fires_on_repeated_queries() {
         zipf_s: 0.0,
         pool_size: 30,
         arrivals: ArrivalProcess::BackToBack,
+        tenants: 1,
         sessions: vec![lim_workloads::trace::TraceSession {
             id: 77,
+            tenant: 0,
             query_indices: vec![4, 4, 4, 9, 4],
             arrival_us: Vec::new(),
         }],
@@ -282,6 +284,7 @@ fn split_trace(trace: &SessionTrace, index: usize) -> (SessionTrace, SessionTrac
         if take > 0 {
             prefix.sessions.push(TraceSession {
                 id: session.id,
+                tenant: session.tenant,
                 query_indices: session.query_indices[..take].to_vec(),
                 arrival_us: Vec::new(),
             });
@@ -289,6 +292,7 @@ fn split_trace(trace: &SessionTrace, index: usize) -> (SessionTrace, SessionTrac
         if take < n {
             suffix.sessions.push(TraceSession {
                 id: session.id,
+                tenant: session.tenant,
                 query_indices: session.query_indices[take..].to_vec(),
                 arrival_us: Vec::new(),
             });
@@ -1317,5 +1321,493 @@ proptest! {
         let restored = ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), config)
             .expect("restore churned checkpoint");
         prop_assert_eq!(restored.checkpoint(), ck);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet tenancy: N isolated catalogs in one engine (FleetEngine).
+// ---------------------------------------------------------------------
+
+use crate::{FleetConfig, FleetEngine, FleetSubmitError, StreamMeta, StreamRequest};
+use std::sync::Arc;
+
+/// A multi-tenant trace over the shared fixture workload.
+fn fleet_trace(
+    tenants: usize,
+    tenant_skew: f64,
+    seed: u64,
+    sessions: usize,
+    arrivals: ArrivalProcess,
+) -> SessionTrace {
+    let (w, _) = fixture();
+    zipf_trace(
+        w,
+        &TraceConfig {
+            seed,
+            sessions,
+            requests_per_session: 5,
+            arrivals,
+            tenants,
+            tenant_skew,
+            ..TraceConfig::default()
+        },
+    )
+}
+
+/// A fleet over the shared fixture levels — one COW `SearchLevels`
+/// shared by every tenant, exactly like the CLI's shared-build boot.
+fn fleet_with(config: FleetConfig) -> FleetEngine {
+    let (w, levels) = fixture();
+    FleetEngine::with_shared(
+        Arc::new(w.clone()),
+        Arc::new(levels.clone()),
+        model(),
+        config,
+    )
+    .expect("valid fleet config")
+}
+
+fn fleet_for(tenants: usize, base: ServeConfig) -> FleetEngine {
+    fleet_with(FleetConfig::new(tenants, base))
+}
+
+/// The N=1 equivalence gate: a one-tenant fleet is the single-tenant
+/// engine — same aggregate report bit for bit (tolerance 0), same
+/// per-tenant breakdown, and tenant 0 holds the entire cache budget.
+#[test]
+fn single_tenant_fleet_is_bit_identical_to_standalone_engine() {
+    let trace = fleet_trace(1, 1.0, 21, 12, ArrivalProcess::BackToBack);
+    let config = ServeConfig::default();
+    let mut fleet = fleet_for(1, config);
+    let fleet_report = fleet.process_trace(&trace, 4).expect("fleet replay");
+
+    let (w, levels) = fixture();
+    let mut solo = ServeEngine::with_levels(w.clone(), levels.clone(), model(), config);
+    let solo_report = solo.process_trace(&trace, 4).expect("solo replay");
+
+    assert_eq!(
+        fleet_report.overall.deterministic_view(),
+        solo_report.deterministic_view(),
+        "a one-tenant fleet must not perturb the single-engine numbers"
+    );
+    assert_eq!(fleet_report.tenants.len(), 1);
+    let t0 = &fleet_report.tenants[0];
+    assert_eq!(t0.tenant, 0);
+    assert_eq!(
+        t0.report.deterministic_view(),
+        solo_report.deterministic_view()
+    );
+    // The sole tenant owns the whole budget; its floor is the clamped
+    // quarter-share.
+    assert_eq!(t0.embed_capacity, config.embed_cache_capacity);
+    assert_eq!(t0.memo_capacity, config.memo_capacity);
+    assert_eq!(t0.embed_floor, fleet.config().effective_embed_floor());
+}
+
+/// Chopping a fleet stream one request at a time — draining between
+/// every two submissions — reproduces the batch replay bit for bit, and
+/// emits exactly one event per request across the chop points.
+#[test]
+fn fleet_stream_chopped_per_request_matches_batch_replay() {
+    let trace = fleet_trace(3, 1.2, 33, 10, ArrivalProcess::BackToBack);
+    let mut batch = fleet_for(3, ServeConfig::default());
+    let expected = batch.process_trace(&trace, 2).expect("batch replay");
+
+    let mut fleet = fleet_for(3, ServeConfig::default());
+    let mut stream = fleet.begin_stream(
+        StreamMeta {
+            trace_seed: trace.seed,
+            zipf_s: trace.zipf_s,
+            arrivals: trace.arrivals,
+            sessions: Some(trace.sessions.len()),
+        },
+        2,
+    );
+    let mut events = 0usize;
+    for session in &trace.sessions {
+        for &query_index in &session.query_indices {
+            stream
+                .submit(
+                    session.tenant,
+                    StreamRequest {
+                        session: session.id,
+                        query_index,
+                        arrival_s: None,
+                    },
+                )
+                .expect("valid request");
+            events += stream.drain().len();
+        }
+    }
+    let (report, tail) = stream.finish_with_events();
+    events += tail.len();
+    assert_eq!(events, trace.requests(), "one event per request");
+    assert_eq!(report.deterministic_view(), expected.deterministic_view());
+}
+
+/// A request naming a tenant the fleet does not serve is refused with
+/// the typed error — and the stream *survives*: the very next valid
+/// submission is accepted and counted. This is the library-level
+/// contract behind the wire front-end's non-fatal `error` frame.
+#[test]
+fn unknown_tenant_submission_is_typed_and_does_not_kill_the_stream() {
+    let mut fleet = fleet_for(2, ServeConfig::default());
+    let mut stream = fleet.begin_stream(
+        StreamMeta {
+            trace_seed: 1,
+            zipf_s: 1.0,
+            arrivals: ArrivalProcess::BackToBack,
+            sessions: None,
+        },
+        1,
+    );
+    let err = stream
+        .submit(
+            9,
+            StreamRequest {
+                session: 1,
+                query_index: 0,
+                arrival_s: None,
+            },
+        )
+        .expect_err("tenant 9 of 2 must be refused");
+    assert!(
+        matches!(
+            err,
+            FleetSubmitError::UnknownTenant {
+                tenant: 9,
+                tenants: 2
+            }
+        ),
+        "{err:?}"
+    );
+    assert_eq!(err.to_string(), "unknown tenant 9 (fleet serves 0..2)");
+    stream
+        .submit(
+            0,
+            StreamRequest {
+                session: 1,
+                query_index: 0,
+                arrival_s: None,
+            },
+        )
+        .expect("the stream keeps accepting after a refused tenant");
+    let report = stream.finish();
+    assert_eq!(report.overall.requests, 1);
+    assert_eq!(report.tenants[0].report.requests, 1);
+    assert_eq!(report.tenants[1].report.requests, 0);
+}
+
+/// The isolation battery: a hot tenant drawing ~an order of magnitude
+/// more traffic than a cold one, under a Poisson storm against a
+/// bounded Reject queue, cannot
+///   1. push the cold tenant's cache slices below the QoS floors, nor
+///   2. push the cold tenant's shed count above the single-tenant
+///      baseline (the *same* sub-trace replayed on a dedicated engine).
+#[test]
+fn hot_tenant_cannot_starve_cold_tenant_caches_or_shed_budget() {
+    let (w, levels) = fixture();
+    let trace = fleet_trace(2, 3.5, 71, 24, ArrivalProcess::Poisson { rate_rps: 2.0 });
+    let per_tenant = |t: u64| {
+        trace
+            .sessions
+            .iter()
+            .filter(|s| s.tenant == t)
+            .map(|s| s.query_indices.len())
+            .sum::<usize>()
+    };
+    let (hot_requests, cold_requests) = (per_tenant(0), per_tenant(1));
+    assert!(
+        hot_requests >= 5 * cold_requests.max(1),
+        "skew 3.5 must make tenant 0 dominate: {hot_requests} vs {cold_requests}"
+    );
+
+    let base = ServeConfig::builder()
+        .admission(AdmissionConfig {
+            queue_depth: 6,
+            servers: 1,
+            shed_policy: ShedPolicy::Reject,
+        })
+        .build();
+    let mut fleet = fleet_for(2, base);
+    let report = fleet.process_trace(&trace, 4).expect("fleet replay");
+    let hot = &report.tenants[0];
+    let cold = &report.tenants[1];
+
+    // The storm is real: the hot tenant overruns *its own* queue bound.
+    assert!(
+        hot.report.admission.shed > 0,
+        "the hot tenant must shed under this storm (got {:?})",
+        hot.report.admission
+    );
+
+    // (1) Cache floors: traffic-weighted rebalancing can shrink the cold
+    // tenant's slices, but never below the guaranteed minimum — and the
+    // hot tenant is the one the spare flows to.
+    let fc = fleet.config();
+    assert!(cold.embed_capacity >= fc.effective_embed_floor());
+    assert!(cold.memo_capacity >= fc.effective_memo_floor());
+    assert_eq!(cold.embed_floor, fc.effective_embed_floor());
+    assert!(
+        hot.embed_capacity > cold.embed_capacity,
+        "spare capacity must follow traffic: hot {} vs cold {}",
+        hot.embed_capacity,
+        cold.embed_capacity
+    );
+
+    // (2) Shed budget: the cold tenant does no worse than it would on a
+    // dedicated single-tenant engine replaying its own sub-trace.
+    let solo_trace = trace.tenant_subtrace(1);
+    assert_eq!(solo_trace.requests(), cold_requests);
+    let mut solo = ServeEngine::with_levels(w.clone(), levels.clone(), model(), base);
+    let solo_report = solo.process_trace(&solo_trace, 4).expect("solo replay");
+    assert!(
+        cold.report.admission.shed <= solo_report.admission.shed,
+        "fleet must not shed more cold-tenant requests ({}) than the \
+         dedicated baseline ({})",
+        cold.report.admission.shed,
+        solo_report.admission.shed
+    );
+}
+
+/// A restored fleet is *warm*: replaying the very trace that produced a
+/// checkpoint costs zero embedding-cache and zero memo misses, for the
+/// aggregate and for every tenant.
+#[test]
+fn fleet_checkpoint_boot_replays_with_zero_cache_misses() {
+    let trace = fleet_trace(3, 1.5, 41, 9, ArrivalProcess::BackToBack);
+    let mut config = FleetConfig::new(3, ServeConfig::default());
+    // Pin the partition so the warm replay measures cache state, not a
+    // rebalance-induced resize.
+    config.rebalance_every = 1 << 20;
+    let mut live = fleet_with(config);
+    let cold = live.process_trace(&trace, 2).expect("cold replay");
+    assert!(cold.overall.embed_cache.misses > 0, "cold replay must miss");
+
+    let bytes = live.checkpoint();
+    assert_eq!(
+        bytes,
+        live.checkpoint(),
+        "checkpoints are byte-deterministic"
+    );
+    let snapshot = Snapshot::parse(&bytes).expect("valid checkpoint");
+    let (w, _) = fixture();
+    let mut restored =
+        FleetEngine::from_checkpoint(&snapshot, w.clone(), model(), config).expect("fleet restore");
+    let warm = restored.process_trace(&trace, 2).expect("warm replay");
+    assert_eq!(
+        warm.overall.embed_cache.misses, 0,
+        "warm fleet must not miss"
+    );
+    assert_eq!(warm.overall.selection_memo.misses, 0);
+    for tenant in &warm.tenants {
+        assert_eq!(
+            tenant.report.embed_cache.misses, 0,
+            "tenant {} missed after a warm boot",
+            tenant.tenant
+        );
+    }
+    // Accuracy is boot-invariant.
+    assert_eq!(cold.overall.success_rate, warm.overall.success_rate);
+    assert_eq!(cold.overall.tool_accuracy, warm.overall.tool_accuracy);
+}
+
+/// Mid-stream fleet restore: checkpoint after a trace prefix, boot a
+/// fresh fleet from the file, and the suffix replays bit-identically to
+/// the fleet that never went down — per tenant included.
+#[test]
+fn fleet_restore_midstream_replays_suffix_bit_identical_to_uninterrupted() {
+    let trace = fleet_trace(3, 1.2, 47, 12, ArrivalProcess::BackToBack);
+    let (prefix, suffix) = split_trace(&trace, trace.requests() / 2);
+    let config = FleetConfig::new(3, ServeConfig::default());
+
+    let mut continuous = fleet_with(config);
+    let mut interrupted = fleet_with(config);
+    continuous.process_trace(&prefix, 3).expect("prefix");
+    interrupted.process_trace(&prefix, 3).expect("prefix");
+
+    let snapshot = Snapshot::parse(&interrupted.checkpoint()).expect("valid checkpoint");
+    let (w, _) = fixture();
+    let mut restored =
+        FleetEngine::from_checkpoint(&snapshot, w.clone(), model(), config).expect("fleet restore");
+
+    let expected = continuous.process_trace(&suffix, 3).expect("suffix");
+    let actual = restored.process_trace(&suffix, 3).expect("suffix");
+    assert_eq!(expected.deterministic_view(), actual.deterministic_view());
+}
+
+/// Re-encodes a fleet checkpoint with optional hostile edits: a
+/// replacement `tenants` header, a section-name rewrite, or a
+/// duplicated section. The identity rebuild must restore cleanly — the
+/// rejections below are the tamper, not the harness.
+fn reencoded_fleet_checkpoint(
+    snapshot: &Snapshot,
+    tenants_header: Option<lim_json::Value>,
+    rename: &dyn Fn(&str) -> String,
+    duplicate: Option<&str>,
+) -> Vec<u8> {
+    let mut writer = lim_core::SnapshotWriter::new("checkpoint");
+    for key in ["benchmark", "tool_count", "pool_size", "train_size", "dim"] {
+        writer.header_field(
+            key,
+            snapshot.header_field(key).expect("header field").clone(),
+        );
+    }
+    let tenants = tenants_header.unwrap_or_else(|| {
+        snapshot
+            .header_field("tenants")
+            .expect("tenants header")
+            .clone()
+    });
+    writer.header_field("tenants", tenants);
+    for name in snapshot.section_names() {
+        let doc = snapshot.section(name).expect("section decodes").clone();
+        writer.add_section(&rename(name), &doc);
+        if duplicate == Some(name) {
+            writer.add_section(&rename(name), &doc);
+        }
+    }
+    writer.encode()
+}
+
+/// Hostile snapshot inputs fail safe with *typed* errors, in both
+/// directions and for every tamper class the fleet header introduces:
+/// single-engine files offered to a fleet boot, fleet files offered to
+/// a single-engine boot, sections for tenants the header never
+/// declared, non-positive tenant headers, tenant-count mismatches, and
+/// duplicated sections.
+#[test]
+fn hostile_fleet_checkpoints_are_rejected_with_typed_errors() {
+    let (w, levels) = fixture();
+    let keep = |name: &str| name.to_owned();
+
+    // A single-engine checkpoint is not a fleet checkpoint: no tenants
+    // header -> SnapshotError::Header, stream-level state untouched.
+    let mut single =
+        ServeEngine::with_levels(w.clone(), levels.clone(), model(), ServeConfig::default());
+    let solo_trace = fleet_trace(1, 1.0, 3, 4, ArrivalProcess::BackToBack);
+    single.process_trace(&solo_trace, 1).expect("solo replay");
+    let solo_snapshot = Snapshot::parse(&single.checkpoint()).expect("valid checkpoint");
+    let err = FleetEngine::from_checkpoint(
+        &solo_snapshot,
+        w.clone(),
+        model(),
+        FleetConfig::new(1, ServeConfig::default()),
+    )
+    .expect_err("a fleet must not boot from a single-engine file");
+    assert!(matches!(err, SnapshotError::Header(_)), "{err:?}");
+
+    // Build a real 2-tenant checkpoint to tamper with.
+    let trace = fleet_trace(2, 1.0, 4, 6, ArrivalProcess::BackToBack);
+    let config = FleetConfig::new(2, ServeConfig::default());
+    let mut fleet = fleet_with(config);
+    fleet.process_trace(&trace, 1).expect("fleet replay");
+    let snapshot = Snapshot::parse(&fleet.checkpoint()).expect("valid checkpoint");
+
+    // The identity rebuild restores — the harness itself is sound.
+    let clean = reencoded_fleet_checkpoint(&snapshot, None, &keep, None);
+    let reparsed = Snapshot::parse(&clean).expect("clean re-encode parses");
+    FleetEngine::from_checkpoint(&reparsed, w.clone(), model(), config)
+        .expect("clean re-encode restores");
+
+    // The mirror direction: a fleet file offered to a single-engine
+    // boot — its fleet/t{i}.* sections are strangers.
+    let err = ServeEngine::from_checkpoint(&snapshot, w.clone(), model(), ServeConfig::default())
+        .expect_err("a single engine must not boot from a fleet file");
+    assert!(matches!(err, SnapshotError::UnknownSection(_)), "{err:?}");
+
+    // A section for a tenant the header does not declare: t1 -> t9.
+    let moved =
+        reencoded_fleet_checkpoint(&snapshot, None, &|name| name.replace("t1.", "t9."), None);
+    let moved = Snapshot::parse(&moved).expect("tampered file still parses");
+    let err = FleetEngine::from_checkpoint(&moved, w.clone(), model(), config)
+        .expect_err("out-of-range tenant sections must be refused");
+    match &err {
+        SnapshotError::UnknownSection(name) => assert!(name.starts_with("t9."), "{name}"),
+        other => panic!("expected UnknownSection, got {other:?}"),
+    }
+
+    // A non-positive tenants header.
+    let zeroed = reencoded_fleet_checkpoint(&snapshot, Some(lim_json::Value::from(0)), &keep, None);
+    let zeroed = Snapshot::parse(&zeroed).expect("tampered file still parses");
+    let err = FleetEngine::from_checkpoint(&zeroed, w.clone(), model(), config)
+        .expect_err("tenants: 0 must be refused");
+    assert!(matches!(err, SnapshotError::Header(_)), "{err:?}");
+
+    // A tenant-count disagreement between file and boot config.
+    let err = FleetEngine::from_checkpoint(
+        &snapshot,
+        w.clone(),
+        model(),
+        FleetConfig::new(3, ServeConfig::default()),
+    )
+    .expect_err("2-tenant file vs 3-tenant config must be refused");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "{err:?}");
+
+    // Duplicated sections never even parse.
+    let doubled =
+        reencoded_fleet_checkpoint(&snapshot, None, &keep, Some(crate::snapshot::SECTION_FLEET));
+    let err = Snapshot::parse(&doubled).expect_err("duplicate sections must not parse");
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+proptest! {
+    /// The fleet acceptance property: for random seeds, tenant counts
+    /// {1, 3, 8}, traffic skews, Poisson storms and per-tenant churn,
+    /// the multi-tenant replay is bit-identical between the sequential
+    /// and any parallel worker count — the aggregate *and* every
+    /// per-tenant breakdown.
+    #[test]
+    fn fleet_replay_bit_identical_for_any_worker_count(
+        seed in 0u64..50,
+        tenants_ix in 0usize..3,
+        skew_centi in 0u64..250,
+        workers_ix in 0usize..2,
+        storm in 0usize..2,
+        churn in 0usize..2,
+    ) {
+        let tenants = [1usize, 3, 8][tenants_ix];
+        let workers = [4usize, 8][workers_ix];
+        let (w, _) = fixture();
+        let arrivals = if storm == 1 {
+            ArrivalProcess::Poisson { rate_rps: 8.0 }
+        } else {
+            ArrivalProcess::BackToBack
+        };
+        let mut trace = zipf_trace(w, &TraceConfig {
+            seed,
+            sessions: 8,
+            requests_per_session: 4,
+            arrivals,
+            tenants,
+            tenant_skew: skew_centi as f64 / 100.0,
+            ..TraceConfig::default()
+        });
+        if churn == 1 {
+            trace = lim_workloads::churn::with_tenant_churn(w, trace, &ChurnConfig {
+                seed: seed ^ 0x9e37,
+                registers: 2,
+                retires: 1,
+            });
+        }
+        let base = if storm == 1 {
+            ServeConfig::builder()
+                .admission(AdmissionConfig {
+                    queue_depth: 4,
+                    servers: 1,
+                    shed_policy: ShedPolicy::Reject,
+                })
+                .build()
+        } else {
+            ServeConfig::default()
+        };
+        let mut sequential = fleet_for(tenants, base);
+        let mut parallel = fleet_for(tenants, base);
+        let a = sequential.process_trace(&trace, 1).expect("sequential");
+        let b = parallel.process_trace(&trace, workers).expect("parallel");
+        prop_assert_eq!(a.deterministic_view(), b.deterministic_view());
+        // Requests route to exactly the tenants the trace names.
+        let routed: usize = a.tenants.iter().map(|t| t.report.requests).sum();
+        prop_assert_eq!(routed, trace.requests());
     }
 }

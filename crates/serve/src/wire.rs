@@ -75,6 +75,11 @@ pub struct Hello {
     /// Session count to report, when the sender knows it (an encoded
     /// trace does). Absent on the wire when unknown.
     pub sessions: Option<usize>,
+    /// How many tenants the stream's `tenant` fields index into
+    /// (`0..tenants`). Omitted on the wire when 1 — a single-tenant
+    /// stream is byte-identical to the pre-tenancy protocol. A value
+    /// above 1 asks the server to serve the stream through a fleet.
+    pub tenants: usize,
 }
 
 /// One parsed client → server frame.
@@ -84,6 +89,11 @@ pub enum ClientFrame {
     Hello(Hello),
     /// One arriving request.
     Request {
+        /// Tenant the request belongs to. Omitted on the wire when 0
+        /// (the single-tenant default). An id outside the fleet's range
+        /// is answered with a typed `error` frame — the stream
+        /// survives.
+        tenant: u64,
         /// Session the request belongs to.
         session: u64,
         /// Index into the workload's query pool.
@@ -96,9 +106,16 @@ pub enum ClientFrame {
     /// Live-catalog mutation: register the tool this document describes.
     /// Applied at the stream position the frame arrives at — after every
     /// request already sent, before the next one.
-    Register(ToolDoc),
+    Register {
+        /// Tenant whose catalog grows. Omitted on the wire when 0.
+        tenant: u64,
+        /// The tool to register.
+        tool: ToolDoc,
+    },
     /// Live-catalog mutation: retire the tool at this registry index.
     Retire {
+        /// Tenant whose catalog shrinks. Omitted on the wire when 0.
+        tenant: u64,
         /// Registry index of the tool to retire.
         id: usize,
     },
@@ -109,6 +126,15 @@ fn field_u64(doc: &Value, field: &'static str) -> Result<u64, String> {
         Some(x) if x >= 0 => Ok(x as u64),
         Some(x) => Err(format!("{field} is negative ({x})")),
         None => Err(format!("missing {field}")),
+    }
+}
+
+/// The optional `tenant` field of a request/register/retire frame;
+/// absent means tenant 0, the single-tenant default.
+fn optional_tenant(doc: &Value) -> Result<u64, String> {
+    match doc.get("tenant") {
+        None => Ok(0),
+        Some(_) => field_u64(doc, "tenant"),
     }
 }
 
@@ -158,9 +184,17 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, String> {
                     None => None,
                     Some(_) => Some(field_u64(&doc, "sessions")? as usize),
                 },
+                tenants: match doc.get("tenants") {
+                    None => 1,
+                    Some(_) => match field_u64(&doc, "tenants")? as usize {
+                        0 => return Err("hello declares zero tenants".to_owned()),
+                        n => n,
+                    },
+                },
             }))
         }
         "request" => Ok(ClientFrame::Request {
+            tenant: optional_tenant(&doc)?,
             session: field_u64(&doc, "session")?,
             query: field_u64(&doc, "query")? as usize,
             arrival_us: match doc.get("arrival_us") {
@@ -170,11 +204,13 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, String> {
         }),
         "register" => {
             let tool = doc.get("tool").ok_or("register frame missing tool")?;
-            Ok(ClientFrame::Register(
-                ToolDoc::from_json(tool).map_err(|e| format!("register frame: {e}"))?,
-            ))
+            Ok(ClientFrame::Register {
+                tenant: optional_tenant(&doc)?,
+                tool: ToolDoc::from_json(tool).map_err(|e| format!("register frame: {e}"))?,
+            })
         }
         "retire" => Ok(ClientFrame::Retire {
+            tenant: optional_tenant(&doc)?,
             id: field_u64(&doc, "id")? as usize,
         }),
         other => Err(format!("unknown client frame {other:?}")),
@@ -195,30 +231,48 @@ pub fn hello_frame(hello: &Hello) -> Value {
     if let Some(sessions) = hello.sessions {
         doc.insert("sessions", Value::from(sessions));
     }
+    if hello.tenants != 1 {
+        doc.insert("tenants", Value::from(hello.tenants));
+    }
     doc
 }
 
-/// Builds one `request` frame.
-pub fn request_frame(session: u64, query: usize, arrival_us: Option<u64>) -> Value {
+/// Builds one `request` frame. Tenant 0 (the single-tenant default)
+/// omits the `tenant` field, keeping single-tenant streams
+/// byte-identical to the pre-tenancy protocol.
+pub fn request_frame(tenant: u64, session: u64, query: usize, arrival_us: Option<u64>) -> Value {
     let mut doc = Value::object([
         ("frame", Value::from("request")),
         ("session", Value::from(session as i64)),
         ("query", Value::from(query)),
     ]);
+    if tenant != 0 {
+        doc.insert("tenant", Value::from(tenant as i64));
+    }
     if let Some(us) = arrival_us {
         doc.insert("arrival_us", Value::from(us as i64));
     }
     doc
 }
 
-/// Builds one `register` frame announcing a live tool registration.
-pub fn register_frame(doc: &ToolDoc) -> Value {
-    Value::object([("frame", Value::from("register")), ("tool", doc.to_json())])
+/// Builds one `register` frame announcing a live tool registration on
+/// `tenant`'s catalog (the field is omitted for tenant 0).
+pub fn register_frame(tenant: u64, doc: &ToolDoc) -> Value {
+    let mut frame = Value::object([("frame", Value::from("register")), ("tool", doc.to_json())]);
+    if tenant != 0 {
+        frame.insert("tenant", Value::from(tenant as i64));
+    }
+    frame
 }
 
-/// Builds one `retire` frame announcing a live tool retirement.
-pub fn retire_frame(id: usize) -> Value {
-    Value::object([("frame", Value::from("retire")), ("id", Value::from(id))])
+/// Builds one `retire` frame announcing a live tool retirement from
+/// `tenant`'s catalog (the field is omitted for tenant 0).
+pub fn retire_frame(tenant: u64, id: usize) -> Value {
+    let mut frame = Value::object([("frame", Value::from("retire")), ("id", Value::from(id))]);
+    if tenant != 0 {
+        frame.insert("tenant", Value::from(tenant as i64));
+    }
+    frame
 }
 
 /// Builds the server's `catalog` acknowledgement of an applied mutation:
@@ -318,6 +372,7 @@ pub fn trace_to_wire(trace: &SessionTrace) -> String {
         zipf_s: trace.zipf_s,
         arrivals: trace.arrivals,
         sessions: Some(trace.sessions.len()),
+        tenants: trace.tenants,
     };
     out.push_str(&hello_frame(&hello).to_string());
     out.push('\n');
@@ -325,8 +380,8 @@ pub fn trace_to_wire(trace: &SessionTrace) -> String {
     let mut emit_churn_at = |sent: usize, out: &mut String| {
         while let Some(e) = churn.next_if(|e| e.after_requests <= sent) {
             let frame = match &e.op {
-                ChurnOp::Register(doc) => register_frame(doc),
-                ChurnOp::Retire(id) => retire_frame(*id),
+                ChurnOp::Register(doc) => register_frame(e.tenant, doc),
+                ChurnOp::Retire(id) => retire_frame(e.tenant, *id),
             };
             out.push_str(&frame.to_string());
             out.push('\n');
@@ -338,7 +393,7 @@ pub fn trace_to_wire(trace: &SessionTrace) -> String {
         for (i, &query) in session.query_indices.iter().enumerate() {
             emit_churn_at(sent, &mut out);
             let arrival_us = timed.then(|| session.arrival_us[i]);
-            out.push_str(&request_frame(session.id, query, arrival_us).to_string());
+            out.push_str(&request_frame(session.tenant, session.id, query, arrival_us).to_string());
             out.push('\n');
             sent += 1;
         }
@@ -363,7 +418,8 @@ pub fn builder_from_hello(hello: &Hello) -> Result<TraceBuilder, String> {
         hello.zipf_s,
         hello.pool_size,
         hello.arrivals,
-    )
+    )?
+    .with_tenants(hello.tenants)
 }
 
 #[cfg(test)]
@@ -399,10 +455,13 @@ mod tests {
         for line in lines {
             match parse_client_frame(line).unwrap() {
                 ClientFrame::Request {
+                    tenant,
                     session,
                     query,
                     arrival_us,
-                } => builder.push(session, query, arrival_us).unwrap(),
+                } => builder
+                    .push_for(tenant, session, query, arrival_us)
+                    .unwrap(),
                 other => panic!("expected request, got {other:?}"),
             }
         }
@@ -423,12 +482,15 @@ mod tests {
         for line in lines {
             match parse_client_frame(line).unwrap() {
                 ClientFrame::Request {
+                    tenant,
                     session,
                     query,
                     arrival_us,
                 } => {
                     assert!(arrival_us.is_some(), "timed stream stamps every request");
-                    builder.push(session, query, arrival_us).unwrap();
+                    builder
+                        .push_for(tenant, session, query, arrival_us)
+                        .unwrap();
                 }
                 other => panic!("expected request, got {other:?}"),
             }
@@ -456,12 +518,17 @@ mod tests {
         for line in lines {
             match parse_client_frame(line).unwrap() {
                 ClientFrame::Request {
+                    tenant,
                     session,
                     query,
                     arrival_us,
-                } => builder.push(session, query, arrival_us).unwrap(),
-                ClientFrame::Register(doc) => builder.push_register(doc).unwrap(),
-                ClientFrame::Retire { id } => builder.push_retire(id),
+                } => builder
+                    .push_for(tenant, session, query, arrival_us)
+                    .unwrap(),
+                ClientFrame::Register { tenant, tool } => {
+                    builder.push_register_for(tenant, tool).unwrap()
+                }
+                ClientFrame::Retire { tenant, id } => builder.push_retire_for(tenant, id).unwrap(),
                 other => panic!("unexpected frame {other:?}"),
             }
         }
@@ -471,13 +538,81 @@ mod tests {
     }
 
     #[test]
+    fn wire_round_trips_a_multi_tenant_trace_and_defaults_tenant_fields() {
+        let workload = lim_workloads::bfcl(42, 60);
+        let trace = zipf_trace(
+            &workload,
+            &TraceConfig {
+                seed: 11,
+                sessions: 8,
+                tenants: 3,
+                tenant_skew: 1.2,
+                ..TraceConfig::default()
+            },
+        );
+        assert!(trace.sessions.iter().any(|s| s.tenant != 0));
+        let stream = trace_to_wire(&trace);
+        let mut lines = stream.lines();
+        let hello = match parse_client_frame(lines.next().unwrap()).unwrap() {
+            ClientFrame::Hello(h) => h,
+            other => panic!("expected hello, got {other:?}"),
+        };
+        assert_eq!(hello.tenants, 3);
+        let mut builder = builder_from_hello(&hello).unwrap();
+        for line in lines {
+            match parse_client_frame(line).unwrap() {
+                ClientFrame::Request {
+                    tenant,
+                    session,
+                    query,
+                    arrival_us,
+                } => builder
+                    .push_for(tenant, session, query, arrival_us)
+                    .unwrap(),
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+        assert_eq!(builder.finish(), trace);
+
+        // Single-tenant frames stay byte-identical to the pre-tenancy
+        // protocol: no tenant/tenants members appear.
+        let hello1 = Hello {
+            benchmark: "bfcl".into(),
+            pool_size: 60,
+            trace_seed: 7,
+            zipf_s: 1.0,
+            arrivals: ArrivalProcess::BackToBack,
+            sessions: None,
+            tenants: 1,
+        };
+        assert!(hello_frame(&hello1).get("tenants").is_none());
+        assert!(request_frame(0, 4, 2, None).get("tenant").is_none());
+        assert_eq!(
+            request_frame(2, 4, 2, None)
+                .get("tenant")
+                .and_then(Value::as_i64),
+            Some(2)
+        );
+        // A zero tenant count is a malformed header, not a silent 1.
+        let err = parse_client_frame(
+            r#"{"frame":"hello","proto":"lim/wire-v1","benchmark":"bfcl",
+                "pool_size":60,"trace_seed":7,"zipf_s":1.0,
+                "arrivals":"back-to-back","tenants":0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("zero tenants"), "{err}");
+    }
+
+    #[test]
     fn catalog_frames_parse_and_reject_garbage() {
-        match parse_client_frame(&register_frame(&ToolDoc::new("t", "c", "d")).to_string()) {
-            Ok(ClientFrame::Register(doc)) => assert_eq!(doc.name, "t"),
+        match parse_client_frame(&register_frame(0, &ToolDoc::new("t", "c", "d")).to_string()) {
+            Ok(ClientFrame::Register { tenant, tool }) => {
+                assert_eq!((tenant, tool.name.as_str()), (0, "t"))
+            }
             other => panic!("expected register, got {other:?}"),
         }
-        match parse_client_frame(&retire_frame(9).to_string()) {
-            Ok(ClientFrame::Retire { id }) => assert_eq!(id, 9),
+        match parse_client_frame(&retire_frame(2, 9).to_string()) {
+            Ok(ClientFrame::Retire { tenant, id }) => assert_eq!((tenant, id), (2, 9)),
             other => panic!("expected retire, got {other:?}"),
         }
         let ack = catalog_frame("register", 51, 3);

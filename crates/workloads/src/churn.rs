@@ -114,8 +114,23 @@ pub fn retirable_tools(workload: &Workload) -> Vec<usize> {
 /// which is exactly what a dense registry allocates when the engine
 /// applies the events in order.
 pub fn with_churn(workload: &Workload, trace: SessionTrace, config: &ChurnConfig) -> SessionTrace {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let total = trace.requests();
+    let schedule = tenant_schedule(workload, trace.requests(), 0, config.seed, config);
+    let mut trace = trace;
+    trace.churn = schedule;
+    debug_assert!(trace.validate_churn().is_ok());
+    trace
+}
+
+/// One tenant's seeded schedule, tagged with its tenant id. Positions
+/// count global requests (see [`ChurnEvent::after_requests`]).
+fn tenant_schedule(
+    workload: &Workload,
+    total: usize,
+    tenant: u64,
+    seed: u64,
+    config: &ChurnConfig,
+) -> Vec<ChurnEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let ops = config.registers + config.retires;
     let mut positions: Vec<usize> = (0..ops).map(|_| rng.random_range(0..=total)).collect();
     positions.sort_unstable();
@@ -133,7 +148,8 @@ pub fn with_churn(workload: &Workload, trace: SessionTrace, config: &ChurnConfig
         if want_register {
             churn.push(ChurnEvent {
                 after_requests: position,
-                op: ChurnOp::Register(synthetic_tool(config.seed, registered)),
+                tenant,
+                op: ChurnOp::Register(synthetic_tool(seed, registered)),
             });
             // Earlier probes become retire candidates at their dense,
             // replay-order index.
@@ -143,14 +159,55 @@ pub fn with_churn(workload: &Workload, trace: SessionTrace, config: &ChurnConfig
             let target = retirable.swap_remove(rng.random_range(0..retirable.len()));
             churn.push(ChurnEvent {
                 after_requests: position,
+                tenant,
                 op: ChurnOp::Retire(target),
             });
             retired += 1;
         }
     }
+    churn
+}
+
+/// Salts one tenant's churn seed. Tenant 0's salt is zero, so a
+/// single-tenant trace churned through [`with_tenant_churn`] carries
+/// exactly the [`with_churn`] schedule for the same config.
+fn tenant_churn_seed(seed: u64, tenant: u64) -> u64 {
+    seed ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Stamps an *interleaved per-tenant* mutation schedule onto a
+/// multi-tenant `trace`: every tenant gets its own [`with_churn`]-shaped
+/// schedule (independently seeded via `tenant_churn_seed`, computed
+/// against the shared base catalog each tenant boots from), and the
+/// schedules are merged in nondecreasing global-position order with
+/// tenant id as the deterministic tie-break. Request content and
+/// arrivals are untouched; any existing churn is replaced.
+///
+/// For a `tenants == 1` trace this degenerates to exactly
+/// [`with_churn`].
+pub fn with_tenant_churn(
+    workload: &Workload,
+    trace: SessionTrace,
+    config: &ChurnConfig,
+) -> SessionTrace {
+    let total = trace.requests();
+    let mut churn: Vec<ChurnEvent> = Vec::new();
+    for tenant in 0..trace.tenants as u64 {
+        churn.extend(tenant_schedule(
+            workload,
+            total,
+            tenant,
+            tenant_churn_seed(config.seed, tenant),
+            config,
+        ));
+    }
+    // Stable merge: each tenant's schedule is already nondecreasing, so
+    // sorting by (position, tenant) preserves intra-tenant op order.
+    churn.sort_by_key(|e| (e.after_requests, e.tenant));
     let mut trace = trace;
     trace.churn = churn;
     debug_assert!(trace.validate_churn().is_ok());
+    debug_assert!(trace.validate_tenants().is_ok());
     trace
 }
 
@@ -200,6 +257,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tenant_churn_interleaves_per_tenant_schedules() {
+        let w = bfcl(3, 50);
+        let base = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 7,
+                tenants: 3,
+                tenant_skew: 1.0,
+                ..TraceConfig::default()
+            },
+        );
+        let config = ChurnConfig::default();
+        let churned = with_tenant_churn(&w, base.clone(), &config);
+        assert_eq!(churned, with_tenant_churn(&w, base.clone(), &config));
+        assert_eq!(churned.sessions, base.sessions, "requests untouched");
+        churned.validate_churn().expect("merged schedule coherent");
+        churned.validate_tenants().expect("tenants in range");
+        // Every tenant received its own schedule.
+        for tenant in 0..3u64 {
+            assert!(
+                churned.churn.iter().any(|e| e.tenant == tenant),
+                "tenant {tenant} got no churn"
+            );
+        }
+        // Tenant 0's sub-schedule is exactly the single-tenant one.
+        let single = with_churn(&w, base.clone(), &config);
+        let t0: Vec<_> = churned
+            .churn
+            .iter()
+            .filter(|e| e.tenant == 0)
+            .cloned()
+            .collect();
+        assert_eq!(t0, single.churn);
+        // And a single-tenant trace degenerates to with_churn outright.
+        let solo = zipf_trace(&w, &TraceConfig::default());
+        assert_eq!(
+            with_tenant_churn(&w, solo.clone(), &config),
+            with_churn(&w, solo, &config)
+        );
     }
 
     #[test]

@@ -158,6 +158,14 @@ pub struct TraceConfig {
     pub zipf_s: f64,
     /// Arrival process stamping virtual timestamps onto the requests.
     pub arrivals: ArrivalProcess,
+    /// Number of tenants sessions are spread across. `1` (the default)
+    /// generates a single-tenant trace byte-identical to what pre-tenancy
+    /// generators produced for the same seed.
+    pub tenants: usize,
+    /// Zipf skew exponent across tenants: tenant 0 is the hottest, and
+    /// the share of sessions landing on tenant `t` is proportional to
+    /// `1 / (t+1)^tenant_skew`. Ignored when `tenants == 1`.
+    pub tenant_skew: f64,
 }
 
 impl Default for TraceConfig {
@@ -168,6 +176,8 @@ impl Default for TraceConfig {
             requests_per_session: 8,
             zipf_s: 1.0,
             arrivals: ArrivalProcess::BackToBack,
+            tenants: 1,
+            tenant_skew: 1.0,
         }
     }
 }
@@ -188,6 +198,9 @@ pub fn arrival_us_to_seconds(us: u64) -> f64 {
 pub struct TraceSession {
     /// Stable session id (also the engine's session-state key).
     pub id: u64,
+    /// Tenant this session belongs to (`0` in single-tenant traces).
+    /// Every request in a session targets the same tenant's catalog.
+    pub tenant: u64,
     /// Indices into [`Workload::queries`], in arrival order.
     pub query_indices: Vec<usize>,
     /// Virtual arrival timestamps in integer microseconds, one per
@@ -216,6 +229,11 @@ pub enum ChurnOp {
 pub struct ChurnEvent {
     /// How many requests (canonical order) precede this mutation.
     pub after_requests: usize,
+    /// Tenant whose catalog the mutation targets (`0` in single-tenant
+    /// traces). The position still counts *global* requests across all
+    /// tenants — the boundary is a property of the one canonical
+    /// submission order, never of per-tenant progress.
+    pub tenant: u64,
     /// The mutation itself.
     pub op: ChurnOp,
 }
@@ -223,7 +241,7 @@ pub struct ChurnEvent {
 impl ChurnEvent {
     /// Serializes the event for a trace document's `churn` array.
     pub fn to_json(&self) -> Value {
-        match &self.op {
+        let mut doc = match &self.op {
             ChurnOp::Register(doc) => Value::object([
                 ("after_requests", Value::from(self.after_requests)),
                 ("op", Value::from("register")),
@@ -234,7 +252,13 @@ impl ChurnEvent {
                 ("op", Value::from("retire")),
                 ("id", Value::from(*id)),
             ]),
+        };
+        // Additive: single-tenant events stay byte-identical to what
+        // pre-tenancy writers produced.
+        if self.tenant != 0 {
+            doc.insert("tenant", Value::from(self.tenant as i64));
         }
+        doc
     }
 
     /// Decodes one `churn` array entry.
@@ -249,6 +273,15 @@ impl ChurnEvent {
             Some(x) if x >= 0 => x as usize,
             Some(x) => return Err(format!("churn after_requests is negative ({x})")),
             None => return Err("churn event missing after_requests".to_owned()),
+        };
+        let tenant = match doc.get("tenant") {
+            // Pre-tenancy events: tenant 0.
+            None => 0,
+            Some(t) => match t.as_i64() {
+                Some(t) if t >= 0 => t as u64,
+                Some(t) => return Err(format!("churn tenant is negative ({t})")),
+                None => return Err("churn tenant is not an integer".to_owned()),
+            },
         };
         let op = doc
             .get("op")
@@ -266,7 +299,11 @@ impl ChurnEvent {
             },
             other => return Err(format!("unknown churn op {other:?}")),
         };
-        Ok(Self { after_requests, op })
+        Ok(Self {
+            after_requests,
+            tenant,
+            op,
+        })
     }
 }
 
@@ -284,6 +321,11 @@ pub struct SessionTrace {
     pub pool_size: usize,
     /// Arrival process the timestamps were stamped with.
     pub arrivals: ArrivalProcess,
+    /// Number of tenants the trace spans. `1` is the classic
+    /// single-tenant shape (and what every pre-tenancy document means);
+    /// every session's [`TraceSession::tenant`] must lie in
+    /// `0..tenants`.
+    pub tenants: usize,
     /// The sessions, in arrival order.
     pub sessions: Vec<TraceSession>,
     /// Live-catalog mutations interleaved with the request stream, in
@@ -367,6 +409,66 @@ impl SessionTrace {
             }
         }
         Ok(())
+    }
+
+    /// Checks the tenant topology is coherent: the tenant count is at
+    /// least 1, every session's tenant id lies inside `0..tenants`, and
+    /// so does every churn event's target tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range tenant.
+    pub fn validate_tenants(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("trace declares zero tenants".to_owned());
+        }
+        for s in &self.sessions {
+            if s.tenant >= self.tenants as u64 {
+                return Err(format!(
+                    "session {} targets tenant {} but the trace declares {} tenant(s)",
+                    s.id, s.tenant, self.tenants
+                ));
+            }
+        }
+        for (i, event) in self.churn.iter().enumerate() {
+            if event.tenant >= self.tenants as u64 {
+                return Err(format!(
+                    "churn event {i} targets tenant {} but the trace declares {} tenant(s)",
+                    event.tenant, self.tenants
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts one tenant's sessions as a standalone single-tenant
+    /// trace (tenant ids reset to 0, arrival stamps preserved — a
+    /// subsequence of a nondecreasing timeline is still nondecreasing).
+    /// Churn is dropped: event positions count *global* requests, which
+    /// have no meaning inside one tenant's sub-stream. This is the
+    /// "same sub-trace" a single-tenant isolation baseline replays.
+    #[must_use]
+    pub fn tenant_subtrace(&self, tenant: u64) -> SessionTrace {
+        SessionTrace {
+            benchmark: self.benchmark.clone(),
+            seed: self.seed,
+            zipf_s: self.zipf_s,
+            pool_size: self.pool_size,
+            arrivals: self.arrivals,
+            tenants: 1,
+            sessions: self
+                .sessions
+                .iter()
+                .filter(|s| s.tenant == tenant)
+                .map(|s| TraceSession {
+                    id: s.id,
+                    tenant: 0,
+                    query_indices: s.query_indices.clone(),
+                    arrival_us: s.arrival_us.clone(),
+                })
+                .collect(),
+            churn: Vec::new(),
+        }
     }
 
     /// Checks the churn events are coherent with the request stream:
@@ -468,6 +570,11 @@ impl SessionTrace {
                                 s.query_indices.iter().map(|q| Value::from(*q)).collect(),
                             ),
                         ]);
+                        // Additive, like arrivals: tenant-0 sessions are
+                        // byte-identical to pre-tenancy documents.
+                        if s.tenant != 0 {
+                            session.insert("tenant", Value::from(s.tenant as i64));
+                        }
                         if !s.arrival_us.is_empty() {
                             session.insert(
                                 "arrivals_us",
@@ -482,6 +589,11 @@ impl SessionTrace {
                     .collect(),
             ),
         ]);
+        // Additive: single-tenant documents omit the tenant count, so
+        // they stay byte-identical to what pre-tenancy writers produced.
+        if self.tenants > 1 {
+            doc.insert("tenants", Value::from(self.tenants));
+        }
         // Additive, like the arrival fields: static-catalog documents
         // stay byte-identical to what pre-churn writers produced.
         if !self.churn.is_empty() {
@@ -590,6 +702,11 @@ impl SessionTrace {
             .iter()
             .map(|s| {
                 let id = non_negative("session id", s.get("id").and_then(Value::as_i64))?;
+                let tenant = match s.get("tenant") {
+                    // Pre-tenancy sessions: tenant 0.
+                    None => 0,
+                    Some(t) => non_negative("session tenant", t.as_i64())?,
+                };
                 let query_indices = s
                     .get("queries")
                     .and_then(Value::as_array)
@@ -616,6 +733,7 @@ impl SessionTrace {
                 };
                 Ok(TraceSession {
                     id,
+                    tenant,
                     query_indices,
                     arrival_us,
                 })
@@ -631,15 +749,28 @@ impl SessionTrace {
                 .map(ChurnEvent::from_json)
                 .collect::<Result<Vec<ChurnEvent>, String>>()?,
         };
+        let tenants = match doc.get("tenants") {
+            // Pre-tenancy documents: one tenant.
+            None => 1,
+            Some(t) => {
+                let t = non_negative("tenants", t.as_i64())? as usize;
+                if t == 0 {
+                    return Err("trace declares zero tenants".to_owned());
+                }
+                t
+            }
+        };
         let trace = Self {
             benchmark,
             seed,
             zipf_s,
             pool_size,
             arrivals,
+            tenants,
             sessions,
             churn,
         };
+        trace.validate_tenants()?;
         trace.validate_arrivals()?;
         trace.validate_churn()?;
         Ok(trace)
@@ -709,11 +840,27 @@ impl TraceBuilder {
                 zipf_s,
                 pool_size,
                 arrivals,
+                tenants: 1,
                 sessions: Vec::new(),
                 churn: Vec::new(),
             },
             last_us: 0,
         })
+    }
+
+    /// Declares the tenant count for a multi-tenant stream. Requests
+    /// pushed with [`TraceBuilder::push_for`] must target tenants in
+    /// `0..tenants`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero tenant count.
+    pub fn with_tenants(mut self, tenants: usize) -> Result<Self, String> {
+        if tenants == 0 {
+            return Err("trace needs at least one tenant".to_owned());
+        }
+        self.trace.tenants = tenants;
+        Ok(self)
     }
 
     /// Appends one request to the trace under assembly.
@@ -731,6 +878,31 @@ impl TraceBuilder {
         query_index: usize,
         arrival_us: Option<u64>,
     ) -> Result<(), String> {
+        self.push_for(0, session, query_index, arrival_us)
+    }
+
+    /// Appends one request for a specific tenant — the multi-tenant form
+    /// of [`TraceBuilder::push`]. A request extends the most recent
+    /// session only when both the session id *and* the tenant match;
+    /// anything else starts a new session run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceBuilder::push`] rejects, plus a tenant id at or
+    /// beyond the declared tenant count.
+    pub fn push_for(
+        &mut self,
+        tenant: u64,
+        session: u64,
+        query_index: usize,
+        arrival_us: Option<u64>,
+    ) -> Result<(), String> {
+        if tenant >= self.trace.tenants as u64 {
+            return Err(format!(
+                "request targets tenant {tenant} but the trace declares {} tenant(s)",
+                self.trace.tenants
+            ));
+        }
         if query_index >= self.trace.pool_size {
             return Err(format!(
                 "query index {query_index} outside the {}-query pool",
@@ -765,12 +937,13 @@ impl TraceBuilder {
             }
         };
         match self.trace.sessions.last_mut() {
-            Some(current) if current.id == session => {
+            Some(current) if current.id == session && current.tenant == tenant => {
                 current.query_indices.push(query_index);
                 current.arrival_us.extend(us);
             }
             _ => self.trace.sessions.push(TraceSession {
                 id: session,
+                tenant,
                 query_indices: vec![query_index],
                 arrival_us: us.into_iter().collect(),
             }),
@@ -788,9 +961,28 @@ impl TraceBuilder {
     /// Rejects a document violating [`ToolDoc::validate`] — the same
     /// check the batch decoder applies per `churn` entry.
     pub fn push_register(&mut self, doc: ToolDoc) -> Result<(), String> {
+        self.push_register_for(0, doc)
+    }
+
+    /// Records a live tool registration against a specific tenant's
+    /// catalog — the multi-tenant form of
+    /// [`TraceBuilder::push_register`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range tenant or a document violating
+    /// [`ToolDoc::validate`].
+    pub fn push_register_for(&mut self, tenant: u64, doc: ToolDoc) -> Result<(), String> {
+        if tenant >= self.trace.tenants as u64 {
+            return Err(format!(
+                "register targets tenant {tenant} but the trace declares {} tenant(s)",
+                self.trace.tenants
+            ));
+        }
         doc.validate().map_err(|e| e.to_string())?;
         self.trace.churn.push(ChurnEvent {
             after_requests: self.trace.requests(),
+            tenant,
             op: ChurnOp::Register(doc),
         });
         Ok(())
@@ -803,8 +995,30 @@ impl TraceBuilder {
     pub fn push_retire(&mut self, index: usize) {
         self.trace.churn.push(ChurnEvent {
             after_requests: self.trace.requests(),
+            tenant: 0,
             op: ChurnOp::Retire(index),
         });
+    }
+
+    /// Records a live tool retirement against a specific tenant's
+    /// catalog — the multi-tenant form of [`TraceBuilder::push_retire`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range tenant.
+    pub fn push_retire_for(&mut self, tenant: u64, index: usize) -> Result<(), String> {
+        if tenant >= self.trace.tenants as u64 {
+            return Err(format!(
+                "retire targets tenant {tenant} but the trace declares {} tenant(s)",
+                self.trace.tenants
+            ));
+        }
+        self.trace.churn.push(ChurnEvent {
+            after_requests: self.trace.requests(),
+            tenant,
+            op: ChurnOp::Retire(index),
+        });
+        Ok(())
     }
 
     /// Total requests pushed so far.
@@ -816,6 +1030,7 @@ impl TraceBuilder {
     /// cannot fail; the result satisfies
     /// [`SessionTrace::validate_arrivals`] by construction.
     pub fn finish(self) -> SessionTrace {
+        debug_assert!(self.trace.validate_tenants().is_ok());
         debug_assert!(self.trace.validate_arrivals().is_ok());
         debug_assert!(self.trace.validate_churn().is_ok());
         self.trace
@@ -913,6 +1128,11 @@ fn stamp_arrivals(sessions: &mut [TraceSession], process: ArrivalProcess, rng: &
     }
 }
 
+/// Salt decoupling the tenant-assignment RNG stream from the content
+/// draws: single-tenant generation never touches it, so `tenants: 1`
+/// traces stay byte-identical to what pre-tenancy generators produced.
+const TENANT_STREAM_SALT: u64 = 0x0000_7E4A_4E57;
+
 /// Generates a Zipf-skewed session trace over `workload.queries`.
 ///
 /// Popularity rank is decoupled from query id by a seeded permutation, so
@@ -922,14 +1142,23 @@ fn stamp_arrivals(sessions: &mut [TraceSession], process: ArrivalProcess, rng: &
 /// so the same seed yields identical query sequences under every arrival
 /// process — timed and closed-loop replays stay comparable.
 ///
+/// With `tenants > 1` each session lands on a tenant drawn from a
+/// second Zipf distribution (`tenant_skew`; tenant 0 is the hottest) on
+/// a *salted* RNG stream, and each tenant's hot set is rotated through
+/// the pool so distinct tenants favour distinct queries — Zipf across
+/// tenants × Zipf within tenant. `tenants == 1` draws nothing extra:
+/// the trace is byte-identical to the single-tenant output for the same
+/// seed.
+///
 /// # Panics
 ///
 /// Panics if the workload has no evaluation queries or the config asks
-/// for zero sessions.
+/// for zero sessions or zero tenants.
 pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
     let pool = workload.queries.len();
     assert!(pool > 0, "workload has no queries to trace");
     assert!(config.sessions > 0, "trace needs at least one session");
+    assert!(config.tenants > 0, "trace needs at least one tenant");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Seeded Fisher–Yates permutation: rank -> query index.
@@ -951,11 +1180,30 @@ pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
                 .collect();
             TraceSession {
                 id,
+                tenant: 0,
                 query_indices,
                 arrival_us: Vec::new(),
             }
         })
         .collect();
+    if config.tenants > 1 {
+        // Tenant draws come from their own salted stream, applied after
+        // all content draws: adding tenants re-colours and rotates the
+        // same underlying session content instead of reshuffling it.
+        let mut tenant_rng = StdRng::seed_from_u64(config.seed ^ TENANT_STREAM_SALT);
+        let tenant_sampler = ZipfSampler::new(config.tenants, config.tenant_skew);
+        // Rotating each tenant's indices through the pool gives every
+        // tenant its own hot set, so per-tenant cache behaviour is
+        // genuinely disjoint rather than N copies of one working set.
+        let stride = (pool / config.tenants).max(1);
+        for s in &mut sessions {
+            let tenant = tenant_sampler.sample(&mut tenant_rng) as u64;
+            s.tenant = tenant;
+            for q in &mut s.query_indices {
+                *q = (*q + tenant as usize * stride) % pool;
+            }
+        }
+    }
     stamp_arrivals(&mut sessions, config.arrivals, &mut rng);
     SessionTrace {
         benchmark: workload.name.to_owned(),
@@ -963,6 +1211,7 @@ pub fn zipf_trace(workload: &Workload, config: &TraceConfig) -> SessionTrace {
         zipf_s: config.zipf_s,
         pool_size: pool,
         arrivals: config.arrivals,
+        tenants: config.tenants,
         sessions,
         churn: Vec::new(),
     }
@@ -1112,6 +1361,7 @@ mod tests {
                     requests_per_session: 4,
                     zipf_s: 1.0,
                     arrivals,
+                    ..TraceConfig::default()
                 },
             );
             assert_eq!(trace.arrivals, arrivals);
@@ -1135,6 +1385,7 @@ mod tests {
                 requests_per_session: 8,
                 zipf_s: 0.0,
                 arrivals: ArrivalProcess::Poisson { rate_rps: rate },
+                ..TraceConfig::default()
             },
         );
         let arrivals = trace.arrival_seconds().expect("timed");
@@ -1161,6 +1412,7 @@ mod tests {
                     rate_rps: 10.0,
                     burst: 8,
                 },
+                ..TraceConfig::default()
             },
         );
         let arrivals: Vec<u64> = trace
@@ -1340,14 +1592,17 @@ mod tests {
         trace.churn = vec![
             ChurnEvent {
                 after_requests: 0,
+                tenant: 0,
                 op: ChurnOp::Register(live_doc(0)),
             },
             ChurnEvent {
                 after_requests: 3,
+                tenant: 0,
                 op: ChurnOp::Retire(7),
             },
             ChurnEvent {
                 after_requests: 3,
+                tenant: 0,
                 op: ChurnOp::Register(live_doc(1)),
             },
         ];
@@ -1381,10 +1636,12 @@ mod tests {
             vec![
                 ChurnEvent {
                     after_requests: 5,
+                    tenant: 0,
                     op: ChurnOp::Retire(0),
                 },
                 ChurnEvent {
                     after_requests: 2,
+                    tenant: 0,
                     op: ChurnOp::Retire(1),
                 },
             ],
@@ -1394,6 +1651,7 @@ mod tests {
         reject(
             vec![ChurnEvent {
                 after_requests: base.requests() + 1,
+                tenant: 0,
                 op: ChurnOp::Retire(0),
             }],
             "past",
@@ -1411,6 +1669,168 @@ mod tests {
             let doc = lim_json::parse(text).unwrap();
             assert!(ChurnEvent::from_json(&doc).is_err(), "{text}");
         }
+    }
+
+    #[test]
+    fn single_tenant_traces_are_unchanged_by_the_tenant_axis() {
+        let w = bfcl(3, 50);
+        let config = TraceConfig {
+            seed: 11,
+            ..TraceConfig::default()
+        };
+        let trace = zipf_trace(&w, &config);
+        assert_eq!(trace.tenants, 1);
+        assert!(trace.sessions.iter().all(|s| s.tenant == 0));
+        // Explicit `tenants: 1` draws nothing from the tenant stream, so
+        // the trace (and its JSON) is identical to the default.
+        let explicit = zipf_trace(
+            &w,
+            &TraceConfig {
+                tenants: 1,
+                ..config
+            },
+        );
+        assert_eq!(trace, explicit);
+        let text = trace.to_json().to_string();
+        assert!(!text.contains("tenant"), "single-tenant JSON stays clean");
+    }
+
+    #[test]
+    fn tenant_assignment_is_skewed_rotated_and_deterministic() {
+        let w = bfcl(6, 100);
+        let config = TraceConfig {
+            seed: 9,
+            sessions: 64,
+            tenants: 8,
+            tenant_skew: 1.2,
+            ..TraceConfig::default()
+        };
+        let trace = zipf_trace(&w, &config);
+        assert_eq!(trace, zipf_trace(&w, &config));
+        assert_eq!(trace.tenants, 8);
+        trace.validate_tenants().expect("generator stays in range");
+        // Tenant 0 is the hottest rank of the cross-tenant Zipf.
+        let sessions_of = |t: u64| trace.sessions.iter().filter(|s| s.tenant == t).count();
+        let max = (0..8).map(sessions_of).max().unwrap();
+        assert_eq!(sessions_of(0), max, "tenant 0 must dominate");
+        // Adding tenants re-colours and rotates the same content: the
+        // single-tenant trace's sessions have the same lengths.
+        let single = zipf_trace(
+            &w,
+            &TraceConfig {
+                tenants: 1,
+                ..config
+            },
+        );
+        for (a, b) in trace.sessions.iter().zip(&single.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.query_indices.len(), b.query_indices.len());
+        }
+        // Distinct tenants favour distinct hot sets (rotation applied).
+        let hot = |t: u64| -> Vec<usize> {
+            let mut qs: Vec<usize> = trace
+                .sessions
+                .iter()
+                .filter(|s| s.tenant == t)
+                .flat_map(|s| s.query_indices.iter().copied())
+                .collect();
+            qs.sort_unstable();
+            qs.dedup();
+            qs
+        };
+        assert_ne!(hot(0), hot(1), "tenants must not share one hot set");
+    }
+
+    #[test]
+    fn multi_tenant_traces_round_trip_and_validate() {
+        let w = bfcl(6, 60);
+        let mut trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 4,
+                sessions: 12,
+                tenants: 3,
+                tenant_skew: 1.0,
+                arrivals: ArrivalProcess::Poisson { rate_rps: 5.0 },
+                ..TraceConfig::default()
+            },
+        );
+        trace.churn = vec![ChurnEvent {
+            after_requests: 2,
+            tenant: 2,
+            op: ChurnOp::Register(live_doc(0)),
+        }];
+        let doc = lim_json::parse(&trace.to_json().to_string()).unwrap();
+        assert_eq!(SessionTrace::from_json(&doc).unwrap(), trace);
+        // Out-of-range session tenant is rejected by the parser.
+        let mut bad = trace.clone();
+        bad.sessions[0].tenant = 3;
+        let err = SessionTrace::from_json(&bad.to_json()).unwrap_err();
+        assert!(err.contains("tenant"), "{err}");
+        // Out-of-range churn tenant likewise.
+        let mut bad = trace.clone();
+        bad.churn[0].tenant = 9;
+        let err = SessionTrace::from_json(&bad.to_json()).unwrap_err();
+        assert!(err.contains("tenant"), "{err}");
+        // A zero tenant count is malformed outright.
+        let mut doc = trace.to_json();
+        doc.insert("tenants", lim_json::Value::from(0));
+        assert!(SessionTrace::from_json(&doc)
+            .unwrap_err()
+            .contains("zero tenants"));
+    }
+
+    #[test]
+    fn tenant_subtrace_extracts_one_tenant_coherently() {
+        let w = bfcl(6, 60);
+        let trace = zipf_trace(
+            &w,
+            &TraceConfig {
+                seed: 13,
+                sessions: 24,
+                tenants: 4,
+                tenant_skew: 1.2,
+                arrivals: ArrivalProcess::Poisson { rate_rps: 8.0 },
+                ..TraceConfig::default()
+            },
+        );
+        let sub = trace.tenant_subtrace(1);
+        assert_eq!(sub.tenants, 1);
+        assert!(sub.sessions.iter().all(|s| s.tenant == 0));
+        assert_eq!(
+            sub.sessions.len(),
+            trace.sessions.iter().filter(|s| s.tenant == 1).count()
+        );
+        sub.validate_arrivals().expect("subsequence stays ordered");
+        sub.validate_tenants().expect("reset to tenant 0");
+    }
+
+    #[test]
+    fn builder_enforces_tenant_bounds() {
+        let b = TraceBuilder::new("bfcl", 7, 1.0, 60, ArrivalProcess::BackToBack).unwrap();
+        let mut b = b.with_tenants(2).unwrap();
+        b.push_for(1, 5, 3, None).unwrap();
+        b.push_for(1, 5, 4, None).unwrap();
+        // Same session id under a different tenant starts a new run.
+        b.push_for(0, 5, 3, None).unwrap();
+        assert!(b.push_for(2, 6, 3, None).is_err());
+        b.push_register_for(1, live_doc(0)).unwrap();
+        assert!(b.push_register_for(7, live_doc(1)).is_err());
+        b.push_retire_for(0, 4).unwrap();
+        assert!(b.push_retire_for(3, 4).is_err());
+        let trace = b.finish();
+        assert_eq!(trace.sessions.len(), 2);
+        assert_eq!(trace.sessions[0].tenant, 1);
+        assert_eq!(trace.sessions[0].query_indices.len(), 2);
+        assert_eq!(trace.sessions[1].tenant, 0);
+        assert_eq!(trace.churn.len(), 2);
+        assert_eq!(trace.churn[0].tenant, 1);
+        assert!(
+            TraceBuilder::new("bfcl", 7, 1.0, 60, ArrivalProcess::BackToBack)
+                .unwrap()
+                .with_tenants(0)
+                .is_err()
+        );
     }
 
     #[test]

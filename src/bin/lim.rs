@@ -582,6 +582,129 @@ fn run_serve_trace(
     ExitCode::SUCCESS
 }
 
+/// Builds the fleet the flags describe: a fleet checkpoint boot wins
+/// over a levels-snapshot boot wins over a cold level build. The tenant
+/// count comes from the trace (or hello frame), never a flag — a saved
+/// trace records how many catalogs it was generated over, so a replay
+/// cannot silently pair it with a differently-sized fleet.
+fn build_fleet_engine(
+    options: &Options,
+    workload: lessismore::workloads::Workload,
+    tenants: usize,
+    engine_seed: u64,
+) -> Result<lessismore::serve::FleetEngine, String> {
+    use lessismore::serve::{FleetConfig, FleetEngine, ServeConfig};
+    use std::sync::Arc;
+
+    let model = resolve_model(options)?;
+    let base = ServeConfig::builder()
+        .policy(options.policy)
+        .quant(options.quant)
+        .seed(engine_seed)
+        .admission(options.admission.config())
+        .build();
+    let config = FleetConfig::new(tenants, base);
+    if let Some(path) = &options.snapshots.checkpoint {
+        if options.snapshots.snapshot.is_some() {
+            eprintln!("note: --checkpoint is self-contained; ignoring --snapshot");
+        }
+        return open_snapshot(path, engine_seed).and_then(|s| {
+            FleetEngine::from_checkpoint(&s, workload, model, config)
+                .map_err(|e| format!("{path}: {e}"))
+        });
+    }
+    if let Some(path) = &options.snapshots.snapshot {
+        // A levels snapshot holds no per-tenant state, so one decoded
+        // copy seeds the whole fleet copy-on-write.
+        let snapshot = open_snapshot(path, engine_seed)?;
+        if let Some(benchmark) = snapshot
+            .header_field("benchmark")
+            .and_then(lessismore::json::Value::as_str)
+        {
+            if benchmark != workload.name {
+                return Err(format!(
+                    "{path}: snapshot was built for {benchmark:?} but the fleet serves {:?}",
+                    workload.name
+                ));
+            }
+        }
+        let levels = lessismore::core::levels_from_snapshot(&snapshot)
+            .map_err(|e| format!("{path}: {e}"))?;
+        return FleetEngine::with_shared(Arc::new(workload), Arc::new(levels), model, config);
+    }
+    let levels = build_levels(options, &workload);
+    FleetEngine::with_shared(Arc::new(workload), Arc::new(levels), model, config)
+}
+
+/// Replays a multi-tenant trace on a [`lessismore::serve::FleetEngine`]:
+/// the fleet cousin of [`run_serve_trace`], printing the overall table
+/// plus a per-tenant breakdown, writing the `lim-serve/report-v4`
+/// document and the fleet checkpoint.
+fn run_serve_fleet(
+    options: &Options,
+    workload: lessismore::workloads::Workload,
+    trace: &lessismore::workloads::trace::SessionTrace,
+    engine_seed: u64,
+) -> ExitCode {
+    let mut fleet = match build_fleet_engine(options, workload, trace.tenants, engine_seed) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match fleet.process_trace(trace, options.workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_serve_report(&report.overall);
+    print_fleet_tenants(&report);
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, report.to_json().to_pretty_string()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &options.snapshots.save_checkpoint {
+        if let Err(e) = std::fs::write(path, fleet.checkpoint()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote checkpoint {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One line per tenant under the overall table: traffic, success, shed
+/// and the current cache grants against their QoS floors — the numbers
+/// the isolation guarantee is stated in.
+fn print_fleet_tenants(report: &lessismore::serve::FleetReport) {
+    println!("tenants ({}):", report.tenants.len());
+    for t in &report.tenants {
+        let r = &t.report;
+        println!(
+            "  t{}: {} req / {} sessions | success {:.1}% | shed {} | embed {}h/{}m/{}e \
+             cap {} (floor {}) | memo cap {} (floor {})",
+            t.tenant,
+            r.requests,
+            r.sessions,
+            100.0 * r.success_rate,
+            r.admission.shed,
+            r.embed_cache.hits,
+            r.embed_cache.misses,
+            r.embed_cache.evictions,
+            t.embed_capacity,
+            t.embed_floor,
+            t.memo_capacity,
+            t.memo_floor
+        );
+    }
+}
+
 /// `lim snapshot build --out FILE` / `lim snapshot inspect --snapshot F`.
 fn cmd_snapshot(args: &[String]) -> ExitCode {
     let Some(verb) = args.first() else {
@@ -739,18 +862,24 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
                 .admission
                 .arrivals
                 .unwrap_or(ArrivalProcess::BackToBack),
+            tenants: options.tenants,
+            tenant_skew: options.tenant_skew,
         },
     );
     let trace = if options.churn > 0 {
-        lessismore::workloads::churn::with_churn(
-            &workload,
-            trace,
-            &lessismore::workloads::churn::ChurnConfig {
-                seed: options.churn_seed,
-                registers: options.churn,
-                retires: options.churn,
-            },
-        )
+        let churn_config = lessismore::workloads::churn::ChurnConfig {
+            seed: options.churn_seed,
+            registers: options.churn,
+            retires: options.churn,
+        };
+        // A fleet trace churns every tenant's catalog independently (the
+        // per-tenant schedule derives its own seed), a single-tenant one
+        // keeps the classic schedule bit-for-bit.
+        if trace.tenants > 1 {
+            lessismore::workloads::churn::with_tenant_churn(&workload, trace, &churn_config)
+        } else {
+            lessismore::workloads::churn::with_churn(&workload, trace, &churn_config)
+        }
     } else {
         trace
     };
@@ -763,6 +892,12 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
         trace.pool_size,
         trace.arrivals.label()
     );
+    if trace.tenants > 1 {
+        println!(
+            "fleet: {} tenants, traffic skew {:.2} (tenant 0 hottest)",
+            trace.tenants, options.tenant_skew
+        );
+    }
     if !trace.churn.is_empty() {
         println!(
             "stamped {} catalog mutations (churn seed {})",
@@ -798,7 +933,11 @@ fn cmd_loadgen(options: &Options) -> ExitCode {
         }
         println!("wrote {path}");
     }
-    run_serve_trace(options, workload, &trace, options.seed)
+    if trace.tenants > 1 {
+        run_serve_fleet(options, workload, &trace, options.seed)
+    } else {
+        run_serve_trace(options, workload, &trace, options.seed)
+    }
 }
 
 fn cmd_serve(options: &Options) -> ExitCode {
@@ -879,7 +1018,11 @@ fn cmd_serve(options: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    run_serve_trace(options, workload, &trace, trace.seed)
+    if trace.tenants > 1 {
+        run_serve_fleet(options, workload, &trace, trace.seed)
+    } else {
+        run_serve_trace(options, workload, &trace, trace.seed)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -934,22 +1077,67 @@ fn spawn_line_reader<R: std::io::Read + Send + 'static>(
     rx
 }
 
+/// A warm wire engine: the classic single-tenant path (byte-identical
+/// to the pre-tenancy protocol) or a tenant fleet, selected by the
+/// hello frame's `tenants` field.
+enum WireEngine {
+    /// One `ServeEngine`, as before tenancy existed. Boxed so the enum
+    /// stays small next to the multi-engine fleet variant.
+    Single(Box<lessismore::serve::ServeEngine>),
+    /// A [`lessismore::serve::FleetEngine`] routing frames by tenant id.
+    Fleet(lessismore::serve::FleetEngine),
+}
+
+impl WireEngine {
+    fn checkpoint(&self) -> Vec<u8> {
+        match self {
+            Self::Single(engine) => engine.checkpoint(),
+            Self::Fleet(fleet) => fleet.checkpoint(),
+        }
+    }
+}
+
+/// The final document of a wire stream: `lim-serve/report-v3` for a
+/// single-tenant stream, `report-v4` (with per-tenant breakdowns) for a
+/// fleet.
+enum WireReport {
+    Single(lessismore::serve::ServeReport),
+    Fleet(lessismore::serve::FleetReport),
+}
+
+impl WireReport {
+    fn overall(&self) -> &lessismore::serve::ServeReport {
+        match self {
+            Self::Single(report) => report,
+            Self::Fleet(report) => &report.overall,
+        }
+    }
+
+    fn to_json(&self) -> lessismore::json::Value {
+        match self {
+            Self::Single(report) => report.to_json(),
+            Self::Fleet(report) => report.to_json(),
+        }
+    }
+}
+
 /// Speaks one `lim/wire-v1` stream end to end: waits for the `hello`,
 /// builds the engine from its recorded workload (or checks a warm one
 /// still matches), then repeatedly submits whatever `request` frames
 /// have arrived and answers with `disposition`/`latency` frames, ending
 /// with the final `report` frame on EOF or SIGTERM.
+///
+/// A request naming a tenant the engine does not serve is the one
+/// protocol error that does NOT abandon the stream: it is answered with
+/// a typed `error` frame and every other tenant keeps serving.
 fn serve_wire_stream<W: std::io::Write>(
     options: &Options,
     lines: &std::sync::mpsc::Receiver<String>,
     writer: &mut W,
-    engine_slot: &mut Option<(
-        lessismore::serve::wire::Hello,
-        lessismore::serve::ServeEngine,
-    )>,
-) -> Result<lessismore::serve::ServeReport, String> {
+    engine_slot: &mut Option<(lessismore::serve::wire::Hello, WireEngine)>,
+) -> Result<WireReport, String> {
     use lessismore::serve::wire;
-    use lessismore::serve::{StreamMeta, StreamRequest};
+    use lessismore::serve::{FleetSubmitError, StreamMeta, StreamRequest};
     use lessismore::workloads::trace::arrival_us_to_seconds;
     use std::sync::mpsc::RecvTimeoutError;
 
@@ -1001,15 +1189,19 @@ fn serve_wire_stream<W: std::io::Write>(
             if first.benchmark != hello.benchmark
                 || first.pool_size != hello.pool_size
                 || first.trace_seed != hello.trace_seed
+                || first.tenants != hello.tenants
             {
                 bail!(format!(
-                    "hello declares workload {}/{} seed {} but this engine serves {}/{} seed {}",
+                    "hello declares workload {}/{} seed {} tenants {} but this engine serves \
+                     {}/{} seed {} tenants {}",
                     hello.benchmark,
                     hello.pool_size,
                     hello.trace_seed,
+                    hello.tenants,
                     first.benchmark,
                     first.pool_size,
-                    first.trace_seed
+                    first.trace_seed,
+                    first.tenants
                 ));
             }
         }
@@ -1019,9 +1211,16 @@ fn serve_wire_stream<W: std::io::Write>(
                     Ok(w) => w,
                     Err(e) => bail!(e),
                 };
-            let engine = match build_engine(options, workload, hello.trace_seed) {
-                Ok(e) => e,
-                Err(e) => bail!(e),
+            let engine = if hello.tenants > 1 {
+                match build_fleet_engine(options, workload, hello.tenants, hello.trace_seed) {
+                    Ok(f) => WireEngine::Fleet(f),
+                    Err(e) => bail!(e),
+                }
+            } else {
+                match build_engine(options, workload, hello.trace_seed) {
+                    Ok(e) => WireEngine::Single(Box::new(e)),
+                    Err(e) => bail!(e),
+                }
             };
             *engine_slot = Some((hello.clone(), engine));
         }
@@ -1034,96 +1233,175 @@ fn serve_wire_stream<W: std::io::Write>(
         arrivals: hello.arrivals,
         sessions: hello.sessions,
     };
-    let mut session = engine.begin_stream(meta, options.workers);
-    emit(writer, &wire::ready_frame())?;
 
-    // Ingest until EOF or SIGTERM: each wake-up submits every line that
-    // has arrived, drains one batch through the deterministic stages and
-    // streams the resolved events back.
-    loop {
-        let mut batch = Vec::new();
-        match lines.recv_timeout(poll) {
-            Ok(line) => {
-                batch.push(line);
-                while let Ok(line) = lines.try_recv() {
-                    batch.push(line);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if terminated() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-        for line in batch {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match wire::parse_client_frame(&line) {
-                Ok(wire::ClientFrame::Request {
-                    session: id,
-                    query,
-                    arrival_us,
-                }) => {
-                    let request = StreamRequest {
-                        session: id,
-                        query_index: query,
-                        arrival_s: arrival_us.map(arrival_us_to_seconds),
-                    };
-                    if let Err(e) = session.submit(request) {
-                        bail!(e);
+    let tenants = hello.tenants;
+    let unknown_tenant = move |tenant: u64| {
+        wire::error_frame(&FleetSubmitError::UnknownTenant { tenant, tenants }.to_string())
+    };
+
+    // One macro instead of one loop per engine kind: the ingest loop is
+    // identical for the single and fleet paths except for how a frame's
+    // tenant id is routed, so the four routing callbacks are the only
+    // per-kind code. `$valid(t)` gates every tenant-carrying frame: an
+    // out-of-range id answers with a typed `error` frame and the stream
+    // keeps serving.
+    macro_rules! ingest {
+        ($session:ident, $valid:expr, $submit:expr, $register:expr, $retire:expr, $epoch:expr) => {
+            loop {
+                let mut batch = Vec::new();
+                match lines.recv_timeout(poll) {
+                    Ok(line) => {
+                        batch.push(line);
+                        while let Ok(line) = lines.try_recv() {
+                            batch.push(line);
+                        }
                     }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if terminated() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
-                // Catalog mutations drain the pending batch first (the
-                // engine's drain-boundary rule), so the events they force
-                // out are owed to the client before the acknowledgement.
-                Ok(wire::ClientFrame::Register(doc)) => match session.register_tool(&doc) {
-                    Ok((index, events)) => {
-                        for event in events {
-                            for frame in wire::event_frames(&event) {
-                                emit(writer, &frame)?;
+                for line in batch {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match wire::parse_client_frame(&line) {
+                        Ok(wire::ClientFrame::Request {
+                            tenant,
+                            session: id,
+                            query,
+                            arrival_us,
+                        }) => {
+                            if !$valid(tenant) {
+                                emit(writer, &unknown_tenant(tenant))?;
+                                continue;
+                            }
+                            let request = StreamRequest {
+                                session: id,
+                                query_index: query,
+                                arrival_s: arrival_us.map(arrival_us_to_seconds),
+                            };
+                            if let Err(e) = $submit(&mut $session, tenant, request) {
+                                bail!(e);
                             }
                         }
-                        emit(
-                            writer,
-                            &wire::catalog_frame("register", index, session.epoch()),
-                        )?;
-                    }
-                    Err(e) => bail!(e),
-                },
-                Ok(wire::ClientFrame::Retire { id }) => match session.retire_tool(id) {
-                    Ok(events) => {
-                        for event in events {
-                            for frame in wire::event_frames(&event) {
-                                emit(writer, &frame)?;
+                        // Catalog mutations drain the pending batch first
+                        // (the engine's drain-boundary rule), so the
+                        // events they force out are owed to the client
+                        // before the acknowledgement.
+                        Ok(wire::ClientFrame::Register { tenant, tool }) => {
+                            if !$valid(tenant) {
+                                emit(writer, &unknown_tenant(tenant))?;
+                                continue;
+                            }
+                            match $register(&mut $session, tenant, &tool) {
+                                Ok((index, events)) => {
+                                    for event in events {
+                                        for frame in wire::event_frames(&event) {
+                                            emit(writer, &frame)?;
+                                        }
+                                    }
+                                    let epoch = $epoch(&$session, tenant);
+                                    emit(writer, &wire::catalog_frame("register", index, epoch))?;
+                                }
+                                Err(e) => bail!(e),
                             }
                         }
-                        emit(writer, &wire::catalog_frame("retire", id, session.epoch()))?;
+                        Ok(wire::ClientFrame::Retire { tenant, id }) => {
+                            if !$valid(tenant) {
+                                emit(writer, &unknown_tenant(tenant))?;
+                                continue;
+                            }
+                            match $retire(&mut $session, tenant, id) {
+                                Ok(events) => {
+                                    for event in events {
+                                        for frame in wire::event_frames(&event) {
+                                            emit(writer, &frame)?;
+                                        }
+                                    }
+                                    let epoch = $epoch(&$session, tenant);
+                                    emit(writer, &wire::catalog_frame("retire", id, epoch))?;
+                                }
+                                Err(e) => bail!(e),
+                            }
+                        }
+                        Ok(wire::ClientFrame::Hello(_)) => {
+                            bail!("duplicate hello frame".to_owned())
+                        }
+                        Err(e) => bail!(e),
                     }
-                    Err(e) => bail!(e),
-                },
-                Ok(wire::ClientFrame::Hello(_)) => bail!("duplicate hello frame".to_owned()),
-                Err(e) => bail!(e),
+                }
+                for event in $session.drain() {
+                    for frame in wire::event_frames(&event) {
+                        emit(writer, &frame)?;
+                    }
+                }
             }
-        }
-        for event in session.drain() {
-            for frame in wire::event_frames(&event) {
-                emit(writer, &frame)?;
-            }
-        }
+        };
     }
 
-    // Graceful drain: resolve everything still queued, then report.
-    let (report, tail) = session.finish_with_events();
-    for event in tail {
-        for frame in wire::event_frames(&event) {
+    match engine {
+        WireEngine::Single(engine) => {
+            let mut session = engine.begin_stream(meta, options.workers);
+            emit(writer, &wire::ready_frame())?;
+            ingest!(
+                session,
+                |tenant: u64| tenant == 0,
+                |s: &mut lessismore::serve::ServeSession<'_>, _t, request| {
+                    s.submit(request).map(|_| ())
+                },
+                |s: &mut lessismore::serve::ServeSession<'_>, _t, doc: &_| s.register_tool(doc),
+                |s: &mut lessismore::serve::ServeSession<'_>, _t, id| s.retire_tool(id),
+                |s: &lessismore::serve::ServeSession<'_>, _t| s.epoch()
+            );
+            // Graceful drain: resolve everything still queued, then report.
+            let (report, tail) = session.finish_with_events();
+            for event in tail {
+                for frame in wire::event_frames(&event) {
+                    emit(writer, &frame)?;
+                }
+            }
+            emit(writer, &wire::report_frame(&report))?;
+            Ok(WireReport::Single(report))
+        }
+        WireEngine::Fleet(fleet) => {
+            let count = fleet.tenants() as u64;
+            let mut session = fleet.begin_stream(meta, options.workers);
+            emit(writer, &wire::ready_frame())?;
+            ingest!(
+                session,
+                |tenant: u64| tenant < count,
+                |s: &mut lessismore::serve::FleetSession<'_>, tenant, request| {
+                    // The tenant id was range-checked above; any residual
+                    // fleet error is a real protocol violation.
+                    s.submit(tenant, request)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                },
+                |s: &mut lessismore::serve::FleetSession<'_>, tenant, doc: &_| {
+                    s.register_tool(tenant, doc)
+                },
+                |s: &mut lessismore::serve::FleetSession<'_>, tenant, id| s.retire_tool(tenant, id),
+                |s: &lessismore::serve::FleetSession<'_>, tenant| s.epoch(tenant).unwrap_or(0)
+            );
+            let (report, tail) = session.finish_with_events();
+            for event in tail {
+                for frame in wire::event_frames(&event) {
+                    emit(writer, &frame)?;
+                }
+            }
+            // The fleet's final frame carries the report-v4 document —
+            // per-tenant breakdowns included — under the same additive
+            // `"frame": "report"` tag.
+            let mut frame = report.to_json();
+            frame.insert("frame", lessismore::json::Value::from("report"));
             emit(writer, &frame)?;
+            Ok(WireReport::Fleet(report))
         }
     }
-    emit(writer, &wire::report_frame(&report))?;
-    Ok(report)
 }
 
 /// Post-stream bookkeeping shared by the stdin and socket front-ends:
@@ -1131,17 +1409,30 @@ fn serve_wire_stream<W: std::io::Write>(
 /// `--out` report document and the `--save-checkpoint` warm state.
 fn finish_wire_stream(
     options: &Options,
-    report: &lessismore::serve::ServeReport,
-    engine: Option<&lessismore::serve::ServeEngine>,
+    report: &WireReport,
+    engine: Option<&WireEngine>,
 ) -> Result<(), String> {
+    let overall = report.overall();
     eprintln!(
         "served {} requests ({} sessions): success {:.2}%, shed {}, degraded {}",
-        report.requests,
-        report.sessions,
-        100.0 * report.success_rate,
-        report.admission.shed,
-        report.admission.degraded
+        overall.requests,
+        overall.sessions,
+        100.0 * overall.success_rate,
+        overall.admission.shed,
+        overall.admission.degraded
     );
+    if let WireReport::Fleet(fleet) = report {
+        for t in &fleet.tenants {
+            eprintln!(
+                "  t{}: {} req | shed {} | embed cap {} (floor {})",
+                t.tenant,
+                t.report.requests,
+                t.report.admission.shed,
+                t.embed_capacity,
+                t.embed_floor
+            );
+        }
+    }
     if let Some(path) = &options.out {
         std::fs::write(path, report.to_json().to_pretty_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -169,6 +169,10 @@ pub struct Options {
     pub sessions: usize,
     /// Mean requests per session for `loadgen`.
     pub requests: usize,
+    /// Tenants sharing the engine for `loadgen` (1 = single-tenant).
+    pub tenants: usize,
+    /// Zipf exponent skewing traffic across tenants for `loadgen`.
+    pub tenant_skew: f64,
     /// Admission-control flags for `loadgen`/`serve`.
     pub admission: AdmissionFlags,
     /// Trace JSON to replay (`serve`) or encode (`wire`).
@@ -225,6 +229,8 @@ impl Default for Options {
             zipf: 1.0,
             sessions: 64,
             requests: 8,
+            tenants: 1,
+            tenant_skew: 1.0,
             admission: AdmissionFlags::default(),
             trace: None,
             save_trace: None,
@@ -356,6 +362,20 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--requests needs an integer".to_owned())?;
             }
+            "--tenants" => {
+                options.tenants = value("--tenants")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "--tenants needs a positive integer".to_owned())?;
+            }
+            "--tenant-skew" => {
+                options.tenant_skew = value("--tenant-skew")?
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .ok_or_else(|| "--tenant-skew needs a non-negative number".to_owned())?;
+            }
             "--arrivals" => {
                 options.admission.arrivals = Some(ArrivalProcess::parse(&value("--arrivals")?)?);
             }
@@ -484,6 +504,10 @@ pub fn help_text() -> String {
      instead of the policy grid)   --catalogs 1000,10000  (sizes for --ann)\n\n\
      loadgen / serve options:\n  \
      --workers N (0 = all cores)  --zipf S  --sessions N  --requests N (mean/session)\n  \
+     --tenants N (loadgen: share the engine across N isolated catalogs; 1 = classic\n  \
+     single-tenant path, byte-identical to the pre-tenancy engine)\n  \
+     --tenant-skew S (loadgen: Zipf exponent skewing traffic across tenants;\n  \
+     0 = uniform, larger = hotter tenant 0)\n  \
      --arrivals back-to-back|poisson:RATE|burst:RATE:SIZE   (loadgen stamps the trace;\n  \
      serve/wire deterministically re-stamp a loaded trace — strictly opt-in, a\n  \
      replayed or streamed trace's own timestamps are honored unless the flag is given)\n  \
@@ -687,6 +711,24 @@ mod tests {
             Some(super::ArrivalProcess::BackToBack),
             "even the default process counts as an explicit re-stamp request"
         );
+    }
+
+    /// The tenancy flags parse and reject the degenerate values the
+    /// fleet layer cannot represent (zero tenants, negative skew).
+    #[test]
+    fn tenancy_flags_parse() {
+        let args: Vec<String> = ["--tenants", "8", "--tenant-skew", "1.2"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let options = super::parse(&args).expect("valid flags");
+        assert_eq!(options.tenants, 8);
+        assert!((options.tenant_skew - 1.2).abs() < 1e-12);
+        let defaults = super::parse(&[]).expect("defaults");
+        assert_eq!(defaults.tenants, 1);
+        assert!((defaults.tenant_skew - 1.0).abs() < 1e-12);
+        assert!(super::parse(&["--tenants".to_owned(), "0".to_owned()]).is_err());
+        assert!(super::parse(&["--tenant-skew".to_owned(), "-1".to_owned()]).is_err());
     }
 
     /// The wire-ingestion flags parse: `--stdin` is a bare switch and
