@@ -38,6 +38,14 @@
 //!   dropped tenant must not pass CI), and with a calm per-tenant
 //!   baseline the shed gate doubles as the isolation gate: a PR that
 //!   makes a hot neighbor push a cold tenant into shedding fails.
+//! * `lim-serve/report-v5` — everything v3 tracks plus the energy
+//!   section: `energy.joules_per_request.p50`/`p95`↓,
+//!   `energy.sustained_watts_max`↓ and `energy.gco2_per_1k_requests`↓.
+//!   Deterministic for a fixed trace + device profile, so the gate means
+//!   "serving never gets more expensive in energy" — and on a capped
+//!   baseline the sustained-watts gate pins the governor's ceiling.
+//! * `lim-serve/report-v6` — the fleet document over v5: everything v5
+//!   tracks on the fleet-wide aggregate plus the v4 per-tenant cells.
 //!
 //! Version-bump rule: a schema id changes only when a field is renamed,
 //! removed or changes meaning (additions keep the id). The two documents
@@ -147,6 +155,19 @@ const SERVE_V3_METRICS: &[(&str, Direction)] = &[
     ("catalog.retired", Direction::HigherIsBetter),
 ];
 
+/// Additional tracked metrics for `lim-serve/report-v5`: the energy
+/// section. All deterministic for a fixed trace + device profile.
+/// Joules per request and grams of CO₂ gate downward — a PR that makes
+/// serving more expensive in energy fails even when latency holds — and
+/// sustained watts gates the governor's whole point: the capped CI
+/// baseline's peak must never creep back up.
+const SERVE_V5_METRICS: &[(&str, Direction)] = &[
+    ("energy.joules_per_request.p50", Direction::LowerIsBetter),
+    ("energy.joules_per_request.p95", Direction::LowerIsBetter),
+    ("energy.sustained_watts_max", Direction::LowerIsBetter),
+    ("energy.gco2_per_1k_requests", Direction::LowerIsBetter),
+];
+
 /// Per-tenant tracked metrics for the `lim-serve/report-v4` `tenants`
 /// cells. All deterministic for a fixed trace; the shed/degraded gates
 /// on a calm baseline mean "this tenant must stay unaffected by its
@@ -236,7 +257,7 @@ pub fn compare_documents(
         "lim-serve/report-v1" => {
             compare_tracked(baseline, current, SERVE_METRICS, "serve", tolerance)
         }
-        "lim-serve/report-v2" | "lim-serve/report-v3" => {
+        "lim-serve/report-v2" | "lim-serve/report-v3" | "lim-serve/report-v5" => {
             let mut metrics = SERVE_METRICS.to_vec();
             metrics.extend_from_slice(SERVE_V2_METRICS);
             // Additive boot section: gate it only when the baseline has
@@ -246,13 +267,17 @@ pub fn compare_documents(
                     .iter()
                     .filter(|(path, _)| lookup(baseline, path).is_some()),
             );
-            if base_schema == "lim-serve/report-v3" {
+            if base_schema != "lim-serve/report-v2" {
                 metrics.extend_from_slice(SERVE_V3_METRICS);
+            }
+            if base_schema == "lim-serve/report-v5" {
+                metrics.extend_from_slice(SERVE_V5_METRICS);
             }
             compare_tracked(baseline, current, &metrics, "serve", tolerance)
         }
-        "lim-serve/report-v4" => {
-            // The fleet-wide aggregate carries the full v3 field set.
+        "lim-serve/report-v4" | "lim-serve/report-v6" => {
+            // The fleet-wide aggregate carries the full single-engine
+            // field set of its generation (v4 over v3, v6 over v5).
             let mut metrics = SERVE_METRICS.to_vec();
             metrics.extend_from_slice(SERVE_V2_METRICS);
             metrics.extend(
@@ -261,6 +286,9 @@ pub fn compare_documents(
                     .filter(|(path, _)| lookup(baseline, path).is_some()),
             );
             metrics.extend_from_slice(SERVE_V3_METRICS);
+            if base_schema == "lim-serve/report-v6" {
+                metrics.extend_from_slice(SERVE_V5_METRICS);
+            }
             let mut regressions = compare_tracked(baseline, current, &metrics, "serve", tolerance)?;
             regressions.extend(compare_cells(
                 baseline,

@@ -3,6 +3,7 @@
 use lim_core::{
     evaluate_parallel, normalize_against, BatchMetrics, Pipeline, Policy, SearchLevels,
 };
+use lim_device::{DeviceKind, DeviceProfile};
 use lim_llm::{ModelProfile, Quant};
 use lim_workloads::Workload;
 
@@ -55,10 +56,40 @@ pub fn run_grid_threads(
     seed: u64,
     threads: usize,
 ) -> Vec<GridCell> {
+    run_grid_device(
+        workload,
+        levels,
+        models,
+        quants,
+        policies,
+        seed,
+        threads,
+        DeviceKind::default().profile(),
+    )
+}
+
+/// [`run_grid_threads`] with every cell's energy model billed on an
+/// explicit device profile (the `lim bench --device` path). The paper
+/// grids default to the Jetson AGX Orin, so [`run_grid_threads`] stays
+/// byte-stable; passing a different profile scales the power and joules
+/// columns without perturbing accuracy.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_device(
+    workload: &Workload,
+    levels: &SearchLevels,
+    models: &[ModelProfile],
+    quants: &[Quant],
+    policies: &[Policy],
+    seed: u64,
+    threads: usize,
+    device: DeviceProfile,
+) -> Vec<GridCell> {
     let mut out = Vec::new();
     for model in models {
         for &quant in quants {
-            let pipeline = Pipeline::new(workload, levels, model, quant).with_seed(seed);
+            let pipeline = Pipeline::new(workload, levels, model, quant)
+                .with_seed(seed)
+                .with_device(device.clone());
             let baseline = evaluate_parallel(&pipeline, Policy::Default, threads);
             out.push(GridCell {
                 model: model.name.to_owned(),

@@ -199,13 +199,17 @@ impl<'a> ToolController<'a> {
 
     /// The Level-3 downgrade: the full catalog with zero selection work.
     ///
-    /// This is the serving layer's shed-load degrade path (`lim-serve`
-    /// admission control): under queue pressure a request skips the
-    /// recommender, the `Ẽ` embeddings and the k-NN arbitration entirely
-    /// and is served the vanilla full-tool prompt instead — the
-    /// selection stage, which the paper identifies as the dominant
-    /// overhead, contributes nothing to a degraded request's latency.
+    /// Superseded by the [`ServicePolicy`](crate::ServicePolicy) actuation
+    /// surface: `controller.actuate(ServiceLevel::Floor, &[])` produces
+    /// the identical selection, and is the one runtime entry point shared
+    /// by the admission shed path and the energy governor.
+    #[deprecated(note = "use ServicePolicy::actuate(ServiceLevel::Floor, &[]) instead")]
     pub fn downgrade_to_full(&self) -> ToolSelection {
+        self.floor_selection()
+    }
+
+    /// The floor rung's selection: every catalog tool, scoreless.
+    pub(crate) fn floor_selection(&self) -> ToolSelection {
         self.full_selection(0.0, 0.0)
     }
 
@@ -360,7 +364,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn downgrade_to_full_offers_the_whole_catalog_scoreless() {
+        // The deprecated shim must keep its exact historical behaviour
+        // while call sites migrate to ServicePolicy::actuate.
         let w = bfcl(1, 30);
         let levels = SearchLevels::build(&w);
         let c = ToolController::new(&levels, ControllerConfig::default());

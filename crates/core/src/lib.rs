@@ -42,6 +42,7 @@ mod metrics;
 mod parallel;
 pub mod persist;
 mod pipeline;
+mod service;
 mod toolllm;
 
 pub use controller::{ControllerConfig, SearchLevel, ToolController, ToolSelection};
@@ -58,6 +59,7 @@ pub use persist::{
 pub use pipeline::{
     Pipeline, Policy, QueryResult, QueryTrace, StepTrace, DEFAULT_CONTEXT, REDUCED_CONTEXT,
 };
+pub use service::{ServiceLevel, ServicePolicy};
 pub use toolllm::{plan_dfsdt, DfsdtConfig, DfsdtPlan};
 
 #[cfg(test)]

@@ -1,0 +1,195 @@
+//! The runtime service-level ladder and its single actuation surface.
+//!
+//! Historically the serving layer had exactly one way to change what a
+//! request is offered at runtime: the ad-hoc
+//! `ToolController::downgrade_to_full` call hard-wired into the admission
+//! shed path. Energy-aware serving needs a second actuator (a power-budget
+//! governor), and rather than bake in a second special case, both now go
+//! through one typed surface: a [`ServiceLevel`] ladder (selection level ×
+//! quant profile) actuated via [`ServicePolicy::actuate`].
+
+use lim_llm::Quant;
+
+use crate::controller::{ToolController, ToolSelection};
+
+/// A rung on the runtime service ladder.
+///
+/// Each rung fixes *how a request is served*: which tool-selection
+/// machinery runs and which quantization profile executes the call. The
+/// ladder is ordered by fidelity; actuators only ever move along it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceLevel {
+    /// Configured selection policy at the configured quant — the normal
+    /// full-fidelity service.
+    #[default]
+    Full,
+    /// Same selection machinery, one quant step coarser — the energy
+    /// governor's descent rung: fewer weight bytes per call, lower
+    /// joules/request, slightly lower per-call competence.
+    Economy,
+    /// Selection-free Level-3 full catalog at the configured quant — the
+    /// admission shed-path degrade (what `downgrade_to_full` used to do):
+    /// zero selection work, vanilla function calling.
+    Floor,
+}
+
+impl ServiceLevel {
+    /// All rungs, highest fidelity first.
+    pub const LADDER: [ServiceLevel; 3] = [
+        ServiceLevel::Full,
+        ServiceLevel::Economy,
+        ServiceLevel::Floor,
+    ];
+
+    /// Stable label used in reports and checkpoints.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceLevel::Full => "full",
+            ServiceLevel::Economy => "economy",
+            ServiceLevel::Floor => "floor",
+        }
+    }
+
+    /// Parses a [`ServiceLevel::label`] back (checkpoint restore).
+    pub fn from_label(s: &str) -> Option<ServiceLevel> {
+        match s {
+            "full" => Some(ServiceLevel::Full),
+            "economy" => Some(ServiceLevel::Economy),
+            "floor" => Some(ServiceLevel::Floor),
+            _ => None,
+        }
+    }
+
+    /// The quant profile this rung executes at, given the configured one.
+    ///
+    /// `Economy` steps one rung down the bits-per-weight ladder
+    /// (f16 → q8_0 → q4_K_M → q4_0, with q4_1 → q4_0); `q4_0` is already
+    /// the coarsest variant and stays put. `Full` and `Floor` run the
+    /// configured quant unchanged — `Floor` degrades *selection*, not the
+    /// model.
+    pub fn quant_for(self, configured: Quant) -> Quant {
+        match self {
+            ServiceLevel::Full | ServiceLevel::Floor => configured,
+            ServiceLevel::Economy => match configured {
+                Quant::F16 => Quant::Q8_0,
+                Quant::Q8_0 => Quant::Q4KM,
+                Quant::Q4KM | Quant::Q4_1 | Quant::Q4_0 => Quant::Q4_0,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The single runtime actuation surface for changing service level.
+///
+/// Every actuator — admission shed-path degrade, the energy governor,
+/// future thermal/battery/price policies — requests a [`ServiceLevel`]
+/// through this trait instead of calling bespoke controller entry points.
+pub trait ServicePolicy {
+    /// Produces the tool selection that serves a request at `level`.
+    ///
+    /// `contexts` are the query's `Ẽ` context embeddings (as fed to
+    /// `ToolController::select_embedded`); rungs that skip selection
+    /// ([`ServiceLevel::Floor`]) ignore them, so callers on the floor path
+    /// may pass `&[]` and skip computing them entirely.
+    fn actuate(&self, level: ServiceLevel, contexts: &[lim_embed::Embedding]) -> ToolSelection;
+}
+
+impl ServicePolicy for ToolController<'_> {
+    fn actuate(&self, level: ServiceLevel, contexts: &[lim_embed::Embedding]) -> ToolSelection {
+        match level {
+            // Full and Economy differ only in execution quant, which the
+            // pipeline applies; the selection machinery is identical.
+            ServiceLevel::Full | ServiceLevel::Economy => self.select_embedded(contexts),
+            // The Level-3 floor: the whole catalog, zero selection work.
+            // Under queue pressure a request skips the recommender, the Ẽ
+            // embeddings and the k-NN arbitration entirely — the selection
+            // stage contributes nothing to a degraded request's latency.
+            ServiceLevel::Floor => self.floor_selection(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, SearchLevel};
+    use crate::levels::SearchLevels;
+    use lim_workloads::bfcl;
+
+    #[test]
+    fn labels_round_trip() {
+        for level in ServiceLevel::LADDER {
+            assert_eq!(ServiceLevel::from_label(level.label()), Some(level));
+        }
+        assert_eq!(ServiceLevel::from_label("turbo"), None);
+    }
+
+    #[test]
+    fn economy_strictly_reduces_bits_except_at_the_coarsest() {
+        for q in Quant::ALL {
+            let eco = ServiceLevel::Economy.quant_for(q);
+            if q == Quant::Q4_0 {
+                assert_eq!(eco, Quant::Q4_0);
+            } else {
+                assert!(
+                    eco.bits_per_weight() < q.bits_per_weight(),
+                    "{q} -> {eco} must shed bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_and_floor_keep_the_configured_quant() {
+        for q in Quant::ALL {
+            assert_eq!(ServiceLevel::Full.quant_for(q), q);
+            assert_eq!(ServiceLevel::Floor.quant_for(q), q);
+        }
+    }
+
+    #[test]
+    fn floor_actuation_matches_the_old_downgrade_entry_point() {
+        let w = bfcl(1, 30);
+        let levels = SearchLevels::build(&w);
+        let c = ToolController::new(&levels, ControllerConfig::default());
+        #[allow(deprecated)]
+        let old = c.downgrade_to_full();
+        let new = c.actuate(ServiceLevel::Floor, &[]);
+        assert_eq!(old, new);
+        assert_eq!(new.level, SearchLevel::Full);
+        assert_eq!(new.tool_indices, levels.full_level());
+    }
+
+    #[test]
+    fn full_and_economy_actuate_the_same_selection() {
+        let w = bfcl(2, 30);
+        let levels = SearchLevels::build(&w);
+        let c = ToolController::new(&levels, ControllerConfig::with_k(3));
+        let contexts = vec![levels.embedder().embed_with_context(
+            "What's the weather like in Paris right now?",
+            "fetches the current weather conditions for a city",
+        )];
+        let full = c.actuate(ServiceLevel::Full, &contexts);
+        let eco = c.actuate(ServiceLevel::Economy, &contexts);
+        assert_eq!(full, eco, "economy changes quant, not selection");
+        assert_eq!(full, c.select_embedded(&contexts));
+    }
+
+    #[test]
+    fn floor_ignores_contexts() {
+        let w = bfcl(3, 30);
+        let levels = SearchLevels::build(&w);
+        let c = ToolController::new(&levels, ControllerConfig::default());
+        let contexts = vec![levels.embedder().embed_with_context("q", "r")];
+        assert_eq!(
+            c.actuate(ServiceLevel::Floor, &contexts),
+            c.actuate(ServiceLevel::Floor, &[])
+        );
+    }
+}

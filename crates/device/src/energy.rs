@@ -70,6 +70,26 @@ impl EnergyMeter {
         self.phases.push(cost);
     }
 
+    /// Records time spent *waiting* — e.g. queued behind other requests —
+    /// during which the board still draws its idle power.
+    ///
+    /// [`EnergyMeter::total`] only sums recorded phases, so without this
+    /// call queue-wait seconds would be billed at zero watts and reported
+    /// joules/request would understate admission backpressure. The phase
+    /// is labelled `"idle"` and contributes `idle_power_w × seconds`
+    /// joules; zero or negative waits record nothing.
+    pub fn record_idle(&mut self, seconds: f64, idle_power_w: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        self.phases.push(PhaseCost {
+            label: "idle".into(),
+            seconds,
+            watts: idle_power_w,
+            joules: idle_power_w * seconds,
+        });
+    }
+
     /// The recorded phases in execution order.
     pub fn phases(&self) -> &[PhaseCost] {
         &self.phases
@@ -132,6 +152,28 @@ mod tests {
         m.record(cost("prefill", 0.5, 30.0));
         assert!((m.seconds_for("prefill") - 1.5).abs() < 1e-9);
         assert_eq!(m.seconds_for("missing"), 0.0);
+    }
+
+    #[test]
+    fn idle_wait_bills_idle_power_into_the_total() {
+        // A 1 s execution phase at 20 W plus a 3.5 s queue wait on a 9 W
+        // board must total 1 × 20 + 3.5 × 9 = 51.5 J over 4.5 s.
+        let mut m = EnergyMeter::new();
+        m.record(cost("decode", 1.0, 20.0));
+        m.record_idle(3.5, 9.0);
+        let t = m.total();
+        assert!((t.seconds - 4.5).abs() < 1e-12);
+        assert!((t.joules - 51.5).abs() < 1e-12);
+        assert!((m.seconds_for("idle") - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_or_negative_idle_records_nothing() {
+        let mut m = EnergyMeter::new();
+        m.record_idle(0.0, 9.0);
+        m.record_idle(-1.0, 9.0);
+        assert!(m.phases().is_empty());
+        assert_eq!(m.total().joules, 0.0);
     }
 
     #[test]

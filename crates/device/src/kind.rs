@@ -1,0 +1,126 @@
+//! Typed selection of the built-in board profiles.
+
+use std::str::FromStr;
+
+use crate::profile::DeviceProfile;
+
+/// A named built-in board, selectable uniformly across every CLI surface
+/// (`--device agx-orin|agx-orin-30w|orin-nano`).
+///
+/// [`DeviceProfile`] stays the open-ended description type — custom boards
+/// are still constructed with [`DeviceProfile::new`] — but everything that
+/// takes a *choice* of board (CLI flags, serve configs, checkpoints) goes
+/// through this enum so the choice has one spelling, one parser and one
+/// label per board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceKind {
+    /// Jetson AGX Orin 64 GB, MAXN power mode (the calibrated default).
+    #[default]
+    AgxOrin,
+    /// Jetson AGX Orin in its capped 30 W power mode.
+    AgxOrin30w,
+    /// Jetson Orin Nano 8 GB.
+    OrinNano,
+}
+
+impl DeviceKind {
+    /// Every selectable board, in flag-help order.
+    pub const ALL: [DeviceKind; 3] = [
+        DeviceKind::AgxOrin,
+        DeviceKind::AgxOrin30w,
+        DeviceKind::OrinNano,
+    ];
+
+    /// The CLI spelling (`"agx-orin"`, `"agx-orin-30w"`, `"orin-nano"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::AgxOrin => "agx-orin",
+            DeviceKind::AgxOrin30w => "agx-orin-30w",
+            DeviceKind::OrinNano => "orin-nano",
+        }
+    }
+
+    /// Instantiates the calibrated profile for this board.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceKind::AgxOrin => DeviceProfile::jetson_agx_orin(),
+            DeviceKind::AgxOrin30w => DeviceProfile::jetson_agx_orin_30w(),
+            DeviceKind::OrinNano => DeviceProfile::jetson_orin_nano(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when a device name does not match any built-in board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeviceError(String);
+
+impl std::fmt::Display for ParseDeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown device '{}' (expected agx-orin, agx-orin-30w or orin-nano)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDeviceError {}
+
+impl FromStr for DeviceKind {
+    type Err = ParseDeviceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "agx-orin" => Ok(DeviceKind::AgxOrin),
+            "agx-orin-30w" => Ok(DeviceKind::AgxOrin30w),
+            "orin-nano" => Ok(DeviceKind::OrinNano),
+            other => Err(ParseDeviceError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(kind.label().parse::<DeviceKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_device_is_rejected_with_the_choices() {
+        let err = "agx".parse::<DeviceKind>().unwrap_err();
+        assert!(err.to_string().contains("agx-orin-30w"));
+    }
+
+    #[test]
+    fn profiles_match_the_constructors() {
+        assert_eq!(
+            DeviceKind::AgxOrin.profile(),
+            DeviceProfile::jetson_agx_orin()
+        );
+        assert_eq!(
+            DeviceKind::AgxOrin30w.profile(),
+            DeviceProfile::jetson_agx_orin_30w()
+        );
+        assert_eq!(
+            DeviceKind::OrinNano.profile(),
+            DeviceProfile::jetson_orin_nano()
+        );
+    }
+
+    #[test]
+    fn default_is_the_calibrated_board() {
+        assert_eq!(DeviceKind::default(), DeviceKind::AgxOrin);
+        assert_eq!(DeviceKind::default().label(), "agx-orin");
+    }
+}

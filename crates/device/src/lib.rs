@@ -32,11 +32,13 @@
 //! ```
 
 mod energy;
+mod kind;
 mod memory;
 mod phase;
 mod profile;
 
 pub use energy::{EnergyMeter, QueryCost};
+pub use kind::{DeviceKind, ParseDeviceError};
 pub use memory::{AllocationError, MemoryLedger};
 pub use phase::{Phase, PhaseCost};
 pub use profile::DeviceProfile;

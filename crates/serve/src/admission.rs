@@ -19,8 +19,9 @@
 //! * [`ShedPolicy::Degrade`] — pressure is relieved *before* the hard
 //!   bound: arrivals that find the queue at or beyond half capacity are
 //!   admitted **degraded** — served the Level-3 full catalog with zero
-//!   selection work (see `ToolController::downgrade_to_full` in
-//!   `lim-core`), so the queued work per request shrinks under load.
+//!   selection work (the `ServiceLevel::Floor` rung, actuated through
+//!   `ServicePolicy` in `lim-core`), so the queued work per request
+//!   shrinks under load.
 //!   Arrivals that find the queue completely full are still shed.
 //!
 //! Everything here is sequential and a pure function of its inputs
@@ -281,6 +282,13 @@ impl AdmissionSim {
     /// Requests offered so far; the next offer gets this index.
     pub fn submitted(&self) -> usize {
         self.arrivals.len()
+    }
+
+    /// Whether request `i` was marked for degraded (Level-3) service.
+    /// The flag is decided synchronously during the request's own
+    /// [`offer`](Self::offer), so it is stable immediately afterwards.
+    pub fn degraded(&self, i: usize) -> bool {
+        self.degraded_flag[i]
     }
 
     /// Full-quality or degraded service seconds for request `i`.
@@ -565,6 +573,12 @@ impl FleetAdmissionSim {
     /// Requests offered so far; the next offer gets this global index.
     pub fn submitted(&self) -> usize {
         self.arrivals.len()
+    }
+
+    /// Whether request `i` was marked for degraded (Level-3) service
+    /// (decided synchronously during its own [`offer`](Self::offer)).
+    pub fn degraded(&self, i: usize) -> bool {
+        self.degraded_flag[i]
     }
 
     /// Full-quality or degraded service seconds for request `i`.

@@ -61,8 +61,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lim_core::{
-    Pipeline, Policy, SearchLevel, SearchLevels, ToolController, ToolSelection, DEFAULT_CONTEXT,
-    REDUCED_CONTEXT,
+    Pipeline, Policy, SearchLevel, SearchLevels, ServiceLevel, ServicePolicy, ToolController,
+    ToolSelection, DEFAULT_CONTEXT, REDUCED_CONTEXT,
 };
 use lim_embed::Embedding;
 use lim_llm::recommender::{recommend_descriptions, stable_text_seed};
@@ -74,10 +74,16 @@ use lim_workloads::{Query, Workload};
 
 use lim_core::{levels_from_snapshot, Snapshot, SnapshotError};
 
+use lim_device::DeviceKind;
+use lim_workloads::carbon::CarbonTrace;
+
 use crate::admission::{AdmissionConfig, AdmissionOutcome, Disposition};
 use crate::cache::{CacheStats, Lookup, LruCache};
 use crate::catalog::{CatalogCounters, CatalogOp, CatalogRecord};
-use crate::report::{AdmissionReport, BootReport, CatalogReport, LatencyStats, ServeReport};
+use crate::governor::{EnergyAccounting, GovernorConfig, GovernorState};
+use crate::report::{
+    AdmissionReport, BootReport, CatalogReport, EnergyReport, LatencyStats, ServeReport,
+};
 use crate::snapshot as snap;
 
 /// Simulated seconds to decode one snapshot payload byte at boot
@@ -136,6 +142,13 @@ pub struct ServeConfig {
     /// (`SearchLevels::refresh_clusters`). `0.0` refreshes after every
     /// mutation; a very large value effectively disables refreshes.
     pub cluster_refresh_fraction: f64,
+    /// Simulated device the engine serves on: energy physics (prefill /
+    /// decode / selection joules) and idle draw. The default matches
+    /// [`lim_core::Pipeline::new`]'s Jetson AGX Orin.
+    pub device: DeviceKind,
+    /// Power-budget governor knobs (inactive by default — no cap, no
+    /// carbon budget). See [`crate::governor`].
+    pub governor: GovernorConfig,
 }
 
 impl Default for ServeConfig {
@@ -151,6 +164,8 @@ impl Default for ServeConfig {
             prewarm: true,
             admission: AdmissionConfig::default(),
             cluster_refresh_fraction: 0.25,
+            device: DeviceKind::AgxOrin,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -237,8 +252,25 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Simulated device the engine serves on (energy physics and idle
+    /// draw).
+    pub fn device(mut self, device: DeviceKind) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Power-budget governor knobs (see [`crate::governor`]). The
+    /// configuration is normalized at [`build`](Self::build): a zero,
+    /// negative or non-finite cap/budget collapses to the `0.0` "off"
+    /// encoding, so `--power-cap-w inf` is byte-identical to ungoverned.
+    pub fn governor(mut self, governor: GovernorConfig) -> Self {
+        self.config.governor = governor;
+        self
+    }
+
     /// Finalizes the configuration.
-    pub fn build(self) -> ServeConfig {
+    pub fn build(mut self) -> ServeConfig {
+        self.config.governor = self.config.governor.normalized();
         self.config
     }
 }
@@ -329,7 +361,7 @@ pub(crate) struct RequestOutcome {
     offered_tools: usize,
     level: Option<SearchLevel>,
     pub(crate) seconds: f64,
-    joules: f64,
+    pub(crate) joules: f64,
 }
 
 impl RequestOutcome {
@@ -404,6 +436,14 @@ pub struct ServeEngine {
     /// ids prefix every cache key with `t{id}|`, so entries can never
     /// alias across tenants even if caches are ever pooled.
     pub(crate) tenant: u64,
+    /// Seeded carbon-intensity trace energy accounting samples at
+    /// virtual arrival time (seed = `config.governor.carbon_seed`).
+    pub(crate) carbon: CarbonTrace,
+    /// Engine-persistent governor machine: current service rung plus the
+    /// sliding sustained-watts window. Checkpointed (always — the
+    /// estimator runs even uncapped) so a restored engine replays a
+    /// stream suffix to the byte.
+    pub(crate) governor: GovernorState,
 }
 
 impl ServeEngine {
@@ -532,9 +572,13 @@ impl ServeEngine {
         workload: Arc<Workload>,
         levels: Arc<SearchLevels>,
         model: ModelProfile,
-        config: ServeConfig,
+        mut config: ServeConfig,
         tenant: u64,
     ) -> Self {
+        // Canonicalize the governor knobs no matter how the config was
+        // produced (builder, struct mutation, fleet apportioning) so
+        // checkpoints always carry finite, comparable values.
+        config.governor = config.governor.normalized();
         Self {
             workload,
             levels,
@@ -551,6 +595,8 @@ impl ServeEngine {
             catalog: CatalogCounters::default(),
             churn_since_refresh: 0,
             tenant,
+            carbon: CarbonTrace::new(config.governor.carbon_seed),
+            governor: GovernorState::new(),
         }
     }
 
@@ -1180,10 +1226,11 @@ impl ServeEngine {
     }
 
     /// The admission layer's degrade path: the Level-3 full catalog with
-    /// zero selection overhead (see `ToolController::downgrade_to_full`).
-    /// A degraded request pays the vanilla full-prompt execution but
-    /// nothing for selection — the recommender, the `Ẽ` embeddings and
-    /// the k-NN arbitration are all skipped.
+    /// zero selection overhead ([`ServiceLevel::Floor`] through the
+    /// [`ServicePolicy`] actuation API). A degraded request pays the
+    /// vanilla full-prompt execution but nothing for selection — the
+    /// recommender, the `Ẽ` embeddings and the k-NN arbitration are all
+    /// skipped.
     pub(crate) fn execute_degraded(
         &self,
         pipeline: &Pipeline<'_>,
@@ -1191,7 +1238,7 @@ impl ServeEngine {
     ) -> RequestOutcome {
         let query = &self.workload.queries[request.query_index];
         let controller = ToolController::new(&self.levels, Default::default());
-        let selection = controller.downgrade_to_full();
+        let selection = controller.actuate(ServiceLevel::Floor, &[]);
         let result = pipeline.run_query_offered(query, &selection.tool_indices, DEFAULT_CONTEXT);
         RequestOutcome {
             success: result.success,
@@ -1211,6 +1258,7 @@ impl ServeEngine {
         outcomes: &[RequestOutcome],
         degraded_outcomes: Option<&[RequestOutcome]>,
         admission: &AdmissionOutcome,
+        energy: EnergyAccounting<'_>,
         embed_before: CacheStats,
         memo_before: CacheStats,
         session_fast_before: u64,
@@ -1222,6 +1270,7 @@ impl ServeEngine {
             outcomes,
             degraded_outcomes,
             admission,
+            energy,
             self.embed_cache.stats().since(&embed_before),
             self.memo.stats().since(&memo_before),
             self.session_fast_hits - session_fast_before,
@@ -1259,6 +1308,7 @@ impl ServeEngine {
         outcomes: &[RequestOutcome],
         degraded_outcomes: Option<&[RequestOutcome]>,
         admission: &AdmissionOutcome,
+        energy: EnergyAccounting<'_>,
         embed_cache: CacheStats,
         selection_memo: CacheStats,
         session_fast_hits: u64,
@@ -1267,10 +1317,12 @@ impl ServeEngine {
         wall_seconds: f64,
     ) -> ServeReport {
         // Resolve each request's *final* outcome through its admission
-        // disposition: served → the full-quality outcome, degraded → the
-        // Level-3 alternative, shed → never executed (None). Shed
-        // requests stay in every denominator: shedding buys stability by
-        // paying accuracy, and the report must show that price.
+        // disposition: served → the outcome at the governor's chosen
+        // rung (full fidelity unless the governor stepped it down to
+        // Economy), degraded → the Level-3 alternative, shed → never
+        // executed (None). Shed requests stay in every denominator:
+        // shedding buys stability by paying accuracy, and the report
+        // must show that price.
         let resolved: Vec<Option<&RequestOutcome>> = admission
             .dispositions
             .iter()
@@ -1280,11 +1332,37 @@ impl ServeEngine {
                 Disposition::Degraded { .. } => {
                     Some(degraded_outcomes.map_or(&outcomes[i], |alt| &alt[i]))
                 }
-                Disposition::Served { .. } => Some(&outcomes[i]),
+                Disposition::Served { .. } => match (energy.chosen.get(i), energy.eco_outcomes) {
+                    (Some(ServiceLevel::Economy), Some(eco)) => Some(&eco[i]),
+                    _ => Some(&outcomes[i]),
+                },
             })
             .collect();
         let n = outcomes.len().max(1) as f64;
         let executed = || resolved.iter().flatten();
+        // The energy ledger is index-aligned with the dispositions; shed
+        // requests drew nothing and stay out of the per-request joule
+        // percentiles (they still count in the gCO₂ denominator — grams
+        // per *offered* request is the deployment-facing rate).
+        let request_joules: Vec<f64> = resolved
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| energy.ledger.joules.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let total_grams: f64 = energy.ledger.grams.iter().sum();
+        let knobs = energy.knobs.unwrap_or(self.config.governor);
+        let energy_report = EnergyReport {
+            device: self.config.device.label().to_owned(),
+            power_cap_w: knobs.power_cap_w,
+            window_s: knobs.window_s,
+            carbon_seed: knobs.carbon_seed,
+            carbon_budget_g_per_h: knobs.carbon_budget_g_per_h,
+            joules_per_request: LatencyStats::from_seconds(&request_joules),
+            sustained_watts_max: energy.ledger.sustained_watts_max,
+            gco2_per_1k_requests: total_grams / n * 1000.0,
+            governor_transitions: energy.ledger.transitions,
+        };
         let total_seconds: f64 = executed().map(|o| o.seconds).sum();
         let total_joules: f64 = executed().map(|o| o.joules).sum();
         let latencies: Vec<f64> = executed().map(|o| o.seconds).collect();
@@ -1319,6 +1397,7 @@ impl ServeEngine {
             } else {
                 0.0
             },
+            energy: energy_report,
             embed_cache,
             selection_memo,
             session_fast_hits,

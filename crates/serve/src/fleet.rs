@@ -52,15 +52,16 @@
 
 use std::sync::Arc;
 
-use lim_core::{resolve_threads, Policy, SearchLevels, Snapshot, SnapshotError};
+use lim_core::{resolve_threads, Policy, SearchLevels, ServiceLevel, Snapshot, SnapshotError};
 use lim_llm::ModelProfile;
 use lim_tools::ToolDoc;
 use lim_workloads::trace::{ArrivalProcess, ChurnOp, SessionTrace};
 use lim_workloads::Workload;
 
-use crate::admission::{FleetAdmissionSim, ShedPolicy};
+use crate::admission::{Disposition, FleetAdmissionSim, ShedPolicy};
 use crate::cache::CacheStats;
 use crate::engine::{ReportScope, RequestOutcome, ServeConfig, ServeEngine};
+use crate::governor::{EnergyAccounting, EnergyLedger, GovernorConfig, GovernorState};
 use crate::report::{CatalogReport, FleetReport, TenantReport};
 use crate::session::{RequestEvent, StreamMeta, StreamRequest, Ticket};
 
@@ -187,6 +188,19 @@ pub fn partition(budget: usize, floor: usize, weights: &[u64]) -> Vec<usize> {
     slices
 }
 
+/// [`partition`] over a continuous budget (watts, g CO₂/h): quantized
+/// to integer milli-units so the split is exact, with the same
+/// quarter-of-an-equal-share floor the cache budgets default to.
+fn partition_budget(total: f64, tenants: usize, weights: &[u64]) -> Vec<f64> {
+    let tenants = tenants.max(1);
+    let total_m = ((total * 1000.0).round() as usize).max(tenants);
+    let floor_m = (total_m / (4 * tenants)).max(1);
+    partition(total_m, floor_m, weights)
+        .into_iter()
+        .map(|m| m as f64 / 1000.0)
+        .collect()
+}
+
 /// Why a [`FleetSession::submit`] was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FleetSubmitError {
@@ -230,6 +244,11 @@ pub struct FleetEngine {
     /// Lifetime globally submitted requests (drives the rebalance
     /// cadence).
     pub(crate) total_submitted: u64,
+    /// Fleet-wide passive sustained-watts estimator: observes every
+    /// tenant's admitted energy (never decides — actuation is
+    /// per-tenant) so the overall report can state what the whole box
+    /// drew. Checkpointed with the fleet section.
+    pub(crate) estimator: GovernorState,
 }
 
 impl FleetEngine {
@@ -286,12 +305,15 @@ impl FleetEngine {
                 )
             })
             .collect();
-        Ok(Self {
+        let mut fleet = Self {
             engines,
             config,
             traffic,
             total_submitted: 0,
-        })
+            estimator: GovernorState::new(),
+        };
+        fleet.apportion_governor();
+        Ok(fleet)
     }
 
     /// Number of tenants this fleet serves.
@@ -348,6 +370,41 @@ impl FleetEngine {
         for (tenant, engine) in self.engines.iter_mut().enumerate() {
             engine.resize_caches(embed[tenant], memo[tenant]);
         }
+        self.apportion_governor();
+    }
+
+    /// Splits the fleet-wide power cap (and carbon budget) across
+    /// tenants through the same floor + largest-remainder machinery as
+    /// the cache budgets, weighted by cumulative traffic, in integer
+    /// milliwatts (milligrams) so the slices are exact and
+    /// deterministic. No-op when the base governor has no cap/budget.
+    fn apportion_governor(&mut self) {
+        let base = self.config.base.governor.normalized();
+        if base.power_capped() {
+            let caps = partition_budget(base.power_cap_w, self.config.tenants, &self.traffic);
+            for (tenant, engine) in self.engines.iter_mut().enumerate() {
+                engine.config.governor.power_cap_w = caps[tenant];
+            }
+        }
+        if base.carbon_capped() {
+            let budgets = partition_budget(
+                base.carbon_budget_g_per_h,
+                self.config.tenants,
+                &self.traffic,
+            );
+            for (tenant, engine) in self.engines.iter_mut().enumerate() {
+                engine.config.governor.carbon_budget_g_per_h = budgets[tenant];
+            }
+        }
+    }
+
+    /// Current per-tenant power-cap slices in watts (all `0.0` when the
+    /// fleet is uncapped).
+    pub fn power_caps_w(&self) -> Vec<f64> {
+        self.engines
+            .iter()
+            .map(|e| e.config.governor.power_cap_w)
+            .collect()
     }
 
     /// Registers a tool on one tenant's live catalog (the tenant's
@@ -427,6 +484,9 @@ impl FleetEngine {
             && base.admission.shed_policy == ShedPolicy::Degrade
             && open_loop
             && !matches!(base.policy, Policy::Default);
+        let base_governor = base.governor.normalized();
+        let needs_eco = base_governor.active() && open_loop;
+        let idle_power_w = base.device.profile().idle_power_w();
         let sim = FleetAdmissionSim::new(
             vec![base.admission; self.engines.len()],
             base.admission.effective_servers(),
@@ -442,6 +502,9 @@ impl FleetEngine {
             meta,
             open_loop,
             needs_degraded,
+            needs_eco,
+            base_governor,
+            idle_power_w,
             started: std::time::Instant::now(),
             embed_before,
             memo_before,
@@ -452,6 +515,12 @@ impl FleetEngine {
             tenant_of: Vec::new(),
             outcomes: Vec::new(),
             degraded_outcomes: Vec::new(),
+            eco_outcomes: Vec::new(),
+            chosen: Vec::new(),
+            arrivals: Vec::new(),
+            energy: EnergyLedger::default(),
+            tenant_transitions: vec![0; tenants],
+            tenant_watts_max: vec![0.0; tenants],
             queries: vec![Vec::new(); tenants],
             all_queries: Vec::new(),
             session_runs: vec![0; tenants],
@@ -563,6 +632,15 @@ pub struct FleetSession<'e> {
     meta: StreamMeta,
     open_loop: bool,
     needs_degraded: bool,
+    /// Whether any tenant's governor can actuate on this stream (active
+    /// base config on an open-loop stream).
+    needs_eco: bool,
+    /// The normalized fleet-wide governor knobs (what the passive
+    /// fleet estimator windows over; tenants decide with their own
+    /// apportioned slices).
+    base_governor: GovernorConfig,
+    /// Idle draw of the shared device profile.
+    idle_power_w: f64,
     started: std::time::Instant,
     embed_before: Vec<CacheStats>,
     memo_before: Vec<CacheStats>,
@@ -579,6 +657,22 @@ pub struct FleetSession<'e> {
     /// order.
     outcomes: Vec<RequestOutcome>,
     degraded_outcomes: Vec<RequestOutcome>,
+    /// Economy-rung alternatives, global submission order (empty when no
+    /// governor can actuate).
+    eco_outcomes: Vec<RequestOutcome>,
+    /// The owning tenant's governor rung per request, global submission
+    /// order.
+    chosen: Vec<ServiceLevel>,
+    /// Arrival instant per request, global submission order.
+    arrivals: Vec<f64>,
+    /// Fleet-wide energy ledger: per-request joules/grams plus the
+    /// fleet estimator's sustained-watts max.
+    energy: EnergyLedger,
+    /// Governor rung transitions per tenant.
+    tenant_transitions: Vec<u64>,
+    /// Per-tenant sustained-watts max (each tenant's governor windows
+    /// its own admitted energy).
+    tenant_watts_max: Vec<f64>,
     /// Query indices per tenant (for per-tenant unique counts).
     queries: Vec<Vec<usize>>,
     /// Query indices globally (for the overall unique count).
@@ -701,6 +795,10 @@ impl FleetSession<'_> {
             self.degraded_outcomes
                 .extend((0..batch.len()).map(|_| RequestOutcome::placeholder()));
         }
+        if self.needs_eco {
+            self.eco_outcomes
+                .extend((0..batch.len()).map(|_| RequestOutcome::placeholder()));
+        }
         for tenant in 0..self.fleet.engines.len() {
             let positions: Vec<usize> = batch
                 .iter()
@@ -712,34 +810,117 @@ impl FleetSession<'_> {
                 continue;
             }
             let slice: Vec<StreamRequest> = positions.iter().map(|i| batch[*i].1).collect();
-            let out =
-                self.fleet.engines[tenant].drain_batch(&slice, self.workers, self.needs_degraded);
+            let out = self.fleet.engines[tenant].drain_batch(
+                &slice,
+                self.workers,
+                self.needs_degraded,
+                self.needs_eco,
+            );
             for (k, &i) in positions.iter().enumerate() {
                 self.outcomes[base + i] = out.outcomes[k].clone();
                 if self.needs_degraded {
                     self.degraded_outcomes[base + i] = out.degraded[k].clone();
                 }
+                if self.needs_eco {
+                    self.eco_outcomes[base + i] = out.eco[k].clone();
+                }
             }
         }
 
         // Stage 5: one admission offer per request in global submission
-        // order, exactly like the single-engine session.
+        // order, exactly like the single-engine session. The owning
+        // tenant's governor decides the service rung *before* the offer
+        // (on its apportioned cap slice), then both the tenant governor
+        // and the passive fleet-wide estimator observe the admitted
+        // energy *after* the offer resolves.
         let mut events = Vec::new();
         for (i, (tenant, request)) in batch.iter().enumerate() {
             let index = base + i;
+            let arrival = request.arrival_s.unwrap_or(0.0);
+            self.arrivals.push(arrival);
+            let chosen = if self.needs_eco {
+                let engine = &mut self.fleet.engines[*tenant];
+                let config = engine.config.governor;
+                let before = engine.governor.level();
+                let served = engine.governor.decide(
+                    &config,
+                    &engine.carbon,
+                    arrival,
+                    self.outcomes[index].joules,
+                    self.eco_outcomes[index].joules,
+                );
+                // Transitions count rung moves of the tenant's state
+                // machine, not per-request served-variant flips.
+                if engine.governor.level() != before {
+                    self.tenant_transitions[*tenant] += 1;
+                }
+                served
+            } else {
+                ServiceLevel::Full
+            };
+            self.chosen.push(chosen);
+            let service_s = match chosen {
+                ServiceLevel::Economy => self.eco_outcomes[index].seconds,
+                _ => self.outcomes[index].seconds,
+            };
             let resolved = self.sim.offer(
                 *tenant,
                 request.session,
-                request.arrival_s.unwrap_or(0.0),
-                self.outcomes[index].seconds,
+                arrival,
+                service_s,
                 self.needs_degraded
                     .then(|| self.degraded_outcomes[index].seconds),
             );
+            let shed_now = resolved
+                .iter()
+                .any(|(idx, d)| *idx == index && matches!(d, Disposition::Shed));
+            let admitted_joules = if shed_now {
+                0.0
+            } else if self.sim.degraded(index) {
+                self.floor_joules(index)
+            } else {
+                self.variant_joules(index)
+            };
+            {
+                let engine = &mut self.fleet.engines[*tenant];
+                let config = engine.config.governor;
+                let watts = engine.governor.observe(&config, arrival, admitted_joules);
+                if watts > self.tenant_watts_max[*tenant] {
+                    self.tenant_watts_max[*tenant] = watts;
+                }
+            }
+            let fleet_watts =
+                self.fleet
+                    .estimator
+                    .observe(&self.base_governor, arrival, admitted_joules);
+            if fleet_watts > self.energy.sustained_watts_max {
+                self.energy.sustained_watts_max = fleet_watts;
+            }
             for (idx, disposition) in resolved {
-                events.push(self.event(idx, disposition));
+                let event = self.event(idx, disposition);
+                events.push(event);
             }
         }
         events
+    }
+
+    /// Execution joules at the rung the governor chose for `index`.
+    fn variant_joules(&self, index: usize) -> f64 {
+        match self.chosen.get(index) {
+            Some(ServiceLevel::Economy) => self.eco_outcomes[index].joules,
+            _ => self.outcomes[index].joules,
+        }
+    }
+
+    /// Execution joules at the admission floor (degraded Level-3 pass
+    /// when it ran, full-quality otherwise — mirroring the service-time
+    /// fallback in [`Self::event`]).
+    fn floor_joules(&self, index: usize) -> f64 {
+        if self.needs_degraded {
+            self.degraded_outcomes[index].joules
+        } else {
+            self.outcomes[index].joules
+        }
     }
 
     /// Registers a tool on `tenant`'s live catalog mid-stream, draining
@@ -847,12 +1028,22 @@ impl FleetSession<'_> {
         let fast_delta =
             |t: usize| self.fleet.engines[t].session_fast_hits - self.session_fast_before[t];
         let tenants = self.fleet.engines.len();
+        // The fleet-wide transition count is the sum over per-tenant
+        // governors; sustained watts came from the passive fleet-wide
+        // estimator as the stream ran.
+        self.energy.transitions = self.tenant_transitions.iter().sum();
         let overall = self.fleet.engines[0].compose_report(
             &overall_scope,
             self.workers,
             &self.outcomes,
             degraded.then_some(self.degraded_outcomes.as_slice()),
             &outcome.overall,
+            EnergyAccounting {
+                eco_outcomes: self.needs_eco.then_some(self.eco_outcomes.as_slice()),
+                chosen: &self.chosen,
+                ledger: &self.energy,
+                knobs: Some(self.base_governor),
+            },
             (0..tenants).fold(CacheStats::default(), |acc, t| acc.plus(&embed_delta(t))),
             (0..tenants).fold(CacheStats::default(), |acc, t| acc.plus(&memo_delta(t))),
             (0..tenants).map(fast_delta).sum(),
@@ -887,6 +1078,30 @@ impl FleetSession<'_> {
                 } else {
                     Vec::new()
                 };
+                let eco_outcomes: Vec<RequestOutcome> = if self.needs_eco {
+                    picked
+                        .iter()
+                        .map(|i| self.eco_outcomes[*i].clone())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let chosen: Vec<ServiceLevel> = picked.iter().map(|i| self.chosen[*i]).collect();
+                // The tenant's ledger is the picked subsequence of the
+                // global one, with the tenant's own transition count and
+                // its governor's windowed watts peak.
+                let ledger = EnergyLedger {
+                    joules: picked
+                        .iter()
+                        .map(|i| self.energy.joules.get(*i).copied().unwrap_or(0.0))
+                        .collect(),
+                    grams: picked
+                        .iter()
+                        .map(|i| self.energy.grams.get(*i).copied().unwrap_or(0.0))
+                        .collect(),
+                    transitions: self.tenant_transitions[t],
+                    sustained_watts_max: self.tenant_watts_max[t],
+                };
                 let scope = ReportScope {
                     trace_seed: self.meta.trace_seed,
                     zipf_s: self.meta.zipf_s,
@@ -900,6 +1115,12 @@ impl FleetSession<'_> {
                     &outcomes,
                     degraded.then_some(degraded_outcomes.as_slice()),
                     &outcome.tenant_outcome(t),
+                    EnergyAccounting {
+                        eco_outcomes: self.needs_eco.then_some(eco_outcomes.as_slice()),
+                        chosen: &chosen,
+                        ledger: &ledger,
+                        knobs: None,
+                    },
                     embed_delta(t),
                     memo_delta(t),
                     fast_delta(t),
@@ -927,7 +1148,11 @@ impl FleetSession<'_> {
         )
     }
 
-    fn event(&self, index: usize, disposition: crate::admission::Disposition) -> RequestEvent {
+    /// Builds the event for a resolved request, billing the outcome its
+    /// disposition actually serves, and records the request's final
+    /// energy and carbon grams against the owning tenant's carbon trace
+    /// (same arithmetic as [`crate::ServeSession`]'s event path).
+    fn event(&mut self, index: usize, disposition: crate::admission::Disposition) -> RequestEvent {
         use crate::admission::Disposition;
         let service_s = match disposition {
             Disposition::Shed => None,
@@ -936,8 +1161,25 @@ impl FleetSession<'_> {
             } else {
                 self.outcomes[index].seconds
             }),
-            Disposition::Served { .. } => Some(self.outcomes[index].seconds),
+            Disposition::Served { .. } => Some(match self.chosen.get(index) {
+                Some(ServiceLevel::Economy) => self.eco_outcomes[index].seconds,
+                _ => self.outcomes[index].seconds,
+            }),
         };
+        if let Some(wait_s) = disposition.wait_s() {
+            let execution_joules = match disposition {
+                Disposition::Degraded { .. } => self.floor_joules(index),
+                _ => self.variant_joules(index),
+            };
+            let joules = execution_joules + wait_s * self.idle_power_w;
+            let arrival = self.arrivals.get(index).copied().unwrap_or(0.0);
+            let tenant = self.tenant_of[index];
+            let grams = joules
+                * self.fleet.engines[tenant]
+                    .carbon
+                    .grams_per_joule_at(arrival);
+            self.energy.record(index, joules, grams);
+        }
         RequestEvent {
             ticket: Ticket(index),
             disposition,

@@ -34,10 +34,20 @@
 //!   embedding-cache and selection-memo keys, so stale entries die by
 //!   key mismatch — the caches are never flushed — and is appended to a
 //!   replayable [`CatalogRecord`] log that checkpoints carry;
+//! * [`governor`] — the energy layer: every request is costed in joules
+//!   on the configured [`lim_device::DeviceKind`] (execution at the
+//!   served fidelity plus queue-wait idle draw), a sliding-window
+//!   sustained-watts estimator runs on the virtual arrival clock, and an
+//!   optional power cap / carbon budget actuates a typed
+//!   [`lim_core::ServiceLevel`] ladder through the
+//!   [`lim_core::ServicePolicy`] API — stepping service down to an
+//!   economy quantization when the window would breach the budget, and
+//!   back up with hysteresis;
 //! * [`ServeReport`] — accuracy, p50/p95/p99 simulated latency, cache
 //!   hit rates, queue/shed/degraded counters, boot accounting, the
+//!   [`EnergyReport`] joules/watts/carbon section, the
 //!   [`CatalogReport`] mutation counters and wall-clock throughput,
-//!   serialized as `BENCH_serve_*.json` (`lim-serve/report-v3`);
+//!   serialized as `BENCH_serve_*.json` (`lim-serve/report-v5`);
 //! * [`snapshot`] — boot-from-disk: [`ServeEngine::from_snapshot`] skips
 //!   the offline level build by decoding a `lim/snapshot-v1` file
 //!   (sections load lazily), and [`ServeEngine::checkpoint`] /
@@ -101,6 +111,7 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod fleet;
+pub mod governor;
 pub mod report;
 pub mod session;
 pub mod snapshot;
@@ -117,9 +128,10 @@ pub use engine::{
     SNAPSHOT_DECODE_SECONDS_PER_BYTE,
 };
 pub use fleet::{partition, FleetConfig, FleetEngine, FleetSession, FleetSubmitError};
+pub use governor::{GovernorConfig, GovernorState, ASCEND_HEADROOM};
 pub use report::{
-    AdmissionReport, BootReport, CatalogReport, FleetReport, LatencyStats, ServeReport,
-    TenantReport,
+    AdmissionReport, BootReport, CatalogReport, EnergyReport, FleetReport, LatencyStats,
+    ServeReport, TenantReport,
 };
 pub use session::{RequestEvent, ServeSession, StreamMeta, StreamRequest, Ticket};
 

@@ -1,13 +1,13 @@
 //! Serving reports and the `BENCH_serve_*.json` document.
 //!
-//! # The `lim-serve/report-v3` format
+//! # The `lim-serve/report-v5` format
 //!
 //! `lim loadgen --out BENCH_serve_1.json` (and [`ServeReport::to_json`]
 //! generally) writes one JSON object per trace replay:
 //!
 //! ```json
 //! {
-//!   "schema": "lim-serve/report-v3",
+//!   "schema": "lim-serve/report-v5",
 //!   "benchmark": "bfcl",
 //!   "model": "llama3.1-8b",
 //!   "quant": "q4_K_M",
@@ -24,6 +24,15 @@
 //!               "mean_s": 11.2, "max_s": 30.1},
 //!   "sim_total_seconds": 5700.0,
 //!   "avg_power_w": 21.7,
+//!   "energy": {
+//!     "device": "agx-orin", "power_cap_w": 18.0, "window_s": 60.0,
+//!     "carbon_seed": 7, "carbon_budget_g_per_h": 0.0,
+//!     "joules_per_request": {"p50": 210.4, "p95": 390.2, "p99": 455.0,
+//!                            "mean": 240.8, "max": 612.3},
+//!     "sustained_watts_max": 17.8,
+//!     "gco2_per_1k_requests": 24.1,
+//!     "governor_transitions": 6
+//!   },
 //!   "caches": {
 //!     "embedding": {"hits": 371, "misses": 141, "insertions": 141,
 //!                   "evictions": 0, "hit_rate": 0.72},
@@ -91,8 +100,21 @@
 //!   from v2, but the id is bumped anyway: the CI churn gate compares
 //!   catalog counters at tolerance 0, and `lim compare` selects its
 //!   tracked-metric set by schema id — a v2 baseline must not silently
-//!   pass a churn replay whose catalog section it cannot see. See
-//!   `docs/SCHEMAS.md` for the field-by-field reference.
+//!   pass a churn replay whose catalog section it cannot see.
+//! * `lim-serve/report-v4` — the *fleet* document: the v3 field set with
+//!   an additive per-tenant `tenants` array (see [`FleetReport`]).
+//! * `lim-serve/report-v5` — adds the `energy` section: the simulated
+//!   device, the power-governor knobs, per-request joules percentiles
+//!   (execution at the served fidelity **plus queue-wait idle draw**),
+//!   the max of the sliding-window sustained-watts estimator, grams of
+//!   CO₂ per thousand offered requests against the seeded carbon trace,
+//!   and the count of governor rung transitions. Every energy field is
+//!   deterministic, so `lim compare` gates the joule/watt/carbon numbers
+//!   downward like latency. See `docs/SCHEMAS.md` for the
+//!   field-by-field reference.
+//! * `lim-serve/report-v6` — the fleet document over v5: per-tenant
+//!   objects also carry their `energy` slice (tenant power caps are
+//!   apportioned from the fleet-wide budget like the cache budgets).
 
 use lim_json::Value;
 use lim_llm::Quant;
@@ -253,6 +275,35 @@ pub struct AdmissionReport {
     pub queue_wait: LatencyStats,
 }
 
+/// Energy and carbon accounting for one replay — the report-v5 `energy`
+/// section (all deterministic; see [`crate::governor`] for the
+/// estimator and the actuation ladder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// Simulated device label (`"agx-orin"`, `"agx-orin-30w"`,
+    /// `"orin-nano"`).
+    pub device: String,
+    /// Configured sustained-power cap in watts (`0.0` = uncapped).
+    pub power_cap_w: f64,
+    /// Sliding estimation window in virtual seconds.
+    pub window_s: f64,
+    /// Seed of the synthetic carbon-intensity trace.
+    pub carbon_seed: u64,
+    /// Configured carbon budget in g CO₂ / h (`0.0` = unbudgeted).
+    pub carbon_budget_g_per_h: f64,
+    /// Per-request joules distribution over executed requests: execution
+    /// energy at the fidelity actually served plus queue-wait idle draw.
+    pub joules_per_request: LatencyStats,
+    /// Max of the sliding-window sustained-watts estimator (windowed
+    /// energy-admission rate on the virtual arrival clock).
+    pub sustained_watts_max: f64,
+    /// Grams of CO₂ per thousand offered requests (shed requests count
+    /// in the denominator — they drew nothing).
+    pub gco2_per_1k_requests: f64,
+    /// Governor service-rung transitions during this replay.
+    pub governor_transitions: u64,
+}
+
 /// Everything one trace replay produced (see the module docs for the
 /// serialized form).
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +348,9 @@ pub struct ServeReport {
     pub sim_total_seconds: f64,
     /// Time-weighted simulated power.
     pub avg_power_w: f64,
+    /// Energy and carbon accounting (joules, sustained watts, gCO₂,
+    /// governor transitions).
+    pub energy: EnergyReport,
     /// Embedding-cache counters for this replay.
     pub embed_cache: CacheStats,
     /// Selection-memo counters for this replay.
@@ -335,11 +389,43 @@ fn latency_to_json(l: &LatencyStats) -> Value {
     ])
 }
 
+fn energy_to_json(e: &EnergyReport) -> Value {
+    // Joules percentiles ride the LatencyStats machinery but are not
+    // seconds, so the keys drop the `_s` suffix.
+    let j = &e.joules_per_request;
+    Value::object([
+        ("device", Value::from(e.device.as_str())),
+        ("power_cap_w", Value::from(e.power_cap_w)),
+        ("window_s", Value::from(e.window_s)),
+        ("carbon_seed", Value::from(e.carbon_seed as i64)),
+        (
+            "carbon_budget_g_per_h",
+            Value::from(e.carbon_budget_g_per_h),
+        ),
+        (
+            "joules_per_request",
+            Value::object([
+                ("p50", Value::from(j.p50_s)),
+                ("p95", Value::from(j.p95_s)),
+                ("p99", Value::from(j.p99_s)),
+                ("mean", Value::from(j.mean_s)),
+                ("max", Value::from(j.max_s)),
+            ]),
+        ),
+        ("sustained_watts_max", Value::from(e.sustained_watts_max)),
+        ("gco2_per_1k_requests", Value::from(e.gco2_per_1k_requests)),
+        (
+            "governor_transitions",
+            Value::from(e.governor_transitions as i64),
+        ),
+    ])
+}
+
 impl ServeReport {
-    /// Serializes to the `lim-serve/report-v3` document.
+    /// Serializes to the `lim-serve/report-v5` document.
     pub fn to_json(&self) -> Value {
         Value::object([
-            ("schema", Value::from("lim-serve/report-v3")),
+            ("schema", Value::from("lim-serve/report-v5")),
             ("benchmark", Value::from(self.benchmark.as_str())),
             ("model", Value::from(self.model.as_str())),
             ("quant", Value::from(self.quant.label())),
@@ -365,6 +451,7 @@ impl ServeReport {
             ("latency", latency_to_json(&self.latency)),
             ("sim_total_seconds", Value::from(self.sim_total_seconds)),
             ("avg_power_w", Value::from(self.avg_power_w)),
+            ("energy", energy_to_json(&self.energy)),
             (
                 "caches",
                 Value::object([
@@ -480,9 +567,10 @@ fn tenant_cache_to_json(stats: &CacheStats, capacity: usize, floor: usize) -> Va
 }
 
 impl TenantReport {
-    /// The compact per-tenant object embedded in a report-v4 `tenants`
-    /// array: the tenant's deterministic accuracy/latency/cache/admission
-    /// numbers, without repeating the fleet-wide identity fields.
+    /// The compact per-tenant object embedded in a report-v6 `tenants`
+    /// array: the tenant's deterministic accuracy/latency/cache/energy/
+    /// admission numbers, without repeating the fleet-wide identity
+    /// fields.
     pub fn to_json(&self) -> Value {
         let r = &self.report;
         Value::object([
@@ -495,6 +583,7 @@ impl TenantReport {
             ("avg_offered_tools", Value::from(r.avg_offered_tools)),
             ("latency", latency_to_json(&r.latency)),
             ("sim_total_seconds", Value::from(r.sim_total_seconds)),
+            ("energy", energy_to_json(&r.energy)),
             (
                 "caches",
                 Value::object([
@@ -549,7 +638,7 @@ impl TenantReport {
 /// field set as a standalone [`ServeReport`], caches and catalog summed
 /// across tenants) plus one [`TenantReport`] per tenant.
 ///
-/// Serialized as `lim-serve/report-v4`: the v3 document with the schema
+/// Serialized as `lim-serve/report-v6`: the v5 document with the schema
 /// id bumped and an additive `tenants` array. Every per-tenant field is
 /// deterministic for any worker count, like the fleet-wide ones.
 #[derive(Debug, Clone, PartialEq)]
@@ -561,10 +650,10 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    /// Serializes to the `lim-serve/report-v4` document.
+    /// Serializes to the `lim-serve/report-v6` document.
     pub fn to_json(&self) -> Value {
         let mut doc = self.overall.to_json();
-        doc.insert("schema", Value::from("lim-serve/report-v4"));
+        doc.insert("schema", Value::from("lim-serve/report-v6"));
         doc.insert(
             "tenants",
             Value::Array(self.tenants.iter().map(TenantReport::to_json).collect()),

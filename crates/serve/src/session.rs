@@ -53,7 +53,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lim_core::{resolve_threads, sharded_map, Pipeline, Policy};
+use lim_core::{resolve_threads, sharded_map, Pipeline, Policy, ServiceLevel};
 use lim_workloads::trace::ArrivalProcess;
 
 use crate::admission::{AdmissionSim, Disposition, ShedPolicy};
@@ -61,6 +61,7 @@ use crate::cache::CacheStats;
 use crate::engine::{
     ComputedSelection, ReportScope, RequestOutcome, SelectionJob, SelectionSource, ServeEngine,
 };
+use crate::governor::{EnergyAccounting, EnergyLedger};
 use crate::report::ServeReport;
 
 /// Trace-level metadata a streaming front-end declares up front (the
@@ -143,6 +144,9 @@ pub(crate) struct DrainOutput {
     /// Degraded-path alternatives, index-aligned; empty when the
     /// admission config can never degrade.
     pub(crate) degraded: Vec<RequestOutcome>,
+    /// Economy-rung alternatives (one quant step coarser), index-aligned;
+    /// empty when no governor can ever choose them.
+    pub(crate) eco: Vec<RequestOutcome>,
 }
 
 impl ServeEngine {
@@ -172,6 +176,12 @@ impl ServeEngine {
             && self.config.admission.shed_policy == ShedPolicy::Degrade
             && open_loop
             && !matches!(self.config.policy, Policy::Default);
+        // The governor's Economy rung likewise needs its alternative
+        // outcome per request up front. It only ever actuates on
+        // open-loop streams: sustained watts is a rate over *arrival*
+        // time, which a closed-loop stream does not have.
+        let needs_eco = self.config.governor.active() && open_loop;
+        let idle_power_w = self.config.device.profile().idle_power_w();
         let sim = AdmissionSim::new(self.config.admission, open_loop);
         let embed_before = self.embed_cache.stats();
         let memo_before = self.memo.stats();
@@ -182,6 +192,8 @@ impl ServeEngine {
             meta,
             open_loop,
             needs_degraded,
+            needs_eco,
+            idle_power_w,
             started: std::time::Instant::now(),
             embed_before,
             memo_before,
@@ -190,6 +202,10 @@ impl ServeEngine {
             pending: Vec::new(),
             outcomes: Vec::new(),
             degraded_outcomes: Vec::new(),
+            eco_outcomes: Vec::new(),
+            chosen: Vec::new(),
+            arrivals: Vec::new(),
+            energy: EnergyLedger::default(),
             queries: Vec::new(),
             session_runs: 0,
             last_session: None,
@@ -207,6 +223,7 @@ impl ServeEngine {
         batch: &[StreamRequest],
         workers: usize,
         needs_degraded: bool,
+        needs_eco: bool,
     ) -> DrainOutput {
         // ---- Stage 1: sequential cache plan in submission (canonical)
         // order. Cache state evolves exactly as a sequential server
@@ -225,7 +242,8 @@ impl ServeEngine {
 
         // ---- Stage 2: parallel unique-selection compute.
         let pipeline = Pipeline::new(&self.workload, &self.levels, &self.model, self.config.quant)
-            .with_seed(self.config.seed);
+            .with_seed(self.config.seed)
+            .with_device(self.config.device.profile());
         let computed: Vec<ComputedSelection> = sharded_map(&jobs, workers, |_, job| {
             self.run_selection_job(&pipeline, job)
         });
@@ -270,8 +288,32 @@ impl ServeEngine {
         } else {
             Vec::new()
         };
+        // The governor's Economy alternative: the same resolved tool
+        // selections (and the same selection-overhead costs — the
+        // recommender ran once, at the configured quant) re-executed one
+        // quant step coarser. Computed up front, in parallel, so the
+        // sequential admission walk just picks per request.
+        let eco: Vec<RequestOutcome> = if needs_eco {
+            let eco_pipeline = Pipeline::new(
+                &self.workload,
+                &self.levels,
+                &self.model,
+                ServiceLevel::Economy.quant_for(self.config.quant),
+            )
+            .with_seed(self.config.seed)
+            .with_device(self.config.device.profile());
+            sharded_map(&planned, workers, |_, request| {
+                self.execute_request(&eco_pipeline, request, &computed)
+            })
+        } else {
+            Vec::new()
+        };
         self.requests_served += planned.len() as u64;
-        DrainOutput { outcomes, degraded }
+        DrainOutput {
+            outcomes,
+            degraded,
+            eco,
+        }
     }
 }
 
@@ -285,6 +327,12 @@ pub struct ServeSession<'e> {
     meta: StreamMeta,
     open_loop: bool,
     needs_degraded: bool,
+    /// Whether the governor can actuate on this stream (active config on
+    /// an open-loop stream) — gates the Economy alternative pass.
+    needs_eco: bool,
+    /// Idle draw of the configured device: what a queued request burns
+    /// per second of waiting.
+    idle_power_w: f64,
     started: std::time::Instant,
     embed_before: CacheStats,
     memo_before: CacheStats,
@@ -297,6 +345,18 @@ pub struct ServeSession<'e> {
     /// Degraded-path alternatives (index-aligned) when they can be
     /// needed.
     degraded_outcomes: Vec<RequestOutcome>,
+    /// Economy-rung alternatives (index-aligned) when the governor can
+    /// choose them.
+    eco_outcomes: Vec<RequestOutcome>,
+    /// The governor's rung per request, submission order (all Full when
+    /// it cannot actuate).
+    chosen: Vec<ServiceLevel>,
+    /// Arrival instant per request, submission order (0.0 closed-loop) —
+    /// what carbon intensity is sampled at when a request resolves.
+    arrivals: Vec<f64>,
+    /// Per-stream energy bookkeeping (joules, grams, transitions,
+    /// sustained-watts max).
+    energy: EnergyLedger,
     /// Every submitted query index (for the unique-query count).
     queries: Vec<usize>,
     /// Runs of consecutive session ids seen in submission order.
@@ -370,24 +430,77 @@ impl ServeSession<'_> {
             return Vec::new();
         }
         let batch = std::mem::take(&mut self.pending);
-        let out = self
-            .engine
-            .drain_batch(&batch, self.workers, self.needs_degraded);
+        let out =
+            self.engine
+                .drain_batch(&batch, self.workers, self.needs_degraded, self.needs_eco);
         self.outcomes.extend(out.outcomes);
         self.degraded_outcomes.extend(out.degraded);
+        self.eco_outcomes.extend(out.eco);
 
         // ---- Stage 5: sequential virtual-clock admission, one offer
-        // per request in submission order.
+        // per request in submission order. The governor decides a rung
+        // *before* each offer (projecting the request at full fidelity
+        // against the power/carbon budget) and observes the energy
+        // actually admitted *after* it — both on the engine-persistent
+        // state, both keyed only to the virtual arrival clock and the
+        // submission order, so any worker count and any batch chopping
+        // replays the identical decision sequence.
         let mut events = Vec::new();
         for request in &batch {
             let index = self.sim.submitted();
+            let arrival = request.arrival_s.unwrap_or(0.0);
+            self.arrivals.push(arrival);
+            let governor_config = self.engine.config.governor;
+            let chosen = if self.needs_eco {
+                let before = self.engine.governor.level();
+                let served = self.engine.governor.decide(
+                    &governor_config,
+                    &self.engine.carbon,
+                    arrival,
+                    self.outcomes[index].joules,
+                    self.eco_outcomes[index].joules,
+                );
+                // Transitions count rung moves of the state machine, not
+                // per-request served-variant flips.
+                if self.engine.governor.level() != before {
+                    self.energy.transitions += 1;
+                }
+                served
+            } else {
+                ServiceLevel::Full
+            };
+            self.chosen.push(chosen);
+            let service_s = match chosen {
+                ServiceLevel::Economy => self.eco_outcomes[index].seconds,
+                _ => self.outcomes[index].seconds,
+            };
             let resolved = self.sim.offer(
                 request.session,
-                request.arrival_s.unwrap_or(0.0),
-                self.outcomes[index].seconds,
+                arrival,
+                service_s,
                 self.needs_degraded
                     .then(|| self.degraded_outcomes[index].seconds),
             );
+            // Feed the estimator what this offer actually admitted: the
+            // executed variant's joules, or nothing for a shed request
+            // (which still advances the window's clock).
+            let shed_now = resolved
+                .iter()
+                .any(|(i, d)| *i == index && matches!(d, Disposition::Shed));
+            let admitted_joules = if shed_now {
+                0.0
+            } else if self.sim.degraded(index) {
+                self.floor_joules(index)
+            } else {
+                self.variant_joules(index)
+            };
+            let sustained =
+                self.engine
+                    .governor
+                    .observe(&governor_config, arrival, admitted_joules);
+            if sustained > self.energy.sustained_watts_max {
+                self.energy.sustained_watts_max = sustained;
+            }
             for (idx, disposition) in resolved {
                 events.push(self.event(idx, disposition));
             }
@@ -481,6 +594,12 @@ impl ServeSession<'_> {
             self.needs_degraded
                 .then_some(self.degraded_outcomes.as_slice()),
             &admission,
+            EnergyAccounting {
+                eco_outcomes: self.needs_eco.then_some(self.eco_outcomes.as_slice()),
+                chosen: &self.chosen,
+                ledger: &self.energy,
+                knobs: None,
+            },
             self.embed_before,
             self.memo_before,
             self.session_fast_before,
@@ -489,9 +608,28 @@ impl ServeSession<'_> {
         (report, events)
     }
 
+    /// Execution joules of request `index` at the governor's chosen rung.
+    fn variant_joules(&self, index: usize) -> f64 {
+        match self.chosen.get(index) {
+            Some(ServiceLevel::Economy) => self.eco_outcomes[index].joules,
+            _ => self.outcomes[index].joules,
+        }
+    }
+
+    /// Execution joules of request `index` on the admission degrade path.
+    fn floor_joules(&self, index: usize) -> f64 {
+        if self.needs_degraded {
+            self.degraded_outcomes[index].joules
+        } else {
+            self.outcomes[index].joules
+        }
+    }
+
     /// Builds the event for a resolved request, billing the outcome its
-    /// disposition actually serves.
-    fn event(&self, index: usize, disposition: Disposition) -> RequestEvent {
+    /// disposition actually serves, and records the request's final
+    /// energy — execution at the served fidelity plus queue-wait idle
+    /// draw — and its carbon grams at the arrival-time grid intensity.
+    fn event(&mut self, index: usize, disposition: Disposition) -> RequestEvent {
         let service_s = match disposition {
             Disposition::Shed => None,
             Disposition::Degraded { .. } => Some(if self.needs_degraded {
@@ -499,8 +637,21 @@ impl ServeSession<'_> {
             } else {
                 self.outcomes[index].seconds
             }),
-            Disposition::Served { .. } => Some(self.outcomes[index].seconds),
+            Disposition::Served { .. } => Some(match self.chosen.get(index) {
+                Some(ServiceLevel::Economy) => self.eco_outcomes[index].seconds,
+                _ => self.outcomes[index].seconds,
+            }),
         };
+        if let Some(wait_s) = disposition.wait_s() {
+            let execution_joules = match disposition {
+                Disposition::Degraded { .. } => self.floor_joules(index),
+                _ => self.variant_joules(index),
+            };
+            let joules = execution_joules + wait_s * self.idle_power_w;
+            let arrival = self.arrivals.get(index).copied().unwrap_or(0.0);
+            let grams = joules * self.engine.carbon.grams_per_joule_at(arrival);
+            self.energy.record(index, joules, grams);
+        }
         RequestEvent {
             ticket: Ticket(index),
             disposition,

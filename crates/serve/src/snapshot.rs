@@ -33,10 +33,13 @@ use lim_llm::ModelProfile;
 use lim_vecstore::floats_to_json;
 use lim_workloads::Workload;
 
+use lim_core::ServiceLevel;
+
 use crate::cache::{CacheStats, LruCache};
 use crate::catalog::{CatalogOp, CatalogRecord};
 use crate::engine::{QueryEmbeddings, SelectionSource, ServeConfig, ServeEngine, SessionState};
 use crate::fleet::{FleetConfig, FleetEngine};
+use crate::governor::GovernorState;
 
 /// Checkpoint section recording the engine configuration and counters.
 pub const SECTION_ENGINE: &str = "engine";
@@ -52,6 +55,12 @@ pub const SECTION_SESSIONS: &str = "sessions";
 /// format — and older readers, which treat unknown sections as errors,
 /// fail safe on churned snapshots instead of silently dropping the log.
 pub const SECTION_CATALOG: &str = "catalog_log";
+/// Checkpoint section holding the energy governor's live state: the
+/// current service rung, the virtual clock, and the resident
+/// sliding-window `(arrival, joules)` samples. Always written — the
+/// sustained-watts estimator runs even when no cap is set — so a warm
+/// boot converges to the byte with the engine that never restarted.
+pub const SECTION_GOVERNOR: &str = "governor";
 /// Fleet-checkpoint section recording the tenancy state: tenant count,
 /// cache budgets and floors, the rebalance cadence, and the cumulative
 /// per-tenant traffic weights the partition policy derives capacities
@@ -71,6 +80,7 @@ pub const KNOWN_SECTIONS: &[&str] = &[
     SECTION_MEMO,
     SECTION_SESSIONS,
     SECTION_CATALOG,
+    SECTION_GOVERNOR,
 ];
 
 fn section_err(section: &str, message: impl Into<String>) -> SnapshotError {
@@ -140,6 +150,7 @@ pub(crate) fn validate_engine(
         ("model", model.name.to_owned()),
         ("quant", config.quant.label().to_owned()),
         ("policy", config.policy.label()),
+        ("device", config.device.label().to_owned()),
     ];
     for (key, ours) in expect {
         let theirs = text(key)?;
@@ -149,13 +160,37 @@ pub(crate) fn validate_engine(
             )));
         }
     }
+    // Cached values are independent of the governor knobs, but the
+    // virtual-clock window the governor section carries is not — compare
+    // against the *normalized* knobs, the form every assembled engine
+    // (and therefore every checkpoint) carries.
+    let governor = config.governor.normalized();
     let numeric = [
         ("seed", config.seed as i64),
+        ("carbon_seed", governor.carbon_seed as i64),
         ("embed_cache_capacity", config.embed_cache_capacity as i64),
         ("memo_capacity", config.memo_capacity as i64),
     ];
     for (key, ours) in numeric {
         let theirs = int(key)?;
+        if theirs != ours {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint was written with {key} {theirs} but the engine runs {ours}"
+            )));
+        }
+    }
+    let float = |key: &str| {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| section_err(&section, format!("missing {key}")))
+    };
+    let floats = [
+        ("power_cap_w", governor.power_cap_w),
+        ("governor_window_s", governor.window_s),
+        ("carbon_budget_g_per_h", governor.carbon_budget_g_per_h),
+    ];
+    for (key, ours) in floats {
+        let theirs = float(key)?;
         if theirs != ours {
             return Err(SnapshotError::Mismatch(format!(
                 "checkpoint was written with {key} {theirs} but the engine runs {ours}"
@@ -211,6 +246,10 @@ fn engine_sections(engine: &ServeEngine, writer: &mut SnapshotWriter, prefix: &s
     writer.add_section(
         &format!("{prefix}{SECTION_SESSIONS}"),
         &sessions_to_json(&engine.sessions),
+    );
+    writer.add_section(
+        &format!("{prefix}{SECTION_GOVERNOR}"),
+        &governor_to_json(&engine.governor),
     );
     if engine.epoch > 0 {
         writer.add_section(
@@ -433,7 +472,76 @@ pub(crate) fn restore_warm_state(
     )?;
     let sessions_section = format!("{prefix}{SECTION_SESSIONS}");
     engine.sessions = sessions_from_json(snapshot.section(&sessions_section)?, &sessions_section)?;
+    let governor_section = format!("{prefix}{SECTION_GOVERNOR}");
+    engine.governor = governor_from_json(snapshot.section(&governor_section)?, &governor_section)?;
     Ok(())
+}
+
+/// Serializes a governor's live state. The window is stored as parallel
+/// `(arrival, joules)` arrays; both round-trip bit-exactly, and the
+/// restored window re-sums front-to-back exactly like the one that never
+/// checkpointed.
+fn governor_to_json(state: &GovernorState) -> Value {
+    Value::object([
+        ("level", Value::from(state.level().label())),
+        ("clock_s", Value::from(state.clock_s())),
+        (
+            "window_t",
+            state
+                .window()
+                .iter()
+                .map(|(t, _)| Value::from(*t))
+                .collect(),
+        ),
+        (
+            "window_j",
+            state
+                .window()
+                .iter()
+                .map(|(_, j)| Value::from(*j))
+                .collect(),
+        ),
+    ])
+}
+
+fn governor_from_json(doc: &Value, section: &str) -> Result<GovernorState, SnapshotError> {
+    let level = doc
+        .get("level")
+        .and_then(Value::as_str)
+        .and_then(ServiceLevel::from_label)
+        .ok_or_else(|| section_err(section, "missing or unknown level"))?;
+    let clock_s = doc
+        .get("clock_s")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| section_err(section, "missing clock_s"))?;
+    let series = |key: &str| -> Result<Vec<f64>, SnapshotError> {
+        doc.get(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| section_err(section, format!("missing {key}")))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| section_err(section, format!("{key} must be numbers")))
+            })
+            .collect()
+    };
+    let window_t = series("window_t")?;
+    let window_j = series("window_j")?;
+    if window_t.len() != window_j.len() {
+        return Err(section_err(
+            section,
+            format!(
+                "window_t holds {} samples but window_j holds {}",
+                window_t.len(),
+                window_j.len()
+            ),
+        ));
+    }
+    Ok(GovernorState::restore(
+        level,
+        clock_s,
+        window_t.into_iter().zip(window_j).collect(),
+    ))
 }
 
 /// Encodes a whole fleet — the tenancy state plus every tenant's full
@@ -477,6 +585,9 @@ fn fleet_to_json(fleet: &FleetEngine) -> Value {
                 .collect(),
         ),
         ("total_submitted", Value::from(fleet.total_submitted as i64)),
+        // The passive fleet-wide sustained-watts estimator (per-tenant
+        // governors live in each tenant's own governor section).
+        ("estimator", governor_to_json(&fleet.estimator)),
     ])
 }
 
@@ -614,15 +725,34 @@ pub(crate) fn restore_fleet(
         ));
     }
 
+    let estimator = governor_from_json(
+        doc.get("estimator")
+            .ok_or_else(|| section_err(SECTION_FLEET, "missing estimator"))?,
+        SECTION_FLEET,
+    )?;
+
     let workload = Arc::new(workload);
     let mut engines = Vec::with_capacity(tenants);
     for tenant in 0..tenants {
         let prefix = format!("t{tenant}.");
-        let (embed_capacity, memo_capacity) =
-            recorded_capacities(snapshot, &format!("{prefix}{SECTION_ENGINE}"))?;
+        let engine_section = format!("{prefix}{SECTION_ENGINE}");
+        let (embed_capacity, memo_capacity) = recorded_capacities(snapshot, &engine_section)?;
         let mut tenant_config = config.base;
         tenant_config.embed_cache_capacity = embed_capacity;
         tenant_config.memo_capacity = memo_capacity;
+        // Like the cache capacities, the governor budget slices are the
+        // apportionment decision in force when the checkpoint was
+        // written — adopt the recorded values rather than recompute the
+        // partition over post-decision traffic.
+        let recorded_doc = snapshot.section(&engine_section)?;
+        let recorded_float = |key: &str| {
+            recorded_doc
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| section_err(&engine_section, format!("missing {key}")))
+        };
+        tenant_config.governor.power_cap_w = recorded_float("power_cap_w")?;
+        tenant_config.governor.carbon_budget_g_per_h = recorded_float("carbon_budget_g_per_h")?;
         validate_engine(snapshot, &model, &tenant_config, &prefix)?;
         let levels = levels_from_snapshot_prefixed(snapshot, &prefix)?;
         let mut engine = ServeEngine::assemble_shared(
@@ -661,15 +791,36 @@ pub(crate) fn restore_fleet(
         config,
         traffic,
         total_submitted,
+        estimator,
     })
 }
 
 fn engine_to_json(engine: &ServeEngine) -> Value {
+    // `engine.config.governor` is normalized at assembly, so the floats
+    // here are always finite and round-trip bit-exactly through
+    // `lim_json`.
     Value::object([
         ("model", Value::from(engine.model.name)),
         ("quant", Value::from(engine.config.quant.label())),
         ("policy", Value::from(engine.config.policy.label())),
         ("seed", Value::from(engine.config.seed as i64)),
+        ("device", Value::from(engine.config.device.label())),
+        (
+            "power_cap_w",
+            Value::from(engine.config.governor.power_cap_w),
+        ),
+        (
+            "governor_window_s",
+            Value::from(engine.config.governor.window_s),
+        ),
+        (
+            "carbon_seed",
+            Value::from(engine.config.governor.carbon_seed as i64),
+        ),
+        (
+            "carbon_budget_g_per_h",
+            Value::from(engine.config.governor.carbon_budget_g_per_h),
+        ),
         (
             "embed_cache_capacity",
             Value::from(engine.config.embed_cache_capacity),

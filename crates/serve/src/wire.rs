@@ -13,8 +13,8 @@
 //! actually executed), a `catalog` frame acknowledging each applied
 //! mutation with the epoch it advanced to, and — once the client half
 //! closes — one final `report` frame that is the ordinary
-//! `lim-serve/report-v3` document with an additive `"frame": "report"`
-//! tag.
+//! `lim-serve/report-v5` document (energy section included) with an
+//! additive `"frame": "report"` tag.
 //!
 //! This module is the **pure codec**: parsing client frames and building
 //! server frames, with no I/O.  The read/write loop (stdin, unix

@@ -1,0 +1,185 @@
+//! Seeded deterministic carbon-intensity traces.
+//!
+//! CarbonCall-style serving (PAPERS.md, arxiv 2504.20348) modulates
+//! service decisions by the *carbon intensity* of the grid powering the
+//! device — grams of CO₂ emitted per kWh drawn, which swings over a day
+//! as the generation mix shifts. Real intensity feeds are neither
+//! reproducible nor available offline, so serving experiments use this
+//! synthetic substitute: a day-long (86 400 s) profile built from a
+//! typical diurnal template — overnight trough, morning ramp, midday
+//! solar dip, evening peak — sampled at five-minute resolution with
+//! seeded multiplicative jitter.
+//!
+//! Everything is deterministic: the same seed yields the same trace, and
+//! sampling uses only piecewise-linear interpolation and an integer hash
+//! (no trigonometry, no floating-point library variance), so
+//! [`CarbonTrace::intensity_at`] is bit-stable across platforms and
+//! worker counts. Traces are sampled at **virtual** time and wrap modulo
+//! the day length.
+
+/// Seconds in one trace day.
+pub const DAY_SECONDS: f64 = 86_400.0;
+
+/// Five-minute sample slots per day.
+const SLOTS: usize = 288;
+
+/// Seconds per sample slot.
+const SLOT_SECONDS: f64 = DAY_SECONDS / SLOTS as f64;
+
+/// Hourly template of grid carbon intensity, g CO₂ / kWh. A composite of
+/// published European day curves: wind-heavy trough after midnight, a
+/// steep morning ramp as demand outpaces renewables, a solar-driven
+/// midday dip, and the evening peak when solar drops out before demand
+/// does.
+const HOURLY_TEMPLATE: [f64; 24] = [
+    320.0, 305.0, 295.0, 290.0, 292.0, 310.0, // 00–05: overnight trough
+    345.0, 390.0, 420.0, 405.0, 370.0, 330.0, // 06–11: morning ramp, solar rising
+    300.0, 285.0, 280.0, 290.0, 315.0, 360.0, // 12–17: midday dip, afternoon climb
+    430.0, 465.0, 450.0, 415.0, 375.0, 340.0, // 18–23: evening peak, wind-down
+];
+
+/// Fractional jitter amplitude applied per slot (±10%).
+const JITTER: f64 = 0.10;
+
+/// Converts g CO₂ / kWh to g CO₂ / J (1 kWh = 3.6 MJ).
+pub const GRAMS_PER_KWH_TO_GRAMS_PER_JOULE: f64 = 1.0 / 3.6e6;
+
+/// A day-long, seeded, five-minute-resolution carbon-intensity profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarbonTrace {
+    seed: u64,
+    slots: Vec<f64>,
+}
+
+impl CarbonTrace {
+    /// Builds the trace for `seed`.
+    ///
+    /// Each five-minute slot takes the piecewise-linear interpolation of
+    /// the hourly template at the slot midpoint, scaled by a seeded
+    /// multiplicative jitter in `[1 − 0.1, 1 + 0.1)`.
+    pub fn new(seed: u64) -> Self {
+        let slots = (0..SLOTS)
+            .map(|slot| {
+                let midpoint_h = (slot as f64 + 0.5) * SLOT_SECONDS / 3600.0;
+                let base = interpolate_template(midpoint_h);
+                let unit = splitmix64(seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Map the hash to [-1, 1) deterministically.
+                let centered = (unit >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+                base * (1.0 + JITTER * centered)
+            })
+            .collect();
+        Self { seed, slots }
+    }
+
+    /// The seed this trace was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Grid carbon intensity at virtual time `t_s` seconds, g CO₂ / kWh.
+    ///
+    /// Time wraps modulo the day; negative or non-finite times read slot
+    /// zero.
+    pub fn intensity_at(&self, t_s: f64) -> f64 {
+        if !t_s.is_finite() || t_s < 0.0 {
+            return self.slots[0];
+        }
+        let wrapped = t_s % DAY_SECONDS;
+        let slot = ((wrapped / SLOT_SECONDS) as usize).min(SLOTS - 1);
+        self.slots[slot]
+    }
+
+    /// Grid carbon intensity at `t_s`, in g CO₂ per **joule** — the unit
+    /// energy accounting multiplies request joules by.
+    pub fn grams_per_joule_at(&self, t_s: f64) -> f64 {
+        self.intensity_at(t_s) * GRAMS_PER_KWH_TO_GRAMS_PER_JOULE
+    }
+}
+
+/// Piecewise-linear interpolation of [`HOURLY_TEMPLATE`] at hour `h`
+/// (wrapping hour 23 back to hour 0).
+fn interpolate_template(h: f64) -> f64 {
+    let lo = (h as usize) % 24;
+    let hi = (lo + 1) % 24;
+    let frac = h - h.floor();
+    HOURLY_TEMPLATE[lo] * (1.0 - frac) + HOURLY_TEMPLATE[hi] * frac
+}
+
+/// SplitMix64 finaliser — the workspace's standard seeded hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bitwise_identical() {
+        let a = CarbonTrace::new(7);
+        let b = CarbonTrace::new(7);
+        for t in [0.0, 1.5, 3600.0, 43_200.0, 86_399.9, 200_000.0] {
+            assert_eq!(
+                a.intensity_at(t).to_bits(),
+                b.intensity_at(t).to_bits(),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CarbonTrace::new(1);
+        let b = CarbonTrace::new(2);
+        assert!((0..288).any(|s| {
+            let t = s as f64 * 300.0;
+            a.intensity_at(t) != b.intensity_at(t)
+        }));
+    }
+
+    #[test]
+    fn intensity_stays_within_jittered_template_band() {
+        let trace = CarbonTrace::new(42);
+        for slot in 0..288 {
+            let v = trace.intensity_at(slot as f64 * 300.0);
+            assert!((280.0 * 0.9..=465.0 * 1.1).contains(&v), "slot {slot}: {v}");
+        }
+    }
+
+    #[test]
+    fn evening_peak_exceeds_overnight_trough() {
+        let trace = CarbonTrace::new(0);
+        let trough = trace.intensity_at(3.5 * 3600.0); // 03:30
+        let peak = trace.intensity_at(19.5 * 3600.0); // 19:30
+        assert!(peak > 1.2 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn time_wraps_modulo_the_day() {
+        let trace = CarbonTrace::new(9);
+        assert_eq!(
+            trace.intensity_at(1234.0).to_bits(),
+            trace.intensity_at(1234.0 + DAY_SECONDS).to_bits()
+        );
+    }
+
+    #[test]
+    fn degenerate_times_read_slot_zero() {
+        let trace = CarbonTrace::new(3);
+        let slot0 = trace.intensity_at(0.0);
+        assert_eq!(trace.intensity_at(-5.0).to_bits(), slot0.to_bits());
+        assert_eq!(trace.intensity_at(f64::NAN).to_bits(), slot0.to_bits());
+        assert_eq!(trace.intensity_at(f64::INFINITY).to_bits(), slot0.to_bits());
+    }
+
+    #[test]
+    fn grams_per_joule_is_the_kwh_conversion() {
+        let trace = CarbonTrace::new(5);
+        let t = 7.0 * 3600.0;
+        let expected = trace.intensity_at(t) / 3.6e6;
+        assert!((trace.grams_per_joule_at(t) - expected).abs() < 1e-18);
+    }
+}

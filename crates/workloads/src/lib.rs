@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod augment;
+pub mod carbon;
 pub mod churn;
 pub mod pools;
 pub mod synthetic;

@@ -156,7 +156,9 @@ fn cmd_evaluate(options: &Options) -> ExitCode {
         }
     };
     let levels = build_levels(options, &workload);
-    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
+        .with_seed(options.seed)
+        .with_device(options.energy.device.profile());
     let baseline = evaluate(&pipeline, Policy::Default);
     let metrics = evaluate(&pipeline, options.policy);
     let (time, power) = normalize_against(&baseline, &metrics);
@@ -190,7 +192,7 @@ fn cmd_evaluate(options: &Options) -> ExitCode {
 }
 
 fn cmd_bench(options: &Options) -> ExitCode {
-    use lessismore::bench::experiments::{model_set, run_grid_threads};
+    use lessismore::bench::experiments::{model_set, run_grid_device};
     use lessismore::bench::report::{grid_to_json, pct, ratio, secs, watts, Table};
     use lessismore::core::resolve_threads;
 
@@ -239,7 +241,7 @@ fn cmd_bench(options: &Options) -> ExitCode {
     let threads = resolve_threads(options.threads);
     let started = std::time::Instant::now();
     let levels = build_levels(options, &workload);
-    let cells = run_grid_threads(
+    let cells = run_grid_device(
         &workload,
         &levels,
         &models,
@@ -247,6 +249,7 @@ fn cmd_bench(options: &Options) -> ExitCode {
         &policies,
         options.seed,
         threads,
+        options.energy.device.profile(),
     );
     let elapsed = started.elapsed();
 
@@ -376,7 +379,9 @@ fn cmd_trace(options: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let levels = build_levels(options, &workload);
-    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant).with_seed(options.seed);
+    let pipeline = Pipeline::new(&workload, &levels, &model, options.quant)
+        .with_seed(options.seed)
+        .with_device(options.energy.device.profile());
     let query = &workload.queries[options.query_index];
     let (result, trace) = pipeline.run_query_traced(query, options.policy);
     let mut doc = trace.to_json();
@@ -464,6 +469,22 @@ fn print_serve_report(report: &lessismore::serve::ServeReport) {
             c.memo_invalidations
         );
     }
+    let e = &report.energy;
+    println!(
+        "energy: {} | J/req p50 {:.2} p95 {:.2} | sustained {:.2} W max{} | \
+         {:.1} gCO2/1k req | governor transitions {}",
+        e.device,
+        e.joules_per_request.p50_s,
+        e.joules_per_request.p95_s,
+        e.sustained_watts_max,
+        if e.power_cap_w > 0.0 {
+            format!(" (cap {:.1} W)", e.power_cap_w)
+        } else {
+            String::new()
+        },
+        e.gco2_per_1k_requests,
+        e.governor_transitions
+    );
     let a = &report.admission;
     if a.queue_depth > 0 {
         println!(
@@ -519,6 +540,8 @@ fn build_engine(
         .quant(options.quant)
         .seed(engine_seed)
         .admission(options.admission.config())
+        .device(options.energy.device)
+        .governor(options.energy.governor())
         .build();
     // Boot order: a checkpoint is a self-contained superset of a levels
     // snapshot (it carries the level sections plus the warm state), so
@@ -602,6 +625,8 @@ fn build_fleet_engine(
         .quant(options.quant)
         .seed(engine_seed)
         .admission(options.admission.config())
+        .device(options.energy.device)
+        .governor(options.energy.governor())
         .build();
     let config = FleetConfig::new(tenants, base);
     if let Some(path) = &options.snapshots.checkpoint {
@@ -638,7 +663,7 @@ fn build_fleet_engine(
 
 /// Replays a multi-tenant trace on a [`lessismore::serve::FleetEngine`]:
 /// the fleet cousin of [`run_serve_trace`], printing the overall table
-/// plus a per-tenant breakdown, writing the `lim-serve/report-v4`
+/// plus a per-tenant breakdown, writing the `lim-serve/report-v6`
 /// document and the fleet checkpoint.
 fn run_serve_fleet(
     options: &Options,
@@ -1085,7 +1110,8 @@ enum WireEngine {
     /// stays small next to the multi-engine fleet variant.
     Single(Box<lessismore::serve::ServeEngine>),
     /// A [`lessismore::serve::FleetEngine`] routing frames by tenant id.
-    Fleet(lessismore::serve::FleetEngine),
+    /// Boxed for the same reason.
+    Fleet(Box<lessismore::serve::FleetEngine>),
 }
 
 impl WireEngine {
@@ -1097,8 +1123,8 @@ impl WireEngine {
     }
 }
 
-/// The final document of a wire stream: `lim-serve/report-v3` for a
-/// single-tenant stream, `report-v4` (with per-tenant breakdowns) for a
+/// The final document of a wire stream: `lim-serve/report-v5` for a
+/// single-tenant stream, `report-v6` (with per-tenant breakdowns) for a
 /// fleet.
 enum WireReport {
     Single(lessismore::serve::ServeReport),
@@ -1213,7 +1239,7 @@ fn serve_wire_stream<W: std::io::Write>(
                 };
             let engine = if hello.tenants > 1 {
                 match build_fleet_engine(options, workload, hello.tenants, hello.trace_seed) {
-                    Ok(f) => WireEngine::Fleet(f),
+                    Ok(f) => WireEngine::Fleet(Box::new(f)),
                     Err(e) => bail!(e),
                 }
             } else {
@@ -1393,7 +1419,7 @@ fn serve_wire_stream<W: std::io::Write>(
                     emit(writer, &frame)?;
                 }
             }
-            // The fleet's final frame carries the report-v4 document —
+            // The fleet's final frame carries the report-v6 document —
             // per-tenant breakdowns included — under the same additive
             // `"frame": "report"` tag.
             let mut frame = report.to_json();

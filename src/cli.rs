@@ -13,8 +13,9 @@
 //! cannot land undocumented.
 
 use crate::core::{IndexSpec, Policy};
+use crate::device::DeviceKind;
 use crate::llm::Quant;
-use crate::serve::{AdmissionConfig, ShedPolicy};
+use crate::serve::{AdmissionConfig, GovernorConfig, ShedPolicy};
 use crate::vecstore::{HnswParams, IvfParams};
 use crate::workloads::trace::ArrivalProcess;
 
@@ -70,6 +71,34 @@ impl IndexFlags {
             params.ef_search = ef;
         }
         params
+    }
+}
+
+/// Energy flags: the device profile every simulated request is costed
+/// on (`--device`, honored uniformly by `evaluate`, `bench`, `loadgen`
+/// and `serve`) and the power-budget governor knobs for `loadgen` /
+/// `serve` (`--power-cap-w`, `--carbon-trace`, `--carbon-budget`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyFlags {
+    /// Device profile the energy model bills phase costs on.
+    pub device: DeviceKind,
+    /// Sustained-watts cap the governor enforces (0 = ungoverned).
+    pub power_cap_w: f64,
+    /// Seed for the deterministic carbon-intensity trace.
+    pub carbon_trace: u64,
+    /// Carbon budget in grams CO₂ per hour (0 = no carbon cap).
+    pub carbon_budget_g_per_h: f64,
+}
+
+impl EnergyFlags {
+    /// The engine-side governor configuration these flags select.
+    pub fn governor(&self) -> GovernorConfig {
+        GovernorConfig {
+            power_cap_w: self.power_cap_w,
+            carbon_seed: self.carbon_trace,
+            carbon_budget_g_per_h: self.carbon_budget_g_per_h,
+            ..GovernorConfig::default()
+        }
     }
 }
 
@@ -175,6 +204,8 @@ pub struct Options {
     pub tenant_skew: f64,
     /// Admission-control flags for `loadgen`/`serve`.
     pub admission: AdmissionFlags,
+    /// Device-profile and power-governor flags.
+    pub energy: EnergyFlags,
     /// Trace JSON to replay (`serve`) or encode (`wire`).
     pub trace: Option<String>,
     /// Where `loadgen` writes the generated trace JSON.
@@ -232,6 +263,7 @@ impl Default for Options {
             tenants: 1,
             tenant_skew: 1.0,
             admission: AdmissionFlags::default(),
+            energy: EnergyFlags::default(),
             trace: None,
             save_trace: None,
             churn: 0,
@@ -394,6 +426,35 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .filter(|n| *n > 0)
                     .ok_or_else(|| "--servers needs a positive integer".to_owned())?;
             }
+            "--device" => {
+                options.energy.device = value("--device")?
+                    .parse()
+                    .map_err(|e: crate::device::ParseDeviceError| e.to_string())?;
+            }
+            "--power-cap-w" => {
+                options.energy.power_cap_w = value("--power-cap-w")?
+                    .parse()
+                    .ok()
+                    .filter(|w: &f64| w.is_finite() && *w >= 0.0)
+                    .ok_or_else(|| {
+                        "--power-cap-w needs a non-negative number (0 = ungoverned)".to_owned()
+                    })?;
+            }
+            "--carbon-trace" => {
+                options.energy.carbon_trace = value("--carbon-trace")?
+                    .parse()
+                    .map_err(|_| "--carbon-trace needs an integer seed".to_owned())?;
+            }
+            "--carbon-budget" => {
+                options.energy.carbon_budget_g_per_h = value("--carbon-budget")?
+                    .parse()
+                    .ok()
+                    .filter(|g: &f64| g.is_finite() && *g >= 0.0)
+                    .ok_or_else(|| {
+                        "--carbon-budget needs a non-negative number in gCO2/h (0 = uncapped)"
+                            .to_owned()
+                    })?;
+            }
             "--index" => {
                 let v = value("--index")?;
                 if !["flat", "ivf", "hnsw"].contains(&v.as_str()) {
@@ -496,7 +557,9 @@ pub fn help_text() -> String {
      --query I (trace only)      --save FILE / --load FILE (levels only)\n  \
      --index flat|ivf|hnsw        Level-1 vector-index backend (default flat;\n  \
      snapshots and checkpoints carry their own index kind and ignore the flag)\n  \
-     --hnsw-m N  --ef-construction N  --ef-search N    HNSW graph knobs\n\n\
+     --hnsw-m N  --ef-construction N  --ef-search N    HNSW graph knobs\n  \
+     --device agx-orin|agx-orin-30w|orin-nano   device profile the energy model\n  \
+     bills phase costs on (evaluate/bench/loadgen/serve; default agx-orin)\n\n\
      bench options:\n  \
      --threads N (0 = all cores)  --models a,b,c        --quants q4_K_M,q8_0\n  \
      --policies default,gorilla:3,lim:3,lim:5           --out BENCH_2.json\n  \
@@ -513,6 +576,12 @@ pub fn help_text() -> String {
      replayed or streamed trace's own timestamps are honored unless the flag is given)\n  \
      --queue-depth N (0 = no admission control)  --shed-policy reject|degrade\n  \
      --servers N (simulated executors draining the admission queue)\n  \
+     --power-cap-w W (sustained-watts cap for the energy governor; the engine\n  \
+     steps service down to an economy quantization when the sliding window\n  \
+     would breach the cap and back up with hysteresis; 0 = ungoverned)\n  \
+     --carbon-trace SEED (seed for the deterministic grid carbon-intensity trace)\n  \
+     --carbon-budget G (grams CO2 per hour the governor holds the window under;\n  \
+     0 = no carbon cap)\n  \
      --save-trace FILE (loadgen)  --trace FILE (serve/wire)  --out BENCH_serve_1.json\n  \
      --churn N (loadgen: stamp N live tool registrations + N retirements onto the\n  \
      trace at seeded positions; retires never touch tools the gold labels need)\n  \
@@ -560,7 +629,7 @@ mod tests {
             flags.push(format!("--{flag}"));
         }
         assert!(
-            flags.len() >= 35,
+            flags.len() >= 39,
             "flag scan looks broken: only found {flags:?}"
         );
         for required in [
@@ -570,6 +639,10 @@ mod tests {
             "--hnsw-m",
             "--stdin",
             "--listen",
+            "--device",
+            "--power-cap-w",
+            "--carbon-trace",
+            "--carbon-budget",
         ] {
             assert!(
                 flags.iter().any(|f| f == required),
@@ -729,6 +802,42 @@ mod tests {
         assert!((defaults.tenant_skew - 1.0).abs() < 1e-12);
         assert!(super::parse(&["--tenants".to_owned(), "0".to_owned()]).is_err());
         assert!(super::parse(&["--tenant-skew".to_owned(), "-1".to_owned()]).is_err());
+    }
+
+    /// The energy flags parse into the device kind and governor
+    /// configuration, uniform across subcommands, and reject negative
+    /// or non-finite budgets.
+    #[test]
+    fn energy_flags_parse() {
+        let args: Vec<String> = [
+            "--device",
+            "orin-nano",
+            "--power-cap-w",
+            "18.5",
+            "--carbon-trace",
+            "7",
+            "--carbon-budget",
+            "120",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = super::parse(&args).expect("valid flags");
+        assert_eq!(options.energy.device, super::DeviceKind::OrinNano);
+        let governor = options.energy.governor();
+        assert!((governor.power_cap_w - 18.5).abs() < 1e-12);
+        assert_eq!(governor.carbon_seed, 7);
+        assert!((governor.carbon_budget_g_per_h - 120.0).abs() < 1e-12);
+        assert!(governor.active());
+
+        let defaults = super::parse(&[]).expect("defaults");
+        assert_eq!(defaults.energy.device, super::DeviceKind::AgxOrin);
+        assert!(!defaults.energy.governor().active());
+
+        assert!(super::parse(&["--device".to_owned(), "threadripper".to_owned()]).is_err());
+        assert!(super::parse(&["--power-cap-w".to_owned(), "-5".to_owned()]).is_err());
+        assert!(super::parse(&["--power-cap-w".to_owned(), "inf".to_owned()]).is_err());
+        assert!(super::parse(&["--carbon-budget".to_owned(), "nan".to_owned()]).is_err());
     }
 
     /// The wire-ingestion flags parse: `--stdin` is a bare switch and
